@@ -1,0 +1,284 @@
+// Benchmarks regenerating the paper's evaluation (§6-7). Each benchmark
+// corresponds to a row of Table 2, a claim of §7.1/§7.3, the BER scenario
+// of §1.1, or an ablation of a §4.2-4.3 design choice; DESIGN.md maps
+// experiment ids to benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The interesting outputs are the custom metrics (violations/M,
+// races/M, staticFP, ns/instr, rollbacks, ...), not the wall-clock time of
+// the benchmark loop itself.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ber"
+	"repro/internal/frd"
+	"repro/internal/report"
+	"repro/internal/svd"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// benchSample runs one workload sample under both detectors and reports
+// Table 2's per-row metrics.
+func benchSample(b *testing.B, w *workloads.Workload) {
+	b.Helper()
+	var last *report.Sample
+	for i := 0; i < b.N; i++ {
+		s, err := report.Run(w, uint64(i), report.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	m := float64(last.Instructions) / 1e6
+	b.ReportMetric(m, "Minstrs")
+	b.ReportMetric(float64(last.SVD.DynamicFalse)/m, "svd-dFP/M")
+	b.ReportMetric(float64(last.FRD.DynamicFalse)/m, "frd-dFP/M")
+	b.ReportMetric(float64(len(last.SVD.FalseSites)), "svd-sFP")
+	b.ReportMetric(float64(len(last.FRD.FalseSites)), "frd-sFP")
+	b.ReportMetric(float64(last.LogEntries), "aposteriori")
+	b.ReportMetric(float64(last.CUs)/m, "CUs/M")
+	b.ReportMetric(b2f(last.SVD.FoundBug || last.LogFoundBug), "svd-found-bug")
+	b.ReportMetric(b2f(last.FRD.FoundBug), "frd-found-bug")
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// --- Table 2, rows 1-2: Apache (erroneous and bug-free executions) ---
+
+func BenchmarkTable2ApacheBuggy(b *testing.B) {
+	benchSample(b, workloads.ApacheLog(workloads.ApacheConfig{
+		Threads: 4, Requests: 128, Buggy: true, Seed: 1,
+	}))
+}
+
+func BenchmarkTable2ApacheFixed(b *testing.B) {
+	benchSample(b, workloads.ApacheLog(workloads.ApacheConfig{
+		Threads: 4, Requests: 128, Buggy: false, Seed: 1,
+	}))
+}
+
+// --- Table 2, rows 3-4: MySQL (the prepared-query bug; benign races) ---
+
+func BenchmarkTable2MySQLPreparedBuggy(b *testing.B) {
+	benchSample(b, workloads.MySQLPrepared(workloads.MySQLPreparedConfig{
+		Threads: 4, Queries: 96, Buggy: true, Seed: 1,
+	}))
+}
+
+func BenchmarkTable2MySQLTables(b *testing.B) {
+	benchSample(b, workloads.MySQLTables(workloads.MySQLTablesConfig{
+		Lockers: 3, Ops: 160,
+	}))
+}
+
+// --- Table 2, row 5: PgSQL (race-free; the SVD/FRD inversion) ---
+
+func BenchmarkTable2PgSQL(b *testing.B) {
+	benchSample(b, workloads.PgSQLOLTP(workloads.PgSQLConfig{
+		Warehouses: 4, Terminals: 4, Txns: 256, Seed: 1,
+	}))
+}
+
+// --- §7.3 overhead: the detectors' slowdown over bare execution ---
+
+func benchOverhead(b *testing.B, attach func(w *workloads.Workload, m *vm.VM)) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 64, Seed: 1})
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := w.NewVM(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if attach != nil {
+			attach(w, m)
+		}
+		n, err := m.Run(1 << 26)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+}
+
+func BenchmarkOverheadBare(b *testing.B) { benchOverhead(b, nil) }
+
+func BenchmarkOverheadSVD(b *testing.B) {
+	benchOverhead(b, func(w *workloads.Workload, m *vm.VM) {
+		m.Attach(svd.New(w.Prog, w.NumThreads, svd.Options{}))
+	})
+}
+
+func BenchmarkOverheadFRD(b *testing.B) {
+	benchOverhead(b, func(w *workloads.Workload, m *vm.VM) {
+		m.Attach(frd.New(w.Prog, w.NumThreads, frd.Options{}))
+	})
+}
+
+// --- §7.3 scaling: execution length vs static and dynamic FPs ---
+
+func BenchmarkScalingLength(b *testing.B) {
+	for _, factor := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("factor-%d", factor), func(b *testing.B) {
+			var pt report.ScalingPoint
+			for i := 0; i < b.N; i++ {
+				pts, err := report.ScalingSweep([]int{factor}, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				pt = pts[len(pts)-1] // the pgsql point
+			}
+			b.ReportMetric(pt.MInsts, "Minstrs")
+			b.ReportMetric(float64(pt.StaticFP), "staticFP")
+			b.ReportMetric(float64(pt.DynFP), "dynFP")
+		})
+	}
+}
+
+// --- Ablations of the §4.2-4.3 design choices ---
+
+// ablationRun runs the PgSQL and buggy-Apache workloads under the given
+// SVD options, reporting false positives (pgsql) and bug detection
+// (apache).
+func ablationRun(b *testing.B, opts svd.Options) {
+	b.Helper()
+	var fp, fpInsts, detect, truePos, trueSites uint64
+	for i := 0; i < b.N; i++ {
+		pg := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 192, Seed: uint64(i)})
+		s, err := report.Run(pg, uint64(i), report.Options{SVD: opts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fp += s.SVD.DynamicFalse
+		fpInsts += s.Instructions
+
+		ap := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 64, Buggy: true, Seed: uint64(i)})
+		s, err = report.Run(ap, uint64(i), report.Options{SVD: opts})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Erroneous && (s.SVD.FoundBug || s.LogFoundBug) {
+			detect++
+		}
+		truePos += s.SVD.DynamicTrue
+		trueSites += uint64(len(s.SVD.TrueSites))
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(fp)/(float64(fpInsts)/1e6), "pgsql-dFP/M")
+	b.ReportMetric(float64(detect)/n, "apache-detect-rate")
+	b.ReportMetric(float64(truePos)/n, "apache-dTP")
+	b.ReportMetric(float64(trueSites)/n, "apache-true-sites")
+}
+
+// BenchmarkAblationBaseline is the paper's published configuration.
+func BenchmarkAblationBaseline(b *testing.B) { ablationRun(b, svd.Options{}) }
+
+// BenchmarkAblationCheckAllBlocks widens the strict-2PL check from input
+// blocks to whole CU footprints (§4.3 argues input-only reduces FPs).
+func BenchmarkAblationCheckAllBlocks(b *testing.B) {
+	ablationRun(b, svd.Options{CheckAllBlocks: true})
+}
+
+// BenchmarkAblationNoAddressDeps drops address dependences (§4.3's
+// vector/pointer handling).
+func BenchmarkAblationNoAddressDeps(b *testing.B) {
+	ablationRun(b, svd.Options{NoAddressDeps: true})
+}
+
+// BenchmarkAblationNoControlDeps drops the Skipper control stack (§4.2).
+func BenchmarkAblationNoControlDeps(b *testing.B) {
+	ablationRun(b, svd.Options{NoControlDeps: true})
+}
+
+// BenchmarkAblationBlockSize evaluates larger detection blocks (§6.2 used
+// word-size blocks to avoid false sharing).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for _, shift := range []uint{0, 2, 4} {
+		b.Run(fmt.Sprintf("words-%d", 1<<shift), func(b *testing.B) {
+			ablationRun(b, svd.Options{BlockShift: shift})
+		})
+	}
+}
+
+// --- §1.1 BER: rollback cost vs checkpoint interval ---
+
+func BenchmarkBERInterval(b *testing.B) {
+	for _, interval := range []uint64{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("interval-%d", interval), func(b *testing.B) {
+			w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 48, Buggy: true, Seed: 1})
+			var rollbacks, wasted, total uint64
+			avoided := 0
+			for i := 0; i < b.N; i++ {
+				m, err := w.NewVM(uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+				m.Attach(det)
+				st, err := ber.Run(m, det, ber.Config{CheckpointInterval: interval})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bad, _ := w.Check(m); !bad {
+					avoided++
+				}
+				rollbacks += uint64(st.Rollbacks)
+				wasted += st.WastedInstructions
+				total += st.TotalInstructions
+			}
+			b.ReportMetric(float64(rollbacks)/float64(b.N), "rollbacks")
+			b.ReportMetric(float64(wasted)/float64(total)*100, "wasted-%")
+			b.ReportMetric(float64(avoided)/float64(b.N), "avoid-rate")
+		})
+	}
+}
+
+// --- Substrate microbenchmarks: VM and detector throughput ---
+
+func BenchmarkVMThroughput(b *testing.B) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m, err := w.NewVM(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := m.Run(1 << 26)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += n
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkDetectorStep(b *testing.B) {
+	// Raw per-event detector cost on a synthetic event stream.
+	w := workloads.MySQLTables(workloads.MySQLTablesConfig{Lockers: 3, Ops: 40})
+	det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+	m, err := w.NewVM(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var evs []vm.Event
+	m.Attach(vm.ObserverFunc(func(ev *vm.Event) { evs = append(evs, *ev) }))
+	if _, err := m.Run(1 << 20); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Step(&evs[i%len(evs)])
+	}
+}

@@ -1,0 +1,232 @@
+// Command svdtrace implements the paper's post-mortem debugging scenario
+// (§1.1 "From symptoms to bugs"): capture a failing execution once as a
+// self-contained trace file, then analyze it offline as many times as
+// needed.
+//
+//	svdtrace -record -workload apache-buggy -seed 3 -o run.trc
+//	svdtrace -analyze run.trc
+//	svdtrace -dot run.trc -max-stmts 200 > dpdg.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/depgraph"
+	"repro/internal/frd"
+	"repro/internal/offline"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		record   = flag.Bool("record", false, "record a workload execution to -o")
+		analyze  = flag.String("analyze", "", "trace file to analyze offline")
+		dot      = flag.String("dot", "", "trace file to render as a Graphviz d-PDG")
+		slice    = flag.String("slice", "", "trace file to slice backward from -stmt")
+		stmt     = flag.Int("stmt", -1, "statement index for -slice (-1 = the last memory write)")
+		workload = flag.String("workload", "apache-buggy", "workload for -record")
+		seed     = flag.Uint64("seed", 0, "scheduler seed for -record")
+		scale    = flag.Int("scale", 1, "workload size multiplier for -record")
+		out      = flag.String("o", "trace.trc", "output file for -record")
+		maxStmts = flag.Int("max-stmts", 300, "statement cap for -dot")
+		show     = flag.Int("show", 8, "max items per report section")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *record:
+		err = doRecord(*workload, *seed, *scale, *out)
+	case *analyze != "":
+		err = doAnalyze(*analyze, *show)
+	case *dot != "":
+		err = doDot(*dot, *maxStmts)
+	case *slice != "":
+		err = doSlice(*slice, *stmt, *show)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svdtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func doRecord(name string, seed uint64, scale int, out string) error {
+	w, err := workloads.ByName(name, scale, seed)
+	if err != nil {
+		return err
+	}
+	m, err := w.NewVM(seed)
+	if err != nil {
+		return err
+	}
+	rec, err := trace.NewRecorder(w.Prog, w.NumThreads, 1<<22)
+	if err != nil {
+		return err
+	}
+	m.Attach(rec)
+	if _, err := m.Run(1 << 25); err != nil {
+		fmt.Printf("execution faulted (recorded up to the fault): %v\n", err)
+	}
+	tr := rec.Trace()
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteTrace(f, tr); err != nil {
+		return err
+	}
+	bad, detail := false, ""
+	if w.Check != nil {
+		bad, detail = w.Check(m)
+	}
+	fmt.Printf("recorded %d statements (%d dropped) of %s seed %d to %s\n",
+		len(tr.Stmts), tr.Dropped, name, seed, out)
+	fmt.Printf("outcome: erroneous=%v (%s)\n", bad, detail)
+	return f.Close()
+}
+
+func doAnalyze(path string, show int) error {
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	prog := tr.Prog
+	fmt.Printf("trace: %s, %d statements, %d threads\n", prog.Name, len(tr.Stmts), tr.NumCPUs)
+
+	res := offline.Run(tr, 0)
+	fmt.Printf("offline pass 1: %d computational units\n", res.NumCUs())
+	fmt.Printf("offline pass 3: %d strict-2PL violations at %d sites\n",
+		len(res.Violations), len(res.Sites()))
+	for i, site := range res.Sites() {
+		if i >= show {
+			fmt.Printf("  ... %d more sites\n", len(res.Sites())-show)
+			break
+		}
+		fmt.Printf("  %s conflicts with open unit at %s\n",
+			loc(prog, site[0]), loc(prog, site[1]))
+	}
+	fmt.Printf("conflict-serializable: %v\n", depgraph.ConflictSerializable(tr, res.CUOf))
+
+	accs := tr.Accesses()
+	frontier := frd.Frontier(accs)
+	fmt.Printf("frontier races: %d; CAS-managed sync blocks: %v\n",
+		len(frontier), frd.DiscoverSync(accs))
+	for i, r := range frontier {
+		if i >= show {
+			fmt.Printf("  ... %d more frontier races\n", len(frontier)-show)
+			break
+		}
+		fmt.Printf("  %s vs %s on %s\n", loc(prog, r.FirstPC), loc(prog, r.SecondPC), sym(prog, r.Block))
+	}
+	return nil
+}
+
+func doDot(path string, maxStmts int) error {
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	if len(tr.Stmts) > maxStmts {
+		tr.Stmts = tr.Stmts[:maxStmts]
+		// Prune dangling dependence references past the cut.
+		for i := range tr.Stmts {
+			s := &tr.Stmts[i]
+			if s.MemPred >= int32(maxStmts) {
+				s.MemPred = -1
+			}
+			if s.CtrlPred >= int32(maxStmts) {
+				s.CtrlPred = -1
+			}
+			kept := s.TruePreds[:0]
+			for _, p := range s.TruePreds {
+				if p < int32(maxStmts) {
+					kept = append(kept, p)
+				}
+			}
+			s.TruePreds = kept
+		}
+	}
+	g := depgraph.Build(tr)
+	cuOf := depgraph.OperationalCUs(tr)
+	return g.WriteDot(os.Stdout, cuOf)
+}
+
+// doSlice prints the dynamic backward slice of a statement — the causal
+// history a programmer walks once the detector has pointed at a suspicious
+// access (Agrawal–Horgan slicing over the d-PDG).
+func doSlice(path string, stmt, show int) error {
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	if stmt < 0 {
+		// Default: the last write to a shared word — the most recent
+		// inter-thread communication, a natural symptom site.
+		for i := len(tr.Stmts) - 1; i >= 0; i-- {
+			if tr.Stmts[i].IsStore && tr.Shared(tr.Stmts[i].Addr) {
+				stmt = i
+				break
+			}
+		}
+	}
+	if stmt < 0 || stmt >= len(tr.Stmts) {
+		return fmt.Errorf("statement index %d outside [0,%d)", stmt, len(tr.Stmts))
+	}
+	g := depgraph.Build(tr)
+	s := &tr.Stmts[stmt]
+	fmt.Printf("slicing backward from stmt %d: cpu %d %s at %s\n",
+		stmt, s.CPU, s.Instr, loc(tr.Prog, s.PC))
+
+	full := g.BackwardSlice(int32(stmt), depgraph.AllSliceKinds())
+	local := g.BackwardSlice(int32(stmt), depgraph.SliceKinds{True: true, Control: true})
+	fmt.Printf("slice: %d statements (%d thread-local; %d reached through other threads)\n",
+		len(full), len(local), len(full)-len(local))
+
+	// Show the most recent cross-thread statements: the interference.
+	shown := 0
+	localSet := map[int32]bool{}
+	for _, idx := range local {
+		localSet[idx] = true
+	}
+	for i := len(full) - 1; i >= 0 && shown < show; i-- {
+		idx := full[i]
+		if localSet[idx] {
+			continue
+		}
+		st := &tr.Stmts[idx]
+		fmt.Printf("  interference: stmt %d cpu %d %s at %s\n",
+			idx, st.CPU, st.Instr, loc(tr.Prog, st.PC))
+		shown++
+	}
+	return nil
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadTrace(f)
+}
+
+func loc(p interface{ LocationOf(int64) string }, pc int64) string {
+	if l := p.LocationOf(pc); l != "" {
+		return l
+	}
+	return fmt.Sprintf("pc %d", pc)
+}
+
+func sym(p interface{ SymbolFor(int64) string }, addr int64) string {
+	if s := p.SymbolFor(addr); s != "" {
+		return s
+	}
+	return fmt.Sprintf("word %d", addr)
+}

@@ -1,0 +1,138 @@
+// Command svlc is the SVL compiler driver:
+//
+//	svlc prog.svl                  compile, report size
+//	svlc -S prog.svl               disassemble to stdout
+//	svlc -o prog.bin prog.svl      write the binary program image
+//	svlc -run -seed 3 prog.svl     compile and execute
+//	svlc -asm -o prog.bin prog.s   assemble instead of compile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/lang"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "write the binary program image here")
+		disasm   = flag.Bool("S", false, "print the generated code")
+		optimize = flag.Bool("O", false, "enable the optimizer (folding, dead branches, addressing modes)")
+		useAsm   = flag.Bool("asm", false, "treat input as assembly, not SVL")
+		run      = flag.Bool("run", false, "execute after compiling")
+		seed     = flag.Uint64("seed", 0, "scheduler seed for -run")
+		cpus     = flag.Int("cpus", 0, "CPU count for -run (default: thread declarations)")
+		steps    = flag.Uint64("max-steps", 1<<24, "instruction budget for -run")
+		dumpMem  = flag.String("dump", "", "after -run, print this data symbol's value")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: svlc [flags] <file.svl>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+
+	var prog *isa.Program
+	if *useAsm {
+		prog, err = asm.Assemble(string(src), 0)
+	} else {
+		prog, err = lang.Compile(string(src), lang.Options{Name: path, Optimize: *optimize})
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d instructions, %d data words, %d threads\n",
+		prog.Name, len(prog.Code), len(prog.Data), len(prog.Entries))
+
+	if *disasm {
+		printDisasm(prog)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := isa.WriteProgram(f, prog); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *run {
+		n := *cpus
+		if n <= 0 {
+			n = len(prog.Entries)
+		}
+		m, err := vm.New(prog, vm.Config{
+			NumCPUs: n, MemWords: 1 << 18, StackWords: 1 << 10,
+			Seed: *seed, MaxQuantum: 8,
+		})
+		if err != nil {
+			fail(err)
+		}
+		ran, err := m.Run(*steps)
+		if err != nil {
+			fmt.Printf("faulted after %d instructions: %v\n", ran, err)
+			os.Exit(1)
+		}
+		fmt.Printf("executed %d instructions, done=%v\n", ran, m.Done())
+		if *dumpMem != "" {
+			addr, ok := prog.Symbols[*dumpMem]
+			if !ok {
+				fail(fmt.Errorf("no data symbol %q", *dumpMem))
+			}
+			fmt.Printf("%s = %d\n", *dumpMem, m.Mem(addr))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "svlc:", err)
+	os.Exit(1)
+}
+
+func printDisasm(prog *isa.Program) {
+	labelAt := map[int64][]string{}
+	for name, pc := range prog.Labels {
+		labelAt[pc] = append(labelAt[pc], name)
+	}
+	for pc := range labelAt {
+		sort.Strings(labelAt[pc])
+	}
+	lastLoc := ""
+	for pc, in := range prog.Code {
+		for _, l := range labelAt[int64(pc)] {
+			fmt.Printf("%s:\n", l)
+		}
+		loc := prog.LocationOf(int64(pc))
+		note := ""
+		if loc != "" && loc != lastLoc {
+			note = "  ; " + loc
+			lastLoc = loc
+		}
+		fmt.Printf("%5d  %-28s%s\n", pc, in.String(), note)
+	}
+	if len(prog.Symbols) > 0 {
+		fmt.Println("data:")
+		names := make([]string, 0, len(prog.Symbols))
+		for name := range prog.Symbols {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return prog.Symbols[names[i]] < prog.Symbols[names[j]] })
+		for _, name := range names {
+			fmt.Printf("%5d  %s\n", prog.Symbols[name], name)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package repro reproduces "A Serializability Violation Detector for
+// Shared-Memory Server Programs" (Xu, Bodík & Hill, PLDI 2005).
+//
+// The repository implements the paper's detector (SVD) and everything it
+// stands on: a deterministic multiprocessor virtual machine with replayable
+// scheduling (the Simics stand-in), a small concurrent language and
+// compiler that produce the binaries the detector observes, the
+// happens-before Frontier Race Detector baseline, the offline three-pass
+// reference algorithm with the formal d-PDG machinery, backward error
+// recovery, and models of the paper's Apache/MySQL/PostgreSQL workloads
+// with ground-truth bug annotations.
+//
+// Layout:
+//
+//	internal/isa        instruction set, binary program images
+//	internal/asm        assembler
+//	internal/lang       the SVL language and compiler
+//	internal/vm         deterministic multiprocessor VM (snapshot/restore)
+//	internal/cfg        control-flow graphs and postdominators
+//	internal/trace      exact-dependence trace recording
+//	internal/depgraph   d-PDG, computational units (Definitions 1-3),
+//	                    serializability theory
+//	internal/offline    the offline three-pass algorithm (Figures 5-6)
+//	internal/svd        the online detector (Figures 7-8) — the paper's
+//	                    primary contribution
+//	internal/frd        the happens-before baseline + frontier races
+//	internal/ber        backward error recovery (checkpoint/rollback)
+//	internal/workloads  Apache/MySQL/PgSQL models + input generators
+//	internal/report     evaluation: classification, Table 2, sweeps
+//	cmd/svd, cmd/frd    run detectors on workloads or SVL programs
+//	cmd/svlc            SVL compiler driver
+//	cmd/svdbench        regenerate the paper's evaluation
+//	examples/*          runnable scenario walk-throughs
+//
+// The benchmarks in bench_test.go regenerate every quantitative artifact
+// of the paper's evaluation; EXPERIMENTS.md records paper-vs-measured.
+package repro

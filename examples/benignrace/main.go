@@ -1,0 +1,67 @@
+// The Figure 1 scenario: MySQL's table-locking code contains real data
+// races on tot_lock — an unlocked reader probes a counter maintained under
+// a mutex — but the races are benign: the invariant tot_lock >= 0 keeps
+// the guarded branch dead, and every execution is serializable.
+//
+// A happens-before race detector (FRD) reports these races as bugs; the
+// paper observes that deciding they are harmless "requires non-trivial
+// time and effort, even by a programmer who is familiar with MySQL". SVD
+// stays silent because serializability is never violated — the false
+// positive a race detector cannot avoid.
+//
+//	go run ./examples/benignrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/frd"
+	"repro/internal/svd"
+	"repro/internal/workloads"
+)
+
+func main() {
+	w := workloads.MySQLTables(workloads.MySQLTablesConfig{Lockers: 3, Ops: 200})
+	fmt.Println(w.Description)
+
+	var totalRaces, totalViolations uint64
+	for seed := uint64(0); seed < 4; seed++ {
+		m, err := w.NewVM(seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sd := svd.New(w.Prog, w.NumThreads, svd.Options{})
+		fd := frd.New(w.Prog, w.NumThreads, frd.Options{})
+		m.Attach(sd)
+		m.Attach(fd)
+		if _, err := m.Run(1 << 24); err != nil {
+			log.Fatal(err)
+		}
+		if bad, detail := w.Check(m); bad {
+			log.Fatalf("the benign workload corrupted state: %s", detail)
+		}
+		fmt.Printf("\nseed %d: FRD %d dynamic races, SVD %d violations\n",
+			seed, fd.Stats().Races, sd.Stats().Violations)
+		if seed == 0 {
+			for _, site := range fd.Sites() {
+				fmt.Printf("  FRD: %s races with %s (%d dynamic instances)\n",
+					w.Prog.LocationOf(site.PCLow), w.Prog.LocationOf(site.PCHigh), site.Count)
+			}
+		}
+		totalRaces += fd.Stats().Races
+		totalViolations += sd.Stats().Violations
+	}
+
+	fmt.Printf("\ntotals: FRD reported %d dynamic races; SVD reported %d violations\n",
+		totalRaces, totalViolations)
+	switch {
+	case totalViolations == 0 && totalRaces > 0:
+		fmt.Println("the Figure 1 contrast holds: the races are real but harmless, and only")
+		fmt.Println("the serializability detector knows it — no annotations required.")
+	case totalRaces == 0:
+		fmt.Println("unexpected: FRD saw no races (increase Ops or seeds)")
+	default:
+		fmt.Println("unexpected: SVD reported on a serializable execution")
+	}
+}

@@ -1,0 +1,84 @@
+// The Figure 3 scenario: MySQL 4.1.1's prepared-query bug. Variables that
+// should be per-query (field->query_id, join_tab->used_fields) live in
+// shared table structures, so concurrent queries overwrite each other's
+// bookkeeping and the server crashes — a bug whose root cause was unknown
+// until the paper's authors read SVD's a posteriori log.
+//
+// This example shows the paper's §2.3 workflow: the online detector's CUs
+// are cut by the shared dependences (the region hypothesis fails here), so
+// online detection is weak — but the (s, rw, lw) log triples point straight
+// at the mistakenly shared variables.
+//
+//	go run ./examples/mysqlprepared
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/svd"
+	"repro/internal/workloads"
+)
+
+func main() {
+	w := workloads.MySQLPrepared(workloads.MySQLPreparedConfig{
+		Threads: 4,
+		Queries: 64,
+		Buggy:   true,
+		Seed:    3,
+	})
+	fmt.Println(w.Description)
+
+	for seed := uint64(0); seed < 16; seed++ {
+		m, err := w.NewVM(seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+		m.Attach(det)
+		if _, err := m.Run(1 << 24); err != nil {
+			log.Fatal(err)
+		}
+		bad, detail := w.Check(m)
+		if !bad {
+			continue
+		}
+		fmt.Printf("\nseed %d: %s\n", seed, detail)
+		fmt.Printf("online: %d dynamic violations, %d cuts by shared dependences (region hypothesis broken here)\n",
+			det.Stats().Violations, det.Stats().SharedCutLoads+det.Stats().SharedCutRemote)
+
+		fmt.Printf("\na posteriori examination log (%d distinct triples):\n", len(det.Log()))
+		shown := 0
+		for _, e := range det.Log() {
+			hit := w.BugPCs[e.ReadPC] || w.BugPCs[e.RemoteWritePC] || w.BugPCs[e.LocalWritePC]
+			if !hit && shown >= 3 {
+				continue
+			}
+			marker := ""
+			if hit {
+				marker = "   <-- the mistakenly shared variable"
+			}
+			fmt.Printf("  cpu %d read %s of %s:\n    local write %s overwritten by cpu %d write %s%s\n",
+				e.CPU, w.Prog.LocationOf(e.ReadPC), symbol(w, e.Block),
+				w.Prog.LocationOf(e.LocalWritePC), e.RemoteWriteCPU,
+				w.Prog.LocationOf(e.RemoteWritePC), marker)
+			shown++
+			if shown >= 8 {
+				break
+			}
+		}
+		fmt.Println("\nreading the log, the programmer sees that used_fields and field_query_id")
+		fmt.Println("are written locally, overwritten remotely, and read back — i.e. they were")
+		fmt.Println("meant to be thread-local. Declaring them per-thread fixes the crash (the")
+		fmt.Println("mysql-prepared-fixed workload), exactly the fix the paper reports (§7.1).")
+		return
+	}
+	log.Fatal("no seed manifested the bug")
+}
+
+func symbol(w *workloads.Workload, block int64) string {
+	if s := w.Prog.SymbolFor(block); s != "" {
+		return s
+	}
+	return fmt.Sprintf("word %d", block)
+}

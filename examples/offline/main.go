@@ -1,0 +1,156 @@
+// The offline pipeline (§3-4.1): record an execution with exact
+// dependences, build the dynamic program dependence graph, compute
+// computational units two independent ways — the declarative partition of
+// Definitions 1-3 and the one-pass algorithm of Figure 5 — check the
+// region hypothesis, run the three-pass strict-2PL detector of Figure 6,
+// and cross-validate against the precise conflict-serializability test and
+// the online detector on the same execution.
+//
+//	go run ./examples/offline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/depgraph"
+	"repro/internal/frd"
+	"repro/internal/lang"
+	"repro/internal/offline"
+	"repro/internal/svd"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+const source = `
+shared queue[16];
+shared head;
+shared count;
+lock qlock;
+shared popped[2];
+
+func producer(n) {
+    var i;
+    i = 0;
+    while (i < n) {
+        lock(qlock);
+        if (count < 16) {
+            queue[(head + count) % 16] = tid * 1000 + i;
+            count = count + 1;
+        }
+        unlock(qlock);
+        i = i + 1;
+    }
+}
+
+func consumer(n) {
+    var i, v;
+    i = 0;
+    while (i < n) {
+        v = -1;
+        lock(qlock);
+        if (count > 0) {
+            v = queue[head];
+            head = (head + 1) % 16;
+            count = count - 1;
+        }
+        unlock(qlock);
+        if (v >= 0) {
+            popped[tid - 2] = popped[tid - 2] + 1;
+        }
+        i = i + 1;
+    }
+}
+
+thread 0 producer(24);
+thread 1 producer(24);
+thread 2 consumer(30);
+thread 3 consumer(30);
+`
+
+func main() {
+	prog, err := lang.Compile(source, lang.Options{Name: "queue"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{
+		NumCPUs: 4, MemWords: 1 << 14, StackWords: 512, Seed: 5, MaxQuantum: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec, err := trace.NewRecorder(prog, 4, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det := svd.New(prog, 4, svd.Options{})
+	m.Attach(rec)
+	m.Attach(det)
+	if _, err := m.Run(1 << 22); err != nil {
+		log.Fatal(err)
+	}
+	tr := rec.Trace()
+	fmt.Printf("recorded %d dynamic statements across 4 threads\n", len(tr.Stmts))
+
+	// The d-PDG (§3.1).
+	g := depgraph.Build(tr)
+	kinds := map[depgraph.ArcKind]int{}
+	for _, a := range g.Arcs {
+		kinds[a.Kind]++
+	}
+	fmt.Printf("d-PDG: %d arcs (%d true-local, %d true-shared, %d control, %d conflict)\n",
+		len(g.Arcs), kinds[depgraph.TrueLocal], kinds[depgraph.TrueShared],
+		kinds[depgraph.Control], kinds[depgraph.Conflict])
+
+	// Computational units, two ways (Definitions 1-3 vs Figure 5).
+	decl := g.CUs()
+	oper := depgraph.OperationalCUs(tr)
+	declN, operN := countCUs(decl), countCUs(oper)
+	fmt.Printf("computational units: %d (declarative) vs %d (operational one-pass)\n", declN, operN)
+	if bad := depgraph.RegionRuleViolations(g, oper); len(bad) != 0 {
+		fmt.Printf("region hypothesis violated by CUs %v (unexpected!)\n", bad)
+	} else {
+		fmt.Println("region hypothesis holds: no CU has internal shared dependences; all weakly connected")
+	}
+
+	// The offline three-pass detector (Figure 6).
+	res := offline.Run(tr, 0)
+	fmt.Printf("offline strict-2PL violations: %d (%d static sites)\n",
+		len(res.Violations), len(res.Sites()))
+	fmt.Printf("conflict-serializable: %v\n", depgraph.ConflictSerializable(tr, res.CUOf))
+
+	// Cross-checks against the online detector and the frontier pass.
+	fmt.Printf("online SVD on the same execution: %d violations, %d a posteriori triples\n",
+		det.Stats().Violations, len(det.Log()))
+	accs := tr.Accesses()
+	fmt.Printf("frontier pass: %d frontier races, discovered sync blocks %v (the lock word)\n",
+		len(frd.Frontier(accs)), frd.DiscoverSync(accs))
+
+	fmt.Println(`
+Reading the results: the queue is correctly locked, yet neither detector is
+silent — for instructive reasons the paper spells out.
+
+  * The offline check is the CONSERVATIVE one (§3.3: "not violating strict
+    2PL is sufficient yet not necessary"). A spinlock itself violates
+    strict 2PL by construction — every contended CAS conflicts with the
+    holder's open unit — so most offline reports and the serializability
+    "cycle" sit on the lock word, which is also why the CU-as-transaction
+    model judges lock handoffs non-serializable.
+  * The online detector's heuristics (§4.3: check only input blocks, only
+    at dependent stores) exist precisely to ignore that lock noise; its
+    remaining reports are the §5.2 too-large-CU false positives on the
+    post-region use of a value read under the lock.
+  * The frontier pass finds the contended lock word and nothing else —
+    the annotation FRD needs, discovered automatically.`)
+}
+
+func countCUs(cuOf []int) int {
+	max := -1
+	for _, id := range cuOf {
+		if id > max {
+			max = id
+		}
+	}
+	return max + 1
+}

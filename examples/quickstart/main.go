@@ -1,0 +1,77 @@
+// Quickstart: compile a small concurrent SVL program with a classic
+// atomicity bug, run it on the deterministic multiprocessor VM with the
+// Serializability Violation Detector attached, and print what SVD finds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lang"
+	"repro/internal/svd"
+	"repro/internal/vm"
+)
+
+// Two threads increment a shared counter without synchronization: the
+// load-increment-store sequence is an atomic region the programmer forgot
+// to implement, so interleavings that break it are not serializable.
+const source = `
+shared counter;
+shared done[2];
+
+func worker(n) {
+    var i;
+    i = 0;
+    while (i < n) {
+        counter = counter + 1;   // racy read-modify-write
+        i = i + 1;
+    }
+    done[tid] = 1;
+}
+
+thread 0 worker(500);
+thread 1 worker(500);
+`
+
+func main() {
+	prog, err := lang.Compile(source, lang.Options{Name: "quickstart"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := vm.New(prog, vm.Config{
+		NumCPUs:    2,
+		MemWords:   1 << 14,
+		StackWords: 512,
+		Seed:       42, // same seed => same interleaving => same detections
+		MaxQuantum: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	det := svd.New(prog, 2, svd.Options{})
+	m.Attach(det)
+
+	if _, err := m.Run(1 << 20); err != nil {
+		log.Fatal(err)
+	}
+
+	final := m.Mem(prog.Symbols["counter"])
+	fmt.Printf("counter = %d (1000 expected; %d updates lost to the race)\n",
+		final, 1000-final)
+
+	st := det.Stats()
+	fmt.Printf("SVD observed %d instructions and inferred %d computational units\n",
+		st.Instructions, st.CUsLive())
+	fmt.Printf("serializability violations: %d dynamic at %d program points\n",
+		st.Violations, len(det.Sites()))
+	for _, site := range det.Sites() {
+		fmt.Printf("  %s: %d violations (first: conflicting access by cpu %d at %s)\n",
+			prog.LocationOf(site.StorePC), site.Count,
+			site.First.ConflictCPU, prog.LocationOf(site.First.ConflictPC))
+	}
+	fmt.Println("note: SVD needed no annotations — it inferred the atomic region from dependences")
+}

@@ -1,0 +1,177 @@
+// Cross-module integration tests: the online detector, the offline
+// three-pass algorithm, the serializability theory, and the workloads all
+// telling one consistent story about the same executions.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/depgraph"
+	"repro/internal/frd"
+	"repro/internal/offline"
+	"repro/internal/svd"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// recordWorkload runs a workload with a trace recorder and online detector
+// attached.
+func recordWorkload(t *testing.T, w *workloads.Workload, seed uint64, serialize bool) (*trace.Trace, *svd.Detector, *vm.VM) {
+	t.Helper()
+	m, err := w.NewVM(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialize {
+		m.SetMode(vm.Serialize)
+	}
+	rec, err := trace.NewRecorder(w.Prog, w.NumThreads, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+	m.Attach(rec)
+	m.Attach(det)
+	if _, err := m.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("workload did not finish")
+	}
+	tr := rec.Trace()
+	if tr.Dropped != 0 {
+		t.Fatalf("trace truncated (%d dropped); raise the cap", tr.Dropped)
+	}
+	return tr, det, m
+}
+
+// TestSerializedApacheCleanEverywhere: a serialized execution of even the
+// buggy Apache is correct, and every layer agrees — the workload check,
+// the online detector, the offline detector, and the serializability test.
+func TestSerializedApacheCleanEverywhere(t *testing.T) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 3, Requests: 12, Buggy: true, Seed: 2})
+	tr, det, m := recordWorkload(t, w, 3, true)
+
+	if bad, detail := w.Check(m); bad {
+		t.Fatalf("serialized execution corrupted: %s", detail)
+	}
+	if n := det.Stats().Violations; n != 0 {
+		t.Errorf("online SVD reported %d violations on a serialized execution", n)
+	}
+	res := offline.Run(tr, 0)
+	if !res.Clean() {
+		t.Errorf("offline detector reported %d violations on a serialized execution", len(res.Violations))
+	}
+	if !depgraph.ConflictSerializable(tr, res.CUOf) {
+		t.Error("serialized execution judged non-serializable")
+	}
+}
+
+// TestCorruptedApacheFlaggedEverywhere: an interleaving that corrupts the
+// log is flagged by the online detector, the offline detector, and the
+// serializability test.
+func TestCorruptedApacheFlaggedEverywhere(t *testing.T) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 3, Requests: 12, Buggy: true, Seed: 2})
+	for seed := uint64(0); seed < 12; seed++ {
+		tr, det, m := recordWorkload(t, w, seed, false)
+		bad, _ := w.Check(m)
+		if !bad {
+			continue
+		}
+		if n := det.Stats().Violations; n == 0 {
+			t.Errorf("seed %d: corrupted run, online SVD silent", seed)
+		}
+		res := offline.Run(tr, 0)
+		if res.Clean() {
+			t.Errorf("seed %d: corrupted run, offline detector silent", seed)
+		}
+		if depgraph.ConflictSerializable(tr, res.CUOf) {
+			t.Errorf("seed %d: corrupted run judged serializable", seed)
+		}
+		return
+	}
+	t.Skip("no seed corrupted the log at this size")
+}
+
+// TestOfflineConservativeOverOnline: on lock-free workloads (no spinlock
+// noise) every execution the online detector flags, the conservative
+// offline detector flags too.
+func TestOfflineConservativeOverOnline(t *testing.T) {
+	w := workloads.MySQLPrepared(workloads.MySQLPreparedConfig{Threads: 3, Queries: 16, Buggy: true, Seed: 4})
+	flagged := 0
+	for seed := uint64(0); seed < 6; seed++ {
+		tr, det, _ := recordWorkload(t, w, seed, false)
+		res := offline.Run(tr, 0)
+		if det.Stats().Violations > 0 {
+			flagged++
+			if res.Clean() {
+				t.Errorf("seed %d: online flagged, offline clean", seed)
+			}
+		}
+	}
+	if flagged == 0 {
+		t.Skip("online never flagged at this size")
+	}
+}
+
+// TestDetectorReplayDeterminism: the same seed yields bit-identical
+// detector output — the property that makes the paper's post-mortem
+// debugging scenario (§6.1) work.
+func TestDetectorReplayDeterminism(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w, err := workloads.ByName(name, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() (uint64, uint64, int, int) {
+			m, err := w.NewVM(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sd := svd.New(w.Prog, w.NumThreads, svd.Options{})
+			fd := frd.New(w.Prog, w.NumThreads, frd.Options{})
+			m.Attach(sd)
+			m.Attach(fd)
+			if _, err := m.Run(1 << 25); err != nil {
+				t.Fatal(err)
+			}
+			return sd.Stats().Violations, fd.Stats().Races, len(sd.Log()), len(sd.Sites())
+		}
+		v1, r1, l1, s1 := run()
+		v2, r2, l2, s2 := run()
+		if v1 != v2 || r1 != r2 || l1 != l2 || s1 != s2 {
+			t.Errorf("%s: replay diverged: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+				name, v1, r1, l1, s1, v2, r2, l2, s2)
+		}
+	}
+}
+
+// TestAllWorkloadsComplete: every registered workload finishes within
+// budget on several seeds with both detectors attached and, when bug-free,
+// passes its own consistency check.
+func TestAllWorkloadsComplete(t *testing.T) {
+	for _, name := range workloads.Names() {
+		for seed := uint64(0); seed < 2; seed++ {
+			w, err := workloads.ByName(name, 1, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := w.NewVM(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Attach(svd.New(w.Prog, w.NumThreads, svd.Options{}))
+			m.Attach(frd.New(w.Prog, w.NumThreads, frd.Options{}))
+			if _, err := m.Run(1 << 25); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if !m.Done() {
+				t.Fatalf("%s seed %d did not finish", name, seed)
+			}
+			if bad, detail := w.Check(m); bad && !w.Buggy {
+				t.Errorf("%s seed %d: bug-free workload corrupted: %s", name, seed, detail)
+			}
+		}
+	}
+}

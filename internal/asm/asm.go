@@ -1,0 +1,616 @@
+// Package asm implements a two-pass assembler for the isa package.
+//
+// The source syntax is line-oriented:
+//
+//	; comment                     -- also "#" comments
+//	.name  prog                   -- program name
+//	.data  sym n                  -- reserve n zero words at the next data address
+//	.data  sym = v0 v1 ...        -- initialized words
+//	.entry cpu label              -- CPU entry point
+//	label:                        -- code label
+//	  li   t0, 42
+//	  la   t1, sym                -- pseudo: address of data symbol
+//	  load t2, 4(t1)              -- t2 = mem[t1+4]
+//	  store t2, sym               -- pseudo: mem[&sym] = t2 (via gp)
+//	  cas  t0, (t1), t2, t3
+//	  call f                      -- pseudo: jal ra, f
+//	  ret                         -- pseudo: jr ra
+//	  push s0 / pop s0            -- pseudo: stack ops via sp
+//
+// Branch and jump targets are labels. Registers are named r0..r31 or by
+// alias (zero, ra, sp, tid, a0..a3, t0..t9, s0..s9, gp).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// maxDataWords bounds the assembled data segment (a VM's memory is a few
+// hundred thousand words; anything larger is a typo or hostile input).
+const maxDataWords = 1 << 24
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type assembler struct {
+	name     string
+	code     []pending
+	lineInfo []string
+	labels   map[string]int64
+	symbols  map[string]int64
+	data     []int64
+	dataBase int64
+	entries  map[int]string
+}
+
+// pending is an instruction awaiting symbol resolution.
+type pending struct {
+	in    isa.Instr
+	label string // branch/jump target to resolve into Imm
+	sym   string // data symbol to resolve into Imm
+	line  int
+}
+
+// Assemble translates source into a program. DataBase fixes where the data
+// segment is loaded; pass 0 to place data at address 0.
+func Assemble(source string, dataBase int64) (*isa.Program, error) {
+	a := &assembler{
+		name:     "a.out",
+		labels:   make(map[string]int64),
+		symbols:  make(map[string]int64),
+		dataBase: dataBase,
+		entries:  make(map[int]string),
+	}
+	if err := a.parse(source); err != nil {
+		return nil, err
+	}
+	return a.link()
+}
+
+// MustAssemble is Assemble for tests and fixed workload sources; it panics
+// on error.
+func MustAssemble(source string, dataBase int64) *isa.Program {
+	p, err := Assemble(source, dataBase)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) parse(source string) error {
+	for i, raw := range strings.Split(source, "\n") {
+		line := i + 1
+		text := raw
+		if j := strings.IndexAny(text, ";#"); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// A label may share a line with an instruction: "loop: addi ...".
+		for {
+			j := strings.Index(text, ":")
+			if j < 0 || strings.ContainsAny(text[:j], " \t,(") {
+				break
+			}
+			label := text[:j]
+			if !validIdent(label) {
+				return a.errf(line, "invalid label %q", label)
+			}
+			if _, dup := a.labels[label]; dup {
+				return a.errf(line, "duplicate label %q", label)
+			}
+			a.labels[label] = int64(len(a.code))
+			text = strings.TrimSpace(text[j+1:])
+			if text == "" {
+				break
+			}
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".") {
+			if err := a.directive(line, text); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.instruction(line, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) directive(line int, text string) error {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case ".name":
+		if len(fields) != 2 {
+			return a.errf(line, ".name wants one argument")
+		}
+		a.name = fields[1]
+	case ".entry":
+		if len(fields) != 3 {
+			return a.errf(line, ".entry wants: .entry <cpu> <label>")
+		}
+		cpu, err := strconv.Atoi(fields[1])
+		if err != nil || cpu < 0 {
+			return a.errf(line, "bad cpu %q", fields[1])
+		}
+		a.entries[cpu] = fields[2]
+	case ".data":
+		rest := strings.TrimSpace(strings.TrimPrefix(text, ".data"))
+		name, spec, hasInit := strings.Cut(rest, "=")
+		name = strings.TrimSpace(name)
+		var sym string
+		var count int
+		if hasInit {
+			sym = name
+		} else {
+			parts := strings.Fields(name)
+			if len(parts) != 2 {
+				return a.errf(line, ".data wants: .data <sym> <n> or .data <sym> = v...")
+			}
+			sym = parts[0]
+			n, err := strconv.Atoi(parts[1])
+			if err != nil || n <= 0 {
+				return a.errf(line, "bad word count %q", parts[1])
+			}
+			if n > maxDataWords || len(a.data)+n > maxDataWords {
+				return a.errf(line, "data segment exceeds %d words", maxDataWords)
+			}
+			count = n
+		}
+		if !validIdent(sym) {
+			return a.errf(line, "invalid symbol %q", sym)
+		}
+		if _, dup := a.symbols[sym]; dup {
+			return a.errf(line, "duplicate symbol %q", sym)
+		}
+		a.symbols[sym] = a.dataBase + int64(len(a.data))
+		if hasInit {
+			for _, tok := range strings.Fields(spec) {
+				v, err := strconv.ParseInt(tok, 0, 64)
+				if err != nil {
+					return a.errf(line, "bad initializer %q", tok)
+				}
+				a.data = append(a.data, v)
+			}
+		} else {
+			a.data = append(a.data, make([]int64, count)...)
+		}
+	default:
+		return a.errf(line, "unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+func (a *assembler) emit(line int, p pending) {
+	p.line = line
+	a.code = append(a.code, p)
+}
+
+func (a *assembler) instruction(line int, text string) error {
+	mnem, rest, _ := strings.Cut(text, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	args := splitArgs(rest)
+
+	reg := func(i int) (isa.Reg, error) {
+		if i >= len(args) {
+			return 0, a.errf(line, "%s: missing operand %d", mnem, i+1)
+		}
+		r, ok := regByName(args[i])
+		if !ok {
+			return 0, a.errf(line, "%s: bad register %q", mnem, args[i])
+		}
+		return r, nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, a.errf(line, "%s: missing immediate operand %d", mnem, i+1)
+		}
+		v, err := strconv.ParseInt(args[i], 0, 64)
+		if err != nil {
+			return 0, a.errf(line, "%s: bad immediate %q", mnem, args[i])
+		}
+		return v, nil
+	}
+	// want verifies the argument count.
+	want := func(n int) error {
+		if len(args) != n {
+			return a.errf(line, "%s: want %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+
+	switch mnem {
+	case "nop", "halt", "yield":
+		if err := want(0); err != nil {
+			return err
+		}
+		op := map[string]isa.Op{"nop": isa.OpNop, "halt": isa.OpHalt, "yield": isa.OpYield}[mnem]
+		a.emit(line, pending{in: isa.Instr{Op: op}})
+
+	case "li":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.LI(rd, v)})
+
+	case "la": // pseudo: rd = &sym
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.LI(rd, 0), sym: args[1]})
+
+	case "mov":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Mov(rd, rs)})
+
+	case "add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr",
+		"slt", "sle", "seq", "sne":
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(2)
+		if err != nil {
+			return err
+		}
+		op := aluOps[mnem]
+		a.emit(line, pending{in: isa.ALU(op, rd, rs1, rs2)})
+
+	case "addi":
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs1, err := reg(1)
+		if err != nil {
+			return err
+		}
+		v, err := imm(2)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Addi(rd, rs1, v)})
+
+	case "load", "store":
+		if err := want(2); err != nil {
+			return err
+		}
+		r, err := reg(0)
+		if err != nil {
+			return err
+		}
+		base, disp, sym, err := a.parseAddr(line, mnem, args[1])
+		if err != nil {
+			return err
+		}
+		var in isa.Instr
+		if mnem == "load" {
+			in = isa.Load(r, base, disp)
+		} else {
+			in = isa.Store(r, base, disp)
+		}
+		a.emit(line, pending{in: in, sym: sym})
+
+	case "cas":
+		if err := want(4); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		addrArg := strings.TrimSuffix(strings.TrimPrefix(args[1], "("), ")")
+		raddr, ok := regByName(addrArg)
+		if !ok {
+			return a.errf(line, "cas: bad address register %q", args[1])
+		}
+		rexp, err := reg(2)
+		if err != nil {
+			return err
+		}
+		rnew, err := reg(3)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Cas(rd, raddr, rexp, rnew)})
+
+	case "beqz", "bnez":
+		if err := want(2); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		op := isa.OpBeqz
+		if mnem == "bnez" {
+			op = isa.OpBnez
+		}
+		a.emit(line, pending{in: isa.Instr{Op: op, Rs1: rs}, label: args[1]})
+
+	case "jmp", "b":
+		if err := want(1); err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Jmp(0), label: args[0]})
+
+	case "jal":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Jal(rd, 0), label: args[1]})
+
+	case "call": // pseudo: jal ra, label
+		if err := want(1); err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Jal(isa.RegRA, 0), label: args[0]})
+
+	case "jr":
+		if err := want(1); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Jr(rs)})
+
+	case "ret": // pseudo: jr ra
+		if err := want(0); err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Jr(isa.RegRA)})
+
+	case "push": // pseudo: sp -= 1; mem[sp] = rs
+		if err := want(1); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Addi(isa.RegSP, isa.RegSP, -1)})
+		a.emit(line, pending{in: isa.Store(rs, isa.RegSP, 0)})
+
+	case "pop": // pseudo: rd = mem[sp]; sp += 1
+		if err := want(1); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(line, pending{in: isa.Load(rd, isa.RegSP, 0)})
+		a.emit(line, pending{in: isa.Addi(isa.RegSP, isa.RegSP, 1)})
+
+	default:
+		return a.errf(line, "unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+// parseAddr parses "imm(reg)", "sym(reg)", "sym", or "imm" address syntax.
+// A bare sym/imm uses the zero register as base. When sym is non-empty the
+// displacement is resolved at link time.
+func (a *assembler) parseAddr(line int, mnem, arg string) (base isa.Reg, disp int64, sym string, err error) {
+	inner := ""
+	if i := strings.Index(arg, "("); i >= 0 {
+		if !strings.HasSuffix(arg, ")") {
+			return 0, 0, "", a.errf(line, "%s: malformed address %q", mnem, arg)
+		}
+		inner = arg[i+1 : len(arg)-1]
+		arg = arg[:i]
+	}
+	base = isa.RegZero
+	if inner != "" {
+		r, ok := regByName(inner)
+		if !ok {
+			return 0, 0, "", a.errf(line, "%s: bad base register %q", mnem, inner)
+		}
+		base = r
+	}
+	if arg == "" {
+		return base, 0, "", nil
+	}
+	if v, err2 := strconv.ParseInt(arg, 0, 64); err2 == nil {
+		return base, v, "", nil
+	}
+	if !validIdent(arg) {
+		return 0, 0, "", a.errf(line, "%s: bad displacement %q", mnem, arg)
+	}
+	return base, 0, arg, nil
+}
+
+func (a *assembler) link() (*isa.Program, error) {
+	p := &isa.Program{
+		Name:     a.name,
+		Code:     make([]isa.Instr, 0, len(a.code)),
+		Data:     a.data,
+		DataBase: a.dataBase,
+		Symbols:  a.symbols,
+		Labels:   a.labels,
+	}
+	for _, pd := range a.code {
+		in := pd.in
+		if pd.label != "" {
+			pc, ok := a.labels[pd.label]
+			if !ok {
+				return nil, a.errf(pd.line, "undefined label %q", pd.label)
+			}
+			in.Imm = pc
+		}
+		if pd.sym != "" {
+			addr, ok := a.symbols[pd.sym]
+			if !ok {
+				return nil, a.errf(pd.line, "undefined symbol %q", pd.sym)
+			}
+			in.Imm += addr
+		}
+		p.Code = append(p.Code, in)
+		p.LineInfo = append(p.LineInfo, fmt.Sprintf("line %d", pd.line))
+	}
+	maxCPU := -1
+	for cpu := range a.entries {
+		if cpu > maxCPU {
+			maxCPU = cpu
+		}
+	}
+	if maxCPU >= 0 {
+		p.Entries = make([]int64, maxCPU+1)
+		for i := range p.Entries {
+			p.Entries[i] = -1
+		}
+		for cpu, label := range a.entries {
+			pc, ok := a.labels[label]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined entry label %q", label)
+			}
+			p.Entries[cpu] = pc
+		}
+		// CPUs with no declared entry park on a synthesized halt.
+		for i, e := range p.Entries {
+			if e < 0 {
+				p.Entries[i] = int64(len(p.Code))
+			}
+		}
+		needHalt := false
+		for _, e := range p.Entries {
+			if e == int64(len(p.Code)) {
+				needHalt = true
+			}
+		}
+		if needHalt {
+			p.Code = append(p.Code, isa.Halt())
+			p.LineInfo = append(p.LineInfo, "synthesized halt")
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+var aluOps = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul, "div": isa.OpDiv,
+	"mod": isa.OpMod, "and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor,
+	"shl": isa.OpShl, "shr": isa.OpShr, "slt": isa.OpSlt, "sle": isa.OpSle,
+	"seq": isa.OpSeq, "sne": isa.OpSne,
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var regAliases = map[string]isa.Reg{
+	"zero": isa.RegZero, "ra": isa.RegRA, "sp": isa.RegSP, "tid": isa.RegTID,
+	"gp": isa.RegGP,
+	"a0": isa.RegA0, "a1": isa.RegA1, "a2": isa.RegA2, "a3": isa.RegA3,
+}
+
+func regByName(s string) (isa.Reg, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, true
+	}
+	if len(s) >= 2 {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil {
+			switch s[0] {
+			case 'r':
+				if n >= 0 && n < isa.NumRegs {
+					return isa.Reg(n), true
+				}
+			case 't':
+				if n >= 0 && n <= 9 {
+					return isa.RegT0 + isa.Reg(n), true
+				}
+			case 's':
+				if n >= 0 && n <= 9 {
+					return isa.RegS0 + isa.Reg(n), true
+				}
+			}
+		}
+	}
+	return 0, false
+}

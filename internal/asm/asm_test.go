@@ -1,0 +1,297 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func runSource(t *testing.T, src string, cpus int) *vm.VM {
+	t.Helper()
+	p, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(p, vm.Config{NumCPUs: cpus, MemWords: 4096, StackWords: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func TestAssembleBasics(t *testing.T) {
+	src := `
+; sum 1..n into result
+.name sum
+.data n = 10
+.data result 1
+
+.entry 0 main
+main:
+	load t0, n        ; t0 = n
+	li   t1, 0        ; sum
+loop:
+	add  t1, t1, t0
+	addi t0, t0, -1
+	bnez t0, loop
+	store t1, result
+	halt
+`
+	p, err := Assemble(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sum" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.Symbols["n"] != 100 || p.Symbols["result"] != 101 {
+		t.Errorf("symbols = %v", p.Symbols)
+	}
+	m, err := vm.New(p, vm.Config{NumCPUs: 1, MemWords: 4096, StackWords: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem(101); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	src := `
+.entry 0 main
+main: li t0, 7
+	store t0, 0(zero)
+	halt
+`
+	m := runSource(t, src, 1)
+	if got := m.Mem(0); got != 7 {
+		t.Errorf("mem[0] = %d, want 7", got)
+	}
+}
+
+func TestCallRetPushPop(t *testing.T) {
+	src := `
+.data out 1
+.entry 0 main
+main:
+	li   a0, 6
+	call fact
+	store a0, out
+	halt
+
+; a0 = a0! (recursive, exercises the stack)
+fact:
+	li   t0, 2
+	slt  t0, a0, t0    ; a0 < 2 ?
+	beqz t0, recurse
+	li   a0, 1
+	ret
+recurse:
+	push ra
+	push a0
+	addi a0, a0, -1
+	call fact
+	pop  t1            ; original n
+	pop  ra
+	mul  a0, a0, t1
+	ret
+`
+	p, err := Assemble(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(p, vm.Config{NumCPUs: 1, MemWords: 4096, StackWords: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem(p.Symbols["out"]); got != 720 {
+		t.Errorf("6! = %d, want 720", got)
+	}
+}
+
+func TestCasSpinlock(t *testing.T) {
+	src := `
+.data lock 1
+.data counter 1
+.entry 0 worker
+.entry 1 worker
+.entry 2 worker
+.entry 3 worker
+
+worker:
+	li s0, 200        ; iterations
+iter:
+	; acquire
+acquire:
+	la  t0, lock
+	li  t1, 0
+	li  t2, 1
+	cas t3, (t0), t1, t2
+	bnez t3, locked
+	yield
+	jmp acquire
+locked:
+	load t4, counter
+	addi t4, t4, 1
+	store t4, counter
+	; release
+	li  t5, 0
+	store t5, lock
+	addi s0, s0, -1
+	bnez s0, iter
+	halt
+`
+	p, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(p, vm.Config{NumCPUs: 4, MemWords: 1 << 14, StackWords: 128, Seed: 3, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("spinlock program did not finish")
+	}
+	if got := m.Mem(p.Symbols["counter"]); got != 800 {
+		t.Errorf("locked counter = %d, want 800", got)
+	}
+}
+
+func TestEntriesWithGaps(t *testing.T) {
+	src := `
+.entry 0 a
+.entry 2 b
+a:	li t0, 1
+	store t0, 0(zero)
+	halt
+b:	li t0, 2
+	store t0, 1(zero)
+	halt
+`
+	m := runSource(t, src, 3)
+	if m.Mem(0) != 1 || m.Mem(1) != 2 {
+		t.Errorf("mem = %d,%d", m.Mem(0), m.Mem(1))
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	names := map[string]isa.Reg{
+		"zero": 0, "ra": 1, "sp": 2, "tid": 3, "gp": 28,
+		"a0": 4, "a3": 7, "t0": 8, "t9": 17, "s0": 18, "s9": 27,
+		"r0": 0, "r31": 31, "R5": 5, "T3": 11,
+	}
+	for name, want := range names {
+		got, ok := regByName(name)
+		if !ok || got != want {
+			t.Errorf("regByName(%q) = %d,%v, want %d", name, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "x1", "r32", "t10", "s10", "r-1", "ra0"} {
+		if _, ok := regByName(bad); ok {
+			t.Errorf("regByName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frob t0", "unknown mnemonic"},
+		{"unknown directive", ".frob x", "unknown directive"},
+		{"bad register", "li x9, 1", "bad register"},
+		{"bad immediate", "li t0, abc", "bad immediate"},
+		{"undefined label", "jmp nowhere", "undefined label"},
+		{"undefined symbol", "load t0, nosym", "undefined symbol"},
+		{"duplicate label", "a:\na:\n halt", "duplicate label"},
+		{"duplicate symbol", ".data x 1\n.data x 1", "duplicate symbol"},
+		{"bad entry", ".entry 0 nowhere\nhalt", "undefined entry label"},
+		{"operand count", "add t0, t1", "want 3 operands"},
+		{"bad data count", ".data x 0", "bad word count"},
+		{"bad init", ".data x = 1 q", "bad initializer"},
+		{"malformed addr", "load t0, 3(t1", "malformed address"},
+		{"bad entry cpu", ".entry x main\nmain: halt", "bad cpu"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src, 0)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+# hash comment
+; semicolon comment
+
+.entry 0 main
+main:
+	li t0, 5   ; trailing
+	store t0, 0(zero)  # trailing hash
+	halt
+`
+	m := runSource(t, src, 1)
+	if got := m.Mem(0); got != 5 {
+		t.Errorf("mem[0] = %d", got)
+	}
+}
+
+func TestNegativeAndHexImmediates(t *testing.T) {
+	src := `
+.entry 0 main
+main:
+	li t0, -5
+	li t1, 0x10
+	add t0, t0, t1
+	store t0, 0(zero)
+	halt
+`
+	m := runSource(t, src, 1)
+	if got := m.Mem(0); got != 11 {
+		t.Errorf("mem[0] = %d, want 11", got)
+	}
+}
+
+func TestLineInfoRecorded(t *testing.T) {
+	p, err := Assemble(".entry 0 m\nm:\n li t0, 1\n halt\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.LineInfo) != len(p.Code) {
+		t.Fatalf("lineinfo len %d != code len %d", len(p.LineInfo), len(p.Code))
+	}
+	if p.LineInfo[0] != "line 3" {
+		t.Errorf("LineInfo[0] = %q, want line 3", p.LineInfo[0])
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("frob", 0)
+}

@@ -1,0 +1,32 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble checks the assembler never panics and that accepted
+// programs validate.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"halt",
+		".entry 0 main\nmain: li t0, 1\n halt",
+		".data x = 1 2 3\n.entry 0 m\nm: load t0, x\n store t0, x(t1)\n halt",
+		"label: jmp label",
+		"push t0\npop t1\ncall f\nret\nf: ret",
+		".data x 99999999999999999999",
+		"cas t0, (t1), t2, t3",
+		"li t0, 0xZZ",
+		"a: a:",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src, 0)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted program failed validation: %v\nsource: %q", verr, src)
+		}
+	})
+}

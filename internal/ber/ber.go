@@ -1,0 +1,203 @@
+// Package ber implements backward error recovery around the online
+// detector — the paper's scenario (I) (§1.1): "when an erroneous execution
+// is detected, the execution rolls back to a safe checkpoint and reexecutes
+// (more) serially".
+//
+// The runner keeps a small ring of checkpoints (SafetyNet-style), each a
+// machine snapshot paired with a clone of the detector state — the paper's
+// hardware BER would keep the detector's block FSMs and CU references in
+// the checkpointed caches, so rollback restores detector and machine
+// together. When SVD reports a serializability violation (or the machine
+// faults, the crash analogue), execution rolls back to the newest
+// checkpoint and re-executes a window with serialized scheduling, retrying
+// older checkpoints and different thread orders when the first choice
+// still fails; afterwards normal interleaved execution resumes.
+//
+// Because every dynamic false positive costs one unnecessary rollback, the
+// paper's insistence on a detector with few dynamic false positives is
+// directly measurable here (Rollbacks, WastedInstructions).
+package ber
+
+import (
+	"fmt"
+
+	"repro/internal/svd"
+	"repro/internal/vm"
+)
+
+// Config parameterizes the recovery loop.
+type Config struct {
+	// CheckpointInterval is the number of instructions between
+	// checkpoints. Zero means 4096.
+	CheckpointInterval uint64
+
+	// CheckpointDepth is how many checkpoints the ring retains. Zero
+	// means 3.
+	CheckpointDepth int
+
+	// SerialWindow is the number of instructions re-executed with
+	// serialized scheduling after a rollback. Zero means
+	// 2*CheckpointInterval.
+	SerialWindow uint64
+
+	// MaxSteps bounds the total instructions executed (including
+	// re-execution). Zero means 1<<24.
+	MaxSteps uint64
+
+	// MaxRollbacks aborts recovery when exceeded (livelock guard). Zero
+	// means 1<<20.
+	MaxRollbacks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 4096
+	}
+	if c.CheckpointDepth <= 0 {
+		c.CheckpointDepth = 3
+	}
+	if c.SerialWindow == 0 {
+		c.SerialWindow = 2 * c.CheckpointInterval
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 1 << 24
+	}
+	if c.MaxRollbacks == 0 {
+		c.MaxRollbacks = 1 << 20
+	}
+	return c
+}
+
+// Stats reports what recovery cost.
+type Stats struct {
+	Checkpoints        int
+	Rollbacks          int    // recovery events (a retry ladder counts once)
+	RetriedOrders      int    // serialized re-executions beyond the first
+	Violations         uint64 // detector reports and faults that triggered recovery
+	TotalInstructions  uint64 // everything executed, including redone work
+	WastedInstructions uint64 // instructions discarded by rollbacks
+	SerialInstructions uint64 // instructions executed in serialized mode
+	Completed          bool   // the program ran to completion
+}
+
+// checkpoint pairs a machine snapshot with the detector state captured at
+// the same instant.
+type checkpoint struct {
+	mach *vm.Snapshot
+	det  *svd.Detector
+	seq  uint64
+}
+
+// Run executes the machine under SVD with checkpoint/rollback recovery.
+// The detector must already be attached to the machine.
+func Run(m *vm.VM, det *svd.Detector, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	var st Stats
+
+	ring := make([]checkpoint, 0, cfg.CheckpointDepth)
+	push := func() {
+		cp := checkpoint{mach: m.Snapshot(), det: det.Clone(), seq: m.Seq()}
+		if len(ring) == cfg.CheckpointDepth {
+			copy(ring, ring[1:])
+			ring[len(ring)-1] = cp
+		} else {
+			ring = append(ring, cp)
+		}
+		st.Checkpoints++
+	}
+	push()
+
+	for st.TotalInstructions < cfg.MaxSteps && !m.Done() {
+		before := det.Stats().Violations
+		ran, err := m.Run(cfg.CheckpointInterval)
+		st.TotalInstructions += ran
+		violated := err != nil || det.Stats().Violations > before
+		if !violated {
+			push()
+			continue
+		}
+		if err != nil {
+			st.Violations++
+		} else {
+			st.Violations += det.Stats().Violations - before
+		}
+		st.Rollbacks++
+		if st.Rollbacks > cfg.MaxRollbacks {
+			return st, fmt.Errorf("ber: rollback budget exceeded (%d)", cfg.MaxRollbacks)
+		}
+
+		// Recovery. A serialized re-execution attempt is "clean" when it
+		// runs without faults and without detector reports, and
+		// "faultless" when it merely avoids crashing (conflict flags
+		// recorded before the checkpoint can make every order report, so
+		// reports alone must not block progress).
+		//
+		// Detector violations recover at the newest checkpoint only: a
+		// clean order if one exists, else the first faultless one. Faults
+		// (crashes) descend the checkpoint ladder — the poison may predate
+		// the newest checkpoint — requiring a faultless window.
+		type rung struct{ level, attempt int }
+		var fallback *rung
+		recovered := false
+		usedLevel := len(ring) - 1
+		first := true
+
+		tryRung := func(level, attempt int) (clean, faultless bool) {
+			cp := ring[level]
+			st.WastedInstructions += m.Seq() - cp.seq
+			m.Restore(cp.mach)
+			det.CopyFrom(cp.det)
+			if !first {
+				st.RetriedOrders++
+			}
+			first = false
+			vbefore := det.Stats().Violations
+			m.SetMode(vm.Serialize)
+			m.SkewSerialOrder(attempt)
+			sran, serr := m.RunToScheduleBoundary(cfg.SerialWindow, 8*cfg.SerialWindow)
+			st.TotalInstructions += sran
+			st.SerialInstructions += sran
+			m.SetMode(vm.Interleave)
+			if serr != nil {
+				return false, false
+			}
+			return det.Stats().Violations == vbefore, true
+		}
+
+		lowest := len(ring) - 1 // violation recovery: newest level only
+		if err != nil {
+			lowest = 0 // fault recovery: descend the whole ladder
+		}
+	ladder:
+		for level := len(ring) - 1; level >= lowest; level-- {
+			for attempt := 0; attempt < m.NumCPUs(); attempt++ {
+				clean, faultless := tryRung(level, attempt)
+				if clean {
+					recovered = true
+					usedLevel = level
+					break ladder
+				}
+				if faultless && fallback == nil {
+					fallback = &rung{level, attempt}
+				}
+			}
+		}
+		if !recovered && fallback != nil {
+			if _, faultless := tryRung(fallback.level, fallback.attempt); faultless {
+				recovered = true
+				usedLevel = fallback.level
+			}
+		}
+		if !recovered {
+			return st, fmt.Errorf("ber: error persists across all checkpoints and serialized orders")
+		}
+		// Checkpoints newer than the restored level belong to the
+		// abandoned timeline; older ones remain valid ancestors — keeping
+		// them is what lets the next recovery escape a checkpoint taken at
+		// a poisoned window seam (a thread parked mid-region).
+		ring = ring[:usedLevel+1]
+		push()
+	}
+	st.Completed = m.Done()
+	return st, nil
+}

@@ -1,0 +1,195 @@
+package ber
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/lang"
+	"repro/internal/svd"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestBERAvoidsApacheCorruption is the paper's headline scenario: the buggy
+// Apache log writer corrupts its log under free interleaving, but with SVD
+// triggering rollback + serialized re-execution the corruption is avoided.
+func TestBERAvoidsApacheCorruption(t *testing.T) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 48, Buggy: true, Seed: 1})
+
+	// First establish that the bug manifests without BER for some seed.
+	manifested := false
+	var badSeed uint64
+	for seed := uint64(0); seed < 8; seed++ {
+		m, err := w.NewVM(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1 << 24); err != nil {
+			t.Fatal(err)
+		}
+		if bad, _ := w.Check(m); bad {
+			manifested, badSeed = true, seed
+			break
+		}
+	}
+	if !manifested {
+		t.Fatal("bug never manifested without BER")
+	}
+
+	// Now run the same seeds with BER.
+	avoidedBad := false
+	for seed := uint64(0); seed < 8; seed++ {
+		m, err := w.NewVM(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+		m.Attach(det)
+		st, err := Run(m, det, Config{CheckpointInterval: 2048})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !st.Completed {
+			t.Fatalf("seed %d: did not complete (total %d instrs)", seed, st.TotalInstructions)
+		}
+		if bad, detail := w.Check(m); bad {
+			t.Errorf("seed %d: corrupted despite BER (%d rollbacks): %s", seed, st.Rollbacks, detail)
+		} else if seed == badSeed {
+			avoidedBad = true
+			t.Logf("seed %d: corruption avoided with %d rollbacks, %d wasted + %d serial instrs",
+				seed, st.Rollbacks, st.WastedInstructions, st.SerialInstructions)
+		}
+		if seed == badSeed && st.Rollbacks == 0 {
+			t.Errorf("seed %d: corrupting seed completed with zero rollbacks", seed)
+		}
+	}
+	if !avoidedBad {
+		t.Error("the corrupting seed was not exercised under BER")
+	}
+}
+
+// TestBERCleanWorkloadNoRollbacks: a correct workload with no detector
+// reports must run through BER untouched.
+func TestBERCleanWorkloadNoRollbacks(t *testing.T) {
+	w := workloads.MySQLTables(workloads.MySQLTablesConfig{Lockers: 3, Ops: 50})
+	m, err := w.NewVM(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+	m.Attach(det)
+	st, err := Run(m, det, Config{CheckpointInterval: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Completed {
+		t.Fatal("did not complete")
+	}
+	if st.Rollbacks != 0 {
+		t.Errorf("benign workload caused %d rollbacks", st.Rollbacks)
+	}
+	if st.WastedInstructions != 0 {
+		t.Errorf("wasted %d instructions with no rollbacks", st.WastedInstructions)
+	}
+	if bad, detail := w.Check(m); bad {
+		t.Errorf("corrupted: %s", detail)
+	}
+}
+
+// TestBERFaultRecovery: a workload that faults (the MySQL crash analogue)
+// is also rolled back and serialized past the fault.
+func TestBERFaultRecovery(t *testing.T) {
+	// A program where racy index arithmetic faults: thread 0 divides by a
+	// shared word that thread 1 briefly zeroes. The two stores are
+	// adjacent (no yield between them), so a quantum boundary must split
+	// them for the reader to observe zero — a timing-dependent crash that
+	// serialized re-execution avoids, since serialization switches threads
+	// only at yields.
+	src := `
+shared idx = 4;
+shared arr[8];
+shared out;
+func reader(n) {
+    var i, v;
+    i = 0;
+    while (i < n) {
+        v = 1000 / idx;       // faults when idx is momentarily 0
+        out = out + arr[v % 8];
+        i = i + 1;
+        yield();
+    }
+}
+func zeroer(n) {
+    var i;
+    i = 0;
+    while (i < n) {
+        idx = 0;
+        idx = 4;
+        i = i + 1;
+        yield();
+    }
+}
+thread 0 reader(120);
+thread 1 zeroer(120);
+`
+	prog := mustCompile(t, src)
+	faulted := false
+	var faultSeed uint64
+	for seed := uint64(0); seed < 30; seed++ {
+		m, err := vm.New(prog, vm.Config{NumCPUs: 2, MemWords: 1 << 14, StackWords: 512, Seed: seed, MaxQuantum: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1 << 20); err != nil {
+			faulted, faultSeed = true, seed
+			break
+		}
+	}
+	if !faulted {
+		t.Skip("no seed faulted")
+	}
+	m, err := vm.New(prog, vm.Config{NumCPUs: 2, MemWords: 1 << 14, StackWords: 512, Seed: faultSeed, MaxQuantum: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := svd.New(prog, 2, svd.Options{})
+	m.Attach(det)
+	st, err := Run(m, det, Config{CheckpointInterval: 256})
+	if err != nil {
+		t.Fatalf("BER did not recover the fault: %v", err)
+	}
+	if !st.Completed {
+		t.Fatal("did not complete after fault recovery")
+	}
+	if st.Rollbacks == 0 {
+		t.Error("fault recovered without any rollback?")
+	}
+}
+
+// TestBERRollbackBudget: the livelock guard trips when serialized
+// re-execution cannot help (here: an absurdly small budget).
+func TestBERRollbackBudget(t *testing.T) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 64, Buggy: true, Seed: 2})
+	m, err := w.NewVM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+	m.Attach(det)
+	st, err := Run(m, det, Config{CheckpointInterval: 4096, SerialWindow: 1, MaxRollbacks: 1})
+	if err == nil && st.Rollbacks <= 1 {
+		t.Skip("no second violation occurred; budget not exercised")
+	}
+	if err == nil {
+		t.Errorf("rollback budget exceeded without error (rollbacks=%d)", st.Rollbacks)
+	}
+}
+
+func mustCompile(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := lang.Compile(src, lang.Options{Name: "bertest"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

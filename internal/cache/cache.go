@@ -1,0 +1,245 @@
+// Package cache models per-CPU private caches kept coherent with an MSI
+// invalidation protocol.
+//
+// The paper sketches a hardware SVD (§4.4): piggyback CU-reference
+// propagation on existing datapaths, store CU state in the caches, and
+// detect conflicts from coherence traffic. This package supplies the
+// coherence substrate for that exploration: each simulated memory access
+// updates the accessor's cache and reports exactly the coherence actions a
+// snooping MSI protocol would perform — which remote CPUs got invalidated
+// or downgraded (those are the only ones a hardware detector instance would
+// hear about) and which locally cached line was evicted (whose detector
+// state a hardware implementation would lose).
+package cache
+
+import "fmt"
+
+// MSI is a cache-line coherence state.
+type MSI uint8
+
+const (
+	// Invalid: not present.
+	Invalid MSI = iota
+	// Shared: clean, possibly in several caches.
+	Shared
+	// Modified: dirty, exclusive to one cache.
+	Modified
+)
+
+var msiNames = [...]string{"I", "S", "M"}
+
+func (s MSI) String() string { return msiNames[s] }
+
+// Config shapes each CPU's private cache.
+type Config struct {
+	// Sets is the number of cache sets (power of two). Zero means 64.
+	Sets int
+	// Ways is the associativity. Zero means 4.
+	Ways int
+	// LineShift is log2 words per line. Zero means word lines, matching
+	// the detector's default block size.
+	LineShift uint
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sets <= 0 {
+		c.Sets = 64
+	}
+	if c.Ways <= 0 {
+		c.Ways = 4
+	}
+	return c
+}
+
+// Lines returns the per-CPU capacity in lines.
+func (c Config) Lines() int { return c.Sets * c.Ways }
+
+// Result describes the coherence consequences of one access.
+type Result struct {
+	Hit bool
+
+	// Invalidated lists CPUs whose copy was invalidated (a remote write
+	// reached them); Downgraded lists CPUs whose Modified copy was
+	// demoted to Shared (a remote read reached them). These are the CPUs
+	// that observe the access in a snooping protocol.
+	Invalidated []int
+	Downgraded  []int
+
+	// EvictedLine is the line address (word address >> LineShift) the
+	// accessor evicted to make room, or -1.
+	EvictedLine int64
+}
+
+// Stats aggregates cache behavior.
+type Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64 // remote copies invalidated
+	Downgrades    uint64 // remote copies demoted M -> S
+}
+
+type line struct {
+	tag   int64 // line address; valid iff state != Invalid
+	state MSI
+	used  uint64 // LRU clock
+}
+
+// Hierarchy is the set of private caches.
+type Hierarchy struct {
+	cfg   Config
+	cpus  [][]line // cpu -> sets*ways lines
+	clock uint64
+	stats Stats
+
+	// scratch buffers reused across calls.
+	inv, down []int
+}
+
+// New builds caches for numCPUs processors.
+func New(numCPUs int, cfg Config) *Hierarchy {
+	cfg = cfg.withDefaults()
+	h := &Hierarchy{cfg: cfg, cpus: make([][]line, numCPUs)}
+	for i := range h.cpus {
+		h.cpus[i] = make([]line, cfg.Sets*cfg.Ways)
+	}
+	return h
+}
+
+// Config returns the cache shape.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns aggregate counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// set returns the slice of ways for a line address.
+func (h *Hierarchy) set(cpu int, lineAddr int64) []line {
+	idx := int(lineAddr) & (h.cfg.Sets - 1)
+	base := idx * h.cfg.Ways
+	return h.cpus[cpu][base : base+h.cfg.Ways]
+}
+
+// Access performs one access and returns its coherence consequences. The
+// returned slices are valid until the next call.
+func (h *Hierarchy) Access(cpu int, addr int64, write bool) Result {
+	h.clock++
+	h.stats.Accesses++
+	lineAddr := addr >> h.cfg.LineShift
+	res := Result{EvictedLine: -1}
+	h.inv = h.inv[:0]
+	h.down = h.down[:0]
+
+	ways := h.set(cpu, lineAddr)
+	var hitLine *line
+	for i := range ways {
+		if ways[i].state != Invalid && ways[i].tag == lineAddr {
+			hitLine = &ways[i]
+			break
+		}
+	}
+
+	// Snoop remote copies. A write invalidates them; a read demotes a
+	// remote Modified copy (which supplies the data).
+	snoop := func() {
+		for other := range h.cpus {
+			if other == cpu {
+				continue
+			}
+			ows := h.set(other, lineAddr)
+			for i := range ows {
+				ol := &ows[i]
+				if ol.state == Invalid || ol.tag != lineAddr {
+					continue
+				}
+				if write {
+					ol.state = Invalid
+					h.stats.Invalidations++
+					h.inv = append(h.inv, other)
+				} else if ol.state == Modified {
+					ol.state = Shared
+					h.stats.Downgrades++
+					h.down = append(h.down, other)
+				}
+			}
+		}
+	}
+
+	if hitLine != nil {
+		res.Hit = true
+		h.stats.Hits++
+		hitLine.used = h.clock
+		if write && hitLine.state != Modified {
+			// Upgrade: S -> M invalidates the other copies.
+			snoop()
+			hitLine.state = Modified
+		}
+		res.Invalidated, res.Downgraded = h.inv, h.down
+		return res
+	}
+
+	// Miss: snoop, then fill, evicting the LRU way.
+	h.stats.Misses++
+	snoop()
+	victim := &ways[0]
+	for i := range ways {
+		if ways[i].state == Invalid {
+			victim = &ways[i]
+			break
+		}
+		if ways[i].used < victim.used {
+			victim = &ways[i]
+		}
+	}
+	if victim.state != Invalid {
+		h.stats.Evictions++
+		res.EvictedLine = victim.tag
+	}
+	victim.tag = lineAddr
+	victim.used = h.clock
+	if write {
+		victim.state = Modified
+	} else {
+		victim.state = Shared
+	}
+	res.Invalidated, res.Downgraded = h.inv, h.down
+	return res
+}
+
+// Holds reports whether a CPU currently caches the line containing addr,
+// and in what state.
+func (h *Hierarchy) Holds(cpu int, addr int64) (MSI, bool) {
+	lineAddr := addr >> h.cfg.LineShift
+	ways := h.set(cpu, lineAddr)
+	for i := range ways {
+		if ways[i].state != Invalid && ways[i].tag == lineAddr {
+			return ways[i].state, true
+		}
+	}
+	return Invalid, false
+}
+
+// CheckInvariants validates the single-writer/multi-reader invariant, for
+// tests: a line Modified in one cache must be Invalid everywhere else.
+func (h *Hierarchy) CheckInvariants() error {
+	holders := map[int64][]MSI{}
+	for cpu := range h.cpus {
+		for _, l := range h.cpus[cpu] {
+			if l.state != Invalid {
+				holders[l.tag] = append(holders[l.tag], l.state)
+			}
+		}
+	}
+	for tag, states := range holders {
+		modified := 0
+		for _, s := range states {
+			if s == Modified {
+				modified++
+			}
+		}
+		if modified > 0 && len(states) > 1 {
+			return fmt.Errorf("cache: line %d modified with %d total copies", tag, len(states))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMissThenHit(t *testing.T) {
+	h := New(2, Config{Sets: 4, Ways: 2})
+	r := h.Access(0, 100, false)
+	if r.Hit {
+		t.Error("cold access hit")
+	}
+	r = h.Access(0, 100, false)
+	if !r.Hit {
+		t.Error("second access missed")
+	}
+	st := h.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWriteInvalidatesRemoteCopies(t *testing.T) {
+	h := New(3, Config{Sets: 4, Ways: 2})
+	h.Access(0, 100, false)
+	h.Access(1, 100, false)
+	r := h.Access(2, 100, true)
+	if len(r.Invalidated) != 2 {
+		t.Fatalf("invalidated = %v, want cpus 0 and 1", r.Invalidated)
+	}
+	if _, held := h.Holds(0, 100); held {
+		t.Error("cpu 0 still holds the invalidated line")
+	}
+	if s, held := h.Holds(2, 100); !held || s != Modified {
+		t.Errorf("writer holds %v,%v, want Modified", s, held)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadDowngradesModified(t *testing.T) {
+	h := New(2, Config{Sets: 4, Ways: 2})
+	h.Access(0, 100, true)
+	r := h.Access(1, 100, false)
+	if len(r.Downgraded) != 1 || r.Downgraded[0] != 0 {
+		t.Fatalf("downgraded = %v, want [0]", r.Downgraded)
+	}
+	if s, _ := h.Holds(0, 100); s != Shared {
+		t.Errorf("writer's copy is %v, want Shared", s)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpgradeInvalidates(t *testing.T) {
+	h := New(2, Config{Sets: 4, Ways: 2})
+	h.Access(0, 100, false)
+	h.Access(1, 100, false)
+	r := h.Access(0, 100, true) // S -> M upgrade, hits locally
+	if !r.Hit {
+		t.Error("upgrade missed")
+	}
+	if len(r.Invalidated) != 1 || r.Invalidated[0] != 1 {
+		t.Errorf("invalidated = %v, want [1]", r.Invalidated)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	// 1 set x 2 ways: the third distinct line evicts the least recently
+	// used.
+	h := New(1, Config{Sets: 1, Ways: 2})
+	h.Access(0, 1, false)
+	h.Access(0, 2, false)
+	h.Access(0, 1, false) // touch 1: line 2 is now LRU
+	r := h.Access(0, 3, false)
+	if r.EvictedLine != 2 {
+		t.Errorf("evicted line %d, want 2", r.EvictedLine)
+	}
+	if _, held := h.Holds(0, 2); held {
+		t.Error("evicted line still held")
+	}
+	if _, held := h.Holds(0, 1); !held {
+		t.Error("recently used line evicted")
+	}
+}
+
+func TestLineGranularity(t *testing.T) {
+	h := New(2, Config{Sets: 4, Ways: 2, LineShift: 2})
+	h.Access(0, 100, false) // line 25
+	r := h.Access(0, 102, false)
+	if !r.Hit {
+		t.Error("same-line access missed (line granularity broken)")
+	}
+	r = h.Access(1, 103, true) // writes the same line from another cpu
+	if len(r.Invalidated) != 1 {
+		t.Errorf("invalidated = %v, want [0]", r.Invalidated)
+	}
+}
+
+func TestReadSharingNoTraffic(t *testing.T) {
+	h := New(4, Config{Sets: 4, Ways: 2})
+	for cpu := 0; cpu < 4; cpu++ {
+		r := h.Access(cpu, 100, false)
+		if len(r.Invalidated)+len(r.Downgraded) != 0 {
+			t.Errorf("read sharing generated traffic: %+v", r)
+		}
+	}
+	st := h.Stats()
+	if st.Invalidations != 0 || st.Downgrades != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMSIStrings(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Error("state names wrong")
+	}
+}
+
+// TestInvariantsUnderRandomTraffic fuzzes the protocol and checks the
+// single-writer invariant after every access.
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := New(4, Config{Sets: 2, Ways: 2, LineShift: 1})
+	for i := 0; i < 5000; i++ {
+		cpu := rng.Intn(4)
+		addr := int64(rng.Intn(64))
+		h.Access(cpu, addr, rng.Intn(2) == 0)
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	st := h.Stats()
+	if st.Accesses != 5000 || st.Hits+st.Misses != 5000 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Error("tiny cache never evicted")
+	}
+}

@@ -1,0 +1,50 @@
+package cache
+
+import "repro/internal/vm"
+
+// CostModel prices instructions for the VM's timing-first scheduler using
+// this package's coherence model: cache hits are fast, misses stall the
+// CPU for the miss penalty. Combined with vm.TimingFirst this reproduces
+// the flavor of the paper's substrate — a timing simulator in which thread
+// interleaving follows modeled memory-system latencies rather than a
+// random quantum lottery (§6.1 uses the Wisconsin SMP timing model).
+type CostModel struct {
+	h *Hierarchy
+
+	// ALUCost, HitCost, MissCost are cycle prices; zero values default to
+	// 1, 2, and 20.
+	ALUCost  uint64
+	HitCost  uint64
+	MissCost uint64
+}
+
+// NewCostModel builds a cost model with private caches per CPU.
+func NewCostModel(numCPUs int, cfg Config) *CostModel {
+	return &CostModel{h: New(numCPUs, cfg), ALUCost: 1, HitCost: 2, MissCost: 20}
+}
+
+// Hierarchy exposes the underlying caches (for stats).
+func (c *CostModel) Hierarchy() *Hierarchy { return c.h }
+
+// Cost implements vm.CostModel.
+func (c *CostModel) Cost(ev *vm.Event) uint64 {
+	if !ev.Instr.Op.IsMem() {
+		if c.ALUCost == 0 {
+			return 1
+		}
+		return c.ALUCost
+	}
+	res := c.h.Access(ev.CPU, ev.Addr, ev.IsStore)
+	if res.Hit {
+		if c.HitCost == 0 {
+			return 2
+		}
+		return c.HitCost
+	}
+	if c.MissCost == 0 {
+		return 20
+	}
+	return c.MissCost
+}
+
+var _ vm.CostModel = (*CostModel)(nil)

@@ -1,0 +1,205 @@
+// Package cfg builds instruction-level control-flow graphs for isa programs
+// and computes postdominators.
+//
+// The trace recorder uses immediate postdominators as exact control-flow
+// reconvergence points: a dynamic statement is control dependent on the
+// most recent conditional branch whose immediate postdominator has not yet
+// been reached (§3.1's control dependence definition — modifying the
+// branch's predicate could bypass the statement, and no later branch could).
+// The online detector instead uses the Skipper probing heuristic (§4.2);
+// comparing the two is one of the reproduction's ablations.
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Graph is the control-flow graph of a program at instruction granularity.
+// Node i is instruction i; node len(Code) is the synthetic exit node, which
+// Halt reaches directly and Jr conservatively reaches (indirect jump
+// targets are unknown statically).
+type Graph struct {
+	N     int // number of instruction nodes (exit node is N)
+	Succs [][]int
+	Preds [][]int
+}
+
+// Exit returns the synthetic exit node id.
+func (g *Graph) Exit() int { return g.N }
+
+// New builds the CFG of prog.
+func New(prog *isa.Program) *Graph {
+	n := len(prog.Code)
+	g := &Graph{
+		N:     n,
+		Succs: make([][]int, n+1),
+		Preds: make([][]int, n+1),
+	}
+	addEdge := func(from, to int) {
+		g.Succs[from] = append(g.Succs[from], to)
+		g.Preds[to] = append(g.Preds[to], from)
+	}
+	for pc, in := range prog.Code {
+		switch {
+		case in.Op == isa.OpHalt:
+			addEdge(pc, g.Exit())
+		case in.Op == isa.OpJr:
+			// Indirect target: conservatively an exit (returns leave the
+			// region the caller's branches guard; see trace's call-depth
+			// handling for the dynamic complement).
+			addEdge(pc, g.Exit())
+		case in.Op == isa.OpJal:
+			// A call returns: for control-dependence purposes it is a
+			// straight-line instruction (the callee has its own region,
+			// delimited by its Jr's exit edge).
+			addEdge(pc, fallthroughTarget(pc, n))
+		case in.Op == isa.OpJmp:
+			addEdge(pc, int(in.Imm))
+		case in.Op.IsCondBranch():
+			addEdge(pc, int(in.Imm))
+			if pc+1 <= n {
+				addEdge(pc, fallthroughTarget(pc, n))
+			}
+		default:
+			addEdge(pc, fallthroughTarget(pc, n))
+		}
+	}
+	return g
+}
+
+func fallthroughTarget(pc, n int) int {
+	if pc+1 >= n {
+		return n // falling off the end reaches exit
+	}
+	return pc + 1
+}
+
+// PostDominators computes the immediate postdominator of every node using
+// the Cooper–Harvey–Kennedy iterative algorithm on the reverse graph. The
+// result maps each instruction node to its immediate postdominator
+// (possibly the exit node). Nodes that cannot reach exit map to -1.
+func (g *Graph) PostDominators() []int {
+	exit := g.Exit()
+	total := g.N + 1
+
+	// Reverse postorder of the REVERSE graph (i.e., order nodes by a DFS
+	// from exit along predecessor edges).
+	order := make([]int, 0, total)
+	seen := make([]bool, total)
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, p := range g.Preds[u] {
+			if !seen[p] {
+				dfs(p)
+			}
+		}
+		order = append(order, u)
+	}
+	dfs(exit)
+	// order is postorder of the reverse-DFS; reverse it for RPO.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, total)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, u := range order {
+		rpoNum[u] = i
+	}
+
+	ipdom := make([]int, total)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[exit] = exit
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = ipdom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, u := range order {
+			if u == exit {
+				continue
+			}
+			newIdom := -1
+			for _, s := range g.Succs[u] {
+				if ipdom[s] == -1 && s != exit {
+					continue
+				}
+				if rpoNum[s] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = s
+				} else {
+					newIdom = intersect(newIdom, s)
+				}
+			}
+			if newIdom != -1 && ipdom[u] != newIdom {
+				ipdom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	out := make([]int, g.N)
+	copy(out, ipdom[:g.N])
+	return out
+}
+
+// Reconvergence returns, for every conditional branch, the PC at which its
+// two paths reconverge: the immediate postdominator, skipping over the
+// branch's fallthrough when the ipdom chain starts there. Non-branch
+// instructions map to -1, as do branches that reconverge only at exit.
+func Reconvergence(prog *isa.Program) []int64 {
+	g := New(prog)
+	ipdom := g.PostDominators()
+	out := make([]int64, len(prog.Code))
+	for pc, in := range prog.Code {
+		out[pc] = -1
+		if !in.Op.IsCondBranch() {
+			continue
+		}
+		r := ipdom[pc]
+		if r < 0 || r >= g.N {
+			continue // reconverges at exit only
+		}
+		out[pc] = int64(r)
+	}
+	return out
+}
+
+// Validate performs structural checks, for tests.
+func (g *Graph) Validate() error {
+	for u, succs := range g.Succs {
+		for _, s := range succs {
+			if s < 0 || s > g.N {
+				return fmt.Errorf("cfg: edge %d->%d out of range", u, s)
+			}
+			found := false
+			for _, p := range g.Preds[s] {
+				if p == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("cfg: edge %d->%d missing reverse edge", u, s)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLinearProgram(t *testing.T) {
+	p := &isa.Program{Name: "lin", Code: []isa.Instr{
+		isa.LI(8, 1),
+		isa.Addi(8, 8, 1),
+		isa.Halt(),
+	}}
+	g := New(p)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ipdom := g.PostDominators()
+	if ipdom[0] != 1 || ipdom[1] != 2 || ipdom[2] != g.Exit() {
+		t.Errorf("ipdom = %v", ipdom)
+	}
+}
+
+func TestIfReconvergence(t *testing.T) {
+	// 0: beqz -> 3; 1,2 = then arm; 3 = join.
+	p := &isa.Program{Name: "if", Code: []isa.Instr{
+		isa.Beqz(8, 3),
+		isa.Nop(),
+		isa.Nop(),
+		isa.Nop(),
+		isa.Halt(),
+	}}
+	rc := Reconvergence(p)
+	if rc[0] != 3 {
+		t.Errorf("if reconvergence = %d, want 3", rc[0])
+	}
+	for pc := 1; pc < len(rc); pc++ {
+		if rc[pc] != -1 {
+			t.Errorf("non-branch pc %d has reconvergence %d", pc, rc[pc])
+		}
+	}
+}
+
+func TestIfElseReconvergence(t *testing.T) {
+	// 0: beqz -> 3 (else); 1 then; 2 jmp 5; 3,4 else; 5 join.
+	p := &isa.Program{Name: "ifelse", Code: []isa.Instr{
+		isa.Beqz(8, 3),
+		isa.Nop(),
+		isa.Jmp(5),
+		isa.Nop(),
+		isa.Nop(),
+		isa.Nop(),
+		isa.Halt(),
+	}}
+	rc := Reconvergence(p)
+	if rc[0] != 5 {
+		t.Errorf("if/else reconvergence = %d, want 5", rc[0])
+	}
+}
+
+func TestLoopReconvergence(t *testing.T) {
+	// 0: li; 1: beqz -> 4 (exit); 2: body; 3: jmp 1; 4: halt.
+	p := &isa.Program{Name: "loop", Code: []isa.Instr{
+		isa.LI(8, 3),
+		isa.Beqz(8, 4),
+		isa.Addi(8, 8, -1),
+		isa.Jmp(1),
+		isa.Halt(),
+	}}
+	rc := Reconvergence(p)
+	// The loop-condition branch reconverges at the loop exit: the body is
+	// control dependent on it.
+	if rc[1] != 4 {
+		t.Errorf("loop-condition reconvergence = %d, want 4", rc[1])
+	}
+}
+
+func TestNestedIf(t *testing.T) {
+	// 0: beqz -> 6 (outer); 1: beqz -> 4 (inner); 2,3 inner-then;
+	// 4,5 after-inner; 6 join.
+	p := &isa.Program{Name: "nested", Code: []isa.Instr{
+		isa.Beqz(8, 6),
+		isa.Beqz(9, 4),
+		isa.Nop(),
+		isa.Nop(),
+		isa.Nop(),
+		isa.Nop(),
+		isa.Nop(),
+		isa.Halt(),
+	}}
+	rc := Reconvergence(p)
+	if rc[0] != 6 {
+		t.Errorf("outer reconvergence = %d, want 6", rc[0])
+	}
+	if rc[1] != 4 {
+		t.Errorf("inner reconvergence = %d, want 4", rc[1])
+	}
+}
+
+func TestBranchWithEarlyHaltReconvergesAtExitOnly(t *testing.T) {
+	// 0: beqz -> 2; 1: halt; 2: halt — the two arms never reconverge in
+	// code, only at exit.
+	p := &isa.Program{Name: "nojoin", Code: []isa.Instr{
+		isa.Beqz(8, 2),
+		isa.Halt(),
+		isa.Halt(),
+	}}
+	rc := Reconvergence(p)
+	if rc[0] != -1 {
+		t.Errorf("reconvergence = %d, want -1 (exit only)", rc[0])
+	}
+}
+
+func TestJrEdgesToExit(t *testing.T) {
+	p := &isa.Program{Name: "jr", Code: []isa.Instr{
+		isa.Jr(1),
+		isa.Halt(),
+	}}
+	g := New(p)
+	succs := g.Succs[0]
+	if len(succs) != 1 || succs[0] != g.Exit() {
+		t.Errorf("jr succs = %v, want [exit]", succs)
+	}
+}
+
+func TestFallthroughOffEnd(t *testing.T) {
+	p := &isa.Program{Name: "end", Code: []isa.Instr{
+		isa.Nop(),
+	}}
+	g := New(p)
+	if got := g.Succs[0]; len(got) != 1 || got[0] != g.Exit() {
+		t.Errorf("final-instruction succs = %v", got)
+	}
+	ipdom := g.PostDominators()
+	if ipdom[0] != g.Exit() {
+		t.Errorf("ipdom of final = %d", ipdom[0])
+	}
+}
+
+func TestInfiniteLoopUnreachableExit(t *testing.T) {
+	// 0: jmp 0 — never reaches exit; postdominator undefined (-1).
+	p := &isa.Program{Name: "inf", Code: []isa.Instr{
+		isa.Jmp(0),
+	}}
+	ipdom := New(p).PostDominators()
+	if ipdom[0] != -1 {
+		t.Errorf("ipdom of unexitable node = %d, want -1", ipdom[0])
+	}
+}
+
+func TestDiamondWithSharedTail(t *testing.T) {
+	// A diamond whose join has a tail; ipdom of the branch must be the
+	// join, not the tail.
+	p := &isa.Program{Name: "diamond", Code: []isa.Instr{
+		isa.Beqz(8, 3),
+		isa.Nop(),
+		isa.Jmp(4),
+		isa.Nop(),
+		isa.Nop(), // join
+		isa.Nop(), // tail
+		isa.Halt(),
+	}}
+	rc := Reconvergence(p)
+	if rc[0] != 4 {
+		t.Errorf("diamond reconvergence = %d, want 4", rc[0])
+	}
+}

@@ -1,0 +1,368 @@
+// Package depgraph implements the paper's formal machinery (§3): the
+// dynamic program dependence graph (d-PDG), thread d-PDGs, the crossing-arc
+// construction that makes computational units unique (Definitions 1–3), and
+// serializability of CU partitions (Definition 4 via conflict
+// serializability, plus the strict-2PL sufficient condition of §3.3).
+//
+// Two independent CU constructions are provided:
+//
+//   - CUs: the declarative partition of Definitions 1–3 — iteratively
+//     remove, for each shared dependence arc in execution order, the
+//     crossing arcs that would connect statements at or after the reading
+//     statement to the written-side component, then take weakly connected
+//     components of what remains;
+//   - OperationalCUs: the one-pass algorithm of Figure 5, which deactivates
+//     a predecessor's CU when a statement reads a shared variable the CU
+//     wrote, and otherwise merges the active predecessor CUs.
+//
+// The two agree on the executions we generate (a property the test suite
+// checks), which is the paper's justification for using the one-pass form
+// online.
+//
+// Interpretation note: Definition 1 as printed swaps the roles of (y,x) and
+// (b,a) relative to Figure 4's caption and the in-text example. We follow
+// the consistent reading used by the prose and the operational algorithm:
+// for a shared arc from read r back to write w, the crossing arcs are the
+// true-local/control arcs whose earlier endpoint is weakly connected to w
+// (along E_l ∪ E_c) and whose later endpoint executes at or after r —
+// "all crossing arcs that connect to the CU from a later dynamic statement
+// are cut", cutting the thread trace just before r.
+package depgraph
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// ArcKind classifies d-PDG arcs (§3.1).
+type ArcKind uint8
+
+const (
+	// TrueLocal is a true dependence through a register or an unshared
+	// memory word (E_l).
+	TrueLocal ArcKind = iota
+	// TrueShared is a true dependence through a shared memory word (E_s).
+	TrueShared
+	// Control is a control dependence (E_c).
+	Control
+	// Conflict is an inter-thread conflict dependence (E_h).
+	Conflict
+)
+
+var arcNames = [...]string{"true-local", "true-shared", "control", "conflict"}
+
+func (k ArcKind) String() string { return arcNames[k] }
+
+// Arc is one dependence: From depends on To, with To executing earlier
+// (the paper writes arcs as (a, b) with b ≼ a).
+type Arc struct {
+	From, To int32
+	Kind     ArcKind
+}
+
+// Graph is a d-PDG over a recorded trace.
+type Graph struct {
+	Trace *trace.Trace
+	Arcs  []Arc
+}
+
+// Build constructs the full d-PDG: true-local, true-shared, and control
+// arcs from the trace's exact dependence records, and conflict arcs per
+// §3.1 (latest conflicting access by another thread with no intervening
+// write).
+func Build(tr *trace.Trace) *Graph {
+	g := &Graph{Trace: tr}
+
+	for i := range tr.Stmts {
+		s := &tr.Stmts[i]
+		for _, p := range s.TruePreds {
+			g.Arcs = append(g.Arcs, Arc{From: int32(i), To: p, Kind: TrueLocal})
+		}
+		if s.MemPred >= 0 {
+			kind := TrueLocal
+			if tr.Shared(s.Addr) {
+				kind = TrueShared
+			}
+			g.Arcs = append(g.Arcs, Arc{From: int32(i), To: s.MemPred, Kind: kind})
+		}
+		if s.CtrlPred >= 0 {
+			g.Arcs = append(g.Arcs, Arc{From: int32(i), To: s.CtrlPred, Kind: Control})
+		}
+	}
+
+	// Conflict arcs: for each word, a write conflicts back to the previous
+	// write and to every read since it; a read conflicts back to the
+	// previous write. Only inter-thread arcs are conflict dependences.
+	type lastAccess struct {
+		idx int32
+		cpu int
+	}
+	lastWrite := map[int64]lastAccess{}
+	readsSince := map[int64][]lastAccess{}
+	for i := range tr.Stmts {
+		s := &tr.Stmts[i]
+		if !s.IsLoad && !s.IsStore {
+			continue
+		}
+		v := s.Addr
+		if s.IsLoad {
+			if w, ok := lastWrite[v]; ok && w.cpu != s.CPU {
+				g.Arcs = append(g.Arcs, Arc{From: int32(i), To: w.idx, Kind: Conflict})
+			}
+		}
+		if s.IsStore {
+			if w, ok := lastWrite[v]; ok && w.cpu != s.CPU {
+				g.Arcs = append(g.Arcs, Arc{From: int32(i), To: w.idx, Kind: Conflict})
+			}
+			for _, r := range readsSince[v] {
+				if r.cpu != s.CPU && r.idx != int32(i) {
+					g.Arcs = append(g.Arcs, Arc{From: int32(i), To: r.idx, Kind: Conflict})
+				}
+			}
+			lastWrite[v] = lastAccess{int32(i), s.CPU}
+			readsSince[v] = readsSince[v][:0]
+		}
+		if s.IsLoad {
+			readsSince[v] = append(readsSince[v], lastAccess{int32(i), s.CPU})
+		}
+	}
+	return g
+}
+
+// ThreadArcs returns the td-PDG arcs of one thread: all true and control
+// arcs between its statements, conflict arcs omitted (§3.1).
+func (g *Graph) ThreadArcs(cpu int) []Arc {
+	var out []Arc
+	for _, a := range g.Arcs {
+		if a.Kind == Conflict {
+			continue
+		}
+		if g.Trace.Stmts[a.From].CPU == cpu {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// CUs computes the computational-unit partition of every thread trace per
+// Definitions 1–3. The result maps each statement index to a CU id;
+// statements of different threads never share a CU. Ids are dense from 0.
+func (g *Graph) CUs() []int {
+	tr := g.Trace
+	cuOf := make([]int, len(tr.Stmts))
+	for i := range cuOf {
+		cuOf[i] = -1
+	}
+	next := 0
+	for cpu := 0; cpu < tr.NumCPUs; cpu++ {
+		next = g.threadCUs(cpu, cuOf, next)
+	}
+	return cuOf
+}
+
+// threadCUs partitions one thread trace.
+func (g *Graph) threadCUs(cpu int, cuOf []int, next int) int {
+	tr := g.Trace
+	stmts := tr.ThreadStmts(cpu)
+	if len(stmts) == 0 {
+		return next
+	}
+	pos := make(map[int32]int, len(stmts)) // stmt index -> position in thread trace
+	for i, s := range stmts {
+		pos[s] = i
+	}
+
+	// Local adjacency (E_l ∪ E_c) and the shared arcs (E_s), in thread
+	// positions.
+	type edge struct{ u, v int } // u later, v earlier
+	var edges []edge
+	removed := map[int]bool{}
+	type sharedArc struct{ r, w int }
+	var shared []sharedArc
+	for _, a := range g.ThreadArcs(cpu) {
+		u, v := pos[a.From], pos[a.To]
+		if a.Kind == TrueShared {
+			shared = append(shared, sharedArc{r: u, w: v})
+			continue
+		}
+		edges = append(edges, edge{u, v})
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i].r < shared[j].r })
+
+	adj := make([][]int, len(stmts)) // edge indices incident to each node
+	for ei, e := range edges {
+		adj[e.u] = append(adj[e.u], ei)
+		adj[e.v] = append(adj[e.v], ei)
+	}
+
+	// component computes the set of nodes weakly connected to start along
+	// non-removed edges, visiting only nodes with position < limit
+	// (pass len(stmts) for no limit).
+	component := func(start, limit int) map[int]bool {
+		comp := map[int]bool{start: true}
+		work := []int{start}
+		for len(work) > 0 {
+			n := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, ei := range adj[n] {
+				if removed[ei] {
+					continue
+				}
+				e := edges[ei]
+				o := e.u
+				if o == n {
+					o = e.v
+				}
+				if o < limit && !comp[o] {
+					comp[o] = true
+					work = append(work, o)
+				}
+			}
+		}
+		return comp
+	}
+
+	// Definition 2: for each shared arc in execution order of the reading
+	// statement r, remove its crossing arcs — the arcs whose earlier
+	// endpoint lies in the component the written side had grown to before
+	// r executed, and whose later endpoint executes at or after r. The
+	// component is evaluated over statements before r only: a unit's
+	// membership is fixed as statements execute, so statements at or after
+	// the cutting read were never part of the unit being cut.
+	for _, sa := range shared {
+		comp := component(sa.w, sa.r)
+		for ei, e := range edges {
+			if removed[ei] {
+				continue
+			}
+			if comp[e.v] && e.u >= sa.r {
+				removed[ei] = true
+			}
+		}
+	}
+
+	// Definition 3: weakly connected components of the reduced graph.
+	for i := range stmts {
+		if cuOf[stmts[i]] != -1 {
+			continue
+		}
+		comp := component(i, len(stmts))
+		for n := range comp {
+			cuOf[stmts[n]] = next
+		}
+		next++
+	}
+	return next
+}
+
+// OperationalCUs computes the CU partition with the one-pass algorithm of
+// Figure 5 using the trace's exact dependences and shared-variable oracle.
+// The result format matches CUs.
+func OperationalCUs(tr *trace.Trace) []int {
+	type ocu struct {
+		id     int
+		parent *ocu
+		active bool
+		shVars map[int64]bool
+		stmts  []int32
+	}
+	find := func(c *ocu) *ocu {
+		for c.parent != nil {
+			if c.parent.parent != nil {
+				c.parent = c.parent.parent
+			}
+			c = c.parent
+		}
+		return c
+	}
+
+	cuOfStmt := make([]*ocu, len(tr.Stmts))
+	nextID := 0
+	var predBuf []int32
+
+	for cpu := 0; cpu < tr.NumCPUs; cpu++ {
+		for _, idx := range tr.ThreadStmts(cpu) {
+			s := &tr.Stmts[idx]
+			predBuf = s.Preds(predBuf[:0])
+
+			// Shared-dependence test (Figure 5 lines 4-9): deactivate any
+			// active predecessor CU that wrote a shared variable this
+			// statement reads.
+			if s.IsLoad && tr.Shared(s.Addr) {
+				for _, p := range predBuf {
+					pc := cuOfStmt[p]
+					if pc == nil {
+						continue
+					}
+					pc = find(pc)
+					if pc.active && pc.shVars[s.Addr] {
+						pc.active = false
+					}
+				}
+			}
+
+			// Merge the remaining active predecessor CUs (line 10-12).
+			var merged *ocu
+			for _, p := range predBuf {
+				pc := cuOfStmt[p]
+				if pc == nil {
+					continue
+				}
+				pc = find(pc)
+				if !pc.active || pc == merged {
+					continue
+				}
+				if merged == nil {
+					merged = pc
+					continue
+				}
+				// Union: fold pc into merged.
+				if len(pc.stmts) > len(merged.stmts) {
+					merged, pc = pc, merged
+				}
+				merged.stmts = append(merged.stmts, pc.stmts...)
+				for v := range pc.shVars {
+					merged.shVars[v] = true
+				}
+				pc.parent = merged
+				pc.active = false
+				pc.shVars = nil
+				pc.stmts = nil
+			}
+			if merged == nil {
+				merged = &ocu{id: nextID, active: true, shVars: map[int64]bool{}}
+				nextID++
+			}
+			merged.stmts = append(merged.stmts, idx)
+			merged.active = true
+			cuOfStmt[idx] = merged
+
+			// Record shared writes (lines 15-16).
+			if s.IsStore && tr.Shared(s.Addr) {
+				merged.shVars[s.Addr] = true
+			}
+		}
+	}
+
+	// Densify ids in first-statement order.
+	out := make([]int, len(tr.Stmts))
+	ids := map[*ocu]int{}
+	next := 0
+	for i := range tr.Stmts {
+		c := cuOfStmt[i]
+		if c == nil {
+			out[i] = -1
+			continue
+		}
+		c = find(c)
+		id, ok := ids[c]
+		if !ok {
+			id = next
+			next++
+			ids[c] = id
+		}
+		out[i] = id
+	}
+	return out
+}

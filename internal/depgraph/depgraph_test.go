@@ -1,0 +1,341 @@
+package depgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func record(t *testing.T, p *isa.Program, cpus int, seed uint64) *trace.Trace {
+	t.Helper()
+	m, err := vm.New(p, vm.Config{NumCPUs: cpus, Seed: seed, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewRecorder(p, cpus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(r)
+	if _, err := m.Run(1 << 18); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("program did not halt")
+	}
+	return r.Trace()
+}
+
+// samePartition reports whether two CU labelings induce the same
+// equivalence classes.
+func samePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ab, ba := map[int]int{}, map[int]int{}
+	for i := range a {
+		if (a[i] < 0) != (b[i] < 0) {
+			return false
+		}
+		if a[i] < 0 {
+			continue
+		}
+		if m, ok := ab[a[i]]; ok && m != b[i] {
+			return false
+		}
+		ab[a[i]] = b[i]
+		if m, ok := ba[b[i]]; ok && m != a[i] {
+			return false
+		}
+		ba[b[i]] = a[i]
+	}
+	return true
+}
+
+// TestSharedDependenceCutsCU: a thread writes a shared word and reads it
+// back; the read must start a new CU in both constructions.
+func TestSharedDependenceCutsCU(t *testing.T) {
+	p := &isa.Program{Name: "cut", Entries: []int64{0, 5}, Code: []isa.Instr{
+		isa.LI(8, 1),                   // 0 T0
+		isa.Store(8, isa.RegZero, 100), // 1 T0: write shared
+		isa.Load(9, isa.RegZero, 100),  // 2 T0: read it back -> cut
+		isa.Store(9, isa.RegZero, 101), // 3 T0
+		isa.Halt(),                     // 4
+		isa.Load(10, isa.RegZero, 100), // 5 T1 makes word 100 shared
+		isa.Halt(),                     // 6
+	}}
+	tr := record(t, p, 2, 3)
+	g := Build(tr)
+	decl := g.CUs()
+	oper := OperationalCUs(tr)
+	if !samePartition(decl, oper) {
+		t.Errorf("partitions differ:\ndecl=%v\noper=%v", decl, oper)
+	}
+	// Find T0's store (pc 1) and load (pc 2): different CUs.
+	var wIdx, rIdx = -1, -1
+	for i := range tr.Stmts {
+		switch tr.Stmts[i].PC {
+		case 1:
+			wIdx = i
+		case 2:
+			rIdx = i
+		}
+	}
+	if wIdx < 0 || rIdx < 0 {
+		t.Fatal("statements not found")
+	}
+	if oper[wIdx] == oper[rIdx] {
+		t.Errorf("shared write and read-back share CU %d", oper[wIdx])
+	}
+	if bad := RegionRuleViolations(g, oper); len(bad) != 0 {
+		t.Errorf("operational partition violates region rules: %v", bad)
+	}
+	if bad := RegionRuleViolations(g, decl); len(bad) != 0 {
+		t.Errorf("declarative partition violates region rules: %v", bad)
+	}
+}
+
+// TestUnsharedReadBackStaysInCU: without a second thread the word is not
+// shared and the read-back continues the same CU.
+func TestUnsharedReadBackStaysInCU(t *testing.T) {
+	p := &isa.Program{Name: "nocut", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 1),
+		isa.Store(8, isa.RegZero, 100),
+		isa.Load(9, isa.RegZero, 100),
+		isa.Store(9, isa.RegZero, 101),
+		isa.Halt(),
+	}}
+	tr := record(t, p, 1, 0)
+	oper := OperationalCUs(tr)
+	if oper[1] != oper[2] || oper[2] != oper[3] {
+		t.Errorf("unshared read-back split the CU: %v", oper)
+	}
+}
+
+// TestDependenceArcKinds checks Build's arc classification.
+func TestDependenceArcKinds(t *testing.T) {
+	p := &isa.Program{Name: "arcs", Entries: []int64{0, 6}, Code: []isa.Instr{
+		isa.LI(8, 1),                   // 0
+		isa.Store(8, isa.RegZero, 100), // 1: shared write
+		isa.Load(9, isa.RegZero, 100),  // 2: shared true dep on 1
+		isa.Beqz(9, 5),                 // 3: true dep on 2
+		isa.Store(9, isa.RegZero, 101), // 4: ctrl dep on 3 (r9=1, not taken)
+		isa.Halt(),                     // 5
+		isa.Load(10, isa.RegZero, 100), // 6 (T1): conflict with T0's store
+		isa.Halt(),                     // 7
+	}}
+	// Run serialized so T0 completes first: T1's load then conflicts with
+	// T0's store deterministically.
+	m, err := vm.New(p, vm.Config{NumCPUs: 2, Mode: vm.Serialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewRecorder(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(r)
+	if _, err := m.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Trace()
+	g := Build(tr)
+
+	count := map[ArcKind]int{}
+	for _, a := range g.Arcs {
+		count[a.Kind]++
+	}
+	if count[TrueShared] != 1 {
+		t.Errorf("true-shared arcs = %d, want 1", count[TrueShared])
+	}
+	if count[Control] != 1 {
+		t.Errorf("control arcs = %d, want 1", count[Control])
+	}
+	if count[Conflict] == 0 {
+		t.Error("no conflict arcs")
+	}
+	if count[TrueLocal] == 0 {
+		t.Error("no true-local arcs")
+	}
+	for k := TrueLocal; k <= Conflict; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	// td-PDG excludes conflicts and foreign statements.
+	for _, a := range g.ThreadArcs(0) {
+		if a.Kind == Conflict {
+			t.Error("thread arcs contain conflicts")
+		}
+		if tr.Stmts[a.From].CPU != 0 {
+			t.Error("thread arcs contain foreign statements")
+		}
+	}
+}
+
+// TestConflictArcAdjacency: conflict arcs link only accesses with no
+// intervening write (§3.1 condition III).
+func TestConflictArcAdjacency(t *testing.T) {
+	p := &isa.Program{Name: "conf", Entries: []int64{0, 3}, Code: []isa.Instr{
+		isa.Store(isa.RegZero, isa.RegZero, 100), // T0 w1
+		isa.Store(isa.RegZero, isa.RegZero, 100), // T0 w2
+		isa.Halt(),
+		isa.Load(8, isa.RegZero, 100), // T1 read
+		isa.Halt(),
+	}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 2, Mode: vm.Serialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := trace.NewRecorder(p, 2, 0)
+	m.Attach(r)
+	if _, err := m.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(r.Trace())
+	var conflicts []Arc
+	for _, a := range g.Arcs {
+		if a.Kind == Conflict {
+			conflicts = append(conflicts, a)
+		}
+	}
+	// T1's read conflicts only with T0's second (latest) write.
+	if len(conflicts) != 1 {
+		t.Fatalf("conflict arcs = %v, want exactly 1", conflicts)
+	}
+	if got := g.Trace.Stmts[conflicts[0].To].PC; got != 1 {
+		t.Errorf("conflict reaches back to pc %d, want 1 (no intervening write)", got)
+	}
+}
+
+// TestConflictSerializableSerialTrace: strictly serial CU executions are
+// serializable.
+func TestConflictSerializableSerialTrace(t *testing.T) {
+	p := incrementProgram(2, 3)
+	m, err := vm.New(p, vm.Config{NumCPUs: 2, Mode: vm.Serialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := trace.NewRecorder(p, 2, 0)
+	m.Attach(r)
+	if _, err := m.Run(1 << 18); err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Trace()
+	if !ConflictSerializable(tr, OperationalCUs(tr)) {
+		t.Error("serialized execution judged non-serializable")
+	}
+}
+
+// TestConflictSerializableLostUpdate: an interleaving that loses an update
+// is not serializable.
+func TestConflictSerializableLostUpdate(t *testing.T) {
+	// Hand-build the classic non-serializable trace via a tiny program
+	// run under a seed that interleaves the load/store windows.
+	p := incrementProgram(2, 30)
+	for seed := uint64(0); seed < 50; seed++ {
+		m, err := vm.New(p, vm.Config{NumCPUs: 2, Seed: seed, MaxQuantum: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _ := trace.NewRecorder(p, 2, 0)
+		m.Attach(r)
+		if _, err := m.Run(1 << 18); err != nil {
+			t.Fatal(err)
+		}
+		if m.Mem(0) == 60 {
+			continue // no lost update this seed
+		}
+		tr := r.Trace()
+		if ConflictSerializable(tr, OperationalCUs(tr)) {
+			t.Fatalf("seed %d lost an update but was judged serializable", seed)
+		}
+		return
+	}
+	t.Skip("no seed produced a lost update")
+}
+
+// incrementProgram: n CPUs, k racy increments of word 0 each.
+func incrementProgram(n int, k int64) *isa.Program {
+	code := []isa.Instr{
+		isa.LI(8, k),
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	return &isa.Program{Name: "inc", Code: code, Entries: make([]int64, n)}
+}
+
+// randProgram generates a random terminating program: forward branches
+// only, memory confined to words [0,16), no faults.
+func randProgram(rng *rand.Rand, n int, cpus int) *isa.Program {
+	regs := []isa.Reg{8, 9, 10, 11, 12}
+	reg := func() isa.Reg { return regs[rng.Intn(len(regs))] }
+	code := make([]isa.Instr, n+1)
+	for pc := 0; pc < n; pc++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			code[pc] = isa.LI(reg(), int64(rng.Intn(100)))
+		case 2, 3:
+			code[pc] = isa.ALU(isa.OpAdd, reg(), reg(), reg())
+		case 4, 5:
+			code[pc] = isa.Load(reg(), isa.RegZero, int64(rng.Intn(16)))
+		case 6, 7:
+			code[pc] = isa.Store(reg(), isa.RegZero, int64(rng.Intn(16)))
+		case 8:
+			// Forward branch to a random later pc (possibly the halt).
+			target := pc + 1 + rng.Intn(n-pc)
+			code[pc] = isa.Beqz(reg(), int64(target))
+		default:
+			code[pc] = isa.Addi(reg(), reg(), int64(rng.Intn(5)))
+		}
+	}
+	code[n] = isa.Halt()
+	return &isa.Program{Name: "rand", Code: code, Entries: make([]int64, cpus)}
+}
+
+// TestDeclarativeMatchesOperational is the reproduction's central formal
+// property: the declarative CU partition of Definitions 1–3 equals the
+// one-pass operational partition of Figure 5 on random multithreaded
+// executions.
+func TestDeclarativeMatchesOperational(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		p := randProgram(rng, 12+rng.Intn(30), 1+rng.Intn(3))
+		seed := rng.Uint64()
+		tr := record(t, p, len(p.Entries), seed)
+		g := Build(tr)
+		decl := g.CUs()
+		oper := OperationalCUs(tr)
+		if !samePartition(decl, oper) {
+			t.Fatalf("trial %d (seed %d): partitions differ\nprog=%v\ndecl=%v\noper=%v",
+				trial, seed, p.Code, decl, oper)
+		}
+	}
+}
+
+// TestRegionRulesHoldOnRandomExecutions: both constructions must satisfy
+// the region hypothesis (no internal shared dependences, weak
+// connectivity).
+func TestRegionRulesHoldOnRandomExecutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		p := randProgram(rng, 10+rng.Intn(25), 1+rng.Intn(3))
+		tr := record(t, p, len(p.Entries), rng.Uint64())
+		g := Build(tr)
+		for name, part := range map[string][]int{
+			"declarative": g.CUs(),
+			"operational": OperationalCUs(tr),
+		} {
+			if bad := RegionRuleViolations(g, part); len(bad) != 0 {
+				t.Fatalf("trial %d: %s partition breaks region rules for CUs %v", trial, name, bad)
+			}
+		}
+	}
+}

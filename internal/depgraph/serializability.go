@@ -1,0 +1,191 @@
+package depgraph
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// ConflictSerializable reports whether the CU partition of a trace is
+// serializable in the sense of Definition 4, checked as database conflict
+// serializability: build the precedence graph whose nodes are CUs, with an
+// edge from CU_i to CU_j whenever an access of CU_i conflicts with a later
+// access of CU_j (different threads), plus the program order between a
+// thread's own units; the partition is serializable iff the graph is
+// acyclic [Papadimitriou 1986]. Conflict serializability is sufficient for
+// view equivalence to a serial trace, so this is the conservative precise
+// check against which the strict-2PL heuristic is validated.
+//
+// cuOf maps statement index to CU id (as produced by Graph.CUs or
+// OperationalCUs); statements with id -1 are ignored.
+func ConflictSerializable(tr *trace.Trace, cuOf []int) bool {
+	numCU := 0
+	for _, id := range cuOf {
+		if id+1 > numCU {
+			numCU = id + 1
+		}
+	}
+	if numCU == 0 {
+		return true
+	}
+	adj := make(map[int]map[int]bool)
+	addEdge := func(a, b int) {
+		if a == b || a < 0 || b < 0 {
+			return
+		}
+		m := adj[a]
+		if m == nil {
+			m = map[int]bool{}
+			adj[a] = m
+		}
+		m[b] = true
+	}
+
+	// The precedence graph uses conflict edges only, the standard
+	// transaction model: accesses of the same thread never conflict, and
+	// the paper's §3.3 analysis assumes non-overlapping CUs, under which a
+	// topological order of the conflict graph extends to a serial trace
+	// that also respects each thread's internal dependence order.
+	// (Definition 3 technically permits overlapping CUs, for which no
+	// transaction-shaped serializability question is well posed.)
+
+	// Conflict edges: for every word, every ordered pair of conflicting
+	// accesses in different threads' units.
+	type acc struct {
+		cu    int
+		cpu   int
+		write bool
+	}
+	byWord := map[int64][]acc{}
+	for i := range tr.Stmts {
+		s := &tr.Stmts[i]
+		if (!s.IsLoad && !s.IsStore) || cuOf[i] < 0 {
+			continue
+		}
+		byWord[s.Addr] = append(byWord[s.Addr], acc{cu: cuOf[i], cpu: s.CPU, write: s.IsStore})
+	}
+	for _, list := range byWord {
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.cpu != b.cpu && (a.write || b.write) {
+					addEdge(a.cu, b.cu)
+				}
+			}
+		}
+	}
+
+	// Cycle detection by iterative DFS with colors.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]uint8)
+	var nodes []int
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, start := range nodes {
+		if color[start] != white {
+			continue
+		}
+		type frame struct {
+			node int
+			next []int
+		}
+		succs := func(n int) []int {
+			var out []int
+			for m := range adj[n] {
+				out = append(out, m)
+			}
+			sort.Ints(out)
+			return out
+		}
+		stack := []frame{{start, succs(start)}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if len(f.next) == 0 {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			n := f.next[0]
+			f.next = f.next[1:]
+			switch color[n] {
+			case gray:
+				return false // back edge: cycle
+			case white:
+				color[n] = gray
+				stack = append(stack, frame{n, succs(n)})
+			}
+		}
+	}
+	return true
+}
+
+// RegionRuleViolations checks the region hypothesis against a CU
+// partition: rule 1 — no CU contains a write of a shared word followed by a
+// read of that word; rule 2 — every CU's statements are weakly connected
+// along E_l ∪ E_c. It returns the ids of CUs violating either rule; a
+// correct partition returns none. This is the invariant the test suite
+// property-checks on random executions.
+func RegionRuleViolations(g *Graph, cuOf []int) []int {
+	tr := g.Trace
+	bad := map[int]bool{}
+
+	// Rule 1: shared arcs must cross CU boundaries.
+	for _, a := range g.Arcs {
+		if a.Kind != TrueShared {
+			continue
+		}
+		if cuOf[a.From] >= 0 && cuOf[a.From] == cuOf[a.To] {
+			bad[cuOf[a.From]] = true
+		}
+	}
+
+	// Rule 2: weak connectivity of each CU along local and control arcs.
+	// Union-find over statements restricted to arcs inside one CU.
+	parent := make([]int32, len(tr.Stmts))
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, a := range g.Arcs {
+		if a.Kind == Conflict || a.Kind == TrueShared {
+			continue
+		}
+		if cuOf[a.From] >= 0 && cuOf[a.From] == cuOf[a.To] {
+			parent[find(a.From)] = find(a.To)
+		}
+	}
+	roots := map[int]int32{}
+	for i := range tr.Stmts {
+		id := cuOf[i]
+		if id < 0 {
+			continue
+		}
+		r := find(int32(i))
+		if prev, ok := roots[id]; ok && prev != r {
+			bad[id] = true
+		} else if !ok {
+			roots[id] = r
+		}
+	}
+
+	var out []int
+	for id := range bad {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package depgraph
+
+import "sort"
+
+// Dynamic program slicing over the d-PDG. The paper defines its td-PDG as
+// "identical to a dynamic dependence graph defined by Agrawal and Horgan"
+// [1], whose purpose is slicing: the backward slice of a dynamic statement
+// is every statement that influenced it through true, control, or — across
+// threads — conflict dependences. In the post-mortem scenario the slice of
+// the crashing statement is the execution's causal history, which is what
+// a programmer walks after SVD's log has pointed at a suspicious read.
+
+// SliceKinds selects which dependence kinds a slice follows.
+type SliceKinds struct {
+	True     bool // true dependences (E_l and E_s)
+	Control  bool // control dependences (E_c)
+	Conflict bool // inter-thread conflict dependences (E_h)
+}
+
+// AllSliceKinds follows everything — the full causal history.
+func AllSliceKinds() SliceKinds { return SliceKinds{True: true, Control: true, Conflict: true} }
+
+// BackwardSlice returns the indices of the statements the given statement
+// transitively depends on (including itself), sorted ascending.
+func (g *Graph) BackwardSlice(stmt int32, kinds SliceKinds) []int32 {
+	follow := func(k ArcKind) bool {
+		switch k {
+		case TrueLocal, TrueShared:
+			return kinds.True
+		case Control:
+			return kinds.Control
+		case Conflict:
+			return kinds.Conflict
+		}
+		return false
+	}
+	// Dependence arcs point backward in time (From depends on To), so the
+	// backward slice walks From -> To edges.
+	succs := make(map[int32][]int32)
+	for _, a := range g.Arcs {
+		if follow(a.Kind) {
+			succs[a.From] = append(succs[a.From], a.To)
+		}
+	}
+	seen := map[int32]bool{stmt: true}
+	work := []int32{stmt}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, m := range succs[n] {
+			if !seen[m] {
+				seen[m] = true
+				work = append(work, m)
+			}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForwardSlice returns the statements transitively influenced by the given
+// statement (including itself), sorted ascending — the impact set of a
+// write, useful for asking "what did this corrupted value reach?".
+func (g *Graph) ForwardSlice(stmt int32, kinds SliceKinds) []int32 {
+	follow := func(k ArcKind) bool {
+		switch k {
+		case TrueLocal, TrueShared:
+			return kinds.True
+		case Control:
+			return kinds.Control
+		case Conflict:
+			return kinds.Conflict
+		}
+		return false
+	}
+	preds := make(map[int32][]int32)
+	for _, a := range g.Arcs {
+		if follow(a.Kind) {
+			preds[a.To] = append(preds[a.To], a.From)
+		}
+	}
+	seen := map[int32]bool{stmt: true}
+	work := []int32{stmt}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, m := range preds[n] {
+			if !seen[m] {
+				seen[m] = true
+				work = append(work, m)
+			}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,184 @@
+package depgraph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// sliceTrace builds a two-thread execution with a clean dependence shape:
+//
+//	T0: li r8,1; store r8->[100]; li r9,5; store r9->[101]
+//	T1: load r10<-[100]; addi r10; store r10->[102]
+//
+// run serialized so T1 sees T0's write (a conflict arc).
+func sliceTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	p := &isa.Program{Name: "slice", Entries: []int64{0, 5}, Code: []isa.Instr{
+		0: isa.LI(8, 1),
+		1: isa.Store(8, isa.RegZero, 100),
+		2: isa.LI(9, 5),
+		3: isa.Store(9, isa.RegZero, 101),
+		4: isa.Halt(),
+		5: isa.Load(10, isa.RegZero, 100),
+		6: isa.Addi(10, 10, 1),
+		7: isa.Store(10, isa.RegZero, 102),
+		8: isa.Halt(),
+	}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 2, Mode: vm.Serialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.NewRecorder(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(rec)
+	if _, err := m.Run(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace()
+}
+
+// stmtAt finds the trace index of the statement with the given PC.
+func stmtAt(t *testing.T, tr *trace.Trace, pc int64) int32 {
+	t.Helper()
+	for i := range tr.Stmts {
+		if tr.Stmts[i].PC == pc {
+			return int32(i)
+		}
+	}
+	t.Fatalf("no statement at pc %d", pc)
+	return -1
+}
+
+func TestBackwardSliceFollowsChain(t *testing.T) {
+	tr := sliceTrace(t)
+	g := Build(tr)
+	// The final store (pc 7) depends on the addi (6), the load (5), and —
+	// through the conflict arc — T0's store (1) and its li (0). T0's
+	// unrelated pair (2, 3) stays out.
+	slice := g.BackwardSlice(stmtAt(t, tr, 7), AllSliceKinds())
+	got := map[int64]bool{}
+	for _, idx := range slice {
+		got[tr.Stmts[idx].PC] = true
+	}
+	for _, pc := range []int64{7, 6, 5, 1, 0} {
+		if !got[pc] {
+			t.Errorf("slice missing pc %d (got %v)", pc, got)
+		}
+	}
+	for _, pc := range []int64{2, 3} {
+		if got[pc] {
+			t.Errorf("slice contains unrelated pc %d", pc)
+		}
+	}
+}
+
+func TestBackwardSliceWithoutConflicts(t *testing.T) {
+	tr := sliceTrace(t)
+	g := Build(tr)
+	// Without conflict arcs the slice stays inside T1.
+	slice := g.BackwardSlice(stmtAt(t, tr, 7), SliceKinds{True: true, Control: true})
+	for _, idx := range slice {
+		if tr.Stmts[idx].CPU != 1 {
+			t.Errorf("thread-local slice crossed threads at pc %d", tr.Stmts[idx].PC)
+		}
+	}
+}
+
+func TestForwardSliceImpact(t *testing.T) {
+	tr := sliceTrace(t)
+	g := Build(tr)
+	// Everything downstream of T0's store to [100]: T1's load, addi, and
+	// final store — but not T0's unrelated pair.
+	slice := g.ForwardSlice(stmtAt(t, tr, 1), AllSliceKinds())
+	got := map[int64]bool{}
+	for _, idx := range slice {
+		got[tr.Stmts[idx].PC] = true
+	}
+	for _, pc := range []int64{1, 5, 6, 7} {
+		if !got[pc] {
+			t.Errorf("forward slice missing pc %d", pc)
+		}
+	}
+	if got[2] || got[3] {
+		t.Error("forward slice contains unrelated statements")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	tr := sliceTrace(t)
+	g := Build(tr)
+	cuOf := OperationalCUs(tr)
+	var buf strings.Builder
+	if err := g.WriteDot(&buf, cuOf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The slice trace is straight-line code with an inter-thread
+	// communication: true-local (black) and conflict (orange) arcs.
+	for _, want := range []string{
+		"digraph dpdg {", "color=orange", "color=black", "->", "}",
+		fmt.Sprintf("n%d", len(tr.Stmts)-1),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+	// Every arc endpoint must reference a declared node.
+	if strings.Count(out, "[label=") != len(tr.Stmts) {
+		t.Errorf("node count mismatch: %d labels for %d stmts",
+			strings.Count(out, "[label="), len(tr.Stmts))
+	}
+	// nil cuOf also renders.
+	var buf2 strings.Builder
+	if err := g.WriteDot(&buf2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "cu0") {
+		t.Error("nil cuOf still printed unit labels")
+	}
+}
+
+func TestSliceIncludesControlDependences(t *testing.T) {
+	p := &isa.Program{Name: "ctrl", Entries: []int64{0}, Code: []isa.Instr{
+		0: isa.LI(8, 1),
+		1: isa.Beqz(8, 4),
+		2: isa.LI(9, 7),
+		3: isa.Store(9, isa.RegZero, 100),
+		4: isa.Halt(),
+	}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := trace.NewRecorder(p, 1, 0)
+	m.Attach(rec)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace()
+	g := Build(tr)
+	slice := g.BackwardSlice(stmtAt(t, tr, 3), AllSliceKinds())
+	got := map[int64]bool{}
+	for _, idx := range slice {
+		got[tr.Stmts[idx].PC] = true
+	}
+	// The store is control dependent on the branch, which depends on the li.
+	for _, pc := range []int64{3, 2, 1, 0} {
+		if !got[pc] {
+			t.Errorf("slice missing pc %d", pc)
+		}
+	}
+	noCtrl := g.BackwardSlice(stmtAt(t, tr, 3), SliceKinds{True: true})
+	for _, idx := range noCtrl {
+		if tr.Stmts[idx].PC == 1 {
+			t.Error("true-only slice followed a control arc")
+		}
+	}
+}

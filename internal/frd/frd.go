@@ -1,0 +1,282 @@
+// Package frd implements the Frontier Race Detector, the paper's baseline
+// (§6.2): a two-pass happens-before data-race detector.
+//
+// The paper's FRD first computes frontier races — the tightest conflicting
+// access pairs not causally ordered by other conflicting accesses [Choi &
+// Min 1991] — and asks the programmer to annotate each as a synchronization
+// race or a data race; the second pass is then a standard happens-before
+// (Lamport) race detector that treats the annotated synchronization
+// accesses as ordering operations. The two-pass design exists only because
+// synchronization operations are unlabeled in SPARC binaries.
+//
+// This reproduction keeps both halves: the Frontier function implements the
+// first pass over a recorded access trace, and Detector implements the
+// second pass online with vector clocks. Annotation is automatic — blocks
+// touched by compare-and-swap instructions are synchronization (our ISA
+// makes lock words identifiable) — which, exactly as in the paper's
+// methodology, favors FRD over SVD: FRD gets the a priori annotations that
+// SVD never needs.
+package frd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Options tune the detector.
+type Options struct {
+	// BlockShift selects block size as 1<<BlockShift words (word-size by
+	// default, matching §6.2 "to avoid false sharing, we use word-size
+	// blocks in SVD and FRD").
+	BlockShift uint
+
+	// SyncBlocks are extra a priori synchronization annotations beyond the
+	// automatic CAS rule.
+	SyncBlocks []int64
+
+	// MaxRaces caps retained dynamic race records (counting continues).
+	// Zero means 1 << 16.
+	MaxRaces int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRaces <= 0 {
+		o.MaxRaces = 1 << 16
+	}
+	return o
+}
+
+// Race is one dynamic data race: two conflicting accesses to Block,
+// unordered by the happens-before relation.
+type Race struct {
+	Block int64
+
+	// The earlier access.
+	FirstPC  int64
+	FirstCPU int
+	FirstSeq uint64
+	FirstWr  bool
+
+	// The later access (the one that detected the race).
+	SecondPC  int64
+	SecondCPU int
+	SecondSeq uint64
+	SecondWr  bool
+}
+
+// String renders the race for reports.
+func (r Race) String() string {
+	return fmt.Sprintf("data race on block %d: cpu %d pc %d (seq %d, write=%v) unordered with cpu %d pc %d (seq %d, write=%v)",
+		r.Block, r.FirstCPU, r.FirstPC, r.FirstSeq, r.FirstWr,
+		r.SecondCPU, r.SecondPC, r.SecondSeq, r.SecondWr)
+}
+
+// Site aggregates dynamic races by the static PC pair involved; this is the
+// static-false-positive axis of Table 2.
+type Site struct {
+	PCLow, PCHigh int64 // canonical order: PCLow <= PCHigh
+	Count         uint64
+	First         Race
+}
+
+// Stats aggregates detector activity.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	SyncOps      uint64 // accesses treated as synchronization
+	Races        uint64 // dynamic race instances (pre-cap)
+}
+
+type epoch struct {
+	clock uint64
+	pc    int64
+	seq   uint64
+	valid bool
+}
+
+type blockInfo struct {
+	write     epoch // last write epoch, indexed by writer
+	writeCPU  int
+	reads     []epoch // per-CPU last read epochs
+	releaseVC vclock  // sync blocks: the release clock
+	isSync    bool
+}
+
+// Detector is the online happens-before pass. It implements vm.Observer.
+type Detector struct {
+	prog    *isa.Program
+	opts    Options
+	numCPUs int
+
+	vc     []vclock
+	blocks map[int64]*blockInfo
+
+	races []Race
+	sites map[[2]int64]*Site
+	stats Stats
+}
+
+// New builds a detector for prog across numCPUs processors.
+func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
+	d := &Detector{
+		prog:    prog,
+		opts:    opts.withDefaults(),
+		numCPUs: numCPUs,
+		vc:      make([]vclock, numCPUs),
+		blocks:  make(map[int64]*blockInfo),
+		sites:   make(map[[2]int64]*Site),
+	}
+	for i := range d.vc {
+		d.vc[i] = newVClock(numCPUs)
+		d.vc[i][i] = 1
+	}
+	for _, b := range opts.SyncBlocks {
+		d.blockInfo(b >> opts.BlockShift).isSync = true
+	}
+	return d
+}
+
+// Reset discards all detector state.
+func (d *Detector) Reset() {
+	*d = *New(d.prog, d.numCPUs, d.opts)
+}
+
+// Races returns retained dynamic race records.
+func (d *Detector) Races() []Race { return d.races }
+
+// Stats returns aggregate counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Sites returns race sites sorted by descending dynamic count.
+func (d *Detector) Sites() []Site {
+	out := make([]Site, 0, len(d.sites))
+	for _, s := range d.sites {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].PCLow != out[j].PCLow {
+			return out[i].PCLow < out[j].PCLow
+		}
+		return out[i].PCHigh < out[j].PCHigh
+	})
+	return out
+}
+
+func (d *Detector) blockInfo(b int64) *blockInfo {
+	bi := d.blocks[b]
+	if bi == nil {
+		bi = &blockInfo{reads: make([]epoch, d.numCPUs)}
+		d.blocks[b] = bi
+	}
+	return bi
+}
+
+// Step processes one dynamic instruction (vm.Observer).
+func (d *Detector) Step(ev *vm.Event) {
+	d.stats.Instructions++
+	in := ev.Instr
+	if !in.Op.IsMem() {
+		return
+	}
+	b := ev.Addr >> d.opts.BlockShift
+	bi := d.blockInfo(b)
+
+	// Automatic annotation: a block touched by CAS is a lock word.
+	if in.Op == isa.OpCas && !bi.isSync {
+		bi.isSync = true
+	}
+	if bi.isSync {
+		d.syncAccess(ev, bi)
+		return
+	}
+	if ev.IsLoad {
+		d.stats.Loads++
+		d.read(ev, b, bi)
+	}
+	if ev.IsStore {
+		d.stats.Stores++
+		d.write(ev, b, bi)
+	}
+}
+
+// syncAccess applies lock semantics: reading a sync block is an acquire
+// (join the block's release clock into the thread), writing one is a
+// release (publish the thread's clock), and either way the access is not a
+// data access.
+func (d *Detector) syncAccess(ev *vm.Event, bi *blockInfo) {
+	d.stats.SyncOps++
+	t := ev.CPU
+	if ev.IsLoad {
+		d.vc[t].join(bi.releaseVC)
+	}
+	if ev.IsStore {
+		if bi.releaseVC == nil {
+			bi.releaseVC = newVClock(d.numCPUs)
+		}
+		bi.releaseVC.join(d.vc[t])
+		d.vc[t][t]++
+	}
+}
+
+func (d *Detector) read(ev *vm.Event, b int64, bi *blockInfo) {
+	t := ev.CPU
+	if bi.write.valid && bi.writeCPU != t && bi.write.clock > d.vc[t][bi.writeCPU] {
+		d.report(b, bi.write, bi.writeCPU, true, ev, false)
+	}
+	bi.reads[t] = epoch{clock: d.vc[t][t], pc: ev.PC, seq: ev.Seq, valid: true}
+}
+
+func (d *Detector) write(ev *vm.Event, b int64, bi *blockInfo) {
+	t := ev.CPU
+	if bi.write.valid && bi.writeCPU != t && bi.write.clock > d.vc[t][bi.writeCPU] {
+		d.report(b, bi.write, bi.writeCPU, true, ev, true)
+	}
+	for cpu := range bi.reads {
+		r := bi.reads[cpu]
+		if r.valid && cpu != t && r.clock > d.vc[t][cpu] {
+			d.report(b, r, cpu, false, ev, true)
+		}
+	}
+	bi.write = epoch{clock: d.vc[t][t], pc: ev.PC, seq: ev.Seq, valid: true}
+	bi.writeCPU = t
+	// The new write supersedes previous reads as the frontier of this
+	// block's access history.
+	for cpu := range bi.reads {
+		bi.reads[cpu].valid = false
+	}
+}
+
+func (d *Detector) report(b int64, first epoch, firstCPU int, firstWr bool, ev *vm.Event, secondWr bool) {
+	d.stats.Races++
+	r := Race{
+		Block:     b,
+		FirstPC:   first.pc,
+		FirstCPU:  firstCPU,
+		FirstSeq:  first.seq,
+		FirstWr:   firstWr,
+		SecondPC:  ev.PC,
+		SecondCPU: ev.CPU,
+		SecondSeq: ev.Seq,
+		SecondWr:  secondWr,
+	}
+	key := [2]int64{r.FirstPC, r.SecondPC}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	s := d.sites[key]
+	if s == nil {
+		s = &Site{PCLow: key[0], PCHigh: key[1], First: r}
+		d.sites[key] = s
+	}
+	s.Count++
+	if len(d.races) < d.opts.MaxRaces {
+		d.races = append(d.races, r)
+	}
+}

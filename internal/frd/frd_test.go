@@ -1,0 +1,382 @@
+package frd
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+type script struct {
+	d   *Detector
+	seq uint64
+}
+
+func newScript(numCPUs int, opts Options) *script {
+	return &script{d: New(&isa.Program{Name: "s", Code: make([]isa.Instr, 64)}, numCPUs, opts)}
+}
+
+func (s *script) mem(cpu int, pc int64, addr int64, load, store, cas bool) {
+	in := isa.Load(8, isa.RegZero, addr)
+	if cas {
+		in = isa.Cas(8, 9, 10, 11)
+	} else if store {
+		in = isa.Store(8, isa.RegZero, addr)
+	}
+	ev := vm.Event{Seq: s.seq, CPU: cpu, PC: pc, Instr: in, Addr: addr, IsLoad: load, IsStore: store}
+	s.seq++
+	s.d.Step(&ev)
+}
+
+func (s *script) load(cpu int, pc, addr int64)  { s.mem(cpu, pc, addr, true, false, false) }
+func (s *script) store(cpu int, pc, addr int64) { s.mem(cpu, pc, addr, false, true, false) }
+
+// acquire/release model a lock through CAS + plain store the way workloads
+// compile it.
+func (s *script) acquire(cpu int, pc, addr int64) { s.mem(cpu, pc, addr, true, true, true) }
+func (s *script) release(cpu int, pc, addr int64) { s.mem(cpu, pc, addr, false, true, false) }
+
+func TestWriteReadRace(t *testing.T) {
+	s := newScript(2, Options{})
+	s.store(0, 1, 100)
+	s.load(1, 2, 100)
+	if got := s.d.Stats().Races; got != 1 {
+		t.Fatalf("races = %d, want 1", got)
+	}
+	r := s.d.Races()[0]
+	if !r.FirstWr || r.SecondWr || r.FirstPC != 1 || r.SecondPC != 2 {
+		t.Errorf("race = %+v", r)
+	}
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	s := newScript(2, Options{})
+	s.store(0, 1, 100)
+	s.store(1, 2, 100)
+	if got := s.d.Stats().Races; got != 1 {
+		t.Fatalf("races = %d, want 1", got)
+	}
+	if r := s.d.Races()[0]; !r.FirstWr || !r.SecondWr {
+		t.Errorf("race = %+v", r)
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	s := newScript(2, Options{})
+	s.load(0, 1, 100)
+	s.store(1, 2, 100)
+	if got := s.d.Stats().Races; got != 1 {
+		t.Fatalf("races = %d, want 1", got)
+	}
+	if r := s.d.Races()[0]; r.FirstWr || !r.SecondWr {
+		t.Errorf("race = %+v", r)
+	}
+}
+
+func TestReadReadNoRace(t *testing.T) {
+	s := newScript(2, Options{})
+	s.load(0, 1, 100)
+	s.load(1, 2, 100)
+	if got := s.d.Stats().Races; got != 0 {
+		t.Errorf("read-read reported %d races", got)
+	}
+}
+
+func TestSameThreadNoRace(t *testing.T) {
+	s := newScript(2, Options{})
+	s.store(0, 1, 100)
+	s.load(0, 2, 100)
+	s.store(0, 3, 100)
+	if got := s.d.Stats().Races; got != 0 {
+		t.Errorf("same-thread accesses reported %d races", got)
+	}
+}
+
+// TestLockOrdersAccesses: conflicting accesses separated by a release →
+// acquire edge on a CAS lock are ordered: no race.
+func TestLockOrdersAccesses(t *testing.T) {
+	s := newScript(2, Options{})
+	const lock, x = 10, 100
+	s.acquire(0, 1, lock)
+	s.store(0, 2, x)
+	s.release(0, 3, lock)
+	s.acquire(1, 1, lock) // joins T0's release clock
+	s.load(1, 4, x)
+	s.store(1, 5, x)
+	s.release(1, 3, lock)
+	if got := s.d.Stats().Races; got != 0 {
+		for _, r := range s.d.Races() {
+			t.Logf("race: %s", r)
+		}
+		t.Errorf("lock-ordered accesses reported %d races", got)
+	}
+	if got := s.d.Stats().SyncOps; got != 4 {
+		t.Errorf("sync ops = %d, want 4", got)
+	}
+}
+
+// TestUnlockedAccessRaces: an access outside the lock still races with the
+// locked ones — the Figure 1 shape where FRD reports the benign race that
+// SVD does not.
+func TestUnlockedAccessRaces(t *testing.T) {
+	s := newScript(2, Options{})
+	const lock, tot = 10, 100
+	s.acquire(0, 1, lock)
+	s.store(0, 2, tot)
+	s.release(0, 3, lock)
+	s.load(1, 7, tot) // no acquire first: unordered with T0's store
+	if got := s.d.Stats().Races; got != 1 {
+		t.Fatalf("races = %d, want 1", got)
+	}
+	r := s.d.Races()[0]
+	if r.FirstPC != 2 || r.SecondPC != 7 {
+		t.Errorf("race = %+v", r)
+	}
+}
+
+// TestExplicitSyncAnnotation: blocks listed in Options.SyncBlocks order
+// accesses even without CAS.
+func TestExplicitSyncAnnotation(t *testing.T) {
+	s := newScript(2, Options{SyncBlocks: []int64{10}})
+	s.store(0, 1, 100)
+	s.release(0, 2, 10)
+	s.load(1, 3, 10) // acquire via plain load of the annotated block
+	s.load(1, 4, 100)
+	if got := s.d.Stats().Races; got != 0 {
+		t.Errorf("annotated sync did not order accesses: %d races", got)
+	}
+}
+
+// TestTransitiveOrder: ordering established through a third thread is
+// honored (vector clocks, not just direct edges).
+func TestTransitiveOrder(t *testing.T) {
+	s := newScript(3, Options{})
+	const l1, l2, x = 10, 11, 100
+	s.acquire(0, 0, l1) // locks are CAS-acquired before being released
+	s.store(0, 1, x)
+	s.release(0, 2, l1)
+	s.acquire(1, 3, l1)
+	s.acquire(1, 4, l2)
+	s.release(1, 5, l2)
+	s.acquire(2, 6, l2)
+	s.load(2, 7, x) // ordered after T0's store through T1
+	if got := s.d.Stats().Races; got != 0 {
+		t.Errorf("transitive order missed: %d races", got)
+	}
+}
+
+// TestDynamicCountsAndSites: repeated racy pairs aggregate by PC pair. The
+// first iteration produces one write-read race; every later iteration adds
+// both a read-write race (previous read vs new store) and a write-read
+// race, all folding into one static site.
+func TestDynamicCountsAndSites(t *testing.T) {
+	s := newScript(2, Options{})
+	for i := 0; i < 4; i++ {
+		s.store(0, 1, 100)
+		s.load(1, 2, 100)
+	}
+	st := s.d.Stats()
+	if st.Races != 7 {
+		t.Errorf("dynamic races = %d, want 7", st.Races)
+	}
+	sites := s.d.Sites()
+	if len(sites) != 1 || sites[0].Count != 7 {
+		t.Errorf("sites = %+v", sites)
+	}
+	if sites[0].PCLow != 1 || sites[0].PCHigh != 2 {
+		t.Errorf("site PCs = %d,%d", sites[0].PCLow, sites[0].PCHigh)
+	}
+}
+
+func TestRaceCap(t *testing.T) {
+	s := newScript(2, Options{MaxRaces: 2})
+	for i := 0; i < 5; i++ {
+		s.store(0, 1, 100)
+		s.load(1, 2, 100)
+	}
+	if got := len(s.d.Races()); got != 2 {
+		t.Errorf("retained %d races, want 2", got)
+	}
+	if got := s.d.Stats().Races; got != 9 {
+		t.Errorf("counted %d races, want 9 (1 + 2 per later iteration)", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := newScript(2, Options{})
+	s.store(0, 1, 100)
+	s.load(1, 2, 100)
+	s.d.Reset()
+	if s.d.Stats().Races != 0 || len(s.d.Races()) != 0 || len(s.d.Sites()) != 0 {
+		t.Error("reset left state")
+	}
+	// Detector still functional after reset.
+	s.store(0, 1, 100)
+	s.load(1, 2, 100)
+	if s.d.Stats().Races != 1 {
+		t.Error("detector broken after reset")
+	}
+}
+
+func TestBlockShiftFalseSharing(t *testing.T) {
+	s := newScript(2, Options{BlockShift: 2})
+	s.store(0, 1, 100)
+	s.load(1, 2, 102) // same 4-word block
+	if got := s.d.Stats().Races; got != 1 {
+		t.Errorf("false sharing with 4-word blocks: %d races, want 1", got)
+	}
+}
+
+func TestVClock(t *testing.T) {
+	a, b := newVClock(3), newVClock(3)
+	a[0], a[1] = 2, 1
+	b[0], b[1], b[2] = 2, 3, 1
+	if !a.happensBefore(b) {
+		t.Error("a should happen before b")
+	}
+	if b.happensBefore(a) {
+		t.Error("b should not happen before a")
+	}
+	if a.happensBefore(a.clone()) {
+		t.Error("equal clocks are not ordered")
+	}
+	c := a.clone()
+	c.join(b)
+	for i := range c {
+		if c[i] < a[i] || c[i] < b[i] {
+			t.Fatalf("join not supremum: %v", c)
+		}
+	}
+}
+
+func TestFrontierStaircase(t *testing.T) {
+	// T0 writes X then Y; T1 reads Y then X. The frontier between the
+	// threads: (writeY, readY) is minimal; (writeX, readX) is also
+	// minimal because readX's partner writeX precedes writeY.
+	accs := []Access{
+		{Seq: 0, CPU: 0, PC: 1, Block: 100, Write: true},  // write X
+		{Seq: 1, CPU: 0, PC: 2, Block: 101, Write: true},  // write Y
+		{Seq: 2, CPU: 1, PC: 3, Block: 101, Write: false}, // read Y
+		{Seq: 3, CPU: 1, PC: 4, Block: 100, Write: false}, // read X
+	}
+	races := Frontier(accs)
+	if len(races) != 2 {
+		t.Fatalf("frontier = %d races, want 2: %+v", len(races), races)
+	}
+	if races[0].Block != 101 || races[1].Block != 100 {
+		t.Errorf("frontier order wrong: %+v", races)
+	}
+}
+
+func TestFrontierDominatedPairExcluded(t *testing.T) {
+	// T0 writes X; T1 reads X twice. The second read's race is dominated
+	// by the first read's race.
+	accs := []Access{
+		{Seq: 0, CPU: 0, PC: 1, Block: 100, Write: true},
+		{Seq: 1, CPU: 1, PC: 2, Block: 100},
+		{Seq: 2, CPU: 1, PC: 3, Block: 100},
+	}
+	races := Frontier(accs)
+	if len(races) != 1 {
+		t.Fatalf("frontier = %d races, want 1: %+v", len(races), races)
+	}
+	if races[0].SecondPC != 2 {
+		t.Errorf("kept the dominated pair: %+v", races[0])
+	}
+}
+
+func TestFrontierNoConflicts(t *testing.T) {
+	accs := []Access{
+		{Seq: 0, CPU: 0, PC: 1, Block: 100},
+		{Seq: 1, CPU: 1, PC: 2, Block: 100},
+		{Seq: 2, CPU: 0, PC: 3, Block: 101, Write: true},
+		{Seq: 3, CPU: 1, PC: 4, Block: 102, Write: true},
+	}
+	if races := Frontier(accs); len(races) != 0 {
+		t.Errorf("conflict-free trace produced %d frontier races", len(races))
+	}
+}
+
+func TestDiscoverSync(t *testing.T) {
+	accs := []Access{
+		{Seq: 0, CPU: 0, PC: 1, Block: 10, Write: true, CAS: true}, // lock acquire
+		{Seq: 1, CPU: 0, PC: 2, Block: 100, Write: true},           // data
+		{Seq: 2, CPU: 1, PC: 1, Block: 10, Write: true, CAS: true}, // contended acquire
+		{Seq: 3, CPU: 1, PC: 3, Block: 100},                        // data race
+	}
+	sync := DiscoverSync(accs)
+	if len(sync) != 1 || sync[0] != 10 {
+		t.Errorf("DiscoverSync = %v, want [10]", sync)
+	}
+}
+
+// TestEndToEndLockedProgram: a properly locked program observed through the
+// real VM is race-free under FRD.
+func TestEndToEndLockedProgram(t *testing.T) {
+	code := []isa.Instr{
+		0:  isa.LI(8, 30),
+		1:  isa.LI(9, 10),
+		2:  isa.LI(10, 0),
+		3:  isa.LI(11, 1),
+		4:  isa.Cas(12, 9, 10, 11),
+		5:  isa.Bnez(12, 8),
+		6:  isa.Yield(),
+		7:  isa.Jmp(4),
+		8:  isa.Load(13, isa.RegZero, 0),
+		9:  isa.Addi(13, 13, 1),
+		10: isa.Store(13, isa.RegZero, 0),
+		11: isa.Store(isa.RegZero, 9, 0),
+		12: isa.Addi(8, 8, -1),
+		13: isa.Bnez(8, 1),
+		14: isa.Halt(),
+	}
+	p := &isa.Program{Name: "locked", Code: code, Entries: []int64{0, 0, 0}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 3, Seed: 2, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(p, 3, Options{})
+	m.Attach(d)
+	if _, err := m.Run(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Races; got != 0 {
+		for _, r := range d.Races() {
+			t.Logf("race: %s", r)
+		}
+		t.Errorf("locked program reported %d races", got)
+	}
+}
+
+// TestEndToEndRacyProgram: the unlocked counter must race.
+func TestEndToEndRacyProgram(t *testing.T) {
+	code := []isa.Instr{
+		isa.LI(8, 30),
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	p := &isa.Program{Name: "racy", Code: code, Entries: []int64{0, 0}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 2, Seed: 1, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(p, 2, Options{})
+	m.Attach(d)
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Races == 0 {
+		t.Error("racy program reported no races")
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{Block: 5, FirstPC: 1, SecondPC: 2}
+	if r.String() == "" {
+		t.Error("empty race string")
+	}
+}

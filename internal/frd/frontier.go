@@ -1,0 +1,132 @@
+package frd
+
+import "sort"
+
+// Access is one recorded memory access, the input to the frontier pass.
+type Access struct {
+	Seq   uint64 // global order
+	CPU   int
+	PC    int64
+	Block int64
+	Write bool
+	CAS   bool // access made by a compare-and-swap instruction
+}
+
+// Frontier computes the frontier races of a recorded execution: for every
+// ordered pair of threads, the minimal conflicting access pairs — pairs
+// (a, b) with a before b such that no other conflicting pair (c, d) between
+// the same threads has c at-or-before a and d at-or-before b in program
+// order [Choi & Min, Race Frontier]. These are the "tightest" races the
+// paper's FRD presents for synchronization/data annotation: every other
+// race is causally downstream of a frontier race.
+//
+// The result is sorted by the second access's sequence number.
+func Frontier(accs []Access) []Race {
+	// Per thread, accesses in program order; per (thread, block), the
+	// first access and first write.
+	perThread := map[int][]Access{}
+	for _, a := range accs {
+		perThread[a.CPU] = append(perThread[a.CPU], a)
+	}
+	type firstKey struct {
+		cpu   int
+		block int64
+	}
+	type firsts struct {
+		anyIdx, anySeq   int
+		wrIdx, wrSeq     int
+		hasAny, hasWrite bool
+		any, wr          Access
+	}
+	first := map[firstKey]*firsts{}
+	for cpu, list := range perThread {
+		for i, a := range list {
+			k := firstKey{cpu, a.Block}
+			f := first[k]
+			if f == nil {
+				f = &firsts{}
+				first[k] = f
+			}
+			if !f.hasAny {
+				f.hasAny, f.anyIdx, f.anySeq, f.any = true, i, int(a.Seq), a
+			}
+			if a.Write && !f.hasWrite {
+				f.hasWrite, f.wrIdx, f.wrSeq, f.wr = true, i, int(a.Seq), a
+			}
+		}
+	}
+
+	var out []Race
+	for cpu1 := range perThread {
+		for cpu2, list2 := range perThread {
+			if cpu1 == cpu2 {
+				continue
+			}
+			runningMin := int(^uint(0) >> 1) // +inf
+			for _, b := range list2 {
+				f := first[firstKey{cpu1, b.Block}]
+				if f == nil {
+					continue
+				}
+				// The minimal conflicting partner in cpu1's program order:
+				// any access when b writes, the first write when b reads.
+				var idx, seq int
+				var partner Access
+				switch {
+				case b.Write && f.hasAny && f.anySeq < int(b.Seq):
+					idx, seq, partner = f.anyIdx, f.anySeq, f.any
+				case !b.Write && f.hasWrite && f.wrSeq < int(b.Seq):
+					idx, seq, partner = f.wrIdx, f.wrSeq, f.wr
+				default:
+					continue
+				}
+				_ = seq
+				if idx < runningMin {
+					runningMin = idx
+					out = append(out, Race{
+						Block:     b.Block,
+						FirstPC:   partner.PC,
+						FirstCPU:  partner.CPU,
+						FirstSeq:  partner.Seq,
+						FirstWr:   partner.Write,
+						SecondPC:  b.PC,
+						SecondCPU: b.CPU,
+						SecondSeq: b.Seq,
+						SecondWr:  b.Write,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SecondSeq != out[j].SecondSeq {
+			return out[i].SecondSeq < out[j].SecondSeq
+		}
+		return out[i].FirstSeq < out[j].FirstSeq
+	})
+	return out
+}
+
+// DiscoverSync returns the blocks involved in frontier races in which
+// either participant is a compare-and-swap access. This is the automated
+// stand-in for the paper's manual annotation step: frontier races on
+// CAS-managed blocks are synchronization races, everything else is a data
+// race candidate.
+func DiscoverSync(accs []Access) []int64 {
+	casBlocks := map[int64]bool{}
+	for _, a := range accs {
+		if a.CAS {
+			casBlocks[a.Block] = true
+		}
+	}
+	seen := map[int64]bool{}
+	var out []int64
+	for _, r := range Frontier(accs) {
+		if casBlocks[r.Block] && !seen[r.Block] {
+			seen[r.Block] = true
+			out = append(out, r.Block)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,41 @@
+package frd
+
+// vclock is a Lamport/Mattern vector clock with one component per
+// processor. Component t counts thread t's release operations, so
+// comparing an access epoch against another thread's clock answers "did
+// the accessor's segment happen before mine?" in the precise sense defined
+// by Lamport [18] that the paper's happens-before baseline uses.
+type vclock []uint64
+
+func newVClock(n int) vclock { return make(vclock, n) }
+
+// join folds other into v componentwise (v = sup(v, other)).
+func (v vclock) join(other vclock) {
+	for i, o := range other {
+		if o > v[i] {
+			v[i] = o
+		}
+	}
+}
+
+// happensBefore reports whether v <= other componentwise and v != other.
+func (v vclock) happensBefore(other vclock) bool {
+	le, lt := true, false
+	for i := range v {
+		if v[i] > other[i] {
+			le = false
+			break
+		}
+		if v[i] < other[i] {
+			lt = true
+		}
+	}
+	return le && lt
+}
+
+// clone returns a copy of v.
+func (v vclock) clone() vclock {
+	out := make(vclock, len(v))
+	copy(out, v)
+	return out
+}

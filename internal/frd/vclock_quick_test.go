@@ -1,0 +1,100 @@
+package frd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Vector clocks form a lattice under join with happensBefore as the strict
+// order; the happens-before detector's correctness leans on these laws,
+// so they are property-checked here.
+
+func clockFrom(a [4]uint8) vclock {
+	v := newVClock(4)
+	for i := range a {
+		v[i] = uint64(a[i])
+	}
+	return v
+}
+
+func TestVClockJoinIsSupremum(t *testing.T) {
+	f := func(a, b [4]uint8) bool {
+		va, vb := clockFrom(a), clockFrom(b)
+		j := va.clone()
+		j.join(vb)
+		// Upper bound of both.
+		for i := range j {
+			if j[i] < va[i] || j[i] < vb[i] {
+				return false
+			}
+		}
+		// Least: no component exceeds the max of the inputs.
+		for i := range j {
+			max := va[i]
+			if vb[i] > max {
+				max = vb[i]
+			}
+			if j[i] != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVClockJoinCommutativeIdempotent(t *testing.T) {
+	f := func(a, b [4]uint8) bool {
+		va, vb := clockFrom(a), clockFrom(b)
+		ab := va.clone()
+		ab.join(vb)
+		ba := vb.clone()
+		ba.join(va)
+		for i := range ab {
+			if ab[i] != ba[i] {
+				return false
+			}
+		}
+		again := ab.clone()
+		again.join(vb) // idempotent: joining b twice changes nothing
+		for i := range ab {
+			if again[i] != ab[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVClockHappensBeforeStrictPartialOrder(t *testing.T) {
+	f := func(a, b, c [4]uint8) bool {
+		va, vb, vc := clockFrom(a), clockFrom(b), clockFrom(c)
+		// Irreflexive.
+		if va.happensBefore(va) {
+			return false
+		}
+		// Antisymmetric.
+		if va.happensBefore(vb) && vb.happensBefore(va) {
+			return false
+		}
+		// Transitive.
+		if va.happensBefore(vb) && vb.happensBefore(vc) && !va.happensBefore(vc) {
+			return false
+		}
+		// Both inputs are below (or equal to) their join.
+		j := va.clone()
+		j.join(vb)
+		if j.happensBefore(va) || j.happensBefore(vb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary program image format. The format is deliberately simple: a magic
+// header, then length-prefixed sections. All integers are little-endian.
+// Each instruction occupies instrBytes bytes:
+//
+//	byte 0    opcode
+//	byte 1-4  rd, rs1, rs2, rs3
+//	byte 5-7  reserved (zero)
+//	byte 8-15 imm (int64)
+
+const (
+	magic      = "SVDPROG1"
+	instrBytes = 16
+)
+
+// EncodeInstr appends the fixed-width encoding of in to dst.
+func EncodeInstr(dst []byte, in Instr) []byte {
+	var buf [instrBytes]byte
+	buf[0] = byte(in.Op)
+	buf[1] = byte(in.Rd)
+	buf[2] = byte(in.Rs1)
+	buf[3] = byte(in.Rs2)
+	buf[4] = byte(in.Rs3)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(in.Imm))
+	return append(dst, buf[:]...)
+}
+
+// DecodeInstr decodes one instruction from b.
+func DecodeInstr(b []byte) (Instr, error) {
+	if len(b) < instrBytes {
+		return Instr{}, fmt.Errorf("isa: short instruction encoding (%d bytes)", len(b))
+	}
+	in := Instr{
+		Op:  Op(b[0]),
+		Rd:  Reg(b[1]),
+		Rs1: Reg(b[2]),
+		Rs2: Reg(b[3]),
+		Rs3: Reg(b[4]),
+		Imm: int64(binary.LittleEndian.Uint64(b[8:])),
+	}
+	if err := in.Validate(-1); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+// WriteProgram serializes p to w in the binary image format.
+func WriteProgram(w io.Writer, p *Program) error {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	writeString(&buf, p.Name)
+
+	writeU64(&buf, uint64(len(p.Code)))
+	for _, in := range p.Code {
+		b := EncodeInstr(nil, in)
+		buf.Write(b)
+	}
+
+	writeU64(&buf, uint64(p.DataBase))
+	writeU64(&buf, uint64(len(p.Data)))
+	for _, w := range p.Data {
+		writeU64(&buf, uint64(w))
+	}
+
+	writeU64(&buf, uint64(len(p.Entries)))
+	for _, e := range p.Entries {
+		writeU64(&buf, uint64(e))
+	}
+
+	writeSymtab(&buf, p.Symbols)
+	writeSymtab(&buf, p.Labels)
+
+	writeU64(&buf, uint64(len(p.LineInfo)))
+	for _, s := range p.LineInfo {
+		writeString(&buf, s)
+	}
+
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadProgram parses a binary image produced by WriteProgram.
+func ReadProgram(r io.Reader) (*Program, error) {
+	all, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: all}
+	if string(d.bytes(len(magic))) != magic {
+		return nil, fmt.Errorf("isa: bad program magic")
+	}
+	p := &Program{}
+	p.Name = d.str()
+
+	// Element counts are untrusted: validate them against the bytes that
+	// actually remain before allocating.
+	n, err := d.count(instrBytes)
+	if err != nil {
+		return nil, err
+	}
+	p.Code = make([]Instr, 0, n)
+	for i := 0; i < n; i++ {
+		in, err := DecodeInstr(d.bytes(instrBytes))
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		p.Code = append(p.Code, in)
+	}
+
+	p.DataBase = int64(d.u64())
+	if n, err = d.count(8); err != nil {
+		return nil, err
+	}
+	p.Data = make([]int64, n)
+	for i := range p.Data {
+		p.Data[i] = int64(d.u64())
+	}
+
+	if n, err = d.count(8); err != nil {
+		return nil, err
+	}
+	p.Entries = make([]int64, n)
+	for i := range p.Entries {
+		p.Entries[i] = int64(d.u64())
+	}
+
+	p.Symbols = d.symtab()
+	p.Labels = d.symtab()
+
+	if n, err = d.count(8); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		p.LineInfo = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			p.LineInfo = append(p.LineInfo, d.str())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeU64(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func writeSymtab(buf *bytes.Buffer, m map[string]int64) {
+	writeU64(buf, uint64(len(m)))
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeString(buf, name)
+		writeU64(buf, uint64(m[name]))
+	}
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil || d.off+n > len(d.b) {
+		if d.err == nil {
+			d.err = fmt.Errorf("isa: truncated program image at offset %d", d.off)
+		}
+		return make([]byte, n)
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) u64() uint64 {
+	return binary.LittleEndian.Uint64(d.bytes(8))
+}
+
+// count reads an element count and validates that elemBytes*count bytes can
+// still be present, so hostile counts cannot force huge allocations.
+func (d *decoder) count(elemBytes int) (int, error) {
+	n := d.u64()
+	if d.err != nil {
+		return 0, d.err
+	}
+	remaining := uint64(len(d.b) - d.off)
+	if n > remaining/uint64(elemBytes) {
+		return 0, fmt.Errorf("isa: count %d exceeds remaining input at offset %d", n, d.off)
+	}
+	return int(n), nil
+}
+
+func (d *decoder) str() string {
+	n := int(d.u64())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		if d.err == nil {
+			d.err = fmt.Errorf("isa: truncated string at offset %d", d.off)
+		}
+		return ""
+	}
+	return string(d.bytes(n))
+}
+
+func (d *decoder) symtab() map[string]int64 {
+	// Each entry takes at least 16 bytes (length prefix + value).
+	n, err := d.count(16)
+	if err != nil || n == 0 {
+		if d.err == nil {
+			d.err = err
+		}
+		return nil
+	}
+	m := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		name := d.str()
+		m[name] = int64(d.u64())
+	}
+	return m
+}

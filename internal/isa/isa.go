@@ -1,0 +1,341 @@
+// Package isa defines the instruction set of the reproduction's
+// multiprocessor virtual machine.
+//
+// The ISA is a small word-oriented RISC: 32 general-purpose 64-bit
+// registers, word-addressed memory, explicit loads and stores, simple ALU
+// operations, conditional branches, direct and indirect jumps, and an atomic
+// compare-and-swap used by workloads to build locks. The serializability
+// violation detector (package svd) consumes the dynamic instruction stream
+// of this ISA exactly the way the paper's detector consumes SPARC
+// instructions under Simics: loads, stores, ALU register movements, branch
+// outcomes, and nothing else. In particular the detector never interprets
+// CAS as synchronization.
+package isa
+
+import "fmt"
+
+// Reg names a machine register. Register 0 is hardwired to zero.
+type Reg uint8
+
+// NumRegs is the number of architectural registers.
+const NumRegs = 32
+
+// Conventional register assignments used by the assembler and the SVL
+// compiler. The VM initializes SP and TID at boot; everything else starts
+// at zero.
+const (
+	RegZero Reg = 0 // always reads as zero; writes are discarded
+	RegRA   Reg = 1 // return address (JAL default link register)
+	RegSP   Reg = 2 // stack pointer, initialized per CPU by the VM
+	RegTID  Reg = 3 // thread/CPU id, initialized per CPU by the VM
+	RegA0   Reg = 4 // first argument / return value
+	RegA1   Reg = 5
+	RegA2   Reg = 6
+	RegA3   Reg = 7
+	RegT0   Reg = 8  // t0..t9 = r8..r17 caller-saved temporaries
+	RegS0   Reg = 18 // s0..s9 = r18..r27 callee-saved
+	RegGP   Reg = 28 // scratch used by assembler pseudo-expansions
+)
+
+// Op identifies an instruction opcode.
+type Op uint8
+
+// Opcodes. The comment shows the operand use: rd = destination, rs1..rs3 =
+// sources, imm = immediate (also branch/jump target program counters).
+const (
+	OpNop   Op = iota // no operation
+	OpHalt            // stop this CPU
+	OpYield           // scheduling hint: end the current quantum
+	OpLI              // rd = imm
+	OpMov             // rd = rs1
+	OpAdd             // rd = rs1 + rs2
+	OpSub             // rd = rs1 - rs2
+	OpMul             // rd = rs1 * rs2
+	OpDiv             // rd = rs1 / rs2 (faults on rs2 == 0)
+	OpMod             // rd = rs1 % rs2 (faults on rs2 == 0)
+	OpAnd             // rd = rs1 & rs2
+	OpOr              // rd = rs1 | rs2
+	OpXor             // rd = rs1 ^ rs2
+	OpShl             // rd = rs1 << (rs2 & 63)
+	OpShr             // rd = int64(uint64(rs1) >> (rs2 & 63))
+	OpSlt             // rd = 1 if rs1 < rs2 else 0
+	OpSle             // rd = 1 if rs1 <= rs2 else 0
+	OpSeq             // rd = 1 if rs1 == rs2 else 0
+	OpSne             // rd = 1 if rs1 != rs2 else 0
+	OpAddi            // rd = rs1 + imm
+	OpLoad            // rd = mem[rs1 + imm]
+	OpStore           // mem[rs1 + imm] = rs2
+	OpBeqz            // if rs1 == 0 goto imm
+	OpBnez            // if rs1 != 0 goto imm
+	OpJmp             // goto imm (branch-always)
+	OpJal             // rd = pc + 1; goto imm
+	OpJr              // goto rs1 (indirect jump; function return)
+	OpCas             // rd = 1, mem[rs1] = rs3 if mem[rs1] == rs2; else rd = 0
+
+	opCount // sentinel, not a real opcode
+)
+
+var opNames = [...]string{
+	OpNop:   "nop",
+	OpHalt:  "halt",
+	OpYield: "yield",
+	OpLI:    "li",
+	OpMov:   "mov",
+	OpAdd:   "add",
+	OpSub:   "sub",
+	OpMul:   "mul",
+	OpDiv:   "div",
+	OpMod:   "mod",
+	OpAnd:   "and",
+	OpOr:    "or",
+	OpXor:   "xor",
+	OpShl:   "shl",
+	OpShr:   "shr",
+	OpSlt:   "slt",
+	OpSle:   "sle",
+	OpSeq:   "seq",
+	OpSne:   "sne",
+	OpAddi:  "addi",
+	OpLoad:  "load",
+	OpStore: "store",
+	OpBeqz:  "beqz",
+	OpBnez:  "bnez",
+	OpJmp:   "jmp",
+	OpJal:   "jal",
+	OpJr:    "jr",
+	OpCas:   "cas",
+}
+
+// String returns the mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < opCount }
+
+// IsALU reports whether op is a pure register computation (including
+// immediate moves). These are the events Figure 7 of the paper handles in
+// its ALU case: CU references flow from source registers to the
+// destination register.
+func (op Op) IsALU() bool {
+	switch op {
+	case OpLI, OpMov, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpSlt, OpSle, OpSeq, OpSne, OpAddi:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return op == OpLoad || op == OpStore || op == OpCas }
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Op) IsCondBranch() bool { return op == OpBeqz || op == OpBnez }
+
+// IsUncondJump reports whether op unconditionally transfers control to a
+// static target ("branch always" in the paper's reconvergence probing).
+func (op Op) IsUncondJump() bool { return op == OpJmp || op == OpJal }
+
+// Instr is one decoded instruction. Fields not used by an opcode are zero.
+type Instr struct {
+	Op           Op
+	Rd, Rs1, Rs2 Reg
+	Rs3          Reg   // only CAS: the new value
+	Imm          int64 // immediate, displacement, or branch target PC
+}
+
+// Convenience constructors. They keep workload and test code brief and make
+// the operand roles explicit at the call site.
+
+// Nop returns a no-op instruction.
+func Nop() Instr { return Instr{Op: OpNop} }
+
+// Halt returns a halt instruction.
+func Halt() Instr { return Instr{Op: OpHalt} }
+
+// Yield returns a scheduler-yield instruction.
+func Yield() Instr { return Instr{Op: OpYield} }
+
+// LI returns rd = imm.
+func LI(rd Reg, imm int64) Instr { return Instr{Op: OpLI, Rd: rd, Imm: imm} }
+
+// Mov returns rd = rs.
+func Mov(rd, rs Reg) Instr { return Instr{Op: OpMov, Rd: rd, Rs1: rs} }
+
+// ALU returns rd = rs1 op rs2 for a three-register ALU opcode.
+func ALU(op Op, rd, rs1, rs2 Reg) Instr { return Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Addi returns rd = rs1 + imm.
+func Addi(rd, rs1 Reg, imm int64) Instr { return Instr{Op: OpAddi, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Load returns rd = mem[rs1+imm].
+func Load(rd, rs1 Reg, imm int64) Instr { return Instr{Op: OpLoad, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Store returns mem[rs1+imm] = rs2.
+func Store(rs2, rs1 Reg, imm int64) Instr { return Instr{Op: OpStore, Rs1: rs1, Rs2: rs2, Imm: imm} }
+
+// Beqz returns a branch to target when rs1 == 0.
+func Beqz(rs1 Reg, target int64) Instr { return Instr{Op: OpBeqz, Rs1: rs1, Imm: target} }
+
+// Bnez returns a branch to target when rs1 != 0.
+func Bnez(rs1 Reg, target int64) Instr { return Instr{Op: OpBnez, Rs1: rs1, Imm: target} }
+
+// Jmp returns an unconditional jump to target.
+func Jmp(target int64) Instr { return Instr{Op: OpJmp, Imm: target} }
+
+// Jal returns a call: rd = pc+1, jump to target.
+func Jal(rd Reg, target int64) Instr { return Instr{Op: OpJal, Rd: rd, Imm: target} }
+
+// Jr returns an indirect jump to the address in rs1.
+func Jr(rs1 Reg) Instr { return Instr{Op: OpJr, Rs1: rs1} }
+
+// Cas returns an atomic compare-and-swap:
+// rd = 1 and mem[rs1] = rs3 if mem[rs1] == rs2, else rd = 0.
+func Cas(rd, addr, expect, repl Reg) Instr {
+	return Instr{Op: OpCas, Rd: rd, Rs1: addr, Rs2: expect, Rs3: repl}
+}
+
+// Validate checks the instruction's static well-formedness: known opcode
+// and in-range registers. Branch targets are validated against codeLen;
+// pass a negative codeLen to skip target validation.
+func (in Instr) Validate(codeLen int) error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	for _, r := range [...]Reg{in.Rd, in.Rs1, in.Rs2, in.Rs3} {
+		if r >= NumRegs {
+			return fmt.Errorf("isa: register r%d out of range in %s", r, in.Op)
+		}
+	}
+	if codeLen >= 0 {
+		switch in.Op {
+		case OpBeqz, OpBnez, OpJmp, OpJal:
+			if in.Imm < 0 || in.Imm >= int64(codeLen) {
+				return fmt.Errorf("isa: %s target %d outside code [0,%d)", in.Op, in.Imm, codeLen)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpHalt, OpYield:
+		return in.Op.String()
+	case OpLI:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs1)
+	case OpAddi:
+		return fmt.Sprintf("addi r%d, r%d, %d", in.Rd, in.Rs1, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("load r%d, %d(r%d)", in.Rd, in.Imm, in.Rs1)
+	case OpStore:
+		return fmt.Sprintf("store r%d, %d(r%d)", in.Rs2, in.Imm, in.Rs1)
+	case OpBeqz:
+		return fmt.Sprintf("beqz r%d, %d", in.Rs1, in.Imm)
+	case OpBnez:
+		return fmt.Sprintf("bnez r%d, %d", in.Rs1, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	case OpJal:
+		return fmt.Sprintf("jal r%d, %d", in.Rd, in.Imm)
+	case OpJr:
+		return fmt.Sprintf("jr r%d", in.Rs1)
+	case OpCas:
+		return fmt.Sprintf("cas r%d, (r%d), r%d, r%d", in.Rd, in.Rs1, in.Rs2, in.Rs3)
+	default:
+		if in.Op.IsALU() {
+			return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+		}
+		return in.Op.String()
+	}
+}
+
+// Program is a loadable unit: code, an initial data image, and debug
+// metadata. Code and data live in separate address spaces (a Harvard
+// machine): PCs index Code, memory addresses index words.
+type Program struct {
+	Name string
+
+	// Code is the instruction sequence; the PC indexes it directly.
+	Code []Instr
+
+	// Data is the initial shared-memory image, loaded at word address
+	// DataBase when a VM boots the program.
+	Data     []int64
+	DataBase int64
+
+	// Entries lists, per CPU, the PC at which that CPU starts. A CPU with
+	// no entry (index beyond the slice) halts immediately.
+	Entries []int64
+
+	// Symbols maps data symbols to word addresses; Labels maps code labels
+	// to PCs. Both are optional debug metadata.
+	Symbols map[string]int64
+	Labels  map[string]int64
+
+	// LineInfo, when non-nil, has one entry per instruction naming the
+	// source position that produced it (file:line or assembler line).
+	LineInfo []string
+}
+
+// Validate checks every instruction and the entry points.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("isa: program %q has no code", p.Name)
+	}
+	for pc, in := range p.Code {
+		if err := in.Validate(len(p.Code)); err != nil {
+			return fmt.Errorf("pc %d: %w", pc, err)
+		}
+	}
+	for cpu, e := range p.Entries {
+		if e < 0 || e >= int64(len(p.Code)) {
+			return fmt.Errorf("isa: entry for cpu %d is %d, outside code [0,%d)", cpu, e, len(p.Code))
+		}
+	}
+	if p.DataBase < 0 {
+		return fmt.Errorf("isa: negative data base %d", p.DataBase)
+	}
+	return nil
+}
+
+// LocationOf returns the debug location for pc, or "" when unknown.
+func (p *Program) LocationOf(pc int64) string {
+	if pc >= 0 && pc < int64(len(p.LineInfo)) {
+		return p.LineInfo[pc]
+	}
+	return ""
+}
+
+// LabelAt returns a label that names pc exactly, or "" if none does.
+func (p *Program) LabelAt(pc int64) string {
+	for name, at := range p.Labels {
+		if at == pc {
+			return name
+		}
+	}
+	return ""
+}
+
+// SymbolFor returns the data symbol whose address range covers addr, using
+// the next symbol (by address) as the end of each range. Returns "" when
+// addr precedes all symbols or the program has no symbols.
+func (p *Program) SymbolFor(addr int64) string {
+	best, bestAddr := "", int64(-1)
+	for name, a := range p.Symbols {
+		if a <= addr && a > bestAddr {
+			best, bestAddr = name, a
+		}
+	}
+	if best != "" && addr != bestAddr {
+		return fmt.Sprintf("%s+%d", best, addr-bestAddr)
+	}
+	return best
+}

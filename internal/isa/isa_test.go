@@ -1,0 +1,274 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown opcode rendered %q", got)
+	}
+}
+
+func TestOpClassesDisjoint(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		classes := 0
+		if op.IsALU() {
+			classes++
+		}
+		if op.IsMem() {
+			classes++
+		}
+		if op.IsCondBranch() {
+			classes++
+		}
+		if op.IsUncondJump() {
+			classes++
+		}
+		if classes > 1 {
+			t.Errorf("%s belongs to %d classes", op, classes)
+		}
+	}
+}
+
+func TestOpClassMembership(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() || !OpCas.IsMem() {
+		t.Error("memory ops misclassified")
+	}
+	if !OpBeqz.IsCondBranch() || !OpBnez.IsCondBranch() {
+		t.Error("conditional branches misclassified")
+	}
+	if !OpJmp.IsUncondJump() || !OpJal.IsUncondJump() {
+		t.Error("unconditional jumps misclassified")
+	}
+	if OpJr.IsUncondJump() {
+		t.Error("jr has no static target; it must not be a static branch-always")
+	}
+	if !OpLI.IsALU() || !OpAddi.IsALU() || OpLoad.IsALU() {
+		t.Error("ALU classification wrong")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{LI(5, 42), "li r5, 42"},
+		{Mov(1, 2), "mov r1, r2"},
+		{ALU(OpAdd, 3, 1, 2), "add r3, r1, r2"},
+		{Addi(3, 1, -7), "addi r3, r1, -7"},
+		{Load(4, 2, 8), "load r4, 8(r2)"},
+		{Store(4, 2, 8), "store r4, 8(r2)"},
+		{Beqz(9, 17), "beqz r9, 17"},
+		{Bnez(9, 17), "bnez r9, 17"},
+		{Jmp(3), "jmp 3"},
+		{Jal(1, 3), "jal r1, 3"},
+		{Jr(1), "jr r1"},
+		{Cas(5, 6, 7, 8), "cas r5, (r6), r7, r8"},
+		{Nop(), "nop"},
+		{Halt(), "halt"},
+		{Yield(), "yield"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := LI(5, 1).Validate(10); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+	if err := (Instr{Op: opCount}).Validate(10); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	if err := (Instr{Op: OpMov, Rd: NumRegs}).Validate(10); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+	if err := Jmp(10).Validate(10); err == nil {
+		t.Error("out-of-range jump target accepted")
+	}
+	if err := Jmp(10).Validate(-1); err != nil {
+		t.Errorf("target validation not skipped: %v", err)
+	}
+	if err := Beqz(1, -1).Validate(10); err == nil {
+		t.Error("negative branch target accepted")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{Name: "t", Code: []Instr{Halt()}, Entries: []int64{0}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	if err := (&Program{Name: "e"}).Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+	bad := &Program{Name: "b", Code: []Instr{Halt()}, Entries: []int64{5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+	neg := &Program{Name: "n", Code: []Instr{Halt()}, DataBase: -1}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative data base accepted")
+	}
+}
+
+func TestEncodeDecodeInstr(t *testing.T) {
+	ins := []Instr{
+		LI(5, -1234567890123), Cas(5, 6, 7, 8), Load(4, 2, 1<<40),
+		Store(4, 2, -9), Jal(1, 77), Halt(),
+	}
+	for _, in := range ins {
+		b := EncodeInstr(nil, in)
+		got, err := DecodeInstr(b)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", in, err)
+		}
+		if got != in {
+			t.Errorf("roundtrip: got %v, want %v", got, in)
+		}
+	}
+	if _, err := DecodeInstr([]byte{1, 2}); err == nil {
+		t.Error("short encoding accepted")
+	}
+	if _, err := DecodeInstr(make([]byte, instrBytes)); err != nil {
+		t.Errorf("all-zero (nop) encoding rejected: %v", err)
+	}
+	bad := EncodeInstr(nil, Instr{})
+	bad[0] = byte(opCount)
+	if _, err := DecodeInstr(bad); err == nil {
+		t.Error("invalid opcode decoded without error")
+	}
+}
+
+func TestProgramRoundtrip(t *testing.T) {
+	p := &Program{
+		Name:     "round",
+		Code:     []Instr{LI(4, 9), Store(4, 0, 100), Jmp(3), Halt()},
+		Data:     []int64{1, 2, 3},
+		DataBase: 100,
+		Entries:  []int64{0, 3},
+		Symbols:  map[string]int64{"x": 100, "y": 101},
+		Labels:   map[string]int64{"main": 0, "end": 3},
+		LineInfo: []string{"a", "b", "c", "d"},
+	}
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || len(q.Code) != len(p.Code) || q.DataBase != p.DataBase {
+		t.Fatalf("header mismatch: %+v", q)
+	}
+	for i := range p.Code {
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("code[%d] = %v, want %v", i, q.Code[i], p.Code[i])
+		}
+	}
+	for i := range p.Data {
+		if q.Data[i] != p.Data[i] {
+			t.Errorf("data[%d] = %d, want %d", i, q.Data[i], p.Data[i])
+		}
+	}
+	for k, v := range p.Symbols {
+		if q.Symbols[k] != v {
+			t.Errorf("symbol %s = %d, want %d", k, q.Symbols[k], v)
+		}
+	}
+	for k, v := range p.Labels {
+		if q.Labels[k] != v {
+			t.Errorf("label %s = %d, want %d", k, q.Labels[k], v)
+		}
+	}
+	for i := range p.LineInfo {
+		if q.LineInfo[i] != p.LineInfo[i] {
+			t.Errorf("lineinfo[%d] = %q, want %q", i, q.LineInfo[i], p.LineInfo[i])
+		}
+	}
+}
+
+func TestReadProgramTruncated(t *testing.T) {
+	p := &Program{Name: "t", Code: []Instr{Halt()}}
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	for cut := 0; cut < len(img)-1; cut += 3 {
+		if _, err := ReadProgram(bytes.NewReader(img[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := ReadProgram(bytes.NewReader(img)); err != nil {
+		t.Errorf("full image rejected: %v", err)
+	}
+}
+
+// TestEncodeInstrRoundtripQuick property-tests that any well-formed
+// instruction survives the binary encoding.
+func TestEncodeInstrRoundtripQuick(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2, rs3 uint8, imm int64) bool {
+		in := Instr{
+			Op:  Op(op % uint8(opCount)),
+			Rd:  Reg(rd % NumRegs),
+			Rs1: Reg(rs1 % NumRegs),
+			Rs2: Reg(rs2 % NumRegs),
+			Rs3: Reg(rs3 % NumRegs),
+			Imm: imm,
+		}
+		got, err := DecodeInstr(EncodeInstr(nil, in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramQueries(t *testing.T) {
+	p := &Program{
+		Name:     "q",
+		Code:     []Instr{Nop(), Halt()},
+		Symbols:  map[string]int64{"buf": 10, "cnt": 20},
+		Labels:   map[string]int64{"main": 0},
+		LineInfo: []string{"one", "two"},
+	}
+	if got := p.LocationOf(1); got != "two" {
+		t.Errorf("LocationOf(1) = %q", got)
+	}
+	if got := p.LocationOf(5); got != "" {
+		t.Errorf("LocationOf(5) = %q", got)
+	}
+	if got := p.LabelAt(0); got != "main" {
+		t.Errorf("LabelAt(0) = %q", got)
+	}
+	if got := p.LabelAt(1); got != "" {
+		t.Errorf("LabelAt(1) = %q", got)
+	}
+	if got := p.SymbolFor(10); got != "buf" {
+		t.Errorf("SymbolFor(10) = %q", got)
+	}
+	if got := p.SymbolFor(12); got != "buf+2" {
+		t.Errorf("SymbolFor(12) = %q", got)
+	}
+	if got := p.SymbolFor(25); got != "cnt+5" {
+		t.Errorf("SymbolFor(25) = %q", got)
+	}
+	if got := p.SymbolFor(5); got != "" {
+		t.Errorf("SymbolFor(5) = %q", got)
+	}
+}

@@ -1,0 +1,199 @@
+package lang
+
+// AST node definitions. Every node carries its source line for the
+// compiler's LineInfo, which the detectors use to map violation PCs back to
+// SVL source.
+
+// Program is a parsed SVL compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+	Threads []*ThreadDecl
+}
+
+// GlobalKind classifies global declarations.
+type GlobalKind int
+
+const (
+	// GlobalShared is a shared variable or array: one copy, visible to all
+	// threads.
+	GlobalShared GlobalKind = iota
+	// GlobalLocal is a thread-local global: one copy per thread,
+	// addressed by tid under the hood.
+	GlobalLocal
+	// GlobalLock is a lock word used by lock()/unlock().
+	GlobalLock
+)
+
+// GlobalDecl declares a global variable, array, or lock.
+type GlobalDecl struct {
+	Kind    GlobalKind
+	Name    string
+	Size    int64 // array length; 1 for scalars and locks
+	IsArray bool  // declared with [n]
+	Init    int64 // scalar initializer (shared scalars only)
+	Line    int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// ThreadDecl maps a CPU to its entry call.
+type ThreadDecl struct {
+	CPU  int
+	Func string
+	Args []Expr
+	Line int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+// VarStmt declares zero-initialized stack locals.
+type VarStmt struct {
+	Names []string
+	Line  int
+}
+
+// AssignStmt stores Value into Target.
+type AssignStmt struct {
+	Target *LValue
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is a conditional with an optional else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is a C-style for loop. Init and Post are assignments and may be
+// nil; a nil Cond loops forever. continue jumps to Post, as in C.
+type ForStmt struct {
+	Init *AssignStmt // may be nil
+	Cond Expr        // may be nil (true)
+	Post *AssignStmt // may be nil
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt returns from the enclosing function, optionally with a value.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// LockStmt acquires a lock; UnlockStmt releases it. Index is non-nil for
+// lock arrays ("lock w[4]; ... lock(w[i]);").
+type LockStmt struct {
+	Name  string
+	Index Expr // nil for scalar locks
+	Line  int
+}
+
+// UnlockStmt releases a lock.
+type UnlockStmt struct {
+	Name  string
+	Index Expr // nil for scalar locks
+	Line  int
+}
+
+// YieldStmt hints the scheduler.
+type YieldStmt struct{ Line int }
+
+func (s *VarStmt) stmtLine() int      { return s.Line }
+func (s *AssignStmt) stmtLine() int   { return s.Line }
+func (s *IfStmt) stmtLine() int       { return s.Line }
+func (s *WhileStmt) stmtLine() int    { return s.Line }
+func (s *ForStmt) stmtLine() int      { return s.Line }
+func (s *ReturnStmt) stmtLine() int   { return s.Line }
+func (s *BreakStmt) stmtLine() int    { return s.Line }
+func (s *ContinueStmt) stmtLine() int { return s.Line }
+func (s *ExprStmt) stmtLine() int     { return s.Line }
+func (s *LockStmt) stmtLine() int     { return s.Line }
+func (s *UnlockStmt) stmtLine() int   { return s.Line }
+func (s *YieldStmt) stmtLine() int    { return s.Line }
+
+// LValue is an assignable location: a scalar or an array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Line  int
+}
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// VarRef reads a variable (stack local, param, global scalar, or tid).
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Func string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr applies "-" or "!".
+type UnaryExpr struct {
+	Op   tokKind
+	X    Expr
+	Line int
+}
+
+// BinaryExpr applies a binary operator; && and || short-circuit.
+type BinaryExpr struct {
+	Op   tokKind
+	L, R Expr
+	Line int
+}
+
+func (e *IntLit) exprLine() int     { return e.Line }
+func (e *VarRef) exprLine() int     { return e.Line }
+func (e *IndexExpr) exprLine() int  { return e.Line }
+func (e *CallExpr) exprLine() int   { return e.Line }
+func (e *UnaryExpr) exprLine() int  { return e.Line }
+func (e *BinaryExpr) exprLine() int { return e.Line }

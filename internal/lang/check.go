@@ -1,0 +1,352 @@
+package lang
+
+import "fmt"
+
+// maxParams is the number of argument registers (a0..a3).
+const maxParams = 4
+
+// maxGlobalWords bounds the data segment (thread-local globals multiply by
+// the thread count downstream, so this also caps that product at 64x).
+const maxGlobalWords = 1 << 22
+
+// checked holds the resolved program: symbol tables the code generator
+// consumes.
+type checked struct {
+	prog    *Program
+	globals map[string]*GlobalDecl
+	funcs   map[string]*FuncDecl
+
+	// frames maps each function to its stack layout: slot offsets for
+	// params and locals, in frame words from SP after the prologue.
+	frames map[string]*frame
+
+	// numThreads is max thread id + 1.
+	numThreads int
+}
+
+type frame struct {
+	slots map[string]int64
+	size  int64
+}
+
+// check resolves names and validates the program.
+func check(prog *Program) (*checked, error) {
+	c := &checked{
+		prog:    prog,
+		globals: make(map[string]*GlobalDecl),
+		funcs:   make(map[string]*FuncDecl),
+		frames:  make(map[string]*frame),
+	}
+
+	var dataWords int64
+	for _, g := range prog.Globals {
+		if g.Name == "tid" {
+			return nil, errf(g.Line, 1, "cannot declare %q: reserved", g.Name)
+		}
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, errf(g.Line, 1, "duplicate global %q", g.Name)
+		}
+		if g.Size > maxGlobalWords {
+			return nil, errf(g.Line, 1, "global %q too large (%d words; limit %d)", g.Name, g.Size, maxGlobalWords)
+		}
+		dataWords += g.Size
+		if dataWords > maxGlobalWords {
+			return nil, errf(g.Line, 1, "globals exceed %d words", maxGlobalWords)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return nil, errf(f.Line, 1, "duplicate function %q", f.Name)
+		}
+		if _, clash := c.globals[f.Name]; clash {
+			return nil, errf(f.Line, 1, "function %q collides with a global", f.Name)
+		}
+		if len(f.Params) > maxParams {
+			return nil, errf(f.Line, 1, "function %q has %d parameters; at most %d", f.Name, len(f.Params), maxParams)
+		}
+		c.funcs[f.Name] = f
+	}
+
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(prog.Threads) == 0 {
+		return nil, errf(1, 1, "program declares no threads")
+	}
+	seenCPU := map[int]bool{}
+	for _, th := range prog.Threads {
+		if seenCPU[th.CPU] {
+			return nil, errf(th.Line, 1, "duplicate thread %d", th.CPU)
+		}
+		seenCPU[th.CPU] = true
+		if th.CPU+1 > c.numThreads {
+			c.numThreads = th.CPU + 1
+		}
+		fn, ok := c.funcs[th.Func]
+		if !ok {
+			return nil, errf(th.Line, 1, "thread %d calls undefined function %q", th.CPU, th.Func)
+		}
+		if len(th.Args) != len(fn.Params) {
+			return nil, errf(th.Line, 1, "thread %d passes %d args to %q (wants %d)",
+				th.CPU, len(th.Args), th.Func, len(fn.Params))
+		}
+		for _, a := range th.Args {
+			if err := c.checkExpr(a, nil, th.Line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// checkFunc lays out the frame and validates the body. SVL has
+// function-scoped locals (all var declarations are hoisted, C89-style).
+func (c *checked) checkFunc(f *FuncDecl) error {
+	fr := &frame{slots: make(map[string]int64)}
+	c.frames[f.Name] = fr
+	declare := func(name string, line int) error {
+		if name == "tid" {
+			return errf(line, 1, "cannot declare %q: reserved", name)
+		}
+		if _, dup := fr.slots[name]; dup {
+			return errf(line, 1, "duplicate local %q in function %q", name, f.Name)
+		}
+		fr.slots[name] = fr.size
+		fr.size++
+		return nil
+	}
+	for _, p := range f.Params {
+		if err := declare(p, f.Line); err != nil {
+			return err
+		}
+	}
+	var collect func(stmts []Stmt) error
+	collect = func(stmts []Stmt) error {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *VarStmt:
+				for _, n := range s.Names {
+					if err := declare(n, s.Line); err != nil {
+						return err
+					}
+				}
+			case *IfStmt:
+				if err := collect(s.Then); err != nil {
+					return err
+				}
+				if err := collect(s.Else); err != nil {
+					return err
+				}
+			case *WhileStmt:
+				if err := collect(s.Body); err != nil {
+					return err
+				}
+			case *ForStmt:
+				if err := collect(s.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := collect(f.Body); err != nil {
+		return err
+	}
+	return c.checkStmts(f.Body, fr, 0)
+}
+
+func (c *checked) checkStmts(stmts []Stmt, fr *frame, loopDepth int) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *VarStmt:
+			// Declared during frame layout.
+		case *AssignStmt:
+			if err := c.checkLValue(s.Target, fr); err != nil {
+				return err
+			}
+			if err := c.checkExpr(s.Value, fr, s.Line); err != nil {
+				return err
+			}
+		case *IfStmt:
+			if err := c.checkExpr(s.Cond, fr, s.Line); err != nil {
+				return err
+			}
+			if err := c.checkStmts(s.Then, fr, loopDepth); err != nil {
+				return err
+			}
+			if err := c.checkStmts(s.Else, fr, loopDepth); err != nil {
+				return err
+			}
+		case *WhileStmt:
+			if err := c.checkExpr(s.Cond, fr, s.Line); err != nil {
+				return err
+			}
+			if err := c.checkStmts(s.Body, fr, loopDepth+1); err != nil {
+				return err
+			}
+		case *ForStmt:
+			if s.Init != nil {
+				if err := c.checkStmts([]Stmt{s.Init}, fr, loopDepth); err != nil {
+					return err
+				}
+			}
+			if s.Cond != nil {
+				if err := c.checkExpr(s.Cond, fr, s.Line); err != nil {
+					return err
+				}
+			}
+			if s.Post != nil {
+				if err := c.checkStmts([]Stmt{s.Post}, fr, loopDepth); err != nil {
+					return err
+				}
+			}
+			if err := c.checkStmts(s.Body, fr, loopDepth+1); err != nil {
+				return err
+			}
+		case *ReturnStmt:
+			if s.Value != nil {
+				if err := c.checkExpr(s.Value, fr, s.Line); err != nil {
+					return err
+				}
+			}
+		case *BreakStmt:
+			if loopDepth == 0 {
+				return errf(s.Line, 1, "break outside loop")
+			}
+		case *ContinueStmt:
+			if loopDepth == 0 {
+				return errf(s.Line, 1, "continue outside loop")
+			}
+		case *ExprStmt:
+			if _, ok := s.X.(*CallExpr); !ok {
+				return errf(s.Line, 1, "expression statement must be a call")
+			}
+			if err := c.checkExpr(s.X, fr, s.Line); err != nil {
+				return err
+			}
+		case *LockStmt:
+			if err := c.checkLockUse(s.Name, s.Index, fr, s.Line); err != nil {
+				return err
+			}
+		case *UnlockStmt:
+			if err := c.checkLockUse(s.Name, s.Index, fr, s.Line); err != nil {
+				return err
+			}
+		case *YieldStmt:
+		default:
+			return fmt.Errorf("svl: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (c *checked) checkLockUse(name string, index Expr, fr *frame, line int) error {
+	g, ok := c.globals[name]
+	if !ok {
+		return errf(line, 1, "undefined lock %q", name)
+	}
+	if g.Kind != GlobalLock {
+		return errf(line, 1, "%q is not a lock", name)
+	}
+	if g.IsArray && index == nil {
+		return errf(line, 1, "lock array %q needs an index", name)
+	}
+	if !g.IsArray && index != nil {
+		return errf(line, 1, "lock %q is not an array", name)
+	}
+	if index != nil {
+		return c.checkExpr(index, fr, line)
+	}
+	return nil
+}
+
+func (c *checked) checkLValue(lv *LValue, fr *frame) error {
+	if lv.Name == "tid" {
+		return errf(lv.Line, 1, "cannot assign to tid")
+	}
+	if lv.Index != nil {
+		g, ok := c.globals[lv.Name]
+		if !ok || !g.IsArray {
+			return errf(lv.Line, 1, "%q is not an array", lv.Name)
+		}
+		if g.Kind == GlobalLock {
+			return errf(lv.Line, 1, "cannot index lock %q", lv.Name)
+		}
+		return c.checkExpr(lv.Index, fr, lv.Line)
+	}
+	if fr != nil {
+		if _, ok := fr.slots[lv.Name]; ok {
+			return nil
+		}
+	}
+	if g, ok := c.globals[lv.Name]; ok {
+		if g.IsArray {
+			return errf(lv.Line, 1, "array %q needs an index", lv.Name)
+		}
+		if g.Kind == GlobalLock {
+			return errf(lv.Line, 1, "assign to lock %q: use lock()/unlock()", lv.Name)
+		}
+		return nil
+	}
+	return errf(lv.Line, 1, "undefined variable %q", lv.Name)
+}
+
+// checkExpr validates an expression. fr is nil in thread-declaration
+// context, where only globals, literals, and tid are visible.
+func (c *checked) checkExpr(e Expr, fr *frame, line int) error {
+	switch e := e.(type) {
+	case *IntLit:
+		return nil
+	case *VarRef:
+		if e.Name == "tid" {
+			return nil
+		}
+		if fr != nil {
+			if _, ok := fr.slots[e.Name]; ok {
+				return nil
+			}
+		}
+		if g, ok := c.globals[e.Name]; ok {
+			if g.IsArray {
+				return errf(e.Line, 1, "array %q needs an index", e.Name)
+			}
+			if g.Kind == GlobalLock {
+				return errf(e.Line, 1, "lock %q cannot be read directly", e.Name)
+			}
+			return nil
+		}
+		return errf(e.Line, 1, "undefined variable %q", e.Name)
+	case *IndexExpr:
+		g, ok := c.globals[e.Name]
+		if !ok || !g.IsArray {
+			return errf(e.Line, 1, "%q is not an array", e.Name)
+		}
+		return c.checkExpr(e.Index, fr, e.Line)
+	case *CallExpr:
+		fn, ok := c.funcs[e.Func]
+		if !ok {
+			return errf(e.Line, 1, "undefined function %q", e.Func)
+		}
+		if len(e.Args) != len(fn.Params) {
+			return errf(e.Line, 1, "%q wants %d args, got %d", e.Func, len(fn.Params), len(e.Args))
+		}
+		for _, a := range e.Args {
+			if err := c.checkExpr(a, fr, e.Line); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *UnaryExpr:
+		return c.checkExpr(e.X, fr, e.Line)
+	case *BinaryExpr:
+		if err := c.checkExpr(e.L, fr, e.Line); err != nil {
+			return err
+		}
+		return c.checkExpr(e.R, fr, e.Line)
+	}
+	return fmt.Errorf("svl: unknown expression %T", e)
+}

@@ -1,0 +1,673 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Options parameterize compilation.
+type Options struct {
+	// Name labels the program; it also prefixes LineInfo entries.
+	Name string
+	// DataBase is the word address where globals are laid out.
+	DataBase int64
+	// Optimize applies the AST optimizer (constant folding, identities,
+	// dead-branch elimination) before code generation.
+	Optimize bool
+}
+
+// Compile parses, checks, and compiles SVL source.
+func Compile(src string, opts Options) (*isa.Program, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAST(ast, opts)
+}
+
+// MustCompile is Compile for fixed workload sources; it panics on error.
+func MustCompile(src string, opts Options) *isa.Program {
+	p, err := Compile(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CompileAST checks and compiles a parsed program.
+func CompileAST(ast *Program, opts Options) (*isa.Program, error) {
+	if opts.Optimize {
+		// Check before optimizing so that errors in code the optimizer
+		// would delete are still reported.
+		if _, err := check(ast); err != nil {
+			return nil, err
+		}
+		ast = Optimize(ast)
+	}
+	c, err := check(ast)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Name == "" {
+		opts.Name = "svl"
+	}
+	g := &codegen{
+		c:       c,
+		opts:    opts,
+		labels:  make(map[string]int64),
+		symbols: make(map[string]int64),
+	}
+	return g.run()
+}
+
+// maxTemps is the expression register stack depth (t0..t9).
+const maxTemps = 10
+
+func tempReg(d int) isa.Reg { return isa.RegT0 + isa.Reg(d) }
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+type codegen struct {
+	c    *checked
+	opts Options
+
+	code     []isa.Instr
+	lineInfo []string
+	fixups   []fixup
+	labels   map[string]int64
+	symbols  map[string]int64
+	data     []int64
+	nextLbl  int
+
+	curFunc *FuncDecl
+	curLine int
+
+	// Loop context for break/continue.
+	loopCond []string
+	loopEnd  []string
+}
+
+func (g *codegen) run() (*isa.Program, error) {
+	g.layoutData()
+
+	// Thread bootstraps first, so each CPU's entry is compact.
+	entries := make([]int64, 0)
+	for _, th := range g.c.prog.Threads {
+		for len(entries) <= th.CPU {
+			entries = append(entries, -1)
+		}
+	}
+	for _, th := range g.c.prog.Threads {
+		g.curLine = th.Line
+		entries[th.CPU] = int64(len(g.code))
+		g.labels[fmt.Sprintf("__thread_%d", th.CPU)] = int64(len(g.code))
+		if err := g.callSequence(th.Func, th.Args, 0, th.Line); err != nil {
+			return nil, err
+		}
+		g.emit(isa.Halt())
+	}
+	// CPUs without thread declarations park on a shared halt.
+	sharedHalt := int64(len(g.code))
+	g.emit(isa.Halt())
+	for i, e := range entries {
+		if e < 0 {
+			entries[i] = sharedHalt
+		}
+	}
+
+	for _, f := range g.c.prog.Funcs {
+		if err := g.genFunc(f); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, fx := range g.fixups {
+		pc, ok := g.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("svl: internal error: undefined label %q", fx.label)
+		}
+		g.code[fx.pc].Imm = pc
+	}
+
+	p := &isa.Program{
+		Name:     g.opts.Name,
+		Code:     g.code,
+		Data:     g.data,
+		DataBase: g.opts.DataBase,
+		Entries:  entries,
+		Symbols:  g.symbols,
+		Labels:   g.labels,
+		LineInfo: g.lineInfo,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("svl: generated invalid code: %w", err)
+	}
+	return p, nil
+}
+
+// layoutData places globals: locks first, then shared globals, then
+// thread-local globals (numThreads copies each).
+func (g *codegen) layoutData() {
+	place := func(decl *GlobalDecl, copies int64) {
+		g.symbols[decl.Name] = g.opts.DataBase + int64(len(g.data))
+		words := make([]int64, decl.Size*copies)
+		if decl.Kind == GlobalShared && !decl.IsArray {
+			for i := range words {
+				words[i] = decl.Init
+			}
+		}
+		g.data = append(g.data, words...)
+	}
+	for _, decl := range g.c.prog.Globals {
+		if decl.Kind == GlobalLock {
+			place(decl, 1)
+		}
+	}
+	for _, decl := range g.c.prog.Globals {
+		if decl.Kind == GlobalShared {
+			place(decl, 1)
+		}
+	}
+	for _, decl := range g.c.prog.Globals {
+		if decl.Kind == GlobalLocal {
+			place(decl, int64(g.c.numThreads))
+		}
+	}
+}
+
+func (g *codegen) emit(in isa.Instr) {
+	g.code = append(g.code, in)
+	g.lineInfo = append(g.lineInfo, fmt.Sprintf("%s:%d", g.opts.Name, g.curLine))
+}
+
+func (g *codegen) emitBranch(in isa.Instr, label string) {
+	g.fixups = append(g.fixups, fixup{pc: len(g.code), label: label})
+	g.emit(in)
+}
+
+func (g *codegen) newLabel(hint string) string {
+	g.nextLbl++
+	return fmt.Sprintf(".%s%d", hint, g.nextLbl)
+}
+
+func (g *codegen) bind(label string) { g.labels[label] = int64(len(g.code)) }
+
+func (g *codegen) genFunc(f *FuncDecl) error {
+	g.curFunc = f
+	g.curLine = f.Line
+	fr := g.c.frames[f.Name]
+	g.labels[f.Name] = int64(len(g.code))
+	epilogue := g.newLabel("ret_" + f.Name)
+
+	// Prologue: push ra, allocate the frame, spill params, zero locals.
+	g.emit(isa.Addi(isa.RegSP, isa.RegSP, -1))
+	g.emit(isa.Store(isa.RegRA, isa.RegSP, 0))
+	if fr.size > 0 {
+		g.emit(isa.Addi(isa.RegSP, isa.RegSP, -fr.size))
+	}
+	for i, p := range f.Params {
+		g.emit(isa.Store(isa.RegA0+isa.Reg(i), isa.RegSP, fr.slots[p]))
+	}
+	params := map[string]bool{}
+	for _, p := range f.Params {
+		params[p] = true
+	}
+	for name, off := range fr.slots {
+		if !params[name] {
+			g.emit(isa.Store(isa.RegZero, isa.RegSP, off))
+		}
+	}
+
+	if err := g.genStmts(f.Body, epilogue); err != nil {
+		return err
+	}
+
+	// Epilogue: free the frame, restore ra, return.
+	g.bind(epilogue)
+	if fr.size > 0 {
+		g.emit(isa.Addi(isa.RegSP, isa.RegSP, fr.size))
+	}
+	g.emit(isa.Load(isa.RegRA, isa.RegSP, 0))
+	g.emit(isa.Addi(isa.RegSP, isa.RegSP, 1))
+	g.emit(isa.Jr(isa.RegRA))
+	return nil
+}
+
+func (g *codegen) genStmts(stmts []Stmt, epilogue string) error {
+	for _, s := range stmts {
+		if err := g.genStmt(s, epilogue); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt, epilogue string) error {
+	g.curLine = s.stmtLine()
+	switch s := s.(type) {
+	case *VarStmt:
+		return nil // zero-initialized in the prologue
+
+	case *AssignStmt:
+		return g.genAssign(s)
+
+	case *IfStmt:
+		if err := g.evalExpr(s.Cond, 0); err != nil {
+			return err
+		}
+		if len(s.Else) == 0 {
+			end := g.newLabel("endif")
+			g.emitBranch(isa.Beqz(tempReg(0), 0), end)
+			if err := g.genStmts(s.Then, epilogue); err != nil {
+				return err
+			}
+			g.bind(end)
+			return nil
+		}
+		els, end := g.newLabel("else"), g.newLabel("endif")
+		g.emitBranch(isa.Beqz(tempReg(0), 0), els)
+		if err := g.genStmts(s.Then, epilogue); err != nil {
+			return err
+		}
+		g.curLine = s.Line
+		g.emitBranch(isa.Jmp(0), end) // the branch-always Skipper probes
+		g.bind(els)
+		if err := g.genStmts(s.Else, epilogue); err != nil {
+			return err
+		}
+		g.bind(end)
+		return nil
+
+	case *WhileStmt:
+		cond, end := g.newLabel("while"), g.newLabel("endwhile")
+		g.bind(cond)
+		if err := g.evalExpr(s.Cond, 0); err != nil {
+			return err
+		}
+		g.emitBranch(isa.Beqz(tempReg(0), 0), end)
+		g.loopCond = append(g.loopCond, cond)
+		g.loopEnd = append(g.loopEnd, end)
+		err := g.genStmts(s.Body, epilogue)
+		g.loopCond = g.loopCond[:len(g.loopCond)-1]
+		g.loopEnd = g.loopEnd[:len(g.loopEnd)-1]
+		if err != nil {
+			return err
+		}
+		g.curLine = s.Line
+		g.emitBranch(isa.Jmp(0), cond)
+		g.bind(end)
+		return nil
+
+	case *ForStmt:
+		// init; Lcond: cond? beqz Lend; body; Lpost: post; jmp Lcond;
+		// Lend. continue targets Lpost (the post clause runs, as in C).
+		if s.Init != nil {
+			if err := g.genStmt(s.Init, epilogue); err != nil {
+				return err
+			}
+		}
+		cond, post, end := g.newLabel("for"), g.newLabel("forpost"), g.newLabel("endfor")
+		g.bind(cond)
+		if s.Cond != nil {
+			g.curLine = s.Line
+			if err := g.evalExpr(s.Cond, 0); err != nil {
+				return err
+			}
+			g.emitBranch(isa.Beqz(tempReg(0), 0), end)
+		}
+		g.loopCond = append(g.loopCond, post)
+		g.loopEnd = append(g.loopEnd, end)
+		err := g.genStmts(s.Body, epilogue)
+		g.loopCond = g.loopCond[:len(g.loopCond)-1]
+		g.loopEnd = g.loopEnd[:len(g.loopEnd)-1]
+		if err != nil {
+			return err
+		}
+		g.bind(post)
+		if s.Post != nil {
+			if err := g.genStmt(s.Post, epilogue); err != nil {
+				return err
+			}
+		}
+		g.curLine = s.Line
+		g.emitBranch(isa.Jmp(0), cond)
+		g.bind(end)
+		return nil
+
+	case *ReturnStmt:
+		if s.Value != nil {
+			if err := g.evalExpr(s.Value, 0); err != nil {
+				return err
+			}
+			g.emit(isa.Mov(isa.RegA0, tempReg(0)))
+		}
+		g.emitBranch(isa.Jmp(0), epilogue)
+		return nil
+
+	case *BreakStmt:
+		g.emitBranch(isa.Jmp(0), g.loopEnd[len(g.loopEnd)-1])
+		return nil
+
+	case *ContinueStmt:
+		g.emitBranch(isa.Jmp(0), g.loopCond[len(g.loopCond)-1])
+		return nil
+
+	case *ExprStmt:
+		return g.evalExpr(s.X, 0)
+
+	case *LockStmt:
+		// Spin: cas until the lock word flips 0 -> 1, yielding while
+		// contended. The detector sees plain loads and stores here — SVL
+		// locks are invisible to SVD, exactly like pthread locks compiled
+		// to SPARC CAS were in the paper.
+		if err := g.lockAddr(s.Name, s.Index); err != nil {
+			return err
+		}
+		acq, done := g.newLabel("acquire"), g.newLabel("locked")
+		g.emit(isa.LI(tempReg(1), 0))
+		g.emit(isa.LI(tempReg(2), 1))
+		g.bind(acq)
+		g.emit(isa.Cas(tempReg(3), tempReg(0), tempReg(1), tempReg(2)))
+		g.emitBranch(isa.Bnez(tempReg(3), 0), done)
+		g.emit(isa.Yield())
+		g.emitBranch(isa.Jmp(0), acq)
+		g.bind(done)
+		return nil
+
+	case *UnlockStmt:
+		if s.Index == nil {
+			g.emit(isa.Store(isa.RegZero, isa.RegZero, g.symbols[s.Name]))
+			return nil
+		}
+		if err := g.lockAddr(s.Name, s.Index); err != nil {
+			return err
+		}
+		g.emit(isa.Store(isa.RegZero, tempReg(0), 0))
+		return nil
+
+	case *YieldStmt:
+		g.emit(isa.Yield())
+		return nil
+	}
+	return fmt.Errorf("svl: unknown statement %T", s)
+}
+
+func (g *codegen) genAssign(s *AssignStmt) error {
+	lv := s.Target
+	fr := g.c.frames[g.curFunc.Name]
+
+	// Stack local or parameter.
+	if lv.Index == nil {
+		if off, ok := fr.slots[lv.Name]; ok {
+			if err := g.evalExpr(s.Value, 0); err != nil {
+				return err
+			}
+			g.emit(isa.Store(tempReg(0), isa.RegSP, off))
+			return nil
+		}
+	}
+
+	decl := g.c.globals[lv.Name]
+	base := g.symbols[lv.Name]
+	switch {
+	case lv.Index == nil && decl.Kind == GlobalShared:
+		if err := g.evalExpr(s.Value, 0); err != nil {
+			return err
+		}
+		g.emit(isa.Store(tempReg(0), isa.RegZero, base))
+
+	case lv.Index == nil && decl.Kind == GlobalLocal:
+		if err := g.evalExpr(s.Value, 0); err != nil {
+			return err
+		}
+		if g.opts.Optimize {
+			// Addressing-mode fold: the per-thread copy lives at
+			// base + tid, reachable in one store.
+			g.emit(isa.Store(tempReg(0), isa.RegTID, base))
+			return nil
+		}
+		g.emit(isa.LI(tempReg(1), base))
+		g.emit(isa.ALU(isa.OpAdd, tempReg(1), tempReg(1), isa.RegTID))
+		g.emit(isa.Store(tempReg(0), tempReg(1), 0))
+
+	case lv.Index != nil && decl.Kind == GlobalShared:
+		if err := g.evalExpr(lv.Index, 0); err != nil {
+			return err
+		}
+		if err := g.evalExpr(s.Value, 1); err != nil {
+			return err
+		}
+		if g.opts.Optimize {
+			g.emit(isa.Store(tempReg(1), tempReg(0), base))
+			return nil
+		}
+		g.emit(isa.Addi(tempReg(0), tempReg(0), base))
+		g.emit(isa.Store(tempReg(1), tempReg(0), 0))
+
+	case lv.Index != nil && decl.Kind == GlobalLocal:
+		if err := g.evalExpr(lv.Index, 0); err != nil {
+			return err
+		}
+		if err := g.evalExpr(s.Value, 1); err != nil {
+			return err
+		}
+		g.emit(isa.LI(tempReg(2), decl.Size))
+		g.emit(isa.ALU(isa.OpMul, tempReg(2), isa.RegTID, tempReg(2)))
+		g.emit(isa.ALU(isa.OpAdd, tempReg(0), tempReg(0), tempReg(2)))
+		if g.opts.Optimize {
+			g.emit(isa.Store(tempReg(1), tempReg(0), base))
+			return nil
+		}
+		g.emit(isa.Addi(tempReg(0), tempReg(0), base))
+		g.emit(isa.Store(tempReg(1), tempReg(0), 0))
+
+	default:
+		return errf(lv.Line, 1, "cannot assign to %q", lv.Name)
+	}
+	return nil
+}
+
+// evalExpr generates code leaving the expression's value in tempReg(d).
+// Registers tempReg(0..d-1) hold live values and are preserved.
+func (g *codegen) evalExpr(e Expr, d int) error {
+	if d >= maxTemps {
+		return errf(e.exprLine(), 1, "expression too complex (more than %d live temporaries)", maxTemps)
+	}
+	dst := tempReg(d)
+	switch e := e.(type) {
+	case *IntLit:
+		g.emit(isa.LI(dst, e.Val))
+
+	case *VarRef:
+		if e.Name == "tid" {
+			g.emit(isa.Mov(dst, isa.RegTID))
+			return nil
+		}
+		if g.curFunc != nil {
+			if off, ok := g.c.frames[g.curFunc.Name].slots[e.Name]; ok {
+				g.emit(isa.Load(dst, isa.RegSP, off))
+				return nil
+			}
+		}
+		decl := g.c.globals[e.Name]
+		base := g.symbols[e.Name]
+		if decl.Kind == GlobalLocal {
+			if g.opts.Optimize {
+				g.emit(isa.Load(dst, isa.RegTID, base))
+				return nil
+			}
+			g.emit(isa.LI(dst, base))
+			g.emit(isa.ALU(isa.OpAdd, dst, dst, isa.RegTID))
+			g.emit(isa.Load(dst, dst, 0))
+			return nil
+		}
+		g.emit(isa.Load(dst, isa.RegZero, base))
+
+	case *IndexExpr:
+		if err := g.evalExpr(e.Index, d); err != nil {
+			return err
+		}
+		decl := g.c.globals[e.Name]
+		base := g.symbols[e.Name]
+		if decl.Kind == GlobalLocal {
+			if d+1 >= maxTemps {
+				return errf(e.Line, 1, "expression too complex")
+			}
+			aux := tempReg(d + 1)
+			g.emit(isa.LI(aux, decl.Size))
+			g.emit(isa.ALU(isa.OpMul, aux, isa.RegTID, aux))
+			g.emit(isa.ALU(isa.OpAdd, dst, dst, aux))
+		}
+		if g.opts.Optimize {
+			g.emit(isa.Load(dst, dst, base))
+			return nil
+		}
+		g.emit(isa.Addi(dst, dst, base))
+		g.emit(isa.Load(dst, dst, 0))
+
+	case *CallExpr:
+		if err := g.callSequence(e.Func, e.Args, d, e.Line); err != nil {
+			return err
+		}
+
+	case *UnaryExpr:
+		if err := g.evalExpr(e.X, d); err != nil {
+			return err
+		}
+		switch e.Op {
+		case tokMinus:
+			g.emit(isa.ALU(isa.OpSub, dst, isa.RegZero, dst))
+		case tokNot:
+			g.emit(isa.ALU(isa.OpSeq, dst, dst, isa.RegZero))
+		default:
+			return errf(e.Line, 1, "unknown unary operator %s", e.Op)
+		}
+
+	case *BinaryExpr:
+		if e.Op == tokAndAnd || e.Op == tokOrOr {
+			return g.evalShortCircuit(e, d)
+		}
+		if err := g.evalExpr(e.L, d); err != nil {
+			return err
+		}
+		if err := g.evalExpr(e.R, d+1); err != nil {
+			return err
+		}
+		rhs := tempReg(d + 1)
+		switch e.Op {
+		case tokPlus:
+			g.emit(isa.ALU(isa.OpAdd, dst, dst, rhs))
+		case tokMinus:
+			g.emit(isa.ALU(isa.OpSub, dst, dst, rhs))
+		case tokStar:
+			g.emit(isa.ALU(isa.OpMul, dst, dst, rhs))
+		case tokSlash:
+			g.emit(isa.ALU(isa.OpDiv, dst, dst, rhs))
+		case tokPercent:
+			g.emit(isa.ALU(isa.OpMod, dst, dst, rhs))
+		case tokAmp:
+			g.emit(isa.ALU(isa.OpAnd, dst, dst, rhs))
+		case tokPipe:
+			g.emit(isa.ALU(isa.OpOr, dst, dst, rhs))
+		case tokCaret:
+			g.emit(isa.ALU(isa.OpXor, dst, dst, rhs))
+		case tokShl:
+			g.emit(isa.ALU(isa.OpShl, dst, dst, rhs))
+		case tokShr:
+			g.emit(isa.ALU(isa.OpShr, dst, dst, rhs))
+		case tokLt:
+			g.emit(isa.ALU(isa.OpSlt, dst, dst, rhs))
+		case tokLe:
+			g.emit(isa.ALU(isa.OpSle, dst, dst, rhs))
+		case tokGt:
+			g.emit(isa.ALU(isa.OpSlt, dst, rhs, dst))
+		case tokGe:
+			g.emit(isa.ALU(isa.OpSle, dst, rhs, dst))
+		case tokEq:
+			g.emit(isa.ALU(isa.OpSeq, dst, dst, rhs))
+		case tokNe:
+			g.emit(isa.ALU(isa.OpSne, dst, dst, rhs))
+		default:
+			return errf(e.Line, 1, "unknown binary operator %s", e.Op)
+		}
+
+	default:
+		return fmt.Errorf("svl: unknown expression %T", e)
+	}
+	return nil
+}
+
+// evalShortCircuit compiles && and || with branches, normalizing the result
+// to 0/1.
+func (g *codegen) evalShortCircuit(e *BinaryExpr, d int) error {
+	dst := tempReg(d)
+	if err := g.evalExpr(e.L, d); err != nil {
+		return err
+	}
+	short, end := g.newLabel("sc"), g.newLabel("scend")
+	if e.Op == tokAndAnd {
+		g.emitBranch(isa.Beqz(dst, 0), short)
+	} else {
+		g.emitBranch(isa.Bnez(dst, 0), short)
+	}
+	if err := g.evalExpr(e.R, d); err != nil {
+		return err
+	}
+	g.emit(isa.ALU(isa.OpSne, dst, dst, isa.RegZero))
+	g.emitBranch(isa.Jmp(0), end)
+	g.bind(short)
+	if e.Op == tokAndAnd {
+		g.emit(isa.LI(dst, 0))
+	} else {
+		g.emit(isa.LI(dst, 1))
+	}
+	g.bind(end)
+	return nil
+}
+
+// lockAddr leaves the address of a lock word in tempReg(0): the symbol
+// address for scalar locks, base+index for lock arrays.
+func (g *codegen) lockAddr(name string, index Expr) error {
+	base := g.symbols[name]
+	if index == nil {
+		g.emit(isa.LI(tempReg(0), base))
+		return nil
+	}
+	if err := g.evalExpr(index, 0); err != nil {
+		return err
+	}
+	g.emit(isa.Addi(tempReg(0), tempReg(0), base))
+	return nil
+}
+
+// callSequence evaluates args into temps at depth d, preserves live
+// temporaries across the call, and leaves the result in tempReg(d).
+func (g *codegen) callSequence(fn string, args []Expr, d int, line int) error {
+	if d+len(args) > maxTemps {
+		return errf(line, 1, "call arguments too complex")
+	}
+	for i, a := range args {
+		if err := g.evalExpr(a, d+i); err != nil {
+			return err
+		}
+	}
+	// Save live temporaries (t0..t(d-1)) — the callee may clobber them.
+	for i := 0; i < d; i++ {
+		g.emit(isa.Addi(isa.RegSP, isa.RegSP, -1))
+		g.emit(isa.Store(tempReg(i), isa.RegSP, 0))
+	}
+	for i := range args {
+		g.emit(isa.Mov(isa.RegA0+isa.Reg(i), tempReg(d+i)))
+	}
+	g.emitBranch(isa.Jal(isa.RegRA, 0), fn)
+	g.emit(isa.Mov(tempReg(d), isa.RegA0))
+	for i := d - 1; i >= 0; i-- {
+		g.emit(isa.Load(tempReg(i), isa.RegSP, 0))
+		g.emit(isa.Addi(isa.RegSP, isa.RegSP, 1))
+	}
+	return nil
+}

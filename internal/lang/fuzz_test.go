@@ -1,0 +1,57 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile checks that arbitrary input never panics the pipeline and
+// that accepted programs always produce validated code. Run the seed
+// corpus with `go test`; fuzz with `go test -fuzz=FuzzCompile`.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"shared x;",
+		"func main(){} thread 0 main();",
+		"shared a[4]; lock l; func f(n){ var i; while(i<n){ lock(l); a[i%4]=i; unlock(l); i=i+1; } } thread 0 f(5); thread 1 f(5);",
+		"func f(){ return f(); } thread 0 f();",
+		"shared x; func main(){ x = 1 + ; } thread 0 main();",
+		"func main(){ if (1) { } else if (0) { } } thread 0 main();",
+		"lock l[3]; func m(){ lock(l[tid]); unlock(l[tid]); } thread 0 m();",
+		"/* unterminated",
+		"func main(){ x = \x00; }",
+		"shared out; func main(){ out = (0 && (1/0)) + !2; } thread 0 main();",
+		strings.Repeat("(", 100),
+		"thread 99999 f();",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, optimize := range []bool{false, true} {
+			p, err := Compile(src, Options{Name: "fuzz", Optimize: optimize})
+			if err != nil {
+				continue
+			}
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("accepted program failed validation: %v\nsource: %q", verr, src)
+			}
+		}
+	})
+}
+
+// FuzzLexer checks the tokenizer terminates and never panics.
+func FuzzLexer(f *testing.F) {
+	for _, s := range []string{"", "a b c", "1 <<>>= && || !", "/**/ //", "\xff\xfe", "0x", "9999999999999999999999"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexAll(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("token stream not EOF-terminated for %q", src)
+		}
+	})
+}

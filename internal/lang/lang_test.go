@@ -1,0 +1,676 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// compileRun compiles src and runs it to completion, returning the machine.
+func compileRun(t *testing.T, src string, cpus int, seed uint64) *vm.VM {
+	t.Helper()
+	p, err := Compile(src, Options{Name: "test", DataBase: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpus < len(p.Entries) {
+		cpus = len(p.Entries)
+	}
+	m, err := vm.New(p, vm.Config{NumCPUs: cpus, MemWords: 1 << 16, StackWords: 1 << 10, Seed: seed, MaxQuantum: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func word(t *testing.T, m *vm.VM, sym string) int64 {
+	t.Helper()
+	addr, ok := m.Program().Symbols[sym]
+	if !ok {
+		t.Fatalf("no symbol %q", sym)
+	}
+	return m.Mem(addr)
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    out = (2 + 3) * 4 - 10 / 2 - 7 % 4;  // 20 - 5 - 3 = 12
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 12 {
+		t.Errorf("out = %d, want 12", got)
+	}
+}
+
+func TestBitwiseAndShifts(t *testing.T) {
+	src := `
+shared a; shared b; shared c; shared d; shared e;
+func main() {
+    a = 12 & 10;
+    b = 12 | 10;
+    c = 12 ^ 10;
+    d = 3 << 4;
+    e = 48 >> 4;
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	for sym, want := range map[string]int64{"a": 8, "b": 14, "c": 6, "d": 48, "e": 3} {
+		if got := word(t, m, sym); got != want {
+			t.Errorf("%s = %d, want %d", sym, got, want)
+		}
+	}
+}
+
+func TestComparisonsAndUnary(t *testing.T) {
+	src := `
+shared r[8];
+func main() {
+    r[0] = 3 < 4;
+    r[1] = 4 <= 4;
+    r[2] = 5 > 4;
+    r[3] = 4 >= 5;
+    r[4] = 4 == 4;
+    r[5] = 4 != 4;
+    r[6] = -(3);
+    r[7] = !5;
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	base := m.Program().Symbols["r"]
+	want := []int64{1, 1, 1, 0, 1, 0, -3, 0}
+	for i, w := range want {
+		if got := m.Mem(base + int64(i)); got != w {
+			t.Errorf("r[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false:
+	// evaluating it would divide by zero and fault the VM.
+	src := `
+shared ok; shared zero = 0;
+func main() {
+    if (0 && (1 / zero)) {
+        ok = 111;
+    } else {
+        ok = 1;
+    }
+    if (1 || (1 / zero)) {
+        ok = ok + 1;
+    }
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "ok"); got != 2 {
+		t.Errorf("ok = %d, want 2", got)
+	}
+}
+
+func TestWhileLoopAndLocals(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    var i, sum;
+    i = 1;
+    sum = 0;
+    while (i <= 10) {
+        sum = sum + i;
+        i = i + 1;
+    }
+    out = sum;
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 55 {
+		t.Errorf("out = %d, want 55", got)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    var i, sum;
+    sum = 0;
+    for (i = 1; i <= 10; i = i + 1) {
+        sum = sum + i;
+    }
+    out = sum;
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 55 {
+		t.Errorf("for-loop sum = %d, want 55", got)
+	}
+}
+
+func TestForLoopContinueRunsPost(t *testing.T) {
+	// The C semantics: continue jumps to the post clause, so the loop
+	// still advances.
+	src := `
+shared out;
+func main() {
+    var i, sum;
+    sum = 0;
+    for (i = 1; i <= 10; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;   // 1+3+5+7+9 = 25
+    }
+    out = sum;
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 25 {
+		t.Errorf("out = %d, want 25", got)
+	}
+}
+
+func TestForLoopBreakAndEmptyClauses(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    var i;
+    i = 0;
+    for (;;) {
+        i = i + 1;
+        if (i >= 7) { break; }
+    }
+    out = i;
+    for (; out < 10;) {
+        out = out + 1;
+    }
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 10 {
+		t.Errorf("out = %d, want 10", got)
+	}
+}
+
+func TestForLoopOptimized(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    var i, sum;
+    sum = 1;
+    for (i = 0; 0; i = i + 1) {   // dead loop: init only
+        sum = 9999;
+    }
+    for (i = 0; i < 2 + 2; i = i + 1) {
+        sum = sum * 2;            // runs 4 times: 16
+    }
+    out = sum + i * 0;
+}
+thread 0 main();
+`
+	for _, o := range []bool{false, true} {
+		p, err := Compile(src, Options{Name: "fo", Optimize: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := vm.New(p, vm.Config{NumCPUs: 1, MemWords: 1 << 14, StackWords: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1 << 16); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Mem(p.Symbols["out"]); got != 16 {
+			t.Errorf("optimize=%v: out = %d, want 16", o, got)
+		}
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    var i, sum;
+    i = 0;
+    sum = 0;
+    while (1) {
+        i = i + 1;
+        if (i > 10) { break; }
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;   // 1+3+5+7+9 = 25
+    }
+    out = sum;
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 25 {
+		t.Errorf("out = %d, want 25", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+shared out;
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() {
+    out = fib(12);
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 144 {
+		t.Errorf("fib(12) = %d, want 144", got)
+	}
+}
+
+func TestCallPreservesLiveTemporaries(t *testing.T) {
+	// The call appears mid-expression: 100 is live in a temp across it.
+	src := `
+shared out;
+func seven() { return 7; }
+func main() {
+    out = 100 + seven() * 2;
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 114 {
+		t.Errorf("out = %d, want 114", got)
+	}
+}
+
+func TestSharedArrays(t *testing.T) {
+	src := `
+shared a[10]; shared out;
+func main() {
+    var i;
+    i = 0;
+    while (i < 10) {
+        a[i] = i * i;
+        i = i + 1;
+    }
+    out = a[7];
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 49 {
+		t.Errorf("out = %d, want 49", got)
+	}
+}
+
+func TestSharedInitializer(t *testing.T) {
+	src := `
+shared x = 41; shared y = -5; shared out;
+func main() { out = x + y; }
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 36 {
+		t.Errorf("out = %d, want 36", got)
+	}
+}
+
+func TestTidAndThreadArgs(t *testing.T) {
+	src := `
+shared out[4];
+func main(bonus) {
+    out[tid] = tid * 10 + bonus;
+}
+thread 0 main(1);
+thread 1 main(2);
+thread 2 main(3);
+thread 3 main(4);
+`
+	m := compileRun(t, src, 4, 9)
+	base := m.Program().Symbols["out"]
+	for i := int64(0); i < 4; i++ {
+		if got := m.Mem(base + i); got != i*10+i+1 {
+			t.Errorf("out[%d] = %d, want %d", i, got, i*10+i+1)
+		}
+	}
+}
+
+func TestLocalGlobalsArePerThread(t *testing.T) {
+	src := `
+local mine;
+local arr[4];
+shared out[2];
+func main() {
+    var i;
+    mine = (tid + 1) * 100;
+    i = 0;
+    while (i < 4) {
+        arr[i] = mine + i;
+        i = i + 1;
+    }
+    yield();
+    out[tid] = arr[3];   // must be unaffected by the other thread
+}
+thread 0 main();
+thread 1 main();
+`
+	for seed := uint64(0); seed < 4; seed++ {
+		m := compileRun(t, src, 2, seed)
+		base := m.Program().Symbols["out"]
+		if got := m.Mem(base); got != 103 {
+			t.Errorf("seed %d: out[0] = %d, want 103", seed, got)
+		}
+		if got := m.Mem(base + 1); got != 203 {
+			t.Errorf("seed %d: out[1] = %d, want 203", seed, got)
+		}
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	src := `
+lock l;
+shared counter;
+func main() {
+    var i;
+    i = 0;
+    while (i < 100) {
+        lock(l);
+        counter = counter + 1;
+        unlock(l);
+        i = i + 1;
+    }
+}
+thread 0 main();
+thread 1 main();
+thread 2 main();
+`
+	for seed := uint64(0); seed < 4; seed++ {
+		m := compileRun(t, src, 3, seed)
+		if got := word(t, m, "counter"); got != 300 {
+			t.Errorf("seed %d: counter = %d, want 300", seed, got)
+		}
+	}
+}
+
+func TestRacyCounterLosesUpdates(t *testing.T) {
+	src := `
+shared counter;
+func main() {
+    var i;
+    i = 0;
+    while (i < 100) {
+        counter = counter + 1;
+        i = i + 1;
+    }
+}
+thread 0 main();
+thread 1 main();
+thread 2 main();
+`
+	lost := false
+	for seed := uint64(0); seed < 8 && !lost; seed++ {
+		m := compileRun(t, src, 3, seed)
+		if word(t, m, "counter") < 300 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Error("racy counter never lost an update across seeds")
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+shared out;
+func classify(n) {
+    if (n < 10) { return 1; }
+    else if (n < 100) { return 2; }
+    else { return 3; }
+}
+func main() {
+    out = classify(5) * 100 + classify(50) * 10 + classify(500);
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 123 {
+		t.Errorf("out = %d, want 123", got)
+	}
+}
+
+func TestCommentsLexing(t *testing.T) {
+	src := `
+// line comment
+shared out; /* block
+   comment */
+func main() { out = 5; } // trailing
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 5 {
+		t.Errorf("out = %d", got)
+	}
+}
+
+func TestLineInfoMapsToSource(t *testing.T) {
+	src := `shared out;
+func main() {
+    out = 7;
+}
+thread 0 main();
+`
+	p, err := Compile(src, Options{Name: "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for pc := range p.Code {
+		if p.Code[pc].Op.IsMem() && strings.Contains(p.LocationOf(int64(pc)), "unit:3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no memory instruction mapped to source line 3")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined var", `func main(){ x = 1; } thread 0 main();`, "undefined variable"},
+		{"undefined func", `func main(){ foo(); } thread 0 main();`, "undefined function"},
+		{"arity", `func f(a){} func main(){ f(); } thread 0 main();`, "wants 1 args"},
+		{"dup global", `shared x; shared x; func main(){} thread 0 main();`, "duplicate global"},
+		{"dup func", `func f(){} func f(){} thread 0 f();`, "duplicate function"},
+		{"dup local", `func main(){ var a; var a; } thread 0 main();`, "duplicate local"},
+		{"dup thread", `func main(){} thread 0 main(); thread 0 main();`, "duplicate thread"},
+		{"no threads", `func main(){}`, "no threads"},
+		{"break outside", `func main(){ break; } thread 0 main();`, "break outside loop"},
+		{"continue outside", `func main(){ continue; } thread 0 main();`, "continue outside loop"},
+		{"assign tid", `func main(){ tid = 1; } thread 0 main();`, "cannot assign to tid"},
+		{"declare tid", `shared tid; func main(){} thread 0 main();`, "reserved"},
+		{"scalar indexed", `shared x; func main(){ x[0] = 1; } thread 0 main();`, "not an array"},
+		{"array unindexed", `shared a[4]; func main(){ a = 1; } thread 0 main();`, "needs an index"},
+		{"read lock", `lock l; shared y; func main(){ y = l; } thread 0 main();`, "cannot be read"},
+		{"assign lock", `lock l; func main(){ l = 1; } thread 0 main();`, "use lock()/unlock()"},
+		{"bad lock name", `shared x; func main(){ lock(x); } thread 0 main();`, "not a lock"},
+		{"undefined lock", `func main(){ lock(nope); } thread 0 main();`, "undefined lock"},
+		{"too many params", `func f(a,b,c,d,e){} func main(){} thread 0 main();`, "at most 4"},
+		{"thread undefined func", `thread 0 nope();`, "undefined function"},
+		{"thread arity", `func f(a){} thread 0 f();`, "passes 0 args"},
+		{"bad array size", `shared a[0]; func main(){} thread 0 main();`, "must be positive"},
+		{"local init", `local x = 3; func main(){} thread 0 main();`, "only shared scalars"},
+		{"expr stmt", `shared x; func main(){ x + 1; } thread 0 main();`, "expected"},
+		{"lex error", "func main(){ @ }", "unexpected character"},
+		{"unterminated comment", "/* foo", "unterminated block comment"},
+		{"unterminated block", "func main(){", "unterminated block"},
+		{"thread id range", `func main(){} thread 99 main();`, "out of range"},
+		{"func collides global", `shared f; func f(){} thread 0 f();`, "collides"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, Options{})
+		if err == nil {
+			t.Errorf("%s: compiled without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestExpressionTooComplex(t *testing.T) {
+	// A right-leaning chain of depth 12 needs 12 live temporaries, past
+	// the t0..t9 budget.
+	expr := "1"
+	for i := 0; i < 12; i++ {
+		expr = "1 + (" + expr + ")"
+	}
+	src := "shared out;\nfunc main(){ out = " + expr + "; }\nthread 0 main();"
+	_, err := Compile(src, Options{})
+	if err == nil {
+		t.Fatal("deep expression compiled within temp budget")
+	}
+	if !strings.Contains(err.Error(), "too complex") {
+		t.Errorf("error %q does not mention too complex", err)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic")
+		}
+	}()
+	MustCompile("junk", Options{})
+}
+
+func TestNestedCallsDeep(t *testing.T) {
+	src := `
+shared out;
+func add(a, b) { return a + b; }
+func main() {
+    out = add(add(1, add(2, 3)), add(add(4, 5), 6));
+}
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 21 {
+		t.Errorf("out = %d, want 21", got)
+	}
+}
+
+func TestFourParams(t *testing.T) {
+	src := `
+shared out;
+func f(a, b, c, d) { return a*1000 + b*100 + c*10 + d; }
+func main() { out = f(1, 2, 3, 4); }
+thread 0 main();
+`
+	m := compileRun(t, src, 1, 0)
+	if got := word(t, m, "out"); got != 1234 {
+		t.Errorf("out = %d, want 1234", got)
+	}
+}
+
+func TestLocksLaidOutFirst(t *testing.T) {
+	src := `
+shared x; lock l; shared y;
+func main(){ x = 1; y = 2; }
+thread 0 main();
+`
+	p, err := Compile(src, Options{DataBase: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["l"] != 100 {
+		t.Errorf("lock at %d, want 100 (locks first)", p.Symbols["l"])
+	}
+	if p.Symbols["x"] != 101 || p.Symbols["y"] != 102 {
+		t.Errorf("shared layout: x=%d y=%d", p.Symbols["x"], p.Symbols["y"])
+	}
+}
+
+func TestLockArrayMutualExclusion(t *testing.T) {
+	src := `
+lock l[2];
+shared counter[2];
+func main() {
+    var i, w;
+    i = 0;
+    while (i < 60) {
+        w = i % 2;
+        lock(l[w]);
+        counter[w] = counter[w] + 1;
+        unlock(l[w]);
+        i = i + 1;
+    }
+}
+thread 0 main();
+thread 1 main();
+`
+	for seed := uint64(0); seed < 3; seed++ {
+		m := compileRun(t, src, 2, seed)
+		base := m.Program().Symbols["counter"]
+		if m.Mem(base) != 60 || m.Mem(base+1) != 60 {
+			t.Errorf("seed %d: counters = %d,%d, want 60,60", seed, m.Mem(base), m.Mem(base+1))
+		}
+	}
+}
+
+func TestLockArrayErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"array needs index", `lock l[2]; func main(){ lock(l); } thread 0 main();`, "needs an index"},
+		{"scalar no index", `lock l; func main(){ lock(l[0]); } thread 0 main();`, "not an array"},
+		{"bad size", `lock l[0]; func main(){} thread 0 main();`, "must be positive"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestUndeclaredCPUsHalt(t *testing.T) {
+	src := `
+shared out;
+func main() { out = 1; }
+thread 2 main();
+`
+	p, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(p.Entries))
+	}
+	m, err := vm.New(p, vm.Config{NumCPUs: 3, MemWords: 1 << 14, StackWords: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Error("machine with gap CPUs did not halt")
+	}
+	if got := m.Mem(p.Symbols["out"]); got != 1 {
+		t.Errorf("out = %d", got)
+	}
+}

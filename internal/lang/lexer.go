@@ -1,0 +1,223 @@
+package lang
+
+import "strconv"
+
+// lexer scans SVL source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errf(line, col, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	t := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		t.kind = tokEOF
+		return t, nil
+	}
+	c := l.peekByte()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		t.text = l.src[start:l.pos]
+		if k, ok := keywords[t.text]; ok {
+			t.kind = k
+		} else {
+			t.kind = tokIdent
+		}
+		return t, nil
+
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentPart(l.peekByte())) {
+			l.advance()
+		}
+		t.text = l.src[start:l.pos]
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return t, errf(t.line, t.col, "bad integer literal %q", t.text)
+		}
+		t.kind = tokInt
+		t.val = v
+		return t, nil
+	}
+
+	two := func(second byte, both, single tokKind) token {
+		l.advance()
+		if l.pos < len(l.src) && l.peekByte() == second {
+			l.advance()
+			t.kind = both
+		} else {
+			t.kind = single
+		}
+		return t
+	}
+
+	switch c {
+	case '(':
+		l.advance()
+		t.kind = tokLParen
+	case ')':
+		l.advance()
+		t.kind = tokRParen
+	case '{':
+		l.advance()
+		t.kind = tokLBrace
+	case '}':
+		l.advance()
+		t.kind = tokRBrace
+	case '[':
+		l.advance()
+		t.kind = tokLBracket
+	case ']':
+		l.advance()
+		t.kind = tokRBracket
+	case ',':
+		l.advance()
+		t.kind = tokComma
+	case ';':
+		l.advance()
+		t.kind = tokSemi
+	case '+':
+		l.advance()
+		t.kind = tokPlus
+	case '-':
+		l.advance()
+		t.kind = tokMinus
+	case '*':
+		l.advance()
+		t.kind = tokStar
+	case '/':
+		l.advance()
+		t.kind = tokSlash
+	case '%':
+		l.advance()
+		t.kind = tokPercent
+	case '^':
+		l.advance()
+		t.kind = tokCaret
+	case '=':
+		return two('=', tokEq, tokAssign), nil
+	case '!':
+		return two('=', tokNe, tokNot), nil
+	case '<':
+		l.advance()
+		switch l.peekByte() {
+		case '=':
+			l.advance()
+			t.kind = tokLe
+		case '<':
+			l.advance()
+			t.kind = tokShl
+		default:
+			t.kind = tokLt
+		}
+	case '>':
+		l.advance()
+		switch l.peekByte() {
+		case '=':
+			l.advance()
+			t.kind = tokGe
+		case '>':
+			l.advance()
+			t.kind = tokShr
+		default:
+			t.kind = tokGt
+		}
+	case '&':
+		return two('&', tokAndAnd, tokAmp), nil
+	case '|':
+		return two('|', tokOrOr, tokPipe), nil
+	default:
+		return t, errf(t.line, t.col, "unexpected character %q", string(c))
+	}
+	return t, nil
+}
+
+// lexAll scans the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package lang
+
+// AST-level optimizations: constant folding, algebraic identities on pure
+// operands, short-circuit simplification, and dead-branch elimination.
+//
+// Besides being a normal part of a compiler, optimization is an
+// interesting knob for the detector: folded code performs fewer dynamic
+// loads and branches, which changes the dependence structure SVD infers
+// (fewer singleton CUs, shorter register chains) without changing program
+// behavior. BenchmarkOptimizerImpact measures that.
+
+// Optimize returns a simplified copy of the program. The input is not
+// modified.
+func Optimize(p *Program) *Program {
+	out := &Program{
+		Globals: p.Globals,
+		Threads: make([]*ThreadDecl, len(p.Threads)),
+	}
+	for _, f := range p.Funcs {
+		nf := &FuncDecl{Name: f.Name, Params: f.Params, Line: f.Line}
+		nf.Body = optStmts(f.Body)
+		out.Funcs = append(out.Funcs, nf)
+	}
+	for i, th := range p.Threads {
+		nt := *th
+		nt.Args = make([]Expr, len(th.Args))
+		for j, a := range th.Args {
+			nt.Args[j] = optExpr(a)
+		}
+		out.Threads[i] = &nt
+	}
+	return out
+}
+
+func optStmts(stmts []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		out = append(out, optStmt(s)...)
+	}
+	return out
+}
+
+// optStmt simplifies one statement; it may expand to zero or more
+// statements (dead-branch elimination inlines the surviving arm).
+func optStmt(s Stmt) []Stmt {
+	switch s := s.(type) {
+	case *AssignStmt:
+		ns := *s
+		ns.Value = optExpr(s.Value)
+		if s.Target.Index != nil {
+			nt := *s.Target
+			nt.Index = optExpr(s.Target.Index)
+			ns.Target = &nt
+		}
+		return []Stmt{&ns}
+
+	case *IfStmt:
+		cond := optExpr(s.Cond)
+		if lit, ok := cond.(*IntLit); ok {
+			if lit.Val != 0 {
+				return optStmts(s.Then)
+			}
+			return optStmts(s.Else)
+		}
+		return []Stmt{&IfStmt{Cond: cond, Then: optStmts(s.Then), Else: optStmts(s.Else), Line: s.Line}}
+
+	case *WhileStmt:
+		cond := optExpr(s.Cond)
+		if lit, ok := cond.(*IntLit); ok && lit.Val == 0 {
+			return nil // while(0): dead
+		}
+		return []Stmt{&WhileStmt{Cond: cond, Body: optStmts(s.Body), Line: s.Line}}
+
+	case *ForStmt:
+		ns := &ForStmt{Init: s.Init, Post: s.Post, Body: optStmts(s.Body), Line: s.Line}
+		if s.Init != nil {
+			ns.Init = optStmt(s.Init)[0].(*AssignStmt)
+		}
+		if s.Post != nil {
+			ns.Post = optStmt(s.Post)[0].(*AssignStmt)
+		}
+		if s.Cond != nil {
+			cond := optExpr(s.Cond)
+			if lit, ok := cond.(*IntLit); ok && lit.Val == 0 {
+				// for(init; 0; ...): only the init clause runs.
+				if ns.Init != nil {
+					return []Stmt{ns.Init}
+				}
+				return nil
+			}
+			ns.Cond = cond
+		}
+		return []Stmt{ns}
+
+	case *ReturnStmt:
+		if s.Value == nil {
+			return []Stmt{s}
+		}
+		return []Stmt{&ReturnStmt{Value: optExpr(s.Value), Line: s.Line}}
+
+	case *ExprStmt:
+		return []Stmt{&ExprStmt{X: optExpr(s.X), Line: s.Line}}
+
+	case *LockStmt:
+		if s.Index == nil {
+			return []Stmt{s}
+		}
+		return []Stmt{&LockStmt{Name: s.Name, Index: optExpr(s.Index), Line: s.Line}}
+
+	case *UnlockStmt:
+		if s.Index == nil {
+			return []Stmt{s}
+		}
+		return []Stmt{&UnlockStmt{Name: s.Name, Index: optExpr(s.Index), Line: s.Line}}
+
+	default:
+		return []Stmt{s}
+	}
+}
+
+// pure reports whether evaluating e has no side effects (no calls; every
+// other SVL expression is pure).
+func pure(e Expr) bool {
+	switch e := e.(type) {
+	case *IntLit, *VarRef:
+		return true
+	case *IndexExpr:
+		return pure(e.Index)
+	case *UnaryExpr:
+		return pure(e.X)
+	case *BinaryExpr:
+		return pure(e.L) && pure(e.R)
+	default:
+		return false
+	}
+}
+
+func optExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *UnaryExpr:
+		x := optExpr(e.X)
+		if lit, ok := x.(*IntLit); ok {
+			switch e.Op {
+			case tokMinus:
+				return &IntLit{Val: -lit.Val, Line: e.Line}
+			case tokNot:
+				v := int64(0)
+				if lit.Val == 0 {
+					v = 1
+				}
+				return &IntLit{Val: v, Line: e.Line}
+			}
+		}
+		return &UnaryExpr{Op: e.Op, X: x, Line: e.Line}
+
+	case *BinaryExpr:
+		l, r := optExpr(e.L), optExpr(e.R)
+
+		// Short-circuit operators with a constant left operand.
+		if e.Op == tokAndAnd || e.Op == tokOrOr {
+			if ll, ok := l.(*IntLit); ok {
+				taken := (e.Op == tokAndAnd) == (ll.Val != 0)
+				if !taken {
+					// 0 && x -> 0; 1 || x -> 1, and x never evaluates.
+					v := int64(0)
+					if e.Op == tokOrOr {
+						v = 1
+					}
+					return &IntLit{Val: v, Line: e.Line}
+				}
+				// 1 && x / 0 || x -> normalized x.
+				if rl, ok := r.(*IntLit); ok {
+					return &IntLit{Val: boolVal(rl.Val != 0), Line: e.Line}
+				}
+				return &BinaryExpr{Op: tokNe, L: r, R: &IntLit{Val: 0, Line: e.Line}, Line: e.Line}
+			}
+			return &BinaryExpr{Op: e.Op, L: l, R: r, Line: e.Line}
+		}
+
+		ll, lok := l.(*IntLit)
+		rl, rok := r.(*IntLit)
+		if lok && rok {
+			if v, ok := foldConst(e.Op, ll.Val, rl.Val); ok {
+				return &IntLit{Val: v, Line: e.Line}
+			}
+		}
+		// Identities on pure operands.
+		if rok && pure(l) {
+			switch {
+			case rl.Val == 0 && (e.Op == tokPlus || e.Op == tokMinus ||
+				e.Op == tokPipe || e.Op == tokCaret || e.Op == tokShl || e.Op == tokShr):
+				return l // x+0, x-0, x|0, x^0, x<<0, x>>0
+			case rl.Val == 1 && (e.Op == tokStar || e.Op == tokSlash):
+				return l // x*1, x/1
+			case rl.Val == 0 && (e.Op == tokStar || e.Op == tokAmp):
+				return &IntLit{Val: 0, Line: e.Line} // x*0, x&0
+			}
+		}
+		if lok && pure(r) {
+			switch {
+			case ll.Val == 0 && (e.Op == tokPlus || e.Op == tokPipe || e.Op == tokCaret):
+				return r // 0+x, 0|x, 0^x
+			case ll.Val == 1 && e.Op == tokStar:
+				return r // 1*x
+			case ll.Val == 0 && (e.Op == tokStar || e.Op == tokAmp):
+				return &IntLit{Val: 0, Line: e.Line} // 0*x, 0&x
+			}
+		}
+		return &BinaryExpr{Op: e.Op, L: l, R: r, Line: e.Line}
+
+	case *IndexExpr:
+		return &IndexExpr{Name: e.Name, Index: optExpr(e.Index), Line: e.Line}
+
+	case *CallExpr:
+		nc := &CallExpr{Func: e.Func, Line: e.Line}
+		for _, a := range e.Args {
+			nc.Args = append(nc.Args, optExpr(a))
+		}
+		return nc
+
+	default:
+		return e
+	}
+}
+
+// foldConst evaluates a binary operator over constants; division and
+// modulo by zero stay unfolded so the runtime fault is preserved.
+func foldConst(op tokKind, a, b int64) (int64, bool) {
+	switch op {
+	case tokPlus:
+		return a + b, true
+	case tokMinus:
+		return a - b, true
+	case tokStar:
+		return a * b, true
+	case tokSlash:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case tokPercent:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case tokAmp:
+		return a & b, true
+	case tokPipe:
+		return a | b, true
+	case tokCaret:
+		return a ^ b, true
+	case tokShl:
+		return a << (uint64(b) & 63), true
+	case tokShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case tokLt:
+		return boolVal(a < b), true
+	case tokLe:
+		return boolVal(a <= b), true
+	case tokGt:
+		return boolVal(a > b), true
+	case tokGe:
+		return boolVal(a >= b), true
+	case tokEq:
+		return boolVal(a == b), true
+	case tokNe:
+		return boolVal(a != b), true
+	}
+	return 0, false
+}
+
+func boolVal(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

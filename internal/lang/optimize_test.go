@@ -1,0 +1,178 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// compileBoth compiles src unoptimized and optimized and checks both
+// produce out == want; it returns the two code sizes.
+func compileBoth(t *testing.T, src string, want int64) (plain, opt int) {
+	t.Helper()
+	run := func(optimize bool) int {
+		p, err := Compile(src, Options{Name: "o", Optimize: optimize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := vm.New(p, vm.Config{NumCPUs: len(p.Entries), MemWords: 1 << 14, StackWords: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Mem(p.Symbols["out"]); got != want {
+			t.Fatalf("optimize=%v: out = %d, want %d", optimize, got, want)
+		}
+		return len(p.Code)
+	}
+	return run(false), run(true)
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    out = (2 + 3) * 4 - 10 / 2 + (7 % 4) + (1 << 4) - (32 >> 2)
+        + (12 & 10) + (12 | 10) + (12 ^ 10)
+        + (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5) + (4 == 4) + (4 != 4)
+        + (-(3)) + (!5) + (!0);
+}
+thread 0 main();
+`
+	// 20 - 5 + 3 + 16 - 8 + 8 + 14 + 6 + 1+1+1+0+1+0 - 3 + 0 + 1 = 56
+	plain, opt := compileBoth(t, src, 56)
+	if opt >= plain {
+		t.Errorf("optimized code (%d instrs) not smaller than plain (%d)", opt, plain)
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	src := `
+shared out; shared x = 7;
+func main() {
+    out = (x + 0) + (x - 0) + (x * 1) + (x / 1) + (x * 0) + (0 * x)
+        + (x | 0) + (x ^ 0) + (x << 0) + (x >> 0) + (x & 0) + (0 + x) + (1 * x);
+}
+thread 0 main();
+`
+	// 7+7+7+7+0+0+7+7+7+7+0+7+7 = 70
+	plain, opt := compileBoth(t, src, 70)
+	if opt >= plain {
+		t.Errorf("identities not simplified: %d vs %d instrs", opt, plain)
+	}
+}
+
+func TestDeadBranchElimination(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    if (1) { out = out + 10; } else { out = out + 100; }
+    if (0) { out = out + 1000; }
+    if (2 > 3) { out = out + 1; } else { out = out + 20; }
+    while (0) { out = out + 5000; }
+    out = out + 1;
+}
+thread 0 main();
+`
+	plain, opt := compileBoth(t, src, 31)
+	if opt >= plain {
+		t.Errorf("dead branches not eliminated: %d vs %d instrs", opt, plain)
+	}
+}
+
+func TestShortCircuitFolding(t *testing.T) {
+	src := `
+shared out; shared x = 3;
+func main() {
+    out = (0 && (x / 0)) + (1 || (x / 0)) * 10 + (1 && x) * 100 + (0 || x) * 1000;
+}
+thread 0 main();
+`
+	// 0 + 10 + 100 + 1000 = 1110 (x normalized to 1 by &&/||)
+	compileBoth(t, src, 1110)
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    out = 1 / 0;
+}
+thread 0 main();
+`
+	p, err := Compile(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(p, vm.Config{NumCPUs: 1, MemWords: 1 << 12, StackWords: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1 << 12); err == nil {
+		t.Error("constant division by zero did not fault (folded away?)")
+	}
+}
+
+func TestCallsNotDuplicatedOrDropped(t *testing.T) {
+	// Calls are impure: identities must not clone or delete them.
+	src := `
+shared out; shared calls;
+func bump() { calls = calls + 1; return 1; }
+func main() {
+    out = bump() * 1 + 0 * 7 + bump() - 0;
+    out = out * 10 + calls;
+}
+thread 0 main();
+`
+	compileBoth(t, src, 22) // (1+0+1)*10 + 2
+}
+
+func TestWhileConditionKept(t *testing.T) {
+	src := `
+shared out;
+func main() {
+    var i;
+    i = 0;
+    while (i < 3 + 2) {    // folds to i < 5, loop preserved
+        i = i + 1;
+    }
+    out = i;
+}
+thread 0 main();
+`
+	compileBoth(t, src, 5)
+}
+
+// TestOptimizedWorkloadsBehaveIdentically recompiles every workload source
+// with the optimizer and checks the consistency outcome is preserved.
+func TestOptimizeIsSemanticallyTransparent(t *testing.T) {
+	srcs := []string{
+		`shared out; local mine[4]; lock l;
+func f(n) { var i; i = 0; while (i < n) { lock(l); out = out + 1; unlock(l); mine[i % 4] = i; i = i + 1; } }
+thread 0 f(50); thread 1 f(50);`,
+	}
+	for _, src := range srcs {
+		for _, seed := range []uint64{1, 5} {
+			vals := map[bool]int64{}
+			for _, o := range []bool{false, true} {
+				p, err := Compile(src, Options{Optimize: o})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := vm.New(p, vm.Config{NumCPUs: 2, MemWords: 1 << 14, StackWords: 512, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(1 << 22); err != nil {
+					t.Fatal(err)
+				}
+				vals[o] = m.Mem(p.Symbols["out"])
+			}
+			if vals[false] != vals[true] {
+				t.Errorf("seed %d: optimizer changed outcome: %d vs %d", seed, vals[false], vals[true])
+			}
+		}
+	}
+}

@@ -1,0 +1,649 @@
+package lang
+
+import "strconv"
+
+// parser is a recursive-descent parser with precedence climbing for
+// expressions.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses SVL source into an AST.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, errf(t.line, t.col, "expected %s, found %s", k, describe(t))
+	}
+	return p.advance(), nil
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokIdent:
+		return "identifier " + strconv.Quote(t.text)
+	case tokInt:
+		return "integer " + t.text
+	default:
+		return strconv.Quote(t.kind.String())
+	}
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		switch p.cur().kind {
+		case tokShared, tokLocal:
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case tokLock:
+			// "lock name;" at the top level declares a lock; inside a
+			// function body "lock(name);" is a statement. Disambiguate by
+			// the next token.
+			if p.peek().kind == tokIdent {
+				t := p.advance()
+				name, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				g := &GlobalDecl{Kind: GlobalLock, Name: name.text, Size: 1, Line: t.line}
+				if p.cur().kind == tokLBracket {
+					p.advance()
+					size, err := p.expect(tokInt)
+					if err != nil {
+						return nil, err
+					}
+					if size.val <= 0 {
+						return nil, errf(size.line, size.col, "lock array size must be positive, got %d", size.val)
+					}
+					g.Size = size.val
+					g.IsArray = true
+					if _, err := p.expect(tokRBracket); err != nil {
+						return nil, err
+					}
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				prog.Globals = append(prog.Globals, g)
+				continue
+			}
+			t := p.cur()
+			return nil, errf(t.line, t.col, "expected lock name after 'lock'")
+		case tokFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		case tokThread:
+			th, err := p.threadDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Threads = append(prog.Threads, th)
+		default:
+			t := p.cur()
+			return nil, errf(t.line, t.col, "expected declaration, found %s", describe(t))
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	t := p.advance() // shared | local
+	kind := GlobalShared
+	if t.kind == tokLocal {
+		kind = GlobalLocal
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Kind: kind, Name: name.text, Size: 1, Line: t.line}
+	switch p.cur().kind {
+	case tokLBracket:
+		p.advance()
+		size, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		if size.val <= 0 {
+			return nil, errf(size.line, size.col, "array size must be positive, got %d", size.val)
+		}
+		g.Size = size.val
+		g.IsArray = true
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	case tokAssign:
+		p.advance()
+		neg := false
+		if p.cur().kind == tokMinus {
+			p.advance()
+			neg = true
+		}
+		v, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		g.Init = v.val
+		if neg {
+			g.Init = -g.Init
+		}
+		if kind != GlobalShared {
+			return nil, errf(t.line, t.col, "only shared scalars take initializers")
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	t := p.advance() // func
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.text, Line: t.line}
+	for p.cur().kind != tokRParen {
+		param, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, param.text)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) threadDecl() (*ThreadDecl, error) {
+	t := p.advance() // thread
+	cpu, err := p.expect(tokInt)
+	if err != nil {
+		return nil, err
+	}
+	if cpu.val < 0 || cpu.val > 63 {
+		return nil, errf(cpu.line, cpu.col, "thread id %d out of range [0,63]", cpu.val)
+	}
+	fn, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	th := &ThreadDecl{CPU: int(cpu.val), Func: fn.text, Line: t.line}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	for p.cur().kind != tokRParen {
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		th.Args = append(th.Args, arg)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return th, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for p.cur().kind != tokRBrace {
+		if p.cur().kind == tokEOF {
+			t := p.cur()
+			return nil, errf(t.line, t.col, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.advance() // }
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.advance()
+		s := &VarStmt{Line: t.line}
+		for {
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			s.Names = append(s.Names, name.text)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case tokIf:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		if p.cur().kind == tokElse {
+			p.advance()
+			if p.cur().kind == tokIf {
+				inner, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = []Stmt{inner}
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = els
+			}
+		}
+		return s, nil
+
+	case tokWhile:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+
+	case tokFor:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		s := &ForStmt{Line: t.line}
+		if p.cur().kind != tokSemi {
+			init, err := p.assignClause()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokSemi {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Cond = cond
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			post, err := p.assignClause()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+
+	case tokReturn:
+		p.advance()
+		s := &ReturnStmt{Line: t.line}
+		if p.cur().kind != tokSemi {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case tokBreak:
+		p.advance()
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+
+	case tokContinue:
+		p.advance()
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+
+	case tokLock:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		s := &LockStmt{Name: name.text, Line: t.line}
+		if p.cur().kind == tokLBracket {
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			s.Index = idx
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case tokIdent:
+		// unlock(l); yield(); a call statement; or an assignment.
+		switch t.text {
+		case "unlock":
+			if p.peek().kind == tokLParen {
+				p.advance()
+				p.advance()
+				name, err := p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				s := &UnlockStmt{Name: name.text, Line: t.line}
+				if p.cur().kind == tokLBracket {
+					p.advance()
+					idx, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(tokRBracket); err != nil {
+						return nil, err
+					}
+					s.Index = idx
+				}
+				if _, err := p.expect(tokRParen); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				return s, nil
+			}
+		case "yield":
+			if p.peek().kind == tokLParen {
+				p.advance()
+				p.advance()
+				if _, err := p.expect(tokRParen); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokSemi); err != nil {
+					return nil, err
+				}
+				return &YieldStmt{Line: t.line}, nil
+			}
+		}
+		if p.peek().kind == tokLParen {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: x, Line: t.line}, nil
+		}
+		// Assignment.
+		lv, err := p.lvalue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lv, Value: v, Line: t.line}, nil
+	}
+	return nil, errf(t.line, t.col, "expected statement, found %s", describe(t))
+}
+
+// assignClause parses the "x = expr" clauses of a for header.
+func (p *parser) assignClause() (*AssignStmt, error) {
+	t := p.cur()
+	lv, err := p.lvalue()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Target: lv, Value: v, Line: t.line}, nil
+}
+
+func (p *parser) lvalue() (*LValue, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	lv := &LValue{Name: name.text, Line: name.line}
+	if p.cur().kind == tokLBracket {
+		p.advance()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		lv.Index = idx
+	}
+	return lv, nil
+}
+
+// Binary operator precedence, loosest first.
+var precedence = map[tokKind]int{
+	tokOrOr:   1,
+	tokAndAnd: 2,
+	tokPipe:   3,
+	tokCaret:  4,
+	tokAmp:    5,
+	tokEq:     6, tokNe: 6,
+	tokLt: 7, tokLe: 7, tokGt: 7, tokGe: 7,
+	tokShl: 8, tokShr: 8,
+	tokPlus: 9, tokMinus: 9,
+	tokStar: 10, tokSlash: 10, tokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := precedence[op.kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.kind, L: lhs, R: rhs, Line: op.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokMinus, tokNot:
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.kind, X: x, Line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		return &IntLit{Val: t.val, Line: t.line}, nil
+	case tokLParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tokIdent:
+		p.advance()
+		switch p.cur().kind {
+		case tokLParen:
+			p.advance()
+			c := &CallExpr{Func: t.text, Line: t.line}
+			for p.cur().kind != tokRParen {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, arg)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return c, nil
+		case tokLBracket:
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.text, Index: idx, Line: t.line}, nil
+		}
+		return &VarRef{Name: t.text, Line: t.line}, nil
+	}
+	return nil, errf(t.line, t.col, "expected expression, found %s", describe(t))
+}

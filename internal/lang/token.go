@@ -1,0 +1,160 @@
+// Package lang implements SVL ("server verification language"), a small
+// concurrent imperative language, and its compiler to the isa package's
+// instruction set.
+//
+// The paper's workloads are C server programs compiled to SPARC; the
+// detector "uses only information that is available from program binaries"
+// (§4.2). SVL plays C's role here: the workload models in package
+// workloads are written in SVL and compiled by this package, so the
+// detector observes realistic compiled code — register reuse, stack
+// frames, short-circuit control flow, spinlock loops — rather than
+// hand-shaped instruction sequences.
+//
+// Language summary:
+//
+//	shared buf[1024];      // shared global array (zero-initialized)
+//	shared outcnt;         // shared global scalar
+//	shared limit = 64;     // with initializer
+//	local scratch[8];      // per-thread global (one copy per thread)
+//	lock biglock;          // a lock word for lock()/unlock()
+//
+//	func writer(n) {
+//	    var len, i;
+//	    len = n % 16 + 1;
+//	    lock(biglock);
+//	    i = 0;
+//	    while (i < len) {
+//	        buf[outcnt + i] = scratch[i];
+//	        i = i + 1;
+//	    }
+//	    outcnt = outcnt + len;
+//	    unlock(biglock);
+//	    return len;
+//	}
+//
+//	thread 0 writer(5);    // CPU 0 runs writer(5)
+//	thread 1 writer(7);
+//
+// Expressions are 64-bit integers; && and || short-circuit; `tid` is the
+// executing thread's id; break/continue work in while loops; yield() hints
+// the scheduler. lock/unlock compile to CAS spin loops and plain stores —
+// the detector is never told which words are locks.
+package lang
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+
+	// Punctuation.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+
+	// Operators.
+	tokAssign // =
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokEq
+	tokNe
+	tokAndAnd
+	tokOrOr
+	tokNot
+	tokAmp
+	tokPipe
+	tokCaret
+	tokShl
+	tokShr
+
+	// Keywords.
+	tokShared
+	tokLocal
+	tokLock
+	tokFunc
+	tokVar
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokReturn
+	tokBreak
+	tokContinue
+	tokThread
+)
+
+var keywords = map[string]tokKind{
+	"shared":   tokShared,
+	"local":    tokLocal,
+	"lock":     tokLock,
+	"func":     tokFunc,
+	"var":      tokVar,
+	"if":       tokIf,
+	"else":     tokElse,
+	"while":    tokWhile,
+	"for":      tokFor,
+	"return":   tokReturn,
+	"break":    tokBreak,
+	"continue": tokContinue,
+	"thread":   tokThread,
+}
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokInt: "integer",
+	tokLParen: "(", tokRParen: ")", tokLBrace: "{", tokRBrace: "}",
+	tokLBracket: "[", tokRBracket: "]", tokComma: ",", tokSemi: ";",
+	tokAssign: "=", tokPlus: "+", tokMinus: "-", tokStar: "*",
+	tokSlash: "/", tokPercent: "%", tokLt: "<", tokLe: "<=", tokGt: ">",
+	tokGe: ">=", tokEq: "==", tokNe: "!=", tokAndAnd: "&&", tokOrOr: "||",
+	tokNot: "!", tokAmp: "&", tokPipe: "|", tokCaret: "^", tokShl: "<<",
+	tokShr:    ">>",
+	tokShared: "shared", tokLocal: "local", tokLock: "lock", tokFunc: "func",
+	tokVar: "var", tokIf: "if", tokElse: "else", tokWhile: "while",
+	tokFor:    "for",
+	tokReturn: "return", tokBreak: "break", tokContinue: "continue",
+	tokThread: "thread",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // tokInt
+	line int
+	col  int
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("svl:%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

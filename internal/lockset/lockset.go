@@ -1,0 +1,249 @@
+// Package lockset implements an Eraser-style lockset data-race detector
+// [Savage et al. 1997], one of the two detector families the paper
+// positions SVD against (§8): "the lockset algorithm checks whether each
+// shared variable in a program is consistently guarded by at least one
+// lock".
+//
+// Like the paper's FRD baseline — and unlike SVD — lockset detection needs
+// a priori knowledge of the synchronization operations; here lock words
+// are identified by the same automatic CAS rule FRD uses (a successful CAS
+// acquires, a store of zero to a lock word releases).
+//
+// The detector implements Eraser's per-location state machine: Virgin →
+// Exclusive (one thread) → Shared (read-shared after another thread reads)
+// → Shared-Modified (checked). The candidate lockset of a location is
+// refined by intersection on every access in the checked states; a report
+// fires when it empties. Compared to happens-before detection the lockset
+// approach reports *potential* races that no execution ordering can
+// excuse, which gives it more coverage and more false positives — the
+// trade SVD's evaluation discusses.
+package lockset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Options tune the detector.
+type Options struct {
+	// BlockShift selects block size as 1<<BlockShift words.
+	BlockShift uint
+	// MaxReports caps retained reports (counting continues). Zero means
+	// 1 << 16.
+	MaxReports int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxReports <= 0 {
+		o.MaxReports = 1 << 16
+	}
+	return o
+}
+
+// state is Eraser's per-location lifecycle.
+type state uint8
+
+const (
+	stVirgin state = iota
+	stExclusive
+	stShared
+	stSharedModified
+)
+
+var stateNames = [...]string{"Virgin", "Exclusive", "Shared", "Shared-Modified"}
+
+func (s state) String() string { return stateNames[s] }
+
+// Report is one lockset violation: the location's candidate set became
+// empty at this access.
+type Report struct {
+	Block int64
+	PC    int64
+	CPU   int
+	Seq   uint64
+	Write bool
+	State state // state at the time of the report
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("lockset violation: block %d at cpu %d pc %d (seq %d, write=%v, %s): no common lock",
+		r.Block, r.CPU, r.PC, r.Seq, r.Write, r.State)
+}
+
+// Site aggregates reports by PC.
+type Site struct {
+	PC    int64
+	Count uint64
+	First Report
+}
+
+// Stats aggregates detector activity.
+type Stats struct {
+	Instructions uint64
+	Accesses     uint64
+	SyncOps      uint64
+	Reports      uint64
+}
+
+type blockInfo struct {
+	st       state
+	owner    int
+	lockset  map[int64]bool // nil until first refinement (meaning "all locks")
+	reported bool
+}
+
+// Detector is the online lockset detector. It implements vm.Observer.
+type Detector struct {
+	opts    Options
+	numCPUs int
+
+	held      []map[int64]bool // locks currently held per CPU
+	lockWords map[int64]bool   // CAS-identified lock words (by block)
+	blocks    map[int64]*blockInfo
+
+	reports []Report
+	sites   map[int64]*Site
+	stats   Stats
+}
+
+// New builds a detector for numCPUs processors.
+func New(numCPUs int, opts Options) *Detector {
+	d := &Detector{
+		opts:      opts.withDefaults(),
+		numCPUs:   numCPUs,
+		held:      make([]map[int64]bool, numCPUs),
+		lockWords: make(map[int64]bool),
+		blocks:    make(map[int64]*blockInfo),
+		sites:     make(map[int64]*Site),
+	}
+	for i := range d.held {
+		d.held[i] = make(map[int64]bool)
+	}
+	return d
+}
+
+// Reports returns retained reports.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// Stats returns aggregate counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Sites returns report sites sorted by descending count.
+func (d *Detector) Sites() []Site {
+	out := make([]Site, 0, len(d.sites))
+	for _, s := range d.sites {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// Step processes one dynamic instruction (vm.Observer).
+func (d *Detector) Step(ev *vm.Event) {
+	d.stats.Instructions++
+	in := ev.Instr
+	if !in.Op.IsMem() {
+		return
+	}
+	b := ev.Addr >> d.opts.BlockShift
+
+	// Lock identification and acquire/release bookkeeping.
+	if in.Op == isa.OpCas {
+		d.lockWords[b] = true
+		if ev.IsStore && ev.Stored != 0 {
+			// Successful CAS to non-zero: acquire.
+			d.held[ev.CPU][b] = true
+			d.stats.SyncOps++
+			return
+		}
+		d.stats.SyncOps++
+		return
+	}
+	if d.lockWords[b] {
+		if ev.IsStore && ev.Stored == 0 {
+			delete(d.held[ev.CPU], b) // release
+		}
+		d.stats.SyncOps++
+		return
+	}
+
+	d.stats.Accesses++
+	bi := d.blocks[b]
+	if bi == nil {
+		bi = &blockInfo{st: stVirgin}
+		d.blocks[b] = bi
+	}
+
+	// Eraser state machine.
+	switch bi.st {
+	case stVirgin:
+		bi.st = stExclusive
+		bi.owner = ev.CPU
+		return
+	case stExclusive:
+		if ev.CPU == bi.owner {
+			return
+		}
+		if ev.IsStore {
+			bi.st = stSharedModified
+		} else {
+			bi.st = stShared
+		}
+		// First refinement initializes the candidate set to the current
+		// holder's locks.
+		bi.lockset = cloneSet(d.held[ev.CPU])
+	case stShared:
+		if ev.IsStore {
+			bi.st = stSharedModified
+		}
+		d.refine(bi, ev.CPU)
+	case stSharedModified:
+		d.refine(bi, ev.CPU)
+	}
+
+	// Reads in Shared state refine but do not report (Eraser reports only
+	// when a write is involved).
+	if bi.st == stSharedModified && len(bi.lockset) == 0 && !bi.reported {
+		bi.reported = true
+		d.stats.Reports++
+		r := Report{Block: b, PC: ev.PC, CPU: ev.CPU, Seq: ev.Seq, Write: ev.IsStore, State: bi.st}
+		s := d.sites[ev.PC]
+		if s == nil {
+			s = &Site{PC: ev.PC, First: r}
+			d.sites[ev.PC] = s
+		}
+		s.Count++
+		if len(d.reports) < d.opts.MaxReports {
+			d.reports = append(d.reports, r)
+		}
+	}
+}
+
+func (d *Detector) refine(bi *blockInfo, cpu int) {
+	if bi.lockset == nil {
+		bi.lockset = cloneSet(d.held[cpu])
+		return
+	}
+	for l := range bi.lockset {
+		if !d.held[cpu][l] {
+			delete(bi.lockset, l)
+		}
+	}
+}
+
+func cloneSet(s map[int64]bool) map[int64]bool {
+	out := make(map[int64]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

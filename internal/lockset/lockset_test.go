@@ -1,0 +1,207 @@
+package lockset
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+type script struct {
+	d   *Detector
+	seq uint64
+}
+
+func newScript(n int) *script { return &script{d: New(n, Options{})} }
+
+func (s *script) ev(cpu int, pc int64, in isa.Instr, addr int64, load, store bool, stored int64) {
+	e := vm.Event{Seq: s.seq, CPU: cpu, PC: pc, Instr: in, Addr: addr, IsLoad: load, IsStore: store, Stored: stored}
+	s.seq++
+	s.d.Step(&e)
+}
+
+func (s *script) load(cpu int, pc, addr int64) {
+	s.ev(cpu, pc, isa.Load(8, isa.RegZero, addr), addr, true, false, 0)
+}
+
+func (s *script) store(cpu int, pc, addr int64) {
+	s.ev(cpu, pc, isa.Store(8, isa.RegZero, addr), addr, false, true, 1)
+}
+
+func (s *script) acquire(cpu int, pc, lock int64) {
+	s.ev(cpu, pc, isa.Cas(8, 9, 10, 11), lock, true, true, 1)
+}
+
+func (s *script) release(cpu int, pc, lock int64) {
+	s.ev(cpu, pc, isa.Store(isa.RegZero, isa.RegZero, lock), lock, false, true, 0)
+}
+
+func TestConsistentlyLockedNoReport(t *testing.T) {
+	s := newScript(2)
+	const l, x = 10, 100
+	for i := 0; i < 3; i++ {
+		for cpu := 0; cpu < 2; cpu++ {
+			s.acquire(cpu, 1, l)
+			s.load(cpu, 2, x)
+			s.store(cpu, 3, x)
+			s.release(cpu, 4, l)
+		}
+	}
+	if got := s.d.Stats().Reports; got != 0 {
+		t.Errorf("locked accesses reported %d violations", got)
+	}
+}
+
+func TestUnlockedSharedWriteReports(t *testing.T) {
+	s := newScript(2)
+	const x = 100
+	s.store(0, 1, x) // exclusive
+	s.store(1, 2, x) // shared-modified, empty lockset
+	st := s.d.Stats()
+	if st.Reports != 1 {
+		t.Fatalf("reports = %d, want 1", st.Reports)
+	}
+	r := s.d.Reports()[0]
+	if r.Block != x || r.CPU != 1 || !r.Write {
+		t.Errorf("report = %+v", r)
+	}
+}
+
+func TestReadSharedNoReport(t *testing.T) {
+	// Read-only sharing after initialization never reports (Eraser's
+	// Shared state).
+	s := newScript(3)
+	const x = 100
+	s.store(0, 1, x)
+	s.load(1, 2, x)
+	s.load(2, 3, x)
+	s.load(1, 2, x)
+	if got := s.d.Stats().Reports; got != 0 {
+		t.Errorf("read-shared reported %d violations", got)
+	}
+}
+
+func TestExclusiveOwnerNeverReports(t *testing.T) {
+	s := newScript(2)
+	const x = 100
+	for i := 0; i < 5; i++ {
+		s.store(0, 1, x)
+		s.load(0, 2, x)
+	}
+	if got := s.d.Stats().Reports; got != 0 {
+		t.Errorf("single-owner accesses reported %d violations", got)
+	}
+}
+
+func TestDifferentLocksReport(t *testing.T) {
+	// Two threads each hold a lock — but different ones: intersection
+	// empties.
+	s := newScript(2)
+	const l1, l2, x = 10, 11, 100
+	s.acquire(0, 1, l1)
+	s.store(0, 2, x)
+	s.release(0, 3, l1)
+	s.acquire(1, 4, l2)
+	s.store(1, 5, x) // candidate set initializes to {l2}
+	s.release(1, 6, l2)
+	s.acquire(0, 1, l1)
+	s.store(0, 2, x) // {l2} ∩ {l1} = ∅: report
+	s.release(0, 3, l1)
+	if got := s.d.Stats().Reports; got != 1 {
+		t.Errorf("different-lock accesses reported %d violations, want 1", got)
+	}
+}
+
+func TestBenignRaceIsReported(t *testing.T) {
+	// The Figure 1 shape: lockset, like happens-before, reports the
+	// benign unlocked read — the false positive SVD avoids.
+	s := newScript(2)
+	const l, tot = 10, 100
+	s.acquire(0, 1, l)
+	s.load(0, 2, tot)
+	s.store(0, 3, tot)
+	s.release(0, 4, l)
+	s.load(1, 7, tot) // unlocked reader
+	s.acquire(0, 1, l)
+	s.store(0, 3, tot) // write with the reader's empty set intersected
+	s.release(0, 4, l)
+	if got := s.d.Stats().Reports; got == 0 {
+		t.Error("lockset did not report the unlocked reader")
+	}
+}
+
+func TestReportOncePerBlock(t *testing.T) {
+	s := newScript(2)
+	const x = 100
+	for i := 0; i < 5; i++ {
+		s.store(0, 1, x)
+		s.store(1, 2, x)
+	}
+	if got := s.d.Stats().Reports; got != 1 {
+		t.Errorf("reports = %d, want 1 (report once per location)", got)
+	}
+}
+
+func TestSitesAggregation(t *testing.T) {
+	s := newScript(2)
+	for b := int64(100); b < 103; b++ {
+		s.store(0, 1, b)
+		s.store(1, 2, b)
+	}
+	sites := s.d.Sites()
+	if len(sites) != 1 || sites[0].PC != 2 || sites[0].Count != 3 {
+		t.Errorf("sites = %+v", sites)
+	}
+	if sites[0].First.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+// TestEndToEndWorkloads: the lockset detector on the repository's
+// workloads — silent on fully locked code, loud on the benign race that
+// SVD excuses.
+func TestEndToEndWorkloads(t *testing.T) {
+	run := func(w *workloads.Workload) *Detector {
+		t.Helper()
+		m, err := w.NewVM(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(w.NumThreads, Options{})
+		m.Attach(d)
+		if _, err := m.Run(1 << 24); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	pg := run(workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1}))
+	// PgSQL's shared state is consistently locked; only per-terminal
+	// private slots and generated input tables are touched unlocked, and
+	// those are single-owner.
+	if got := pg.Stats().Reports; got != 0 {
+		for _, r := range pg.Reports() {
+			t.Logf("report: %s", r)
+		}
+		t.Errorf("lockset reported %d violations on lock-disciplined pgsql", got)
+	}
+
+	mt := run(workloads.MySQLTables(workloads.MySQLTablesConfig{Lockers: 3, Ops: 60}))
+	if got := mt.Stats().Reports; got == 0 {
+		t.Error("lockset missed the benign race on mysql-tables")
+	}
+
+	ap := run(workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 32, Buggy: true, Seed: 1}))
+	if got := ap.Stats().Reports; got == 0 {
+		t.Error("lockset missed the unlocked apache append")
+	}
+}
+
+func TestStateNames(t *testing.T) {
+	for st := stVirgin; st <= stSharedModified; st++ {
+		if st.String() == "" {
+			t.Errorf("state %d unnamed", st)
+		}
+	}
+}

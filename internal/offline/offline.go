@@ -1,0 +1,175 @@
+// Package offline implements the paper's offline, multi-pass
+// serializability violation detector (§4.1, Figures 5 and 6).
+//
+// The offline algorithm is the reference the online SVD approximates. It
+// requires a trace annotated with exact dependence predecessors and a
+// shared-variable oracle — which package trace records — and runs in three
+// passes:
+//
+//  1. scan each thread trace and compute computational units, cutting a CU
+//     whenever a statement reads a shared variable the unit wrote
+//     (Figure 5; implemented in depgraph.OperationalCUs);
+//  2. assign the global total order and record where each CU finishes
+//     (its maximum sequence id);
+//  3. scan the total order and report a strict-2PL violation whenever a
+//     statement conflicts with a statement of another thread's CU that has
+//     not yet finished (Figure 6).
+package offline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/depgraph"
+	"repro/internal/trace"
+)
+
+// Violation is one strict-2PL violation found by pass 3: statement S
+// conflicted with statement In while In's computational unit was still
+// executing.
+type Violation struct {
+	S  int32 // index of the intruding statement (other thread)
+	In int32 // index of the statement whose CU was broken
+	CU int   // id of the broken CU
+
+	SPC, InPC int64 // program counters, for static aggregation
+	Addr      int64 // conflicting word
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("offline violation: stmt %d (pc %d) conflicts with stmt %d (pc %d) of open CU %d on word %d",
+		v.S, v.SPC, v.In, v.InPC, v.CU, v.Addr)
+}
+
+// Result is the offline analysis of one trace.
+type Result struct {
+	// CUOf maps each statement index to its computational-unit id (pass 1).
+	CUOf []int
+
+	// MaxSeq maps each CU id to the sequence id of its last statement
+	// (pass 2: where the CU finishes its execution).
+	MaxSeq []uint64
+
+	// Violations are the strict-2PL violations (pass 3).
+	Violations []Violation
+}
+
+// NumCUs returns the number of computational units in the partition.
+func (r *Result) NumCUs() int { return len(r.MaxSeq) }
+
+// Sites returns the distinct (SPC, InPC) pairs of the violations, the
+// static-report axis, sorted by descending dynamic count.
+func (r *Result) Sites() [][2]int64 {
+	counts := map[[2]int64]int{}
+	for _, v := range r.Violations {
+		counts[[2]int64{v.SPC, v.InPC}]++
+	}
+	out := make([][2]int64, 0, len(counts))
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Run executes the three passes on a recorded trace. maxViolations bounds
+// the retained reports (0 means 1<<16).
+func Run(tr *trace.Trace, maxViolations int) *Result {
+	if maxViolations <= 0 {
+		maxViolations = 1 << 16
+	}
+
+	// Pass 1 (Figure 5).
+	cuOf := depgraph.OperationalCUs(tr)
+
+	// Pass 2 (Figure 6 top): the trace is already in total order; record
+	// each CU's last sequence id.
+	numCU := 0
+	for _, id := range cuOf {
+		if id+1 > numCU {
+			numCU = id + 1
+		}
+	}
+	maxSeq := make([]uint64, numCU)
+	for i := range tr.Stmts {
+		if id := cuOf[i]; id >= 0 {
+			if s := tr.Stmts[i].Seq; s > maxSeq[id] {
+				maxSeq[id] = s
+			}
+		}
+	}
+
+	res := &Result{CUOf: cuOf, MaxSeq: maxSeq}
+
+	// Pass 3 (Figure 6 bottom): scan the total order; keep, per word, the
+	// accesses whose CU is still open, and report conflicts from other
+	// threads against them. An access is "open" until its CU's max
+	// sequence id passes.
+	type open struct {
+		idx    int32
+		cpu    int
+		write  bool
+		endSeq uint64
+	}
+	openAcc := map[int64][]open{}
+	for i := range tr.Stmts {
+		s := &tr.Stmts[i]
+		if !s.IsLoad && !s.IsStore {
+			continue
+		}
+		id := cuOf[i]
+		v := s.Addr
+		list := openAcc[v]
+
+		// Prune finished accesses.
+		k := 0
+		for _, o := range list {
+			if o.endSeq > s.Seq {
+				list[k] = o
+				k++
+			}
+		}
+		list = list[:k]
+
+		// Conflicts: this access vs open accesses of other threads' CUs.
+		for _, o := range list {
+			if o.cpu == s.CPU || !(o.write || s.IsStore) {
+				continue
+			}
+			if len(res.Violations) < maxViolations {
+				res.Violations = append(res.Violations, Violation{
+					S:    int32(i),
+					In:   o.idx,
+					CU:   cuOf[o.idx],
+					SPC:  s.PC,
+					InPC: tr.Stmts[o.idx].PC,
+					Addr: v,
+				})
+			}
+		}
+
+		if id >= 0 {
+			list = append(list, open{
+				idx:    int32(i),
+				cpu:    s.CPU,
+				write:  s.IsStore,
+				endSeq: maxSeq[id],
+			})
+		}
+		openAcc[v] = list
+	}
+	return res
+}
+
+// Clean reports whether the offline analysis found no strict-2PL
+// violations; by §3.3 a clean trace is serializable.
+func (r *Result) Clean() bool { return len(r.Violations) == 0 }

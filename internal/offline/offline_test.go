@@ -1,0 +1,180 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/depgraph"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func record(t *testing.T, p *isa.Program, cfg vm.Config) *trace.Trace {
+	t.Helper()
+	m, err := vm.New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewRecorder(p, cfg.NumCPUs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(r)
+	if _, err := m.Run(1 << 18); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("program did not halt")
+	}
+	return r.Trace()
+}
+
+func incrementProgram(n int, k int64) *isa.Program {
+	code := []isa.Instr{
+		isa.LI(8, k),
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	return &isa.Program{Name: "inc", Code: code, Entries: make([]int64, n)}
+}
+
+// TestSerialExecutionClean: a serialized execution has no strict-2PL
+// violations.
+func TestSerialExecutionClean(t *testing.T) {
+	tr := record(t, incrementProgram(3, 5), vm.Config{NumCPUs: 3, Mode: vm.Serialize})
+	res := Run(tr, 0)
+	if !res.Clean() {
+		for _, v := range res.Violations {
+			t.Logf("violation: %s", v)
+		}
+		t.Errorf("serialized execution produced %d offline violations", len(res.Violations))
+	}
+	if res.NumCUs() == 0 {
+		t.Error("no computational units computed")
+	}
+}
+
+// TestLostUpdateDetectedOffline: an interleaving that loses updates must be
+// flagged by pass 3.
+func TestLostUpdateDetectedOffline(t *testing.T) {
+	p := incrementProgram(2, 30)
+	for seed := uint64(0); seed < 50; seed++ {
+		m, err := vm.New(p, vm.Config{NumCPUs: 2, Seed: seed, MaxQuantum: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _ := trace.NewRecorder(p, 2, 0)
+		m.Attach(r)
+		if _, err := m.Run(1 << 18); err != nil {
+			t.Fatal(err)
+		}
+		if m.Mem(0) == 60 {
+			continue
+		}
+		res := Run(r.Trace(), 0)
+		if res.Clean() {
+			t.Fatalf("seed %d lost an update; offline detector found nothing", seed)
+		}
+		if len(res.Sites()) == 0 {
+			t.Error("no static sites for the violations")
+		}
+		v := res.Violations[0]
+		if v.String() == "" {
+			t.Error("empty violation string")
+		}
+		return
+	}
+	t.Skip("no seed produced a lost update")
+}
+
+// TestCleanImpliesSerializable is §3.3's soundness property: not violating
+// strict 2PL is sufficient for serializability, so every execution the
+// offline detector passes must be conflict-serializable.
+func TestCleanImpliesSerializable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 80; trial++ {
+		p := randProgram(rng, 10+rng.Intn(30), 1+rng.Intn(3))
+		tr := record(t, p, vm.Config{NumCPUs: len(p.Entries), Seed: rng.Uint64(), MaxQuantum: 2})
+		res := Run(tr, 0)
+		if !res.Clean() {
+			continue
+		}
+		checked++
+		if !depgraph.ConflictSerializable(tr, res.CUOf) {
+			t.Fatalf("trial %d: strict-2PL-clean execution is not serializable", trial)
+		}
+	}
+	if checked == 0 {
+		t.Error("property never exercised: no clean executions")
+	}
+}
+
+// TestMaxSeqRecordsCUEnds: pass 2 records where each CU finishes.
+func TestMaxSeqRecordsCUEnds(t *testing.T) {
+	p := &isa.Program{Name: "m", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 1),
+		isa.Store(8, isa.RegZero, 5),
+		isa.Load(9, isa.RegZero, 5),
+		isa.Halt(),
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 1})
+	res := Run(tr, 0)
+	for i := range tr.Stmts {
+		id := res.CUOf[i]
+		if id < 0 {
+			continue
+		}
+		if tr.Stmts[i].Seq > res.MaxSeq[id] {
+			t.Errorf("stmt %d (seq %d) exceeds its CU's max seq %d", i, tr.Stmts[i].Seq, res.MaxSeq[id])
+		}
+	}
+}
+
+// TestViolationCapRespected bounds retained reports.
+func TestViolationCapRespected(t *testing.T) {
+	p := incrementProgram(4, 40)
+	m, err := vm.New(p, vm.Config{NumCPUs: 4, Seed: 3, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := trace.NewRecorder(p, 4, 0)
+	m.Attach(r)
+	if _, err := m.Run(1 << 18); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(r.Trace(), 3)
+	if len(res.Violations) > 3 {
+		t.Errorf("retained %d violations, cap 3", len(res.Violations))
+	}
+}
+
+func randProgram(rng *rand.Rand, n int, cpus int) *isa.Program {
+	regs := []isa.Reg{8, 9, 10, 11, 12}
+	reg := func() isa.Reg { return regs[rng.Intn(len(regs))] }
+	code := make([]isa.Instr, n+1)
+	for pc := 0; pc < n; pc++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			code[pc] = isa.LI(reg(), int64(rng.Intn(100)))
+		case 2, 3:
+			code[pc] = isa.ALU(isa.OpAdd, reg(), reg(), reg())
+		case 4, 5:
+			code[pc] = isa.Load(reg(), isa.RegZero, int64(rng.Intn(16)))
+		case 6, 7:
+			code[pc] = isa.Store(reg(), isa.RegZero, int64(rng.Intn(16)))
+		case 8:
+			target := pc + 1 + rng.Intn(n-pc)
+			code[pc] = isa.Beqz(reg(), int64(target))
+		default:
+			code[pc] = isa.Addi(reg(), reg(), int64(rng.Intn(5)))
+		}
+	}
+	code[n] = isa.Halt()
+	return &isa.Program{Name: "rand", Code: code, Entries: make([]int64, cpus)}
+}

@@ -1,0 +1,228 @@
+// Package report runs workloads under both detectors and classifies their
+// output against workload ground truth, reproducing the paper's evaluation
+// methodology (§6):
+//
+//   - dynamic false positives — dynamic report instances not attributable
+//     to the injected bug (each one would cost an unnecessary BER
+//     rollback; Table 2 normalizes them per million instructions);
+//   - static false positives — distinct report sites (program points) not
+//     attributable to the bug (each one distracts a programmer);
+//   - apparent false negatives — erroneous executions the happens-before
+//     baseline catches but SVD does not (counting SVD's a posteriori log,
+//     which is how the paper's authors found the MySQL bug);
+//   - a posteriori examination entries and computational-unit counts.
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/frd"
+	"repro/internal/svd"
+	"repro/internal/workloads"
+)
+
+// DetectorResult classifies one detector's output on one sample.
+type DetectorResult struct {
+	DynamicTrue  uint64 // dynamic reports on bug program points
+	DynamicFalse uint64 // dynamic reports elsewhere
+
+	TrueSites  map[int64]bool // static sites on bug PCs (keyed by reporting PC)
+	FalseSites map[int64]bool // static sites elsewhere
+
+	FoundBug bool // any report lands on the bug
+}
+
+// Sample is one execution of a workload under both detectors.
+type Sample struct {
+	Workload     string
+	Seed         uint64
+	Instructions uint64
+	Erroneous    bool // the workload's consistency check failed
+	ErrorDetail  string
+
+	SVD DetectorResult
+	FRD DetectorResult
+
+	// LogEntries is the number of distinct (s, rw, lw) triples in SVD's a
+	// posteriori log; LogFoundBug reports whether any triple touches the
+	// bug's program points.
+	LogEntries  int
+	LogFoundBug bool
+
+	// CUs is the number of computational units SVD inferred.
+	CUs uint64
+}
+
+// Options tune a sample run.
+type Options struct {
+	MaxSteps uint64 // instruction budget; zero means 1<<24
+	SVD      svd.Options
+	FRD      frd.Options
+}
+
+// Run executes one sample.
+func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1 << 24
+	}
+	m, err := w.NewVM(seed)
+	if err != nil {
+		return nil, err
+	}
+	sd := svd.New(w.Prog, w.NumThreads, opts.SVD)
+	fd := frd.New(w.Prog, w.NumThreads, opts.FRD)
+	m.Attach(sd)
+	m.Attach(fd)
+	if _, err := m.Run(opts.MaxSteps); err != nil {
+		return nil, fmt.Errorf("report: %s seed %d: %w", w.Name, seed, err)
+	}
+	if !m.Done() {
+		return nil, fmt.Errorf("report: %s seed %d did not finish within %d steps", w.Name, seed, opts.MaxSteps)
+	}
+
+	s := &Sample{
+		Workload:     w.Name,
+		Seed:         seed,
+		Instructions: sd.Stats().Instructions,
+		CUs:          sd.Stats().CUsLive(),
+	}
+	if w.Check != nil {
+		s.Erroneous, s.ErrorDetail = w.Check(m)
+	}
+
+	s.SVD = classifySVD(w, sd)
+	s.FRD = classifyFRD(w, fd)
+	s.LogEntries = len(sd.Log())
+	for _, e := range sd.Log() {
+		if w.BugPCs[e.ReadPC] || w.BugPCs[e.RemoteWritePC] || w.BugPCs[e.LocalWritePC] {
+			s.LogFoundBug = true
+			break
+		}
+	}
+	return s, nil
+}
+
+func classifySVD(w *workloads.Workload, sd *svd.Detector) DetectorResult {
+	r := DetectorResult{TrueSites: map[int64]bool{}, FalseSites: map[int64]bool{}}
+	for _, site := range sd.Sites() {
+		hit := w.BugPCs[site.StorePC] || w.BugPCs[site.First.ConflictPC]
+		if hit {
+			r.TrueSites[site.StorePC] = true
+			r.DynamicTrue += site.Count
+			r.FoundBug = true
+		} else {
+			r.FalseSites[site.StorePC] = true
+			r.DynamicFalse += site.Count
+		}
+	}
+	return r
+}
+
+func classifyFRD(w *workloads.Workload, fd *frd.Detector) DetectorResult {
+	r := DetectorResult{TrueSites: map[int64]bool{}, FalseSites: map[int64]bool{}}
+	for _, site := range fd.Sites() {
+		hit := w.BugPCs[site.PCLow] || w.BugPCs[site.PCHigh]
+		// FRD sites are PC pairs; key them by their lower PC combined
+		// with the high PC to keep distinct pairs distinct.
+		key := site.PCLow<<20 | site.PCHigh
+		if hit {
+			r.TrueSites[key] = true
+			r.DynamicTrue += site.Count
+			r.FoundBug = true
+		} else {
+			r.FalseSites[key] = true
+			r.DynamicFalse += site.Count
+		}
+	}
+	return r
+}
+
+// Row is one Table 2 row: a workload aggregated over samples.
+type Row struct {
+	Workload string
+	Samples  int
+	MInsts   float64 // total million instructions across samples
+
+	ErroneousSamples int
+	// ApparentFNs counts samples where FRD found the bug but SVD —
+	// including its a posteriori log — did not (§6's apparent false
+	// negatives).
+	ApparentFNs int
+
+	SVDFoundBug bool // online detection on any sample
+	LogFoundBug bool // a posteriori log hit on any sample
+
+	SVDStaticFP   int // distinct FP sites across all samples
+	FRDStaticFP   int
+	SVDStaticTrue int
+	FRDStaticTrue int
+
+	SVDDynFP uint64 // total dynamic FP instances
+	FRDDynFP uint64
+
+	APosteriori int // distinct log triples (max across samples)
+
+	CUs uint64 // total computational units
+}
+
+// SVDDynFPPerM returns SVD dynamic false positives per million
+// instructions.
+func (r Row) SVDDynFPPerM() float64 { return perM(r.SVDDynFP, r.MInsts) }
+
+// FRDDynFPPerM returns FRD dynamic false positives per million
+// instructions.
+func (r Row) FRDDynFPPerM() float64 { return perM(r.FRDDynFP, r.MInsts) }
+
+// CUsPerM returns computational units per million instructions.
+func (r Row) CUsPerM() float64 { return perM(r.CUs, r.MInsts) }
+
+func perM(n uint64, mInsts float64) float64 {
+	if mInsts == 0 {
+		return 0
+	}
+	return float64(n) / mInsts
+}
+
+// Aggregate folds samples of one workload into a row.
+func Aggregate(name string, samples []*Sample) Row {
+	row := Row{Workload: name, Samples: len(samples)}
+	svdFP := map[int64]bool{}
+	frdFP := map[int64]bool{}
+	svdTrue := map[int64]bool{}
+	frdTrue := map[int64]bool{}
+	for _, s := range samples {
+		row.MInsts += float64(s.Instructions) / 1e6
+		if s.Erroneous {
+			row.ErroneousSamples++
+		}
+		svdFound := s.SVD.FoundBug || s.LogFoundBug
+		if s.FRD.FoundBug && !svdFound {
+			row.ApparentFNs++
+		}
+		row.SVDFoundBug = row.SVDFoundBug || s.SVD.FoundBug
+		row.LogFoundBug = row.LogFoundBug || s.LogFoundBug
+		for pc := range s.SVD.FalseSites {
+			svdFP[pc] = true
+		}
+		for pc := range s.SVD.TrueSites {
+			svdTrue[pc] = true
+		}
+		for pc := range s.FRD.FalseSites {
+			frdFP[pc] = true
+		}
+		for pc := range s.FRD.TrueSites {
+			frdTrue[pc] = true
+		}
+		row.SVDDynFP += s.SVD.DynamicFalse
+		row.FRDDynFP += s.FRD.DynamicFalse
+		if s.LogEntries > row.APosteriori {
+			row.APosteriori = s.LogEntries
+		}
+		row.CUs += s.CUs
+	}
+	row.SVDStaticFP = len(svdFP)
+	row.FRDStaticFP = len(frdFP)
+	row.SVDStaticTrue = len(svdTrue)
+	row.FRDStaticTrue = len(frdTrue)
+	return row
+}

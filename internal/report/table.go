@@ -1,0 +1,53 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable renders rows in the layout of the paper's Table 2.
+func RenderTable(rows []Row) string {
+	var b strings.Builder
+	header := []string{
+		"Workload", "Samples", "MInsts", "Errors",
+		"App.FN", "SVD sFP", "FRD sFP",
+		"SVD dFP/M (tot)", "FRD dFP/M (tot)",
+		"A-post.", "CUs/M (tot)",
+	}
+	fmt.Fprintf(&b, "%-22s %7s %7s %6s %6s %8s %8s %18s %18s %8s %16s\n",
+		header[0], header[1], header[2], header[3], header[4], header[5],
+		header[6], header[7], header[8], header[9], header[10])
+	fmt.Fprintln(&b, strings.Repeat("-", 132))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %7d %7.2f %6d %6d %8d %8d %10.2f (%5d) %10.2f (%5d) %8d %8.0f (%5d)\n",
+			r.Workload, r.Samples, r.MInsts, r.ErroneousSamples,
+			r.ApparentFNs, r.SVDStaticFP, r.FRDStaticFP,
+			r.SVDDynFPPerM(), r.SVDDynFP,
+			r.FRDDynFPPerM(), r.FRDDynFP,
+			r.APosteriori,
+			r.CUsPerM(), r.CUs)
+	}
+	return b.String()
+}
+
+// Summary renders the detection outcome of a row in prose, the way §7.1
+// reports apparent false negatives.
+func Summary(r Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d samples, %.2fM instructions, %d erroneous\n",
+		r.Workload, r.Samples, r.MInsts, r.ErroneousSamples)
+	switch {
+	case r.SVDFoundBug && r.LogFoundBug:
+		fmt.Fprintf(&b, "  SVD found the bug online and in the a posteriori log\n")
+	case r.SVDFoundBug:
+		fmt.Fprintf(&b, "  SVD found the bug online\n")
+	case r.LogFoundBug:
+		fmt.Fprintf(&b, "  SVD missed the bug online; the a posteriori log revealed it\n")
+	default:
+		fmt.Fprintf(&b, "  SVD made no bug detections (none injected or all missed)\n")
+	}
+	fmt.Fprintf(&b, "  apparent false negatives vs FRD: %d\n", r.ApparentFNs)
+	fmt.Fprintf(&b, "  static FPs: SVD %d vs FRD %d; dynamic FPs/M: SVD %.2f vs FRD %.2f\n",
+		r.SVDStaticFP, r.FRDStaticFP, r.SVDDynFPPerM(), r.FRDDynFPPerM())
+	return b.String()
+}

@@ -1,0 +1,272 @@
+// Package stale implements a Burrows–Leino stale-value detector, the other
+// atomicity-violation detector family the paper discusses (§8): it "finds
+// where stale values are used after critical sections have ended, because
+// this type of program behavior may be an indicator of timing-dependent
+// bugs".
+//
+// A value loaded from memory while a thread holds a lock is tainted with
+// that (lock, acquisition-epoch). Taints propagate through registers and
+// memory the way SVD's CU references do. When the thread releases the
+// lock, the epoch advances and every value still carrying the old epoch is
+// stale: its use — as an operand, an address, a stored value, or a branch
+// condition — is reported. Staleness is a *potential*-bug property: it
+// fires whether or not any other thread interfered, which is precisely the
+// contrast with SVD (serializability is a property of the execution at
+// hand). The benchmarks quantify that contrast.
+//
+// Like the lockset and happens-before baselines (and unlike SVD), the
+// detector needs lock identification; the automatic CAS rule supplies it.
+package stale
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Options tune the detector.
+type Options struct {
+	// BlockShift selects block size as 1<<BlockShift words.
+	BlockShift uint
+	// MaxReports caps retained reports. Zero means 1 << 16.
+	MaxReports int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxReports <= 0 {
+		o.MaxReports = 1 << 16
+	}
+	return o
+}
+
+// Report is one use of a stale value.
+type Report struct {
+	CPU     int
+	PC      int64 // the using instruction
+	Seq     uint64
+	Lock    int64 // the lock whose critical section produced the value
+	LoadPC  int64 // where the value was loaded
+	LoadSeq uint64
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("stale value: cpu %d pc %d (seq %d) uses value loaded at pc %d under lock %d after release",
+		r.CPU, r.PC, r.Seq, r.LoadPC, r.Lock)
+}
+
+// Site aggregates reports by (use PC, load PC).
+type Site struct {
+	PC     int64
+	LoadPC int64
+	Count  uint64
+	First  Report
+}
+
+// Stats aggregates detector activity.
+type Stats struct {
+	Instructions uint64
+	TaintedLoads uint64
+	Reports      uint64 // dynamic stale uses
+}
+
+// tag marks a value with the critical section that produced it.
+type tag struct {
+	set   bool
+	lock  int64
+	epoch uint64
+	pc    int64 // load site
+	seq   uint64
+}
+
+func (t tag) valid() bool { return t.set }
+
+type threadState struct {
+	regs   [isa.NumRegs]tag
+	mem    map[int64]tag
+	held   []int64          // lock acquisition stack (innermost last)
+	epochs map[int64]uint64 // per-lock release counts
+}
+
+// Detector is the online stale-value detector. It implements vm.Observer.
+type Detector struct {
+	opts      Options
+	lockWords map[int64]bool
+	threads   []*threadState
+
+	// owners tracks which threads accessed each block (bitmask).
+	// Staleness is a property of a thread's private *copy* of a value: a
+	// spill slot only this thread touches keeps the taint of the value
+	// stored into it, while re-loading a genuinely shared variable yields
+	// a fresh value (the variable itself is never "stale" — the thread's
+	// old copy of it is).
+	owners map[int64]uint64
+
+	reports []Report
+	sites   map[[2]int64]*Site
+	stats   Stats
+}
+
+// New builds a detector for numCPUs processors.
+func New(numCPUs int, opts Options) *Detector {
+	d := &Detector{
+		opts:      opts.withDefaults(),
+		lockWords: make(map[int64]bool),
+		threads:   make([]*threadState, numCPUs),
+		owners:    make(map[int64]uint64),
+		sites:     make(map[[2]int64]*Site),
+	}
+	for i := range d.threads {
+		d.threads[i] = &threadState{
+			mem:    make(map[int64]tag),
+			epochs: make(map[int64]uint64),
+		}
+	}
+	return d
+}
+
+// Reports returns retained reports.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// Stats returns aggregate counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Sites returns report sites sorted by descending count.
+func (d *Detector) Sites() []Site {
+	out := make([]Site, 0, len(d.sites))
+	for _, s := range d.sites {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].PC != out[j].PC {
+			return out[i].PC < out[j].PC
+		}
+		return out[i].LoadPC < out[j].LoadPC
+	})
+	return out
+}
+
+// Step processes one dynamic instruction (vm.Observer).
+func (d *Detector) Step(ev *vm.Event) {
+	d.stats.Instructions++
+	t := d.threads[ev.CPU]
+	in := ev.Instr
+
+	// Lock bookkeeping (CAS-identified, as in the other annotated
+	// baselines).
+	if in.Op == isa.OpCas {
+		b := ev.Addr >> d.opts.BlockShift
+		d.lockWords[b] = true
+		if ev.IsStore && ev.Stored != 0 {
+			t.held = append(t.held, b)
+		}
+		t.regs[in.Rd] = tag{}
+		return
+	}
+	if in.Op.IsMem() {
+		b := ev.Addr >> d.opts.BlockShift
+		if d.lockWords[b] {
+			if ev.IsStore && ev.Stored == 0 {
+				// Release: values from this critical section go stale.
+				t.epochs[b]++
+				for i := len(t.held) - 1; i >= 0; i-- {
+					if t.held[i] == b {
+						t.held = append(t.held[:i], t.held[i+1:]...)
+						break
+					}
+				}
+			}
+			return
+		}
+	}
+
+	use := func(r isa.Reg) {
+		if r == isa.RegZero {
+			return
+		}
+		d.check(ev, t, t.regs[r])
+	}
+
+	switch {
+	case in.Op == isa.OpLoad:
+		use(in.Rs1) // address
+		b := ev.Addr >> d.opts.BlockShift
+		private := d.touch(b, ev.CPU)
+		if mt := t.mem[b]; private && mt.valid() {
+			// Reloading a private copy keeps (and checks) its taint.
+			d.check(ev, t, mt)
+			t.regs[in.Rd] = mt
+		} else if len(t.held) > 0 {
+			// Reading a variable inside a critical section produces a
+			// value that goes stale when the section ends.
+			lock := t.held[len(t.held)-1]
+			t.regs[in.Rd] = tag{set: true, lock: lock, epoch: t.epochs[lock], pc: ev.PC, seq: ev.Seq}
+			d.stats.TaintedLoads++
+		} else {
+			t.regs[in.Rd] = tag{}
+		}
+
+	case in.Op == isa.OpStore:
+		use(in.Rs1)
+		use(in.Rs2)
+		d.touch(ev.Addr>>d.opts.BlockShift, ev.CPU)
+		t.mem[ev.Addr>>d.opts.BlockShift] = t.regs[in.Rs2]
+
+	case in.Op == isa.OpLI:
+		t.regs[in.Rd] = tag{}
+
+	case in.Op == isa.OpMov, in.Op == isa.OpAddi:
+		use(in.Rs1)
+		t.regs[in.Rd] = t.regs[in.Rs1]
+
+	case in.Op.IsALU():
+		use(in.Rs1)
+		use(in.Rs2)
+		nt := t.regs[in.Rs1]
+		if !nt.valid() {
+			nt = t.regs[in.Rs2]
+		}
+		t.regs[in.Rd] = nt
+
+	case in.Op.IsCondBranch():
+		use(in.Rs1)
+
+	case in.Op == isa.OpJal:
+		t.regs[in.Rd] = tag{}
+
+	case in.Op == isa.OpJr:
+		use(in.Rs1)
+	}
+}
+
+// touch records an accessor and reports whether the block is still private
+// to that thread.
+func (d *Detector) touch(b int64, cpu int) bool {
+	bit := uint64(1) << uint(cpu%64)
+	d.owners[b] |= bit
+	return d.owners[b] == bit
+}
+
+// check reports when the value's critical section has ended.
+func (d *Detector) check(ev *vm.Event, t *threadState, tg tag) {
+	if !tg.valid() || t.epochs[tg.lock] <= tg.epoch {
+		return
+	}
+	d.stats.Reports++
+	r := Report{CPU: ev.CPU, PC: ev.PC, Seq: ev.Seq, Lock: tg.lock, LoadPC: tg.pc, LoadSeq: tg.seq}
+	key := [2]int64{ev.PC, tg.pc}
+	s := d.sites[key]
+	if s == nil {
+		s = &Site{PC: ev.PC, LoadPC: tg.pc, First: r}
+		d.sites[key] = s
+	}
+	s.Count++
+	if len(d.reports) < d.opts.MaxReports {
+		d.reports = append(d.reports, r)
+	}
+}

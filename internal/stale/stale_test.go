@@ -1,0 +1,209 @@
+package stale
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+type script struct {
+	d   *Detector
+	seq uint64
+}
+
+func newScript(n int) *script { return &script{d: New(n, Options{})} }
+
+func (s *script) step(cpu int, pc int64, in isa.Instr, mut func(*vm.Event)) {
+	e := vm.Event{Seq: s.seq, CPU: cpu, PC: pc, Instr: in}
+	if mut != nil {
+		mut(&e)
+	}
+	s.seq++
+	s.d.Step(&e)
+}
+
+func (s *script) load(cpu int, pc int64, rd isa.Reg, addr int64) {
+	s.step(cpu, pc, isa.Load(rd, isa.RegZero, addr), func(e *vm.Event) {
+		e.Addr, e.IsLoad = addr, true
+	})
+}
+
+func (s *script) store(cpu int, pc int64, rs isa.Reg, addr int64, val int64) {
+	s.step(cpu, pc, isa.Store(rs, isa.RegZero, addr), func(e *vm.Event) {
+		e.Addr, e.IsStore, e.Stored = addr, true, val
+	})
+}
+
+func (s *script) acquire(cpu int, pc, lock int64) {
+	s.step(cpu, pc, isa.Cas(8, 9, 10, 11), func(e *vm.Event) {
+		e.Addr, e.IsLoad, e.IsStore, e.Stored = lock, true, true, 1
+	})
+}
+
+func (s *script) release(cpu int, pc, lock int64) {
+	s.store(cpu, pc, isa.RegZero, lock, 0)
+}
+
+const (
+	rA = isa.Reg(8)
+	rB = isa.Reg(9)
+)
+
+func TestUseInsideCriticalSectionClean(t *testing.T) {
+	s := newScript(1)
+	const l, x, y = 10, 100, 101
+	s.acquire(0, 1, l)
+	s.load(0, 2, rA, x)
+	s.step(0, 3, isa.Addi(rA, rA, 1), nil)
+	s.store(0, 4, rA, y, 7)
+	s.release(0, 5, l)
+	if got := s.d.Stats().Reports; got != 0 {
+		t.Errorf("in-section uses reported %d", got)
+	}
+	if got := s.d.Stats().TaintedLoads; got != 1 {
+		t.Errorf("tainted loads = %d, want 1", got)
+	}
+}
+
+func TestUseAfterReleaseReports(t *testing.T) {
+	s := newScript(1)
+	const l, x, y = 10, 100, 101
+	s.acquire(0, 1, l)
+	s.load(0, 2, rA, x)
+	s.release(0, 3, l)
+	s.store(0, 4, rA, y, 7) // stale use
+	st := s.d.Stats()
+	if st.Reports != 1 {
+		t.Fatalf("reports = %d, want 1", st.Reports)
+	}
+	r := s.d.Reports()[0]
+	if r.PC != 4 || r.LoadPC != 2 || r.Lock != 10 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestTaintThroughMemory(t *testing.T) {
+	// Spill the tainted value to a stack slot, reload after release, use.
+	s := newScript(1)
+	const l, x, slot, y = 10, 100, 500, 101
+	s.acquire(0, 1, l)
+	s.load(0, 2, rA, x)
+	s.store(0, 3, rA, slot, 7) // spill inside the section (ok)
+	s.release(0, 4, l)
+	s.load(0, 5, rB, slot) // reload the stale value
+	s.store(0, 6, rB, y, 7)
+	if got := s.d.Stats().Reports; got == 0 {
+		t.Error("stale value laundered through memory not caught")
+	}
+}
+
+func TestTaintThroughALU(t *testing.T) {
+	s := newScript(1)
+	const l, x = 10, 100
+	s.acquire(0, 1, l)
+	s.load(0, 2, rA, x)
+	s.release(0, 3, l)
+	s.step(0, 4, isa.ALU(isa.OpAdd, rB, rA, isa.RegZero), nil) // use: report
+	if got := s.d.Stats().Reports; got != 1 {
+		t.Errorf("ALU use of stale value: %d reports, want 1", got)
+	}
+	// The derived value is stale too.
+	s.step(0, 5, isa.Beqz(rB, 7), nil)
+	if got := s.d.Stats().Reports; got != 2 {
+		t.Errorf("branch on derived stale value: %d reports, want 2", got)
+	}
+}
+
+func TestFreshLoadOverwritesTaint(t *testing.T) {
+	s := newScript(1)
+	const l, x = 10, 100
+	s.acquire(0, 1, l)
+	s.load(0, 2, rA, x)
+	s.release(0, 3, l)
+	s.acquire(0, 4, l)
+	s.load(0, 5, rA, x) // re-read under the lock: fresh
+	s.store(0, 6, rA, 101, 7)
+	s.release(0, 7, l)
+	if got := s.d.Stats().Reports; got != 0 {
+		t.Errorf("re-read value reported %d times", got)
+	}
+}
+
+func TestUntaintedOutsideLocks(t *testing.T) {
+	s := newScript(1)
+	s.load(0, 1, rA, 100)
+	s.store(0, 2, rA, 101, 7)
+	st := s.d.Stats()
+	if st.TaintedLoads != 0 || st.Reports != 0 {
+		t.Errorf("lockless code tainted=%d reports=%d", st.TaintedLoads, st.Reports)
+	}
+}
+
+func TestLIClearsTaint(t *testing.T) {
+	s := newScript(1)
+	const l = 10
+	s.acquire(0, 1, l)
+	s.load(0, 2, rA, 100)
+	s.release(0, 3, l)
+	s.step(0, 4, isa.LI(rA, 5), nil) // overwrite: no use
+	s.store(0, 5, rA, 101, 5)
+	if got := s.d.Stats().Reports; got != 0 {
+		t.Errorf("overwritten register reported %d times", got)
+	}
+}
+
+func TestSitesDeduplicate(t *testing.T) {
+	s := newScript(1)
+	const l, x, y = 10, 100, 101
+	for i := 0; i < 4; i++ {
+		s.acquire(0, 1, l)
+		s.load(0, 2, rA, x)
+		s.release(0, 3, l)
+		s.store(0, 4, rA, y, 7)
+	}
+	if got := s.d.Stats().Reports; got != 4 {
+		t.Errorf("dynamic reports = %d, want 4", got)
+	}
+	sites := s.d.Sites()
+	if len(sites) != 1 || sites[0].Count != 4 || sites[0].PC != 4 || sites[0].LoadPC != 2 {
+		t.Errorf("sites = %+v", sites)
+	}
+}
+
+// TestPgSQLPostCommitStaleUse: the pgsql workload's post-commit ledger
+// update reuses a value read under the warehouse lock — the pattern this
+// detector exists to flag. It reports regardless of interference, where
+// SVD reports only on actual conflicts: the §8 contrast.
+func TestPgSQLPostCommitStaleUse(t *testing.T) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	m, err := w.NewVM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(w.NumThreads, Options{})
+	m.Attach(d)
+	if _, err := m.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Reports; got == 0 {
+		t.Error("stale detector found nothing on pgsql's post-commit reuse")
+	}
+	// Every report should trace back to a load under a warehouse lock.
+	for _, r := range d.Reports()[:min(3, len(d.Reports()))] {
+		if r.Lock < 0 {
+			t.Errorf("report without a lock: %+v", r)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package svd
+
+// Clone deep-copies the detector. Backward error recovery snapshots the
+// detector together with the machine: the paper's hardware BER keeps the
+// detector's state (block FSMs, CU references) inside the checkpointed
+// caches, so a rollback restores it — resetting the detector instead would
+// blind it to any computational unit spanning a checkpoint boundary.
+//
+// Computational units are translated through a mapping so the clone's CU
+// graph is disjoint from the original's; dead units (merged or cut) are
+// dropped, which matches the lazy resolution the detector applies anyway.
+func (d *Detector) Clone() *Detector {
+	nd := &Detector{
+		prog:   d.prog,
+		opts:   d.opts,
+		nextCU: d.nextCU,
+		stats:  d.stats,
+	}
+	nd.violations = append([]Violation(nil), d.violations...)
+	nd.logEntries = append([]LogEntry(nil), d.logEntries...)
+	nd.logSeen = make(map[logKey]int, len(d.logSeen))
+	for k, v := range d.logSeen {
+		nd.logSeen[k] = v
+	}
+	if d.sites != nil {
+		nd.sites = make(map[int64]*Site, len(d.sites))
+		for k, s := range d.sites {
+			cp := *s
+			nd.sites[k] = &cp
+		}
+	}
+
+	cuMap := make(map[*cu]*cu)
+	translate := func(c *cu) *cu {
+		if c == nil {
+			return nil
+		}
+		c = c.find()
+		if !c.active {
+			return nil
+		}
+		if nc, ok := cuMap[c]; ok {
+			return nc
+		}
+		nc := &cu{id: c.id, active: true}
+		nc.rs = make(map[int64]struct{}, len(c.rs))
+		for b := range c.rs {
+			nc.rs[b] = struct{}{}
+		}
+		nc.ws = make(map[int64]struct{}, len(c.ws))
+		for b := range c.ws {
+			nc.ws[b] = struct{}{}
+		}
+		cuMap[c] = nc
+		return nc
+	}
+	translateSet := func(set []*cu) []*cu {
+		var out []*cu
+		for _, c := range set {
+			if nc := translate(c); nc != nil {
+				out = append(out, nc)
+			}
+		}
+		return out
+	}
+
+	nd.threads = make([]*threadState, len(d.threads))
+	for i, t := range d.threads {
+		nt := &threadState{
+			d:      nd,
+			id:     t.id,
+			blocks: make(map[int64]*blockState, len(t.blocks)),
+			depth:  t.depth,
+		}
+		for b, bs := range t.blocks {
+			cp := *bs
+			cp.cu = translate(bs.cu)
+			if cp.cu == nil && bs.cu != nil {
+				// The unit died; the block's FSM resets with it.
+				cp.state = stIdle
+				cp.conflict = false
+			}
+			nt.blocks[b] = &cp
+		}
+		for r := range t.regs {
+			nt.regs[r] = translateSet(t.regs[r])
+		}
+		nt.ctrl = make([]ctrlEntry, len(t.ctrl))
+		for j, e := range t.ctrl {
+			nt.ctrl[j] = ctrlEntry{
+				cuSet:    translateSet(e.cuSet),
+				reconvPC: e.reconvPC,
+				depth:    e.depth,
+			}
+		}
+		nd.threads[i] = nt
+	}
+	return nd
+}
+
+// CopyFrom rewinds the detector to a previously cloned state (the clone
+// itself stays reusable).
+func (d *Detector) CopyFrom(saved *Detector) {
+	fresh := saved.Clone()
+	*d = *fresh
+	for _, t := range d.threads {
+		t.d = d
+	}
+}

@@ -1,0 +1,151 @@
+package svd
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// captureEvents runs a workload and returns its event stream.
+func captureEvents(t *testing.T, w *workloads.Workload, seed uint64) []vm.Event {
+	t.Helper()
+	m, err := w.NewVM(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []vm.Event
+	m.Attach(vm.ObserverFunc(func(ev *vm.Event) { evs = append(evs, *ev) }))
+	if _, err := m.Run(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestCloneContinuesIdentically: feeding the same suffix to the original
+// and to a clone taken mid-stream yields identical results — the property
+// BER's checkpointing relies on.
+func TestCloneContinuesIdentically(t *testing.T) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 24, Buggy: true, Seed: 5})
+	evs := captureEvents(t, w, 3)
+	mid := len(evs) / 2
+
+	orig := New(w.Prog, w.NumThreads, Options{})
+	for i := 0; i < mid; i++ {
+		orig.Step(&evs[i])
+	}
+	clone := orig.Clone()
+
+	for i := mid; i < len(evs); i++ {
+		orig.Step(&evs[i])
+	}
+	for i := mid; i < len(evs); i++ {
+		clone.Step(&evs[i])
+	}
+
+	so, sc := orig.Stats(), clone.Stats()
+	if so.Violations != sc.Violations || so.LogEntries != sc.LogEntries ||
+		so.SharedCutLoads != sc.SharedCutLoads || so.SharedCutRemote != sc.SharedCutRemote {
+		t.Errorf("clone diverged: orig=%+v clone=%+v", so, sc)
+	}
+	if len(orig.Sites()) != len(clone.Sites()) {
+		t.Errorf("site counts differ: %d vs %d", len(orig.Sites()), len(clone.Sites()))
+	}
+	if len(orig.Log()) != len(clone.Log()) {
+		t.Errorf("log lengths differ: %d vs %d", len(orig.Log()), len(clone.Log()))
+	}
+}
+
+// TestCloneIsIsolated: stepping the original does not disturb the clone.
+func TestCloneIsIsolated(t *testing.T) {
+	s := newScript(2, Options{})
+	const X = 100
+	s.load(0, 0, rA, X)
+	clone := s.d.Clone()
+	snapViol := clone.Stats().Violations
+
+	// Drive the original into a violation.
+	s.store(1, 0, rB, X)
+	s.addi(0, 1, rA, rA)
+	s.store(0, 2, rA, X)
+	if s.d.Stats().Violations == 0 {
+		t.Fatal("original did not violate")
+	}
+	if clone.Stats().Violations != snapViol {
+		t.Error("clone's stats moved with the original")
+	}
+	// The clone, fed the same events, detects independently.
+	ev := vm.Event{Seq: 100, CPU: 1, PC: 0, Instr: isa.Store(rB, isa.RegZero, X), Addr: X, IsStore: true}
+	clone.Step(&ev)
+	ev = vm.Event{Seq: 101, CPU: 0, PC: 1, Instr: isa.Addi(rA, rA, 1)}
+	clone.Step(&ev)
+	ev = vm.Event{Seq: 102, CPU: 0, PC: 2, Instr: isa.Store(rA, isa.RegZero, X), Addr: X, IsStore: true}
+	clone.Step(&ev)
+	if clone.Stats().Violations != 1 {
+		t.Errorf("clone violations = %d, want 1", clone.Stats().Violations)
+	}
+}
+
+// TestCopyFromRewinds: CopyFrom restores a detector to the cloned state
+// and the source clone stays reusable.
+func TestCopyFromRewinds(t *testing.T) {
+	s := newScript(2, Options{})
+	const X = 100
+	s.load(0, 0, rA, X)
+	saved := s.d.Clone()
+
+	s.store(1, 0, rB, X)
+	s.addi(0, 1, rA, rA)
+	s.store(0, 2, rA, X)
+	if s.d.Stats().Violations != 1 {
+		t.Fatal("setup did not violate")
+	}
+
+	s.d.CopyFrom(saved)
+	if got := s.d.Stats().Violations; got != 0 {
+		t.Errorf("violations after rewind = %d", got)
+	}
+	// Replaying the suffix reproduces the violation; the saved clone is
+	// still usable for another rewind.
+	s.store(1, 3, rB, X)
+	s.addi(0, 4, rA, rA)
+	s.store(0, 5, rA, X)
+	if got := s.d.Stats().Violations; got != 1 {
+		t.Errorf("violations after replay = %d, want 1", got)
+	}
+	s.d.CopyFrom(saved)
+	if got := s.d.Stats().Violations; got != 0 {
+		t.Errorf("second rewind left %d violations", got)
+	}
+}
+
+// TestCloneDropsDeadUnits: merged-away and cut units do not survive
+// cloning; blocks pointing at them reset.
+func TestCloneDropsDeadUnits(t *testing.T) {
+	s := newScript(2, Options{})
+	const A, B, X, Q = 100, 101, 102, 103
+	s.load(0, 0, rA, A)
+	s.load(0, 1, rB, B)
+	s.alu(0, 2, rC, rA, rB)
+	s.store(0, 3, rC, X) // merges CU(A) and CU(B)
+	// Shared-dependence cut on Q.
+	s.store(0, 4, rA, Q)
+	s.store(1, 0, rA, Q)
+	s.load(0, 5, rB, Q) // cut
+
+	clone := s.d.Clone()
+	for _, tr := range clone.threads {
+		for b, bs := range tr.blocks {
+			if bs.cu != nil {
+				c := bs.cu.find()
+				if !c.active {
+					t.Errorf("block %d references dead unit after clone", b)
+				}
+				if c.parent != nil {
+					t.Errorf("block %d's unit has forwarding after clone", b)
+				}
+			}
+		}
+	}
+}

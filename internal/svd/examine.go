@@ -1,0 +1,138 @@
+package svd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// The a posteriori examination (§2.3): the programmer reads the log of
+// (s, rw, lw) triples to discover erroneous executions SVD missed online —
+// the paper's authors diagnosed the MySQL prepared-query crash this way.
+// Examine automates the grouping a human would do: fold the triples by
+// variable, characterize the communication shape, and rank the groups the
+// way an examiner would read them.
+
+// Finding is one examined variable: all log triples touching one block,
+// with the communication shape summarized.
+type Finding struct {
+	Block  int64
+	Symbol string // data symbol covering the block, if known
+
+	// Triples are the static log entries for this block, heaviest first.
+	Triples []LogEntry
+
+	// Symmetric reports that local and remote writes come from the same
+	// program points — different threads running the same store and then
+	// reading their own value back. This is the signature of a variable
+	// that was meant to be thread-local (the Figure 3 bug): each thread
+	// writes it as if it owned it.
+	Symmetric bool
+
+	// Readers and Writers count the distinct threads observed reading
+	// back and remotely overwriting the block.
+	Readers, Writers int
+
+	// Dynamic totals the dynamic occurrences across the triples.
+	Dynamic uint64
+}
+
+// Describe renders a one-paragraph reading of the finding.
+func (f Finding) Describe(prog *isa.Program) string {
+	var b strings.Builder
+	name := f.Symbol
+	if name == "" {
+		name = fmt.Sprintf("block %d", f.Block)
+	}
+	fmt.Fprintf(&b, "%s: %d threads had their writes overwritten by %d others (%d dynamic occurrences)\n",
+		name, f.Readers, f.Writers, f.Dynamic)
+	if f.Symmetric {
+		fmt.Fprintf(&b, "  symmetric: every thread writes at the same program point and reads its value back —\n")
+		fmt.Fprintf(&b, "  the signature of a variable that was meant to be thread-local\n")
+	}
+	for i, e := range f.Triples {
+		if i >= 3 {
+			fmt.Fprintf(&b, "  ... %d more triples\n", len(f.Triples)-3)
+			break
+		}
+		fmt.Fprintf(&b, "  read %s: local write %s overwritten by cpu %d write %s (%dx)\n",
+			locOrPC(prog, e.ReadPC), locOrPC(prog, e.LocalWritePC),
+			e.RemoteWriteCPU, locOrPC(prog, e.RemoteWritePC), e.Dynamic)
+	}
+	return b.String()
+}
+
+func locOrPC(prog *isa.Program, pc int64) string {
+	if prog != nil {
+		if loc := prog.LocationOf(pc); loc != "" {
+			return loc
+		}
+	}
+	return fmt.Sprintf("pc %d", pc)
+}
+
+// Examine groups and ranks the a posteriori log. Symmetric findings rank
+// first (they are the strongest mistakenly-shared-variable candidates),
+// then by dynamic occurrence count.
+func Examine(prog *isa.Program, log []LogEntry) []Finding {
+	byBlock := map[int64][]LogEntry{}
+	for _, e := range log {
+		byBlock[e.Block] = append(byBlock[e.Block], e)
+	}
+	var out []Finding
+	for block, entries := range byBlock {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Dynamic > entries[j].Dynamic })
+		f := Finding{Block: block, Triples: entries}
+		if prog != nil {
+			f.Symbol = prog.SymbolFor(block)
+		}
+		var readerMask, writerMask uint64
+		localPCs := map[int64]bool{}
+		remotePCs := map[int64]bool{}
+		for _, e := range entries {
+			readerMask |= e.ReaderCPUs | cpuBit(e.CPU)
+			writerMask |= e.WriterCPUs | cpuBit(e.RemoteWriteCPU)
+			localPCs[e.LocalWritePC] = true
+			remotePCs[e.RemoteWritePC] = true
+			f.Dynamic += e.Dynamic
+		}
+		f.Readers, f.Writers = popcount(readerMask), popcount(writerMask)
+		// Symmetric: the remote writes hit the very program points the
+		// local writes came from, and more than one thread is involved on
+		// each side.
+		f.Symmetric = f.Readers >= 2 && f.Writers >= 2 && sameSet(localPCs, remotePCs)
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Symmetric != out[j].Symmetric {
+			return out[i].Symmetric
+		}
+		if out[i].Dynamic != out[j].Dynamic {
+			return out[i].Dynamic > out[j].Dynamic
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func sameSet(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package svd
+
+// Footprint summarizes the detector's memory consumption, the paper's
+// space-overhead axis (§7.3: "SVD records a CU pointer for each memory
+// block, which means the space overhead is proportional to the total
+// memory footprint of a program"; for Apache it doubled the simulator's
+// memory use).
+type Footprint struct {
+	TrackedBlocks int // per-thread block states currently held
+	LiveCUs       int // distinct live computational units reachable
+	CUSetWords    int // total rs/ws entries across live units
+	CtrlEntries   int // control-stack entries across threads
+	ApproxBytes   int // rough total, for overhead reporting
+}
+
+// Footprint walks the detector state and measures it.
+func (d *Detector) Footprint() Footprint {
+	var f Footprint
+	live := map[*cu]bool{}
+	for _, t := range d.threads {
+		f.TrackedBlocks += len(t.blocks)
+		f.CtrlEntries += len(t.ctrl)
+		for _, bs := range t.blocks {
+			if bs.cu != nil {
+				c := bs.cu.find()
+				if c.active {
+					live[c] = true
+				}
+			}
+		}
+		for _, set := range t.regs {
+			for _, c := range set {
+				c = c.find()
+				if c.active {
+					live[c] = true
+				}
+			}
+		}
+		for _, e := range t.ctrl {
+			for _, c := range e.cuSet {
+				c = c.find()
+				if c.active {
+					live[c] = true
+				}
+			}
+		}
+	}
+	f.LiveCUs = len(live)
+	for c := range live {
+		f.CUSetWords += len(c.rs) + len(c.ws)
+	}
+	// Rough accounting: a block state is ~96 bytes, a CU header ~64, a
+	// set entry ~16 (map overhead included), a control entry ~48.
+	f.ApproxBytes = f.TrackedBlocks*96 + f.LiveCUs*64 + f.CUSetWords*16 + f.CtrlEntries*48
+	return f
+}

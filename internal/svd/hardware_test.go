@@ -1,0 +1,207 @@
+package svd
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// hwScript drives a Hardware wrapper with synthesized events.
+type hwScript struct {
+	hw  *Hardware
+	seq uint64
+}
+
+func newHWScript(t *testing.T, numCPUs int, ccfg cache.Config) *hwScript {
+	t.Helper()
+	hw, err := NewHardware(&isa.Program{Name: "hw", Code: make([]isa.Instr, 64)}, numCPUs, Options{}, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hwScript{hw: hw}
+}
+
+func (s *hwScript) load(cpu int, pc int64, rd isa.Reg, addr int64) {
+	ev := vm.Event{Seq: s.seq, CPU: cpu, PC: pc, Instr: isa.Load(rd, isa.RegZero, addr), Addr: addr, IsLoad: true}
+	s.seq++
+	s.hw.Step(&ev)
+}
+
+func (s *hwScript) store(cpu int, pc int64, rs isa.Reg, addr int64) {
+	ev := vm.Event{Seq: s.seq, CPU: cpu, PC: pc, Instr: isa.Store(rs, isa.RegZero, addr), Addr: addr, IsStore: true}
+	s.seq++
+	s.hw.Step(&ev)
+}
+
+func (s *hwScript) addi(cpu int, pc int64, rd, rs isa.Reg) {
+	ev := vm.Event{Seq: s.seq, CPU: cpu, PC: pc, Instr: isa.Addi(rd, rs, 1)}
+	s.seq++
+	s.hw.Step(&ev)
+}
+
+// TestHardwareDetectsLostUpdate: with ample cache, the coherence-mediated
+// detector catches the same lost update the software detector does: the
+// invalidation of T0's cached copy is the remote-access message.
+func TestHardwareDetectsLostUpdate(t *testing.T) {
+	s := newHWScript(t, 2, cache.Config{Sets: 64, Ways: 4})
+	const X = 100
+	s.load(0, 0, rA, X)
+	s.load(1, 0, rA, X)
+	s.addi(1, 1, rA, rA)
+	s.store(1, 2, rA, X) // invalidates T0's copy -> T0 hears the conflict
+	s.addi(0, 1, rA, rA)
+	s.store(0, 2, rA, X)
+	if got := s.hw.Det.Stats().Violations; got != 1 {
+		t.Errorf("hardware SVD violations = %d, want 1", got)
+	}
+}
+
+// TestHardwareEvictionLosesDetection: with a single-line cache, T0's copy
+// of X is evicted before T1's conflicting write, so the invalidation never
+// reaches T0 and the violation is missed — the finite-capacity detection
+// loss the §4.4 design must accept.
+func TestHardwareEvictionLosesDetection(t *testing.T) {
+	s := newHWScript(t, 2, cache.Config{Sets: 1, Ways: 1})
+	const X, Y = 100, 101
+	s.load(0, 0, rA, X)
+	s.load(0, 1, rB, Y) // evicts X from T0's one-line cache
+	s.load(1, 0, rA, X)
+	s.addi(1, 1, rA, rA)
+	s.store(1, 2, rA, X) // no copy in T0: no message
+	s.addi(0, 2, rA, rA)
+	s.store(0, 3, rA, X)
+	if got := s.hw.Det.Stats().Violations; got != 0 {
+		t.Errorf("hardware SVD with evictions reported %d violations, want 0 (state was lost)", got)
+	}
+	if s.hw.Caches.Stats().Evictions == 0 {
+		t.Error("no evictions happened; the test is vacuous")
+	}
+}
+
+// TestHardwareMatchesSoftwareOnAmpleCache: with caches big enough to avoid
+// evictions, the coherence-mediated detector reports the same violations
+// as the software full-snoop detector on a real workload execution.
+func TestHardwareMatchesSoftwareOnAmpleCache(t *testing.T) {
+	code := []isa.Instr{
+		isa.LI(8, 40),
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	p := &isa.Program{Name: "racy", Code: code, Entries: []int64{0, 0, 0}}
+
+	run := func(obs func() vm.Observer) vm.Observer {
+		m, err := vm.New(p, vm.Config{NumCPUs: 3, Seed: 4, MaxQuantum: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := obs()
+		m.Attach(o)
+		if _, err := m.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+
+	sw := run(func() vm.Observer { return New(p, 3, Options{}) }).(*Detector)
+	hwo := run(func() vm.Observer {
+		hw, err := NewHardware(p, 3, Options{}, cache.Config{Sets: 1024, Ways: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hw
+	}).(*Hardware)
+
+	if hwo.Caches.Stats().Evictions != 0 {
+		t.Fatal("ample cache evicted; comparison invalid")
+	}
+	// Even without evictions the two differ slightly: a remote read of a
+	// line both caches hold Shared produces no coherence transaction, so
+	// the hardware detector misses some Loaded -> Loaded_Shared
+	// transitions, which shifts CU lifecycles in both directions. The
+	// detection must stay in the same ballpark.
+	swV, hwV := sw.Stats().Violations, hwo.Det.Stats().Violations
+	if swV == 0 {
+		t.Fatal("no violations at all; test vacuous")
+	}
+	if hwV == 0 {
+		t.Error("hardware SVD with ample cache detected nothing")
+	}
+	lo, hi := swV*8/10, swV*12/10
+	if hwV < lo || hwV > hi {
+		t.Errorf("hardware %d violations outside [%d,%d] of software %d", hwV, lo, hi, swV)
+	}
+	t.Logf("violations: software=%d hardware=%d", swV, hwV)
+}
+
+// TestHardwareCacheSizeSweep: detection degrades monotonically-ish as the
+// cache shrinks; at minimum it never exceeds the software detector.
+func TestHardwareCacheSizeSweep(t *testing.T) {
+	code := []isa.Instr{
+		isa.LI(8, 60),
+		// touch a few scratch words to create eviction pressure
+		isa.Load(10, isa.RegZero, 10),
+		isa.Load(11, isa.RegZero, 20),
+		isa.Load(12, isa.RegZero, 30),
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	p := &isa.Program{Name: "sweep", Code: code, Entries: []int64{0, 0}}
+
+	violationsWith := func(sets int) uint64 {
+		m, err := vm.New(p, vm.Config{NumCPUs: 2, Seed: 9, MaxQuantum: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var obs vm.Observer
+		var get func() uint64
+		if sets == 0 {
+			d := New(p, 2, Options{})
+			obs, get = d, func() uint64 { return d.Stats().Violations }
+		} else {
+			hw, err := NewHardware(p, 2, Options{}, cache.Config{Sets: sets, Ways: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs, get = hw, func() uint64 { return hw.Det.Stats().Violations }
+		}
+		m.Attach(obs)
+		if _, err := m.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		return get()
+	}
+
+	software := violationsWith(0)
+	big := violationsWith(256)
+	tiny := violationsWith(2)
+	// Visibility loss shifts detection both ways (missed conflicts, but
+	// also missed CU cuts that would have cleared stale conflict flags),
+	// so only coarse relations are stable: everything detects something,
+	// and the tiny cache cannot beat software by more than noise.
+	if software == 0 || big == 0 || tiny == 0 {
+		t.Errorf("some configuration detected nothing: software=%d big=%d tiny=%d", software, big, tiny)
+	}
+	if tiny > software*3/2 {
+		t.Errorf("tiny cache %d wildly exceeds software %d", tiny, software)
+	}
+	t.Logf("violations: software=%d, 256-set=%d, 2-set=%d", software, big, tiny)
+}
+
+// TestNewHardwareValidatesShapes rejects lines smaller than blocks.
+func TestNewHardwareValidatesShapes(t *testing.T) {
+	_, err := NewHardware(&isa.Program{Name: "x", Code: []isa.Instr{isa.Halt()}}, 1,
+		Options{BlockShift: 2}, cache.Config{LineShift: 0})
+	if err == nil {
+		t.Error("line smaller than block accepted")
+	}
+}

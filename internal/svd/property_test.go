@@ -1,0 +1,116 @@
+package svd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// randProgram builds a random terminating multithreaded program (forward
+// branches only, memory in [0,16)).
+func randProgram(rng *rand.Rand, n, cpus int) *isa.Program {
+	regs := []isa.Reg{8, 9, 10, 11, 12}
+	reg := func() isa.Reg { return regs[rng.Intn(len(regs))] }
+	code := make([]isa.Instr, n+1)
+	for pc := 0; pc < n; pc++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			code[pc] = isa.LI(reg(), int64(rng.Intn(50)))
+		case 2, 3:
+			code[pc] = isa.ALU(isa.OpAdd, reg(), reg(), reg())
+		case 4, 5:
+			code[pc] = isa.Load(reg(), isa.RegZero, int64(rng.Intn(16)))
+		case 6, 7:
+			code[pc] = isa.Store(reg(), isa.RegZero, int64(rng.Intn(16)))
+		case 8:
+			code[pc] = isa.Beqz(reg(), int64(pc+1+rng.Intn(n-pc)))
+		default:
+			code[pc] = isa.Addi(reg(), reg(), int64(rng.Intn(5)))
+		}
+	}
+	code[n] = isa.Halt()
+	return &isa.Program{Name: "rand", Code: code, Entries: make([]int64, cpus)}
+}
+
+// TestSerializedExecutionsNeverViolate is the detector's soundness anchor:
+// in a serialized execution without mid-thread preemption every inferred
+// unit runs atomically, so SVD must report nothing — on any program.
+func TestSerializedExecutionsNeverViolate(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		p := randProgram(rng, 15+rng.Intn(40), 1+rng.Intn(4))
+		m, err := vm.New(p, vm.Config{NumCPUs: len(p.Entries), Mode: vm.Serialize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(p, len(p.Entries), Options{})
+		m.Attach(d)
+		if _, err := m.Run(1 << 16); err != nil {
+			t.Fatal(err)
+		}
+		if n := d.Stats().Violations; n != 0 {
+			t.Fatalf("trial %d: serialized random program produced %d violations\nprog=%v",
+				trial, n, p.Code)
+		}
+	}
+}
+
+// TestDetectorNeverPanicsOnRandomInterleavings drives the detector over
+// random programs and seeds; the assertions are internal-consistency ones.
+func TestDetectorNeverPanicsOnRandomInterleavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		p := randProgram(rng, 15+rng.Intn(40), 2+rng.Intn(3))
+		m, err := vm.New(p, vm.Config{NumCPUs: len(p.Entries), Seed: rng.Uint64(), MaxQuantum: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(p, len(p.Entries), Options{
+			CheckAllBlocks: rng.Intn(2) == 0,
+			NoAddressDeps:  rng.Intn(2) == 0,
+			NoControlDeps:  rng.Intn(2) == 0,
+			BlockShift:     uint(rng.Intn(3)),
+		})
+		m.Attach(d)
+		if _, err := m.Run(1 << 16); err != nil {
+			t.Fatal(err)
+		}
+		st := d.Stats()
+		if st.CUsMerged > st.CUsCreated {
+			t.Fatalf("trial %d: merged %d > created %d", trial, st.CUsMerged, st.CUsCreated)
+		}
+		if uint64(len(d.Violations())) > st.Violations {
+			t.Fatalf("trial %d: retained more violations than counted", trial)
+		}
+		// Cloning mid-flight state must always be safe.
+		_ = d.Clone().Footprint()
+	}
+}
+
+// TestFootprintTracksState sanity-checks the memory accounting.
+func TestFootprintTracksState(t *testing.T) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 16, Buggy: false, Seed: 2})
+	m, err := w.NewVM(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(w.Prog, w.NumThreads, Options{})
+	m.Attach(d)
+	if _, err := m.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	f := d.Footprint()
+	if f.TrackedBlocks == 0 || f.LiveCUs == 0 || f.ApproxBytes == 0 {
+		t.Errorf("footprint empty after a real run: %+v", f)
+	}
+	if f.CUSetWords == 0 {
+		t.Error("no rs/ws entries tracked")
+	}
+	fresh := New(w.Prog, w.NumThreads, Options{}).Footprint()
+	if fresh.TrackedBlocks != 0 || fresh.ApproxBytes != 0 {
+		t.Errorf("fresh detector has footprint: %+v", fresh)
+	}
+}

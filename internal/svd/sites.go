@@ -1,0 +1,48 @@
+package svd
+
+import "sort"
+
+// Site aggregates dynamic violations by the static program point that
+// reported them. The paper distinguishes dynamic false positives (one per
+// report instance, the cost of unnecessary BER rollbacks) from static false
+// positives (one per piece of code, the cost in programmer distraction);
+// sites are the static axis.
+type Site struct {
+	StorePC  int64  // reporting store instruction
+	Count    uint64 // dynamic report instances at this site
+	First    Violation
+	Location string // debug location of StorePC, when available
+}
+
+// Sites returns violation sites sorted by descending dynamic count, ties by
+// PC. Aggregation happens as reports arrive, so counts are exact even when
+// the retained violation list is capped.
+func (d *Detector) Sites() []Site {
+	out := make([]Site, 0, len(d.sites))
+	for _, s := range d.sites {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].StorePC < out[j].StorePC
+	})
+	return out
+}
+
+// recordSite folds a violation into the static aggregation.
+func (d *Detector) recordSite(v Violation) {
+	if d.sites == nil {
+		d.sites = make(map[int64]*Site)
+	}
+	s := d.sites[v.StorePC]
+	if s == nil {
+		s = &Site{StorePC: v.StorePC, First: v}
+		if d.prog != nil {
+			s.Location = d.prog.LocationOf(v.StorePC)
+		}
+		d.sites[v.StorePC] = s
+	}
+	s.Count++
+}

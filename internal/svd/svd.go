@@ -1,0 +1,786 @@
+// Package svd implements the paper's primary contribution: the online,
+// one-pass Serializability Violation Detector (Figure 7 of the paper).
+//
+// The detector attaches to a vm.VM as an observer and processes the dynamic
+// instruction stream of every simulated processor. For each processor it
+// maintains a private detector instance (the paper approximates threads with
+// processors, §4.3); accesses by other processors arrive at an instance as
+// REMOTE_ACCESS events, the way cache-coherence traffic would.
+//
+// Per instruction the detector
+//
+//   - infers true dependences by propagating computational-unit (CU)
+//     references through registers (loads tag the destination register with
+//     the block's CU; ALU operations union source-register CU sets into the
+//     destination; stores consolidate the source CU set into one CU);
+//   - infers partial control dependences with the Skipper heuristic: a
+//     stack of conditional-branch CU sets with control-flow reconvergence
+//     points, popped when execution reaches the reconvergence PC;
+//   - infers which memory blocks are shared with a per-block finite state
+//     machine (Figure 8: Idle, Loaded, Loaded_Shared, Stored,
+//     Stored_Shared, True_Dep), cutting a CU when a shared dependence is
+//     observed — a load hitting a Stored_Shared block, or a remote access
+//     hitting a True_Dep block;
+//   - checks strict-2PL serializability at every store: if any input block
+//     of a CU the store depends on (by data, address, or control) has
+//     suffered a conflicting remote access since the CU accessed it, the
+//     execution is not serializable and a violation is reported;
+//   - logs (s, rw, lw) triples — a local read s of a value whose
+//     immediately preceding local write lw was overwritten by remote write
+//     rw — for the a posteriori examination of §2.3.
+package svd
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Options tune the detector. The zero value enables the paper's published
+// configuration: word-size blocks, address and control dependences on, and
+// conflict checks restricted to CU input blocks (§4.3).
+type Options struct {
+	// CheckAllBlocks widens the strict-2PL check from a CU's input blocks
+	// (the paper's heuristic, §4.3 "Check only input blocks of a CU") to
+	// its whole footprint. Ablation knob.
+	CheckAllBlocks bool
+
+	// NoAddressDeps disables conflict checks on address-dependent blocks
+	// of stores (§4.3 "Handle vector, pointer data types"). Ablation knob.
+	NoAddressDeps bool
+
+	// NoControlDeps disables the Skipper control-dependence stack
+	// (§4.2 "Infer partial control dependences"). Ablation knob.
+	NoControlDeps bool
+
+	// BlockShift selects the block size as 1<<BlockShift words. The paper
+	// evaluates with word-size blocks to avoid false sharing (§6.2);
+	// larger blocks are an ablation knob.
+	BlockShift uint
+
+	// MaxViolations caps the retained violation records (counting
+	// continues past the cap). Zero means 1 << 16.
+	MaxViolations int
+
+	// MaxLogEntries caps the retained a posteriori log records. Zero
+	// means 1 << 16.
+	MaxLogEntries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxViolations <= 0 {
+		o.MaxViolations = 1 << 16
+	}
+	if o.MaxLogEntries <= 0 {
+		o.MaxLogEntries = 1 << 16
+	}
+	return o
+}
+
+// fsmState is the per-block, per-thread sharing state machine of Figure 8.
+type fsmState uint8
+
+const (
+	stIdle fsmState = iota
+	stLoaded
+	stLoadedShared
+	stStored
+	stStoredShared
+	stTrueDep
+)
+
+var fsmNames = [...]string{
+	stIdle: "Idle", stLoaded: "Loaded", stLoadedShared: "Loaded_Shared",
+	stStored: "Stored", stStoredShared: "Stored_Shared", stTrueDep: "True_Dep",
+}
+
+func (s fsmState) String() string { return fsmNames[s] }
+
+// locallyWritten reports whether the state implies this thread has written
+// the block since the state was last reset.
+func (s fsmState) locallyWritten() bool {
+	return s == stStored || s == stStoredShared || s == stTrueDep
+}
+
+// Violation is one dynamic strict-2PL (serializability) violation report:
+// the store at StorePC depended on input block Block of computational unit
+// CU, and that block had suffered a conflicting access from another
+// processor before the unit ended.
+type Violation struct {
+	Seq     uint64 // sequence number of the reporting store
+	CPU     int    // reporting processor/thread
+	StorePC int64  // PC of the store that failed the check
+	Block   int64  // block (word address >> BlockShift) that conflicted
+	CU      uint64 // id of the computational unit
+
+	// The conflicting remote access.
+	ConflictCPU int
+	ConflictPC  int64
+	ConflictSeq uint64
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("serializability violation: cpu %d store@pc %d (seq %d) on CU %d: block %d conflicted with cpu %d pc %d (seq %d)",
+		v.CPU, v.StorePC, v.Seq, v.CU, v.Block, v.ConflictCPU, v.ConflictPC, v.ConflictSeq)
+}
+
+// LogEntry is one (s, rw, lw) triple of the a posteriori examination log
+// (§2.3): statement s read a block whose value, last written locally by lw,
+// had been overwritten by the remote write rw.
+type LogEntry struct {
+	CPU   int
+	Block int64
+
+	ReadPC  int64 // s: the local read (for remote-cut entries, the read that formed the true dependence)
+	ReadSeq uint64
+
+	RemoteWritePC  int64 // rw
+	RemoteWriteCPU int
+	RemoteWriteSeq uint64
+
+	LocalWritePC  int64 // lw
+	LocalWriteSeq uint64
+
+	// Dynamic counts how many times this static (s, rw, lw) triple
+	// occurred.
+	Dynamic uint64
+
+	// ReaderCPUs and WriterCPUs record, as bitmasks, every thread that
+	// appeared as the reader s or the remote writer rw across the
+	// triple's dynamic occurrences (threads past 64 fold into bit 63).
+	ReaderCPUs, WriterCPUs uint64
+}
+
+func cpuBit(cpu int) uint64 {
+	if cpu > 63 {
+		cpu = 63
+	}
+	return 1 << uint(cpu)
+}
+
+// String renders the triple for reports.
+func (e LogEntry) String() string {
+	return fmt.Sprintf("cu log: cpu %d read@pc %d of block %d: local write@pc %d overwritten by cpu %d write@pc %d",
+		e.CPU, e.ReadPC, e.Block, e.LocalWritePC, e.RemoteWriteCPU, e.RemoteWritePC)
+}
+
+// Stats aggregates detector activity for the evaluation harness.
+type Stats struct {
+	Instructions uint64 // dynamic instructions observed
+	Loads        uint64
+	Stores       uint64
+	RemoteEvents uint64 // remote-access messages delivered to instances
+
+	CUsCreated uint64 // computational units allocated
+	CUsMerged  uint64 // units consumed by merge_and_update
+	CUsCut     uint64 // units ended by shared dependences
+
+	Violations      uint64 // dynamic violation reports (pre-cap)
+	LogEntries      uint64 // dynamic (s, rw, lw) log occurrences (pre-cap)
+	SharedCutLoads  uint64 // CU cuts caused by loads of Stored_Shared blocks
+	SharedCutRemote uint64 // CU cuts caused by remote access to True_Dep blocks
+}
+
+// CUsLive returns the net number of computational units (created minus
+// merged away); Table 2 reports CUs per million instructions on this basis.
+func (s Stats) CUsLive() uint64 { return s.CUsCreated - s.CUsMerged }
+
+// cu is a computational unit: an inferred approximation of one dynamic
+// atomic region, represented by its read (input) and write block sets
+// (§4.3 "Represent CU with memory blocks, not dynamic instructions").
+type cu struct {
+	id     uint64
+	parent *cu // union-find forwarding set by merge_and_update
+	active bool
+	rs     map[int64]struct{} // input blocks: read before written by this CU
+	ws     map[int64]struct{} // blocks written by this CU
+}
+
+// find resolves union-find forwarding with path compression.
+func (c *cu) find() *cu {
+	for c.parent != nil {
+		if c.parent.parent != nil {
+			c.parent = c.parent.parent
+		}
+		c = c.parent
+	}
+	return c
+}
+
+// blockState is the per-thread view of one memory block.
+type blockState struct {
+	cu       *cu
+	state    fsmState
+	conflict bool
+
+	// First unconsumed conflicting remote access, for violation reports.
+	conflictCPU int
+	conflictPC  int64
+	conflictSeq uint64
+
+	// Access history for the a posteriori log.
+	hasLocalWrite  bool
+	localWritePC   int64
+	localWriteSeq  uint64
+	hasLocalLoad   bool
+	localLoadPC    int64
+	localLoadSeq   uint64
+	hasRemoteWrite bool
+	remoteWritePC  int64
+	remoteWriteCPU int
+	remoteWriteSeq uint64
+}
+
+// ctrlEntry is one Skipper control-dependence stack slot.
+type ctrlEntry struct {
+	cuSet    []*cu
+	reconvPC int64
+	depth    int // call depth at push time
+}
+
+// threadState is one per-processor detector instance.
+type threadState struct {
+	d      *Detector
+	id     int
+	blocks map[int64]*blockState
+	regs   [isa.NumRegs][]*cu
+	ctrl   []ctrlEntry
+	depth  int // call depth (JAL/JR balance)
+}
+
+// Detector is the online SVD. It implements vm.Observer.
+type Detector struct {
+	prog    *isa.Program
+	opts    Options
+	threads []*threadState
+
+	nextCU     uint64
+	violations []Violation
+	sites      map[int64]*Site
+	logEntries []LogEntry
+	logSeen    map[logKey]int // static triple -> index in logEntries
+	stats      Stats
+}
+
+type logKey struct {
+	readPC, remotePC, localPC int64
+}
+
+// New builds a detector for prog observed across numCPUs processors.
+func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
+	d := &Detector{
+		prog:    prog,
+		opts:    opts.withDefaults(),
+		logSeen: make(map[logKey]int),
+	}
+	d.threads = make([]*threadState, numCPUs)
+	for i := range d.threads {
+		d.threads[i] = &threadState{
+			d:      d,
+			id:     i,
+			blocks: make(map[int64]*blockState),
+		}
+	}
+	return d
+}
+
+// Reset discards all detector state, as after a backward-error-recovery
+// rollback.
+func (d *Detector) Reset() {
+	n := len(d.threads)
+	prog, opts := d.prog, d.opts
+	*d = *New(prog, n, opts)
+	// The fresh thread states carry back-pointers to the detector New
+	// allocated; repoint them at the receiver that now holds the state.
+	for _, t := range d.threads {
+		t.d = d
+	}
+}
+
+// Violations returns the retained dynamic violation reports.
+func (d *Detector) Violations() []Violation { return d.violations }
+
+// Log returns the retained a posteriori examination log. Entries are
+// deduplicated by static (s, rw, lw) PC triple; Stats().LogEntries counts
+// dynamic occurrences.
+func (d *Detector) Log() []LogEntry { return d.logEntries }
+
+// Stats returns aggregate counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// block maps a word address to a block id.
+func (d *Detector) block(addr int64) int64 { return addr >> d.opts.BlockShift }
+
+// Step processes one dynamic instruction (vm.Observer).
+func (d *Detector) Step(ev *vm.Event) {
+	d.stats.Instructions++
+	d.threads[ev.CPU].local(ev)
+	if ev.Instr.Op.IsMem() {
+		b := d.block(ev.Addr)
+		for _, t := range d.threads {
+			if t.id != ev.CPU {
+				t.remote(ev, b)
+			}
+		}
+	}
+}
+
+func (d *Detector) newCU() *cu {
+	d.nextCU++
+	d.stats.CUsCreated++
+	return &cu{
+		id:     d.nextCU,
+		active: true,
+		rs:     make(map[int64]struct{}),
+		ws:     make(map[int64]struct{}),
+	}
+}
+
+// ----- per-thread instance -----
+
+func (t *threadState) blockState(b int64) *blockState {
+	bs := t.blocks[b]
+	if bs == nil {
+		bs = &blockState{}
+		t.blocks[b] = bs
+	}
+	return bs
+}
+
+// currentCU resolves a block's CU, dropping dead units.
+func (bs *blockState) currentCU() *cu {
+	if bs.cu == nil {
+		return nil
+	}
+	c := bs.cu.find()
+	if !c.active {
+		bs.cu = nil
+		return nil
+	}
+	bs.cu = c
+	return c
+}
+
+// resolve returns the live CUs referenced by a register or control set.
+func resolve(set []*cu) []*cu {
+	out := set[:0]
+	for _, c := range set {
+		c = c.find()
+		if !c.active {
+			continue
+		}
+		dup := false
+		for _, p := range out {
+			if p == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// local processes an instruction executed by this thread.
+func (t *threadState) local(ev *vm.Event) {
+	// Reaching a reconvergence point retires control dependences before
+	// the instruction at that point executes.
+	t.popCtrl(ev.PC)
+
+	in := ev.Instr
+	switch {
+	case in.Op == isa.OpLoad:
+		t.d.stats.Loads++
+		t.load(ev, t.d.block(ev.Addr), in.Rd)
+
+	case in.Op == isa.OpStore:
+		t.d.stats.Stores++
+		t.store(ev, t.d.block(ev.Addr), in.Rs2, in.Rs1)
+
+	case in.Op == isa.OpCas:
+		// CAS always loads; it stores only when it succeeded. The value
+		// and address dependences of the store part come from the new
+		// value (Rs3) and the address register (Rs1).
+		t.d.stats.Loads++
+		t.load(ev, t.d.block(ev.Addr), in.Rd)
+		if ev.IsStore {
+			t.d.stats.Stores++
+			t.store(ev, t.d.block(ev.Addr), in.Rs3, in.Rs1)
+		}
+
+	case in.Op == isa.OpLI:
+		t.setReg(in.Rd, nil)
+
+	case in.Op == isa.OpMov:
+		t.setReg(in.Rd, append([]*cu(nil), t.regs[in.Rs1]...))
+
+	case in.Op == isa.OpAddi:
+		t.setReg(in.Rd, append([]*cu(nil), t.regs[in.Rs1]...))
+
+	case in.Op.IsALU():
+		set := append([]*cu(nil), t.regs[in.Rs1]...)
+		set = append(set, t.regs[in.Rs2]...)
+		t.setReg(in.Rd, set)
+
+	case in.Op.IsCondBranch():
+		t.pushCtrl(ev)
+
+	case in.Op == isa.OpJal:
+		t.setReg(in.Rd, nil)
+		t.depth++
+
+	case in.Op == isa.OpJr:
+		t.depth--
+		// Returning from a call retires control entries pushed inside it.
+		for len(t.ctrl) > 0 && t.ctrl[len(t.ctrl)-1].depth > t.depth {
+			t.ctrl = t.ctrl[:len(t.ctrl)-1]
+		}
+	}
+}
+
+func (t *threadState) setReg(rd isa.Reg, set []*cu) {
+	if rd != isa.RegZero {
+		t.regs[rd] = set
+	}
+}
+
+// load implements the LOAD case of Figure 7 plus the a posteriori log of
+// §2.3 and the input-block rule of §2.2.1.
+func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
+	bs := t.blockState(b)
+
+	// A load of a block this thread stored and another thread has since
+	// accessed is a shared dependence: the region hypothesis says the
+	// atomic region ended before this read, so the CU is cut here
+	// (Figure 8 transition I; Figure 7 lines 5-6).
+	if bs.state == stStoredShared {
+		if c := bs.currentCU(); c != nil {
+			t.d.stats.SharedCutLoads++
+			t.cut(c)
+		} else {
+			bs.state = stIdle
+			bs.conflict = false
+		}
+	}
+
+	// A posteriori log: the value read was last written by another thread
+	// and overwrote a preceding local write (§2.3).
+	if bs.hasRemoteWrite && bs.hasLocalWrite && bs.remoteWriteSeq > bs.localWriteSeq {
+		t.d.logTriple(LogEntry{
+			CPU:            t.id,
+			Block:          b,
+			ReadPC:         ev.PC,
+			ReadSeq:        ev.Seq,
+			RemoteWritePC:  bs.remoteWritePC,
+			RemoteWriteCPU: bs.remoteWriteCPU,
+			RemoteWriteSeq: bs.remoteWriteSeq,
+			LocalWritePC:   bs.localWritePC,
+			LocalWriteSeq:  bs.localWriteSeq,
+		})
+	}
+
+	c := bs.currentCU()
+	if c == nil {
+		c = t.d.newCU()
+		bs.cu = c
+	}
+	// Input blocks are locations not written by the CU before their first
+	// read (§2.2.1).
+	if _, written := c.ws[b]; !written {
+		c.rs[b] = struct{}{}
+	}
+
+	switch bs.state {
+	case stIdle:
+		bs.state = stLoaded
+	case stStored:
+		bs.state = stTrueDep
+	case stStoredShared:
+		// Cut above reset the state.
+		bs.state = stLoaded
+	}
+
+	bs.hasLocalLoad = true
+	bs.localLoadPC = ev.PC
+	bs.localLoadSeq = ev.Seq
+	t.setReg(rd, []*cu{c})
+}
+
+// store implements the STORE case of Figure 7: gather data, address, and
+// control CU sets, check strict 2PL, then consolidate the data dependences
+// into the block's CU.
+func (t *threadState) store(ev *vm.Event, b int64, valReg, addrReg isa.Reg) {
+	dataSet := resolve(t.regs[valReg])
+	t.regs[valReg] = dataSet
+
+	var checkSet []*cu
+	checkSet = append(checkSet, dataSet...)
+	if !t.d.opts.NoAddressDeps {
+		addrSet := resolve(t.regs[addrReg])
+		t.regs[addrReg] = addrSet
+		checkSet = append(checkSet, addrSet...)
+	}
+	if !t.d.opts.NoControlDeps {
+		for i := range t.ctrl {
+			e := &t.ctrl[i]
+			e.cuSet = resolve(e.cuSet)
+			checkSet = append(checkSet, e.cuSet...)
+		}
+	}
+	t.checkViolations(ev, checkSet)
+
+	c := t.mergeAndUpdate(dataSet)
+	bs := t.blockState(b)
+	bs.cu = c
+	c.ws[b] = struct{}{}
+
+	switch bs.state {
+	case stIdle, stLoaded:
+		bs.state = stStored
+	case stLoadedShared:
+		bs.state = stStoredShared
+		// stStored, stStoredShared, stTrueDep keep their state: the
+		// write-after-write and write-read histories they encode remain true.
+	}
+
+	bs.hasLocalWrite = true
+	bs.localWritePC = ev.PC
+	bs.localWriteSeq = ev.Seq
+}
+
+// checkViolations is Figure 7's check_violations: report a strict-2PL
+// violation if a conflicting remote access has hit a checked block of any
+// CU the store depends on. At most one violation is reported per store.
+func (t *threadState) checkViolations(ev *vm.Event, set []*cu) {
+	for _, c := range set {
+		if t.reportIfConflict(ev, c, c.rs) {
+			return
+		}
+		if t.d.opts.CheckAllBlocks && t.reportIfConflict(ev, c, c.ws) {
+			return
+		}
+	}
+}
+
+func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks map[int64]struct{}) bool {
+	for b := range blocks {
+		bs := t.blocks[b]
+		if bs == nil || !bs.conflict {
+			continue
+		}
+		// The conflict must belong to the unit being checked: a stale
+		// block whose CU pointer moved on is skipped.
+		if cur := bs.currentCU(); cur != c {
+			continue
+		}
+		t.d.stats.Violations++
+		v := Violation{
+			Seq:         ev.Seq,
+			CPU:         t.id,
+			StorePC:     ev.PC,
+			Block:       b,
+			CU:          c.id,
+			ConflictCPU: bs.conflictCPU,
+			ConflictPC:  bs.conflictPC,
+			ConflictSeq: bs.conflictSeq,
+		}
+		t.d.recordSite(v)
+		if len(t.d.violations) < t.d.opts.MaxViolations {
+			t.d.violations = append(t.d.violations, v)
+		}
+		return true
+	}
+	return false
+}
+
+// mergeAndUpdate is Figure 7's merge_and_update: consolidate the CUs in set
+// into one unit. References held by blocks, registers, and the control
+// stack follow lazily through union-find.
+func (t *threadState) mergeAndUpdate(set []*cu) *cu {
+	if len(set) == 0 {
+		return t.d.newCU()
+	}
+	root := set[0]
+	for _, c := range set[1:] {
+		if c == root {
+			continue
+		}
+		// Keep the unit with the larger footprint as the root.
+		if len(c.rs)+len(c.ws) > len(root.rs)+len(root.ws) {
+			root, c = c, root
+		}
+		for b := range c.rs {
+			if _, written := root.ws[b]; !written {
+				root.rs[b] = struct{}{}
+			}
+		}
+		for b := range c.ws {
+			root.ws[b] = struct{}{}
+			delete(root.rs, b)
+		}
+		c.parent = root
+		c.active = false
+		c.rs, c.ws = nil, nil
+		t.d.stats.CUsMerged++
+	}
+	return root
+}
+
+// cut is deactivate_log_CU: the unit ends; its blocks return to Idle with
+// conflict flags cleared, and dangling references die via the active flag.
+func (t *threadState) cut(c *cu) {
+	c.active = false
+	t.d.stats.CUsCut++
+	for b := range c.rs {
+		t.resetBlock(b, c)
+	}
+	for b := range c.ws {
+		t.resetBlock(b, c)
+	}
+}
+
+func (t *threadState) resetBlock(b int64, owner *cu) {
+	bs := t.blocks[b]
+	if bs == nil {
+		return
+	}
+	if bs.cu != nil && bs.cu.find() == owner {
+		bs.cu = nil
+		bs.state = stIdle
+		bs.conflict = false
+	}
+}
+
+// remote processes a memory access by another processor: update the block
+// FSM, record conflicts for the strict-2PL check, cut on True_Dep, and
+// remember remote writes for the a posteriori log.
+func (t *threadState) remote(ev *vm.Event, b int64) {
+	bs := t.blocks[b]
+	if bs == nil {
+		// The thread never touched the block: no state is needed, and no
+		// (s, rw, lw) triple is possible without a preceding local write.
+		return
+	}
+	t.d.stats.RemoteEvents++
+	isWrite := ev.IsStore
+
+	if bs.state != stIdle {
+		// A conflict needs at least one write: a remote write conflicts
+		// with any local access; a remote read conflicts only when this
+		// thread wrote the block.
+		if !bs.conflict && (isWrite || bs.state.locallyWritten()) {
+			bs.conflict = true
+			bs.conflictCPU = ev.CPU
+			bs.conflictPC = ev.PC
+			bs.conflictSeq = ev.Seq
+		}
+	}
+
+	switch bs.state {
+	case stLoaded:
+		bs.state = stLoadedShared
+	case stStored:
+		bs.state = stStoredShared
+	case stTrueDep:
+		// Shared dependence: this thread wrote then read the block inside
+		// the unit, and the block just proved to be shared (Figure 8
+		// transition II; Figure 7 lines 30-31).
+		if isWrite && bs.hasLocalWrite && bs.hasLocalLoad {
+			t.d.logTriple(LogEntry{
+				CPU:            t.id,
+				Block:          b,
+				ReadPC:         bs.localLoadPC,
+				ReadSeq:        bs.localLoadSeq,
+				RemoteWritePC:  ev.PC,
+				RemoteWriteCPU: ev.CPU,
+				RemoteWriteSeq: ev.Seq,
+				LocalWritePC:   bs.localWritePC,
+				LocalWriteSeq:  bs.localWriteSeq,
+			})
+		}
+		if c := bs.currentCU(); c != nil {
+			t.d.stats.SharedCutRemote++
+			t.cut(c)
+		} else {
+			bs.state = stIdle
+			bs.conflict = false
+		}
+	}
+
+	if isWrite {
+		bs.hasRemoteWrite = true
+		bs.remoteWritePC = ev.PC
+		bs.remoteWriteCPU = ev.CPU
+		bs.remoteWriteSeq = ev.Seq
+	}
+}
+
+func (d *Detector) logTriple(e LogEntry) {
+	d.stats.LogEntries++
+	key := logKey{readPC: e.ReadPC, remotePC: e.RemoteWritePC, localPC: e.LocalWritePC}
+	if idx, seen := d.logSeen[key]; seen {
+		kept := &d.logEntries[idx]
+		kept.Dynamic++
+		kept.ReaderCPUs |= cpuBit(e.CPU)
+		kept.WriterCPUs |= cpuBit(e.RemoteWriteCPU)
+		return
+	}
+	if len(d.logEntries) >= d.opts.MaxLogEntries {
+		return
+	}
+	e.Dynamic = 1
+	e.ReaderCPUs = cpuBit(e.CPU)
+	e.WriterCPUs = cpuBit(e.RemoteWriteCPU)
+	d.logSeen[key] = len(d.logEntries)
+	d.logEntries = append(d.logEntries, e)
+}
+
+// ----- Skipper control-dependence stack -----
+
+// pushCtrl handles a conditional branch: probe the static code for the
+// control-flow reconvergence point and push the branch's CU dependences.
+// Only forward, if-then(-else)-shaped branches are tracked; loop branches
+// (backward reconvergence) are ignored, exactly as Skipper does (§4.2).
+func (t *threadState) pushCtrl(ev *vm.Event) {
+	if t.d.opts.NoControlDeps {
+		return
+	}
+	target := ev.Instr.Imm
+	reconv := target
+	// Probe: when the instruction just before the branch target is a
+	// branch-always, the branch guards an if/else and control reconverges
+	// at the jump's destination; otherwise it guards a plain if and
+	// control reconverges at the target itself (Figure 7 lines 24-26).
+	if target-1 >= 0 && target-1 < int64(len(t.d.prog.Code)) {
+		if prev := t.d.prog.Code[target-1]; prev.Op == isa.OpJmp {
+			reconv = prev.Imm
+		}
+	}
+	if reconv <= ev.PC {
+		return // loop-type control flow: not inferred
+	}
+	set := resolve(t.regs[ev.Instr.Rs1])
+	t.regs[ev.Instr.Rs1] = set
+	t.ctrl = append(t.ctrl, ctrlEntry{
+		cuSet:    append([]*cu(nil), set...),
+		reconvPC: reconv,
+		depth:    t.depth,
+	})
+}
+
+// popCtrl retires control entries whose reconvergence point has been
+// reached at the current call depth.
+func (t *threadState) popCtrl(pc int64) {
+	for len(t.ctrl) > 0 {
+		top := t.ctrl[len(t.ctrl)-1]
+		if top.depth == t.depth && pc >= top.reconvPC {
+			t.ctrl = t.ctrl[:len(t.ctrl)-1]
+			continue
+		}
+		break
+	}
+}

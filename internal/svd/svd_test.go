@@ -1,0 +1,745 @@
+package svd
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// script synthesizes an exact interleaved event stream so tests control the
+// thread schedule precisely, independent of the VM's scheduler.
+type script struct {
+	d   *Detector
+	seq uint64
+}
+
+func newScript(numCPUs int, opts Options) *script {
+	return &script{d: New(&isa.Program{Name: "script", Code: make([]isa.Instr, 4096)}, numCPUs, opts)}
+}
+
+// withCode installs real instructions so reconvergence probing sees them.
+func (s *script) withCode(code []isa.Instr) *script {
+	s.d.prog.Code = code
+	return s
+}
+
+func (s *script) step(cpu int, pc int64, in isa.Instr, mut func(*vm.Event)) {
+	ev := vm.Event{Seq: s.seq, CPU: cpu, PC: pc, Instr: in}
+	if mut != nil {
+		mut(&ev)
+	}
+	s.seq++
+	s.d.Step(&ev)
+}
+
+func (s *script) load(cpu int, pc int64, rd isa.Reg, addr int64) {
+	s.step(cpu, pc, isa.Load(rd, isa.RegZero, addr), func(ev *vm.Event) {
+		ev.Addr, ev.IsLoad = addr, true
+	})
+}
+
+func (s *script) store(cpu int, pc int64, rs isa.Reg, addr int64) {
+	s.step(cpu, pc, isa.Store(rs, isa.RegZero, addr), func(ev *vm.Event) {
+		ev.Addr, ev.IsStore = addr, true
+	})
+}
+
+// storeVia stores with the address taken from a register, so that address
+// dependences flow from addrReg.
+func (s *script) storeVia(cpu int, pc int64, rs, addrReg isa.Reg, addr int64) {
+	s.step(cpu, pc, isa.Store(rs, addrReg, 0), func(ev *vm.Event) {
+		ev.Addr, ev.IsStore = addr, true
+	})
+}
+
+func (s *script) li(cpu int, pc int64, rd isa.Reg, v int64) {
+	s.step(cpu, pc, isa.LI(rd, v), nil)
+}
+
+func (s *script) alu(cpu int, pc int64, rd, rs1, rs2 isa.Reg) {
+	s.step(cpu, pc, isa.ALU(isa.OpAdd, rd, rs1, rs2), nil)
+}
+
+func (s *script) addi(cpu int, pc int64, rd, rs1 isa.Reg) {
+	s.step(cpu, pc, isa.Addi(rd, rs1, 1), nil)
+}
+
+const (
+	rA = isa.Reg(8)
+	rB = isa.Reg(9)
+	rC = isa.Reg(10)
+)
+
+// TestSerialExecutionClean: two threads increment a shared counter strictly
+// one after the other; the execution is serializable and SVD must stay
+// silent.
+func TestSerialExecutionClean(t *testing.T) {
+	s := newScript(2, Options{})
+	const X = 100
+	s.load(0, 0, rA, X)
+	s.addi(0, 1, rA, rA)
+	s.store(0, 2, rA, X)
+	s.load(1, 0, rA, X)
+	s.addi(1, 1, rA, rA)
+	s.store(1, 2, rA, X)
+	if n := s.d.Stats().Violations; n != 0 {
+		t.Errorf("serial execution produced %d violations", n)
+	}
+}
+
+// TestLostUpdateDetected: the classic atomicity violation — both threads
+// load the counter before either stores. The first storer's input block was
+// not conflicted yet, but the second storer's was; exactly one violation.
+func TestLostUpdateDetected(t *testing.T) {
+	s := newScript(2, Options{})
+	const X = 100
+	s.load(0, 0, rA, X) // T0 reads X
+	s.load(1, 0, rA, X) // T1 reads X
+	s.addi(1, 1, rA, rA)
+	s.store(1, 2, rA, X) // T1 writes X: no conflict seen by T1 yet
+	s.addi(0, 1, rA, rA)
+	s.store(0, 2, rA, X) // T0 writes X: T1's write conflicted with T0's read
+	st := s.d.Stats()
+	if st.Violations != 1 {
+		t.Fatalf("lost update produced %d violations, want 1", st.Violations)
+	}
+	v := s.d.Violations()[0]
+	if v.CPU != 0 || v.StorePC != 2 || v.Block != X {
+		t.Errorf("violation misattributed: %+v", v)
+	}
+	if v.ConflictCPU != 1 || v.ConflictPC != 2 {
+		t.Errorf("conflict source wrong: %+v", v)
+	}
+}
+
+// TestBenignRaceSilent reproduces Figure 1: a reader races with a locked
+// writer but never stores anything derived from the racy load, so the
+// execution is serializable and SVD reports nothing (a race detector would
+// report this).
+func TestBenignRaceSilent(t *testing.T) {
+	// T1's reader code: load tot; t = (tot==0); beqz t, end; store err; end: nop
+	code := []isa.Instr{
+		0: isa.Load(rA, isa.RegZero, 100),
+		1: isa.ALU(isa.OpSeq, rB, rA, isa.RegZero),
+		2: isa.Beqz(rB, 4),
+		3: isa.Store(rC, isa.RegZero, 101), // err++ (never executed)
+		4: isa.Nop(),
+	}
+	s := newScript(2, Options{}).withCode(code)
+	const tot = 100
+	// T0 (the locked writer): load tot, increment, store tot.
+	s.load(0, 10, rA, tot)
+	// T1 reads tot between T0's load and store (a data race).
+	s.load(1, 0, rA, tot)
+	s.step(1, 1, code[1], nil)
+	// T0 completes its increment.
+	s.addi(0, 11, rA, rA)
+	s.store(0, 12, rA, tot)
+	// T1's predicate is false: branch to end, never stores.
+	s.step(1, 2, code[2], func(ev *vm.Event) { ev.Taken = true })
+	s.step(1, 4, code[4], nil)
+	if n := s.d.Stats().Violations; n != 0 {
+		t.Errorf("benign race produced %d violations, want 0", n)
+	}
+}
+
+// TestApacheScenario reproduces Figure 2: the log-buffer bug. T0 loads the
+// buffer index, T1 runs its whole writer in between, then T0 copies its
+// message and bumps the index. SVD must flag T0's index store (data
+// dependence on the conflicted input) and, with address dependences on,
+// also the buffer copy stores.
+func TestApacheScenario(t *testing.T) {
+	const (
+		outcnt = 100
+		buf    = 200
+		msg    = 300 // thread-private message bytes
+	)
+	run := func(opts Options) *Detector {
+		s := newScript(2, opts)
+		s.load(0, 0, rA, outcnt) // T0: c = outcnt
+		// T1 executes its complete writer: reads outcnt, copies one word,
+		// bumps outcnt.
+		s.load(1, 0, rA, outcnt)
+		s.load(1, 1, rB, msg+50)
+		s.alu(1, 2, rC, rA, isa.RegZero) // addr = buf + c
+		s.storeVia(1, 3, rB, rC, buf+0)
+		s.addi(1, 4, rA, rA)
+		s.store(1, 5, rA, outcnt) // remote write: conflicts with T0's read
+		// T0 resumes: copies its word at the stale index and bumps outcnt.
+		s.load(0, 1, rB, msg+10)
+		s.alu(0, 2, rC, rA, isa.RegZero)
+		s.storeVia(0, 3, rB, rC, buf+0) // address depends on outcnt's CU
+		s.addi(0, 4, rA, rA)
+		s.store(0, 5, rA, outcnt) // value depends on outcnt's CU
+		return s.d
+	}
+
+	d := run(Options{})
+	if n := d.Stats().Violations; n != 2 {
+		t.Fatalf("apache scenario: %d violations, want 2 (copy store + index store)", n)
+	}
+	vs := d.Violations()
+	if vs[0].StorePC != 3 || vs[0].CPU != 0 {
+		t.Errorf("first violation should be T0's buffer copy via address dep: %+v", vs[0])
+	}
+	if vs[1].StorePC != 5 || vs[1].CPU != 0 || vs[1].Block != outcnt {
+		t.Errorf("second violation should be T0's index store: %+v", vs[1])
+	}
+
+	// Without address dependences only the index store reports.
+	d = run(Options{NoAddressDeps: true})
+	if n := d.Stats().Violations; n != 1 {
+		t.Fatalf("apache scenario without address deps: %d violations, want 1", n)
+	}
+	if v := d.Violations()[0]; v.StorePC != 5 {
+		t.Errorf("want index-store violation, got %+v", v)
+	}
+}
+
+// TestMySQLPreparedScenario reproduces Figure 3: a variable intended to be
+// thread-local is shared by mistake. The shared dependence (local write,
+// remote overwrite, local read-back) cuts the CU, so SVD misses the bug
+// online — but the a posteriori log captures the (s, rw, lw) triple.
+func TestMySQLPreparedScenario(t *testing.T) {
+	s := newScript(2, Options{})
+	const queryID = 100
+	s.store(0, 0, rA, queryID) // T0: query_id = my id (lw)
+	s.store(1, 0, rA, queryID) // T1 overwrites it (rw)
+	s.load(0, 1, rB, queryID)  // T0 reads it back (s): shared dependence, CU cut
+	s.addi(0, 2, rB, rB)
+	s.store(0, 3, rB, 101) // uses the corrupt value; no violation online
+
+	st := s.d.Stats()
+	if st.Violations != 0 {
+		t.Errorf("online SVD reported %d violations; the paper's SVD misses this bug online", st.Violations)
+	}
+	if st.SharedCutLoads != 1 {
+		t.Errorf("shared-dependence cut count = %d, want 1", st.SharedCutLoads)
+	}
+	log := s.d.Log()
+	if len(log) != 1 {
+		t.Fatalf("a posteriori log has %d entries, want 1", len(log))
+	}
+	e := log[0]
+	if e.CPU != 0 || e.ReadPC != 1 || e.RemoteWritePC != 0 || e.RemoteWriteCPU != 1 || e.LocalWritePC != 0 {
+		t.Errorf("log triple wrong: %+v", e)
+	}
+}
+
+// TestTrueDepRemoteCut exercises the second shared-dependence transition:
+// a remote write hits a block in True_Dep state (stored then loaded
+// locally), which must cut the CU and log the triple.
+func TestTrueDepRemoteCut(t *testing.T) {
+	s := newScript(2, Options{})
+	const q = 100
+	s.store(0, 0, rA, q) // T0 writes q
+	s.load(0, 1, rB, q)  // T0 reads it back: True_Dep
+	s.store(1, 0, rA, q) // T1's remote write cuts the CU
+	st := s.d.Stats()
+	if st.SharedCutRemote != 1 {
+		t.Errorf("remote-cut count = %d, want 1", st.SharedCutRemote)
+	}
+	log := s.d.Log()
+	if len(log) != 1 {
+		t.Fatalf("log has %d entries, want 1", len(log))
+	}
+	e := log[0]
+	if e.ReadPC != 1 || e.LocalWritePC != 0 || e.RemoteWriteCPU != 1 {
+		t.Errorf("triple wrong: %+v", e)
+	}
+	// After the cut the block must be Idle with no conflict residue.
+	bs := s.d.threads[0].blocks[q]
+	if bs.state != stIdle || bs.conflict {
+		t.Errorf("block after cut: state=%v conflict=%v", bs.state, bs.conflict)
+	}
+}
+
+// TestControlDependenceViolation: a store whose value is constant but whose
+// execution is controlled by a branch on conflicted shared data must report
+// through the Skipper control stack.
+func TestControlDependenceViolation(t *testing.T) {
+	code := []isa.Instr{
+		0: isa.Load(rA, isa.RegZero, 100),
+		1: isa.Beqz(rA, 5), // if (x == 0) { skip } else ...
+		2: isa.LI(rB, 1),
+		3: isa.Store(rB, isa.RegZero, 101), // control-dependent store
+		4: isa.Jmp(6),
+		5: isa.LI(rB, 2),
+		6: isa.Nop(),
+	}
+	run := func(opts Options) *Detector {
+		s := newScript(2, opts).withCode(code)
+		s.load(0, 0, rA, 100)
+		s.store(1, 0, rA, 100) // remote write conflicts with T0's read
+		s.step(0, 1, code[1], nil)
+		s.li(0, 2, rB, 1)
+		s.store(0, 3, rB, 101)
+		return s.d
+	}
+	if n := run(Options{}).Stats().Violations; n != 1 {
+		t.Errorf("control-dependent store: %d violations, want 1", n)
+	}
+	if n := run(Options{NoControlDeps: true}).Stats().Violations; n != 0 {
+		t.Errorf("with control deps off: %d violations, want 0", n)
+	}
+}
+
+// TestControlStackPopsAtReconvergence: a store at or beyond the
+// reconvergence point carries no control dependence.
+func TestControlStackPopsAtReconvergence(t *testing.T) {
+	code := []isa.Instr{
+		0: isa.Load(rA, isa.RegZero, 100),
+		1: isa.Beqz(rA, 3),
+		2: isa.Nop(),
+		3: isa.LI(rB, 1), // reconvergence point
+		4: isa.Store(rB, isa.RegZero, 101),
+	}
+	s := newScript(2, Options{}).withCode(code)
+	s.load(0, 0, rA, 100)
+	s.store(1, 0, rA, 100) // conflict
+	s.step(0, 1, code[1], nil)
+	s.step(0, 2, code[2], nil)
+	s.li(0, 3, rB, 1)
+	s.store(0, 4, rB, 101)
+	if n := s.d.Stats().Violations; n != 0 {
+		t.Errorf("store past reconvergence reported %d violations, want 0", n)
+	}
+	if len(s.d.threads[0].ctrl) != 0 {
+		t.Errorf("control stack not empty: %d entries", len(s.d.threads[0].ctrl))
+	}
+}
+
+// TestLoopBranchesIgnored: backward (loop-type) control flow must not push
+// control entries (Skipper infers only if-then-else control flow).
+func TestLoopBranchesIgnored(t *testing.T) {
+	code := []isa.Instr{
+		0: isa.Load(rA, isa.RegZero, 100),
+		1: isa.Bnez(rA, 0), // backward branch
+		2: isa.Nop(),
+	}
+	s := newScript(1, Options{}).withCode(code)
+	s.load(0, 0, rA, 100)
+	s.step(0, 1, code[1], nil)
+	if len(s.d.threads[0].ctrl) != 0 {
+		t.Errorf("backward branch pushed %d control entries", len(s.d.threads[0].ctrl))
+	}
+}
+
+// TestIfElseReconvergenceProbe: a branch whose target is preceded by a
+// branch-always reconverges at the jump's destination (the if/else shape of
+// Figure 7 lines 24-26).
+func TestIfElseReconvergenceProbe(t *testing.T) {
+	code := []isa.Instr{
+		0: isa.Load(rA, isa.RegZero, 100),
+		1: isa.Beqz(rA, 4), // else at 4, then-arm 2..3
+		2: isa.Nop(),
+		3: isa.Jmp(6),
+		4: isa.Nop(), // else arm
+		5: isa.Nop(),
+		6: isa.Nop(), // reconvergence
+	}
+	s := newScript(1, Options{}).withCode(code)
+	s.load(0, 0, rA, 100)
+	s.step(0, 1, code[1], func(ev *vm.Event) { ev.Taken = true })
+	ctrl := s.d.threads[0].ctrl
+	if len(ctrl) != 1 || ctrl[0].reconvPC != 6 {
+		t.Fatalf("if/else probe: ctrl=%+v, want one entry reconverging at 6", ctrl)
+	}
+	// Walking the else arm pops exactly at 6.
+	s.step(0, 4, code[4], nil)
+	s.step(0, 5, code[5], nil)
+	if len(s.d.threads[0].ctrl) != 1 {
+		t.Fatal("entry popped early")
+	}
+	s.step(0, 6, code[6], nil)
+	if len(s.d.threads[0].ctrl) != 0 {
+		t.Fatal("entry not popped at reconvergence")
+	}
+}
+
+// TestCallDepthClearsCtrl: returning from a function retires control
+// entries pushed inside it, even if their reconvergence PC was never
+// reached (early return).
+func TestCallDepthClearsCtrl(t *testing.T) {
+	code := []isa.Instr{
+		0: isa.Jal(isa.RegRA, 2),
+		1: isa.Nop(),
+		2: isa.Load(rA, isa.RegZero, 100),
+		3: isa.Beqz(rA, 6),
+		4: isa.Nop(),
+		5: isa.Jr(isa.RegRA), // early return inside the if
+		6: isa.Jr(isa.RegRA),
+	}
+	s := newScript(1, Options{}).withCode(code)
+	s.step(0, 0, code[0], func(ev *vm.Event) { ev.Taken = true })
+	s.load(0, 2, rA, 100)
+	s.step(0, 3, code[3], nil)
+	if len(s.d.threads[0].ctrl) != 1 {
+		t.Fatal("branch did not push")
+	}
+	s.step(0, 4, code[4], nil)
+	s.step(0, 5, code[5], func(ev *vm.Event) { ev.Taken = true })
+	if len(s.d.threads[0].ctrl) != 0 {
+		t.Errorf("early return left %d control entries", len(s.d.threads[0].ctrl))
+	}
+}
+
+// TestInputBlocksOnlyHeuristic: conflicts on blocks a CU only wrote (never
+// read first) are ignored by default (§4.3) and caught with CheckAllBlocks.
+func TestInputBlocksOnlyHeuristic(t *testing.T) {
+	run := func(opts Options) uint64 {
+		s := newScript(2, opts)
+		const A, W, Z = 100, 101, 102
+		s.load(0, 0, rA, A)  // CU rs={A}
+		s.store(0, 1, rA, W) // CU ws={W}
+		s.load(1, 0, rB, W)  // remote read of W conflicts (T0 wrote W)
+		s.load(0, 2, rC, A)  // rejoin the CU through A
+		s.store(0, 3, rC, Z) // check: rs={A} clean; ws={W} conflicted
+		return s.d.Stats().Violations
+	}
+	if n := run(Options{}); n != 0 {
+		t.Errorf("input-blocks-only: %d violations, want 0", n)
+	}
+	if n := run(Options{CheckAllBlocks: true}); n != 1 {
+		t.Errorf("check-all-blocks: %d violations, want 1", n)
+	}
+}
+
+// TestWriteFirstBlockNotInput: a block written before it is read inside the
+// same CU is not an input (§2.2.1), so conflicts on it do not report even
+// though it is later read.
+func TestWriteFirstBlockNotInput(t *testing.T) {
+	s := newScript(2, Options{})
+	const A, W, Z = 100, 101, 102
+	s.load(0, 0, rA, A)
+	s.store(0, 1, rA, W) // W written by the CU first
+	s.load(0, 2, rB, W)  // read after write: not an input, True_Dep
+	s.load(1, 0, rC, W)  // remote read conflicts with T0's write of W
+	s.store(0, 3, rB, Z) // depends on the CU; W is not an input
+	if n := s.d.Stats().Violations; n != 0 {
+		t.Errorf("write-first block treated as input: %d violations", n)
+	}
+}
+
+// TestMergeUnifiesCUs: two independently loaded blocks merge at a store and
+// a later conflict on either input reports against the merged unit.
+func TestMergeUnifiesCUs(t *testing.T) {
+	s := newScript(2, Options{})
+	const A, B, X, Y = 100, 101, 102, 103
+	s.load(0, 0, rA, A)
+	s.load(0, 1, rB, B)
+	s.alu(0, 2, rC, rA, rB)
+	s.store(0, 3, rC, X) // merges CU(A) and CU(B)
+	st := s.d.Stats()
+	if st.CUsMerged != 1 {
+		t.Errorf("CUsMerged = %d, want 1", st.CUsMerged)
+	}
+	s.store(1, 0, rA, B) // conflict on B
+	s.load(0, 4, rC, X)  // keep the merged CU in a register (X in ws: no new input)
+	s.store(0, 5, rC, Y)
+	if n := s.d.Stats().Violations; n != 1 {
+		t.Errorf("merged CU conflict: %d violations, want 1", n)
+	}
+}
+
+// TestBlockShiftFalseSharing: with 4-word blocks, accesses to distinct
+// words in one block conflict (false sharing); with word blocks they do
+// not.
+func TestBlockShiftFalseSharing(t *testing.T) {
+	run := func(shift uint) uint64 {
+		s := newScript(2, Options{BlockShift: shift})
+		s.load(0, 0, rA, 100)  // block 100>>shift
+		s.store(1, 0, rB, 102) // same 4-word block when shift=2
+		s.addi(0, 1, rA, rA)
+		s.store(0, 2, rA, 100)
+		return s.d.Stats().Violations
+	}
+	if n := run(0); n != 0 {
+		t.Errorf("word blocks: %d violations, want 0", n)
+	}
+	if n := run(2); n != 1 {
+		t.Errorf("4-word blocks: %d violations, want 1 (false sharing)", n)
+	}
+}
+
+// TestCasTreatedAsPlainAccess: SVD must not interpret CAS as
+// synchronization — but a CAS store of an unrelated constant also must not
+// fabricate dependences.
+func TestCasTreatedAsPlainAccess(t *testing.T) {
+	s := newScript(2, Options{})
+	const L = 100
+	// T0: successful CAS acquiring a "lock".
+	s.step(0, 0, isa.Cas(rA, rB, rC, isa.RegZero), func(ev *vm.Event) {
+		ev.Addr, ev.IsLoad, ev.IsStore = L, true, true
+	})
+	// T1 spins: failed CAS (load only).
+	s.step(1, 0, isa.Cas(rA, rB, rC, isa.RegZero), func(ev *vm.Event) {
+		ev.Addr, ev.IsLoad = L, true
+	})
+	// T0 releases (plain store).
+	s.li(0, 1, rB, 0)
+	s.store(0, 2, rB, L)
+	if n := s.d.Stats().Violations; n != 0 {
+		t.Errorf("lock handoff produced %d violations", n)
+	}
+}
+
+// TestLogDeduplication: the same static triple occurring many times is
+// logged once but counted dynamically.
+func TestLogDeduplication(t *testing.T) {
+	s := newScript(2, Options{})
+	const q = 100
+	for i := 0; i < 5; i++ {
+		s.store(0, 0, rA, q)
+		s.store(1, 0, rA, q)
+		s.load(0, 1, rB, q)
+	}
+	if got := len(s.d.Log()); got != 1 {
+		t.Errorf("log retained %d entries, want 1 (deduplicated)", got)
+	}
+	if got := s.d.Stats().LogEntries; got != 5 {
+		t.Errorf("dynamic log count = %d, want 5", got)
+	}
+}
+
+// TestSitesAggregation verifies static-site accounting.
+func TestSitesAggregation(t *testing.T) {
+	s := newScript(2, Options{})
+	const X = 100
+	for i := 0; i < 3; i++ {
+		s.load(0, 0, rA, X)
+		s.store(1, 0, rB, X)
+		s.addi(0, 1, rA, rA)
+		s.store(0, 2, rA, X)
+	}
+	sites := s.d.Sites()
+	if len(sites) != 1 {
+		t.Fatalf("got %d sites, want 1", len(sites))
+	}
+	if sites[0].StorePC != 2 || sites[0].Count != 3 {
+		t.Errorf("site = %+v, want pc 2 count 3", sites[0])
+	}
+}
+
+// TestViolationCap: reports beyond MaxViolations are counted but not
+// retained.
+func TestViolationCap(t *testing.T) {
+	s := newScript(2, Options{MaxViolations: 2})
+	const X = 100
+	for i := 0; i < 5; i++ {
+		s.load(0, 0, rA, X)
+		s.store(1, 0, rB, X)
+		s.addi(0, 1, rA, rA)
+		s.store(0, 2, rA, X)
+	}
+	if got := len(s.d.Violations()); got != 2 {
+		t.Errorf("retained %d violations, want 2", got)
+	}
+	if got := s.d.Stats().Violations; got != 5 {
+		t.Errorf("counted %d violations, want 5", got)
+	}
+	if got := s.d.Sites()[0].Count; got != 5 {
+		t.Errorf("site count %d, want 5", got)
+	}
+}
+
+// TestReset clears all state.
+func TestReset(t *testing.T) {
+	s := newScript(2, Options{})
+	const X = 100
+	s.load(0, 0, rA, X)
+	s.store(1, 0, rB, X)
+	s.addi(0, 1, rA, rA)
+	s.store(0, 2, rA, X)
+	if s.d.Stats().Violations == 0 {
+		t.Fatal("setup did not produce a violation")
+	}
+	s.d.Reset()
+	st := s.d.Stats()
+	if st.Violations != 0 || st.Instructions != 0 || len(s.d.Violations()) != 0 || len(s.d.Log()) != 0 {
+		t.Errorf("reset left state: %+v", st)
+	}
+	if len(s.d.threads) != 2 {
+		t.Errorf("reset changed thread count to %d", len(s.d.threads))
+	}
+	// Regression: the detector must keep DETECTING after a reset — the
+	// per-thread states must reference the reset detector, not a
+	// temporary (this bug once made BER blind).
+	s.load(0, 0, rA, X)
+	s.store(1, 0, rB, X)
+	s.addi(0, 1, rA, rA)
+	s.store(0, 2, rA, X)
+	if got := s.d.Stats().Violations; got != 1 {
+		t.Errorf("violations after reset = %d, want 1 (detector dead after Reset)", got)
+	}
+}
+
+// TestFSMTransitions walks the per-block state machine directly.
+func TestFSMTransitions(t *testing.T) {
+	s := newScript(2, Options{})
+	tr := s.d.threads[0]
+	const b = 100
+
+	s.load(0, 0, rA, b)
+	if got := tr.blocks[b].state; got != stLoaded {
+		t.Errorf("after load: %v", got)
+	}
+	s.load(1, 0, rA, b) // remote read
+	if got := tr.blocks[b].state; got != stLoadedShared {
+		t.Errorf("after remote read: %v", got)
+	}
+	s.store(0, 1, rA, b)
+	if got := tr.blocks[b].state; got != stStoredShared {
+		t.Errorf("after store on Loaded_Shared: %v", got)
+	}
+	// Local load on Stored_Shared cuts and restarts as Loaded.
+	s.load(0, 2, rA, b)
+	if got := tr.blocks[b].state; got != stLoaded {
+		t.Errorf("after cut+load: %v", got)
+	}
+	s.store(0, 3, rA, b)
+	if got := tr.blocks[b].state; got != stStored {
+		t.Errorf("after store: %v", got)
+	}
+	s.load(0, 4, rA, b)
+	if got := tr.blocks[b].state; got != stTrueDep {
+		t.Errorf("after read-after-write: %v", got)
+	}
+	s.store(1, 1, rA, b) // remote write on True_Dep cuts to Idle
+	if got := tr.blocks[b].state; got != stIdle {
+		t.Errorf("after remote cut: %v", got)
+	}
+	for st := stIdle; st <= stTrueDep; st++ {
+		if st.String() == "" {
+			t.Errorf("state %d has no name", st)
+		}
+	}
+}
+
+// TestUnionFind exercises merge forwarding and path compression.
+func TestUnionFind(t *testing.T) {
+	d := New(&isa.Program{Name: "u", Code: []isa.Instr{isa.Nop()}}, 1, Options{})
+	a, b, c := d.newCU(), d.newCU(), d.newCU()
+	b.parent, b.active = a, false
+	c.parent, c.active = b, false
+	if got := c.find(); got != a {
+		t.Errorf("find walked to %v, want root", got.id)
+	}
+	if c.parent != a && c.parent != b {
+		t.Error("path not compressed")
+	}
+	set := resolve([]*cu{a, b, c, a})
+	if len(set) != 1 || set[0] != a {
+		t.Errorf("resolve = %v, want [root]", set)
+	}
+}
+
+// TestEndToEndRacyCounterViaVM runs the real VM with the scheduler and
+// expects the detector to flag at least one violation on a racy counter.
+func TestEndToEndRacyCounterViaVM(t *testing.T) {
+	code := []isa.Instr{
+		isa.LI(8, 50),
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	p := &isa.Program{Name: "racy", Code: code, Entries: []int64{0, 0, 0, 0}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 4, Seed: 5, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(p, 4, Options{})
+	m.Attach(d)
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Violations == 0 {
+		t.Error("racy counter produced no violations")
+	}
+	if len(d.Sites()) == 0 {
+		t.Error("no static sites recorded")
+	}
+}
+
+// TestEndToEndLockedCounterViaVM: the same counter properly protected by a
+// CAS spinlock must be violation-free — the serializable case.
+func TestEndToEndLockedCounterViaVM(t *testing.T) {
+	// lock at word 10, counter at word 0.
+	code := []isa.Instr{
+		0:  isa.LI(8, 50),
+		1:  isa.LI(9, 10), // &lock
+		2:  isa.LI(10, 0),
+		3:  isa.LI(11, 1),
+		4:  isa.Cas(12, 9, 10, 11),
+		5:  isa.Bnez(12, 8),
+		6:  isa.Yield(),
+		7:  isa.Jmp(4),
+		8:  isa.Load(13, isa.RegZero, 0),
+		9:  isa.Addi(13, 13, 1),
+		10: isa.Store(13, isa.RegZero, 0),
+		11: isa.Store(isa.RegZero, 9, 0), // release: mem[lock] = 0
+		12: isa.Addi(8, 8, -1),
+		13: isa.Bnez(8, 1),
+		14: isa.Halt(),
+	}
+	p := &isa.Program{Name: "locked", Code: code, Entries: []int64{0, 0, 0, 0}}
+	for seed := uint64(0); seed < 5; seed++ {
+		m, err := vm.New(p, vm.Config{NumCPUs: 4, Seed: seed, MaxQuantum: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(p, 4, Options{})
+		m.Attach(d)
+		if _, err := m.Run(1 << 22); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Done() {
+			t.Fatal("locked counter did not finish")
+		}
+		if m.Mem(0) != 200 {
+			t.Fatalf("locked counter = %d, want 200", m.Mem(0))
+		}
+		if n := d.Stats().Violations; n != 0 {
+			for _, v := range d.Violations() {
+				t.Logf("violation: %s", v)
+			}
+			t.Fatalf("seed %d: locked counter produced %d violations, want 0", seed, n)
+		}
+	}
+}
+
+// TestStatsAccounting sanity-checks the aggregate counters.
+func TestStatsAccounting(t *testing.T) {
+	s := newScript(2, Options{})
+	s.load(0, 0, rA, 100)
+	s.store(0, 1, rA, 101)
+	s.load(1, 0, rB, 102)
+	st := s.d.Stats()
+	if st.Instructions != 3 || st.Loads != 2 || st.Stores != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.CUsLive() != st.CUsCreated-st.CUsMerged {
+		t.Error("CUsLive inconsistent")
+	}
+	if st.RemoteEvents != 0 {
+		// No thread had state for the other's blocks, so no remote events
+		// were processed.
+		t.Errorf("remote events = %d, want 0", st.RemoteEvents)
+	}
+}
+
+// TestViolationString and log-entry formatting produce readable reports.
+func TestReportFormatting(t *testing.T) {
+	v := Violation{Seq: 9, CPU: 1, StorePC: 5, Block: 100, CU: 3, ConflictCPU: 0, ConflictPC: 7, ConflictSeq: 8}
+	if v.String() == "" {
+		t.Error("empty violation string")
+	}
+	e := LogEntry{CPU: 1, Block: 100, ReadPC: 5, RemoteWritePC: 7, LocalWritePC: 3}
+	if e.String() == "" {
+		t.Error("empty log entry string")
+	}
+}

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary trace file format, for the paper's post-mortem scenario (§1.1
+// "From symptoms to bugs"): capture a failing execution once, then replay
+// it through the offline detectors at leisure. The file is self-contained:
+// it embeds the program image, so analysis tools need nothing else.
+//
+// Layout (little-endian):
+//
+//	magic "SVDTRC01"
+//	u64 program image length, then the isa program image
+//	u64 numCPUs, u64 dropped, u64 statement count
+//	per statement: u64 seq, u8 cpu, u8 flags (bit0 load, bit1 store),
+//	    u32 pc, i64 addr, instruction (16 bytes),
+//	    u32 memPred+1, u32 ctrlPred+1, u16 nTruePreds, u32 each
+//	u64 touched-entry count, then (i64 word, u64 mask) pairs
+
+const traceMagic = "SVDTRC01"
+
+// WriteTrace serializes tr.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	u64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+
+	var img countingBuffer
+	if err := isa.WriteProgram(&img, tr.Prog); err != nil {
+		return err
+	}
+	u64(uint64(len(img.data)))
+	bw.Write(img.data)
+
+	u64(uint64(tr.NumCPUs))
+	u64(tr.Dropped)
+	u64(uint64(len(tr.Stmts)))
+	for i := range tr.Stmts {
+		s := &tr.Stmts[i]
+		u64(s.Seq)
+		flags := byte(0)
+		if s.IsLoad {
+			flags |= 1
+		}
+		if s.IsStore {
+			flags |= 2
+		}
+		bw.WriteByte(byte(s.CPU))
+		bw.WriteByte(flags)
+		binary.Write(bw, binary.LittleEndian, uint32(s.PC))
+		binary.Write(bw, binary.LittleEndian, s.Addr)
+		bw.Write(isa.EncodeInstr(nil, s.Instr))
+		binary.Write(bw, binary.LittleEndian, uint32(s.MemPred+1))
+		binary.Write(bw, binary.LittleEndian, uint32(s.CtrlPred+1))
+		binary.Write(bw, binary.LittleEndian, uint16(len(s.TruePreds)))
+		for _, p := range s.TruePreds {
+			binary.Write(bw, binary.LittleEndian, uint32(p))
+		}
+	}
+
+	u64(uint64(len(tr.touched)))
+	for word, mask := range tr.touched {
+		binary.Write(bw, binary.LittleEndian, word)
+		u64(mask)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var u64 func() (uint64, error)
+	u64 = func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+
+	imgLen, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	if imgLen > 1<<26 {
+		return nil, fmt.Errorf("trace: unreasonable program image size %d", imgLen)
+	}
+	img := make([]byte, imgLen)
+	if _, err := io.ReadFull(br, img); err != nil {
+		return nil, err
+	}
+	prog, err := isa.ReadProgram(bytes.NewReader(img))
+	if err != nil {
+		return nil, fmt.Errorf("trace: embedded program: %w", err)
+	}
+
+	numCPUs, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	dropped, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	count, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	const maxStmts = 1 << 26
+	if count > maxStmts {
+		return nil, fmt.Errorf("trace: unreasonable statement count %d", count)
+	}
+
+	// Allocate incrementally: the count is untrusted input, so capacity
+	// grows only as statements actually decode.
+	initialCap := count
+	if initialCap > 1<<16 {
+		initialCap = 1 << 16
+	}
+	tr := &Trace{
+		Prog:    prog,
+		NumCPUs: int(numCPUs),
+		Stmts:   make([]Stmt, 0, initialCap),
+		Dropped: dropped,
+		touched: make(map[int64]uint64),
+	}
+	instrBuf := make([]byte, 16)
+	for i := uint64(0); i < count; i++ {
+		tr.Stmts = append(tr.Stmts, Stmt{})
+		s := &tr.Stmts[len(tr.Stmts)-1]
+		if s.Seq, err = u64(); err != nil {
+			return nil, fmt.Errorf("trace: stmt %d: %w", i, err)
+		}
+		cpu, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		s.CPU = int(cpu)
+		s.IsLoad = flags&1 != 0
+		s.IsStore = flags&2 != 0
+		var pc uint32
+		if err := binary.Read(br, binary.LittleEndian, &pc); err != nil {
+			return nil, err
+		}
+		s.PC = int64(pc)
+		if err := binary.Read(br, binary.LittleEndian, &s.Addr); err != nil {
+			return nil, err
+		}
+		if _, err := io.ReadFull(br, instrBuf); err != nil {
+			return nil, err
+		}
+		if s.Instr, err = isa.DecodeInstr(instrBuf); err != nil {
+			return nil, fmt.Errorf("trace: stmt %d: %w", i, err)
+		}
+		var mp, cp uint32
+		if err := binary.Read(br, binary.LittleEndian, &mp); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cp); err != nil {
+			return nil, err
+		}
+		s.MemPred = int32(mp) - 1
+		s.CtrlPred = int32(cp) - 1
+		var n uint16
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			s.TruePreds = make([]int32, n)
+			for j := range s.TruePreds {
+				var p uint32
+				if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
+					return nil, err
+				}
+				s.TruePreds[j] = int32(p)
+			}
+		}
+	}
+
+	touchedN, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < touchedN; i++ {
+		var word int64
+		if err := binary.Read(br, binary.LittleEndian, &word); err != nil {
+			return nil, err
+		}
+		mask, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		tr.touched[word] = mask
+	}
+	return tr, nil
+}
+
+// countingBuffer is a minimal in-memory writer.
+type countingBuffer struct{ data []byte }
+
+func (b *countingBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func roundtrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	p := &isa.Program{Name: "rt", Entries: []int64{0, 5}, Code: []isa.Instr{
+		0: isa.LI(8, 3),
+		1: isa.Store(8, isa.RegZero, 100),
+		2: isa.Load(9, isa.RegZero, 100),
+		3: isa.Beqz(9, 4),
+		4: isa.Halt(),
+		5: isa.Load(10, isa.RegZero, 100),
+		6: isa.Halt(),
+	}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecorder(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(rec)
+	if _, err := m.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace()
+	got := roundtrip(t, tr)
+
+	if got.NumCPUs != tr.NumCPUs || got.Dropped != tr.Dropped || len(got.Stmts) != len(tr.Stmts) {
+		t.Fatalf("header mismatch: %d cpus %d stmts", got.NumCPUs, len(got.Stmts))
+	}
+	if got.Prog.Name != p.Name || len(got.Prog.Code) != len(p.Code) {
+		t.Fatal("embedded program mismatch")
+	}
+	for i := range tr.Stmts {
+		a, b := &tr.Stmts[i], &got.Stmts[i]
+		if a.Seq != b.Seq || a.CPU != b.CPU || a.PC != b.PC || a.Addr != b.Addr ||
+			a.IsLoad != b.IsLoad || a.IsStore != b.IsStore ||
+			a.MemPred != b.MemPred || a.CtrlPred != b.CtrlPred || a.Instr != b.Instr {
+			t.Fatalf("stmt %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if len(a.TruePreds) != len(b.TruePreds) {
+			t.Fatalf("stmt %d preds mismatch", i)
+		}
+		for j := range a.TruePreds {
+			if a.TruePreds[j] != b.TruePreds[j] {
+				t.Fatalf("stmt %d pred %d mismatch", i, j)
+			}
+		}
+	}
+	// The shared oracle survives.
+	if got.Shared(100) != tr.Shared(100) {
+		t.Error("shared oracle mismatch")
+	}
+	if !got.Shared(100) {
+		t.Error("word 100 should be shared (both threads touch it)")
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadTraceRejectsTruncation(t *testing.T) {
+	p := &isa.Program{Name: "t", Entries: []int64{0}, Code: []isa.Instr{isa.LI(8, 1), isa.Halt()}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := NewRecorder(p, 1, 0)
+	m.Attach(rec)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	for cut := len(img) - 1; cut > 8; cut /= 2 {
+		if _, err := ReadTrace(bytes.NewReader(img[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

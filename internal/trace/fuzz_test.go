@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// FuzzReadTrace checks that arbitrary bytes never panic the trace parser
+// and that a valid image still parses after the fuzzer perturbs length
+// prefixes into rejection paths.
+func FuzzReadTrace(f *testing.F) {
+	p := &isa.Program{Name: "seed", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 1), isa.Store(8, isa.RegZero, 5), isa.Load(9, isa.RegZero, 5), isa.Halt(),
+	}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rec, err := NewRecorder(p, 1, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m.Attach(rec)
+	if _, err := m.Run(100); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec.Trace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SVDTRC01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent enough to walk.
+		for i := range tr.Stmts {
+			s := &tr.Stmts[i]
+			_ = s.Preds(nil)
+		}
+	})
+}

@@ -1,0 +1,316 @@
+// Package trace records program traces with exact dependence information.
+//
+// The offline algorithm of the paper (Figures 5 and 6) "operates on program
+// traces where (I) true-dependent and control-dependent predecessors of a
+// dynamic statement s are known ... and (II) a boolean flag v.shared
+// indicates whether a variable v is shared" (§4.1.1). This package supplies
+// exactly that: a vm.Observer that captures every dynamic instruction along
+// with
+//
+//   - its exact intra-thread true-dependence predecessors (the last local
+//     definition of every register and memory word it uses, per §3.1's
+//     d-PDG definition);
+//   - its innermost dynamic control-dependence predecessor, computed with
+//     immediate postdominators from package cfg; and
+//   - a shared-location oracle (a word is shared when more than one thread
+//     accessed it anywhere in the trace).
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/frd"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Stmt is one dynamic statement (instruction instance).
+type Stmt struct {
+	Seq   uint64 // global total order (§3.1's ≺)
+	CPU   int
+	PC    int64
+	Instr isa.Instr
+
+	Addr    int64 // memory word for loads/stores/CAS
+	IsLoad  bool
+	IsStore bool
+
+	// TruePreds are indices into Trace.Stmts of the exact true-dependence
+	// predecessors through registers: the last local writers of every
+	// register this statement uses. Register dependences are always
+	// thread-local.
+	TruePreds []int32
+
+	// MemPred is the index of the last same-thread store to the word this
+	// statement loads, or -1: the through-memory true dependence. It is a
+	// shared dependence (E_s in §3.1) when the word is shared.
+	MemPred int32
+
+	// CtrlPred is the index of the innermost dynamic branch this
+	// statement is control dependent on, or -1.
+	CtrlPred int32
+}
+
+// Preds appends all dependence predecessor indices (register, memory, and
+// control) to buf — the depPred set of the offline algorithm (§4.1.1).
+func (s *Stmt) Preds(buf []int32) []int32 {
+	buf = append(buf, s.TruePreds...)
+	if s.MemPred >= 0 {
+		buf = append(buf, s.MemPred)
+	}
+	if s.CtrlPred >= 0 {
+		buf = append(buf, s.CtrlPred)
+	}
+	return buf
+}
+
+// MemRead reports whether the statement reads a memory word.
+func (s *Stmt) MemRead() bool { return s.IsLoad }
+
+// MemWrite reports whether the statement writes a memory word.
+func (s *Stmt) MemWrite() bool { return s.IsStore }
+
+// Trace is a recorded execution.
+type Trace struct {
+	Prog    *isa.Program
+	NumCPUs int
+	Stmts   []Stmt
+
+	// Dropped counts statements past the recorder's capacity.
+	Dropped uint64
+
+	touched map[int64]uint64 // word -> bitmask of accessing threads
+}
+
+// Shared reports whether more than one thread accessed the word anywhere in
+// the trace — the offline algorithm's v.shared oracle.
+func (t *Trace) Shared(addr int64) bool {
+	m := t.touched[addr]
+	return m&(m-1) != 0
+}
+
+// ThreadStmts returns the indices of the statements thread cpu executed, in
+// program (= execution) order: the thread trace of §3.1.
+func (t *Trace) ThreadStmts(cpu int) []int32 {
+	var out []int32
+	for i := range t.Stmts {
+		if t.Stmts[i].CPU == cpu {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Accesses converts the trace's memory operations into the frontier
+// detector's input records.
+func (t *Trace) Accesses() []frd.Access {
+	var out []frd.Access
+	for i := range t.Stmts {
+		s := &t.Stmts[i]
+		if !s.IsLoad && !s.IsStore {
+			continue
+		}
+		out = append(out, frd.Access{
+			Seq:   s.Seq,
+			CPU:   s.CPU,
+			PC:    s.PC,
+			Block: s.Addr,
+			Write: s.IsStore,
+			CAS:   s.Instr.Op == isa.OpCas,
+		})
+	}
+	return out
+}
+
+// Recorder captures a Trace as a vm.Observer.
+type Recorder struct {
+	prog    *isa.Program
+	numCPUs int
+	max     int
+
+	reconv  []int64 // per-PC exact reconvergence points (conditional branches)
+	stmts   []Stmt
+	dropped uint64
+	touched map[int64]uint64
+
+	threads []recThread
+}
+
+type recThread struct {
+	lastRegDef [isa.NumRegs]int32
+	lastMemDef map[int64]int32
+	ctrl       []recCtrl
+	depth      int
+}
+
+type recCtrl struct {
+	stmt     int32
+	reconvPC int64
+	depth    int
+}
+
+// NewRecorder builds a recorder for prog across numCPUs processors,
+// retaining at most maxStmts statements (0 means 1<<20). Recording the
+// shared-location oracle supports at most 64 CPUs.
+func NewRecorder(prog *isa.Program, numCPUs, maxStmts int) (*Recorder, error) {
+	if numCPUs > 64 {
+		return nil, fmt.Errorf("trace: shared-location oracle supports at most 64 CPUs, got %d", numCPUs)
+	}
+	if maxStmts <= 0 {
+		maxStmts = 1 << 20
+	}
+	r := &Recorder{
+		prog:    prog,
+		numCPUs: numCPUs,
+		max:     maxStmts,
+		reconv:  cfg.Reconvergence(prog),
+		touched: make(map[int64]uint64),
+		threads: make([]recThread, numCPUs),
+	}
+	for i := range r.threads {
+		t := &r.threads[i]
+		t.lastMemDef = make(map[int64]int32)
+		for j := range t.lastRegDef {
+			t.lastRegDef[j] = -1
+		}
+	}
+	return r, nil
+}
+
+// usedRegs appends the registers an instruction reads (excluding the
+// hardwired zero register).
+func usedRegs(in isa.Instr, buf []isa.Reg) []isa.Reg {
+	add := func(r isa.Reg) {
+		if r != isa.RegZero {
+			buf = append(buf, r)
+		}
+	}
+	switch {
+	case in.Op == isa.OpMov, in.Op == isa.OpAddi, in.Op == isa.OpJr:
+		add(in.Rs1)
+	case in.Op == isa.OpLoad:
+		add(in.Rs1)
+	case in.Op == isa.OpStore:
+		add(in.Rs1)
+		add(in.Rs2)
+	case in.Op == isa.OpCas:
+		add(in.Rs1)
+		add(in.Rs2)
+		add(in.Rs3)
+	case in.Op.IsCondBranch():
+		add(in.Rs1)
+	case in.Op.IsALU() && in.Op != isa.OpLI:
+		add(in.Rs1)
+		add(in.Rs2)
+	}
+	return buf
+}
+
+// defReg returns the register an instruction defines, if any.
+func defReg(in isa.Instr) (isa.Reg, bool) {
+	switch {
+	case in.Op.IsALU(), in.Op == isa.OpLoad, in.Op == isa.OpCas, in.Op == isa.OpJal:
+		return in.Rd, in.Rd != isa.RegZero
+	}
+	return 0, false
+}
+
+// Step records one dynamic instruction (vm.Observer).
+func (r *Recorder) Step(ev *vm.Event) {
+	if len(r.stmts) >= r.max {
+		r.dropped++
+		return
+	}
+	t := &r.threads[ev.CPU]
+	idx := int32(len(r.stmts))
+	in := ev.Instr
+
+	// Retire control entries whose reconvergence point this instruction
+	// reaches, before computing this statement's control predecessor.
+	for len(t.ctrl) > 0 {
+		top := t.ctrl[len(t.ctrl)-1]
+		if top.depth == t.depth && ev.PC >= top.reconvPC {
+			t.ctrl = t.ctrl[:len(t.ctrl)-1]
+			continue
+		}
+		break
+	}
+
+	s := Stmt{
+		Seq:      ev.Seq,
+		CPU:      ev.CPU,
+		PC:       ev.PC,
+		Instr:    in,
+		MemPred:  -1,
+		CtrlPred: -1,
+	}
+	if len(t.ctrl) > 0 {
+		s.CtrlPred = t.ctrl[len(t.ctrl)-1].stmt
+	}
+
+	// True-dependence predecessors through registers.
+	var regBuf [4]isa.Reg
+	for _, reg := range usedRegs(in, regBuf[:0]) {
+		if p := t.lastRegDef[reg]; p >= 0 {
+			s.TruePreds = appendUnique(s.TruePreds, p)
+		}
+	}
+
+	// Memory effects and the through-memory true dependence.
+	if in.Op.IsMem() {
+		s.Addr = ev.Addr
+		s.IsLoad = ev.IsLoad
+		s.IsStore = ev.IsStore
+		if ev.IsLoad {
+			if p, ok := t.lastMemDef[ev.Addr]; ok {
+				s.MemPred = p
+			}
+		}
+		r.touched[ev.Addr] |= 1 << uint(ev.CPU)
+	}
+
+	r.stmts = append(r.stmts, s)
+
+	// Definitions take effect after the statement is placed.
+	if rd, ok := defReg(in); ok {
+		t.lastRegDef[rd] = idx
+	}
+	if s.IsStore {
+		t.lastMemDef[ev.Addr] = idx
+	}
+
+	switch {
+	case in.Op.IsCondBranch():
+		if rc := r.reconv[ev.PC]; rc >= 0 {
+			t.ctrl = append(t.ctrl, recCtrl{stmt: idx, reconvPC: rc, depth: t.depth})
+		}
+	case in.Op == isa.OpJal:
+		t.depth++
+	case in.Op == isa.OpJr:
+		t.depth--
+		for len(t.ctrl) > 0 && t.ctrl[len(t.ctrl)-1].depth > t.depth {
+			t.ctrl = t.ctrl[:len(t.ctrl)-1]
+		}
+	}
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace {
+	return &Trace{
+		Prog:    r.prog,
+		NumCPUs: r.numCPUs,
+		Stmts:   r.stmts,
+		Dropped: r.dropped,
+		touched: r.touched,
+	}
+}
+
+func appendUnique(s []int32, v int32) []int32 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

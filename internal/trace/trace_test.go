@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func record(t *testing.T, p *isa.Program, cfg vm.Config) *Trace {
+	t.Helper()
+	m, err := vm.New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRecorder(p, cfg.NumCPUs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(r)
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	return r.Trace()
+}
+
+func TestRegisterTrueDependences(t *testing.T) {
+	p := &isa.Program{Name: "reg", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 1),                 // 0
+		isa.LI(9, 2),                 // 1
+		isa.ALU(isa.OpAdd, 10, 8, 9), // 2: deps on 0, 1
+		isa.Addi(10, 10, 3),          // 3: deps on 2
+		isa.Mov(11, 10),              // 4: deps on 3
+		isa.Halt(),                   // 5
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 1})
+	want := map[int][]int32{
+		2: {0, 1},
+		3: {2},
+		4: {3},
+	}
+	for i, preds := range want {
+		got := tr.Stmts[i].TruePreds
+		if len(got) != len(preds) {
+			t.Fatalf("stmt %d preds = %v, want %v", i, got, preds)
+		}
+		for j := range preds {
+			if got[j] != preds[j] {
+				t.Errorf("stmt %d preds = %v, want %v", i, got, preds)
+			}
+		}
+	}
+	if len(tr.Stmts[0].TruePreds) != 0 {
+		t.Errorf("li has preds %v", tr.Stmts[0].TruePreds)
+	}
+}
+
+func TestMemoryTrueDependence(t *testing.T) {
+	p := &isa.Program{Name: "mem", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 7),                 // 0
+		isa.Store(8, isa.RegZero, 5), // 1
+		isa.Load(9, isa.RegZero, 5),  // 2: mem pred = 1
+		isa.Halt(),
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 1})
+	if got := tr.Stmts[2].MemPred; got != 1 {
+		t.Errorf("load mem pred = %d, want 1", got)
+	}
+	if tr.Stmts[2].Addr != 5 || !tr.Stmts[2].MemRead() {
+		t.Errorf("load stmt = %+v", tr.Stmts[2])
+	}
+	if !tr.Stmts[1].MemWrite() {
+		t.Error("store not marked as write")
+	}
+	// Zero register is never a dependence source.
+	if len(tr.Stmts[2].TruePreds) != 0 {
+		t.Errorf("load has reg preds %v via zero register", tr.Stmts[2].TruePreds)
+	}
+}
+
+func TestControlDependence(t *testing.T) {
+	p := &isa.Program{Name: "ctrl", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 1),   // 0
+		isa.Beqz(8, 4), // 1: branch (not taken: r8 = 1)
+		isa.LI(9, 5),   // 2: control dep on 1
+		isa.Nop(),      // 3: control dep on 1
+		isa.LI(10, 6),  // 4: join, no control dep
+		isa.Halt(),     // 5
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 1})
+	if got := tr.Stmts[2].CtrlPred; got != 1 {
+		t.Errorf("then-arm ctrl pred = %d, want 1", got)
+	}
+	if got := tr.Stmts[3].CtrlPred; got != 1 {
+		t.Errorf("then-arm ctrl pred = %d, want 1", got)
+	}
+	if got := tr.Stmts[4].CtrlPred; got != -1 {
+		t.Errorf("join ctrl pred = %d, want -1", got)
+	}
+}
+
+func TestLoopBodyControlDependence(t *testing.T) {
+	p := &isa.Program{Name: "loop", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 2),       // 0
+		isa.Beqz(8, 4),     // 1: loop condition
+		isa.Addi(8, 8, -1), // 2: body: control dep on the branch
+		isa.Jmp(1),         // 3
+		isa.Halt(),         // 4
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 1})
+	// Dynamic instances: 0, 1, 2, 3, 1', 2', 3', 1'', 4(halt).
+	if got := tr.Stmts[2].CtrlPred; got != 1 {
+		t.Errorf("body ctrl pred = %d, want 1 (the loop branch)", got)
+	}
+	// Second iteration's body depends on the second branch instance.
+	var bodies, branches []int
+	for i := range tr.Stmts {
+		switch tr.Stmts[i].PC {
+		case 1:
+			branches = append(branches, i)
+		case 2:
+			bodies = append(bodies, i)
+		}
+	}
+	if len(bodies) != 2 || len(branches) != 3 {
+		t.Fatalf("bodies=%v branches=%v", bodies, branches)
+	}
+	if got := tr.Stmts[bodies[1]].CtrlPred; got != int32(branches[1]) {
+		t.Errorf("second body instance ctrl pred = %d, want %d", got, branches[1])
+	}
+}
+
+func TestCallDepthControl(t *testing.T) {
+	p := &isa.Program{Name: "call", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 1),          // 0
+		isa.Beqz(8, 4),        // 1 (not taken)
+		isa.Jal(isa.RegRA, 5), // 2: call inside the if
+		isa.Nop(),             // 3
+		isa.Halt(),            // 4: join
+		isa.LI(9, 9),          // 5: callee body
+		isa.Jr(isa.RegRA),     // 6
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 1})
+	// The callee body (pc 5) runs at depth 1; the caller's branch entry is
+	// at depth 0 and still on the stack, so the callee statement is
+	// control dependent on it (innermost tracked entry).
+	var calleeIdx int = -1
+	for i := range tr.Stmts {
+		if tr.Stmts[i].PC == 5 {
+			calleeIdx = i
+		}
+	}
+	if calleeIdx < 0 {
+		t.Fatal("callee not executed")
+	}
+	if got := tr.Stmts[calleeIdx].CtrlPred; got != 1 {
+		t.Errorf("callee ctrl pred = %d, want 1", got)
+	}
+}
+
+func TestSharedOracle(t *testing.T) {
+	p := &isa.Program{Name: "shared", Entries: []int64{0, 3}, Code: []isa.Instr{
+		isa.Store(isa.RegZero, isa.RegZero, 100), // T0 writes 100
+		isa.Store(isa.RegZero, isa.RegZero, 101), // T0 writes 101
+		isa.Halt(),
+		isa.Load(8, isa.RegZero, 100), // T1 reads 100
+		isa.Halt(),
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 2})
+	if !tr.Shared(100) {
+		t.Error("word 100 accessed by both threads not shared")
+	}
+	if tr.Shared(101) {
+		t.Error("word 101 accessed by one thread marked shared")
+	}
+	if tr.Shared(999) {
+		t.Error("untouched word marked shared")
+	}
+}
+
+func TestThreadStmtsAndAccesses(t *testing.T) {
+	p := &isa.Program{Name: "two", Entries: []int64{0, 3}, Code: []isa.Instr{
+		isa.LI(8, 1),
+		isa.Store(8, isa.RegZero, 100),
+		isa.Halt(),
+		isa.Load(9, isa.RegZero, 100),
+		isa.Halt(),
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 2, Seed: 1})
+	t0, t1 := tr.ThreadStmts(0), tr.ThreadStmts(1)
+	if len(t0) != 3 || len(t1) != 2 {
+		t.Fatalf("thread stmt counts = %d, %d", len(t0), len(t1))
+	}
+	for _, idx := range t0 {
+		if tr.Stmts[idx].CPU != 0 {
+			t.Error("thread trace contains foreign statement")
+		}
+	}
+	accs := tr.Accesses()
+	if len(accs) != 2 {
+		t.Fatalf("accesses = %d, want 2", len(accs))
+	}
+	var wr, rd int
+	for _, a := range accs {
+		if a.Write {
+			wr++
+		} else {
+			rd++
+		}
+	}
+	if wr != 1 || rd != 1 {
+		t.Errorf("access kinds: %d writes, %d reads", wr, rd)
+	}
+}
+
+func TestCasAccessMarked(t *testing.T) {
+	p := &isa.Program{Name: "cas", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 50),
+		isa.Cas(9, 8, isa.RegZero, 8), // mem[50]: 0 -> 50, succeeds
+		isa.Halt(),
+	}}
+	tr := record(t, p, vm.Config{NumCPUs: 1})
+	s := &tr.Stmts[1]
+	if !s.IsLoad || !s.IsStore {
+		t.Errorf("successful cas stmt = %+v", s)
+	}
+	accs := tr.Accesses()
+	if len(accs) != 1 || !accs[0].CAS || !accs[0].Write {
+		t.Errorf("cas access = %+v", accs)
+	}
+	// CAS uses addr, expected, and new registers.
+	if len(s.TruePreds) != 1 || s.TruePreds[0] != 0 {
+		t.Errorf("cas preds = %v, want [0]", s.TruePreds)
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	p := &isa.Program{Name: "cap", Entries: []int64{0}, Code: []isa.Instr{
+		isa.LI(8, 100),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}}
+	m, err := vm.New(p, vm.Config{NumCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRecorder(p, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Attach(r)
+	if _, err := m.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Trace()
+	if len(tr.Stmts) != 10 {
+		t.Errorf("retained %d stmts, want 10", len(tr.Stmts))
+	}
+	if tr.Dropped == 0 {
+		t.Error("dropped count is zero")
+	}
+}
+
+func TestTooManyCPUsRejected(t *testing.T) {
+	if _, err := NewRecorder(&isa.Program{Name: "x", Code: []isa.Instr{isa.Halt()}}, 65, 0); err == nil {
+		t.Error("recorder accepted 65 CPUs")
+	}
+}
+
+func TestPredsHelper(t *testing.T) {
+	s := Stmt{TruePreds: []int32{3, 4}, MemPred: 7, CtrlPred: 9}
+	got := s.Preds(nil)
+	if len(got) != 4 || got[0] != 3 || got[1] != 4 || got[2] != 7 || got[3] != 9 {
+		t.Errorf("Preds = %v", got)
+	}
+	s2 := Stmt{MemPred: -1, CtrlPred: -1}
+	if got := s2.Preds(nil); len(got) != 0 {
+		t.Errorf("empty Preds = %v", got)
+	}
+}

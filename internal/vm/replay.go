@@ -1,0 +1,160 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Schedule recording and replay — the flight-data-recorder idea the paper
+// builds its methodology on (§6.1 cites Xu, Bodík & Hill's FDR [38]): a
+// multiprocessor execution is reproduced exactly by re-supplying its
+// thread interleaving. The VM's executions are already replayable from a
+// seed under the same configuration; a recorded schedule goes further and
+// reproduces an interleaving under a *different* configuration — e.g. an
+// execution observed under timing-first scheduling with a stateful cache
+// cost model can be replayed on a bare machine, which is how a deployed
+// recorder with a cheap detector would hand executions to a heavyweight
+// post-mortem analysis.
+
+// ScheduleRecorder captures the per-instruction CPU choices of a run as a
+// run-length-encoded schedule. Attach it as an observer.
+type ScheduleRecorder struct {
+	runs []scheduleRun
+}
+
+type scheduleRun struct {
+	cpu uint32
+	n   uint32
+}
+
+// Step implements Observer.
+func (r *ScheduleRecorder) Step(ev *Event) {
+	if n := len(r.runs); n > 0 && r.runs[n-1].cpu == uint32(ev.CPU) && r.runs[n-1].n < 1<<31 {
+		r.runs[n-1].n++
+		return
+	}
+	r.runs = append(r.runs, scheduleRun{cpu: uint32(ev.CPU), n: 1})
+}
+
+// Len returns the number of recorded instructions.
+func (r *ScheduleRecorder) Len() uint64 {
+	var total uint64
+	for _, run := range r.runs {
+		total += uint64(run.n)
+	}
+	return total
+}
+
+// Runs returns the number of scheduling quanta (consecutive same-CPU
+// stretches) — the schedule's compressed size.
+func (r *ScheduleRecorder) Runs() int { return len(r.runs) }
+
+// Schedule returns the captured schedule.
+func (r *ScheduleRecorder) Schedule() *Schedule { return &Schedule{runs: r.runs} }
+
+// Schedule is a recorded thread interleaving.
+type Schedule struct {
+	runs []scheduleRun
+	pos  int
+	used uint32
+}
+
+// next returns the CPU for the next instruction, or -1 when exhausted.
+func (s *Schedule) next() int {
+	for s.pos < len(s.runs) {
+		run := s.runs[s.pos]
+		if s.used < run.n {
+			s.used++
+			return int(run.cpu)
+		}
+		s.pos++
+		s.used = 0
+	}
+	return -1
+}
+
+// Reset rewinds the schedule for another replay.
+func (s *Schedule) Reset() { s.pos, s.used = 0, 0 }
+
+// scheduleMagic heads the serialized form.
+const scheduleMagic = "SVDSCHD1"
+
+// Write serializes the schedule.
+func (s *Schedule) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, scheduleMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(s.runs))); err != nil {
+		return err
+	}
+	for _, run := range s.runs {
+		if err := binary.Write(w, binary.LittleEndian, run.cpu); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, run.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSchedule parses a serialized schedule.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	magic := make([]byte, len(scheduleMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != scheduleMagic {
+		return nil, fmt.Errorf("vm: bad schedule magic %q", magic)
+	}
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<30 {
+		return nil, fmt.Errorf("vm: unreasonable schedule size %d", n)
+	}
+	s := &Schedule{runs: make([]scheduleRun, n)}
+	for i := range s.runs {
+		if err := binary.Read(r, binary.LittleEndian, &s.runs[i].cpu); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &s.runs[i].n); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ReplaySchedule drives the machine with a recorded schedule instead of
+// its own scheduler, executing one instruction per schedule entry. It
+// stops when the schedule is exhausted, every CPU halts, or maxSteps is
+// reached. Replaying a schedule on a machine whose program or inputs
+// differ from the recording's is detected when the scheduled CPU has
+// already halted.
+func (m *VM) ReplaySchedule(s *Schedule, maxSteps uint64) (uint64, error) {
+	start := m.seq
+	for m.seq-start < maxSteps {
+		cpu := s.next()
+		if cpu < 0 {
+			break
+		}
+		if cpu >= len(m.cpus) {
+			return m.seq - start, fmt.Errorf("vm: schedule names cpu %d of %d", cpu, len(m.cpus))
+		}
+		if m.cpus[cpu].Halted {
+			return m.seq - start, fmt.Errorf("vm: schedule diverged: cpu %d is halted at step %d", cpu, m.seq-start)
+		}
+		m.cur = cpu
+		m.quantum = 1
+		more, err := m.Step()
+		if err != nil {
+			return m.seq - start, err
+		}
+		if !more {
+			break
+		}
+	}
+	return m.seq - start, nil
+}

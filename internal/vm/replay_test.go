@@ -1,0 +1,193 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func replayProgram() *isa.Program {
+	code := []isa.Instr{
+		isa.LI(8, 30),
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	return &isa.Program{Name: "rp", Code: code, Entries: []int64{0, 0, 0}}
+}
+
+func eventHash(m *VM) *uint64 {
+	h := new(uint64)
+	m.Attach(ObserverFunc(func(ev *Event) {
+		*h = *h*1099511628211 + uint64(ev.CPU)*31 + uint64(ev.PC)
+	}))
+	return h
+}
+
+func TestScheduleRecordReplay(t *testing.T) {
+	p := replayProgram()
+	m1, err := New(p, Config{NumCPUs: 3, Seed: 9, MaxQuantum: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &ScheduleRecorder{}
+	m1.Attach(rec)
+	h1 := eventHash(m1)
+	if _, err := m1.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	want := m1.Mem(0)
+
+	// Replay on a fresh machine with a DIFFERENT seed: the schedule, not
+	// the seed, determines the interleaving.
+	m2, err := New(p, Config{NumCPUs: 3, Seed: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := eventHash(m2)
+	ran, err := m2.ReplaySchedule(rec.Schedule(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != rec.Len() {
+		t.Errorf("replayed %d instructions, recorded %d", ran, rec.Len())
+	}
+	if m2.Mem(0) != want {
+		t.Errorf("replay final memory %d, want %d", m2.Mem(0), want)
+	}
+	if *h1 != *h2 {
+		t.Error("replay event stream diverged from the recording")
+	}
+	if rec.Runs() >= int(rec.Len()) && rec.Len() > 10 {
+		t.Errorf("run-length encoding did not compress: %d runs for %d steps", rec.Runs(), rec.Len())
+	}
+}
+
+func TestScheduleCrossModeReplay(t *testing.T) {
+	// Record under timing-first with a skewed cost model; replay on a
+	// plain interleave-mode machine.
+	p := replayProgram()
+	m1, err := New(p, Config{NumCPUs: 3, Seed: 2, Mode: TimingFirst, Cost: FixedCost{MemCost: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &ScheduleRecorder{}
+	m1.Attach(rec)
+	if _, err := m1.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	want := m1.Mem(0)
+
+	m2, err := New(p, Config{NumCPUs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.ReplaySchedule(rec.Schedule(), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Mem(0) != want {
+		t.Errorf("cross-mode replay: %d, want %d", m2.Mem(0), want)
+	}
+}
+
+func TestScheduleSerializationRoundtrip(t *testing.T) {
+	p := replayProgram()
+	m, err := New(p, Config{NumCPUs: 3, Seed: 5, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &ScheduleRecorder{}
+	m.Attach(rec)
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	want := m.Mem(0)
+
+	var buf bytes.Buffer
+	if err := rec.Schedule().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(p, Config{NumCPUs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.ReplaySchedule(sched, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Mem(0) != want {
+		t.Errorf("deserialized replay: %d, want %d", m2.Mem(0), want)
+	}
+
+	if _, err := ReadSchedule(bytes.NewReader([]byte("garbage!x"))); err == nil {
+		t.Error("garbage schedule accepted")
+	}
+}
+
+func TestScheduleReset(t *testing.T) {
+	p := replayProgram()
+	m, err := New(p, Config{NumCPUs: 3, Seed: 5, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &ScheduleRecorder{}
+	m.Attach(rec)
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	sched := rec.Schedule()
+	run := func() int64 {
+		m2, err := New(p, Config{NumCPUs: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.ReplaySchedule(sched, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		return m2.Mem(0)
+	}
+	first := run()
+	sched.Reset()
+	if second := run(); second != first {
+		t.Errorf("replay after Reset differs: %d vs %d", second, first)
+	}
+}
+
+func TestReplayDivergenceDetected(t *testing.T) {
+	p := replayProgram()
+	m, err := New(p, Config{NumCPUs: 3, Seed: 5, MaxQuantum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &ScheduleRecorder{}
+	m.Attach(rec)
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	// Replay on a machine with a different (shorter) program: the
+	// schedule outlives the halted CPUs.
+	short := &isa.Program{Name: "s", Code: []isa.Instr{isa.Halt()}, Entries: []int64{0, 0, 0}}
+	m2, err := New(short, Config{NumCPUs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.ReplaySchedule(rec.Schedule(), 1<<20); err == nil {
+		t.Error("divergent replay not detected")
+	}
+
+	// A schedule naming a CPU the machine does not have.
+	m3, err := New(p, Config{NumCPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m3.ReplaySchedule(rec.Schedule(), 1<<20); err == nil {
+		t.Error("out-of-range CPU not detected")
+	}
+}

@@ -1,0 +1,22 @@
+package vm
+
+// rngState is a splitmix64 generator. It is small enough to snapshot for
+// backward error recovery and fully determines the interleaving given the
+// seed, which is what makes executions replayable (§6.1 of the paper uses
+// Simics' initial random seed the same way).
+type rngState struct {
+	s uint64
+}
+
+func newRNG(seed uint64) rngState {
+	// Avoid the all-zero state producing a degenerate first value.
+	return rngState{s: seed + 0x9e3779b97f4a7c15}
+}
+
+func (r *rngState) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

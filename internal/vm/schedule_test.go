@@ -1,0 +1,137 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAccessors(t *testing.T) {
+	p := &isa.Program{Name: "acc", Code: []isa.Instr{isa.Nop(), isa.Halt()}, Entries: []int64{0}}
+	m, err := New(p, Config{NumCPUs: 2, MemWords: 1024, StackWords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Program() != p {
+		t.Error("Program() mismatch")
+	}
+	if m.Config().NumCPUs != 2 || m.NumCPUs() != 2 {
+		t.Error("config accessors wrong")
+	}
+	if m.Seq() != 0 {
+		t.Error("fresh Seq != 0")
+	}
+	m.SetMem(5, 42)
+	if m.Mem(5) != 42 {
+		t.Error("SetMem/Mem roundtrip failed")
+	}
+	if m.Mem(-1) != 0 || m.Mem(1<<40) != 0 {
+		t.Error("out-of-range Mem not zero")
+	}
+	m.SetMem(-1, 7) // must not panic
+	m.SetMem(1<<40, 7)
+	r := m.MemRange(4, 3)
+	if len(r) != 3 || r[1] != 42 {
+		t.Errorf("MemRange = %v", r)
+	}
+}
+
+func TestRunToScheduleBoundaryStopsAtYield(t *testing.T) {
+	// Two CPUs, each: nop*4, yield, nop*4, halt. In serialize mode the
+	// boundary runner must stop exactly after the running CPU's yield
+	// once minSteps is reached.
+	code := []isa.Instr{
+		isa.Nop(), isa.Nop(), isa.Nop(), isa.Nop(),
+		isa.Yield(),
+		isa.Nop(), isa.Nop(), isa.Nop(), isa.Nop(),
+		isa.Halt(),
+	}
+	p := &isa.Program{Name: "b", Code: code, Entries: []int64{0, 0}}
+	m, err := New(p, Config{NumCPUs: 2, Mode: Serialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := m.RunToScheduleBoundary(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least minSteps, and the last executed instruction ended a
+	// quantum (the yield at pc 4 -> 5 instructions).
+	if ran != 5 {
+		t.Errorf("ran %d instructions, want 5 (through the yield)", ran)
+	}
+}
+
+func TestRunToScheduleBoundaryHardCap(t *testing.T) {
+	// An infinite loop with no yields: the hard cap must stop the run.
+	code := []isa.Instr{isa.Jmp(0)}
+	p := &isa.Program{Name: "inf", Code: code, Entries: []int64{0}}
+	m, err := New(p, Config{NumCPUs: 1, Mode: Serialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := m.RunToScheduleBoundary(10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 50 {
+		t.Errorf("ran %d instructions, want the 50-step cap", ran)
+	}
+}
+
+func TestRunToScheduleBoundaryCapBelowMin(t *testing.T) {
+	code := []isa.Instr{isa.Jmp(0)}
+	p := &isa.Program{Name: "inf", Code: code, Entries: []int64{0}}
+	m, err := New(p, Config{NumCPUs: 1, Mode: Serialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := m.RunToScheduleBoundary(30, 10) // max < min: clamped up
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 30 {
+		t.Errorf("ran %d, want 30 (max clamped to min)", ran)
+	}
+}
+
+func TestSkewSerialOrder(t *testing.T) {
+	// Three CPUs each write their id once and halt; serialized order
+	// rotated by SkewSerialOrder changes who goes first.
+	code := []isa.Instr{
+		isa.Store(isa.RegTID, isa.RegZero, 0),
+		isa.Halt(),
+	}
+	p := &isa.Program{Name: "skew", Code: code, Entries: []int64{0, 0, 0}}
+	first := func(skew int) int64 {
+		m, err := New(p, Config{NumCPUs: 3, Mode: Serialize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SkewSerialOrder(skew)
+		var firstCPU int64 = -1
+		m.Attach(ObserverFunc(func(ev *Event) {
+			if firstCPU < 0 {
+				firstCPU = int64(ev.CPU)
+			}
+		}))
+		if _, err := m.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return firstCPU
+	}
+	seen := map[int64]bool{}
+	for k := 0; k < 3; k++ {
+		seen[first(k)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("rotating the serial order reached %d distinct first CPUs, want 3", len(seen))
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{CPU: 1, PC: 2, Seq: 3, Why: "boom", Code: isa.Nop()}
+	if f.Error() == "" {
+		t.Error("empty fault string")
+	}
+}

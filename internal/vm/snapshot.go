@@ -1,0 +1,56 @@
+package vm
+
+// Snapshot is a full copy of a machine's architectural and scheduling state.
+// Restoring a snapshot and re-running produces the same execution the
+// original machine would have produced (observers excepted), which is the
+// substrate for backward error recovery: package ber checkpoints the
+// machine periodically and rolls back when the detector reports a
+// serializability violation.
+// Cost-model state (a cache hierarchy, say) is external to the machine and
+// is NOT captured; backward error recovery under TimingFirst should use a
+// stateless cost model.
+type Snapshot struct {
+	Mem     []int64
+	CPUs    []CPUState
+	RNG     uint64
+	Seq     uint64
+	Running int
+	Cur     int
+	Quantum int
+	Cycles  []uint64
+	Mode    ScheduleMode
+}
+
+// Snapshot captures the machine state.
+func (m *VM) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Mem:     make([]int64, len(m.mem)),
+		CPUs:    make([]CPUState, len(m.cpus)),
+		RNG:     m.rng.s,
+		Seq:     m.seq,
+		Running: m.running,
+		Cur:     m.cur,
+		Quantum: m.quantum,
+		Cycles:  make([]uint64, len(m.cycles)),
+		Mode:    m.cfg.Mode,
+	}
+	copy(s.Mem, m.mem)
+	copy(s.CPUs, m.cpus)
+	copy(s.Cycles, m.cycles)
+	return s
+}
+
+// Restore rewinds the machine to a previously captured snapshot. Observers
+// stay attached; callers that also track state (detectors) must reset
+// themselves.
+func (m *VM) Restore(s *Snapshot) {
+	copy(m.mem, s.Mem)
+	copy(m.cpus, s.CPUs)
+	copy(m.cycles, s.Cycles)
+	m.rng.s = s.RNG
+	m.seq = s.Seq
+	m.running = s.Running
+	m.cur = s.Cur
+	m.quantum = s.Quantum
+	m.cfg.Mode = s.Mode
+}

@@ -1,0 +1,149 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func timingCounter(n int) *isa.Program {
+	code := []isa.Instr{
+		isa.LI(8, 50),
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	return &isa.Program{Name: "tcount", Code: code, Entries: make([]int64, n)}
+}
+
+func TestTimingFirstDeterministic(t *testing.T) {
+	run := func() (uint64, int64) {
+		m, err := New(timingCounter(3), Config{NumCPUs: 3, Seed: 4, Mode: TimingFirst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h uint64
+		m.Attach(ObserverFunc(func(ev *Event) { h = h*1099511628211 + uint64(ev.CPU) }))
+		if _, err := m.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		return h, m.Mem(0)
+	}
+	h1, v1 := run()
+	h2, v2 := run()
+	if h1 != h2 || v1 != v2 {
+		t.Error("timing-first mode not deterministic")
+	}
+}
+
+func TestTimingFirstInterleavesFairly(t *testing.T) {
+	m, err := New(timingCounter(2), Config{NumCPUs: 2, Seed: 1, Mode: TimingFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	switches := 0
+	last := -1
+	m.Attach(ObserverFunc(func(ev *Event) {
+		counts[ev.CPU]++
+		if ev.CPU != last {
+			switches++
+			last = ev.CPU
+		}
+	}))
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("one CPU starved: %v", counts)
+	}
+	// Equal virtual speeds: the CPUs must alternate frequently, not run
+	// in long random bursts.
+	if switches < 50 {
+		t.Errorf("only %d CPU switches; timing-first should interleave finely", switches)
+	}
+	if m.Cycles(0) == 0 || m.Cycles(1) == 0 {
+		t.Error("cycle clocks did not advance")
+	}
+}
+
+func TestTimingFirstCostModelSkew(t *testing.T) {
+	// CPU 0's memory accesses are expensive (a miss-heavy cost model
+	// would do this); it should fall behind and execute fewer
+	// instructions per unit of the other's progress.
+	skew := costFunc(func(ev *Event) uint64 {
+		if ev.CPU == 0 && ev.Instr.Op.IsMem() {
+			return 50
+		}
+		return 1
+	})
+	m, err := New(timingCounter(2), Config{NumCPUs: 2, Seed: 2, Mode: TimingFirst, Cost: skew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := map[int]int{}
+	m.Attach(ObserverFunc(func(ev *Event) {
+		progress[ev.CPU]++
+		if progress[1] == 100 {
+			// When the fast CPU has run 100 instructions, the slow one
+			// must be well behind.
+			if progress[0] > 60 {
+				t.Errorf("slow CPU ran %d instructions alongside 100 fast ones", progress[0])
+			}
+		}
+	}))
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles(0) < m.Cycles(1) {
+		t.Errorf("slow CPU finished with fewer cycles: %d vs %d", m.Cycles(0), m.Cycles(1))
+	}
+}
+
+func TestTimingFirstSnapshotRestore(t *testing.T) {
+	m, err := New(timingCounter(2), Config{NumCPUs: 2, Seed: 7, Mode: TimingFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	c0 := m.Cycles(0)
+	if _, err := m.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	final := m.Mem(0)
+	m.Restore(snap)
+	if m.Cycles(0) != c0 {
+		t.Error("cycle clocks not restored")
+	}
+	if _, err := m.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem(0) != final {
+		t.Errorf("timing-first replay after restore diverged: %d vs %d", m.Mem(0), final)
+	}
+}
+
+func TestFixedCost(t *testing.T) {
+	ld := Event{Instr: isa.Load(8, 0, 0)}
+	alu := Event{Instr: isa.Addi(8, 8, 1)}
+	if got := (FixedCost{}).Cost(&ld); got != 3 {
+		t.Errorf("default mem cost = %d, want 3", got)
+	}
+	if got := (FixedCost{MemCost: 9}).Cost(&ld); got != 9 {
+		t.Errorf("mem cost = %d, want 9", got)
+	}
+	if got := (FixedCost{}).Cost(&alu); got != 1 {
+		t.Errorf("alu cost = %d, want 1", got)
+	}
+}
+
+// costFunc adapts a function to CostModel.
+type costFunc func(ev *Event) uint64
+
+func (f costFunc) Cost(ev *Event) uint64 { return f(ev) }

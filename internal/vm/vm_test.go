@@ -1,0 +1,502 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func prog(entries []int64, code ...isa.Instr) *isa.Program {
+	return &isa.Program{Name: "test", Code: code, Entries: entries}
+}
+
+func run(t *testing.T, p *isa.Program, cfg Config) *VM {
+	t.Helper()
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("machine did not halt")
+	}
+	return m
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b int64
+		want int64
+	}{
+		{isa.OpAdd, 7, 5, 12},
+		{isa.OpSub, 7, 5, 2},
+		{isa.OpMul, 7, 5, 35},
+		{isa.OpDiv, 17, 5, 3},
+		{isa.OpMod, 17, 5, 2},
+		{isa.OpAnd, 0b1100, 0b1010, 0b1000},
+		{isa.OpOr, 0b1100, 0b1010, 0b1110},
+		{isa.OpXor, 0b1100, 0b1010, 0b0110},
+		{isa.OpShl, 3, 4, 48},
+		{isa.OpShr, 48, 4, 3},
+		{isa.OpSlt, 3, 4, 1},
+		{isa.OpSlt, 4, 3, 0},
+		{isa.OpSle, 4, 4, 1},
+		{isa.OpSeq, 4, 4, 1},
+		{isa.OpSne, 4, 4, 0},
+		{isa.OpDiv, -17, 5, -3},
+		{isa.OpMod, -17, 5, -2},
+	}
+	for _, c := range cases {
+		p := prog([]int64{0},
+			isa.LI(8, c.a),
+			isa.LI(9, c.b),
+			isa.ALU(c.op, 10, 8, 9),
+			isa.Store(10, isa.RegZero, 0),
+			isa.Halt(),
+		)
+		m := run(t, p, Config{NumCPUs: 1})
+		if got := m.Mem(0); got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	p := prog([]int64{0},
+		isa.LI(8, 1),
+		isa.LI(9, 65), // 65 & 63 == 1
+		isa.ALU(isa.OpShl, 10, 8, 9),
+		isa.Store(10, isa.RegZero, 0),
+		isa.Halt(),
+	)
+	m := run(t, p, Config{NumCPUs: 1})
+	if got := m.Mem(0); got != 2 {
+		t.Errorf("1 << 65 = %d, want 2 (shift masked to 6 bits)", got)
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	p := prog([]int64{0},
+		isa.LI(isa.RegZero, 99),
+		isa.Store(isa.RegZero, isa.RegZero, 0),
+		isa.Halt(),
+	)
+	m := run(t, p, Config{NumCPUs: 1})
+	if got := m.Mem(0); got != 0 {
+		t.Errorf("r0 = %d after write, want 0", got)
+	}
+}
+
+func TestLoadStoreAddi(t *testing.T) {
+	p := prog([]int64{0},
+		isa.LI(8, 11),
+		isa.Store(8, isa.RegZero, 5), // mem[5] = 11
+		isa.LI(9, 3),
+		isa.Load(10, 9, 2), // r10 = mem[3+2] = 11
+		isa.Addi(10, 10, 4),
+		isa.Store(10, isa.RegZero, 6), // mem[6] = 15
+		isa.Halt(),
+	)
+	m := run(t, p, Config{NumCPUs: 1})
+	if got := m.Mem(6); got != 15 {
+		t.Errorf("mem[6] = %d, want 15", got)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop; result at mem[0].
+	p := prog([]int64{0},
+		isa.LI(8, 0),  // sum
+		isa.LI(9, 10), // i
+		// loop:
+		isa.ALU(isa.OpAdd, 8, 8, 9), // 2
+		isa.Addi(9, 9, -1),
+		isa.Bnez(9, 2),
+		isa.Store(8, isa.RegZero, 0),
+		isa.Halt(),
+	)
+	m := run(t, p, Config{NumCPUs: 1})
+	if got := m.Mem(0); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	// main: r4 = 5; call double; store r4 -> mem[0]; halt
+	// double: r4 = r4*2; ret
+	p := prog([]int64{0},
+		isa.LI(isa.RegA0, 5),
+		isa.Jal(isa.RegRA, 5),
+		isa.Store(isa.RegA0, isa.RegZero, 0),
+		isa.Halt(),
+		isa.Nop(),
+		// double at pc 5:
+		isa.ALU(isa.OpAdd, isa.RegA0, isa.RegA0, isa.RegA0),
+		isa.Jr(isa.RegRA),
+	)
+	m := run(t, p, Config{NumCPUs: 1})
+	if got := m.Mem(0); got != 10 {
+		t.Errorf("double(5) = %d, want 10", got)
+	}
+}
+
+func TestCasSemantics(t *testing.T) {
+	p := prog([]int64{0},
+		isa.LI(8, 5),          // addr
+		isa.LI(9, 0),          // expected
+		isa.LI(10, 7),         // new
+		isa.Cas(11, 8, 9, 10), // succeeds: mem[5] 0 -> 7
+		isa.Store(11, isa.RegZero, 0),
+		isa.Cas(12, 8, 9, 10), // fails: mem[5] == 7 != 0
+		isa.Store(12, isa.RegZero, 1),
+		isa.Halt(),
+	)
+	m := run(t, p, Config{NumCPUs: 1})
+	if m.Mem(5) != 7 {
+		t.Errorf("mem[5] = %d, want 7", m.Mem(5))
+	}
+	if m.Mem(0) != 1 || m.Mem(1) != 0 {
+		t.Errorf("cas results = %d,%d, want 1,0", m.Mem(0), m.Mem(1))
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		code []isa.Instr
+	}{
+		{"div0", []isa.Instr{isa.LI(8, 1), isa.ALU(isa.OpDiv, 9, 8, isa.RegZero), isa.Halt()}},
+		{"mod0", []isa.Instr{isa.LI(8, 1), isa.ALU(isa.OpMod, 9, 8, isa.RegZero), isa.Halt()}},
+		{"badload", []isa.Instr{isa.LI(8, -3), isa.Load(9, 8, 0), isa.Halt()}},
+		{"badstore", []isa.Instr{isa.LI(8, 1<<40), isa.Store(9, 8, 0), isa.Halt()}},
+		{"badjr", []isa.Instr{isa.LI(8, 999), isa.Jr(8), isa.Halt()}},
+		{"badcas", []isa.Instr{isa.LI(8, -1), isa.Cas(9, 8, 10, 11), isa.Halt()}},
+	}
+	for _, c := range cases {
+		m, err := New(prog([]int64{0}, c.code...), Config{NumCPUs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = m.Run(100)
+		var f *Fault
+		if !errors.As(err, &f) {
+			t.Errorf("%s: want Fault, got %v", c.name, err)
+			continue
+		}
+		if f.CPU != 0 || f.Error() == "" {
+			t.Errorf("%s: malformed fault %+v", c.name, f)
+		}
+	}
+}
+
+func TestDataImageAndEntries(t *testing.T) {
+	p := &isa.Program{
+		Name: "data",
+		Code: []isa.Instr{
+			isa.Load(8, isa.RegZero, 100),
+			isa.Addi(8, 8, 1),
+			isa.Store(8, isa.RegZero, 101),
+			isa.Halt(),
+		},
+		Data:     []int64{41},
+		DataBase: 100,
+		Entries:  []int64{0},
+	}
+	m := run(t, p, Config{NumCPUs: 1})
+	if got := m.Mem(101); got != 42 {
+		t.Errorf("mem[101] = %d, want 42", got)
+	}
+}
+
+func TestCPUsWithoutEntriesHalt(t *testing.T) {
+	p := prog([]int64{0}, isa.Halt())
+	m := run(t, p, Config{NumCPUs: 4})
+	for i := 1; i < 4; i++ {
+		if !m.CPU(i).Halted {
+			t.Errorf("cpu %d not halted at boot", i)
+		}
+	}
+}
+
+func TestSPAndTIDInitialized(t *testing.T) {
+	p := prog([]int64{0, 0},
+		// mem[tid] = sp
+		isa.Store(isa.RegSP, isa.RegTID, 0),
+		isa.Halt(),
+	)
+	cfg := Config{NumCPUs: 2, MemWords: 4096, StackWords: 256}
+	m := run(t, p, cfg)
+	if got := m.Mem(0); got != 4096 {
+		t.Errorf("cpu0 sp = %d, want 4096", got)
+	}
+	if got := m.Mem(1); got != 4096-256 {
+		t.Errorf("cpu1 sp = %d, want %d", got, 4096-256)
+	}
+}
+
+// TestDeterministicReplay is the load-bearing property for the whole
+// reproduction: the same seed must produce the same interleaving.
+func TestDeterministicReplay(t *testing.T) {
+	p := counterProgram(4)
+	runOnce := func(seed uint64) []uint64 {
+		m, err := New(p, Config{NumCPUs: 4, Seed: seed, MaxQuantum: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []uint64
+		m.Attach(ObserverFunc(func(ev *Event) {
+			order = append(order, uint64(ev.CPU)<<32|uint64(ev.PC))
+		}))
+		if _, err := m.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := runOnce(7), runOnce(7)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at step %d", i)
+		}
+	}
+	c := runOnce(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical interleavings (suspicious)")
+	}
+}
+
+// counterProgram returns a program in which n CPUs each perform 100 racy
+// increments of mem[0] (load, add, store with interleaving windows).
+func counterProgram(n int) *isa.Program {
+	code := []isa.Instr{
+		isa.LI(8, 100),
+		// loop at 1:
+		isa.Load(9, isa.RegZero, 0),
+		isa.Addi(9, 9, 1),
+		isa.Store(9, isa.RegZero, 0),
+		isa.Addi(8, 8, -1),
+		isa.Bnez(8, 1),
+		isa.Halt(),
+	}
+	entries := make([]int64, n)
+	return &isa.Program{Name: "counter", Code: code, Entries: entries}
+}
+
+func TestInterleavingLosesUpdates(t *testing.T) {
+	// With instruction-level interleaving, racy increments must lose
+	// updates for at least some seed — this validates that the scheduler
+	// really interleaves within the load/store window.
+	lost := false
+	for seed := uint64(0); seed < 10; seed++ {
+		m, err := New(counterProgram(4), Config{NumCPUs: 4, Seed: seed, MaxQuantum: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		if m.Mem(0) < 400 {
+			lost = true
+			break
+		}
+	}
+	if !lost {
+		t.Error("no seed lost updates; scheduler may not interleave")
+	}
+}
+
+func TestSerializeModeRoundRobin(t *testing.T) {
+	m, err := New(counterProgram(4), Config{NumCPUs: 4, Mode: Serialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switches := 0
+	last := -1
+	m.Attach(ObserverFunc(func(ev *Event) {
+		if ev.CPU != last {
+			switches++
+			last = ev.CPU
+		}
+	}))
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if switches != 4 {
+		t.Errorf("serialized run had %d CPU switches, want 4", switches)
+	}
+	if got := m.Mem(0); got != 400 {
+		t.Errorf("serialized racy counter = %d, want 400 (no lost updates)", got)
+	}
+}
+
+func TestYieldEndsQuantum(t *testing.T) {
+	code := []isa.Instr{
+		isa.Yield(),
+		isa.Store(isa.RegTID, isa.RegTID, 100),
+		isa.Halt(),
+	}
+	p := &isa.Program{Name: "y", Code: code, Entries: []int64{0, 0}}
+	m := run(t, p, Config{NumCPUs: 2, MemWords: 4096, StackWords: 16})
+	if m.Mem(100) != 0 || m.Mem(101) != 1 {
+		t.Errorf("yield program wrote %d,%d", m.Mem(100), m.Mem(101))
+	}
+}
+
+func TestSnapshotRestoreReplaysIdentically(t *testing.T) {
+	p := counterProgram(3)
+	m, err := New(p, Config{NumCPUs: 3, Seed: 11, MaxQuantum: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+
+	var first []int64
+	m.Attach(ObserverFunc(func(ev *Event) { first = append(first, int64(ev.CPU)<<32|ev.PC) }))
+	if _, err := m.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	finalMem := m.Mem(0)
+
+	m.DetachAll()
+	m.Restore(snap)
+	var second []int64
+	m.Attach(ObserverFunc(func(ev *Event) { second = append(second, int64(ev.CPU)<<32|ev.PC) }))
+	if _, err := m.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("replay after restore differs in length: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay after restore diverges at %d", i)
+		}
+	}
+	if m.Mem(0) != finalMem {
+		t.Errorf("memory after restored replay = %d, want %d", m.Mem(0), finalMem)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	m, err := New(counterProgram(1), Config{NumCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Mem[0] != 0 {
+		t.Error("snapshot memory aliases live memory")
+	}
+	m.Restore(snap)
+	if m.Mem(0) != 0 || m.Done() {
+		t.Error("restore did not rewind state")
+	}
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem(0) != 100 {
+		t.Errorf("rerun after restore = %d, want 100", m.Mem(0))
+	}
+}
+
+func TestEventFields(t *testing.T) {
+	p := prog([]int64{0},
+		isa.LI(8, 3),
+		isa.Store(8, isa.RegZero, 7),
+		isa.Load(9, isa.RegZero, 7),
+		isa.Beqz(isa.RegZero, 5),
+		isa.Halt(), // skipped
+		isa.Halt(),
+	)
+	m, err := New(p, Config{NumCPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	m.Attach(ObserverFunc(func(ev *Event) { evs = append(evs, *ev) }))
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	st := evs[1]
+	if !st.IsStore || st.IsLoad || st.Addr != 7 || st.Stored != 3 {
+		t.Errorf("store event wrong: %+v", st)
+	}
+	ld := evs[2]
+	if !ld.IsLoad || ld.IsStore || ld.Addr != 7 || ld.Loaded != 3 {
+		t.Errorf("load event wrong: %+v", ld)
+	}
+	br := evs[3]
+	if !br.Taken {
+		t.Errorf("taken branch not marked: %+v", br)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := prog([]int64{0}, isa.Halt())
+	if _, err := New(p, Config{NumCPUs: 4, MemWords: 64, StackWords: 32}); err == nil {
+		t.Error("stacks exceeding memory accepted")
+	}
+	big := &isa.Program{
+		Name: "big", Code: []isa.Instr{isa.Halt()},
+		Data: make([]int64, 100), DataBase: 0, Entries: []int64{0},
+	}
+	if _, err := New(big, Config{NumCPUs: 2, MemWords: 128, StackWords: 32}); err == nil {
+		t.Error("data colliding with stacks accepted")
+	}
+}
+
+// TestReplayQuick property-tests determinism across random seeds.
+func TestReplayQuick(t *testing.T) {
+	p := counterProgram(3)
+	f := func(seed uint64) bool {
+		sum := func() (uint64, int64) {
+			m, err := New(p, Config{NumCPUs: 3, Seed: seed, MaxQuantum: 5})
+			if err != nil {
+				return 0, 0
+			}
+			var h uint64
+			m.Attach(ObserverFunc(func(ev *Event) {
+				h = h*1099511628211 + uint64(ev.CPU)*31 + uint64(ev.PC)
+			}))
+			if _, err := m.Run(1 << 20); err != nil {
+				return 0, 0
+			}
+			return h, m.Mem(0)
+		}
+		h1, m1 := sum()
+		h2, m2 := sum()
+		return h1 == h2 && m1 == m2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

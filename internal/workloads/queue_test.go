@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/svd"
+)
+
+func TestQueueFixedConsistent(t *testing.T) {
+	w := QueueWork(QueueConfig{Producers: 2, Consumers: 2, Items: 40, Seed: 1})
+	for seed := uint64(0); seed < 4; seed++ {
+		m, err := w.NewVM(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := svd.New(w.Prog, w.NumThreads, svd.Options{})
+		m.Attach(d)
+		if _, err := m.Run(1 << 24); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Done() {
+			t.Fatalf("seed %d: fixed queue did not finish", seed)
+		}
+		if bad, detail := w.Check(m); bad {
+			t.Errorf("seed %d: fixed queue corrupted: %s", seed, detail)
+		}
+	}
+}
+
+func TestQueueBuggyCorruptsAndIsDetected(t *testing.T) {
+	w := QueueWork(QueueConfig{Producers: 2, Consumers: 2, Items: 40, Buggy: true, Seed: 1})
+	var corrupted, detected bool
+	for seed := uint64(0); seed < 8; seed++ {
+		m, err := w.NewVM(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := svd.New(w.Prog, w.NumThreads, svd.Options{})
+		m.Attach(d)
+		if _, err := m.Run(1 << 24); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Done() {
+			t.Fatalf("seed %d: buggy queue did not finish", seed)
+		}
+		bad, _ := w.Check(m)
+		if !bad {
+			continue
+		}
+		corrupted = true
+		for _, s := range d.Sites() {
+			if w.BugPCs[s.StorePC] || w.BugPCs[s.First.ConflictPC] {
+				detected = true
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("buggy queue never corrupted across seeds")
+	}
+	if !detected {
+		t.Error("SVD never flagged the queue bug's program points")
+	}
+}
+
+// TestQueueAddressDependenceMatters is the §5.1 claim: the producer's two
+// field stores are related to the region only through their address
+// dependence on the index, so disabling address dependences must lose
+// detections at the field-store sites.
+func TestQueueAddressDependenceMatters(t *testing.T) {
+	w := QueueWork(QueueConfig{Producers: 3, Consumers: 2, Items: 60, Buggy: true, Seed: 2})
+	fieldLines := map[int64]bool{}
+	for pc := range pcsForLines(w.Prog, w.Name, []int{
+		lineOf(w.Source, "fielda[slot] = ina[tid"),
+		lineOf(w.Source, "fieldb[slot] = inb[tid"),
+		lineOf(w.Source, "v = fielda[slot];"),
+		lineOf(w.Source, "w = fieldb[slot];"),
+	}) {
+		fieldLines[pc] = true
+	}
+
+	countFieldReports := func(opts svd.Options) uint64 {
+		var n uint64
+		for seed := uint64(0); seed < 6; seed++ {
+			m, err := w.NewVM(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := svd.New(w.Prog, w.NumThreads, opts)
+			m.Attach(d)
+			if _, err := m.Run(1 << 24); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range d.Sites() {
+				if fieldLines[s.StorePC] {
+					n += s.Count
+				}
+			}
+		}
+		return n
+	}
+
+	withAddr := countFieldReports(svd.Options{})
+	withoutAddr := countFieldReports(svd.Options{NoAddressDeps: true})
+	if withAddr == 0 {
+		t.Fatal("no field-store detections even with address dependences")
+	}
+	if withoutAddr >= withAddr {
+		t.Errorf("address dependences made no difference: %d vs %d", withAddr, withoutAddr)
+	}
+	t.Logf("field-store detections: with addr deps %d, without %d", withAddr, withoutAddr)
+}

@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry returns the named workload constructors at a given work scale,
+// for command-line tools. Scale 1 is a quick run.
+func Registry(scale int, seed uint64) map[string]func() *Workload {
+	if scale <= 0 {
+		scale = 1
+	}
+	return map[string]func() *Workload{
+		"apache-buggy": func() *Workload {
+			return ApacheLog(ApacheConfig{Threads: 4, Requests: 64 * scale, Buggy: true, Seed: seed})
+		},
+		"apache-fixed": func() *Workload {
+			return ApacheLog(ApacheConfig{Threads: 4, Requests: 64 * scale, Buggy: false, Seed: seed})
+		},
+		"mysql-tables": func() *Workload {
+			return MySQLTables(MySQLTablesConfig{Lockers: 3, Ops: 80 * scale})
+		},
+		"mysql-prepared-buggy": func() *Workload {
+			return MySQLPrepared(MySQLPreparedConfig{Threads: 4, Queries: 48 * scale, Buggy: true, Seed: seed})
+		},
+		"mysql-prepared-fixed": func() *Workload {
+			return MySQLPrepared(MySQLPreparedConfig{Threads: 4, Queries: 48 * scale, Buggy: false, Seed: seed})
+		},
+		"pgsql-oltp": func() *Workload {
+			return PgSQLOLTP(PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 128 * scale, Seed: seed})
+		},
+		"queue-buggy": func() *Workload {
+			return QueueWork(QueueConfig{Producers: 2, Consumers: 2, Items: 48 * scale, Buggy: true, Seed: seed})
+		},
+		"queue-fixed": func() *Workload {
+			return QueueWork(QueueConfig{Producers: 2, Consumers: 2, Items: 48 * scale, Buggy: false, Seed: seed})
+		},
+	}
+}
+
+// Names returns the registry's workload names, sorted.
+func Names() []string {
+	reg := Registry(1, 0)
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName builds a registered workload.
+func ByName(name string, scale int, seed uint64) (*Workload, error) {
+	ctor, ok := Registry(scale, seed)[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}

@@ -1,0 +1,133 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestRegistryNamesStable(t *testing.T) {
+	names := Names()
+	want := []string{
+		"apache-buggy", "apache-fixed", "mysql-prepared-buggy",
+		"mysql-prepared-fixed", "mysql-tables", "pgsql-oltp",
+		"queue-buggy", "queue-fixed",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("apache-buggy", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Buggy || w.NumThreads != 4 {
+		t.Errorf("workload = %+v", w)
+	}
+	if _, err := ByName("nope", 1, 0); err == nil {
+		t.Error("unknown name accepted")
+	}
+	// Scale 0 defaults to 1.
+	if _, err := ByName("pgsql-oltp", 0, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	// Zero-value configs must produce runnable workloads.
+	for _, w := range []*Workload{
+		ApacheLog(ApacheConfig{}),
+		MySQLTables(MySQLTablesConfig{}),
+		MySQLPrepared(MySQLPreparedConfig{}),
+		PgSQLOLTP(PgSQLConfig{}),
+	} {
+		m, err := w.NewVM(1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if _, err := m.Run(1 << 26); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if !m.Done() {
+			t.Errorf("%s with default config did not finish", w.Name)
+		}
+	}
+}
+
+func TestApacheMaxLenClamped(t *testing.T) {
+	w := ApacheLog(ApacheConfig{BufWords: 8, MaxLen: 100, Threads: 2, Requests: 4})
+	m, err := w.NewVM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1 << 22); err != nil {
+		t.Fatalf("oversized records overflow the buffer: %v", err)
+	}
+}
+
+func TestReoptimizedPreservesBehavior(t *testing.T) {
+	w := ApacheLog(ApacheConfig{Threads: 3, Requests: 16, Buggy: false, Seed: 3})
+	o := w.Reoptimized()
+	if !strings.HasSuffix(o.Name, "-opt") {
+		t.Errorf("name = %q", o.Name)
+	}
+	if len(o.Prog.Code) >= len(w.Prog.Code) {
+		t.Errorf("optimized code (%d) not smaller than plain (%d)", len(o.Prog.Code), len(w.Prog.Code))
+	}
+	if o.BugPCs != nil {
+		t.Error("BugPCs must be cleared on reoptimized copies")
+	}
+	for _, wl := range []*Workload{w, o} {
+		m, err := wl.NewVM(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1 << 24); err != nil {
+			t.Fatal(err)
+		}
+		if bad, detail := wl.Check(m); bad {
+			t.Errorf("%s corrupted: %s", wl.Name, detail)
+		}
+	}
+}
+
+func TestNewVMWithModes(t *testing.T) {
+	w := MySQLTables(MySQLTablesConfig{Lockers: 2, Ops: 20})
+	for _, mode := range []vm.ScheduleMode{vm.Interleave, vm.Serialize, vm.TimingFirst} {
+		m, err := w.NewVMWith(1, mode, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1 << 22); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if !m.Done() {
+			t.Errorf("mode %d did not finish", mode)
+		}
+		if bad, detail := w.Check(m); bad {
+			t.Errorf("mode %d corrupted: %s", mode, detail)
+		}
+	}
+}
+
+func TestPokeArrayUnknownSymbolPanics(t *testing.T) {
+	w := MySQLTables(MySQLTablesConfig{})
+	m, err := w.NewVM(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("pokeArray accepted an unknown symbol")
+		}
+	}()
+	pokeArray(m, "does-not-exist", []int64{1})
+}

@@ -1,0 +1,99 @@
+package workloads
+
+// SURGE-like request-size generation. The paper drives Apache with SURGE
+// [Barford & Crovella 1998], whose defining property is a heavy-tailed
+// (Pareto) object-size distribution: most requests are small, a few are
+// very large. The detectors only care about the resulting log-record
+// length distribution, so a bounded discrete Pareto reproduces the
+// relevant shape.
+
+// surgeGen is a deterministic generator of heavy-tailed request sizes.
+type surgeGen struct {
+	state uint64
+	max   int64
+}
+
+// newSurgeGen builds a generator of sizes in [1, max].
+func newSurgeGen(seed uint64, max int64) *surgeGen {
+	if max < 1 {
+		max = 1
+	}
+	return &surgeGen{state: seed | 1, max: max}
+}
+
+func (s *surgeGen) next() uint64 {
+	// xorshift64*.
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Size draws one request size: discrete bounded Pareto with alpha ≈ 1,
+// realized as max/k for a uniform k (inverse-CDF of the tail), clamped to
+// [1, max].
+func (s *surgeGen) Size() int64 {
+	k := int64(s.next()%uint64(s.max)) + 1
+	v := s.max / k
+	if v < 1 {
+		v = 1
+	}
+	if v > s.max {
+		v = s.max
+	}
+	return v
+}
+
+// Sizes draws n sizes.
+func (s *surgeGen) Sizes(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = s.Size()
+	}
+	return out
+}
+
+// queryGen models the paper's in-house MySQL query generator: a stream of
+// prepared SELECT queries, characterized here by how many table fields
+// each query touches.
+type queryGen struct {
+	state     uint64
+	minFields int64
+	maxFields int64
+}
+
+func newQueryGen(seed uint64, minFields, maxFields int64) *queryGen {
+	if minFields < 1 {
+		minFields = 1
+	}
+	if maxFields < minFields {
+		maxFields = minFields
+	}
+	return &queryGen{state: seed*2654435761 + 1, minFields: minFields, maxFields: maxFields}
+}
+
+func (q *queryGen) next() uint64 {
+	x := q.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	q.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Fields draws the number of fields used by the next query.
+func (q *queryGen) Fields() int64 {
+	span := uint64(q.maxFields - q.minFields + 1)
+	return q.minFields + int64(q.next()%span)
+}
+
+// FieldCounts draws n queries' field counts.
+func (q *queryGen) FieldCounts(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = q.Fields()
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/frd"
+	"repro/internal/svd"
+	"repro/internal/vm"
+)
+
+// runWith runs a workload under both detectors.
+func runWith(t *testing.T, w *Workload, seed uint64) (*vm.VM, *svd.Detector, *frd.Detector) {
+	t.Helper()
+	m, err := w.NewVM(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := svd.New(w.Prog, w.NumThreads, svd.Options{})
+	fd := frd.New(w.Prog, w.NumThreads, frd.Options{})
+	m.Attach(sd)
+	m.Attach(fd)
+	if _, err := m.Run(1 << 24); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if !m.Done() {
+		t.Fatalf("%s did not finish", w.Name)
+	}
+	return m, sd, fd
+}
+
+// hitsBug reports whether any SVD violation lands on a bug PC.
+func hitsBug(w *Workload, sd *svd.Detector) bool {
+	for _, s := range sd.Sites() {
+		if w.BugPCs[s.StorePC] {
+			return true
+		}
+	}
+	return false
+}
+
+// logHitsBug reports whether any a posteriori log triple touches a bug PC.
+func logHitsBug(w *Workload, sd *svd.Detector) bool {
+	for _, e := range sd.Log() {
+		if w.BugPCs[e.ReadPC] || w.BugPCs[e.RemoteWritePC] || w.BugPCs[e.LocalWritePC] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestApacheBuggyDetected(t *testing.T) {
+	w := ApacheLog(ApacheConfig{Threads: 4, Requests: 48, Buggy: true, Seed: 1})
+	if len(w.BugPCs) == 0 {
+		t.Fatal("no bug PCs for the buggy workload")
+	}
+	var corrupted, detected bool
+	for seed := uint64(0); seed < 6; seed++ {
+		m, sd, fd := runWith(t, w, seed)
+		bad, detail := w.Check(m)
+		if bad {
+			corrupted = true
+			t.Logf("seed %d: %s; svd violations=%d", seed, detail, sd.Stats().Violations)
+			if hitsBug(w, sd) {
+				detected = true
+			}
+			if fd.Stats().Races == 0 {
+				t.Errorf("seed %d: corrupted run with no FRD races", seed)
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("the apache bug never manifested across seeds")
+	}
+	if !detected {
+		t.Error("SVD never flagged the apache bug's PCs on a corrupted run")
+	}
+}
+
+func TestApacheFixedClean(t *testing.T) {
+	w := ApacheLog(ApacheConfig{Threads: 4, Requests: 48, Buggy: false, Seed: 1})
+	for seed := uint64(0); seed < 4; seed++ {
+		m, _, fd := runWith(t, w, seed)
+		if bad, detail := w.Check(m); bad {
+			t.Errorf("seed %d: fixed apache corrupted: %s", seed, detail)
+		}
+		if n := fd.Stats().Races; n != 0 {
+			for _, r := range fd.Races()[:min(len(fd.Races()), 3)] {
+				t.Logf("race: %s", r)
+			}
+			t.Errorf("seed %d: fixed apache has %d FRD races", seed, n)
+		}
+	}
+}
+
+// TestMySQLTablesBenign is Figure 1's claim: FRD reports the benign race,
+// SVD stays silent.
+func TestMySQLTablesBenign(t *testing.T) {
+	w := MySQLTables(MySQLTablesConfig{Lockers: 3, Ops: 80})
+	var frdRaces uint64
+	for seed := uint64(0); seed < 4; seed++ {
+		m, sd, fd := runWith(t, w, seed)
+		if bad, detail := w.Check(m); bad {
+			t.Fatalf("seed %d: benign workload corrupted: %s", seed, detail)
+		}
+		if n := sd.Stats().Violations; n != 0 {
+			for _, v := range sd.Violations()[:min(len(sd.Violations()), 3)] {
+				t.Logf("violation: %s", v)
+			}
+			t.Errorf("seed %d: SVD reported %d violations on the benign race", seed, n)
+		}
+		frdRaces += fd.Stats().Races
+	}
+	if frdRaces == 0 {
+		t.Error("FRD never saw the benign race (workload not racing)")
+	}
+}
+
+// TestMySQLPreparedBuggy is Figure 3's claim: the bug manifests, SVD's a
+// posteriori log captures it.
+func TestMySQLPreparedBuggy(t *testing.T) {
+	w := MySQLPrepared(MySQLPreparedConfig{Threads: 4, Queries: 48, Buggy: true, Seed: 2})
+	var corrupted, logged, raced bool
+	for seed := uint64(0); seed < 6; seed++ {
+		m, sd, fd := runWith(t, w, seed)
+		if bad, _ := w.Check(m); bad {
+			corrupted = true
+			if logHitsBug(w, sd) {
+				logged = true
+			}
+			for _, s := range fd.Sites() {
+				if w.BugPCs[s.PCLow] || w.BugPCs[s.PCHigh] {
+					raced = true
+				}
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("the prepared-query bug never manifested")
+	}
+	if !logged {
+		t.Error("a posteriori log never captured the bug's (s, rw, lw) triple")
+	}
+	if !raced {
+		t.Error("FRD never reported races on the bug lines")
+	}
+}
+
+func TestMySQLPreparedFixedClean(t *testing.T) {
+	w := MySQLPrepared(MySQLPreparedConfig{Threads: 4, Queries: 48, Buggy: false, Seed: 2})
+	for seed := uint64(0); seed < 3; seed++ {
+		m, sd, fd := runWith(t, w, seed)
+		if bad, detail := w.Check(m); bad {
+			t.Errorf("seed %d: fixed variant corrupted: %s", seed, detail)
+		}
+		if n := fd.Stats().Races; n != 0 {
+			t.Errorf("seed %d: fixed variant has %d races", seed, n)
+		}
+		if n := sd.Stats().Violations; n != 0 {
+			t.Errorf("seed %d: fixed variant has %d SVD violations", seed, n)
+		}
+	}
+}
+
+// TestPgSQLRaceFreeButSVDFPs is the Table 2 inversion: a mature race-free
+// server where FRD is silent and SVD reports a (low) false-positive rate.
+func TestPgSQLRaceFreeButSVDFPs(t *testing.T) {
+	w := PgSQLOLTP(PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 200, Seed: 3})
+	var svdViolations uint64
+	var insts uint64
+	for seed := uint64(0); seed < 4; seed++ {
+		m, sd, fd := runWith(t, w, seed)
+		if bad, detail := w.Check(m); bad {
+			t.Fatalf("seed %d: race-free OLTP corrupted: %s", seed, detail)
+		}
+		if n := fd.Stats().Races; n != 0 {
+			for _, r := range fd.Races()[:min(len(fd.Races()), 3)] {
+				t.Logf("race: %s", r)
+			}
+			t.Errorf("seed %d: FRD reported %d races on the race-free server", seed, n)
+		}
+		svdViolations += sd.Stats().Violations
+		insts += sd.Stats().Instructions
+	}
+	t.Logf("SVD false positives: %d over %d instructions", svdViolations, insts)
+	if svdViolations == 0 {
+		t.Error("SVD reported no false positives on PgSQL; Table 2's inversion needs a nonzero low rate")
+	}
+	// "Low rate": well under one per thousand instructions.
+	if rate := float64(svdViolations) / float64(insts); rate > 1e-3 {
+		t.Errorf("SVD false-positive rate %.2e too high to be 'low'", rate)
+	}
+}
+
+// TestSURGEHeavyTail: the request-size generator must be skewed — the
+// median far below the max, but large sizes present.
+func TestSURGEHeavyTail(t *testing.T) {
+	g := newSurgeGen(7, 1000)
+	sizes := g.Sizes(4000)
+	var small, big int
+	for _, s := range sizes {
+		if s < 1 || s > 1000 {
+			t.Fatalf("size %d out of range", s)
+		}
+		if s <= 10 {
+			small++
+		}
+		if s >= 500 {
+			big++
+		}
+	}
+	if small < len(sizes)/2 {
+		t.Errorf("only %d/%d sizes are small; distribution not heavy-tailed", small, len(sizes))
+	}
+	if big == 0 {
+		t.Error("no large sizes at all; tail missing")
+	}
+}
+
+func TestQueryGenBounds(t *testing.T) {
+	g := newQueryGen(3, 2, 8)
+	seen := map[int64]bool{}
+	for _, f := range g.FieldCounts(2000) {
+		if f < 2 || f > 8 {
+			t.Fatalf("field count %d out of [2,8]", f)
+		}
+		seen[f] = true
+	}
+	for f := int64(2); f <= 8; f++ {
+		if !seen[f] {
+			t.Errorf("field count %d never drawn", f)
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	w := ApacheLog(ApacheConfig{Threads: 2, Requests: 16, Buggy: true, Seed: 5})
+	sum := func(seed uint64) int64 {
+		m, err := w.NewVM(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1 << 22); err != nil {
+			t.Fatal(err)
+		}
+		var h int64
+		for a := int64(0); a < 256; a++ {
+			h = h*31 + m.Mem(a)
+		}
+		return h
+	}
+	if sum(9) != sum(9) {
+		t.Error("same seed produced different final memory")
+	}
+}
+
+func TestLineHelpers(t *testing.T) {
+	src := "a\nb marker\nc\n"
+	if got := lineOf(src, "marker"); got != 2 {
+		t.Errorf("lineOf = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("lineOf did not panic on a missing marker")
+		}
+	}()
+	lineOf(src, "nope")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
