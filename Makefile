@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the tier-1 gate (build + tests);
+# `make race` adds the data-race check on the parallel sample runner;
+# `make bench-smoke` runs each hot-path microbenchmark once as a
+# compile-and-run sanity check (use `make bench` for real numbers).
+
+GO ?= go
+
+.PHONY: all build test race vet check bench-smoke bench hotpath
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -run 'TestRunMany|TestArenaDifferential' ./internal/report/ ./internal/svd/
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkHotPath' -benchtime 1x .
+
+bench:
+	$(GO) test -run NONE -bench 'BenchmarkHotPath|BenchmarkOverhead|BenchmarkDetectorStep' -benchmem .
+
+# Machine-readable hot-path snapshot (ns/instr, allocs, Minstr/s).
+hotpath:
+	$(GO) run ./cmd/svdbench -hotpath -scale 2 -json BENCH_hotpath.json

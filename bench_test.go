@@ -282,3 +282,99 @@ func BenchmarkDetectorStep(b *testing.B) {
 		det.Step(&evs[i%len(evs)])
 	}
 }
+
+// --- Detector hot path: per-instruction cost and allocation rate ---
+//
+// The tentpole metrics for the flat block store, CU arena, and parallel
+// runner: ns/instr and allocs (via -benchmem) of the detectors' Step loops
+// and of whole sample runs.
+
+// recordEvents replays a workload once and captures its event stream.
+func recordEvents(b *testing.B, w *workloads.Workload, maxSteps uint64) []vm.Event {
+	b.Helper()
+	m, err := w.NewVM(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var evs []vm.Event
+	m.Attach(vm.ObserverFunc(func(ev *vm.Event) { evs = append(evs, *ev) }))
+	if _, err := m.Run(maxSteps); err != nil {
+		b.Fatal(err)
+	}
+	return evs
+}
+
+// BenchmarkHotPathSVDStep measures SVD's cost per observed instruction on
+// the PgSQL stream (the largest bug-free Table 2 row).
+func BenchmarkHotPathSVDStep(b *testing.B) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	evs := recordEvents(b, w, 1<<22)
+	det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Step(&evs[i%len(evs)])
+	}
+	b.StopTimer()
+	st := det.Stats()
+	if st.CUsCreated > 0 {
+		b.ReportMetric(float64(st.CUsReused)/float64(st.CUsCreated), "cu-reuse-rate")
+	}
+}
+
+// BenchmarkHotPathFRDStep measures FRD's cost per observed instruction on
+// the same stream.
+func BenchmarkHotPathFRDStep(b *testing.B) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	evs := recordEvents(b, w, 1<<22)
+	det := frd.New(w.Prog, w.NumThreads, frd.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Step(&evs[i%len(evs)])
+	}
+}
+
+// BenchmarkHotPathSVDSample measures a whole SVD-attached sample,
+// normalized to ns and allocs per simulated instruction.
+func BenchmarkHotPathSVDSample(b *testing.B) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	var instrs uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := w.NewVM(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+		m.Attach(det)
+		n, err := m.Run(1 << 26)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+}
+
+// BenchmarkHotPathRunMany measures the parallel sample runner end to end
+// (both detectors, classification) in Minstr/s at GOMAXPROCS workers.
+func BenchmarkHotPathRunMany(b *testing.B) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	seeds := report.Seeds(1, 4)
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sams, err := report.RunMany(w, seeds, report.Options{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range sams {
+			instrs += s.Instructions
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}

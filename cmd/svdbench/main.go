@@ -4,8 +4,13 @@
 //	svdbench -fn                               §7.1 apparent false negatives
 //	svdbench -scaling                          §7.3 execution-length sweep
 //	svdbench -overhead                         §7.3 detector overhead
+//	svdbench -hotpath                          detector hot-path microbenchmark
 //	svdbench -ber                              §1.1 BER avoidance scenario
 //	svdbench -baselines                        §8 detector families, head to head
+//
+// Sample-running modes (-table2, -fn) fan independent samples across
+// -parallel workers (default GOMAXPROCS) with bit-identical results.
+// -json FILE writes the -hotpath measurements as machine-readable JSON.
 //
 // Absolute numbers differ from the paper's (the substrate is this
 // repository's VM, not Simics on SPARC hardware); the shapes — who wins,
@@ -36,20 +41,23 @@ func main() {
 		overhead  = flag.Bool("overhead", false, "measure detector time overhead (§7.3)")
 		berMode   = flag.Bool("ber", false, "demonstrate BER-based bug avoidance (§1.1)")
 		baselines = flag.Bool("baselines", false, "compare the §8 detector families on all workloads")
+		hotpath   = flag.Bool("hotpath", false, "microbenchmark the detector hot path")
 		scale     = flag.Int("scale", 2, "workload size multiplier")
 		samples   = flag.Int("samples", 4, "samples per bug-free Table 2 row")
 		seed      = flag.Uint64("seed", 0, "base scheduler seed")
+		parallel  = flag.Int("parallel", 0, "sample-runner workers; <=0 means GOMAXPROCS")
+		jsonPath  = flag.String("json", "", "write -hotpath measurements to this file as JSON")
 	)
 	flag.Parse()
 
 	ran := false
 	if *table2 {
 		ran = true
-		runTable2(*scale, *samples, *seed)
+		runTable2(*scale, *samples, *seed, *parallel)
 	}
 	if *fn {
 		ran = true
-		runFN(*scale, *seed)
+		runFN(*scale, *seed, *parallel)
 	}
 	if *scaling {
 		ran = true
@@ -66,6 +74,10 @@ func main() {
 	if *baselines {
 		ran = true
 		runBaselines(*scale, *seed)
+	}
+	if *hotpath {
+		ran = true
+		runHotpath(*scale, *seed, *parallel, *jsonPath)
 	}
 	if !ran {
 		flag.Usage()
@@ -122,9 +134,9 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runTable2(scale, samples int, seed uint64) {
+func runTable2(scale, samples int, seed uint64, parallel int) {
 	fmt.Printf("== Table 2 (scale %d, %d samples per bug-free row) ==\n", scale, samples)
-	rows, err := report.Table2(report.Table2Config{Scale: scale, Samples: samples, Seed: seed})
+	rows, err := report.Table2(report.Table2Config{Scale: scale, Samples: samples, Seed: seed, Parallelism: parallel})
 	if err != nil {
 		fatal(err)
 	}
@@ -135,20 +147,16 @@ func runTable2(scale, samples int, seed uint64) {
 	}
 }
 
-func runFN(scale int, seed uint64) {
+func runFN(scale int, seed uint64, parallel int) {
 	fmt.Println("== §7.1 apparent false negatives ==")
 	for _, name := range []string{"apache-buggy", "mysql-prepared-buggy"} {
 		w, err := workloads.ByName(name, scale, seed)
 		if err != nil {
 			fatal(err)
 		}
-		var sams []*report.Sample
-		for s := uint64(0); s < 6; s++ {
-			sm, err := report.Run(w, seed+s, report.Options{})
-			if err != nil {
-				fatal(err)
-			}
-			sams = append(sams, sm)
+		sams, err := report.RunMany(w, report.Seeds(seed, 6), report.Options{}, parallel)
+		if err != nil {
+			fatal(err)
 		}
 		row := report.Aggregate(name, sams)
 		fmt.Print(report.Summary(row))

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/blockstore"
 	"repro/internal/isa"
 	"repro/internal/vm"
 )
@@ -40,6 +41,10 @@ type Options struct {
 	// MaxRaces caps retained dynamic race records (counting continues).
 	// Zero means 1 << 16.
 	MaxRaces int
+
+	// SparseBlockTable keeps block metadata in a hash map instead of the
+	// paged flat store — the escape hatch for sparse address spaces.
+	SparseBlockTable bool
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +79,14 @@ func (r Race) String() string {
 		r.SecondCPU, r.SecondPC, r.SecondSeq, r.SecondWr)
 }
 
+// SiteKey is the composite static identity of a race site: the canonically
+// ordered PC pair. Consumers aggregating sites across detectors must key on
+// this struct — packing the pair into one integer aliases distinct sites
+// once PCs outgrow the packing shift.
+type SiteKey struct {
+	PCLow, PCHigh int64 // canonical order: PCLow <= PCHigh
+}
+
 // Site aggregates dynamic races by the static PC pair involved; this is the
 // static-false-positive axis of Table 2.
 type Site struct {
@@ -81,6 +94,9 @@ type Site struct {
 	Count         uint64
 	First         Race
 }
+
+// Key returns the site's composite static identity.
+func (s Site) Key() SiteKey { return SiteKey{PCLow: s.PCLow, PCHigh: s.PCHigh} }
 
 // Stats aggregates detector activity.
 type Stats struct {
@@ -113,10 +129,10 @@ type Detector struct {
 	numCPUs int
 
 	vc     []vclock
-	blocks map[int64]*blockInfo
+	blocks *blockstore.Store[blockInfo]
 
 	races []Race
-	sites map[[2]int64]*Site
+	sites map[SiteKey]*Site
 	stats Stats
 }
 
@@ -127,8 +143,8 @@ func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 		opts:    opts.withDefaults(),
 		numCPUs: numCPUs,
 		vc:      make([]vclock, numCPUs),
-		blocks:  make(map[int64]*blockInfo),
-		sites:   make(map[[2]int64]*Site),
+		blocks:  blockstore.New[blockInfo](blockstore.Options{Sparse: opts.SparseBlockTable}),
+		sites:   make(map[SiteKey]*Site),
 	}
 	for i := range d.vc {
 		d.vc[i] = newVClock(numCPUs)
@@ -170,10 +186,11 @@ func (d *Detector) Sites() []Site {
 }
 
 func (d *Detector) blockInfo(b int64) *blockInfo {
-	bi := d.blocks[b]
-	if bi == nil {
-		bi = &blockInfo{reads: make([]epoch, d.numCPUs)}
-		d.blocks[b] = bi
+	bi := d.blocks.Ensure(b)
+	if bi.reads == nil {
+		// Flat pages materialize zero-valued slots; the per-CPU read
+		// epochs are attached on a block's first real access.
+		bi.reads = make([]epoch, d.numCPUs)
 	}
 	return bi
 }
@@ -266,13 +283,13 @@ func (d *Detector) report(b int64, first epoch, firstCPU int, firstWr bool, ev *
 		SecondSeq: ev.Seq,
 		SecondWr:  secondWr,
 	}
-	key := [2]int64{r.FirstPC, r.SecondPC}
-	if key[0] > key[1] {
-		key[0], key[1] = key[1], key[0]
+	key := SiteKey{PCLow: r.FirstPC, PCHigh: r.SecondPC}
+	if key.PCLow > key.PCHigh {
+		key.PCLow, key.PCHigh = key.PCHigh, key.PCLow
 	}
 	s := d.sites[key]
 	if s == nil {
-		s = &Site{PCLow: key[0], PCHigh: key[1], First: r}
+		s = &Site{PCLow: key.PCLow, PCHigh: key.PCHigh, First: r}
 		d.sites[key] = s
 	}
 	s.Count++

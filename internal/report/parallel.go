@@ -1,0 +1,73 @@
+package report
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/workloads"
+)
+
+// RunMany executes one sample per seed, fanning the seeds across a worker
+// pool. Every sample is an independent deterministic simulation — the VM,
+// both detectors, and the workload's RNG are all derived from the
+// workload definition and the seed — so the result slice is bit-identical
+// to calling Run sequentially for each seed, in seed order, regardless of
+// parallelism or scheduling.
+//
+// parallelism <= 0 selects GOMAXPROCS workers. The first error (in seed
+// order) wins; on error the returned samples are nil.
+func RunMany(w *workloads.Workload, seeds []uint64, opts Options, parallelism int) ([]*Sample, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(seeds) {
+		parallelism = len(seeds)
+	}
+	if parallelism <= 1 {
+		samples := make([]*Sample, len(seeds))
+		for i, seed := range seeds {
+			sm, err := Run(w, seed, opts)
+			if err != nil {
+				return nil, err
+			}
+			samples[i] = sm
+		}
+		return samples, nil
+	}
+
+	samples := make([]*Sample, len(seeds))
+	errs := make([]error, len(seeds))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range parallelism {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				samples[i], errs[i] = Run(w, seeds[i], opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+// Seeds returns the n consecutive seeds starting at base — the seed
+// schedule Table2 and the sweeps use.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}

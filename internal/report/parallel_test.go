@@ -1,0 +1,61 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestRunManyMatchesSequential asserts the parallel runner's contract: for
+// any parallelism, RunMany over N seeds returns exactly the N samples that
+// N sequential Run calls produce, in seed order.
+func TestRunManyMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		w    *workloads.Workload
+	}{
+		{"apache-buggy", workloads.ApacheLog(workloads.ApacheConfig{
+			Threads: 4, Requests: 48, Buggy: true, Seed: 3,
+		})},
+		{"pgsql", workloads.PgSQLOLTP(workloads.PgSQLConfig{
+			Warehouses: 2, Terminals: 4, Txns: 64, Seed: 3,
+		})},
+	}
+	seeds := Seeds(11, 6)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := make([]*Sample, len(seeds))
+			for i, seed := range seeds {
+				sm, err := Run(tc.w, seed, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = sm
+			}
+			for _, par := range []int{0, 1, 3, 16} {
+				got, err := RunMany(tc.w, seeds, Options{}, par)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("parallelism %d: %d samples, want %d", par, len(got), len(want))
+				}
+				for i := range want {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Errorf("parallelism %d: sample %d (seed %d) diverged:\n got %+v\nwant %+v",
+							par, i, seeds[i], got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(5, 3)
+	want := []uint64{5, 6, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Seeds(5,3) = %v, want %v", got, want)
+	}
+}

@@ -21,13 +21,24 @@ import (
 	"repro/internal/workloads"
 )
 
+// SiteKey is the composite static identity of one report site. FRD sites
+// are canonically ordered PC pairs; SVD sites are single store PCs,
+// recorded with PCHigh == -1. Keeping the pair as a struct (rather than
+// packing it into one integer) keeps distinct pairs distinct for any PC
+// range.
+type SiteKey struct {
+	PCLow, PCHigh int64
+}
+
+func svdSiteKey(storePC int64) SiteKey { return SiteKey{PCLow: storePC, PCHigh: -1} }
+
 // DetectorResult classifies one detector's output on one sample.
 type DetectorResult struct {
 	DynamicTrue  uint64 // dynamic reports on bug program points
 	DynamicFalse uint64 // dynamic reports elsewhere
 
-	TrueSites  map[int64]bool // static sites on bug PCs (keyed by reporting PC)
-	FalseSites map[int64]bool // static sites elsewhere
+	TrueSites  map[SiteKey]bool // static sites on bug PCs
+	FalseSites map[SiteKey]bool // static sites elsewhere
 
 	FoundBug bool // any report lands on the bug
 }
@@ -92,8 +103,9 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 
 	s.SVD = classifySVD(w, sd)
 	s.FRD = classifyFRD(w, fd)
-	s.LogEntries = len(sd.Log())
-	for _, e := range sd.Log() {
+	log := sd.Log()
+	s.LogEntries = len(log)
+	for _, e := range log {
 		if w.BugPCs[e.ReadPC] || w.BugPCs[e.RemoteWritePC] || w.BugPCs[e.LocalWritePC] {
 			s.LogFoundBug = true
 			break
@@ -103,15 +115,19 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 }
 
 func classifySVD(w *workloads.Workload, sd *svd.Detector) DetectorResult {
-	r := DetectorResult{TrueSites: map[int64]bool{}, FalseSites: map[int64]bool{}}
-	for _, site := range sd.Sites() {
+	sites := sd.Sites()
+	r := DetectorResult{
+		TrueSites:  make(map[SiteKey]bool, len(sites)),
+		FalseSites: make(map[SiteKey]bool, len(sites)),
+	}
+	for _, site := range sites {
 		hit := w.BugPCs[site.StorePC] || w.BugPCs[site.First.ConflictPC]
 		if hit {
-			r.TrueSites[site.StorePC] = true
+			r.TrueSites[svdSiteKey(site.StorePC)] = true
 			r.DynamicTrue += site.Count
 			r.FoundBug = true
 		} else {
-			r.FalseSites[site.StorePC] = true
+			r.FalseSites[svdSiteKey(site.StorePC)] = true
 			r.DynamicFalse += site.Count
 		}
 	}
@@ -119,12 +135,14 @@ func classifySVD(w *workloads.Workload, sd *svd.Detector) DetectorResult {
 }
 
 func classifyFRD(w *workloads.Workload, fd *frd.Detector) DetectorResult {
-	r := DetectorResult{TrueSites: map[int64]bool{}, FalseSites: map[int64]bool{}}
-	for _, site := range fd.Sites() {
+	sites := fd.Sites()
+	r := DetectorResult{
+		TrueSites:  make(map[SiteKey]bool, len(sites)),
+		FalseSites: make(map[SiteKey]bool, len(sites)),
+	}
+	for _, site := range sites {
 		hit := w.BugPCs[site.PCLow] || w.BugPCs[site.PCHigh]
-		// FRD sites are PC pairs; key them by their lower PC combined
-		// with the high PC to keep distinct pairs distinct.
-		key := site.PCLow<<20 | site.PCHigh
+		key := SiteKey(site.Key())
 		if hit {
 			r.TrueSites[key] = true
 			r.DynamicTrue += site.Count
@@ -186,10 +204,10 @@ func perM(n uint64, mInsts float64) float64 {
 // Aggregate folds samples of one workload into a row.
 func Aggregate(name string, samples []*Sample) Row {
 	row := Row{Workload: name, Samples: len(samples)}
-	svdFP := map[int64]bool{}
-	frdFP := map[int64]bool{}
-	svdTrue := map[int64]bool{}
-	frdTrue := map[int64]bool{}
+	svdFP := map[SiteKey]bool{}
+	frdFP := map[SiteKey]bool{}
+	svdTrue := map[SiteKey]bool{}
+	frdTrue := map[SiteKey]bool{}
 	for _, s := range samples {
 		row.MInsts += float64(s.Instructions) / 1e6
 		if s.Erroneous {

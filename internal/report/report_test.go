@@ -86,10 +86,10 @@ func TestAggregateApparentFNs(t *testing.T) {
 func TestAggregateStaticSitesAreUnioned(t *testing.T) {
 	samples := []*Sample{
 		{Workload: "x", Instructions: 1000, SVD: DetectorResult{
-			FalseSites: map[int64]bool{10: true, 20: true}, DynamicFalse: 5,
+			FalseSites: map[SiteKey]bool{svdSiteKey(10): true, svdSiteKey(20): true}, DynamicFalse: 5,
 		}},
 		{Workload: "x", Instructions: 1000, SVD: DetectorResult{
-			FalseSites: map[int64]bool{20: true, 30: true}, DynamicFalse: 7,
+			FalseSites: map[SiteKey]bool{svdSiteKey(20): true, svdSiteKey(30): true}, DynamicFalse: 7,
 		}},
 	}
 	row := Aggregate("x", samples)

@@ -13,6 +13,11 @@ type Table2Config struct {
 	Scale   int // work multiplier; zero means 1
 	Samples int // samples per bug-free row; zero means 4
 	Seed    uint64
+
+	// Parallelism fans a row's samples across this many workers (see
+	// RunMany); zero or negative means GOMAXPROCS. Results are identical
+	// to the sequential run for any value.
+	Parallelism int
 }
 
 func (c Table2Config) withDefaults() Table2Config {
@@ -64,13 +69,9 @@ func Table2(cfg Table2Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	var rows []Row
 	for _, entry := range Table2Workloads(cfg) {
-		var samples []*Sample
-		for i := 0; i < entry.Samples; i++ {
-			sm, err := Run(entry.W, cfg.Seed+uint64(i), Options{})
-			if err != nil {
-				return nil, fmt.Errorf("table2: %s: %w", entry.W.Name, err)
-			}
-			samples = append(samples, sm)
+		samples, err := RunMany(entry.W, Seeds(cfg.Seed, entry.Samples), Options{}, cfg.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("table2: %s: %w", entry.W.Name, err)
 		}
 		rows = append(rows, Aggregate(entry.W.Name, samples))
 	}

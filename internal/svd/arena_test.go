@@ -1,0 +1,188 @@
+package svd
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// runDetector executes a workload with one detector attached and returns
+// it for comparison.
+func runDetector(t *testing.T, w *workloads.Workload, seed uint64, opts Options) *Detector {
+	t.Helper()
+	m, err := w.NewVM(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(w.Prog, w.NumThreads, opts)
+	m.Attach(d)
+	if _, err := m.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestArenaDifferential runs real workloads twice — once with the
+// recycling arena, once with NoCUArena (every unit freshly allocated) —
+// and requires identical observable output. Any reference-counting bug
+// that recycles a unit still in use shows up here as divergence.
+func TestArenaDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		w    *workloads.Workload
+	}{
+		{"apache-buggy", workloads.ApacheLog(workloads.ApacheConfig{
+			Threads: 4, Requests: 48, Buggy: true, Seed: 2,
+		})},
+		{"mysql-tables", workloads.MySQLTables(workloads.MySQLTablesConfig{
+			Lockers: 3, Ops: 60,
+		})},
+		{"pgsql", workloads.PgSQLOLTP(workloads.PgSQLConfig{
+			Warehouses: 2, Terminals: 4, Txns: 48, Seed: 2,
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 3; seed++ {
+				arena := runDetector(t, tc.w, seed, Options{})
+				fresh := runDetector(t, tc.w, seed, Options{NoCUArena: true})
+
+				if !reflect.DeepEqual(arena.Violations(), fresh.Violations()) {
+					t.Errorf("seed %d: violations diverge with arena recycling", seed)
+				}
+				if !reflect.DeepEqual(arena.Log(), fresh.Log()) {
+					t.Errorf("seed %d: a posteriori logs diverge with arena recycling", seed)
+				}
+				if !reflect.DeepEqual(arena.Sites(), fresh.Sites()) {
+					t.Errorf("seed %d: sites diverge with arena recycling", seed)
+				}
+				as, fs := arena.Stats(), fresh.Stats()
+				if as.CUsRecycled == 0 {
+					t.Errorf("seed %d: arena never recycled a unit", seed)
+				}
+				if fs.CUsReused != 0 || fs.CUsRecycled != 0 {
+					t.Errorf("seed %d: NoCUArena reused units: %+v", seed, fs)
+				}
+				// Everything except the arena counters must agree.
+				as.CUsAllocated, fs.CUsAllocated = 0, 0
+				as.CUsReused, fs.CUsReused = 0, 0
+				as.CUsRecycled, fs.CUsRecycled = 0, 0
+				if as != fs {
+					t.Errorf("seed %d: stats diverge:\narena %+v\nfresh %+v", seed, as, fs)
+				}
+			}
+		})
+	}
+}
+
+// TestArenaRecyclesUnits checks the free list actually serves allocations:
+// after sustained load, most unit creations must be reuses.
+func TestArenaRecyclesUnits(t *testing.T) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 2, Terminals: 4, Txns: 64, Seed: 1})
+	d := runDetector(t, w, 1, Options{})
+	st := d.Stats()
+	if st.CUsCreated == 0 {
+		t.Fatal("no units created")
+	}
+	if st.CUsAllocated+st.CUsReused != st.CUsCreated {
+		t.Errorf("arena accounting broken: allocated %d + reused %d != created %d",
+			st.CUsAllocated, st.CUsReused, st.CUsCreated)
+	}
+	if reuse := float64(st.CUsReused) / float64(st.CUsCreated); reuse < 0.5 {
+		t.Errorf("reuse rate %.2f; free list is not serving the hot path", reuse)
+	}
+}
+
+// TestRefcountsBalanceAfterQuiesce: when every thread's registers, blocks,
+// and control stacks are the only holders left, total outstanding
+// references must equal exactly what those slots hold.
+func TestRefcountsBalanceAfterQuiesce(t *testing.T) {
+	w := workloads.MySQLTables(workloads.MySQLTablesConfig{Lockers: 3, Ops: 40})
+	d := runDetector(t, w, 3, Options{})
+
+	// Count references the four counted slot kinds hold.
+	wantRefs := map[*cu]int32{}
+	for _, th := range d.threads {
+		th.blocks.Range(func(_ int64, bs *blockState) bool {
+			if bs.touched && bs.cu != nil {
+				wantRefs[bs.cu]++
+			}
+			return true
+		})
+		for _, set := range th.regs {
+			for _, c := range set {
+				wantRefs[c]++
+			}
+		}
+		for _, e := range th.ctrl {
+			for _, c := range e.cuSet {
+				wantRefs[c]++
+			}
+		}
+	}
+	// Add union-find forwarding references, transitively.
+	for c := range wantRefs {
+		for p := c.parent; p != nil; p = p.parent {
+			wantRefs[p]++
+		}
+	}
+	for c, want := range wantRefs {
+		if c.refs != want {
+			t.Errorf("cu %d: refs %d, want %d", c.id, c.refs, want)
+		}
+	}
+}
+
+// TestEvictBlockReleasesUnit: hardware-mode eviction must drop the block's
+// reference so the unit can recycle once unreferenced elsewhere.
+func TestEvictBlockReleasesUnit(t *testing.T) {
+	s := newScript(1, Options{})
+	const b = 100
+	s.store(0, 0, rA, b)
+	bs := s.d.threads[0].lookupBlock(b)
+	if bs == nil || bs.cu == nil {
+		t.Fatal("store did not attach a unit")
+	}
+	c := bs.cu
+	refsBefore := c.refs
+	s.d.EvictBlock(0, b)
+	if got := s.d.threads[0].lookupBlock(b); got != nil {
+		t.Error("block still tracked after eviction")
+	}
+	if c.refs != refsBefore-1 {
+		t.Errorf("eviction left refs at %d, want %d", c.refs, refsBefore-1)
+	}
+	// Evicting again is a no-op.
+	s.d.EvictBlock(0, b)
+}
+
+// TestDetectorStepAllocFree: after warm-up, the detector hot path must not
+// allocate per instruction.
+func TestDetectorStepAllocFree(t *testing.T) {
+	w := workloads.MySQLTables(workloads.MySQLTablesConfig{Lockers: 3, Ops: 40})
+	m, err := w.NewVM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []vm.Event
+	m.Attach(vm.ObserverFunc(func(ev *vm.Event) { evs = append(evs, *ev) }))
+	if _, err := m.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	d := New(w.Prog, w.NumThreads, Options{})
+	for i := range evs {
+		d.Step(&evs[i]) // warm-up: materialize pages, grow scratch
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := range evs {
+			d.Step(&evs[i])
+		}
+	})
+	// The replayed stream re-triggers log dedup lookups but no steady-state
+	// growth; a fraction of an alloc per full replay is the tolerance.
+	if avg > 2 {
+		t.Errorf("steady-state replay allocates %.1f times per %d events", avg, len(evs))
+	}
+}

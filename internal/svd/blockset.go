@@ -1,0 +1,102 @@
+package svd
+
+// blockSetInline is the number of footprint blocks a computational unit
+// can hold without heap allocation. Most CUs are short — a handful of
+// loads feeding one store (§4.3 reports CUs of a few instructions) — so
+// eight inline slots absorb the common case; larger units spill to a map.
+const blockSetInline = 8
+
+// blockSet is a small-set of block numbers: the rs/ws footprint of a
+// computational unit. Up to blockSetInline members live in an inline
+// array (no allocation, insertion-ordered, linear membership tests);
+// beyond that the set spills into a map. The zero value is an empty set.
+type blockSet struct {
+	n      int32
+	inline [blockSetInline]int64
+	spill  map[int64]struct{}
+}
+
+// len returns the member count.
+func (s *blockSet) len() int {
+	if s.spill != nil {
+		return len(s.spill)
+	}
+	return int(s.n)
+}
+
+// has reports membership.
+func (s *blockSet) has(b int64) bool {
+	if s.spill != nil {
+		_, ok := s.spill[b]
+		return ok
+	}
+	for i := int32(0); i < s.n; i++ {
+		if s.inline[i] == b {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts b (idempotent).
+func (s *blockSet) add(b int64) {
+	if s.spill != nil {
+		s.spill[b] = struct{}{}
+		return
+	}
+	for i := int32(0); i < s.n; i++ {
+		if s.inline[i] == b {
+			return
+		}
+	}
+	if s.n < blockSetInline {
+		s.inline[s.n] = b
+		s.n++
+		return
+	}
+	s.spill = make(map[int64]struct{}, 2*blockSetInline)
+	for _, v := range s.inline {
+		s.spill[v] = struct{}{}
+	}
+	s.spill[b] = struct{}{}
+	s.n = 0
+}
+
+// remove deletes b if present.
+func (s *blockSet) remove(b int64) {
+	if s.spill != nil {
+		delete(s.spill, b)
+		return
+	}
+	for i := int32(0); i < s.n; i++ {
+		if s.inline[i] == b {
+			s.n--
+			s.inline[i] = s.inline[s.n]
+			return
+		}
+	}
+}
+
+// forEach visits members until f returns false. Inline members are
+// visited in insertion order; spilled members in map order.
+func (s *blockSet) forEach(f func(b int64) bool) {
+	if s.spill != nil {
+		for b := range s.spill {
+			if !f(b) {
+				return
+			}
+		}
+		return
+	}
+	for i := int32(0); i < s.n; i++ {
+		if !f(s.inline[i]) {
+			return
+		}
+	}
+}
+
+// reset empties the set, dropping any spill map.
+func (s *blockSet) reset() {
+	s.n = 0
+	s.spill = nil
+}

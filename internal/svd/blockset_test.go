@@ -1,0 +1,83 @@
+package svd
+
+import (
+	"sort"
+	"testing"
+)
+
+func setMembers(s *blockSet) []int64 {
+	var out []int64
+	s.forEach(func(b int64) bool { out = append(out, b); return true })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestBlockSetInline(t *testing.T) {
+	var s blockSet
+	if s.len() != 0 || s.has(1) {
+		t.Fatal("zero value not empty")
+	}
+	s.add(5)
+	s.add(7)
+	s.add(5) // idempotent
+	if s.len() != 2 || !s.has(5) || !s.has(7) || s.has(6) {
+		t.Fatalf("inline set wrong: %v", setMembers(&s))
+	}
+	s.remove(5)
+	if s.len() != 1 || s.has(5) || !s.has(7) {
+		t.Fatalf("remove broke set: %v", setMembers(&s))
+	}
+	s.remove(99) // absent: no-op
+	if s.len() != 1 {
+		t.Fatal("removing absent member changed size")
+	}
+}
+
+func TestBlockSetSpill(t *testing.T) {
+	var s blockSet
+	n := int64(3 * blockSetInline)
+	for i := int64(0); i < n; i++ {
+		s.add(i * 10)
+		s.add(i * 10) // idempotent across the spill boundary
+	}
+	if s.spill == nil {
+		t.Fatal("set did not spill")
+	}
+	if int64(s.len()) != n {
+		t.Fatalf("len = %d, want %d", s.len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		if !s.has(i * 10) {
+			t.Errorf("missing member %d after spill", i*10)
+		}
+	}
+	s.remove(10)
+	if s.has(10) || int64(s.len()) != n-1 {
+		t.Error("remove after spill failed")
+	}
+	// Early-terminating iteration.
+	visits := 0
+	s.forEach(func(int64) bool { visits++; return false })
+	if visits != 1 {
+		t.Errorf("forEach after false: %d visits, want 1", visits)
+	}
+	s.reset()
+	if s.len() != 0 || s.spill != nil || s.has(20) {
+		t.Error("reset left members behind")
+	}
+}
+
+func TestBlockSetInlineInsertionOrder(t *testing.T) {
+	var s blockSet
+	for _, b := range []int64{9, 3, 7} {
+		s.add(b)
+	}
+	var got []int64
+	s.forEach(func(b int64) bool { got = append(got, b); return true })
+	want := []int64{9, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("inline iteration order %v, want insertion order %v", got, want)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package svd
 
+import "repro/internal/blockstore"
+
 // Clone deep-copies the detector. Backward error recovery snapshots the
 // detector together with the machine: the paper's hardware BER keeps the
 // detector's state (block FSMs, CU references) inside the checkpointed
@@ -9,6 +11,9 @@ package svd
 // Computational units are translated through a mapping so the clone's CU
 // graph is disjoint from the original's; dead units (merged or cut) are
 // dropped, which matches the lazy resolution the detector applies anyway.
+// Clone units are ordinary heap allocations with one counted reference per
+// installed slot, so the clone's arena works exactly like a fresh
+// detector's.
 func (d *Detector) Clone() *Detector {
 	nd := &Detector{
 		prog:   d.prog,
@@ -35,7 +40,7 @@ func (d *Detector) Clone() *Detector {
 		if c == nil {
 			return nil
 		}
-		c = c.find()
+		c = d.find(c)
 		if !c.active {
 			return nil
 		}
@@ -43,14 +48,8 @@ func (d *Detector) Clone() *Detector {
 			return nc
 		}
 		nc := &cu{id: c.id, active: true}
-		nc.rs = make(map[int64]struct{}, len(c.rs))
-		for b := range c.rs {
-			nc.rs[b] = struct{}{}
-		}
-		nc.ws = make(map[int64]struct{}, len(c.ws))
-		for b := range c.ws {
-			nc.ws[b] = struct{}{}
-		}
+		c.rs.forEach(func(b int64) bool { nc.rs.add(b); return true })
+		c.ws.forEach(func(b int64) bool { nc.ws.add(b); return true })
 		cuMap[c] = nc
 		return nc
 	}
@@ -58,7 +57,7 @@ func (d *Detector) Clone() *Detector {
 		var out []*cu
 		for _, c := range set {
 			if nc := translate(c); nc != nil {
-				out = append(out, nc)
+				out = append(out, nd.acquire(nc))
 			}
 		}
 		return out
@@ -67,21 +66,28 @@ func (d *Detector) Clone() *Detector {
 	nd.threads = make([]*threadState, len(d.threads))
 	for i, t := range d.threads {
 		nt := &threadState{
-			d:      nd,
-			id:     t.id,
-			blocks: make(map[int64]*blockState, len(t.blocks)),
-			depth:  t.depth,
+			d:       nd,
+			id:      t.id,
+			blocks:  blockstore.New[blockState](blockstore.Options{Sparse: nd.opts.SparseBlockTable}),
+			nblocks: t.nblocks,
+			depth:   t.depth,
 		}
-		for b, bs := range t.blocks {
+		t.blocks.Range(func(b int64, bs *blockState) bool {
+			if !bs.touched {
+				return true
+			}
 			cp := *bs
 			cp.cu = translate(bs.cu)
-			if cp.cu == nil && bs.cu != nil {
+			if cp.cu != nil {
+				nd.acquire(cp.cu)
+			} else if bs.cu != nil {
 				// The unit died; the block's FSM resets with it.
 				cp.state = stIdle
 				cp.conflict = false
 			}
-			nt.blocks[b] = &cp
-		}
+			*nt.blocks.Ensure(b) = cp
+			return true
+		})
 		for r := range t.regs {
 			nt.regs[r] = translateSet(t.regs[r])
 		}

@@ -136,9 +136,9 @@ func TestCloneDropsDeadUnits(t *testing.T) {
 
 	clone := s.d.Clone()
 	for _, tr := range clone.threads {
-		for b, bs := range tr.blocks {
-			if bs.cu != nil {
-				c := bs.cu.find()
+		tr.blocks.Range(func(b int64, bs *blockState) bool {
+			if bs.touched && bs.cu != nil {
+				c := clone.find(bs.cu)
 				if !c.active {
 					t.Errorf("block %d references dead unit after clone", b)
 				}
@@ -146,6 +146,7 @@ func TestCloneDropsDeadUnits(t *testing.T) {
 					t.Errorf("block %d's unit has forwarding after clone", b)
 				}
 			}
-		}
+			return true
+		})
 	}
 }

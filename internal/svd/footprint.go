@@ -17,40 +17,42 @@ type Footprint struct {
 func (d *Detector) Footprint() Footprint {
 	var f Footprint
 	live := map[*cu]bool{}
-	for _, t := range d.threads {
-		f.TrackedBlocks += len(t.blocks)
-		f.CtrlEntries += len(t.ctrl)
-		for _, bs := range t.blocks {
-			if bs.cu != nil {
-				c := bs.cu.find()
-				if c.active {
-					live[c] = true
-				}
-			}
+	note := func(c *cu) {
+		if c == nil {
+			return
 		}
+		c = d.find(c)
+		if c.active {
+			live[c] = true
+		}
+	}
+	for _, t := range d.threads {
+		f.TrackedBlocks += t.nblocks
+		f.CtrlEntries += len(t.ctrl)
+		t.blocks.Range(func(_ int64, bs *blockState) bool {
+			if bs.touched {
+				note(bs.cu)
+			}
+			return true
+		})
 		for _, set := range t.regs {
 			for _, c := range set {
-				c = c.find()
-				if c.active {
-					live[c] = true
-				}
+				note(c)
 			}
 		}
 		for _, e := range t.ctrl {
 			for _, c := range e.cuSet {
-				c = c.find()
-				if c.active {
-					live[c] = true
-				}
+				note(c)
 			}
 		}
 	}
 	f.LiveCUs = len(live)
 	for c := range live {
-		f.CUSetWords += len(c.rs) + len(c.ws)
+		f.CUSetWords += c.rs.len() + c.ws.len()
 	}
-	// Rough accounting: a block state is ~96 bytes, a CU header ~64, a
-	// set entry ~16 (map overhead included), a control entry ~48.
-	f.ApproxBytes = f.TrackedBlocks*96 + f.LiveCUs*64 + f.CUSetWords*16 + f.CtrlEntries*48
+	// Rough accounting: a block state is ~96 bytes, a CU header (with its
+	// inline footprint arrays) ~192, a spilled set entry ~16, a control
+	// entry ~48.
+	f.ApproxBytes = f.TrackedBlocks*96 + f.LiveCUs*192 + f.CUSetWords*16 + f.CtrlEntries*48
 	return f
 }

@@ -41,7 +41,7 @@ func (d *Detector) DeliverRemote(toCPU int, ev *vm.Event) {
 // are gone. Any computational unit keeps its membership sets, but with the
 // conflict flag lost the block can no longer trigger a violation.
 func (d *Detector) EvictBlock(cpu int, block int64) {
-	delete(d.threads[cpu].blocks, block)
+	d.threads[cpu].evictBlock(block)
 }
 
 // Hardware is a vm.Observer running the detector with cache-mediated

@@ -28,11 +28,17 @@
 //   - logs (s, rw, lw) triples — a local read s of a value whose
 //     immediately preceding local write lw was overwritten by remote write
 //     rw — for the a posteriori examination of §2.3.
+//
+// Hot-path representation: per-thread block metadata lives in a paged flat
+// store (internal/blockstore) so the per-access lookup is array indexing,
+// CU footprints are small-sets (blockset.go), and CU storage is recycled
+// through a reference-counted arena (arena.go).
 package svd
 
 import (
 	"fmt"
 
+	"repro/internal/blockstore"
 	"repro/internal/isa"
 	"repro/internal/vm"
 )
@@ -66,6 +72,16 @@ type Options struct {
 	// MaxLogEntries caps the retained a posteriori log records. Zero
 	// means 1 << 16.
 	MaxLogEntries int
+
+	// SparseBlockTable keeps per-thread block metadata in hash maps
+	// instead of the paged flat store — the escape hatch for pathological
+	// sparse address spaces where dense pages would waste memory.
+	SparseBlockTable bool
+
+	// NoCUArena disables computational-unit recycling: every unit is a
+	// fresh allocation, as in the original implementation. Debug and
+	// differential-testing knob.
+	NoCUArena bool
 }
 
 func (o Options) withDefaults() Options {
@@ -177,6 +193,14 @@ type Stats struct {
 	CUsMerged  uint64 // units consumed by merge_and_update
 	CUsCut     uint64 // units ended by shared dependences
 
+	// Arena counters: every created unit is either served from the free
+	// list (CUsReused) or carved fresh from a slab (CUsAllocated);
+	// CUsRecycled counts units returned to the free list once
+	// unreachable. Benchmarks derive bytes-per-Minstr from these.
+	CUsAllocated uint64
+	CUsReused    uint64
+	CUsRecycled  uint64
+
 	Violations      uint64 // dynamic violation reports (pre-cap)
 	LogEntries      uint64 // dynamic (s, rw, lw) log occurrences (pre-cap)
 	SharedCutLoads  uint64 // CU cuts caused by loads of Stored_Shared blocks
@@ -187,32 +211,11 @@ type Stats struct {
 // merged away); Table 2 reports CUs per million instructions on this basis.
 func (s Stats) CUsLive() uint64 { return s.CUsCreated - s.CUsMerged }
 
-// cu is a computational unit: an inferred approximation of one dynamic
-// atomic region, represented by its read (input) and write block sets
-// (§4.3 "Represent CU with memory blocks, not dynamic instructions").
-type cu struct {
-	id     uint64
-	parent *cu // union-find forwarding set by merge_and_update
-	active bool
-	rs     map[int64]struct{} // input blocks: read before written by this CU
-	ws     map[int64]struct{} // blocks written by this CU
-}
-
-// find resolves union-find forwarding with path compression.
-func (c *cu) find() *cu {
-	for c.parent != nil {
-		if c.parent.parent != nil {
-			c.parent = c.parent.parent
-		}
-		c = c.parent
-	}
-	return c
-}
-
 // blockState is the per-thread view of one memory block.
 type blockState struct {
 	cu       *cu
 	state    fsmState
+	touched  bool // a local access materialized this block's state
 	conflict bool
 
 	// First unconsumed conflicting remote access, for violation reports.
@@ -242,12 +245,16 @@ type ctrlEntry struct {
 
 // threadState is one per-processor detector instance.
 type threadState struct {
-	d      *Detector
-	id     int
-	blocks map[int64]*blockState
-	regs   [isa.NumRegs][]*cu
-	ctrl   []ctrlEntry
-	depth  int // call depth (JAL/JR balance)
+	d       *Detector
+	id      int
+	blocks  *blockstore.Store[blockState]
+	nblocks int // blocks with touched state (local accesses)
+	regs    [isa.NumRegs][]*cu
+	ctrl    []ctrlEntry
+	depth   int // call depth (JAL/JR balance)
+
+	checkBuf []*cu // scratch for the per-store dependence set
+	unionBuf []*cu // scratch for register-set unions
 }
 
 // Detector is the online SVD. It implements vm.Observer.
@@ -255,6 +262,10 @@ type Detector struct {
 	prog    *isa.Program
 	opts    Options
 	threads []*threadState
+
+	// CU arena storage (see arena.go).
+	free []*cu
+	slab []cu
 
 	nextCU     uint64
 	violations []Violation
@@ -280,7 +291,7 @@ func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 		d.threads[i] = &threadState{
 			d:      d,
 			id:     i,
-			blocks: make(map[int64]*blockState),
+			blocks: blockstore.New[blockState](blockstore.Options{Sparse: d.opts.SparseBlockTable}),
 		}
 	}
 	return d
@@ -327,62 +338,72 @@ func (d *Detector) Step(ev *vm.Event) {
 	}
 }
 
-func (d *Detector) newCU() *cu {
-	d.nextCU++
-	d.stats.CUsCreated++
-	return &cu{
-		id:     d.nextCU,
-		active: true,
-		rs:     make(map[int64]struct{}),
-		ws:     make(map[int64]struct{}),
-	}
-}
-
 // ----- per-thread instance -----
 
-func (t *threadState) blockState(b int64) *blockState {
-	bs := t.blocks[b]
-	if bs == nil {
-		bs = &blockState{}
-		t.blocks[b] = bs
+// ensureBlock materializes (and marks touched) the thread's state for a
+// locally accessed block.
+func (t *threadState) ensureBlock(b int64) *blockState {
+	bs := t.blocks.Ensure(b)
+	if !bs.touched {
+		bs.touched = true
+		t.nblocks++
 	}
 	return bs
 }
 
+// lookupBlock returns the thread's state for a block, or nil when no local
+// access has materialized one — flat-store neighbors of touched blocks
+// report nil exactly like absent map entries did.
+func (t *threadState) lookupBlock(b int64) *blockState {
+	bs := t.blocks.Lookup(b)
+	if bs == nil || !bs.touched {
+		return nil
+	}
+	return bs
+}
+
+// evictBlock drops the thread's state for a block entirely (hardware-mode
+// cache eviction).
+func (t *threadState) evictBlock(b int64) {
+	bs := t.blocks.Lookup(b)
+	if bs == nil || !bs.touched {
+		return
+	}
+	if bs.cu != nil {
+		t.d.release(bs.cu)
+		bs.cu = nil
+	}
+	t.blocks.Delete(b)
+	t.nblocks--
+}
+
 // currentCU resolves a block's CU, dropping dead units.
-func (bs *blockState) currentCU() *cu {
+func (t *threadState) currentCU(bs *blockState) *cu {
 	if bs.cu == nil {
 		return nil
 	}
-	c := bs.cu.find()
+	c := t.d.find(bs.cu)
 	if !c.active {
+		t.d.release(bs.cu)
 		bs.cu = nil
 		return nil
 	}
-	bs.cu = c
+	if c != bs.cu {
+		t.d.acquire(c)
+		t.d.release(bs.cu)
+		bs.cu = c
+	}
 	return c
 }
 
-// resolve returns the live CUs referenced by a register or control set.
-func resolve(set []*cu) []*cu {
-	out := set[:0]
-	for _, c := range set {
-		c = c.find()
-		if !c.active {
-			continue
-		}
-		dup := false
-		for _, p := range out {
-			if p == c {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, c)
-		}
+// setBlockCU points a block at a unit, adjusting references. Acquiring
+// before releasing makes self-assignment safe.
+func (t *threadState) setBlockCU(bs *blockState, c *cu) {
+	t.d.acquire(c)
+	if old := bs.cu; old != nil {
+		t.d.release(old)
 	}
-	return out
+	bs.cu = c
 }
 
 // local processes an instruction executed by this thread.
@@ -413,52 +434,99 @@ func (t *threadState) local(ev *vm.Event) {
 		}
 
 	case in.Op == isa.OpLI:
-		t.setReg(in.Rd, nil)
+		t.clearReg(in.Rd)
 
 	case in.Op == isa.OpMov:
-		t.setReg(in.Rd, append([]*cu(nil), t.regs[in.Rs1]...))
+		t.setRegUnion(in.Rd, t.regs[in.Rs1], nil)
 
 	case in.Op == isa.OpAddi:
-		t.setReg(in.Rd, append([]*cu(nil), t.regs[in.Rs1]...))
+		t.setRegUnion(in.Rd, t.regs[in.Rs1], nil)
 
 	case in.Op.IsALU():
-		set := append([]*cu(nil), t.regs[in.Rs1]...)
-		set = append(set, t.regs[in.Rs2]...)
-		t.setReg(in.Rd, set)
+		t.setRegUnion(in.Rd, t.regs[in.Rs1], t.regs[in.Rs2])
 
 	case in.Op.IsCondBranch():
 		t.pushCtrl(ev)
 
 	case in.Op == isa.OpJal:
-		t.setReg(in.Rd, nil)
+		t.clearReg(in.Rd)
 		t.depth++
 
 	case in.Op == isa.OpJr:
 		t.depth--
 		// Returning from a call retires control entries pushed inside it.
 		for len(t.ctrl) > 0 && t.ctrl[len(t.ctrl)-1].depth > t.depth {
-			t.ctrl = t.ctrl[:len(t.ctrl)-1]
+			t.dropCtrlTop()
 		}
 	}
 }
 
-func (t *threadState) setReg(rd isa.Reg, set []*cu) {
-	if rd != isa.RegZero {
-		t.regs[rd] = set
+// setRegUnion points rd at the concatenation of the source sets (register
+// propagation keeps multiset semantics, so duplicates stay), reusing rd's
+// backing array when its capacity allows. Sources may alias rd: the union
+// is staged in a scratch buffer with its references acquired before rd's
+// old references are released. Empty sources leave rd empty with no
+// allocation.
+func (t *threadState) setRegUnion(rd isa.Reg, s1, s2 []*cu) {
+	if rd == isa.RegZero {
+		return
 	}
+	buf := t.unionBuf[:0]
+	for _, c := range s1 {
+		buf = append(buf, t.d.acquire(c))
+	}
+	for _, c := range s2 {
+		buf = append(buf, t.d.acquire(c))
+	}
+	old := t.regs[rd]
+	for i, c := range old {
+		t.d.release(c)
+		old[i] = nil
+	}
+	t.regs[rd] = append(old[:0], buf...)
+	t.unionBuf = buf[:0]
+}
+
+// setRegSingle points rd at exactly one unit, reusing the register's
+// backing array. The caller must guarantee c is pinned elsewhere (a block
+// reference) so releasing the old set cannot reclaim it.
+func (t *threadState) setRegSingle(rd isa.Reg, c *cu) {
+	if rd == isa.RegZero {
+		return
+	}
+	t.d.acquire(c)
+	old := t.regs[rd]
+	for i, oc := range old {
+		t.d.release(oc)
+		old[i] = nil
+	}
+	t.regs[rd] = append(old[:0], c)
+}
+
+// clearReg empties rd, keeping its backing array for reuse.
+func (t *threadState) clearReg(rd isa.Reg) {
+	if rd == isa.RegZero {
+		return
+	}
+	old := t.regs[rd]
+	for i, oc := range old {
+		t.d.release(oc)
+		old[i] = nil
+	}
+	t.regs[rd] = old[:0]
 }
 
 // load implements the LOAD case of Figure 7 plus the a posteriori log of
 // §2.3 and the input-block rule of §2.2.1.
 func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
-	bs := t.blockState(b)
+	bs := t.ensureBlock(b)
 
 	// A load of a block this thread stored and another thread has since
 	// accessed is a shared dependence: the region hypothesis says the
 	// atomic region ended before this read, so the CU is cut here
 	// (Figure 8 transition I; Figure 7 lines 5-6).
 	if bs.state == stStoredShared {
-		if c := bs.currentCU(); c != nil {
+		if c := t.currentCU(bs); c != nil {
 			t.d.stats.SharedCutLoads++
 			t.cut(c)
 		} else {
@@ -483,15 +551,16 @@ func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
 		})
 	}
 
-	c := bs.currentCU()
+	c := t.currentCU(bs)
 	if c == nil {
 		c = t.d.newCU()
+		t.d.acquire(c)
 		bs.cu = c
 	}
 	// Input blocks are locations not written by the CU before their first
 	// read (§2.2.1).
-	if _, written := c.ws[b]; !written {
-		c.rs[b] = struct{}{}
+	if !c.ws.has(b) {
+		c.rs.add(b)
 	}
 
 	switch bs.state {
@@ -507,36 +576,36 @@ func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
 	bs.hasLocalLoad = true
 	bs.localLoadPC = ev.PC
 	bs.localLoadSeq = ev.Seq
-	t.setReg(rd, []*cu{c})
+	t.setRegSingle(rd, c)
 }
 
 // store implements the STORE case of Figure 7: gather data, address, and
 // control CU sets, check strict 2PL, then consolidate the data dependences
 // into the block's CU.
 func (t *threadState) store(ev *vm.Event, b int64, valReg, addrReg isa.Reg) {
-	dataSet := resolve(t.regs[valReg])
+	dataSet := t.d.resolve(t.regs[valReg])
 	t.regs[valReg] = dataSet
 
-	var checkSet []*cu
-	checkSet = append(checkSet, dataSet...)
+	checkSet := append(t.checkBuf[:0], dataSet...)
 	if !t.d.opts.NoAddressDeps {
-		addrSet := resolve(t.regs[addrReg])
+		addrSet := t.d.resolve(t.regs[addrReg])
 		t.regs[addrReg] = addrSet
 		checkSet = append(checkSet, addrSet...)
 	}
 	if !t.d.opts.NoControlDeps {
 		for i := range t.ctrl {
 			e := &t.ctrl[i]
-			e.cuSet = resolve(e.cuSet)
+			e.cuSet = t.d.resolve(e.cuSet)
 			checkSet = append(checkSet, e.cuSet...)
 		}
 	}
 	t.checkViolations(ev, checkSet)
+	t.checkBuf = checkSet[:0]
 
 	c := t.mergeAndUpdate(dataSet)
-	bs := t.blockState(b)
-	bs.cu = c
-	c.ws[b] = struct{}{}
+	bs := t.ensureBlock(b)
+	t.setBlockCU(bs, c)
+	c.ws.add(b)
 
 	switch bs.state {
 	case stIdle, stLoaded:
@@ -557,25 +626,26 @@ func (t *threadState) store(ev *vm.Event, b int64, valReg, addrReg isa.Reg) {
 // CU the store depends on. At most one violation is reported per store.
 func (t *threadState) checkViolations(ev *vm.Event, set []*cu) {
 	for _, c := range set {
-		if t.reportIfConflict(ev, c, c.rs) {
+		if t.reportIfConflict(ev, c, &c.rs) {
 			return
 		}
-		if t.d.opts.CheckAllBlocks && t.reportIfConflict(ev, c, c.ws) {
+		if t.d.opts.CheckAllBlocks && t.reportIfConflict(ev, c, &c.ws) {
 			return
 		}
 	}
 }
 
-func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks map[int64]struct{}) bool {
-	for b := range blocks {
-		bs := t.blocks[b]
+func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks *blockSet) bool {
+	found := false
+	blocks.forEach(func(b int64) bool {
+		bs := t.lookupBlock(b)
 		if bs == nil || !bs.conflict {
-			continue
+			return true
 		}
 		// The conflict must belong to the unit being checked: a stale
 		// block whose CU pointer moved on is skipped.
-		if cur := bs.currentCU(); cur != c {
-			continue
+		if cur := t.currentCU(bs); cur != c {
+			return true
 		}
 		t.d.stats.Violations++
 		v := Violation{
@@ -592,9 +662,10 @@ func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks map[int64]str
 		if len(t.d.violations) < t.d.opts.MaxViolations {
 			t.d.violations = append(t.d.violations, v)
 		}
-		return true
-	}
-	return false
+		found = true
+		return false
+	})
+	return found
 }
 
 // mergeAndUpdate is Figure 7's merge_and_update: consolidate the CUs in set
@@ -610,21 +681,24 @@ func (t *threadState) mergeAndUpdate(set []*cu) *cu {
 			continue
 		}
 		// Keep the unit with the larger footprint as the root.
-		if len(c.rs)+len(c.ws) > len(root.rs)+len(root.ws) {
+		if c.rs.len()+c.ws.len() > root.rs.len()+root.ws.len() {
 			root, c = c, root
 		}
-		for b := range c.rs {
-			if _, written := root.ws[b]; !written {
-				root.rs[b] = struct{}{}
+		c.rs.forEach(func(b int64) bool {
+			if !root.ws.has(b) {
+				root.rs.add(b)
 			}
-		}
-		for b := range c.ws {
-			root.ws[b] = struct{}{}
-			delete(root.rs, b)
-		}
-		c.parent = root
+			return true
+		})
+		c.ws.forEach(func(b int64) bool {
+			root.ws.add(b)
+			root.rs.remove(b)
+			return true
+		})
+		c.parent = t.d.acquire(root)
 		c.active = false
-		c.rs, c.ws = nil, nil
+		c.rs.reset()
+		c.ws.reset()
 		t.d.stats.CUsMerged++
 	}
 	return root
@@ -632,23 +706,30 @@ func (t *threadState) mergeAndUpdate(set []*cu) *cu {
 
 // cut is deactivate_log_CU: the unit ends; its blocks return to Idle with
 // conflict flags cleared, and dangling references die via the active flag.
+// The unit is pinned across the sweep: resetting its own blocks may drop
+// the last external reference mid-iteration.
 func (t *threadState) cut(c *cu) {
+	t.d.acquire(c)
 	c.active = false
 	t.d.stats.CUsCut++
-	for b := range c.rs {
+	c.rs.forEach(func(b int64) bool {
 		t.resetBlock(b, c)
-	}
-	for b := range c.ws {
+		return true
+	})
+	c.ws.forEach(func(b int64) bool {
 		t.resetBlock(b, c)
-	}
+		return true
+	})
+	t.d.release(c)
 }
 
 func (t *threadState) resetBlock(b int64, owner *cu) {
-	bs := t.blocks[b]
+	bs := t.lookupBlock(b)
 	if bs == nil {
 		return
 	}
-	if bs.cu != nil && bs.cu.find() == owner {
+	if bs.cu != nil && t.d.find(bs.cu) == owner {
+		t.d.release(bs.cu)
 		bs.cu = nil
 		bs.state = stIdle
 		bs.conflict = false
@@ -659,7 +740,7 @@ func (t *threadState) resetBlock(b int64, owner *cu) {
 // FSM, record conflicts for the strict-2PL check, cut on True_Dep, and
 // remember remote writes for the a posteriori log.
 func (t *threadState) remote(ev *vm.Event, b int64) {
-	bs := t.blocks[b]
+	bs := t.lookupBlock(b)
 	if bs == nil {
 		// The thread never touched the block: no state is needed, and no
 		// (s, rw, lw) triple is possible without a preceding local write.
@@ -702,7 +783,7 @@ func (t *threadState) remote(ev *vm.Event, b int64) {
 				LocalWriteSeq:  bs.localWriteSeq,
 			})
 		}
-		if c := bs.currentCU(); c != nil {
+		if c := t.currentCU(bs); c != nil {
 			t.d.stats.SharedCutRemote++
 			t.cut(c)
 		} else {
@@ -763,22 +844,44 @@ func (t *threadState) pushCtrl(ev *vm.Event) {
 	if reconv <= ev.PC {
 		return // loop-type control flow: not inferred
 	}
-	set := resolve(t.regs[ev.Instr.Rs1])
+	set := t.d.resolve(t.regs[ev.Instr.Rs1])
 	t.regs[ev.Instr.Rs1] = set
+	// Reuse the backing array of a previously popped entry at this stack
+	// slot, if any: branches are frequent and entries short-lived.
+	var cuSet []*cu
+	if n := len(t.ctrl); n < cap(t.ctrl) {
+		cuSet = t.ctrl[: n+1 : cap(t.ctrl)][n].cuSet[:0]
+	}
+	for _, c := range set {
+		cuSet = append(cuSet, t.d.acquire(c))
+	}
 	t.ctrl = append(t.ctrl, ctrlEntry{
-		cuSet:    append([]*cu(nil), set...),
+		cuSet:    cuSet,
 		reconvPC: reconv,
 		depth:    t.depth,
 	})
+}
+
+// dropCtrlTop pops the top control entry, releasing its references. The
+// set's backing array stays in the stack's spare capacity for reuse by the
+// next push.
+func (t *threadState) dropCtrlTop() {
+	e := &t.ctrl[len(t.ctrl)-1]
+	for i, c := range e.cuSet {
+		t.d.release(c)
+		e.cuSet[i] = nil
+	}
+	e.cuSet = e.cuSet[:0]
+	t.ctrl = t.ctrl[:len(t.ctrl)-1]
 }
 
 // popCtrl retires control entries whose reconvergence point has been
 // reached at the current call depth.
 func (t *threadState) popCtrl(pc int64) {
 	for len(t.ctrl) > 0 {
-		top := t.ctrl[len(t.ctrl)-1]
+		top := &t.ctrl[len(t.ctrl)-1]
 		if top.depth == t.depth && pc >= top.reconvPC {
-			t.ctrl = t.ctrl[:len(t.ctrl)-1]
+			t.dropCtrlTop()
 			continue
 		}
 		break

@@ -249,7 +249,7 @@ func TestTrueDepRemoteCut(t *testing.T) {
 		t.Errorf("triple wrong: %+v", e)
 	}
 	// After the cut the block must be Idle with no conflict residue.
-	bs := s.d.threads[0].blocks[q]
+	bs := s.d.threads[0].lookupBlock(q)
 	if bs.state != stIdle || bs.conflict {
 		t.Errorf("block after cut: state=%v conflict=%v", bs.state, bs.conflict)
 	}
@@ -582,32 +582,32 @@ func TestFSMTransitions(t *testing.T) {
 	const b = 100
 
 	s.load(0, 0, rA, b)
-	if got := tr.blocks[b].state; got != stLoaded {
+	if got := tr.lookupBlock(b).state; got != stLoaded {
 		t.Errorf("after load: %v", got)
 	}
 	s.load(1, 0, rA, b) // remote read
-	if got := tr.blocks[b].state; got != stLoadedShared {
+	if got := tr.lookupBlock(b).state; got != stLoadedShared {
 		t.Errorf("after remote read: %v", got)
 	}
 	s.store(0, 1, rA, b)
-	if got := tr.blocks[b].state; got != stStoredShared {
+	if got := tr.lookupBlock(b).state; got != stStoredShared {
 		t.Errorf("after store on Loaded_Shared: %v", got)
 	}
 	// Local load on Stored_Shared cuts and restarts as Loaded.
 	s.load(0, 2, rA, b)
-	if got := tr.blocks[b].state; got != stLoaded {
+	if got := tr.lookupBlock(b).state; got != stLoaded {
 		t.Errorf("after cut+load: %v", got)
 	}
 	s.store(0, 3, rA, b)
-	if got := tr.blocks[b].state; got != stStored {
+	if got := tr.lookupBlock(b).state; got != stStored {
 		t.Errorf("after store: %v", got)
 	}
 	s.load(0, 4, rA, b)
-	if got := tr.blocks[b].state; got != stTrueDep {
+	if got := tr.lookupBlock(b).state; got != stTrueDep {
 		t.Errorf("after read-after-write: %v", got)
 	}
 	s.store(1, 1, rA, b) // remote write on True_Dep cuts to Idle
-	if got := tr.blocks[b].state; got != stIdle {
+	if got := tr.lookupBlock(b).state; got != stIdle {
 		t.Errorf("after remote cut: %v", got)
 	}
 	for st := stIdle; st <= stTrueDep; st++ {
@@ -621,15 +621,18 @@ func TestFSMTransitions(t *testing.T) {
 func TestUnionFind(t *testing.T) {
 	d := New(&isa.Program{Name: "u", Code: []isa.Instr{isa.Nop()}}, 1, Options{})
 	a, b, c := d.newCU(), d.newCU(), d.newCU()
-	b.parent, b.active = a, false
-	c.parent, c.active = b, false
-	if got := c.find(); got != a {
+	// Build the chain c -> b -> a by hand, taking the parent references
+	// merge_and_update would have taken.
+	b.parent, b.active = d.acquire(a), false
+	c.parent, c.active = d.acquire(b), false
+	if got := d.find(c); got != a {
 		t.Errorf("find walked to %v, want root", got.id)
 	}
 	if c.parent != a && c.parent != b {
 		t.Error("path not compressed")
 	}
-	set := resolve([]*cu{a, b, c, a})
+	// resolve consumes one counted reference per element.
+	set := d.resolve([]*cu{d.acquire(a), d.acquire(b), d.acquire(c), d.acquire(a)})
 	if len(set) != 1 || set[0] != a {
 		t.Errorf("resolve = %v, want [root]", set)
 	}
