@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench-smoke bench hotpath
+.PHONY: all build test race vet check bench-smoke bench bench-guard bench-baseline hotpath
 
 all: check
 
@@ -28,6 +28,17 @@ bench-smoke:
 
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkHotPath|BenchmarkOverhead|BenchmarkDetectorStep' -benchmem .
+
+# Fail if the detectors' telemetry-disabled hot path regressed more than
+# 10% over the recorded baseline (BENCH_BASELINE.json). Refresh the
+# baseline with `make bench-baseline` after a deliberate perf change.
+BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step$$' -benchtime 2000000x -count 3 .
+
+bench-guard:
+	$(BENCH_GUARD) | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
+
+bench-baseline:
+	$(BENCH_GUARD) | $(GO) run ./cmd/benchguard -record -baseline BENCH_BASELINE.json
 
 # Machine-readable hot-path snapshot (ns/instr, allocs, Minstr/s).
 hotpath:

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/ber"
 	"repro/internal/frd"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/svd"
 	"repro/internal/vm"
@@ -310,6 +311,28 @@ func BenchmarkHotPathSVDStep(b *testing.B) {
 	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
 	evs := recordEvents(b, w, 1<<22)
 	det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Step(&evs[i%len(evs)])
+	}
+	b.StopTimer()
+	st := det.Stats()
+	if st.CUsCreated > 0 {
+		b.ReportMetric(float64(st.CUsReused)/float64(st.CUsCreated), "cu-reuse-rate")
+	}
+}
+
+// BenchmarkHotPathSVDStepTelemetry measures the same stream with a
+// metrics-only recorder attached — the cost of live counters and
+// histograms without event tracing. Compare against BenchmarkHotPathSVDStep
+// to see the telemetry layer's enabled overhead; the disabled overhead is
+// BenchmarkHotPathSVDStep itself (one nil pointer check per hook).
+func BenchmarkHotPathSVDStepTelemetry(b *testing.B) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	evs := recordEvents(b, w, 1<<22)
+	sink := obs.NewSink(obs.SinkOptions{})
+	det := svd.New(w.Prog, w.NumThreads, svd.Options{Recorder: sink.NewRecorder("bench")})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

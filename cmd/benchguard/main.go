@@ -1,0 +1,144 @@
+// Command benchguard compares `go test -bench` output against a recorded
+// baseline and fails when a benchmark regresses beyond tolerance. It is
+// the CI guard keeping the detectors' instrumented-but-disabled hot path
+// honest: telemetry hooks are supposed to cost one nil check, and this
+// tool notices if they start costing more.
+//
+// Usage:
+//
+//	go test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step$' -count 5 . |
+//	    go run ./cmd/benchguard -baseline BENCH_BASELINE.json
+//
+//	go test -run NONE -bench ... -count 5 . |
+//	    go run ./cmd/benchguard -record -baseline BENCH_BASELINE.json
+//
+// With -record, the measured minima overwrite the baseline file instead of
+// being compared. Comparison uses the minimum ns/op across -count repeats
+// — the least-noisy stand-in for the true cost on a shared machine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result, e.g.
+//
+//	BenchmarkHotPathSVDStep-8   19741086   60.93 ns/op   0 B/op ...
+//
+// The -8 GOMAXPROCS suffix is stripped so baselines survive machine moves.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (or write with -record)")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline")
+		record       = flag.Bool("record", false, "write the measured minima to the baseline instead of comparing")
+	)
+	flag.Parse()
+
+	measured, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(measured) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)"))
+	}
+
+	if *record {
+		if err := writeBaseline(*baselinePath, measured); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: recorded %d baselines to %s\n", len(measured), *baselinePath)
+		return
+	}
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	for _, name := range sortedKeys(measured) {
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Printf("benchguard: %-40s %10.2f ns/op  (no baseline, skipped)\n", name, measured[name])
+			continue
+		}
+		got := measured[name]
+		ratio := got/base - 1
+		status := "ok"
+		if ratio > *tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-40s %10.2f ns/op vs %10.2f baseline  %+6.1f%%  %s\n",
+			name, got, base, ratio*100, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: hot path regressed more than %.0f%% over %s\n",
+			*tolerance*100, *baselinePath)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts the minimum ns/op per benchmark name from go test
+// -bench output; repeats from -count collapse to their fastest run.
+func parseBench(f *os.File) (map[string]float64, error) {
+	min := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := min[m[1]]; !ok || ns < prev {
+			min[m[1]] = ns
+		}
+	}
+	return min, sc.Err()
+}
+
+func readBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w (run with -record to create it)", path, err)
+	}
+	var out map[string]float64
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return out, nil
+}
+
+func writeBaseline(path string, v map[string]float64) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/frd"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -23,15 +24,16 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "registered workload to run (see -list)")
-		srcPath  = flag.String("src", "", "SVL source file to compile and run instead")
-		list     = flag.Bool("list", false, "list registered workloads")
-		seed     = flag.Uint64("seed", 0, "scheduler seed")
-		scale    = flag.Int("scale", 1, "workload size multiplier")
-		cpus     = flag.Int("cpus", 0, "CPU count for -src programs")
-		maxSteps = flag.Uint64("max-steps", 1<<24, "instruction budget")
-		maxShow  = flag.Int("show", 10, "max races to print")
-		frontier = flag.Bool("frontier", false, "also record a trace and print frontier races")
+		workload  = flag.String("workload", "", "registered workload to run (see -list)")
+		srcPath   = flag.String("src", "", "SVL source file to compile and run instead")
+		list      = flag.Bool("list", false, "list registered workloads")
+		seed      = flag.Uint64("seed", 0, "scheduler seed")
+		scale     = flag.Int("scale", 1, "workload size multiplier")
+		cpus      = flag.Int("cpus", 0, "CPU count for -src programs")
+		maxSteps  = flag.Uint64("max-steps", 1<<24, "instruction budget")
+		maxShow   = flag.Int("show", 10, "max races to print")
+		frontier  = flag.Bool("frontier", false, "also record a trace and print frontier races")
+		tracePath = flag.String("trace", "", "write race events as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -41,19 +43,25 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workload, *srcPath, *seed, *scale, *cpus, *maxSteps, *maxShow, *frontier); err != nil {
+	if err := run(*workload, *srcPath, *seed, *scale, *cpus, *maxSteps, *maxShow, *frontier, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "frd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64, maxShow int, wantFrontier bool) error {
+func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64, maxShow int, wantFrontier bool, tracePath string) error {
 	m, w, err := buildMachine(workload, srcPath, seed, scale, cpus)
 	if err != nil {
 		return err
 	}
+	var sink *obs.Sink
+	opts := frd.Options{}
+	if tracePath != "" {
+		sink = obs.NewSink(obs.SinkOptions{Tracing: true})
+		opts.Recorder = sink.NewRecorder(fmt.Sprintf("frd seed %d", seed))
+	}
 	prog := m.Program()
-	det := frd.New(prog, m.NumCPUs(), frd.Options{})
+	det := frd.New(prog, m.NumCPUs(), opts)
 	m.Attach(det)
 
 	var rec *trace.Recorder
@@ -69,6 +77,14 @@ func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64
 		fmt.Printf("execution faulted: %v\n", err)
 	} else if !m.Done() {
 		fmt.Printf("stopped after %d instructions (budget)\n", maxSteps)
+	}
+	if sink != nil {
+		det.FlushObs()
+		opts.Recorder.Flush()
+		if err := sink.WriteTraceFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s\n", sink.Trace().Len(), tracePath)
 	}
 
 	st := det.Stats()

@@ -6,6 +6,7 @@
 //
 //	svd -workload apache-buggy -seed 3 -scale 2
 //	svd -src program.svl -cpus 4 -seed 1
+//	svd -workload apache-buggy -trace out.json   # Chrome trace of CU lifecycle
 //	svd -list
 package main
 
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/svd"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -35,6 +37,7 @@ func main() {
 		noAddr    = flag.Bool("no-address-deps", false, "disable address dependences")
 		noCtrl    = flag.Bool("no-control-deps", false, "disable the Skipper control-dependence stack")
 		blockLog2 = flag.Uint("block-shift", 0, "log2 words per detection block")
+		tracePath = flag.String("trace", "", "write CU lifecycle events as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -44,7 +47,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workload, *srcPath, *seed, *scale, *cpus, *maxSteps, *maxShow, svd.Options{
+	if err := run(*workload, *srcPath, *seed, *scale, *cpus, *maxSteps, *maxShow, *tracePath, svd.Options{
 		CheckAllBlocks: *allBlocks,
 		NoAddressDeps:  *noAddr,
 		NoControlDeps:  *noCtrl,
@@ -55,10 +58,15 @@ func main() {
 	}
 }
 
-func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64, maxShow int, opts svd.Options) error {
+func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64, maxShow int, tracePath string, opts svd.Options) error {
 	m, w, err := buildMachine(workload, srcPath, seed, scale, cpus)
 	if err != nil {
 		return err
+	}
+	var sink *obs.Sink
+	if tracePath != "" {
+		sink = obs.NewSink(obs.SinkOptions{Tracing: true})
+		opts.Recorder = sink.NewRecorder(fmt.Sprintf("svd seed %d", seed))
 	}
 	prog := m.Program()
 	det := svd.New(prog, m.NumCPUs(), opts)
@@ -67,6 +75,14 @@ func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64
 		fmt.Printf("execution faulted: %v\n", err)
 	} else if !m.Done() {
 		fmt.Printf("stopped after %d instructions (budget)\n", maxSteps)
+	}
+	if sink != nil {
+		det.FlushObs()
+		opts.Recorder.Flush()
+		if err := sink.WriteTraceFile(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s\n", sink.Trace().Len(), tracePath)
 	}
 
 	st := det.Stats()

@@ -10,7 +10,19 @@
 //
 // Sample-running modes (-table2, -fn) fan independent samples across
 // -parallel workers (default GOMAXPROCS) with bit-identical results.
-// -json FILE writes the -hotpath measurements as machine-readable JSON.
+// -json FILE writes machine-readable output: the -hotpath measurements,
+// or for -table2 the rows plus the merged detector stats across every
+// sample.
+//
+// Observability (DESIGN.md §7):
+//
+//	-trace out.json   record detector activity (CU lifecycle, violations,
+//	                  log triples, races, harness phases) as Chrome
+//	                  trace-event JSON, loadable in Perfetto
+//	-http :6060       serve live expvar metrics (/debug/vars, including
+//	                  the aggregated "svd" telemetry snapshot) and
+//	                  net/http/pprof (/debug/pprof) during the run; with
+//	                  no run mode, serve until interrupted
 //
 // Absolute numbers differ from the paper's (the substrate is this
 // repository's VM, not Simics on SPARC hardware); the shapes — who wins,
@@ -19,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +40,7 @@ import (
 	"repro/internal/ber"
 	"repro/internal/frd"
 	"repro/internal/lockset"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stale"
 	"repro/internal/svd"
@@ -46,18 +60,33 @@ func main() {
 		samples   = flag.Int("samples", 4, "samples per bug-free Table 2 row")
 		seed      = flag.Uint64("seed", 0, "base scheduler seed")
 		parallel  = flag.Int("parallel", 0, "sample-runner workers; <=0 means GOMAXPROCS")
-		jsonPath  = flag.String("json", "", "write -hotpath measurements to this file as JSON")
+		jsonPath  = flag.String("json", "", "write machine-readable results (-hotpath or -table2) to this file as JSON")
+		tracePath = flag.String("trace", "", "write detector activity as Chrome trace-event JSON to this file")
+		httpAddr  = flag.String("http", "", "serve live expvar metrics and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	var sink *obs.Sink
+	if *tracePath != "" || *httpAddr != "" {
+		sink = obs.NewSink(obs.SinkOptions{Tracing: *tracePath != ""})
+		sink.PublishExpvar("svd")
+	}
+	if *httpAddr != "" {
+		addr, err := obs.ListenAndServe(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving metrics on http://%s/debug/vars (pprof at /debug/pprof)\n", addr)
+	}
 
 	ran := false
 	if *table2 {
 		ran = true
-		runTable2(*scale, *samples, *seed, *parallel)
+		runTable2(*scale, *samples, *seed, *parallel, *jsonPath, sink)
 	}
 	if *fn {
 		ran = true
-		runFN(*scale, *seed, *parallel)
+		runFN(*scale, *seed, *parallel, sink)
 	}
 	if *scaling {
 		ran = true
@@ -79,9 +108,20 @@ func main() {
 		ran = true
 		runHotpath(*scale, *seed, *parallel, *jsonPath)
 	}
+	if !ran && *httpAddr != "" {
+		// Pure serving mode: keep the metrics endpoint up until killed.
+		fmt.Println("no run mode given; serving until interrupted (^C)")
+		select {}
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *tracePath != "" {
+		if err := sink.WriteTraceFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", sink.Trace().Len(), *tracePath)
 	}
 }
 
@@ -134,9 +174,11 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runTable2(scale, samples int, seed uint64, parallel int) {
+func runTable2(scale, samples int, seed uint64, parallel int, jsonPath string, sink *obs.Sink) {
 	fmt.Printf("== Table 2 (scale %d, %d samples per bug-free row) ==\n", scale, samples)
-	rows, err := report.Table2(report.Table2Config{Scale: scale, Samples: samples, Seed: seed, Parallelism: parallel})
+	rows, merged, err := report.Table2(report.Table2Config{
+		Scale: scale, Samples: samples, Seed: seed, Parallelism: parallel, Obs: sink,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -145,16 +187,42 @@ func runTable2(scale, samples int, seed uint64, parallel int) {
 	for _, r := range rows {
 		fmt.Print(report.Summary(r))
 	}
+	if jsonPath != "" {
+		if err := writeTable2JSON(jsonPath, rows, merged, sink); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Table 2 rows and merged stats to %s\n", jsonPath)
+	}
 }
 
-func runFN(scale int, seed uint64, parallel int) {
+// writeTable2JSON dumps the rows plus the merged detector counters (and,
+// when telemetry is on, the sink's histogram snapshot) for downstream
+// tooling.
+func writeTable2JSON(path string, rows []report.Row, merged report.MergedStats, sink *obs.Sink) error {
+	out := struct {
+		Rows      []report.Row       `json:"rows"`
+		Stats     report.MergedStats `json:"stats"`
+		Telemetry *obs.Snapshot      `json:"telemetry,omitempty"`
+	}{Rows: rows, Stats: merged}
+	if sink != nil {
+		snap := sink.Snapshot()
+		out.Telemetry = &snap
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runFN(scale int, seed uint64, parallel int, sink *obs.Sink) {
 	fmt.Println("== §7.1 apparent false negatives ==")
 	for _, name := range []string{"apache-buggy", "mysql-prepared-buggy"} {
 		w, err := workloads.ByName(name, scale, seed)
 		if err != nil {
 			fatal(err)
 		}
-		sams, err := report.RunMany(w, report.Seeds(seed, 6), report.Options{}, parallel)
+		sams, err := report.RunMany(w, report.Seeds(seed, 6), report.Options{Obs: sink}, parallel)
 		if err != nil {
 			fatal(err)
 		}

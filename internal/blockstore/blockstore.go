@@ -181,11 +181,19 @@ func (s *Store[T]) Reset() {
 // Slots reports the number of materialized slots (dense page entries plus
 // overflow entries) — the store's space commitment in units of T.
 func (s *Store[T]) Slots() int {
-	n := len(s.overflow)
+	slots, _, overflow := s.PageStats()
+	return slots + overflow
+}
+
+// PageStats breaks the store's space commitment down for occupancy
+// telemetry: slots is the dense entries committed, pages the materialized
+// dense pages they span, and overflow the map-backed entries.
+func (s *Store[T]) PageStats() (slots, pages, overflow int) {
 	for _, p := range s.pages {
 		if p != nil {
-			n += len(p)
+			pages++
+			slots += len(p)
 		}
 	}
-	return n
+	return slots, pages, len(s.overflow)
 }

@@ -113,6 +113,9 @@ func TestResetAndSlots(t *testing.T) {
 	if got := s.Slots(); got != 2*16+1 {
 		t.Fatalf("Slots = %d, want %d", got, 2*16+1)
 	}
+	if slots, pages, overflow := s.PageStats(); slots != 2*16 || pages != 2 || overflow != 1 {
+		t.Fatalf("PageStats = (%d, %d, %d), want (32, 2, 1)", slots, pages, overflow)
+	}
 	s.Reset()
 	if got := s.Slots(); got != 0 {
 		t.Fatalf("Slots after Reset = %d, want 0", got)

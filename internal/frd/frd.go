@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/blockstore"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -45,6 +46,11 @@ type Options struct {
 	// SparseBlockTable keeps block metadata in a hash map instead of the
 	// paged flat store — the escape hatch for sparse address spaces.
 	SparseBlockTable bool
+
+	// Recorder attaches the telemetry layer (internal/obs): race events
+	// and end-of-run block-store occupancy. Nil keeps the hot path free
+	// of telemetry work beyond one nil check per report.
+	Recorder *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +113,16 @@ type Stats struct {
 	Races        uint64 // dynamic race instances (pre-cap)
 }
 
+// Add accumulates o into s field-wise. report.MergeSamples uses it to
+// fold detector counters across parallel sample runs.
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.SyncOps += o.SyncOps
+	s.Races += o.Races
+}
+
 type epoch struct {
 	clock uint64
 	pc    int64
@@ -126,6 +142,7 @@ type blockInfo struct {
 type Detector struct {
 	prog    *isa.Program
 	opts    Options
+	rec     *obs.Recorder // telemetry hooks; nil when disabled
 	numCPUs int
 
 	vc     []vclock
@@ -141,6 +158,7 @@ func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 	d := &Detector{
 		prog:    prog,
 		opts:    opts.withDefaults(),
+		rec:     opts.Recorder,
 		numCPUs: numCPUs,
 		vc:      make([]vclock, numCPUs),
 		blocks:  blockstore.New[blockInfo](blockstore.Options{Sparse: opts.SparseBlockTable}),
@@ -270,8 +288,21 @@ func (d *Detector) write(ev *vm.Event, b int64, bi *blockInfo) {
 	}
 }
 
+// FlushObs records the block store's end-of-run occupancy into the
+// attached recorder; the harness calls it once after a run.
+func (d *Detector) FlushObs() {
+	if d.rec == nil {
+		return
+	}
+	slots, pages, overflow := d.blocks.PageStats()
+	d.rec.ObserveStore(0, pages, slots+overflow, -1)
+}
+
 func (d *Detector) report(b int64, first epoch, firstCPU int, firstWr bool, ev *vm.Event, secondWr bool) {
 	d.stats.Races++
+	if r := d.rec; r != nil {
+		r.Race(d.stats.Instructions, ev.CPU, ev.PC, b)
+	}
 	r := Race{
 		Block:     b,
 		FirstPC:   first.pc,

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Trace event phases (the Chrome trace-event "ph" field).
+const (
+	PhaseInstant  = byte('i') // point event
+	PhaseComplete = byte('X') // span with a duration
+	PhaseMetadata = byte('M') // process/thread naming
+	PhaseCounter  = byte('C') // counter track
+)
+
+// maxArgs bounds per-event arguments so events stay allocation-free on
+// the recording path.
+const maxArgs = 4
+
+// KV is one trace-event argument. A non-empty Str takes precedence over
+// Val; a zero Key terminates the argument list.
+type KV struct {
+	Key string
+	Str string
+	Val int64
+}
+
+// TraceEvent is one Chrome trace-event record. Detector events carry
+// virtual time (1 dynamic instruction = 1 µs) on their sample's process;
+// harness phase spans carry wall-clock microseconds on process 0.
+type TraceEvent struct {
+	Name string
+	Cat  string
+	Ph   byte
+	TS   uint64 // microseconds (virtual or wall, by process — see above)
+	Dur  uint64 // microseconds, PhaseComplete only
+	PID  int
+	TID  int64
+	Args [maxArgs]KV
+}
+
+// Trace is a concurrency-safe collector of trace events. Recorders buffer
+// privately and append in batches at Flush, so the lock is cold.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+func (t *Trace) append(evs []TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, evs...)
+	t.mu.Unlock()
+}
+
+// Len reports the number of collected events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the collected events.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// CountName returns the number of events with the given name — the
+// cross-check hook (e.g. trace "violation" events vs detector-reported
+// violations).
+func (t *Trace) CountName(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.events {
+		if t.events[i].Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSON emits the trace in Chrome trace-event JSON object format
+// ({"traceEvents": [...]}), loadable in Perfetto and chrome://tracing.
+// Events are written in collection order; viewers sort by timestamp.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	for i := range t.events {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		writeEvent(bw, &t.events[i])
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to path as Chrome trace-event JSON.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeEvent(bw *bufio.Writer, e *TraceEvent) {
+	bw.WriteString(`{"name":`)
+	bw.WriteString(strconv.Quote(e.Name))
+	if e.Cat != "" {
+		bw.WriteString(`,"cat":`)
+		bw.WriteString(strconv.Quote(e.Cat))
+	}
+	bw.WriteString(`,"ph":"`)
+	bw.WriteByte(e.Ph)
+	bw.WriteString(`","ts":`)
+	bw.WriteString(strconv.FormatUint(e.TS, 10))
+	if e.Ph == PhaseComplete {
+		bw.WriteString(`,"dur":`)
+		bw.WriteString(strconv.FormatUint(e.Dur, 10))
+	}
+	if e.Ph == PhaseInstant {
+		bw.WriteString(`,"s":"t"`) // thread-scoped instant
+	}
+	bw.WriteString(`,"pid":`)
+	bw.WriteString(strconv.Itoa(e.PID))
+	bw.WriteString(`,"tid":`)
+	bw.WriteString(strconv.FormatInt(e.TID, 10))
+	if e.Args[0].Key != "" {
+		bw.WriteString(`,"args":{`)
+		for i := range e.Args {
+			a := &e.Args[i]
+			if a.Key == "" {
+				break
+			}
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(strconv.Quote(a.Key))
+			bw.WriteByte(':')
+			if a.Str != "" {
+				bw.WriteString(strconv.Quote(a.Str))
+			} else {
+				bw.WriteString(strconv.FormatInt(a.Val, 10))
+			}
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}

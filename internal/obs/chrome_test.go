@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeFile mirrors the trace-event JSON object format for decoding.
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := &Trace{}
+	tr.append([]TraceEvent{
+		processName(1, "sample \"one\""),
+		{
+			Name: "violation", Cat: "svd", Ph: PhaseInstant, TS: 42, PID: 1, TID: 3,
+			Args: [maxArgs]KV{{Key: "store_pc", Val: 7}, {Key: "block", Val: -5}},
+		},
+		{
+			Name: "simulate", Cat: "phase", Ph: PhaseComplete, TS: 10, Dur: 90, PID: 0, TID: 1,
+		},
+	})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(f.TraceEvents))
+	}
+
+	meta := f.TraceEvents[0]
+	if meta.Ph != "M" || meta.Args["name"] != `sample "one"` {
+		t.Errorf("metadata event mangled: %+v", meta)
+	}
+	inst := f.TraceEvents[1]
+	if inst.Ph != "i" || inst.TS != 42 || inst.Args["store_pc"] != float64(7) || inst.Args["block"] != float64(-5) {
+		t.Errorf("instant event mangled: %+v", inst)
+	}
+	span := f.TraceEvents[2]
+	if span.Ph != "X" || span.Dur != 90 {
+		t.Errorf("complete event mangled: %+v", span)
+	}
+}
+
+func TestTraceCountName(t *testing.T) {
+	tr := &Trace{}
+	tr.append([]TraceEvent{
+		{Name: "violation"}, {Name: "race"}, {Name: "violation"},
+	})
+	if got := tr.CountName("violation"); got != 2 {
+		t.Fatalf("CountName = %d, want 2", got)
+	}
+	var nilTrace *Trace
+	if nilTrace.CountName("violation") != 0 || nilTrace.Len() != 0 {
+		t.Fatal("nil trace should count 0")
+	}
+}

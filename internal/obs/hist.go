@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// histBuckets is the bucket count: bucket i holds values whose bit length
+// is i (bucket 0 is exactly zero, bucket i≥1 covers [2^(i-1), 2^i-1]), so
+// 65 buckets span all of uint64.
+const histBuckets = 65
+
+// Histogram counts uint64 observations in power-of-two buckets. The
+// geometric resolution matches the quantities the detectors produce —
+// lifetimes, footprints, page counts, latencies in nanoseconds — whose
+// interesting structure is orders of magnitude, not absolute values. The
+// zero value is an empty histogram; it is not goroutine-safe (recorders
+// are single-goroutine, the Sink merges under its lock).
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bits.Len64(v)]++
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// inclusive upper edge of the bucket where the cumulative count crosses
+// q·Count, clamped to the observed Max.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= target {
+			upper := uint64(0)
+			if i > 0 {
+				upper = 1<<uint(i) - 1
+			}
+			if upper > h.Max {
+				upper = h.Max
+			}
+			return upper
+		}
+	}
+	return h.Max
+}
+
+// String renders a compact summary for reports.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f min=%d p50≤%d p90≤%d p99≤%d max=%d",
+		h.Count, h.Mean(), h.Min, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max)
+	return b.String()
+}
+
+// Summary is the flattened, serialization-friendly view of a histogram
+// used by the expvar snapshot and -json outputs.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+}
+
+// Summarize flattens the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count,
+		Sum:   h.Sum,
+		Min:   h.Min,
+		Max:   h.Max,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import "testing"
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count)
+	}
+	if h.Sum != 1110 {
+		t.Fatalf("Sum = %d, want 1110", h.Sum)
+	}
+	if h.Min != 0 || h.Max != 1000 {
+		t.Fatalf("Min/Max = %d/%d, want 0/1000", h.Min, h.Max)
+	}
+	// Buckets: 0 -> b0, 1 -> b1, 2,3 -> b2, 4 -> b3, 100 -> b7, 1000 -> b10.
+	for i, want := range map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 7: 1, 10: 1} {
+		if h.Buckets[i] != want {
+			t.Errorf("Buckets[%d] = %d, want %d", i, h.Buckets[i], want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	// p50 of 1..100 lands in bucket 6 (values 32..63): upper bound 63.
+	if got := h.Quantile(0.5); got != 63 {
+		t.Errorf("p50 = %d, want 63", got)
+	}
+	// p100 clamps to the observed max.
+	if got := h.Quantile(1.0); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	if got := h.Quantile(0.0); got == 0 {
+		t.Errorf("p0 should still land in a populated bucket, got %d", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := uint64(1); i <= 10; i++ {
+		a.Observe(i)
+	}
+	for i := uint64(100); i <= 110; i++ {
+		b.Observe(i)
+	}
+	a.Merge(&b)
+	if a.Count != 21 {
+		t.Fatalf("merged Count = %d, want 21", a.Count)
+	}
+	if a.Min != 1 || a.Max != 110 {
+		t.Fatalf("merged Min/Max = %d/%d, want 1/110", a.Min, a.Max)
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count != 21 {
+		t.Fatalf("merging empty changed Count to %d", a.Count)
+	}
+	empty.Merge(&a)
+	if empty.Count != 21 || empty.Min != 1 {
+		t.Fatalf("merge into empty: Count=%d Min=%d", empty.Count, empty.Min)
+	}
+}
+
+func TestHistogramSummarize(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	s := h.Summarize()
+	if s.Count != 2 || s.Sum != 30 || s.Mean != 15 {
+		t.Fatalf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+)
+
+var publishMu sync.Mutex
+
+// PublishExpvar registers the sink's aggregated metrics under name at
+// /debug/vars. Re-publishing the same name replaces the reader (expvar
+// itself panics on duplicates, so this wraps a stable indirection).
+func (s *Sink) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if v := expvar.Get(name); v != nil {
+		if h, ok := v.(*sinkVar); ok {
+			h.mu.Lock()
+			h.sink = s
+			h.mu.Unlock()
+			return
+		}
+		// Name taken by an unrelated var; leave it alone.
+		return
+	}
+	expvar.Publish(name, &sinkVar{sink: s})
+}
+
+// sinkVar adapts a Sink to expvar.Var with a swappable target.
+type sinkVar struct {
+	mu   sync.Mutex
+	sink *Sink
+}
+
+func (v *sinkVar) String() string {
+	v.mu.Lock()
+	s := v.sink
+	v.mu.Unlock()
+	f := expvar.Func(func() any { return s.Snapshot() })
+	return f.String()
+}
+
+// ListenAndServe starts the live observability endpoint on addr (expvar
+// at /debug/vars, profiles at /debug/pprof) in a background goroutine and
+// returns the bound address — useful when addr has port 0. The server
+// runs until the process exits.
+func ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = http.Serve(ln, http.DefaultServeMux)
+	}()
+	return ln.Addr().String(), nil
+}

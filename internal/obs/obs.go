@@ -1,0 +1,391 @@
+// Package obs is the detectors' telemetry layer: an event tracer, phase
+// timing and size histograms, and a live metrics endpoint.
+//
+// The paper's evaluation (§6–7) is built from aggregate counters, but
+// steering the implementation — validating the hot-path rewrite, finding
+// the next optimization target — needs event-level visibility: when CUs
+// are created, how long they live, how they die, where violations and
+// (s, rw, lw) log triples come from, and what the per-phase costs of a
+// sample run are. This package provides that visibility at three layers:
+//
+//   - Trace: a Chrome trace-event JSON recorder (chrome.go). CU lifecycle
+//     events, violations, log triples, and races are instant events on a
+//     per-sample process timeline whose clock is the detector's dynamic
+//     instruction count (1 instruction = 1 µs of virtual time); harness
+//     phase spans are duration events on a shared wall-clock process. The
+//     output loads in Perfetto and chrome://tracing.
+//
+//   - Metrics: counters and power-of-two histograms (hist.go, metrics.go)
+//     of CU lifetimes, footprint sizes, blockstore page occupancy, arena
+//     reuse, and harness phase latencies, merged across parallel sample
+//     runners.
+//
+//   - Endpoint: expvar publication of the aggregated metrics plus
+//     net/http/pprof, served live from the harness (http.go).
+//
+// Cost model: the detectors hold a single *Recorder pointer and guard
+// every hook with a nil check, so the instrumented-but-disabled hot path
+// differs from the uninstrumented one by predictable not-taken branches
+// (the bench-guard CI target holds it within 10% of the recorded
+// baseline). With a recorder attached but tracing off, hooks update
+// fixed-size counters and histograms only; event buffering happens only
+// when the Sink was built with Tracing set.
+//
+// Concurrency model: a Recorder is single-goroutine (one per sample run,
+// created by Sink.NewRecorder); the Sink is the synchronization point,
+// folding each recorder's metrics and buffered events in under one lock
+// at Flush.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CutCause labels why a computational unit was cut.
+type CutCause uint8
+
+const (
+	// CutLoadShared: a load hit a Stored_Shared block (Figure 8
+	// transition I).
+	CutLoadShared CutCause = iota
+	// CutRemoteTrueDep: a remote access hit a True_Dep block (Figure 8
+	// transition II).
+	CutRemoteTrueDep
+)
+
+func (c CutCause) String() string {
+	if c == CutLoadShared {
+		return "load_shared"
+	}
+	return "remote_true_dep"
+}
+
+// harnessPID is the trace process that carries wall-clock phase spans;
+// detector processes (one per recorder) start at 1.
+const harnessPID = 0
+
+// SinkOptions configure a Sink.
+type SinkOptions struct {
+	// Tracing enables event buffering; without it recorders keep only
+	// counters and histograms.
+	Tracing bool
+}
+
+// Sink aggregates telemetry from many single-goroutine Recorders. It is
+// safe for concurrent use by the parallel sample runner.
+type Sink struct {
+	epoch   time.Time
+	trace   *Trace
+	nextPID atomic.Int64
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+// NewSink builds a Sink.
+func NewSink(opts SinkOptions) *Sink {
+	s := &Sink{epoch: time.Now()}
+	if opts.Tracing {
+		s.trace = &Trace{}
+		s.trace.append([]TraceEvent{processName(harnessPID, "harness (wall-clock phases)")})
+	}
+	return s
+}
+
+// Tracing reports whether the sink buffers trace events.
+func (s *Sink) Tracing() bool { return s != nil && s.trace != nil }
+
+// Trace returns the sink's event trace, or nil when tracing is disabled.
+func (s *Sink) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.trace
+}
+
+// Metrics returns a deep copy of the aggregated metrics.
+func (s *Sink) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics.clone()
+}
+
+// NewRecorder allocates a recorder for one sample run. name labels the
+// sample's process track in the trace ("" for no label). The recorder
+// must be used from a single goroutine and flushed with Flush.
+func (s *Sink) NewRecorder(name string) *Recorder {
+	if s == nil {
+		return nil
+	}
+	r := &Recorder{
+		sink:    s,
+		pid:     int(s.nextPID.Add(1)),
+		epoch:   s.epoch,
+		tracing: s.trace != nil,
+	}
+	if r.tracing && name != "" {
+		r.events = append(r.events, processName(r.pid, name))
+	}
+	return r
+}
+
+// Recorder collects one sample run's telemetry: detector lifecycle events
+// keyed to virtual (instruction-count) time, harness phase spans keyed to
+// wall-clock time, and the run's histograms. All methods are safe on a
+// nil receiver (no-ops), so call sites can thread an optional recorder
+// without branching; the detectors still guard their hot-path hooks with
+// a nil check to keep the disabled path free of call overhead.
+type Recorder struct {
+	sink    *Sink
+	pid     int
+	epoch   time.Time
+	tracing bool
+	events  []TraceEvent
+	m       Metrics
+}
+
+// PID returns the recorder's trace process id.
+func (r *Recorder) PID() int {
+	if r == nil {
+		return 0
+	}
+	return r.pid
+}
+
+// Tracing reports whether the recorder buffers trace events.
+func (r *Recorder) Tracing() bool { return r != nil && r.tracing }
+
+// CUCreate records a computational-unit allocation at virtual time ts.
+func (r *Recorder) CUCreate(ts uint64, cpu int, cu uint64) {
+	if r == nil {
+		return
+	}
+	r.m.CUCreates++
+	if r.tracing {
+		r.emit(TraceEvent{
+			Name: "cu_create", Cat: "cu", Ph: PhaseInstant,
+			TS: ts, PID: r.pid, TID: int64(cpu),
+			Args: [maxArgs]KV{{Key: "cu", Val: int64(cu)}},
+		})
+	}
+}
+
+// CUExtend records block b joining a unit's footprint (write selects the
+// ws set; otherwise rs).
+func (r *Recorder) CUExtend(ts uint64, cpu int, cu uint64, b int64, write bool) {
+	if r == nil {
+		return
+	}
+	r.m.CUExtends++
+	if r.tracing {
+		var w int64
+		if write {
+			w = 1
+		}
+		r.emit(TraceEvent{
+			Name: "cu_extend", Cat: "cu", Ph: PhaseInstant,
+			TS: ts, PID: r.pid, TID: int64(cpu),
+			Args: [maxArgs]KV{
+				{Key: "cu", Val: int64(cu)},
+				{Key: "block", Val: b},
+				{Key: "write", Val: w},
+			},
+		})
+	}
+}
+
+// CUMerge records merge_and_update consuming child into root; lifetime is
+// the child's age in instructions and footprint its rs+ws size at merge.
+func (r *Recorder) CUMerge(ts uint64, cpu int, child, root uint64, lifetime uint64, footprint int) {
+	if r == nil {
+		return
+	}
+	r.m.CUMerges++
+	r.m.CULifetime.Observe(lifetime)
+	r.m.CUFootprint.Observe(uint64(footprint))
+	if r.tracing {
+		r.emit(TraceEvent{
+			Name: "cu_merge", Cat: "cu", Ph: PhaseInstant,
+			TS: ts, PID: r.pid, TID: int64(cpu),
+			Args: [maxArgs]KV{
+				{Key: "cu", Val: int64(child)},
+				{Key: "into", Val: int64(root)},
+				{Key: "lifetime", Val: int64(lifetime)},
+				{Key: "footprint", Val: int64(footprint)},
+			},
+		})
+	}
+}
+
+// CUCut records a shared-dependence cut ending a unit.
+func (r *Recorder) CUCut(ts uint64, cpu int, cu uint64, cause CutCause, lifetime uint64, footprint int) {
+	if r == nil {
+		return
+	}
+	r.m.CUCuts++
+	r.m.CULifetime.Observe(lifetime)
+	r.m.CUFootprint.Observe(uint64(footprint))
+	if r.tracing {
+		r.emit(TraceEvent{
+			Name: "cu_cut", Cat: "cu", Ph: PhaseInstant,
+			TS: ts, PID: r.pid, TID: int64(cpu),
+			Args: [maxArgs]KV{
+				{Key: "cu", Val: int64(cu)},
+				{Key: "cause", Str: cause.String()},
+				{Key: "lifetime", Val: int64(lifetime)},
+				{Key: "footprint", Val: int64(footprint)},
+			},
+		})
+	}
+}
+
+// Violation records one dynamic serializability-violation report. Exactly
+// one event is emitted per report the detector counts, so a trace's
+// violation events match Stats().Violations one-for-one.
+func (r *Recorder) Violation(ts uint64, cpu int, storePC, block int64, cu uint64) {
+	if r == nil {
+		return
+	}
+	r.m.Violations++
+	if r.tracing {
+		r.emit(TraceEvent{
+			Name: "violation", Cat: "svd", Ph: PhaseInstant,
+			TS: ts, PID: r.pid, TID: int64(cpu),
+			Args: [maxArgs]KV{
+				{Key: "store_pc", Val: storePC},
+				{Key: "block", Val: block},
+				{Key: "cu", Val: int64(cu)},
+			},
+		})
+	}
+}
+
+// LogTriple records one dynamic (s, rw, lw) a posteriori log occurrence
+// (pre-dedup, pre-cap: one event per occurrence the detector counts).
+func (r *Recorder) LogTriple(ts uint64, cpu int, readPC, remotePC, localPC int64) {
+	if r == nil {
+		return
+	}
+	r.m.LogTriples++
+	if r.tracing {
+		r.emit(TraceEvent{
+			Name: "log_triple", Cat: "svd", Ph: PhaseInstant,
+			TS: ts, PID: r.pid, TID: int64(cpu),
+			Args: [maxArgs]KV{
+				{Key: "read_pc", Val: readPC},
+				{Key: "remote_write_pc", Val: remotePC},
+				{Key: "local_write_pc", Val: localPC},
+			},
+		})
+	}
+}
+
+// Race records one dynamic happens-before race report from the FRD
+// baseline.
+func (r *Recorder) Race(ts uint64, cpu int, pc, block int64) {
+	if r == nil {
+		return
+	}
+	r.m.Races++
+	if r.tracing {
+		r.emit(TraceEvent{
+			Name: "race", Cat: "frd", Ph: PhaseInstant,
+			TS: ts, PID: r.pid, TID: int64(cpu),
+			Args: [maxArgs]KV{
+				{Key: "pc", Val: pc},
+				{Key: "block", Val: block},
+			},
+		})
+	}
+}
+
+// ObserveStore records one block store's end-of-run occupancy: pages
+// materialized, slots committed, and blocks actually recorded. Pass a
+// negative touched when the store does not track per-block occupancy
+// (the observation is skipped for that histogram).
+func (r *Recorder) ObserveStore(id int, pages, slots, touched int) {
+	if r == nil {
+		return
+	}
+	r.m.StorePages.Observe(uint64(pages))
+	r.m.StoreSlots.Observe(uint64(slots))
+	if touched >= 0 {
+		r.m.StoreTouched.Observe(uint64(touched))
+	}
+	_ = id
+}
+
+// ObserveArena folds the CU arena's end-of-run counters in.
+func (r *Recorder) ObserveArena(allocated, reused, recycled uint64) {
+	if r == nil {
+		return
+	}
+	r.m.ArenaAllocated += allocated
+	r.m.ArenaReused += reused
+	r.m.ArenaRecycled += recycled
+}
+
+var noopEnd = func() {}
+
+// Span opens a wall-clock harness phase; the returned func closes it,
+// feeding the phase histogram and (when tracing) a duration event on the
+// harness timeline. Safe and allocation-free on a nil recorder.
+func (r *Recorder) Span(name string) func() {
+	if r == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() {
+		dur := time.Since(start)
+		r.m.observePhase(name, uint64(dur.Nanoseconds()))
+		if r.tracing {
+			r.emit(TraceEvent{
+				Name: name, Cat: "phase", Ph: PhaseComplete,
+				TS:  uint64(start.Sub(r.epoch).Microseconds()),
+				Dur: uint64(dur.Microseconds()),
+				PID: harnessPID, TID: int64(r.pid),
+				Args: [maxArgs]KV{{Key: "sample", Val: int64(r.pid)}},
+			})
+		}
+	}
+}
+
+func (r *Recorder) emit(ev TraceEvent) {
+	r.events = append(r.events, ev)
+}
+
+// Flush folds the recorder's metrics and buffered events into the sink.
+// The recorder is reusable afterwards (its buffers restart empty).
+func (r *Recorder) Flush() {
+	if r == nil {
+		return
+	}
+	r.m.Samples++
+	r.sink.mu.Lock()
+	r.sink.metrics.Merge(&r.m)
+	r.sink.mu.Unlock()
+	if r.tracing && len(r.events) > 0 {
+		r.sink.trace.append(r.events)
+	}
+	r.events = nil
+	r.m = Metrics{}
+}
+
+// processName builds the trace metadata event naming a process track.
+func processName(pid int, name string) TraceEvent {
+	return TraceEvent{
+		Name: "process_name", Ph: PhaseMetadata, PID: pid,
+		Args: [maxArgs]KV{{Key: "name", Str: name}},
+	}
+}
+
+// WriteTraceFile writes the sink's trace as Chrome trace-event JSON.
+func (s *Sink) WriteTraceFile(path string) error {
+	if s == nil || s.trace == nil {
+		return fmt.Errorf("obs: no trace collected (sink built without Tracing)")
+	}
+	return s.trace.WriteFile(path)
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestRecorderMetricsAggregation(t *testing.T) {
+	sink := NewSink(SinkOptions{})
+	if sink.Tracing() {
+		t.Fatal("metrics-only sink should not trace")
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := sink.NewRecorder("worker")
+			for i := 0; i < 10; i++ {
+				r.CUCreate(uint64(i), 0, uint64(i))
+				r.CUCut(uint64(i), 0, uint64(i), CutLoadShared, 5, 2)
+			}
+			r.Violation(1, 0, 10, 20, 1)
+			r.LogTriple(2, 1, 1, 2, 3)
+			r.Race(3, 0, 4, 5)
+			r.ObserveArena(7, 3, 3)
+			r.ObserveStore(0, 2, 1024, 100)
+			done := r.Span("simulate")
+			done()
+			r.Flush()
+		}()
+	}
+	wg.Wait()
+
+	m := sink.Metrics()
+	if m.Samples != 4 {
+		t.Fatalf("Samples = %d, want 4", m.Samples)
+	}
+	if m.CUCreates != 40 || m.CUCuts != 40 || m.Violations != 4 || m.LogTriples != 4 || m.Races != 4 {
+		t.Fatalf("counters wrong: %+v", m)
+	}
+	if m.CULifetime.Count != 40 || m.CULifetime.Max != 5 {
+		t.Fatalf("lifetime histogram wrong: %+v", m.CULifetime)
+	}
+	if got := m.ArenaReuseRate(); got != 0.3 {
+		t.Fatalf("ArenaReuseRate = %v, want 0.3", got)
+	}
+	if m.Phase["simulate"] == nil || m.Phase["simulate"].Count != 4 {
+		t.Fatalf("phase histogram missing: %+v", m.Phase)
+	}
+
+	snap := m.Snapshot()
+	if snap.Counters["violations"] != 4 || snap.Histograms["store_slots"].Count != 4 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not serializable: %v", err)
+	}
+}
+
+func TestRecorderTracing(t *testing.T) {
+	sink := NewSink(SinkOptions{Tracing: true})
+	r := sink.NewRecorder("sample 1")
+	r.CUCreate(1, 0, 1)
+	r.CUExtend(2, 0, 1, 9, false)
+	r.CUMerge(3, 0, 2, 1, 10, 4)
+	r.Violation(4, 1, 100, 9, 1)
+	done := r.Span("classify")
+	done()
+
+	// Nothing reaches the shared trace before Flush (the process_name
+	// metadata event is buffered with the rest).
+	if n := sink.Trace().Len(); n != 1 { // harness process_name only
+		t.Fatalf("trace has %d events before flush, want 1", n)
+	}
+	r.Flush()
+	tr := sink.Trace()
+	if tr.CountName("violation") != 1 || tr.CountName("cu_create") != 1 || tr.CountName("classify") != 1 {
+		t.Fatalf("missing events after flush: %d total", tr.Len())
+	}
+	if tr.CountName("process_name") != 2 { // harness + sample
+		t.Fatalf("process metadata missing: %d", tr.CountName("process_name"))
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.CUCreate(1, 0, 1)
+	r.CUExtend(1, 0, 1, 2, true)
+	r.CUMerge(1, 0, 1, 2, 3, 4)
+	r.CUCut(1, 0, 1, CutRemoteTrueDep, 3, 4)
+	r.Violation(1, 0, 1, 2, 3)
+	r.LogTriple(1, 0, 1, 2, 3)
+	r.Race(1, 0, 1, 2)
+	r.ObserveArena(1, 2, 3)
+	r.ObserveStore(0, 1, 2, 3)
+	r.Span("x")()
+	r.Flush()
+	if r.Tracing() || r.PID() != 0 {
+		t.Fatal("nil recorder should report inert state")
+	}
+
+	var s *Sink
+	if s.NewRecorder("x") != nil || s.Tracing() || s.Trace() != nil {
+		t.Fatal("nil sink should hand out nil recorders")
+	}
+}
+
+func TestExpvarEndpoint(t *testing.T) {
+	sink := NewSink(SinkOptions{})
+	r := sink.NewRecorder("s")
+	r.Violation(1, 0, 1, 2, 3)
+	r.Flush()
+	sink.PublishExpvar("svd_test_metrics")
+
+	// Re-publishing with a fresh sink must swap the target, not panic.
+	sink2 := NewSink(SinkOptions{})
+	sink2.PublishExpvar("svd_test_metrics")
+	sink.PublishExpvar("svd_test_metrics")
+
+	addr, err := ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	raw, ok := vars["svd_test_metrics"]
+	if !ok {
+		t.Fatalf("svd_test_metrics missing from /debug/vars")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("published metrics not decodable: %v", err)
+	}
+	if snap.Counters["violations"] != 1 {
+		t.Fatalf("published snapshot = %+v, want 1 violation", snap)
+	}
+
+	// pprof should be mounted on the same mux.
+	resp2, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint returned %d", resp2.StatusCode)
+	}
+}

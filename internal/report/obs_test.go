@@ -1,0 +1,131 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// TestTelemetryAcrossRunMany runs a buggy workload with tracing on across
+// parallel workers and checks the acceptance criteria of the telemetry
+// layer: trace violation events match the detectors' counters one-for-one,
+// the merged stats equal the per-sample sums, and the emitted trace is
+// valid Chrome trace-event JSON.
+func TestTelemetryAcrossRunMany(t *testing.T) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 16, Buggy: true, Seed: 1})
+	sink := obs.NewSink(obs.SinkOptions{Tracing: true})
+	samples, err := RunMany(w, Seeds(1, 4), Options{Obs: sink}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wantViolations, wantRaces, wantLogs uint64
+	for _, s := range samples {
+		wantViolations += s.SVDStats.Violations
+		wantRaces += s.FRDStats.Races
+		wantLogs += s.SVDStats.LogEntries
+	}
+	if wantViolations == 0 {
+		t.Fatal("buggy workload produced no violations")
+	}
+
+	tr := sink.Trace()
+	if got := uint64(tr.CountName("violation")); got != wantViolations {
+		t.Errorf("trace has %d violation events, detectors counted %d", got, wantViolations)
+	}
+	if got := uint64(tr.CountName("race")); got != wantRaces {
+		t.Errorf("trace has %d race events, FRD counted %d", got, wantRaces)
+	}
+	if got := uint64(tr.CountName("log_triple")); got != wantLogs {
+		t.Errorf("trace has %d log_triple events, SVD counted %d", got, wantLogs)
+	}
+	// One process per sample plus the wall-clock harness track, each
+	// named via metadata.
+	if got := tr.CountName("process_name"); got != len(samples)+1 {
+		t.Errorf("got %d process_name events, want %d", got, len(samples)+1)
+	}
+	// Each sample times its three phases on the harness track.
+	for _, phase := range []string{"build-vm", "simulate", "classify"} {
+		if got := tr.CountName(phase); got != len(samples) {
+			t.Errorf("got %d %q spans, want %d", got, phase, len(samples))
+		}
+	}
+
+	merged := MergeSamples(samples)
+	if merged.Samples != len(samples) {
+		t.Errorf("merged %d samples, want %d", merged.Samples, len(samples))
+	}
+	if merged.SVD.Violations != wantViolations || merged.FRD.Races != wantRaces {
+		t.Errorf("MergeSamples diverges from per-sample sums: %+v", merged)
+	}
+
+	m := sink.Metrics()
+	if m.Samples != uint64(len(samples)) {
+		t.Errorf("sink folded %d samples, want %d", m.Samples, len(samples))
+	}
+	if m.Violations != wantViolations {
+		t.Errorf("sink counted %d violations, want %d", m.Violations, wantViolations)
+	}
+	snap := sink.Snapshot()
+	if snap.Samples != uint64(len(samples)) || snap.Counters["violations"] != wantViolations {
+		t.Errorf("snapshot diverges: %+v", snap)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != tr.Len() {
+		t.Errorf("decoded %d events, trace holds %d", len(doc.TraceEvents), tr.Len())
+	}
+	violations := 0
+	for _, e := range doc.TraceEvents {
+		if e.Name == "violation" {
+			violations++
+			if e.Ph != "i" {
+				t.Errorf("violation event has phase %q, want instant", e.Ph)
+			}
+		}
+	}
+	if uint64(violations) != wantViolations {
+		t.Errorf("decoded %d violation events, want %d", violations, wantViolations)
+	}
+}
+
+// TestTelemetryDisabledIsInert: a nil sink must leave samples identical to
+// an untelemetered run.
+func TestTelemetryDisabledIsInert(t *testing.T) {
+	w := workloads.ApacheLog(workloads.ApacheConfig{Threads: 4, Requests: 8, Buggy: true, Seed: 2})
+	plain, err := Run(w, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewSink(obs.SinkOptions{})
+	traced, err := Run(w, 3, Options{Obs: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SVDStats != traced.SVDStats || plain.FRDStats != traced.FRDStats {
+		t.Errorf("telemetry changed detector stats:\nplain:  %+v\ntraced: %+v", plain.SVDStats, traced.SVDStats)
+	}
+	if sink.Metrics().Samples != 1 {
+		t.Errorf("metrics-only sink folded %d samples, want 1", sink.Metrics().Samples)
+	}
+	if sink.Trace().Len() != 0 {
+		t.Errorf("non-tracing sink buffered %d events, want 0", sink.Trace().Len())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/frd"
+	"repro/internal/obs"
 	"repro/internal/svd"
 	"repro/internal/workloads"
 )
@@ -62,6 +63,13 @@ type Sample struct {
 
 	// CUs is the number of computational units SVD inferred.
 	CUs uint64
+
+	// SVDStats and FRDStats are the detectors' raw counters for this
+	// sample; MergeSamples folds them across a run set. (Before these
+	// fields, parallel runs reported per-sample classifications but
+	// dropped the underlying detector stats.)
+	SVDStats svd.Stats
+	FRDStats frd.Stats
 }
 
 // Options tune a sample run.
@@ -69,6 +77,12 @@ type Options struct {
 	MaxSteps uint64 // instruction budget; zero means 1<<24
 	SVD      svd.Options
 	FRD      frd.Options
+
+	// Obs collects telemetry across samples (internal/obs). Each Run
+	// attaches a per-sample recorder to both detectors and times its
+	// phases; RunMany workers all fold into this one sink. Nil disables
+	// telemetry entirely.
+	Obs *obs.Sink
 }
 
 // Run executes one sample.
@@ -76,7 +90,17 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 1 << 24
 	}
+	var rec *obs.Recorder
+	if opts.Obs != nil {
+		rec = opts.Obs.NewRecorder(fmt.Sprintf("%s seed %d", w.Name, seed))
+		defer rec.Flush()
+		opts.SVD.Recorder = rec
+		opts.FRD.Recorder = rec
+	}
+
+	endBuild := rec.Span("build-vm")
 	m, err := w.NewVM(seed)
+	endBuild()
 	if err != nil {
 		return nil, err
 	}
@@ -84,18 +108,27 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 	fd := frd.New(w.Prog, w.NumThreads, opts.FRD)
 	m.Attach(sd)
 	m.Attach(fd)
-	if _, err := m.Run(opts.MaxSteps); err != nil {
+	endSim := rec.Span("simulate")
+	_, err = m.Run(opts.MaxSteps)
+	endSim()
+	if err != nil {
 		return nil, fmt.Errorf("report: %s seed %d: %w", w.Name, seed, err)
 	}
 	if !m.Done() {
 		return nil, fmt.Errorf("report: %s seed %d did not finish within %d steps", w.Name, seed, opts.MaxSteps)
 	}
+	sd.FlushObs()
+	fd.FlushObs()
 
+	endClassify := rec.Span("classify")
+	defer endClassify()
 	s := &Sample{
 		Workload:     w.Name,
 		Seed:         seed,
 		Instructions: sd.Stats().Instructions,
 		CUs:          sd.Stats().CUsLive(),
+		SVDStats:     sd.Stats(),
+		FRDStats:     fd.Stats(),
 	}
 	if w.Check != nil {
 		s.Erroneous, s.ErrorDetail = w.Check(m)
@@ -112,6 +145,29 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 		}
 	}
 	return s, nil
+}
+
+// MergedStats is the field-wise sum of both detectors' counters across a
+// sample set — the whole-run view that per-sample rows used to drop.
+type MergedStats struct {
+	Samples int       `json:"samples"`
+	SVD     svd.Stats `json:"svd"`
+	FRD     frd.Stats `json:"frd"`
+}
+
+// MergeSamples folds every sample's detector counters together. Nil
+// samples (skipped runs) are ignored.
+func MergeSamples(samples []*Sample) MergedStats {
+	var m MergedStats
+	for _, s := range samples {
+		if s == nil {
+			continue
+		}
+		m.Samples++
+		m.SVD.Add(s.SVDStats)
+		m.FRD.Add(s.FRDStats)
+	}
+	return m
 }
 
 func classifySVD(w *workloads.Workload, sd *svd.Detector) DetectorResult {

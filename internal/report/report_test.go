@@ -121,12 +121,15 @@ func TestRates(t *testing.T) {
 // TestTable2SmallScale runs the whole Table 2 pipeline at scale 1 and
 // checks the headline shape of the paper's results.
 func TestTable2SmallScale(t *testing.T) {
-	rows, err := Table2(Table2Config{Scale: 1, Samples: 2, Seed: 0})
+	rows, merged, err := Table2(Table2Config{Scale: 1, Samples: 2, Seed: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 5 {
 		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	if merged.Samples == 0 || merged.SVD.Instructions == 0 || merged.FRD.Instructions == 0 {
+		t.Errorf("merged stats empty: %+v", merged)
 	}
 	byName := map[string]Row{}
 	for _, r := range rows {

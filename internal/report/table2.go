@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -18,6 +19,10 @@ type Table2Config struct {
 	// RunMany); zero or negative means GOMAXPROCS. Results are identical
 	// to the sequential run for any value.
 	Parallelism int
+
+	// Obs collects telemetry (event traces, histograms) across every
+	// sample of every row; nil disables it.
+	Obs *obs.Sink
 }
 
 func (c Table2Config) withDefaults() Table2Config {
@@ -64,18 +69,25 @@ func Table2Workloads(cfg Table2Config) []struct {
 
 // Table2 reproduces the paper's Table 2: each workload is run for its
 // sample count with distinct seeds, both detectors attached, and the
-// classified results aggregated into rows.
-func Table2(cfg Table2Config) ([]Row, error) {
+// classified results aggregated into rows. The second return value is
+// the field-wise sum of both detectors' counters across every sample —
+// the merged stats that per-row aggregation alone would drop.
+func Table2(cfg Table2Config) ([]Row, MergedStats, error) {
 	cfg = cfg.withDefaults()
 	var rows []Row
+	var merged MergedStats
 	for _, entry := range Table2Workloads(cfg) {
-		samples, err := RunMany(entry.W, Seeds(cfg.Seed, entry.Samples), Options{}, cfg.Parallelism)
+		samples, err := RunMany(entry.W, Seeds(cfg.Seed, entry.Samples), Options{Obs: cfg.Obs}, cfg.Parallelism)
 		if err != nil {
-			return nil, fmt.Errorf("table2: %s: %w", entry.W.Name, err)
+			return nil, MergedStats{}, fmt.Errorf("table2: %s: %w", entry.W.Name, err)
 		}
 		rows = append(rows, Aggregate(entry.W.Name, samples))
+		m := MergeSamples(samples)
+		merged.Samples += m.Samples
+		merged.SVD.Add(m.SVD)
+		merged.FRD.Add(m.FRD)
 	}
-	return rows, nil
+	return rows, merged, nil
 }
 
 // ScalingPoint is one point of the §7.3 execution-length sweep.

@@ -33,9 +33,10 @@ package svd
 // (§4.3 "Represent CU with memory blocks, not dynamic instructions").
 type cu struct {
 	id     uint64
-	parent *cu // union-find forwarding set by merge_and_update
+	born   uint64 // detector instruction count at creation (telemetry)
+	parent *cu    // union-find forwarding set by merge_and_update
 	active bool
-	refs   int32 // counted references; see the file comment
+	refs   int32    // counted references; see the file comment
 	rs     blockSet // input blocks: read before written by this CU
 	ws     blockSet // blocks written by this CU
 }
@@ -64,6 +65,7 @@ func (d *Detector) newCU() *cu {
 		d.stats.CUsAllocated++
 	}
 	c.id = d.nextCU
+	c.born = d.stats.Instructions
 	c.active = true
 	return c
 }

@@ -47,7 +47,7 @@ func (d *Detector) Clone() *Detector {
 		if nc, ok := cuMap[c]; ok {
 			return nc
 		}
-		nc := &cu{id: c.id, active: true}
+		nc := &cu{id: c.id, born: c.born, active: true}
 		c.rs.forEach(func(b int64) bool { nc.rs.add(b); return true })
 		c.ws.forEach(func(b int64) bool { nc.ws.add(b); return true })
 		cuMap[c] = nc

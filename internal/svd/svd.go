@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/blockstore"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -82,6 +83,12 @@ type Options struct {
 	// fresh allocation, as in the original implementation. Debug and
 	// differential-testing knob.
 	NoCUArena bool
+
+	// Recorder attaches the telemetry layer (internal/obs): CU lifecycle
+	// events, violation/log-triple provenance, and end-of-run gauges. Nil
+	// (the default) keeps the hot path free of telemetry work beyond one
+	// predictable nil check per hook.
+	Recorder *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -261,6 +268,7 @@ type threadState struct {
 type Detector struct {
 	prog    *isa.Program
 	opts    Options
+	rec     *obs.Recorder // telemetry hooks; nil when disabled
 	threads []*threadState
 
 	// CU arena storage (see arena.go).
@@ -284,6 +292,7 @@ func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 	d := &Detector{
 		prog:    prog,
 		opts:    opts.withDefaults(),
+		rec:     opts.Recorder,
 		logSeen: make(map[logKey]int),
 	}
 	d.threads = make([]*threadState, numCPUs)
@@ -313,13 +322,54 @@ func (d *Detector) Reset() {
 // Violations returns the retained dynamic violation reports.
 func (d *Detector) Violations() []Violation { return d.violations }
 
-// Log returns the retained a posteriori examination log. Entries are
-// deduplicated by static (s, rw, lw) PC triple; Stats().LogEntries counts
-// dynamic occurrences.
-func (d *Detector) Log() []LogEntry { return d.logEntries }
+// Log returns a copy of the retained a posteriori examination log.
+// Entries are deduplicated by static (s, rw, lw) PC triple;
+// Stats().LogEntries counts dynamic occurrences. The copy is defensive:
+// callers may sort or mutate it without corrupting the detector's
+// internal log.
+func (d *Detector) Log() []LogEntry {
+	if len(d.logEntries) == 0 {
+		return nil
+	}
+	return append([]LogEntry(nil), d.logEntries...)
+}
 
 // Stats returns aggregate counters.
 func (d *Detector) Stats() Stats { return d.stats }
+
+// Add accumulates o into s field-wise. report.MergeSamples uses it to
+// fold detector counters across parallel sample runs.
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.RemoteEvents += o.RemoteEvents
+	s.CUsCreated += o.CUsCreated
+	s.CUsMerged += o.CUsMerged
+	s.CUsCut += o.CUsCut
+	s.CUsAllocated += o.CUsAllocated
+	s.CUsReused += o.CUsReused
+	s.CUsRecycled += o.CUsRecycled
+	s.Violations += o.Violations
+	s.LogEntries += o.LogEntries
+	s.SharedCutLoads += o.SharedCutLoads
+	s.SharedCutRemote += o.SharedCutRemote
+}
+
+// FlushObs records end-of-run gauges into the attached recorder: each
+// thread's block-store occupancy and the CU arena's recycling counters.
+// The harness calls it once after a run; without a recorder it is a
+// no-op. (The recorder itself is flushed to its sink by the harness.)
+func (d *Detector) FlushObs() {
+	if d.rec == nil {
+		return
+	}
+	for _, t := range d.threads {
+		slots, pages, overflow := t.blocks.PageStats()
+		d.rec.ObserveStore(t.id, pages, slots+overflow, t.nblocks)
+	}
+	d.rec.ObserveArena(d.stats.CUsAllocated, d.stats.CUsReused, d.stats.CUsRecycled)
+}
 
 // block maps a word address to a block id.
 func (d *Detector) block(addr int64) int64 { return addr >> d.opts.BlockShift }
@@ -528,6 +578,10 @@ func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
 	if bs.state == stStoredShared {
 		if c := t.currentCU(bs); c != nil {
 			t.d.stats.SharedCutLoads++
+			if r := t.d.rec; r != nil {
+				r.CUCut(t.d.stats.Instructions, t.id, c.id, obs.CutLoadShared,
+					t.d.stats.Instructions-c.born, c.rs.len()+c.ws.len())
+			}
 			t.cut(c)
 		} else {
 			bs.state = stIdle
@@ -556,10 +610,16 @@ func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
 		c = t.d.newCU()
 		t.d.acquire(c)
 		bs.cu = c
+		if r := t.d.rec; r != nil {
+			r.CUCreate(t.d.stats.Instructions, t.id, c.id)
+		}
 	}
 	// Input blocks are locations not written by the CU before their first
 	// read (§2.2.1).
 	if !c.ws.has(b) {
+		if r := t.d.rec; r != nil && !c.rs.has(b) {
+			r.CUExtend(t.d.stats.Instructions, t.id, c.id, b, false)
+		}
 		c.rs.add(b)
 	}
 
@@ -605,6 +665,9 @@ func (t *threadState) store(ev *vm.Event, b int64, valReg, addrReg isa.Reg) {
 	c := t.mergeAndUpdate(dataSet)
 	bs := t.ensureBlock(b)
 	t.setBlockCU(bs, c)
+	if r := t.d.rec; r != nil && !c.ws.has(b) {
+		r.CUExtend(t.d.stats.Instructions, t.id, c.id, b, true)
+	}
 	c.ws.add(b)
 
 	switch bs.state {
@@ -659,6 +722,9 @@ func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks *blockSet) bo
 			ConflictSeq: bs.conflictSeq,
 		}
 		t.d.recordSite(v)
+		if r := t.d.rec; r != nil {
+			r.Violation(t.d.stats.Instructions, t.id, ev.PC, b, c.id)
+		}
 		if len(t.d.violations) < t.d.opts.MaxViolations {
 			t.d.violations = append(t.d.violations, v)
 		}
@@ -673,7 +739,11 @@ func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks *blockSet) bo
 // stack follow lazily through union-find.
 func (t *threadState) mergeAndUpdate(set []*cu) *cu {
 	if len(set) == 0 {
-		return t.d.newCU()
+		c := t.d.newCU()
+		if r := t.d.rec; r != nil {
+			r.CUCreate(t.d.stats.Instructions, t.id, c.id)
+		}
+		return c
 	}
 	root := set[0]
 	for _, c := range set[1:] {
@@ -683,6 +753,10 @@ func (t *threadState) mergeAndUpdate(set []*cu) *cu {
 		// Keep the unit with the larger footprint as the root.
 		if c.rs.len()+c.ws.len() > root.rs.len()+root.ws.len() {
 			root, c = c, root
+		}
+		if r := t.d.rec; r != nil {
+			r.CUMerge(t.d.stats.Instructions, t.id, c.id, root.id,
+				t.d.stats.Instructions-c.born, c.rs.len()+c.ws.len())
 		}
 		c.rs.forEach(func(b int64) bool {
 			if !root.ws.has(b) {
@@ -785,6 +859,10 @@ func (t *threadState) remote(ev *vm.Event, b int64) {
 		}
 		if c := t.currentCU(bs); c != nil {
 			t.d.stats.SharedCutRemote++
+			if r := t.d.rec; r != nil {
+				r.CUCut(t.d.stats.Instructions, t.id, c.id, obs.CutRemoteTrueDep,
+					t.d.stats.Instructions-c.born, c.rs.len()+c.ws.len())
+			}
 			t.cut(c)
 		} else {
 			bs.state = stIdle
@@ -802,6 +880,9 @@ func (t *threadState) remote(ev *vm.Event, b int64) {
 
 func (d *Detector) logTriple(e LogEntry) {
 	d.stats.LogEntries++
+	if r := d.rec; r != nil {
+		r.LogTriple(d.stats.Instructions, e.CPU, e.ReadPC, e.RemoteWritePC, e.LocalWritePC)
+	}
 	key := logKey{readPC: e.ReadPC, remotePC: e.RemoteWritePC, localPC: e.LocalWritePC}
 	if idx, seen := d.logSeen[key]; seen {
 		kept := &d.logEntries[idx]
