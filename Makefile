@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestRunMany|TestArenaDifferential' ./internal/report/ ./internal/svd/
+	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestBatchChopping' ./internal/report/ ./internal/svd/ ./internal/frd/
 
 vet:
 	$(GO) vet ./...
@@ -29,10 +29,12 @@ bench-smoke:
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkHotPath|BenchmarkOverhead|BenchmarkDetectorStep' -benchmem .
 
-# Fail if the detectors' telemetry-disabled hot path regressed more than
-# 10% over the recorded baseline (BENCH_BASELINE.json). Refresh the
-# baseline with `make bench-baseline` after a deliberate perf change.
-BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step$$' -benchtime 2000000x -count 3 .
+# Fail if the detectors' hot path regressed beyond tolerance over the
+# recorded baseline (BENCH_BASELINE.json): 10% by default, with noisier
+# entries (the multi-thread sweeps) carrying their own per-entry
+# tolerance in the baseline file. Refresh with `make bench-baseline`
+# after a deliberate perf change — it preserves per-entry tolerances.
+BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step(Threads)?$$' -benchtime 2000000x -count 3 .
 
 bench-guard:
 	$(BENCH_GUARD) | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json

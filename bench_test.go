@@ -118,13 +118,13 @@ func BenchmarkOverheadBare(b *testing.B) { benchOverhead(b, nil) }
 
 func BenchmarkOverheadSVD(b *testing.B) {
 	benchOverhead(b, func(w *workloads.Workload, m *vm.VM) {
-		m.Attach(svd.New(w.Prog, w.NumThreads, svd.Options{}))
+		m.AttachBatch(svd.New(w.Prog, w.NumThreads, svd.Options{}))
 	})
 }
 
 func BenchmarkOverheadFRD(b *testing.B) {
 	benchOverhead(b, func(w *workloads.Workload, m *vm.VM) {
-		m.Attach(frd.New(w.Prog, w.NumThreads, frd.Options{}))
+		m.AttachBatch(frd.New(w.Prog, w.NumThreads, frd.Options{}))
 	})
 }
 
@@ -358,6 +358,93 @@ func BenchmarkHotPathFRDStep(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathSVDStepBatch measures the same stream consumed through
+// StepBatch in default-ring-size chunks — the amortized-dispatch path the
+// VM drives in production. ns/op stays per event.
+func BenchmarkHotPathSVDStepBatch(b *testing.B) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	evs := recordEvents(b, w, 1<<22)
+	det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		lo := n % len(evs)
+		hi := lo + vm.DefaultBatchCap
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		if hi-lo > b.N-n {
+			hi = lo + (b.N - n)
+		}
+		det.StepBatch(evs[lo:hi])
+		n += hi - lo
+	}
+}
+
+// benchStepThreads measures per-instruction detector cost as the thread
+// count grows, with per-thread work held constant. The full fan-out is
+// O(threads) per memory instruction; the interest index should keep the
+// curve near-flat (thread-private blocks dominate the PgSQL mix).
+func benchStepThreads(b *testing.B, step func(w *workloads.Workload, evs []vm.Event, n int)) {
+	for _, threads := range []int{4, 8, 16} {
+		// benchstat-style key=value naming: a trailing "-N" would be
+		// indistinguishable from the GOMAXPROCS suffix for baseline tools.
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			w := workloads.PgSQLOLTP(workloads.PgSQLConfig{
+				Warehouses: 4, Terminals: threads, Txns: 12 * threads, Seed: 1,
+			})
+			evs := recordEvents(b, w, 1<<22)
+			b.ReportAllocs()
+			b.ResetTimer()
+			step(w, evs, b.N)
+		})
+	}
+}
+
+// BenchmarkHotPathSVDStepThreads is the scaling tentpole: sublinear growth
+// in NumCPUs. Compare against BenchmarkHotPathSVDStepThreadsNoIndex for
+// the fan-out baseline.
+func BenchmarkHotPathSVDStepThreads(b *testing.B) {
+	benchStepThreads(b, func(w *workloads.Workload, evs []vm.Event, n int) {
+		det := svd.New(w.Prog, w.NumThreads, svd.Options{})
+		for i := 0; i < n; i++ {
+			det.Step(&evs[i%len(evs)])
+		}
+	})
+}
+
+// BenchmarkHotPathSVDStepThreadsNoIndex is the O(NumCPUs) fan-out the
+// index replaces, kept runnable for before/after curves (EXPERIMENTS.md).
+func BenchmarkHotPathSVDStepThreadsNoIndex(b *testing.B) {
+	benchStepThreads(b, func(w *workloads.Workload, evs []vm.Event, n int) {
+		det := svd.New(w.Prog, w.NumThreads, svd.Options{NoInterestIndex: true})
+		for i := 0; i < n; i++ {
+			det.Step(&evs[i%len(evs)])
+		}
+	})
+}
+
+// BenchmarkHotPathFRDStepThreads: the same scaling curve for FRD's
+// write-time read-epoch scan.
+func BenchmarkHotPathFRDStepThreads(b *testing.B) {
+	benchStepThreads(b, func(w *workloads.Workload, evs []vm.Event, n int) {
+		det := frd.New(w.Prog, w.NumThreads, frd.Options{})
+		for i := 0; i < n; i++ {
+			det.Step(&evs[i%len(evs)])
+		}
+	})
+}
+
+// BenchmarkHotPathFRDStepThreadsNoIndex is FRD's full-scan baseline.
+func BenchmarkHotPathFRDStepThreadsNoIndex(b *testing.B) {
+	benchStepThreads(b, func(w *workloads.Workload, evs []vm.Event, n int) {
+		det := frd.New(w.Prog, w.NumThreads, frd.Options{NoInterestIndex: true})
+		for i := 0; i < n; i++ {
+			det.Step(&evs[i%len(evs)])
+		}
+	})
+}
+
 // BenchmarkHotPathSVDSample measures a whole SVD-attached sample,
 // normalized to ns and allocs per simulated instruction.
 func BenchmarkHotPathSVDSample(b *testing.B) {
@@ -371,7 +458,7 @@ func BenchmarkHotPathSVDSample(b *testing.B) {
 			b.Fatal(err)
 		}
 		det := svd.New(w.Prog, w.NumThreads, svd.Options{})
-		m.Attach(det)
+		m.AttachBatch(det)
 		n, err := m.Run(1 << 26)
 		if err != nil {
 			b.Fatal(err)

@@ -15,10 +15,18 @@
 // With -record, the measured minima overwrite the baseline file instead of
 // being compared. Comparison uses the minimum ns/op across -count repeats
 // — the least-noisy stand-in for the true cost on a shared machine.
+//
+// The baseline maps benchmark names to either a plain ns/op number or an
+// object {"ns": N, "tolerance": T} carrying a per-entry tolerance. The
+// -tolerance flag is the default for plain entries; per-entry values win,
+// which lets one file hold tight bounds for stable microbenchmarks next
+// to loose bounds for noisier multi-thread sweeps. -record preserves the
+// per-entry tolerances already in the file.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,12 +41,40 @@ import (
 //	BenchmarkHotPathSVDStep-8   19741086   60.93 ns/op   0 B/op ...
 //
 // The -8 GOMAXPROCS suffix is stripped so baselines survive machine moves.
+// go test omits the suffix on single-CPU machines, so sub-benchmarks must
+// avoid a trailing "-N" of their own (the sweeps use "threads=4" naming);
+// otherwise stripping would be ambiguous.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// entry is one baseline record. Tolerance zero means "use the -tolerance
+// flag"; it round-trips as a plain JSON number to keep the common case
+// readable.
+type entry struct {
+	NS        float64 `json:"ns"`
+	Tolerance float64 `json:"tolerance,omitempty"`
+}
+
+func (e *entry) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] != '{' {
+		e.Tolerance = 0
+		return json.Unmarshal(data, &e.NS)
+	}
+	type plain entry
+	return json.Unmarshal(data, (*plain)(e))
+}
+
+func (e entry) MarshalJSON() ([]byte, error) {
+	if e.Tolerance == 0 {
+		return json.Marshal(e.NS)
+	}
+	type plain entry
+	return json.Marshal(plain(e))
+}
 
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (or write with -record)")
-		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline (per-entry tolerances in the file override this)")
 		record       = flag.Bool("record", false, "write the measured minima to the baseline instead of comparing")
 	)
 	flag.Parse()
@@ -52,10 +88,11 @@ func main() {
 	}
 
 	if *record {
-		if err := writeBaseline(*baselinePath, measured); err != nil {
+		n, err := recordBaseline(*baselinePath, measured)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchguard: recorded %d baselines to %s\n", len(measured), *baselinePath)
+		fmt.Printf("benchguard: recorded %d baselines to %s\n", n, *baselinePath)
 		return
 	}
 
@@ -67,22 +104,25 @@ func main() {
 	for _, name := range sortedKeys(measured) {
 		base, ok := baseline[name]
 		if !ok {
-			fmt.Printf("benchguard: %-40s %10.2f ns/op  (no baseline, skipped)\n", name, measured[name])
+			fmt.Printf("benchguard: %-48s %10.2f ns/op  (no baseline, skipped)\n", name, measured[name])
 			continue
 		}
+		tol := *tolerance
+		if base.Tolerance > 0 {
+			tol = base.Tolerance
+		}
 		got := measured[name]
-		ratio := got/base - 1
+		ratio := got/base.NS - 1
 		status := "ok"
-		if ratio > *tolerance {
+		if ratio > tol {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("benchguard: %-40s %10.2f ns/op vs %10.2f baseline  %+6.1f%%  %s\n",
-			name, got, base, ratio*100, status)
+		fmt.Printf("benchguard: %-48s %10.2f ns/op vs %10.2f baseline  %+6.1f%% (tol %2.0f%%)  %s\n",
+			name, got, base.NS, ratio*100, tol*100, status)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: hot path regressed more than %.0f%% over %s\n",
-			*tolerance*100, *baselinePath)
+		fmt.Fprintf(os.Stderr, "benchguard: hot path regressed beyond tolerance over %s\n", *baselinePath)
 		os.Exit(1)
 	}
 }
@@ -109,24 +149,61 @@ func parseBench(f *os.File) (map[string]float64, error) {
 	return min, sc.Err()
 }
 
-func readBaseline(path string) (map[string]float64, error) {
+func readBaseline(path string) (map[string]entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("baseline %s: %w (run with -record to create it)", path, err)
 	}
-	var out map[string]float64
+	var out map[string]entry
 	if err := json.Unmarshal(data, &out); err != nil {
 		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
 	return out, nil
 }
 
-func writeBaseline(path string, v map[string]float64) error {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		return err
+// recordBaseline writes the measured minima, carrying forward any
+// per-entry tolerances (and entries for benchmarks not in this run) from
+// an existing baseline file.
+func recordBaseline(path string, measured map[string]float64) (int, error) {
+	merged := map[string]entry{}
+	if prev, err := readBaseline(path); err == nil {
+		merged = prev
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	for name, ns := range measured {
+		e := merged[name] // keeps the prior tolerance, zero for new entries
+		e.NS = ns
+		merged[name] = e
+	}
+	data, err := marshalSorted(merged)
+	if err != nil {
+		return 0, err
+	}
+	return len(merged), os.WriteFile(path, data, 0o644)
+}
+
+// marshalSorted renders the baseline with stable key order, one entry per
+// line, so -record produces reviewable diffs.
+func marshalSorted(m map[string]entry) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		v, err := json.Marshal(m[k])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&buf, "  %q: %s", k, v)
+		if i < len(keys)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	return buf.Bytes(), nil
 }
 
 func sortedKeys(m map[string]float64) []string {

@@ -62,7 +62,7 @@ func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64
 	}
 	prog := m.Program()
 	det := frd.New(prog, m.NumCPUs(), opts)
-	m.Attach(det)
+	m.AttachBatch(det)
 
 	var rec *trace.Recorder
 	if wantFrontier {

@@ -20,6 +20,7 @@ package frd
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"sort"
 
 	"repro/internal/blockstore"
@@ -46,6 +47,13 @@ type Options struct {
 	// SparseBlockTable keeps block metadata in a hash map instead of the
 	// paged flat store — the escape hatch for sparse address spaces.
 	SparseBlockTable bool
+
+	// NoInterestIndex disables the per-block reader interest set: every
+	// write scans every thread's read epoch, as in the original
+	// implementation. Debug and differential-testing knob; the indexed
+	// path scans exactly the threads holding a valid read epoch, which is
+	// output-identical.
+	NoInterestIndex bool
 
 	// Recorder attaches the telemetry layer (internal/obs): race events
 	// and end-of-run block-store occupancy. Nil keeps the hot path free
@@ -111,6 +119,14 @@ type Stats struct {
 	Stores       uint64
 	SyncOps      uint64 // accesses treated as synchronization
 	Races        uint64 // dynamic race instances (pre-cap)
+
+	// Remote-propagation counters: per non-sync write the detector owes
+	// NumCPUs-1 potential read-epoch probes; RemoteSent counts the ones
+	// performed and RemoteSkipped the ones the reader interest set proved
+	// unnecessary (always zero with NoInterestIndex). Sent+Skipped is
+	// path-independent.
+	RemoteSent    uint64
+	RemoteSkipped uint64
 }
 
 // Add accumulates o into s field-wise. report.MergeSamples uses it to
@@ -121,6 +137,8 @@ func (s *Stats) Add(o Stats) {
 	s.Stores += o.Stores
 	s.SyncOps += o.SyncOps
 	s.Races += o.Races
+	s.RemoteSent += o.RemoteSent
+	s.RemoteSkipped += o.RemoteSkipped
 }
 
 type epoch struct {
@@ -131,19 +149,26 @@ type epoch struct {
 }
 
 type blockInfo struct {
-	write     epoch // last write epoch, indexed by writer
-	writeCPU  int
-	reads     []epoch // per-CPU last read epochs
-	releaseVC vclock  // sync blocks: the release clock
+	write    epoch // last write epoch, indexed by writer
+	writeCPU int
+	reads    []epoch // per-CPU last read epochs
+
+	// readers is the interest set over reads: thread t is a member iff
+	// reads[t].valid (over-approximate for t >= 64). Writes scan only the
+	// members instead of all NumCPUs epochs.
+	readers blockstore.ThreadSet
+
+	releaseVC vclock // sync blocks: the release clock
 	isSync    bool
 }
 
 // Detector is the online happens-before pass. It implements vm.Observer.
 type Detector struct {
-	prog    *isa.Program
-	opts    Options
-	rec     *obs.Recorder // telemetry hooks; nil when disabled
-	numCPUs int
+	prog     *isa.Program
+	opts     Options
+	rec      *obs.Recorder // telemetry hooks; nil when disabled
+	numCPUs  int
+	useIndex bool // maintain and consult blockInfo.readers
 
 	vc     []vclock
 	blocks *blockstore.Store[blockInfo]
@@ -156,10 +181,11 @@ type Detector struct {
 // New builds a detector for prog across numCPUs processors.
 func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 	d := &Detector{
-		prog:    prog,
-		opts:    opts.withDefaults(),
-		rec:     opts.Recorder,
-		numCPUs: numCPUs,
+		prog:     prog,
+		opts:     opts.withDefaults(),
+		rec:      opts.Recorder,
+		numCPUs:  numCPUs,
+		useIndex: !opts.NoInterestIndex,
 		vc:      make([]vclock, numCPUs),
 		blocks:  blockstore.New[blockInfo](blockstore.Options{Sparse: opts.SparseBlockTable}),
 		sites:   make(map[SiteKey]*Site),
@@ -216,6 +242,20 @@ func (d *Detector) blockInfo(b int64) *blockInfo {
 // Step processes one dynamic instruction (vm.Observer).
 func (d *Detector) Step(ev *vm.Event) {
 	d.stats.Instructions++
+	d.step(ev)
+}
+
+// StepBatch processes a run of consecutive dynamic instructions
+// (vm.BatchObserver). Output is bit-identical to feeding the events
+// through Step one at a time.
+func (d *Detector) StepBatch(evs []vm.Event) {
+	d.stats.Instructions += uint64(len(evs))
+	for i := range evs {
+		d.step(&evs[i])
+	}
+}
+
+func (d *Detector) step(ev *vm.Event) {
 	in := ev.Instr
 	if !in.Op.IsMem() {
 		return
@@ -265,6 +305,9 @@ func (d *Detector) read(ev *vm.Event, b int64, bi *blockInfo) {
 	if bi.write.valid && bi.writeCPU != t && bi.write.clock > d.vc[t][bi.writeCPU] {
 		d.report(b, bi.write, bi.writeCPU, true, ev, false)
 	}
+	if d.useIndex && !bi.reads[t].valid {
+		bi.readers.Add(t)
+	}
 	bi.reads[t] = epoch{clock: d.vc[t][t], pc: ev.PC, seq: ev.Seq, valid: true}
 }
 
@@ -273,19 +316,55 @@ func (d *Detector) write(ev *vm.Event, b int64, bi *blockInfo) {
 	if bi.write.valid && bi.writeCPU != t && bi.write.clock > d.vc[t][bi.writeCPU] {
 		d.report(b, bi.write, bi.writeCPU, true, ev, true)
 	}
-	for cpu := range bi.reads {
-		r := bi.reads[cpu]
-		if r.valid && cpu != t && r.clock > d.vc[t][cpu] {
-			d.report(b, r, cpu, false, ev, true)
+	peers := uint64(d.numCPUs - 1)
+	if d.useIndex {
+		// Probe and invalidate only the threads the reader set names: bits
+		// ascending, then (if any high-id thread holds a read) every thread
+		// >= 64 — the same ascending order, restricted to the threads with
+		// valid epochs, as the full scan, so races report identically.
+		var sent uint64
+		for rest := bi.readers.Bits(); rest != 0; rest &= rest - 1 {
+			cpu := mathbits.TrailingZeros64(rest)
+			r := bi.reads[cpu]
+			if r.valid && cpu != t && r.clock > d.vc[t][cpu] {
+				d.report(b, r, cpu, false, ev, true)
+			}
+			bi.reads[cpu].valid = false
+			if cpu != t {
+				sent++
+			}
 		}
+		if bi.readers.HasHigh() {
+			for cpu := 64; cpu < d.numCPUs; cpu++ {
+				r := bi.reads[cpu]
+				if r.valid && cpu != t && r.clock > d.vc[t][cpu] {
+					d.report(b, r, cpu, false, ev, true)
+				}
+				bi.reads[cpu].valid = false
+				if cpu != t {
+					sent++
+				}
+			}
+		}
+		bi.readers.Clear()
+		d.stats.RemoteSent += sent
+		d.stats.RemoteSkipped += peers - sent
+	} else {
+		for cpu := range bi.reads {
+			r := bi.reads[cpu]
+			if r.valid && cpu != t && r.clock > d.vc[t][cpu] {
+				d.report(b, r, cpu, false, ev, true)
+			}
+		}
+		// The new write supersedes previous reads as the frontier of this
+		// block's access history.
+		for cpu := range bi.reads {
+			bi.reads[cpu].valid = false
+		}
+		d.stats.RemoteSent += peers
 	}
 	bi.write = epoch{clock: d.vc[t][t], pc: ev.PC, seq: ev.Seq, valid: true}
 	bi.writeCPU = t
-	// The new write supersedes previous reads as the frontier of this
-	// block's access history.
-	for cpu := range bi.reads {
-		bi.reads[cpu].valid = false
-	}
 }
 
 // FlushObs records the block store's end-of-run occupancy into the
@@ -296,6 +375,7 @@ func (d *Detector) FlushObs() {
 	}
 	slots, pages, overflow := d.blocks.PageStats()
 	d.rec.ObserveStore(0, pages, slots+overflow, -1)
+	d.rec.ObserveRemote(d.stats.RemoteSent, d.stats.RemoteSkipped)
 }
 
 func (d *Detector) report(b int64, first epoch, firstCPU int, firstWr bool, ev *vm.Event, secondWr bool) {

@@ -21,6 +21,12 @@ type Metrics struct {
 	ArenaReused    uint64
 	ArenaRecycled  uint64
 
+	// Remote-propagation counters, folded in at FlushObs: notifications
+	// dispatched to remote thread instances vs. elided by the block
+	// interest index.
+	RemoteSent    uint64
+	RemoteSkipped uint64
+
 	// CULifetime is the age of retired units in dynamic instructions
 	// (observed at merge and cut); CUFootprint their rs+ws size at
 	// retirement.
@@ -63,6 +69,8 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.ArenaAllocated += o.ArenaAllocated
 	m.ArenaReused += o.ArenaReused
 	m.ArenaRecycled += o.ArenaRecycled
+	m.RemoteSent += o.RemoteSent
+	m.RemoteSkipped += o.RemoteSkipped
 	m.CULifetime.Merge(&o.CULifetime)
 	m.CUFootprint.Merge(&o.CUFootprint)
 	m.StorePages.Merge(&o.StorePages)
@@ -132,6 +140,8 @@ func (m *Metrics) Snapshot() Snapshot {
 			"arena_allocated": m.ArenaAllocated,
 			"arena_reused":    m.ArenaReused,
 			"arena_recycled":  m.ArenaRecycled,
+			"remote_sent":     m.RemoteSent,
+			"remote_skipped":  m.RemoteSkipped,
 		},
 		ArenaReuseRate: m.ArenaReuseRate(),
 		Histograms: map[string]Summary{

@@ -328,6 +328,16 @@ func (r *Recorder) ObserveArena(allocated, reused, recycled uint64) {
 	r.m.ArenaRecycled += recycled
 }
 
+// ObserveRemote folds a detector's end-of-run remote-propagation counters
+// in: notifications dispatched vs. elided by the interest index.
+func (r *Recorder) ObserveRemote(sent, skipped uint64) {
+	if r == nil {
+		return
+	}
+	r.m.RemoteSent += sent
+	r.m.RemoteSkipped += skipped
+}
+
 var noopEnd = func() {}
 
 // Span opens a wall-clock harness phase; the returned func closes it,

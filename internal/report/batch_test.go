@@ -1,0 +1,40 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestRunBatchedMatchesUnbatched: the default batched event pipeline must
+// produce samples bit-identical to per-instruction observer dispatch —
+// classifications, logs, and both detectors' raw stats.
+func TestRunBatchedMatchesUnbatched(t *testing.T) {
+	cases := []*workloads.Workload{
+		workloads.ApacheLog(workloads.ApacheConfig{
+			Threads: 4, Requests: 48, Buggy: true, Seed: 2,
+		}),
+		workloads.PgSQLOLTP(workloads.PgSQLConfig{
+			Warehouses: 2, Terminals: 4, Txns: 48, Seed: 2,
+		}),
+	}
+	for _, w := range cases {
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := uint64(0); seed < 3; seed++ {
+				batched, err := Run(w, seed, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				stepped, err := Run(w, seed, Options{Unbatched: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(batched, stepped) {
+					t.Errorf("seed %d: batched sample diverges:\nbatched %+v\nstepped %+v",
+						seed, batched, stepped)
+				}
+			}
+		})
+	}
+}

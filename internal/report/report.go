@@ -83,6 +83,11 @@ type Options struct {
 	// phases; RunMany workers all fold into this one sink. Nil disables
 	// telemetry entirely.
 	Obs *obs.Sink
+
+	// Unbatched attaches the detectors as per-instruction vm.Observers
+	// instead of batch consumers. Debug and differential-testing knob; the
+	// batched pipeline is output-identical.
+	Unbatched bool
 }
 
 // Run executes one sample.
@@ -106,8 +111,13 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 	}
 	sd := svd.New(w.Prog, w.NumThreads, opts.SVD)
 	fd := frd.New(w.Prog, w.NumThreads, opts.FRD)
-	m.Attach(sd)
-	m.Attach(fd)
+	if opts.Unbatched {
+		m.Attach(sd)
+		m.Attach(fd)
+	} else {
+		m.AttachBatch(sd)
+		m.AttachBatch(fd)
+	}
 	endSim := rec.Span("simulate")
 	_, err = m.Run(opts.MaxSteps)
 	endSim()

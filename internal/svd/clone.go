@@ -34,6 +34,9 @@ func (d *Detector) Clone() *Detector {
 			nd.sites[k] = &cp
 		}
 	}
+	if d.ix != nil {
+		nd.ix = blockstore.NewInterest(blockstore.Options{Sparse: nd.opts.SparseBlockTable})
+	}
 
 	cuMap := make(map[*cu]*cu)
 	translate := func(c *cu) *cu {
@@ -75,6 +78,9 @@ func (d *Detector) Clone() *Detector {
 		t.blocks.Range(func(b int64, bs *blockState) bool {
 			if !bs.touched {
 				return true
+			}
+			if nd.ix != nil {
+				nd.ix.Add(b, nt.id)
 			}
 			cp := *bs
 			cp.cu = translate(bs.cu)

@@ -37,6 +37,7 @@ package svd
 
 import (
 	"fmt"
+	mathbits "math/bits"
 
 	"repro/internal/blockstore"
 	"repro/internal/isa"
@@ -83,6 +84,13 @@ type Options struct {
 	// fresh allocation, as in the original implementation. Debug and
 	// differential-testing knob.
 	NoCUArena bool
+
+	// NoInterestIndex disables the block interest index: every memory
+	// instruction fans out to every other thread instance, as in the
+	// original implementation. Debug and differential-testing knob; the
+	// indexed path delivers to exactly the threads holding materialized
+	// state for the block, which is output-identical.
+	NoInterestIndex bool
 
 	// Recorder attaches the telemetry layer (internal/obs): CU lifecycle
 	// events, violation/log-triple provenance, and end-of-run gauges. Nil
@@ -208,6 +216,14 @@ type Stats struct {
 	CUsReused    uint64
 	CUsRecycled  uint64
 
+	// Remote-propagation counters: per memory instruction the detector
+	// owes NumCPUs-1 potential notifications; RemoteSent counts the ones
+	// actually dispatched to a thread instance and RemoteSkipped the ones
+	// the interest index proved unnecessary (always zero with
+	// NoInterestIndex). Sent+Skipped is path-independent.
+	RemoteSent    uint64
+	RemoteSkipped uint64
+
 	Violations      uint64 // dynamic violation reports (pre-cap)
 	LogEntries      uint64 // dynamic (s, rw, lw) log occurrences (pre-cap)
 	SharedCutLoads  uint64 // CU cuts caused by loads of Stored_Shared blocks
@@ -271,6 +287,11 @@ type Detector struct {
 	rec     *obs.Recorder // telemetry hooks; nil when disabled
 	threads []*threadState
 
+	// ix is the global block interest index: which threads hold touched
+	// state per block, so remote propagation visits only them. Nil with
+	// Options.NoInterestIndex (full fan-out fallback).
+	ix *blockstore.Interest
+
 	// CU arena storage (see arena.go).
 	free []*cu
 	slab []cu
@@ -294,6 +315,9 @@ func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 		opts:    opts.withDefaults(),
 		rec:     opts.Recorder,
 		logSeen: make(map[logKey]int),
+	}
+	if !d.opts.NoInterestIndex {
+		d.ix = blockstore.NewInterest(blockstore.Options{Sparse: d.opts.SparseBlockTable})
 	}
 	d.threads = make([]*threadState, numCPUs)
 	for i := range d.threads {
@@ -350,6 +374,8 @@ func (s *Stats) Add(o Stats) {
 	s.CUsAllocated += o.CUsAllocated
 	s.CUsReused += o.CUsReused
 	s.CUsRecycled += o.CUsRecycled
+	s.RemoteSent += o.RemoteSent
+	s.RemoteSkipped += o.RemoteSkipped
 	s.Violations += o.Violations
 	s.LogEntries += o.LogEntries
 	s.SharedCutLoads += o.SharedCutLoads
@@ -369,6 +395,7 @@ func (d *Detector) FlushObs() {
 		d.rec.ObserveStore(t.id, pages, slots+overflow, t.nblocks)
 	}
 	d.rec.ObserveArena(d.stats.CUsAllocated, d.stats.CUsReused, d.stats.CUsRecycled)
+	d.rec.ObserveRemote(d.stats.RemoteSent, d.stats.RemoteSkipped)
 }
 
 // block maps a word address to a block id.
@@ -378,14 +405,65 @@ func (d *Detector) block(addr int64) int64 { return addr >> d.opts.BlockShift }
 func (d *Detector) Step(ev *vm.Event) {
 	d.stats.Instructions++
 	d.threads[ev.CPU].local(ev)
-	if ev.Instr.Op.IsMem() {
-		b := d.block(ev.Addr)
+	// Every memory op sets IsLoad or IsStore (a CAS always loads), so the
+	// flags substitute for Op.IsMem without touching the opcode.
+	if ev.IsLoad || ev.IsStore {
+		d.fanout(ev, d.block(ev.Addr))
+	}
+}
+
+// StepBatch processes a run of consecutive dynamic instructions
+// (vm.BatchObserver): the same per-event work as Step with the interface
+// dispatch amortized over the batch. Output is bit-identical to feeding
+// the events through Step one at a time.
+func (d *Detector) StepBatch(evs []vm.Event) {
+	for i := range evs {
+		ev := &evs[i]
+		d.stats.Instructions++
+		d.threads[ev.CPU].local(ev)
+		if ev.IsLoad || ev.IsStore {
+			d.fanout(ev, d.block(ev.Addr))
+		}
+	}
+}
+
+// fanout propagates a memory access to the remote thread instances. With
+// the interest index, only threads holding touched state for the block
+// are visited — in ascending id order, exactly the order (restricted to
+// the subset that reacts) of the full fan-out, so reports and log entries
+// land identically. A block solely owned by the accessor broadcasts to no
+// one.
+func (d *Detector) fanout(ev *vm.Event, b int64) {
+	peers := len(d.threads) - 1
+	if d.ix == nil {
 		for _, t := range d.threads {
 			if t.id != ev.CPU {
 				t.remote(ev, b)
 			}
 		}
+		d.stats.RemoteSent += uint64(peers)
+		return
 	}
+	set := d.ix.Get(b)
+	mask := set.Bits()
+	if ev.CPU < 64 {
+		mask &^= 1 << uint(ev.CPU)
+	}
+	sent := 0
+	for rest := mask; rest != 0; rest &= rest - 1 {
+		d.threads[mathbits.TrailingZeros64(rest)].remote(ev, b)
+		sent++
+	}
+	if set.HasHigh() {
+		for tid := 64; tid < len(d.threads); tid++ {
+			if tid != ev.CPU {
+				d.threads[tid].remote(ev, b)
+				sent++
+			}
+		}
+	}
+	d.stats.RemoteSent += uint64(sent)
+	d.stats.RemoteSkipped += uint64(peers - sent)
 }
 
 // ----- per-thread instance -----
@@ -397,6 +475,9 @@ func (t *threadState) ensureBlock(b int64) *blockState {
 	if !bs.touched {
 		bs.touched = true
 		t.nblocks++
+		if ix := t.d.ix; ix != nil {
+			ix.Add(b, t.id)
+		}
 	}
 	return bs
 }
@@ -425,6 +506,9 @@ func (t *threadState) evictBlock(b int64) {
 	}
 	t.blocks.Delete(b)
 	t.nblocks--
+	if ix := t.d.ix; ix != nil {
+		ix.Remove(b, t.id)
+	}
 }
 
 // currentCU resolves a block's CU, dropping dead units.

@@ -93,6 +93,12 @@ type Config struct {
 	// Cost is the cycle cost model used by TimingFirst mode; nil means
 	// FixedCost{}.
 	Cost CostModel
+
+	// BatchCap sizes the event ring serving batched observers
+	// (AttachBatch): events buffer until the ring fills or the run
+	// reaches a stopping point, then flush as one StepBatch call. Zero
+	// means DefaultBatchCap.
+	BatchCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQuantum <= 0 {
 		c.MaxQuantum = 16
+	}
+	if c.BatchCap <= 0 {
+		c.BatchCap = DefaultBatchCap
 	}
 	return c
 }
@@ -143,6 +152,22 @@ type ObserverFunc func(ev *Event)
 
 // Step calls f(ev).
 func (f ObserverFunc) Step(ev *Event) { f(ev) }
+
+// DefaultBatchCap is the event ring capacity when Config.BatchCap is zero:
+// large enough to amortize the per-batch dispatch, small enough that the
+// ring (~40 KB of Events) stays cache-resident.
+const DefaultBatchCap = 512
+
+// BatchObserver receives the dynamic instruction stream in batches: runs
+// of consecutive events in execution order, identical in content and
+// order to what a per-instruction Observer sees, delivered when the
+// machine's event ring fills or a run reaches a stopping point (budget
+// exhausted, all CPUs halted, a fault, or an explicit FlushBatch). The
+// slice is the machine's reused ring; implementations must not retain it
+// or its elements across calls.
+type BatchObserver interface {
+	StepBatch(evs []Event)
+}
 
 // CPUState is the architectural state of one processor.
 type CPUState struct {
@@ -183,6 +208,8 @@ type VM struct {
 	quantum   int      // instructions left in the current quantum
 	cycles    []uint64 // per-CPU virtual time (TimingFirst mode)
 	observers []Observer
+	batchObs  []BatchObserver
+	ring      []Event // pending events for batched observers
 
 	ev Event // reused event buffer
 }
@@ -234,8 +261,36 @@ func New(prog *isa.Program, cfg Config) (*VM, error) {
 // Attach registers an observer for all subsequent instructions.
 func (m *VM) Attach(obs Observer) { m.observers = append(m.observers, obs) }
 
-// DetachAll removes all observers.
-func (m *VM) DetachAll() { m.observers = nil }
+// AttachBatch registers a batched observer: instead of one virtual call
+// per instruction, events accumulate in the machine's ring and deliver as
+// StepBatch calls. Run and RunToScheduleBoundary flush before returning;
+// callers driving Step directly must FlushBatch before inspecting the
+// observer.
+func (m *VM) AttachBatch(obs BatchObserver) {
+	if m.ring == nil {
+		m.ring = make([]Event, 0, m.cfg.BatchCap)
+	}
+	m.batchObs = append(m.batchObs, obs)
+}
+
+// FlushBatch delivers any buffered events to the batched observers and
+// empties the ring.
+func (m *VM) FlushBatch() {
+	if len(m.ring) == 0 {
+		return
+	}
+	for _, o := range m.batchObs {
+		o.StepBatch(m.ring)
+	}
+	m.ring = m.ring[:0]
+}
+
+// DetachAll removes all observers, delivering any buffered events first.
+func (m *VM) DetachAll() {
+	m.FlushBatch()
+	m.observers = nil
+	m.batchObs = nil
+}
 
 // Program returns the loaded program.
 func (m *VM) Program() *isa.Program { return m.prog }
@@ -509,6 +564,12 @@ func (m *VM) Step() (bool, error) {
 	for _, o := range m.observers {
 		o.Step(ev)
 	}
+	if m.batchObs != nil {
+		m.ring = append(m.ring, *ev)
+		if len(m.ring) == cap(m.ring) {
+			m.FlushBatch()
+		}
+	}
 	return m.running > 0, nil
 }
 
@@ -519,12 +580,14 @@ func (m *VM) Run(maxSteps uint64) (uint64, error) {
 	for m.seq-start < maxSteps {
 		more, err := m.Step()
 		if err != nil {
+			m.FlushBatch()
 			return m.seq - start, err
 		}
 		if !more {
 			break
 		}
 	}
+	m.FlushBatch()
 	return m.seq - start, nil
 }
 
@@ -543,16 +606,16 @@ func (m *VM) RunToScheduleBoundary(minSteps, maxSteps uint64) (uint64, error) {
 	for {
 		more, err := m.Step()
 		if err != nil {
+			m.FlushBatch()
 			return m.seq - start, err
 		}
 		if !more {
+			m.FlushBatch()
 			return m.seq - start, nil
 		}
 		ran := m.seq - start
-		if ran >= minSteps && m.quantum <= 0 {
-			return ran, nil
-		}
-		if ran >= maxSteps {
+		if (ran >= minSteps && m.quantum <= 0) || ran >= maxSteps {
+			m.FlushBatch()
 			return ran, nil
 		}
 	}
