@@ -1,11 +1,13 @@
 # Developer entry points. `make check` is the tier-1 gate (build + tests);
 # `make race` adds the data-race check on the parallel sample runner;
-# `make bench-smoke` runs each hot-path microbenchmark once as a
-# compile-and-run sanity check (use `make bench` for real numbers).
+# `make cover` enforces the coverage floor; `make bench-smoke` runs each
+# hot-path microbenchmark once as a compile-and-run sanity check (use
+# `make bench` for real numbers).
 
 GO ?= go
+COVER_MIN ?= 70
 
-.PHONY: all build test race vet check bench-smoke bench bench-guard bench-baseline hotpath
+.PHONY: all build test race vet check cover bench-smoke bench bench-guard bench-baseline hotpath
 
 all: check
 
@@ -16,12 +18,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestBatchChopping' ./internal/report/ ./internal/svd/ ./internal/frd/
+	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestBatchChopping|TestWitness|TestExamineDeterministic' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/
 
 vet:
 	$(GO) vet ./...
 
 check: build vet test
+
+# Per-package statement coverage with a repo-wide floor. The floor is a
+# ratchet: raise COVER_MIN when coverage grows, never lower it to admit a
+# regression.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+	{ echo "coverage $$total% is below the $(COVER_MIN)% floor" >&2; exit 1; }
 
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkHotPath' -benchtime 1x .
@@ -34,7 +46,7 @@ bench:
 # entries (the multi-thread sweeps) carrying their own per-entry
 # tolerance in the baseline file. Refresh with `make bench-baseline`
 # after a deliberate perf change — it preserves per-entry tolerances.
-BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step(Threads)?$$' -benchtime 2000000x -count 3 .
+BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step(Threads|Witness)?$$' -benchtime 2000000x -count 3 .
 
 bench-guard:
 	$(BENCH_GUARD) | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json

@@ -345,6 +345,27 @@ func BenchmarkHotPathSVDStepTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathSVDStepWitness measures the same stream with the
+// violation flight recorder on: every load/store also enters the
+// per-thread access ring. Compare against BenchmarkHotPathSVDStep for the
+// recorder's enabled cost; disabled the only difference is one nil check
+// per access, so the plain benchmark doubles as the disabled baseline.
+func BenchmarkHotPathSVDStepWitness(b *testing.B) {
+	w := workloads.PgSQLOLTP(workloads.PgSQLConfig{Warehouses: 4, Terminals: 4, Txns: 64, Seed: 1})
+	evs := recordEvents(b, w, 1<<22)
+	det := svd.New(w.Prog, w.NumThreads, svd.Options{Witness: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Step(&evs[i%len(evs)])
+	}
+	b.StopTimer()
+	st := det.Stats()
+	if st.Witnesses != st.Violations {
+		b.Fatalf("witnesses = %d, violations = %d", st.Witnesses, st.Violations)
+	}
+}
+
 // BenchmarkHotPathFRDStep measures FRD's cost per observed instruction on
 // the same stream.
 func BenchmarkHotPathFRDStep(b *testing.B) {

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/frd"
@@ -34,28 +35,31 @@ func main() {
 		maxShow   = flag.Int("show", 10, "max races to print")
 		frontier  = flag.Bool("frontier", false, "also record a trace and print frontier races")
 		tracePath = flag.String("trace", "", "write race events as Chrome trace-event JSON to this file")
+		witness   = flag.Bool("witness", false, "enable the race flight recorder and print the forensic report")
+		logLevel  = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	obs.InitSlog(*logLevel, false)
 	if *list {
 		for _, name := range workloads.Names() {
 			fmt.Println(name)
 		}
 		return
 	}
-	if err := run(*workload, *srcPath, *seed, *scale, *cpus, *maxSteps, *maxShow, *frontier, *tracePath); err != nil {
+	if err := run(*workload, *srcPath, *seed, *scale, *cpus, *maxSteps, *maxShow, *frontier, *witness, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "frd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64, maxShow int, wantFrontier bool, tracePath string) error {
+func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64, maxShow int, wantFrontier, witness bool, tracePath string) error {
 	m, w, err := buildMachine(workload, srcPath, seed, scale, cpus)
 	if err != nil {
 		return err
 	}
 	var sink *obs.Sink
-	opts := frd.Options{}
+	opts := frd.Options{Witness: witness}
 	if tracePath != "" {
 		sink = obs.NewSink(obs.SinkOptions{Tracing: true})
 		opts.Recorder = sink.NewRecorder(fmt.Sprintf("frd seed %d", seed))
@@ -84,7 +88,7 @@ func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64
 		if err := sink.WriteTraceFile(tracePath); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d trace events to %s\n", sink.Trace().Len(), tracePath)
+		slog.Info("trace written", "path", tracePath, "events", sink.Trace().Len())
 	}
 
 	st := det.Stats()
@@ -104,6 +108,15 @@ func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64
 		fmt.Printf("  [%6d dynamic] %s vs %s on %s%s\n",
 			site.Count, locOf(prog, site.PCLow), locOf(prog, site.PCHigh),
 			symOf(prog, site.First.Block), marker)
+	}
+
+	if witness {
+		fmt.Println()
+		fmt.Print(obs.RenderForensicReport(det.Witnesses(), obs.ForensicOptions{
+			Loc:       prog.LocationOf,
+			Sym:       func(b int64) string { return prog.SymbolFor(b << opts.BlockShift) },
+			MaxGroups: maxShow,
+		}))
 	}
 
 	if rec != nil {

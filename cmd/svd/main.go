@@ -7,12 +7,23 @@
 //	svd -workload apache-buggy -seed 3 -scale 2
 //	svd -src program.svl -cpus 4 -seed 1
 //	svd -workload apache-buggy -trace out.json   # Chrome trace of CU lifecycle
+//	svd -workload apache-buggy -witness          # forensic report per site pair
+//	svd -workload apache-buggy -witness-json w.json
 //	svd -list
+//
+// -witness turns on the violation flight recorder (DESIGN.md §9): every
+// violation is paired with a causal witness, and the findings section ends
+// with a forensic report — per site pair, the victim unit's footprint, the
+// stale input, and the two-thread schedule that closed the cycle, folded
+// with the matching a posteriori examination finding. -witness-json dumps
+// the raw witnesses as JSON for tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -38,27 +49,32 @@ func main() {
 		noCtrl    = flag.Bool("no-control-deps", false, "disable the Skipper control-dependence stack")
 		blockLog2 = flag.Uint("block-shift", 0, "log2 words per detection block")
 		tracePath = flag.String("trace", "", "write CU lifecycle events as Chrome trace-event JSON to this file")
+		witness   = flag.Bool("witness", false, "enable the violation flight recorder and print the forensic report")
+		witnessJS = flag.String("witness-json", "", "write the raw violation witnesses to this file as JSON (implies -witness)")
+		logLevel  = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	obs.InitSlog(*logLevel, false)
 	if *list {
 		for _, name := range workloads.Names() {
 			fmt.Println(name)
 		}
 		return
 	}
-	if err := run(*workload, *srcPath, *seed, *scale, *cpus, *maxSteps, *maxShow, *tracePath, svd.Options{
+	if err := run(*workload, *srcPath, *seed, *scale, *cpus, *maxSteps, *maxShow, *tracePath, *witnessJS, svd.Options{
 		CheckAllBlocks: *allBlocks,
 		NoAddressDeps:  *noAddr,
 		NoControlDeps:  *noCtrl,
 		BlockShift:     *blockLog2,
+		Witness:        *witness || *witnessJS != "",
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "svd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64, maxShow int, tracePath string, opts svd.Options) error {
+func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64, maxShow int, tracePath, witnessJSON string, opts svd.Options) error {
 	m, w, err := buildMachine(workload, srcPath, seed, scale, cpus)
 	if err != nil {
 		return err
@@ -82,7 +98,7 @@ func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64
 		if err := sink.WriteTraceFile(tracePath); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d trace events to %s\n", sink.Trace().Len(), tracePath)
+		slog.Info("trace written", "path", tracePath, "events", sink.Trace().Len())
 	}
 
 	st := det.Stats()
@@ -121,7 +137,8 @@ func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64
 			locOf(prog, e.LocalWritePC), e.RemoteWriteCPU, locOf(prog, e.RemoteWritePC))
 	}
 
-	if findings := svd.Examine(prog, log); len(findings) > 0 {
+	findings := svd.Examine(prog, log)
+	if len(findings) > 0 {
 		fmt.Printf("a posteriori examination (%d variables):\n", len(findings))
 		for i, f := range findings {
 			if i >= maxShow {
@@ -129,6 +146,27 @@ func run(workload, srcPath string, seed uint64, scale, cpus int, maxSteps uint64
 				break
 			}
 			fmt.Print(indent(f.Describe(prog)))
+		}
+	}
+
+	if opts.Witness {
+		ws := det.Witnesses()
+		fmt.Println()
+		fmt.Print(obs.RenderForensicReport(ws, obs.ForensicOptions{
+			Loc:       prog.LocationOf,
+			Sym:       func(b int64) string { return prog.SymbolFor(b << opts.BlockShift) },
+			Annotate:  annotateFromFindings(findings),
+			MaxGroups: maxShow,
+		}))
+		if witnessJSON != "" {
+			data, err := json.MarshalIndent(ws, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(witnessJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			slog.Info("witnesses written", "path", witnessJSON, "count", len(ws))
 		}
 	}
 
@@ -169,6 +207,28 @@ func buildMachine(workload, srcPath string, seed uint64, scale, cpus int) (*vm.V
 		return m, nil, err
 	default:
 		return nil, nil, fmt.Errorf("pass -workload <name> (see -list) or -src <file.svl>")
+	}
+}
+
+// annotateFromFindings folds the a posteriori examination into the
+// forensic report: when a witness group's block matches an examined
+// variable, the group carries the examiner's reading of it.
+func annotateFromFindings(findings []svd.Finding) func(obs.WitnessGroup) string {
+	return func(g obs.WitnessGroup) string {
+		for _, f := range findings {
+			if f.Block != g.First.Block {
+				continue
+			}
+			name := f.Symbol
+			if name == "" {
+				name = fmt.Sprintf("block %d", f.Block)
+			}
+			if f.Symmetric {
+				return fmt.Sprintf("examiner: %s is written symmetrically by %d threads that read their value back — likely meant to be thread-local", name, f.Writers)
+			}
+			return fmt.Sprintf("examiner: %d threads saw their writes to %s overwritten by %d others (%d dynamic triples)", f.Readers, name, f.Writers, f.Dynamic)
+		}
+		return ""
 	}
 }
 

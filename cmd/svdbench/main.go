@@ -14,15 +14,23 @@
 // or for -table2 the rows plus the merged detector stats across every
 // sample.
 //
-// Observability (DESIGN.md §7):
+// Observability (DESIGN.md §7, §9):
 //
 //	-trace out.json   record detector activity (CU lifecycle, violations,
-//	                  log triples, races, harness phases) as Chrome
-//	                  trace-event JSON, loadable in Perfetto
-//	-http :6060       serve live expvar metrics (/debug/vars, including
-//	                  the aggregated "svd" telemetry snapshot) and
-//	                  net/http/pprof (/debug/pprof) during the run; with
-//	                  no run mode, serve until interrupted
+//	                  witnesses, log triples, races, harness phases) as
+//	                  Chrome trace-event JSON, loadable in Perfetto
+//	-http :6060       serve OpenMetrics (/metrics), expvar (/debug/vars),
+//	                  and net/http/pprof (/debug/pprof) during the run;
+//	                  with no run mode, serve until interrupted; shuts
+//	                  down cleanly on SIGINT
+//	-witness          enable the violation flight recorder; -json output
+//	                  then carries the witness digest
+//	-metrics-format   print the aggregated telemetry to stdout after the
+//	                  run, as "json" (snapshot) or "openmetrics" (text
+//	                  exposition)
+//
+// Operational messages (server lifecycle, files written) go to stderr via
+// log/slog; -log-level and -log-json tune them.
 //
 // Absolute numbers differ from the paper's (the substrate is this
 // repository's VM, not Simics on SPARC hardware); the shapes — who wins,
@@ -31,10 +39,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/ber"
@@ -62,31 +72,45 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "sample-runner workers; <=0 means GOMAXPROCS")
 		jsonPath  = flag.String("json", "", "write machine-readable results (-hotpath or -table2) to this file as JSON")
 		tracePath = flag.String("trace", "", "write detector activity as Chrome trace-event JSON to this file")
-		httpAddr  = flag.String("http", "", "serve live expvar metrics and pprof on this address (e.g. :6060)")
+		httpAddr  = flag.String("http", "", "serve OpenMetrics, expvar, and pprof on this address (e.g. :6060)")
+		witness   = flag.Bool("witness", false, "enable the violation flight recorder (witnesses ride in -json and -trace output)")
+		metricsFm = flag.String("metrics-format", "", "print aggregated telemetry to stdout after the run: json or openmetrics")
+		logLevel  = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
+		logJSON   = flag.Bool("log-json", false, "emit operational log records as JSON")
 	)
 	flag.Parse()
 
+	logger := obs.InitSlog(*logLevel, *logJSON)
+	if *metricsFm != "" && *metricsFm != "json" && *metricsFm != "openmetrics" {
+		fatal(fmt.Errorf("unknown -metrics-format %q (want json or openmetrics)", *metricsFm))
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
 	var sink *obs.Sink
-	if *tracePath != "" || *httpAddr != "" {
+	if *tracePath != "" || *httpAddr != "" || *metricsFm != "" {
 		sink = obs.NewSink(obs.SinkOptions{Tracing: *tracePath != ""})
 		sink.PublishExpvar("svd")
 	}
+	var srv *obs.Server
 	if *httpAddr != "" {
-		addr, err := obs.ListenAndServe(*httpAddr)
+		var err error
+		srv, err = obs.StartServer(*httpAddr, sink, "svd")
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("serving metrics on http://%s/debug/vars (pprof at /debug/pprof)\n", addr)
+		logger.Info("metrics server started",
+			"addr", srv.Addr(), "metrics", "/metrics", "expvar", "/debug/vars", "pprof", "/debug/pprof")
 	}
 
 	ran := false
 	if *table2 {
 		ran = true
-		runTable2(*scale, *samples, *seed, *parallel, *jsonPath, sink)
+		runTable2(*scale, *samples, *seed, *parallel, *jsonPath, sink, *witness)
 	}
 	if *fn {
 		ran = true
-		runFN(*scale, *seed, *parallel, sink)
+		runFN(*scale, *seed, *parallel, sink, *witness)
 	}
 	if *scaling {
 		ran = true
@@ -109,19 +133,41 @@ func main() {
 		runHotpath(*scale, *seed, *parallel, *jsonPath)
 	}
 	if !ran && *httpAddr != "" {
-		// Pure serving mode: keep the metrics endpoint up until killed.
-		fmt.Println("no run mode given; serving until interrupted (^C)")
-		select {}
-	}
-	if !ran {
+		// Pure serving mode: keep the endpoint up until SIGINT, then shut
+		// down cleanly instead of dying mid-request.
+		logger.Info("no run mode given; serving until interrupted")
+		<-ctx.Done()
+	} else if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Warn("metrics server shutdown", "err", err)
+		}
+		cancel()
+		logger.Info("metrics server stopped")
 	}
 	if *tracePath != "" {
 		if err := sink.WriteTraceFile(*tracePath); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d trace events to %s\n", sink.Trace().Len(), *tracePath)
+		logger.Info("trace written", "path", *tracePath, "events", sink.Trace().Len())
+	}
+	if *metricsFm != "" && sink != nil {
+		switch *metricsFm {
+		case "json":
+			data, err := json.MarshalIndent(sink.Snapshot(), "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+		case "openmetrics":
+			if err := sink.WriteOpenMetrics(os.Stdout, "svd"); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 
@@ -174,10 +220,10 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runTable2(scale, samples int, seed uint64, parallel int, jsonPath string, sink *obs.Sink) {
+func runTable2(scale, samples int, seed uint64, parallel int, jsonPath string, sink *obs.Sink, witness bool) {
 	fmt.Printf("== Table 2 (scale %d, %d samples per bug-free row) ==\n", scale, samples)
 	rows, merged, err := report.Table2(report.Table2Config{
-		Scale: scale, Samples: samples, Seed: seed, Parallelism: parallel, Obs: sink,
+		Scale: scale, Samples: samples, Seed: seed, Parallelism: parallel, Obs: sink, Witness: witness,
 	})
 	if err != nil {
 		fatal(err)
@@ -215,14 +261,14 @@ func writeTable2JSON(path string, rows []report.Row, merged report.MergedStats, 
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runFN(scale int, seed uint64, parallel int, sink *obs.Sink) {
+func runFN(scale int, seed uint64, parallel int, sink *obs.Sink, witness bool) {
 	fmt.Println("== §7.1 apparent false negatives ==")
 	for _, name := range []string{"apache-buggy", "mysql-prepared-buggy"} {
 		w, err := workloads.ByName(name, scale, seed)
 		if err != nil {
 			fatal(err)
 		}
-		sams, err := report.RunMany(w, report.Seeds(seed, 6), report.Options{Obs: sink}, parallel)
+		sams, err := report.RunMany(w, report.Seeds(seed, 6), report.Options{Obs: sink, Witness: witness}, parallel)
 		if err != nil {
 			fatal(err)
 		}

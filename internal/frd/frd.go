@@ -55,6 +55,17 @@ type Options struct {
 	// output-identical.
 	NoInterestIndex bool
 
+	// Witness turns on the violation flight recorder (DESIGN.md §9),
+	// symmetric with svd.Options.Witness: each thread keeps a bounded
+	// ring of its recent data accesses, and every reported race is paired
+	// with an obs.Witness carrying the racy pair and the interleaving
+	// window sliced from the rings.
+	Witness bool
+
+	// WitnessRing sets the per-thread access-ring capacity when Witness is
+	// on. Zero means obs.DefaultWitnessRing.
+	WitnessRing int
+
 	// Recorder attaches the telemetry layer (internal/obs): race events
 	// and end-of-run block-store occupancy. Nil keeps the hot path free
 	// of telemetry work beyond one nil check per report.
@@ -64,6 +75,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.MaxRaces <= 0 {
 		o.MaxRaces = 1 << 16
+	}
+	if o.WitnessRing <= 0 {
+		o.WitnessRing = obs.DefaultWitnessRing
 	}
 	return o
 }
@@ -119,6 +133,7 @@ type Stats struct {
 	Stores       uint64
 	SyncOps      uint64 // accesses treated as synchronization
 	Races        uint64 // dynamic race instances (pre-cap)
+	Witnesses    uint64 // race witnesses assembled (== Races with Options.Witness)
 
 	// Remote-propagation counters: per non-sync write the detector owes
 	// NumCPUs-1 potential read-epoch probes; RemoteSent counts the ones
@@ -137,6 +152,7 @@ func (s *Stats) Add(o Stats) {
 	s.Stores += o.Stores
 	s.SyncOps += o.SyncOps
 	s.Races += o.Races
+	s.Witnesses += o.Witnesses
 	s.RemoteSent += o.RemoteSent
 	s.RemoteSkipped += o.RemoteSkipped
 }
@@ -173,9 +189,14 @@ type Detector struct {
 	vc     []vclock
 	blocks *blockstore.Store[blockInfo]
 
-	races []Race
-	sites map[SiteKey]*Site
-	stats Stats
+	// rings are the per-thread flight-recorder buffers; nil unless
+	// Options.Witness.
+	rings []*obs.AccessRing
+
+	races     []Race
+	witnesses []obs.Witness
+	sites     map[SiteKey]*Site
+	stats     Stats
 }
 
 // New builds a detector for prog across numCPUs processors.
@@ -194,6 +215,12 @@ func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 		d.vc[i] = newVClock(numCPUs)
 		d.vc[i][i] = 1
 	}
+	if d.opts.Witness {
+		d.rings = make([]*obs.AccessRing, numCPUs)
+		for i := range d.rings {
+			d.rings[i] = obs.NewAccessRing(d.opts.WitnessRing)
+		}
+	}
 	for _, b := range opts.SyncBlocks {
 		d.blockInfo(b >> opts.BlockShift).isSync = true
 	}
@@ -207,6 +234,10 @@ func (d *Detector) Reset() {
 
 // Races returns retained dynamic race records.
 func (d *Detector) Races() []Race { return d.races }
+
+// Witnesses returns the retained race witnesses. With Options.Witness the
+// slice pairs one-for-one with Races(); without it the slice is nil.
+func (d *Detector) Witnesses() []obs.Witness { return d.witnesses }
 
 // Stats returns aggregate counters.
 func (d *Detector) Stats() Stats { return d.stats }
@@ -309,6 +340,9 @@ func (d *Detector) read(ev *vm.Event, b int64, bi *blockInfo) {
 		bi.readers.Add(t)
 	}
 	bi.reads[t] = epoch{clock: d.vc[t][t], pc: ev.PC, seq: ev.Seq, valid: true}
+	if d.rings != nil {
+		d.rings[t].Add(obs.WitnessAccess{CPU: t, PC: ev.PC, Block: b, Seq: ev.Seq})
+	}
 }
 
 func (d *Detector) write(ev *vm.Event, b int64, bi *blockInfo) {
@@ -365,6 +399,9 @@ func (d *Detector) write(ev *vm.Event, b int64, bi *blockInfo) {
 	}
 	bi.write = epoch{clock: d.vc[t][t], pc: ev.PC, seq: ev.Seq, valid: true}
 	bi.writeCPU = t
+	if d.rings != nil {
+		d.rings[t].Add(obs.WitnessAccess{CPU: t, PC: ev.PC, Block: b, Write: true, Seq: ev.Seq})
+	}
 }
 
 // FlushObs records the block store's end-of-run occupancy into the
@@ -404,7 +441,62 @@ func (d *Detector) report(b int64, first epoch, firstCPU int, firstWr bool, ev *
 		d.sites[key] = s
 	}
 	s.Count++
+	if d.opts.Witness {
+		w := d.buildWitness(r)
+		d.stats.Witnesses++
+		if rec := d.rec; rec != nil {
+			rec.Witness(&w)
+		}
+		// Same cap and same order as the races slice, so retained witnesses
+		// pair with retained races index-for-index.
+		if len(d.witnesses) < d.opts.MaxRaces {
+			d.witnesses = append(d.witnesses, w)
+		}
+	}
 	if len(d.races) < d.opts.MaxRaces {
 		d.races = append(d.races, r)
 	}
+}
+
+// buildWitness captures the evidence behind one race: the racy pair and
+// the interleaving window sliced from both threads' access rings. Runs
+// only at report time.
+func (d *Detector) buildWitness(r Race) obs.Witness {
+	w := obs.Witness{
+		Detector: "frd",
+		Seq:      r.SecondSeq,
+		CPU:      r.SecondCPU,
+		PC:       r.SecondPC,
+		Block:    r.Block,
+		Conflict: obs.WitnessAccess{
+			CPU:   r.FirstCPU,
+			PC:    r.FirstPC,
+			Block: r.Block,
+			Write: r.FirstWr,
+			Seq:   r.FirstSeq,
+		},
+	}
+	local := d.rings[r.SecondCPU].Snapshot(r.SecondSeq, nil)
+	var remote []obs.WitnessAccess
+	if r.FirstCPU != r.SecondCPU {
+		remote = d.rings[r.FirstCPU].Snapshot(r.SecondSeq, nil)
+	}
+	win := obs.MergeWindow(local, remote, d.opts.WitnessRing-1)
+	// The reporting access enters its ring only after the race check, so
+	// close the window with it explicitly.
+	win = append(win, obs.WitnessAccess{CPU: r.SecondCPU, PC: r.SecondPC, Block: r.Block, Write: r.SecondWr, Seq: r.SecondSeq})
+	present := false
+	for i := range win {
+		if win[i].Seq == r.FirstSeq && win[i].CPU == r.FirstCPU {
+			present = true
+			break
+		}
+	}
+	if !present {
+		// Everything retained is newer than an evicted first access, so
+		// prepending keeps the window sorted.
+		win = append([]obs.WitnessAccess{w.Conflict}, win...)
+	}
+	w.Window = win
+	return w
 }

@@ -10,10 +10,12 @@ import (
 
 // Trace event phases (the Chrome trace-event "ph" field).
 const (
-	PhaseInstant  = byte('i') // point event
-	PhaseComplete = byte('X') // span with a duration
-	PhaseMetadata = byte('M') // process/thread naming
-	PhaseCounter  = byte('C') // counter track
+	PhaseInstant   = byte('i') // point event
+	PhaseComplete  = byte('X') // span with a duration
+	PhaseMetadata  = byte('M') // process/thread naming
+	PhaseCounter   = byte('C') // counter track
+	PhaseFlowStart = byte('s') // flow arrow origin
+	PhaseFlowEnd   = byte('f') // flow arrow destination (binds enclosing)
 )
 
 // maxArgs bounds per-event arguments so events stay allocation-free on
@@ -37,6 +39,7 @@ type TraceEvent struct {
 	Ph   byte
 	TS   uint64 // microseconds (virtual or wall, by process — see above)
 	Dur  uint64 // microseconds, PhaseComplete only
+	ID   uint64 // flow binding id, PhaseFlowStart/PhaseFlowEnd only
 	PID  int
 	TID  int64
 	Args [maxArgs]KV
@@ -141,6 +144,13 @@ func writeEvent(bw *bufio.Writer, e *TraceEvent) {
 	}
 	if e.Ph == PhaseInstant {
 		bw.WriteString(`,"s":"t"`) // thread-scoped instant
+	}
+	if e.Ph == PhaseFlowStart || e.Ph == PhaseFlowEnd {
+		bw.WriteString(`,"id":`)
+		bw.WriteString(strconv.FormatUint(e.ID, 10))
+		if e.Ph == PhaseFlowEnd {
+			bw.WriteString(`,"bp":"e"`) // bind to the enclosing slice/instant
+		}
 	}
 	bw.WriteString(`,"pid":`)
 	bw.WriteString(strconv.Itoa(e.PID))

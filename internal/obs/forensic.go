@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Forensic reporting: fold witnesses by the static site pair that produced
+// them, rank the groups the way an examiner would read them (heaviest
+// first), and render the two-thread schedule behind each group's first
+// witness. The renderer is detector-agnostic — SVD violations and FRD
+// races share the format — and callers fold in extra context (symbol
+// names, a posteriori examination findings) through ForensicOptions.
+
+// WitnessGroup is every witness sharing one static site pair: the
+// reporting program point and the conflicting program point.
+type WitnessGroup struct {
+	Detector   string `json:"detector"`
+	PC         int64  `json:"pc"`          // reporting access
+	ConflictPC int64  `json:"conflict_pc"` // remote conflicting access
+	Count      int    `json:"count"`       // dynamic witnesses at this pair
+
+	// First is the group's exemplar: the earliest captured witness.
+	First Witness `json:"first"`
+}
+
+// GroupWitnesses folds witnesses by (detector, reporting PC, conflicting
+// PC), ranked by descending count with PC-order tie-breaks — a stable,
+// map-iteration-independent order.
+func GroupWitnesses(ws []Witness) []WitnessGroup {
+	type key struct {
+		det    string
+		pc, cp int64
+	}
+	idx := make(map[key]int)
+	var out []WitnessGroup
+	for i := range ws {
+		w := &ws[i]
+		k := key{w.Detector, w.PC, w.Conflict.PC}
+		if j, ok := idx[k]; ok {
+			out[j].Count++
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, WitnessGroup{
+			Detector: w.Detector, PC: w.PC, ConflictPC: w.Conflict.PC,
+			Count: 1, First: *w,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].PC != out[j].PC {
+			return out[i].PC < out[j].PC
+		}
+		if out[i].ConflictPC != out[j].ConflictPC {
+			return out[i].ConflictPC < out[j].ConflictPC
+		}
+		return out[i].Detector < out[j].Detector
+	})
+	return out
+}
+
+// ForensicOptions parameterize the text report.
+type ForensicOptions struct {
+	// Loc resolves a PC to a source location ("" falls back to "pc N").
+	Loc func(pc int64) string
+	// Sym resolves a block id to a data-symbol name ("" falls back to
+	// "block N").
+	Sym func(block int64) string
+	// Annotate returns extra per-group context appended under the group —
+	// the hook cmd/svd uses to fold in the matching svd.Examine finding.
+	Annotate func(g WitnessGroup) string
+
+	// MaxGroups and MaxWindow bound the report (0 = defaults 10 and 16).
+	MaxGroups int
+	MaxWindow int
+}
+
+func (o ForensicOptions) withDefaults() ForensicOptions {
+	if o.Loc == nil {
+		o.Loc = func(int64) string { return "" }
+	}
+	if o.Sym == nil {
+		o.Sym = func(int64) string { return "" }
+	}
+	if o.MaxGroups <= 0 {
+		o.MaxGroups = 10
+	}
+	if o.MaxWindow <= 0 {
+		o.MaxWindow = 16
+	}
+	return o
+}
+
+func (o ForensicOptions) loc(pc int64) string {
+	if s := o.Loc(pc); s != "" {
+		return s
+	}
+	return fmt.Sprintf("pc %d", pc)
+}
+
+func (o ForensicOptions) sym(b int64) string {
+	if s := o.Sym(b); s != "" {
+		return s
+	}
+	return fmt.Sprintf("block %d", b)
+}
+
+// RenderForensicReport renders witnesses as a ranked human-readable
+// report: one section per site pair, the interleaving window of the
+// exemplar witness printed as the two-thread schedule that closed the
+// cycle.
+func RenderForensicReport(ws []Witness, opts ForensicOptions) string {
+	opts = opts.withDefaults()
+	groups := GroupWitnesses(ws)
+	var b strings.Builder
+	fmt.Fprintf(&b, "forensic report: %d witnesses at %d site pairs\n", len(ws), len(groups))
+	for i, g := range groups {
+		if i >= opts.MaxGroups {
+			fmt.Fprintf(&b, "... %d more site pairs\n", len(groups)-opts.MaxGroups)
+			break
+		}
+		b.WriteString(renderGroup(g, opts))
+		if opts.Annotate != nil {
+			if note := opts.Annotate(g); note != "" {
+				for _, line := range strings.Split(strings.TrimRight(note, "\n"), "\n") {
+					fmt.Fprintf(&b, "    %s\n", line)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+func renderGroup(g WitnessGroup, opts ForensicOptions) string {
+	w := g.First
+	var b strings.Builder
+	kind := "serializability violation"
+	if g.Detector == "frd" {
+		kind = "data race"
+	}
+	fmt.Fprintf(&b, "[%6d dynamic] %s: %s conflicts with %s on %s\n",
+		g.Count, kind, opts.loc(g.PC), opts.loc(g.ConflictPC), opts.sym(w.Block))
+	if w.CU != 0 {
+		fmt.Fprintf(&b, "    victim CU %d: %d input / %d output blocks", w.CU, len(w.Inputs), len(w.Outputs))
+		if len(w.Inputs) > 0 {
+			fmt.Fprintf(&b, "; inputs %s", blockList(w.Inputs, opts))
+		}
+		b.WriteString("\n")
+	}
+	if w.Stale != nil {
+		fmt.Fprintf(&b, "    stale input: cpu %d %s %s at t=%d (%s)\n",
+			w.Stale.CPU, rw(w.Stale.Write), opts.sym(w.Stale.Block), w.Stale.Seq, opts.loc(w.Stale.PC))
+	}
+	fmt.Fprintf(&b, "    schedule (cpu %d vs cpu %d):\n", w.CPU, w.Conflict.CPU)
+	window := w.Window
+	if len(window) > opts.MaxWindow {
+		fmt.Fprintf(&b, "      ... %d earlier accesses elided\n", len(window)-opts.MaxWindow)
+		window = window[len(window)-opts.MaxWindow:]
+	}
+	for i := range window {
+		a := &window[i]
+		marker := ""
+		switch {
+		case a.Seq == w.Conflict.Seq && a.CPU == w.Conflict.CPU:
+			marker = "  <- conflicting access"
+		case a.Seq == w.Seq && a.CPU == w.CPU:
+			marker = "  <- reports here"
+		}
+		fmt.Fprintf(&b, "      t=%-10d cpu %d %-5s %-18s %s%s\n",
+			a.Seq, a.CPU, rw(a.Write), opts.sym(a.Block), opts.loc(a.PC), marker)
+	}
+	return b.String()
+}
+
+func rw(write bool) string {
+	if write {
+		return "store"
+	}
+	return "load"
+}
+
+func blockList(blocks []int64, opts ForensicOptions) string {
+	var b strings.Builder
+	for i, blk := range blocks {
+		if i >= 4 {
+			fmt.Fprintf(&b, ", +%d more", len(blocks)-4)
+			break
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(opts.sym(blk))
+	}
+	return b.String()
+}

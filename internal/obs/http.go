@@ -1,10 +1,11 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"net/http/pprof"
 	"sync"
 )
 
@@ -43,17 +44,63 @@ func (v *sinkVar) String() string {
 	return f.String()
 }
 
-// ListenAndServe starts the live observability endpoint on addr (expvar
-// at /debug/vars, profiles at /debug/pprof) in a background goroutine and
-// returns the bound address — useful when addr has port 0. The server
-// runs until the process exits.
-func ListenAndServe(addr string) (string, error) {
+// Server is the live observability endpoint: OpenMetrics at /metrics,
+// expvar at /debug/vars, profiles at /debug/pprof. Unlike the fire-and-
+// forget listener it replaces, it owns its listener and mux, reports the
+// bound address (so tests can pass port 0), and shuts down cleanly.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// NewServeMux builds the endpoint's handler: /metrics serving the sink's
+// OpenMetrics exposition under ns, plus /debug/vars and /debug/pprof.
+// A nil sink serves 404 at /metrics and keeps the debug routes.
+func NewServeMux(sink *Sink, ns string) *http.ServeMux {
+	mux := http.NewServeMux()
+	if sink != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = sink.WriteOpenMetrics(w, ns)
+		})
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartServer binds addr (port 0 picks a free port) and serves the sink's
+// observability endpoint in a background goroutine until Shutdown.
+func StartServer(addr string, sink *Sink, ns string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewServeMux(sink, ns)},
+		done: make(chan struct{}),
 	}
 	go func() {
-		_ = http.Serve(ln, http.DefaultServeMux)
+		defer close(s.done)
+		// ErrServerClosed is the normal Shutdown signal.
+		_ = s.srv.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:37021".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops accepting connections, waits for in-flight requests up
+// to the context deadline, and releases the listener.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
 }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+type httpResp struct {
+	header http.Header
+	body   string
+}
+
+func httpGet(t *testing.T, url string) httpResp {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return httpResp{header: resp.Header, body: string(body)}
+}
+
+func shutdownServer(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestServerGracefulShutdown: port 0 binds a free port, the bound address
+// is reported, and after Shutdown the listener is released — a second
+// server can take the same address and new connections to the old one
+// fail.
+func TestServerGracefulShutdown(t *testing.T) {
+	sink := NewSink(SinkOptions{})
+	srv, err := StartServer("127.0.0.1:0", sink, "svd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" || addr == "127.0.0.1:0" {
+		t.Fatalf("Addr() = %q, want a concrete bound address", addr)
+	}
+	httpGet(t, "http://"+addr+"/metrics")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("request after shutdown unexpectedly succeeded")
+	}
+	// The port is free again: a new server can bind it.
+	srv2, err := StartServer(addr, sink, "svd")
+	if err != nil {
+		t.Fatalf("rebind after shutdown: %v", err)
+	}
+	shutdownServer(t, srv2)
+}
+
+// TestServerNilSink: the debug routes stay up without a sink; /metrics is
+// absent.
+func TestServerNilSink(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", nil, "svd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, srv)
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/metrics without sink: status %d, want 404", resp.StatusCode)
+	}
+	httpGet(t, "http://"+srv.Addr()+"/debug/vars")
+}

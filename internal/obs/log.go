@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// Structured logging for the harness commands. The commands print their
+// results to stdout (tables, reports); operational events — servers
+// starting, traces written, shutdown signals — go through log/slog on
+// stderr so a service deployment can ship them as structured records.
+
+// InitSlog installs a slog default logger on stderr at the given level
+// ("debug", "info", "warn", "error"; unknown strings mean info). With
+// jsonFmt the handler emits JSON records, otherwise logfmt-style text.
+// It returns the logger for direct use.
+func InitSlog(level string, jsonFmt bool) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonFmt {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l
+}

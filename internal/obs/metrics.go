@@ -15,6 +15,7 @@ type Metrics struct {
 	Violations uint64
 	LogTriples uint64
 	Races      uint64
+	Witnesses  uint64 // violation/race witnesses assembled (flight recorder)
 
 	// Arena counters, folded in at FlushObs.
 	ArenaAllocated uint64
@@ -66,6 +67,7 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Violations += o.Violations
 	m.LogTriples += o.LogTriples
 	m.Races += o.Races
+	m.Witnesses += o.Witnesses
 	m.ArenaAllocated += o.ArenaAllocated
 	m.ArenaReused += o.ArenaReused
 	m.ArenaRecycled += o.ArenaRecycled
@@ -137,6 +139,7 @@ func (m *Metrics) Snapshot() Snapshot {
 			"violations":      m.Violations,
 			"log_triples":     m.LogTriples,
 			"races":           m.Races,
+			"witnesses":       m.Witnesses,
 			"arena_allocated": m.ArenaAllocated,
 			"arena_reused":    m.ArenaReused,
 			"arena_recycled":  m.ArenaRecycled,

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -123,10 +124,12 @@ func TestExpvarEndpoint(t *testing.T) {
 	sink2.PublishExpvar("svd_test_metrics")
 	sink.PublishExpvar("svd_test_metrics")
 
-	addr, err := ListenAndServe("127.0.0.1:0")
+	srv, err := StartServer("127.0.0.1:0", sink, "svd")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Shutdown(context.Background())
+	addr := srv.Addr()
 	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenMetricsExposition(t *testing.T) {
+	sink := NewSink(SinkOptions{})
+	r := sink.NewRecorder("s")
+	r.Violation(1, 0, 10, 20, 1)
+	r.Violation(2, 0, 11, 21, 2)
+	r.Witness(&Witness{Detector: "svd", Seq: 2, Conflict: WitnessAccess{CPU: 1, Seq: 1}})
+	r.ObserveStore(0, 2, 1024, 100)
+	r.Span("simulate")()
+	r.Span("classify")()
+	r.Flush()
+
+	var b strings.Builder
+	if err := sink.WriteOpenMetrics(&b, "svd"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE svd_violations counter",
+		"svd_violations_total 2",
+		"svd_witnesses_total 1",
+		"# TYPE svd_samples gauge",
+		"svd_samples 1",
+		"# TYPE svd_store_slots histogram",
+		`svd_store_slots_bucket{le="+Inf"} 1`,
+		"svd_store_slots_sum 1024",
+		"svd_store_slots_count 1",
+		`svd_phase_ns_bucket{phase="classify",`,
+		`svd_phase_ns_bucket{phase="simulate",`,
+		`svd_phase_ns_sum{phase="simulate"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("exposition must end with # EOF")
+	}
+	// Each metric family gets exactly one HELP/TYPE header — label series
+	// share it (the OpenMetrics spec forbids repeated families).
+	if got := strings.Count(out, "# TYPE svd_phase_ns histogram"); got != 1 {
+		t.Errorf("phase_ns family declared %d times, want 1", got)
+	}
+	if !strings.Contains(OpenMetricsContentType, "openmetrics-text") {
+		t.Errorf("content type = %q", OpenMetricsContentType)
+	}
+}
+
+func TestOpenMetricsHistogramBucketsCumulative(t *testing.T) {
+	var m Metrics
+	// Values 1 (bucket 1, le=1), 2 and 3 (bucket 2, le=3), 8 (bucket 4,
+	// le=15): cumulative counts 1, 3, 4.
+	for _, v := range []uint64{1, 2, 3, 8} {
+		m.StoreSlots.Observe(v)
+	}
+	var b strings.Builder
+	if err := m.WriteOpenMetrics(&b, "t"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`t_store_slots_bucket{le="1"} 1`,
+		`t_store_slots_bucket{le="3"} 3`,
+		`t_store_slots_bucket{le="15"} 4`,
+		`t_store_slots_bucket{le="+Inf"} 4`,
+		"t_store_slots_sum 14",
+		"t_store_slots_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramPercentilesKnownDistributions pins the percentile summaries
+// on distributions whose quantiles are known exactly: the bucketed
+// estimate must be the inclusive upper bound of the bucket holding the
+// true quantile, clamped to the observed max.
+func TestHistogramPercentilesKnownDistributions(t *testing.T) {
+	// Uniform 1..100: p50 -> value 50 -> bucket 6 (32..63) -> 63;
+	// p90 -> 90 and p99 -> 99 -> bucket 7 (64..127) -> clamped to 100.
+	var u Histogram
+	for i := uint64(1); i <= 100; i++ {
+		u.Observe(i)
+	}
+	s := u.Summarize()
+	if s.P50 != 63 || s.P90 != 100 || s.P99 != 100 {
+		t.Errorf("uniform summary p50/p90/p99 = %d/%d/%d, want 63/100/100", s.P50, s.P90, s.P99)
+	}
+
+	// Constant distribution: every percentile is the value itself.
+	var c Histogram
+	for i := 0; i < 1000; i++ {
+		c.Observe(8)
+	}
+	s = c.Summarize()
+	if s.P50 != 8 || s.P90 != 8 || s.P99 != 8 {
+		t.Errorf("constant summary p50/p90/p99 = %d/%d/%d, want 8/8/8", s.P50, s.P90, s.P99)
+	}
+
+	// Heavy tail: 99 small values (exactly 1) and one huge outlier. p50
+	// and p90 stay in the small bucket; p99 still reads small (99% of
+	// mass is small); only p100 reaches the outlier.
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1 << 20)
+	s = h.Summarize()
+	if s.P50 != 1 || s.P90 != 1 || s.P99 != 1 {
+		t.Errorf("tail summary p50/p90/p99 = %d/%d/%d, want 1/1/1", s.P50, s.P90, s.P99)
+	}
+	if got := h.Quantile(1.0); got != 1<<20 {
+		t.Errorf("p100 = %d, want %d", got, 1<<20)
+	}
+
+	// The percentiles flow through the snapshot (what /debug/vars and the
+	// -json emitters serialize).
+	var m Metrics
+	for i := uint64(1); i <= 100; i++ {
+		m.CULifetime.Observe(i)
+	}
+	snap := m.Snapshot()
+	if got := snap.Histograms["cu_lifetime_instrs"]; got.P50 != 63 || got.P90 != 100 || got.P99 != 100 {
+		t.Errorf("snapshot percentiles = %+v", got)
+	}
+}
+
+func TestServerServesOpenMetrics(t *testing.T) {
+	sink := NewSink(SinkOptions{})
+	r := sink.NewRecorder("s")
+	r.Violation(1, 0, 1, 2, 3)
+	r.Flush()
+	srv, err := StartServer("127.0.0.1:0", sink, "svd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownServer(t, srv)
+
+	resp := httpGet(t, "http://"+srv.Addr()+"/metrics")
+	if ct := resp.header.Get("Content-Type"); ct != OpenMetricsContentType {
+		t.Errorf("content type = %q, want %q", ct, OpenMetricsContentType)
+	}
+	if !strings.Contains(resp.body, "svd_violations_total 1") {
+		t.Errorf("/metrics missing violations counter:\n%s", resp.body)
+	}
+	if !strings.HasSuffix(resp.body, "# EOF\n") {
+		t.Error("/metrics body must end with # EOF")
+	}
+}

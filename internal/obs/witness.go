@@ -1,0 +1,184 @@
+package obs
+
+// The violation flight recorder (DESIGN.md §9). The detectors report a
+// violation as a site pair; what makes the report actionable is a concrete
+// witness — the ordered conflicting accesses that close the unserializable
+// cycle, the way RegionTrack and AeroDrome print the schedule behind an
+// atomicity report. Each detector thread keeps a small bounded ring of its
+// recent accesses; when SVD's strict-2PL check fires (or FRD flags a race)
+// the detector slices the victim's and the conflicting thread's rings into
+// an interleaving window and attaches the victim unit's footprint, the
+// local access that created the stale input block, and the conflicting
+// remote access. This file defines the witness model; forensic.go renders
+// it, and Recorder.Witness injects it into the Chrome trace as a clickable
+// flow arrow from the conflicting access to the reporting store.
+
+// WitnessAccess is one dynamic memory access inside a witness: the thread,
+// program point, block, direction, virtual timestamp (the VM's global
+// sequence number), and — for SVD — the computational unit it extended.
+type WitnessAccess struct {
+	CPU   int    `json:"cpu"`
+	PC    int64  `json:"pc"`
+	Block int64  `json:"block"`
+	Write bool   `json:"write"`
+	Seq   uint64 `json:"seq"`
+	CU    uint64 `json:"cu,omitempty"`
+}
+
+// Witness is the captured evidence for one dynamic violation (or race):
+// enough to print the two-thread schedule that closed the cycle.
+type Witness struct {
+	// Detector is "svd" (strict-2PL violation) or "frd" (data race).
+	Detector string `json:"detector"`
+
+	// The reporting access: for SVD the store that failed the strict-2PL
+	// check, for FRD the second access of the racy pair.
+	Seq   uint64 `json:"seq"`
+	CPU   int    `json:"cpu"`
+	PC    int64  `json:"pc"`
+	Block int64  `json:"block"`
+
+	// CU identifies the victim computational unit (SVD only).
+	CU uint64 `json:"cu,omitempty"`
+
+	// Inputs and Outputs are the victim unit's block footprint at report
+	// time: its input (read-before-written) and output (written) blocks.
+	// SVD only; both are sorted and capped at MaxFootprintBlocks.
+	Inputs  []int64 `json:"inputs,omitempty"`
+	Outputs []int64 `json:"outputs,omitempty"`
+
+	// Stale is the victim's local access that pulled the conflicted block
+	// into the unit — the read (or write) whose value the remote access
+	// made stale. Nil when the detector retained no local history.
+	Stale *WitnessAccess `json:"stale_input,omitempty"`
+
+	// Conflict is the remote conflicting access, with its thread and
+	// virtual timestamp. For SVD it is the first unconsumed conflicting
+	// access on the checked block; for FRD the first access of the pair.
+	Conflict WitnessAccess `json:"conflict"`
+
+	// Window is the interleaving slice: the victim's and the conflicting
+	// thread's recent accesses, merged in virtual-time order and ending at
+	// the reporting access. Bounded by the detectors' ring size.
+	Window []WitnessAccess `json:"window,omitempty"`
+}
+
+// MaxFootprintBlocks caps the Inputs/Outputs lists a witness retains; a
+// unit's full footprint can reach thousands of blocks and the first blocks
+// (sorted) identify the variable just as well.
+const MaxFootprintBlocks = 64
+
+// DefaultWitnessRing is the per-thread access-ring capacity when the
+// detectors' witness options leave it zero: deep enough to span the
+// interleaving window between a conflicting access and the store that
+// reports it under any of the Table 2 workloads, small enough (~3 KB per
+// thread) to stay cache-resident.
+const DefaultWitnessRing = 64
+
+// AccessRing is a bounded ring of one thread's recent memory accesses —
+// the flight-recorder buffer behind witness windows. Appends overwrite
+// the oldest entry once the ring is full; the zero-size ring is invalid
+// (use NewAccessRing).
+type AccessRing struct {
+	buf []WitnessAccess
+	n   int // total appended
+}
+
+// NewAccessRing builds a ring holding the last size accesses (size <= 0
+// selects DefaultWitnessRing).
+func NewAccessRing(size int) *AccessRing {
+	if size <= 0 {
+		size = DefaultWitnessRing
+	}
+	return &AccessRing{buf: make([]WitnessAccess, size)}
+}
+
+// Add records one access, evicting the oldest when full.
+func (r *AccessRing) Add(a WitnessAccess) {
+	r.buf[r.n%len(r.buf)] = a
+	r.n++
+}
+
+// Snapshot appends the retained accesses with Seq <= maxSeq to out in
+// oldest-first (virtual-time) order and returns the extended slice.
+func (r *AccessRing) Snapshot(maxSeq uint64, out []WitnessAccess) []WitnessAccess {
+	if r == nil {
+		return out
+	}
+	kept := r.n
+	if kept > len(r.buf) {
+		kept = len(r.buf)
+	}
+	for i := r.n - kept; i < r.n; i++ {
+		a := &r.buf[i%len(r.buf)]
+		if a.Seq <= maxSeq {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+// MergeWindow merges two oldest-first access slices into one virtual-time
+// ordered window, keeping at most max entries from the end (the accesses
+// nearest the report). The inputs must each be sorted by Seq, which ring
+// snapshots are by construction.
+func MergeWindow(a, b []WitnessAccess, max int) []WitnessAccess {
+	out := make([]WitnessAccess, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Seq <= b[j].Seq {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Witness records one assembled violation witness: a counter tick always,
+// and — when tracing — an instant event on the victim thread plus a flow
+// arrow from the conflicting access to the reporting store, so the
+// violation is clickable in Perfetto next to the CU events that produced
+// it. Exactly one call per witness the detector counts, so trace "witness"
+// events match Stats().Witnesses one-for-one.
+func (r *Recorder) Witness(w *Witness) {
+	if r == nil {
+		return
+	}
+	r.m.Witnesses++
+	if !r.tracing {
+		return
+	}
+	// Flow ids must be unique per (id, cat) across the whole trace; fold
+	// the recorder's pid in so parallel samples cannot collide.
+	id := uint64(r.pid)<<40 | (w.Seq & (1<<40 - 1))
+	r.emit(TraceEvent{
+		Name: "witness_flow", Cat: "forensic", Ph: PhaseFlowStart,
+		TS: w.Conflict.Seq, ID: id, PID: r.pid, TID: int64(w.Conflict.CPU),
+	})
+	r.emit(TraceEvent{
+		Name: "witness_flow", Cat: "forensic", Ph: PhaseFlowEnd,
+		TS: w.Seq, ID: id, PID: r.pid, TID: int64(w.CPU),
+	})
+	var win int64
+	if n := len(w.Window); n > 0 {
+		win = int64(n)
+	}
+	r.emit(TraceEvent{
+		Name: "witness", Cat: "forensic", Ph: PhaseInstant,
+		TS: w.Seq, PID: r.pid, TID: int64(w.CPU),
+		Args: [maxArgs]KV{
+			{Key: "detector", Str: w.Detector},
+			{Key: "block", Val: w.Block},
+			{Key: "conflict_cpu", Val: int64(w.Conflict.CPU)},
+			{Key: "window", Val: win},
+		},
+	})
+}

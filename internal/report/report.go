@@ -33,6 +33,19 @@ type SiteKey struct {
 
 func svdSiteKey(storePC int64) SiteKey { return SiteKey{PCLow: storePC, PCHigh: -1} }
 
+// MarshalText renders the key "low/high" so site maps survive JSON
+// encoding (struct map keys don't; text-marshaler keys do), keeping whole
+// Samples machine-serializable for the -json surfaces.
+func (k SiteKey) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d/%d", k.PCLow, k.PCHigh)), nil
+}
+
+// UnmarshalText parses the "low/high" form MarshalText writes.
+func (k *SiteKey) UnmarshalText(b []byte) error {
+	_, err := fmt.Sscanf(string(b), "%d/%d", &k.PCLow, &k.PCHigh)
+	return err
+}
+
 // DetectorResult classifies one detector's output on one sample.
 type DetectorResult struct {
 	DynamicTrue  uint64 // dynamic reports on bug program points
@@ -70,6 +83,12 @@ type Sample struct {
 	// dropped the underlying detector stats.)
 	SVDStats svd.Stats
 	FRDStats frd.Stats
+
+	// SVDWitnesses and FRDWitnesses are the flight-recorder witnesses the
+	// detectors assembled, paired one-for-one with their retained reports.
+	// Nil unless Options.Witness.
+	SVDWitnesses []obs.Witness `json:"svd_witnesses,omitempty"`
+	FRDWitnesses []obs.Witness `json:"frd_witnesses,omitempty"`
 }
 
 // Options tune a sample run.
@@ -88,6 +107,10 @@ type Options struct {
 	// instead of batch consumers. Debug and differential-testing knob; the
 	// batched pipeline is output-identical.
 	Unbatched bool
+
+	// Witness enables both detectors' flight recorders and carries their
+	// witnesses into each Sample.
+	Witness bool
 }
 
 // Run executes one sample.
@@ -101,6 +124,10 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 		defer rec.Flush()
 		opts.SVD.Recorder = rec
 		opts.FRD.Recorder = rec
+	}
+	if opts.Witness {
+		opts.SVD.Witness = true
+		opts.FRD.Witness = true
 	}
 
 	endBuild := rec.Span("build-vm")
@@ -139,6 +166,8 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 		CUs:          sd.Stats().CUsLive(),
 		SVDStats:     sd.Stats(),
 		FRDStats:     fd.Stats(),
+		SVDWitnesses: sd.Witnesses(),
+		FRDWitnesses: fd.Witnesses(),
 	}
 	if w.Check != nil {
 		s.Erroneous, s.ErrorDetail = w.Check(m)
@@ -163,7 +192,17 @@ type MergedStats struct {
 	Samples int       `json:"samples"`
 	SVD     svd.Stats `json:"svd"`
 	FRD     frd.Stats `json:"frd"`
+
+	// Witnesses collects the samples' flight-recorder witnesses (SVD's
+	// first, then FRD's, in sample order), capped at MaxMergedWitnesses.
+	// The per-sample slices remain complete; this is the run-level digest
+	// the JSON emitters attach. Empty unless Options.Witness.
+	Witnesses []obs.Witness `json:"witnesses,omitempty"`
 }
+
+// MaxMergedWitnesses caps the witnesses MergedStats retains across a run
+// set; full per-violation witness lists stay on the individual samples.
+const MaxMergedWitnesses = 256
 
 // MergeSamples folds every sample's detector counters together. Nil
 // samples (skipped runs) are ignored.
@@ -176,6 +215,18 @@ func MergeSamples(samples []*Sample) MergedStats {
 		m.Samples++
 		m.SVD.Add(s.SVDStats)
 		m.FRD.Add(s.FRDStats)
+		for _, w := range s.SVDWitnesses {
+			if len(m.Witnesses) >= MaxMergedWitnesses {
+				break
+			}
+			m.Witnesses = append(m.Witnesses, w)
+		}
+		for _, w := range s.FRDWitnesses {
+			if len(m.Witnesses) >= MaxMergedWitnesses {
+				break
+			}
+			m.Witnesses = append(m.Witnesses, w)
+		}
 	}
 	return m
 }

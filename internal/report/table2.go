@@ -23,6 +23,10 @@ type Table2Config struct {
 	// Obs collects telemetry (event traces, histograms) across every
 	// sample of every row; nil disables it.
 	Obs *obs.Sink
+
+	// Witness enables the detectors' flight recorders on every sample; the
+	// merged stats then carry a capped witness digest.
+	Witness bool
 }
 
 func (c Table2Config) withDefaults() Table2Config {
@@ -77,7 +81,7 @@ func Table2(cfg Table2Config) ([]Row, MergedStats, error) {
 	var rows []Row
 	var merged MergedStats
 	for _, entry := range Table2Workloads(cfg) {
-		samples, err := RunMany(entry.W, Seeds(cfg.Seed, entry.Samples), Options{Obs: cfg.Obs}, cfg.Parallelism)
+		samples, err := RunMany(entry.W, Seeds(cfg.Seed, entry.Samples), Options{Obs: cfg.Obs, Witness: cfg.Witness}, cfg.Parallelism)
 		if err != nil {
 			return nil, MergedStats{}, fmt.Errorf("table2: %s: %w", entry.W.Name, err)
 		}
@@ -86,6 +90,12 @@ func Table2(cfg Table2Config) ([]Row, MergedStats, error) {
 		merged.Samples += m.Samples
 		merged.SVD.Add(m.SVD)
 		merged.FRD.Add(m.FRD)
+		for _, w := range m.Witnesses {
+			if len(merged.Witnesses) >= MaxMergedWitnesses {
+				break
+			}
+			merged.Witnesses = append(merged.Witnesses, w)
+		}
 	}
 	return rows, merged, nil
 }

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestRunManyWitnesses drives the parallel runner with the flight recorder
+// on: every sample's witness slices must pair with its detector stats, the
+// merged digest must fold them (capped), and the samples must serialize
+// with the wire field names tooling parses. Exercised under -race in CI.
+func TestRunManyWitnesses(t *testing.T) {
+	wl := workloads.ApacheLog(workloads.ApacheConfig{
+		Threads: 4, Requests: 48, Buggy: true, Seed: 3,
+	})
+	seeds := Seeds(11, 6)
+	samples, err := RunMany(wl, seeds, Options{Witness: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var total int
+	for i, s := range samples {
+		if uint64(len(s.SVDWitnesses)) != s.SVDStats.Witnesses {
+			t.Errorf("sample %d: %d svd witnesses, stats say %d", i, len(s.SVDWitnesses), s.SVDStats.Witnesses)
+		}
+		if uint64(len(s.FRDWitnesses)) != s.FRDStats.Witnesses {
+			t.Errorf("sample %d: %d frd witnesses, stats say %d", i, len(s.FRDWitnesses), s.FRDStats.Witnesses)
+		}
+		if s.SVDStats.Witnesses != s.SVDStats.Violations {
+			t.Errorf("sample %d: svd witnesses = %d, violations = %d", i, s.SVDStats.Witnesses, s.SVDStats.Violations)
+		}
+		total += len(s.SVDWitnesses) + len(s.FRDWitnesses)
+	}
+	if total == 0 {
+		t.Fatal("no witnesses across any sample; the test needs violating runs")
+	}
+
+	m := MergeSamples(samples)
+	wantMerged := total
+	if wantMerged > MaxMergedWitnesses {
+		wantMerged = MaxMergedWitnesses
+	}
+	if len(m.Witnesses) != wantMerged {
+		t.Errorf("merged digest holds %d witnesses, want %d (cap %d)", len(m.Witnesses), wantMerged, MaxMergedWitnesses)
+	}
+
+	data, err := json.Marshal(samples[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples[0].SVDWitnesses) > 0 && !strings.Contains(string(data), `"svd_witnesses"`) {
+		t.Error("sample JSON missing svd_witnesses field")
+	}
+}
+
+// TestRunWitnessOffByDefault: without the option samples carry no
+// witnesses and serialize without the fields (omitempty).
+func TestRunWitnessOffByDefault(t *testing.T) {
+	wl := workloads.ApacheLog(workloads.ApacheConfig{
+		Threads: 4, Requests: 48, Buggy: true, Seed: 3,
+	})
+	s, err := Run(wl, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SVDWitnesses != nil || s.FRDWitnesses != nil {
+		t.Errorf("witnesses collected by default: svd=%d frd=%d", len(s.SVDWitnesses), len(s.FRDWitnesses))
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "witnesses") {
+		t.Error("default sample JSON mentions witnesses; fields must be omitempty")
+	}
+}

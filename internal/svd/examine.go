@@ -83,7 +83,23 @@ func Examine(prog *isa.Program, log []LogEntry) []Finding {
 	}
 	var out []Finding
 	for block, entries := range byBlock {
-		sort.Slice(entries, func(i, j int) bool { return entries[i].Dynamic > entries[j].Dynamic })
+		// Full ordering: Dynamic alone ties between distinct static triples,
+		// and an unstable sort would let run-to-run input order leak into
+		// the report. The PC triple is unique per entry (the detector dedups
+		// on it), so this comparison is total and the output deterministic.
+		sort.Slice(entries, func(i, j int) bool {
+			a, b := &entries[i], &entries[j]
+			if a.Dynamic != b.Dynamic {
+				return a.Dynamic > b.Dynamic
+			}
+			if a.ReadPC != b.ReadPC {
+				return a.ReadPC < b.ReadPC
+			}
+			if a.RemoteWritePC != b.RemoteWritePC {
+				return a.RemoteWritePC < b.RemoteWritePC
+			}
+			return a.LocalWritePC < b.LocalWritePC
+		})
 		f := Finding{Block: block, Triples: entries}
 		if prog != nil {
 			f.Symbol = prog.SymbolFor(block)

@@ -92,6 +92,18 @@ type Options struct {
 	// state for the block, which is output-identical.
 	NoInterestIndex bool
 
+	// Witness turns on the violation flight recorder (DESIGN.md §9): each
+	// thread keeps a bounded ring of its recent accesses, and every
+	// reported violation is paired with an obs.Witness capturing the
+	// victim unit's footprint, the stale input access, the conflicting
+	// remote access, and the interleaving window sliced from the rings.
+	// Off (the default) the hot path pays one nil check per access.
+	Witness bool
+
+	// WitnessRing sets the per-thread access-ring capacity when Witness is
+	// on. Zero means obs.DefaultWitnessRing.
+	WitnessRing int
+
 	// Recorder attaches the telemetry layer (internal/obs): CU lifecycle
 	// events, violation/log-triple provenance, and end-of-run gauges. Nil
 	// (the default) keeps the hot path free of telemetry work beyond one
@@ -105,6 +117,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxLogEntries <= 0 {
 		o.MaxLogEntries = 1 << 16
+	}
+	if o.WitnessRing <= 0 {
+		o.WitnessRing = obs.DefaultWitnessRing
 	}
 	return o
 }
@@ -225,6 +240,7 @@ type Stats struct {
 	RemoteSkipped uint64
 
 	Violations      uint64 // dynamic violation reports (pre-cap)
+	Witnesses       uint64 // violation witnesses assembled (== Violations with Options.Witness)
 	LogEntries      uint64 // dynamic (s, rw, lw) log occurrences (pre-cap)
 	SharedCutLoads  uint64 // CU cuts caused by loads of Stored_Shared blocks
 	SharedCutRemote uint64 // CU cuts caused by remote access to True_Dep blocks
@@ -242,9 +258,10 @@ type blockState struct {
 	conflict bool
 
 	// First unconsumed conflicting remote access, for violation reports.
-	conflictCPU int
-	conflictPC  int64
-	conflictSeq uint64
+	conflictCPU   int
+	conflictPC    int64
+	conflictSeq   uint64
+	conflictWrite bool
 
 	// Access history for the a posteriori log.
 	hasLocalWrite  bool
@@ -278,6 +295,10 @@ type threadState struct {
 
 	checkBuf []*cu // scratch for the per-store dependence set
 	unionBuf []*cu // scratch for register-set unions
+
+	// ring is the flight-recorder buffer of this thread's recent accesses;
+	// nil unless Options.Witness.
+	ring *obs.AccessRing
 }
 
 // Detector is the online SVD. It implements vm.Observer.
@@ -298,6 +319,7 @@ type Detector struct {
 
 	nextCU     uint64
 	violations []Violation
+	witnesses  []obs.Witness
 	sites      map[int64]*Site
 	logEntries []LogEntry
 	logSeen    map[logKey]int // static triple -> index in logEntries
@@ -326,6 +348,9 @@ func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 			id:     i,
 			blocks: blockstore.New[blockState](blockstore.Options{Sparse: d.opts.SparseBlockTable}),
 		}
+		if d.opts.Witness {
+			d.threads[i].ring = obs.NewAccessRing(d.opts.WitnessRing)
+		}
 	}
 	return d
 }
@@ -345,6 +370,11 @@ func (d *Detector) Reset() {
 
 // Violations returns the retained dynamic violation reports.
 func (d *Detector) Violations() []Violation { return d.violations }
+
+// Witnesses returns the retained violation witnesses. With Options.Witness
+// the slice pairs one-for-one with Violations(); without it the slice is
+// nil.
+func (d *Detector) Witnesses() []obs.Witness { return d.witnesses }
 
 // Log returns a copy of the retained a posteriori examination log.
 // Entries are deduplicated by static (s, rw, lw) PC triple;
@@ -377,6 +407,7 @@ func (s *Stats) Add(o Stats) {
 	s.RemoteSent += o.RemoteSent
 	s.RemoteSkipped += o.RemoteSkipped
 	s.Violations += o.Violations
+	s.Witnesses += o.Witnesses
 	s.LogEntries += o.LogEntries
 	s.SharedCutLoads += o.SharedCutLoads
 	s.SharedCutRemote += o.SharedCutRemote
@@ -720,6 +751,9 @@ func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
 	bs.hasLocalLoad = true
 	bs.localLoadPC = ev.PC
 	bs.localLoadSeq = ev.Seq
+	if t.ring != nil {
+		t.ring.Add(obs.WitnessAccess{CPU: t.id, PC: ev.PC, Block: b, Seq: ev.Seq, CU: c.id})
+	}
 	t.setRegSingle(rd, c)
 }
 
@@ -766,6 +800,9 @@ func (t *threadState) store(ev *vm.Event, b int64, valReg, addrReg isa.Reg) {
 	bs.hasLocalWrite = true
 	bs.localWritePC = ev.PC
 	bs.localWriteSeq = ev.Seq
+	if t.ring != nil {
+		t.ring.Add(obs.WitnessAccess{CPU: t.id, PC: ev.PC, Block: b, Write: true, Seq: ev.Seq, CU: c.id})
+	}
 }
 
 // checkViolations is Figure 7's check_violations: report a strict-2PL
@@ -808,6 +845,18 @@ func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks *blockSet) bo
 		t.d.recordSite(v)
 		if r := t.d.rec; r != nil {
 			r.Violation(t.d.stats.Instructions, t.id, ev.PC, b, c.id)
+		}
+		if t.d.opts.Witness {
+			w := t.buildWitness(v, c, bs)
+			t.d.stats.Witnesses++
+			if r := t.d.rec; r != nil {
+				r.Witness(&w)
+			}
+			// Same cap and same order as the violations slice, so retained
+			// witnesses pair with retained violations index-for-index.
+			if len(t.d.witnesses) < t.d.opts.MaxViolations {
+				t.d.witnesses = append(t.d.witnesses, w)
+			}
 		}
 		if len(t.d.violations) < t.d.opts.MaxViolations {
 			t.d.violations = append(t.d.violations, v)
@@ -916,6 +965,7 @@ func (t *threadState) remote(ev *vm.Event, b int64) {
 			bs.conflictCPU = ev.CPU
 			bs.conflictPC = ev.PC
 			bs.conflictSeq = ev.Seq
+			bs.conflictWrite = isWrite
 		}
 	}
 

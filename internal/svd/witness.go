@@ -1,0 +1,87 @@
+package svd
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Witness assembly for the violation flight recorder (DESIGN.md §9). All
+// of this runs only at report time, on the cold path behind a confirmed
+// strict-2PL violation; the hot path's whole contribution is the ring
+// append in load/store.
+
+// buildWitness captures the evidence behind one violation: the victim
+// unit's footprint, the local access that pulled the conflicted block into
+// the unit, the conflicting remote access, and the interleaving window
+// sliced from the victim's and the conflicting thread's access rings.
+func (t *threadState) buildWitness(v Violation, c *cu, bs *blockState) obs.Witness {
+	w := obs.Witness{
+		Detector: "svd",
+		Seq:      v.Seq,
+		CPU:      v.CPU,
+		PC:       v.StorePC,
+		Block:    v.Block,
+		CU:       v.CU,
+		Inputs:   footprint(&c.rs),
+		Outputs:  footprint(&c.ws),
+		Conflict: obs.WitnessAccess{
+			CPU:   v.ConflictCPU,
+			PC:    v.ConflictPC,
+			Block: v.Block,
+			Write: bs.conflictWrite,
+			Seq:   v.ConflictSeq,
+		},
+	}
+	// The stale input: the unit's read of the block the remote access
+	// invalidated. Blocks checked through ws (CheckAllBlocks) may carry
+	// only a local write.
+	if bs.hasLocalLoad {
+		w.Stale = &obs.WitnessAccess{CPU: t.id, PC: bs.localLoadPC, Block: v.Block, Seq: bs.localLoadSeq, CU: c.id}
+	} else if bs.hasLocalWrite {
+		w.Stale = &obs.WitnessAccess{CPU: t.id, PC: bs.localWritePC, Block: v.Block, Write: true, Seq: bs.localWriteSeq, CU: c.id}
+	}
+
+	local := t.ring.Snapshot(v.Seq, nil)
+	var remote []obs.WitnessAccess
+	if v.ConflictCPU >= 0 && v.ConflictCPU < len(t.d.threads) && v.ConflictCPU != t.id {
+		remote = t.d.threads[v.ConflictCPU].ring.Snapshot(v.Seq, nil)
+	}
+	win := obs.MergeWindow(local, remote, t.d.opts.WitnessRing-1)
+	// The reporting store itself enters the ring only after the check, so
+	// close the window with it explicitly.
+	win = append(win, obs.WitnessAccess{CPU: t.id, PC: v.StorePC, Block: v.Block, Write: true, Seq: v.Seq, CU: c.id})
+	// Guarantee the conflicting access survives even when the remote ring
+	// has already evicted it: everything retained is newer, so prepending
+	// keeps the window sorted.
+	present := false
+	for i := range win {
+		if win[i].Seq == v.ConflictSeq && win[i].CPU == v.ConflictCPU {
+			present = true
+			break
+		}
+	}
+	if !present {
+		win = append([]obs.WitnessAccess{w.Conflict}, win...)
+	}
+	w.Window = win
+	return w
+}
+
+// footprint snapshots a block set as a sorted slice capped at
+// obs.MaxFootprintBlocks.
+func footprint(s *blockSet) []int64 {
+	if s.len() == 0 {
+		return nil
+	}
+	out := make([]int64, 0, s.len())
+	s.forEach(func(b int64) bool {
+		out = append(out, b)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > obs.MaxFootprintBlocks {
+		out = append([]int64(nil), out[:obs.MaxFootprintBlocks]...)
+	}
+	return out
+}
