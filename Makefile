@@ -1,13 +1,16 @@
 # Developer entry points. `make check` is the tier-1 gate (build + tests);
-# `make race` adds the data-race check on the parallel sample runner;
-# `make cover` enforces the coverage floor; `make bench-smoke` runs each
-# hot-path microbenchmark once as a compile-and-run sanity check (use
-# `make bench` for real numbers).
+# `make race` adds the data-race check on the parallel sample runner and
+# the detection service's loopback differential; `make cover` enforces
+# the coverage floor; `make bench-smoke` runs each hot-path
+# microbenchmark once as a compile-and-run sanity check (use `make
+# bench` for real numbers); `make fuzz-smoke` gives the wire decoder's
+# fuzzer a short budget.
 
 GO ?= go
 COVER_MIN ?= 70
+FUZZ_TIME ?= 30s
 
-.PHONY: all build test race vet check cover bench-smoke bench bench-guard bench-baseline hotpath
+.PHONY: all build test race vet check cover bench-smoke bench bench-guard bench-baseline hotpath fuzz-smoke
 
 all: check
 
@@ -18,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestBatchChopping|TestWitness|TestExamineDeterministic' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/
+	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestBatchChopping|TestWitness|TestExamineDeterministic|TestRunDeterministic|TestMergeSamplesClones|TestLoopback|TestEngineMatchesInProcess|TestShedPolicy|TestShutdownDrains' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/ ./internal/server/
 
 vet:
 	$(GO) vet ./...
@@ -43,17 +46,28 @@ bench:
 
 # Fail if the detectors' hot path regressed beyond tolerance over the
 # recorded baseline (BENCH_BASELINE.json): 10% by default, with noisier
-# entries (the multi-thread sweeps) carrying their own per-entry
-# tolerance in the baseline file. Refresh with `make bench-baseline`
-# after a deliberate perf change — it preserves per-entry tolerances.
+# entries (the multi-thread sweeps, the service benchmarks) carrying
+# their own per-entry tolerance in the baseline file. Refresh with
+# `make bench-baseline` after a deliberate perf change — it preserves
+# per-entry tolerances. The service benchmarks run as separate
+# invocations because their op is a whole execution replay, not a
+# single detector step, so they need their own -benchtime.
 BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step(Threads|Witness)?$$' -benchtime 2000000x -count 3 .
+BENCH_GUARD_WIRE = $(GO) test -run NONE -bench 'BenchmarkWire(Encode|Decode)$$' -benchtime 200x -count 3 .
+BENCH_GUARD_INGEST = $(GO) test -run NONE -bench 'BenchmarkServerIngest$$' -benchtime 5x -count 3 .
 
 bench-guard:
-	$(BENCH_GUARD) | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
+	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); } | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
 
 bench-baseline:
-	$(BENCH_GUARD) | $(GO) run ./cmd/benchguard -record -baseline BENCH_BASELINE.json
+	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); } | $(GO) run ./cmd/benchguard -record -baseline BENCH_BASELINE.json
 
 # Machine-readable hot-path snapshot (ns/instr, allocs, Minstr/s).
 hotpath:
 	$(GO) run ./cmd/svdbench -hotpath -scale 2 -json BENCH_hotpath.json
+
+# Short-budget fuzz of the wire decoder: untrusted bytes must map to the
+# protocol's error taxonomy, never a panic. The committed corpus seeds
+# truncations, bad magic, version skew, and length abuse.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzDeframe -fuzztime $(FUZZ_TIME) ./internal/wire/

@@ -34,6 +34,8 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+
+	"repro/internal/buildinfo"
 )
 
 // benchLine matches one benchmark result, e.g.
@@ -76,8 +78,13 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline file to compare against (or write with -record)")
 		tolerance    = flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline (per-entry tolerances in the file override this)")
 		record       = flag.Bool("record", false, "write the measured minima to the baseline instead of comparing")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("benchguard"))
+		return
+	}
 
 	measured, err := parseBench(os.Stdin)
 	if err != nil {

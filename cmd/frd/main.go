@@ -15,6 +15,7 @@ import (
 	"log/slog"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/frd"
 	"repro/internal/lang"
 	"repro/internal/obs"
@@ -37,8 +38,13 @@ func main() {
 		tracePath = flag.String("trace", "", "write race events as Chrome trace-event JSON to this file")
 		witness   = flag.Bool("witness", false, "enable the race flight recorder and print the forensic report")
 		logLevel  = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("frd"))
+		return
+	}
 
 	obs.InitSlog(*logLevel, false)
 	if *list {

@@ -27,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/lang"
 	"repro/internal/obs"
 	"repro/internal/svd"
@@ -52,8 +53,13 @@ func main() {
 		witness   = flag.Bool("witness", false, "enable the violation flight recorder and print the forensic report")
 		witnessJS = flag.String("witness-json", "", "write the raw violation witnesses to this file as JSON (implies -witness)")
 		logLevel  = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("svd"))
+		return
+	}
 
 	obs.InitSlog(*logLevel, false)
 	if *list {

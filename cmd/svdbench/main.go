@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/ber"
+	"repro/internal/buildinfo"
 	"repro/internal/frd"
 	"repro/internal/lockset"
 	"repro/internal/obs"
@@ -77,8 +78,13 @@ func main() {
 		metricsFm = flag.String("metrics-format", "", "print aggregated telemetry to stdout after the run: json or openmetrics")
 		logLevel  = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
 		logJSON   = flag.Bool("log-json", false, "emit operational log records as JSON")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("svdbench"))
+		return
+	}
 
 	logger := obs.InitSlog(*logLevel, *logJSON)
 	if *metricsFm != "" && *metricsFm != "json" && *metricsFm != "openmetrics" {

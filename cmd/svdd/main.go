@@ -1,0 +1,123 @@
+// Command svdd is the detection daemon: a long-running service that
+// accepts wire-format event streams (internal/wire), spreads them over
+// sharded detector workers (internal/server), and answers each stream
+// with the same report an in-process run would produce.
+//
+// Usage:
+//
+//	svdd -listen :7077 -shards 4
+//	svdd -listen :7077 -http :7078          # /metrics, /report, /debug/pprof
+//	svdd -listen :7077 -policy shed         # drop batches under overload
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener closes, open
+// streams may finish until -drain-timeout expires, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":7077", "address for the event-stream listener")
+		shards       = flag.Int("shards", runtime.GOMAXPROCS(0), "detector worker count")
+		queue        = flag.Int("queue", 64, "per-shard pending-batch queue depth")
+		policyName   = flag.String("policy", "block", "overload policy: block (backpressure) or shed (drop and report)")
+		httpAddr     = flag.String("http", "", "address for the observability endpoint (empty = off): /metrics, /report, /debug/pprof")
+		scale        = flag.Int("scale", 1, "workload scale for streams that name a registry workload without one")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for open streams")
+		logLevel     = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
+		logJSON      = flag.Bool("log-json", false, "log as JSON instead of text")
+		showVersion  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String("svdd"))
+		return
+	}
+	log := obs.InitSlog(*logLevel, *logJSON)
+
+	policy, err := server.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(log, "bad -policy", err)
+	}
+	sink := obs.NewSink(obs.SinkOptions{})
+	eng := server.New(server.Options{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		Policy:     policy,
+		Scale:      *scale,
+		Obs:        sink,
+		Logger:     log,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(log, "listen", err)
+	}
+	log.Info("svdd listening", "addr", ln.Addr().String(),
+		"shards", *shards, "policy", policy.String(), "build", buildinfo.String("svdd"))
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		mux := obs.NewServeMux(sink, "svdd")
+		mux.Handle("/report", eng.ReportHandler())
+		httpLn, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(log, "http listen", err)
+		}
+		httpSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := httpSrv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
+				log.Error("http endpoint", "err", err)
+			}
+		}()
+		log.Info("observability endpoint", "addr", httpLn.Addr().String())
+	}
+
+	// SIGINT/SIGTERM closes the listener; Serve returns once every
+	// session ends, then the engine drains.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Info("signal received, draining", "timeout", drainTimeout.String())
+		ln.Close()
+	}()
+
+	if err := eng.Serve(ln); err != nil {
+		log.Error("serve", "err", err)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := eng.Shutdown(drainCtx); err != nil {
+		log.Warn("drain cut short", "err", err)
+	}
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+	}
+	c := eng.Counters()
+	log.Info("svdd stopped", "streams", c.StreamsClosed, "events", c.Events, "batches_shed", c.BatchesShed)
+}
+
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command svdload is the detection service's load generator: it replays
+// workload executions over the wire protocol to a running svdd, paces
+// them at a target event rate, and reports the achieved throughput plus
+// the server's detection results.
+//
+// Usage:
+//
+//	svdload -addr localhost:7077 -workload queue-buggy -samples 8
+//	svdload -addr localhost:7077 -workload apache-buggy -rate 500000
+//	svdload -addr localhost:7077 -workload queue-buggy -verify
+//
+// -verify re-runs every sample in-process and fails unless the served
+// report matches bit for bit — the live form of the loopback
+// differential test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/server"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:7077", "svdd address")
+		workload    = flag.String("workload", "queue-buggy", "registered workload to replay (see svd -list)")
+		samples     = flag.Int("samples", 4, "number of executions to stream, seeds seed..seed+samples-1")
+		seed        = flag.Uint64("seed", 1, "first scheduler seed")
+		scale       = flag.Int("scale", 1, "workload size multiplier")
+		rate        = flag.Float64("rate", 0, "target events/sec per stream (0 = unpaced)")
+		witness     = flag.Bool("witness", false, "ask the server for violation witnesses")
+		embed       = flag.Bool("embed-program", false, "ship the program image in the handshake instead of naming the workload")
+		verify      = flag.Bool("verify", false, "re-run each sample in-process and require bit-identical reports")
+		jsonOut     = flag.Bool("json", false, "print per-sample results as JSON")
+		logLevel    = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String("svdload"))
+		return
+	}
+	log := obs.InitSlog(*logLevel, false)
+
+	var totalEvents uint64
+	var totalElapsed time.Duration
+	violations, races := uint64(0), uint64(0)
+	start := time.Now()
+	for i := 0; i < *samples; i++ {
+		s := *seed + uint64(i)
+		w, err := workloads.ByName(*workload, *scale, s)
+		if err != nil {
+			log.Error("workload", "err", err)
+			os.Exit(1)
+		}
+		// One connection per sample keeps streams independent; svdd
+		// round-robins them across shards.
+		cli, conn, err := server.Dial(*addr)
+		if err != nil {
+			log.Error("dial", "addr", *addr, "err", err)
+			os.Exit(1)
+		}
+		got, stats, err := cli.RunSample(w, s, server.ReplayOptions{
+			Witness:      *witness,
+			Rate:         *rate,
+			Scale:        *scale,
+			EmbedProgram: *embed,
+		})
+		conn.Close()
+		if err != nil {
+			log.Error("replay", "workload", *workload, "seed", s, "err", err)
+			os.Exit(1)
+		}
+		totalEvents += stats.Events
+		totalElapsed += stats.Elapsed
+		violations += got.SVDStats.Violations
+		races += got.FRDStats.Races
+
+		if *verify {
+			wLocal, err := workloads.ByName(*workload, *scale, s)
+			if err != nil {
+				log.Error("workload", "err", err)
+				os.Exit(1)
+			}
+			want, err := report.Run(wLocal, s, report.Options{Witness: *witness})
+			if err != nil {
+				log.Error("in-process run", "seed", s, "err", err)
+				os.Exit(1)
+			}
+			gotJS, _ := json.Marshal(got)
+			wantJS, _ := json.Marshal(want)
+			if string(gotJS) != string(wantJS) {
+				log.Error("served report differs from in-process run", "workload", *workload, "seed", s)
+				os.Exit(1)
+			}
+			log.Info("verified", "workload", *workload, "seed", s)
+		}
+		if *jsonOut {
+			js, _ := json.Marshal(got)
+			fmt.Println(string(js))
+		} else {
+			log.Info("sample",
+				"workload", *workload, "seed", s,
+				"events", stats.Events,
+				"events_per_sec", fmt.Sprintf("%.0f", stats.EventsPerSec()),
+				"violations", got.SVDStats.Violations,
+				"races", got.FRDStats.Races,
+				"erroneous", got.Erroneous)
+		}
+	}
+	wall := time.Since(start)
+	fmt.Printf("svdload: %d samples, %d events in %v wall (%.0f events/sec aggregate), %d violations, %d races\n",
+		*samples, totalEvents, wall.Round(time.Millisecond),
+		float64(totalEvents)/wall.Seconds(), violations, races)
+}

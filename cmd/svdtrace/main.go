@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/depgraph"
 	"repro/internal/frd"
 	"repro/internal/offline"
@@ -33,8 +34,13 @@ func main() {
 		out      = flag.String("o", "trace.trc", "output file for -record")
 		maxStmts = flag.Int("max-stmts", 300, "statement cap for -dot")
 		show     = flag.Int("show", 8, "max items per report section")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("svdtrace"))
+		return
+	}
 
 	var err error
 	switch {

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/asm"
+	"repro/internal/buildinfo"
 	"repro/internal/isa"
 	"repro/internal/lang"
 	"repro/internal/vm"
@@ -30,8 +31,13 @@ func main() {
 		cpus     = flag.Int("cpus", 0, "CPU count for -run (default: thread declarations)")
 		steps    = flag.Uint64("max-steps", 1<<24, "instruction budget for -run")
 		dumpMem  = flag.String("dump", "", "after -run, print this data symbol's value")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("svlc"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: svlc [flags] <file.svl>")
 		os.Exit(2)

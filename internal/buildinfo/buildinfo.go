@@ -1,0 +1,55 @@
+// Package buildinfo renders the module version and VCS revision baked
+// into a binary by the Go linker, so every command in this repo answers
+// -version the same way without linker flags or per-command plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders "name version" from the embedded build info: the module
+// version when the binary was built from a tagged module, the VCS
+// revision (with a +dirty marker for modified trees) when built from a
+// checkout, and "devel" when neither is recorded (e.g. test binaries).
+func String(name string) string {
+	return name + " " + describe(debug.ReadBuildInfo())
+}
+
+func describe(bi *debug.BuildInfo, ok bool) string {
+	if !ok || bi == nil {
+		return "devel"
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		return fmt.Sprintf("%s (%s, %s)", version, rev, goVersion(bi))
+	}
+	return fmt.Sprintf("%s (%s)", version, goVersion(bi))
+}
+
+func goVersion(bi *debug.BuildInfo) string {
+	if v := strings.TrimSpace(bi.GoVersion); v != "" {
+		return v
+	}
+	return "unknown go"
+}

@@ -1,0 +1,33 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringNeverEmpty(t *testing.T) {
+	s := String("svdd")
+	if !strings.HasPrefix(s, "svdd ") || len(s) <= len("svdd ") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := describe(nil, false); got != "devel" {
+		t.Errorf("no build info: %q", got)
+	}
+	bi := &debug.BuildInfo{GoVersion: "go1.22"}
+	bi.Main.Version = "v1.2.3"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	if got := describe(bi, true); got != "v1.2.3 (0123456789ab+dirty, go1.22)" {
+		t.Errorf("full info: %q", got)
+	}
+	bi.Settings = nil
+	if got := describe(bi, true); got != "v1.2.3 (go1.22)" {
+		t.Errorf("no vcs: %q", got)
+	}
+}

@@ -2,6 +2,7 @@ package lang
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/isa"
 )
@@ -216,10 +217,20 @@ func (g *codegen) genFunc(f *FuncDecl) error {
 	for _, p := range f.Params {
 		params[p] = true
 	}
+	// Zero locals in frame-offset order: map-order emission would make two
+	// compiles of the same source trace different address sequences, and
+	// the detection service's differential tests require recompiling a
+	// workload from (name, scale, seed) to reproduce the event stream
+	// bit-for-bit.
+	var zero []int64
 	for name, off := range fr.slots {
 		if !params[name] {
-			g.emit(isa.Store(isa.RegZero, isa.RegSP, off))
+			zero = append(zero, off)
 		}
+	}
+	sort.Slice(zero, func(i, j int) bool { return zero[i] < zero[j] })
+	for _, off := range zero {
+		g.emit(isa.Store(isa.RegZero, isa.RegSP, off))
 	}
 
 	if err := g.genStmts(f.Body, epilogue); err != nil {

@@ -63,6 +63,31 @@ type Witness struct {
 	Window []WitnessAccess `json:"window,omitempty"`
 }
 
+// Clone returns a deep copy: the Inputs, Outputs, Window slices and the
+// Stale pointer no longer alias the receiver's. Aggregation paths that
+// outlive or run concurrently with the witness's producer — the capped
+// run-level digest in report.MergeSamples, the detection server's query
+// surface — must clone rather than copy the struct, or a reader of the
+// digest shares backing arrays with a detector shard that is still
+// draining.
+func (w Witness) Clone() Witness {
+	c := w
+	if w.Inputs != nil {
+		c.Inputs = append([]int64(nil), w.Inputs...)
+	}
+	if w.Outputs != nil {
+		c.Outputs = append([]int64(nil), w.Outputs...)
+	}
+	if w.Window != nil {
+		c.Window = append([]WitnessAccess(nil), w.Window...)
+	}
+	if w.Stale != nil {
+		st := *w.Stale
+		c.Stale = &st
+	}
+	return c
+}
+
 // MaxFootprintBlocks caps the Inputs/Outputs lists a witness retains; a
 // unit's full footprint can reach thousands of blocks and the first blocks
 // (sorted) identify the variable just as well.

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestRunDeterministic pins the property the detection service's wire
+// differential rests on: rebuilding a workload from (name, scale, seed)
+// and re-running it reproduces the full sample — witnesses, arena
+// counters, everything — bit for bit. Two historical bugs broke this:
+// the compiler zeroed frame locals in map order (so two compiles of the
+// same source traced different address sequences), and the SVD block
+// set iterated spilled footprints in map order (so which block a
+// violation named varied run to run).
+func TestRunDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		seed uint64
+	}{
+		{"queue-buggy", 5},
+		{"apache-buggy", 2},
+		{"mysql-prepared-buggy", 7},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() []byte {
+				w, err := workloads.ByName(tc.name, 1, tc.seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := Run(w, tc.seed, Options{Witness: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				js, err := json.Marshal(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return js
+			}
+			a, b := run(), run()
+			if string(a) != string(b) {
+				i := 0
+				for i < len(a) && i < len(b) && a[i] == b[i] {
+					i++
+				}
+				lo := max(0, i-60)
+				t.Errorf("two runs of %s seed %d diverge at byte %d:\n a: ...%s\n b: ...%s",
+					tc.name, tc.seed, i, a[lo:min(len(a), i+80)], b[lo:min(len(b), i+80)])
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMergeSamplesClonesWitnesses pins the deep copy in MergeSamples: the
+// merged digest is handed to concurrent readers (the detection server's
+// query surface serves it while shards still publish), so sharing the
+// samples' witness backing arrays would be a data race. A struct copy
+// aliases Inputs/Outputs/Window/Stale; the merge must clone them.
+func TestMergeSamplesClonesWitnesses(t *testing.T) {
+	stale := &obs.WitnessAccess{CPU: 1, PC: 10, Block: 7, Seq: 3}
+	s := &Sample{
+		SVDWitnesses: []obs.Witness{{
+			Detector: "svd",
+			Inputs:   []int64{1, 2, 3},
+			Outputs:  []int64{4},
+			Window:   []obs.WitnessAccess{{CPU: 0, PC: 5, Block: 1, Seq: 9}},
+			Stale:    stale,
+		}},
+		FRDWitnesses: []obs.Witness{{
+			Detector: "frd",
+			Window:   []obs.WitnessAccess{{CPU: 2, PC: 6, Block: 2, Seq: 11}},
+		}},
+	}
+	m := MergeSamples([]*Sample{s})
+	if len(m.Witnesses) != 2 {
+		t.Fatalf("merged %d witnesses, want 2", len(m.Witnesses))
+	}
+
+	m.Witnesses[0].Inputs[0] = -1
+	m.Witnesses[0].Outputs[0] = -1
+	m.Witnesses[0].Window[0].PC = -1
+	m.Witnesses[0].Stale.PC = -1
+	m.Witnesses[1].Window[0].PC = -1
+
+	w := s.SVDWitnesses[0]
+	if w.Inputs[0] != 1 || w.Outputs[0] != 4 || w.Window[0].PC != 5 || w.Stale.PC != 10 {
+		t.Errorf("mutating the merged digest reached the sample's witness: %+v", w)
+	}
+	if s.FRDWitnesses[0].Window[0].PC != 6 {
+		t.Errorf("mutating the merged digest reached the FRD witness")
+	}
+	if stale.PC != 10 {
+		t.Errorf("merged digest aliases the Stale pointer")
+	}
+}
+
+// TestMergeSamplesCap: the digest stays bounded however many witnesses
+// the samples carry.
+func TestMergeSamplesCap(t *testing.T) {
+	many := make([]obs.Witness, MaxMergedWitnesses)
+	s := &Sample{SVDWitnesses: many, FRDWitnesses: many}
+	m := MergeSamples([]*Sample{s, s})
+	if len(m.Witnesses) != MaxMergedWitnesses {
+		t.Errorf("digest holds %d witnesses, want cap %d", len(m.Witnesses), MaxMergedWitnesses)
+	}
+}

@@ -159,6 +159,21 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 
 	endClassify := rec.Span("classify")
 	defer endClassify()
+	s := Classify(w, seed, sd, fd)
+	if w.Check != nil {
+		s.Erroneous, s.ErrorDetail = w.Check(m)
+	}
+	return s, nil
+}
+
+// Classify builds the detection report for a pair of finished detectors:
+// counters, witnesses, site classification against the workload's ground
+// truth, and the a posteriori log scan. It is the tail of Run, split out
+// so a detection service that received the event stream over the wire
+// (internal/server) produces reports bit-identical to an in-process run
+// by construction — only Erroneous/ErrorDetail stay empty there, because
+// judging them takes the finished VM, which only the event producer has.
+func Classify(w *workloads.Workload, seed uint64, sd *svd.Detector, fd *frd.Detector) *Sample {
 	s := &Sample{
 		Workload:     w.Name,
 		Seed:         seed,
@@ -169,10 +184,6 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 		SVDWitnesses: sd.Witnesses(),
 		FRDWitnesses: fd.Witnesses(),
 	}
-	if w.Check != nil {
-		s.Erroneous, s.ErrorDetail = w.Check(m)
-	}
-
 	s.SVD = classifySVD(w, sd)
 	s.FRD = classifyFRD(w, fd)
 	log := sd.Log()
@@ -183,7 +194,7 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 			break
 		}
 	}
-	return s, nil
+	return s
 }
 
 // MergedStats is the field-wise sum of both detectors' counters across a
@@ -205,7 +216,12 @@ type MergedStats struct {
 const MaxMergedWitnesses = 256
 
 // MergeSamples folds every sample's detector counters together. Nil
-// samples (skipped runs) are ignored.
+// samples (skipped runs) are ignored. Witnesses enter the capped digest
+// as deep copies: a Witness struct copy would share its Inputs/Outputs/
+// Window backing arrays with the sample, and the digest is exactly the
+// view handed to concurrent readers (the detection server's query path
+// serves it while shards are still draining), so aliasing here was a
+// read/write race waiting for its first -race run.
 func MergeSamples(samples []*Sample) MergedStats {
 	var m MergedStats
 	for _, s := range samples {
@@ -219,13 +235,13 @@ func MergeSamples(samples []*Sample) MergedStats {
 			if len(m.Witnesses) >= MaxMergedWitnesses {
 				break
 			}
-			m.Witnesses = append(m.Witnesses, w)
+			m.Witnesses = append(m.Witnesses, w.Clone())
 		}
 		for _, w := range s.FRDWitnesses {
 			if len(m.Witnesses) >= MaxMergedWitnesses {
 				break
 			}
-			m.Witnesses = append(m.Witnesses, w)
+			m.Witnesses = append(m.Witnesses, w.Clone())
 		}
 	}
 	return m

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// loopback differential tests: the whole point of the service is that a
+// sample detected over the wire is bit-identical to one detected
+// in-process. These tests run the full stack — client VM replay, delta
+// codec, framing, session, shard worker, report — and diff the JSON.
+
+func inProcess(t *testing.T, name string, seed uint64) *report.Sample {
+	t.Helper()
+	w, err := workloads.ByName(name, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := report.Run(w, seed, report.Options{Witness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func diffSamples(t *testing.T, label string, got, want *report.Sample) {
+	t.Helper()
+	gotJS, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJS, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJS) == string(wantJS) {
+		return
+	}
+	i := 0
+	for i < len(gotJS) && i < len(wantJS) && gotJS[i] == wantJS[i] {
+		i++
+	}
+	lo := max(0, i-60)
+	t.Errorf("%s: wire sample differs from in-process at byte %d:\n got: ...%s\nwant: ...%s",
+		label, i, gotJS[lo:min(len(gotJS), i+100)], wantJS[lo:min(len(wantJS), i+100)])
+}
+
+// TestLoopbackDifferential replays several workloads through a client
+// and a serving engine joined by a net.Pipe — every byte crosses the
+// wire codec — and requires each served sample to match report.Run on a
+// freshly rebuilt workload, bit for bit. Multiple streams ride one
+// connection, exercising the session's stream loop.
+func TestLoopbackDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		seed uint64
+	}{
+		{"queue-buggy", 5},
+		{"queue-fixed", 3},
+		{"apache-buggy", 2},
+		{"mysql-prepared-buggy", 11},
+	}
+	e := New(Options{Shards: 2})
+	defer shutdown(t, e)
+
+	cli, srv := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() {
+		e.ServeConn(srv)
+		close(sessionDone)
+	}()
+	c := NewClient(cli)
+
+	for _, tc := range cases {
+		w, err := workloads.ByName(tc.name, 1, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := c.RunSample(w, tc.seed, ReplayOptions{Witness: true, Scale: 1})
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", tc.name, tc.seed, err)
+		}
+		if stats.Events == 0 || stats.Batches == 0 {
+			t.Fatalf("%s seed %d: replay sent no events", tc.name, tc.seed)
+		}
+		diffSamples(t, fmt.Sprintf("%s seed %d", tc.name, tc.seed), got, inProcess(t, tc.name, tc.seed))
+	}
+
+	cli.Close()
+	select {
+	case <-sessionDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not end after client hangup")
+	}
+	if c := e.Counters(); c.StreamsClosed != uint64(len(cases)) || c.BatchesShed != 0 {
+		t.Errorf("counters: %+v", c)
+	}
+}
+
+// TestLoopbackConcurrentTCP runs several clients against a listening
+// engine over localhost TCP while another goroutine hammers the query
+// surface; every served sample must still match its in-process twin.
+// Under -race this doubles as the aliasing check on the merged witness
+// digest (report.MergeSamples clones while shards keep publishing).
+func TestLoopbackConcurrentTCP(t *testing.T) {
+	cases := []struct {
+		name string
+		seed uint64
+	}{
+		{"queue-buggy", 21},
+		{"queue-fixed", 22},
+		{"apache-buggy", 23},
+		{"apache-fixed", 24},
+	}
+	want := make([]*report.Sample, len(cases))
+	for i, tc := range cases {
+		want[i] = inProcess(t, tc.name, tc.seed)
+	}
+
+	e := New(Options{Shards: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- e.Serve(ln) }()
+
+	stopPolling := make(chan struct{})
+	var pollers sync.WaitGroup
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-stopPolling:
+				return
+			default:
+				rep := e.Report()
+				if rep.Shards != 4 {
+					t.Error("report lost its shard count")
+					return
+				}
+			}
+		}
+	}()
+
+	var clients sync.WaitGroup
+	for i, tc := range cases {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			c, conn, err := Dial(ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			w, err := workloads.ByName(tc.name, 1, tc.seed)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, _, err := c.RunSample(w, tc.seed, ReplayOptions{Witness: true, Scale: 1})
+			if err != nil {
+				t.Errorf("%s seed %d: %v", tc.name, tc.seed, err)
+				return
+			}
+			diffSamples(t, fmt.Sprintf("%s seed %d", tc.name, tc.seed), got, want[i])
+		}()
+	}
+	clients.Wait()
+	close(stopPolling)
+	pollers.Wait()
+
+	if got := e.Report(); got.Merged.Samples != len(cases) {
+		t.Errorf("merged %d samples, want %d", got.Merged.Samples, len(cases))
+	}
+	ln.Close()
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,469 @@
+// Package server is the detection service's ingestion engine: it turns
+// wire-format event streams into detector work spread across shards.
+//
+// The paper positions SVD as an always-on monitor for server programs
+// (§1); this package is the piece that lets one long-running daemon
+// monitor many executions at once. The design splits three concerns:
+//
+//   - sessions (session.go) speak the wire protocol on one connection,
+//     decoding frames and pushing decoded batches into the engine;
+//   - the shard router assigns each stream to one of N detector workers
+//     (round-robin over engine-assigned stream ids, or an FNV hash of
+//     the client's stream key when it supplies one), so one stream's
+//     events are always processed by one goroutine in order while
+//     distinct streams run in parallel;
+//   - shard workers own all detector state. Each worker pulls jobs off
+//     a bounded queue and runs the existing vm.BatchObserver path —
+//     svd.Detector and frd.Detector StepBatch, exactly the code an
+//     in-process report.Run drives — then classifies the finished
+//     detectors with report.Classify, so a served result is
+//     bit-identical to a local one.
+//
+// The per-shard queues are bounded; Options.Policy picks what happens
+// when a queue fills. PolicyBlock stalls the producing session, which
+// propagates backpressure to the client through TCP — the right default
+// for a detector whose results must be complete. PolicyShed drops the
+// batch and poisons the stream: its eventual result carries an
+// overload error instead of silently wrong counts, the standard
+// monitoring-service trade (Tunç et al. shed under burst; a detector
+// that sheds must say so).
+//
+// Shutdown follows obs.Server's context idiom: Shutdown(ctx) stops new
+// streams, waits for open streams to drain (bounded by ctx), then stops
+// the workers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/frd"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/svd"
+	"repro/internal/vm"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// Policy selects the overload behavior of a full shard queue.
+type Policy int
+
+const (
+	// PolicyBlock stalls the producer until the worker catches up —
+	// lossless, backpressure flows to the client over TCP.
+	PolicyBlock Policy = iota
+
+	// PolicyShed drops the batch, counts it, and poisons the stream so
+	// its result reports the overload instead of wrong counts.
+	PolicyShed
+)
+
+// String names the policy for flags and logs.
+func (p Policy) String() string {
+	if p == PolicyShed {
+		return "shed"
+	}
+	return "block"
+}
+
+// ParsePolicy parses "block" or "shed".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block", "":
+		return PolicyBlock, nil
+	case "shed":
+		return PolicyShed, nil
+	default:
+		return 0, fmt.Errorf("server: unknown overload policy %q (want block or shed)", s)
+	}
+}
+
+// Options tune the engine.
+type Options struct {
+	// Shards is the detector worker count. <= 0 means 1.
+	Shards int
+
+	// QueueDepth bounds each shard's pending-job queue. <= 0 means 64.
+	QueueDepth int
+
+	// Policy picks blocking or shedding when a shard queue is full.
+	Policy Policy
+
+	// SVD and FRD configure every stream's detectors. Witness is forced
+	// on per stream when its Hello asks for it.
+	SVD svd.Options
+	FRD frd.Options
+
+	// Scale is the workload scale used to rebuild registry workloads
+	// for streams that name one. It must match the producer's scale or
+	// programs diverge; the Hello carries the client's value, which
+	// wins when nonzero.
+	Scale int
+
+	// Obs collects detector telemetry across streams; nil disables it.
+	Obs *obs.Sink
+
+	// Logger receives operational events; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Counters is the engine's ingest odometer, served by the query surface.
+type Counters struct {
+	StreamsOpened uint64 `json:"streams_opened"`
+	StreamsClosed uint64 `json:"streams_closed"`
+	Batches       uint64 `json:"batches"`
+	Events        uint64 `json:"events"`
+	BatchesShed   uint64 `json:"batches_shed"`
+	StreamsShed   uint64 `json:"streams_shed"` // streams poisoned by shedding
+}
+
+// Engine is the sharded ingestion engine. Create with New, feed with
+// OpenStream (or ServeConn / Serve for wire transport), stop with
+// Shutdown.
+type Engine struct {
+	opts   Options
+	shards []*shard
+
+	nextStream atomic.Uint64
+	streams    sync.WaitGroup // open streams
+
+	draining atomic.Bool
+	stopOnce sync.Once // closes the shard queues exactly once
+
+	counters struct {
+		streamsOpened atomic.Uint64
+		streamsClosed atomic.Uint64
+		batches       atomic.Uint64
+		events        atomic.Uint64
+		batchesShed   atomic.Uint64
+		streamsShed   atomic.Uint64
+	}
+
+	mu      sync.Mutex
+	samples []*report.Sample // completed stream reports, open-order
+}
+
+// job is one unit of shard work. Exactly one of open/close/evs is set.
+type job struct {
+	st    *Stream
+	open  bool
+	close bool
+	evs   []vm.Event // pooled; worker returns it after processing
+}
+
+type shard struct {
+	id   int
+	jobs chan job
+	pool sync.Pool // *[]vm.Event batch buffers
+}
+
+// New builds and starts the engine's shard workers.
+func New(opts Options) *Engine {
+	e := &Engine{opts: opts.withDefaults()}
+	e.shards = make([]*shard, e.opts.Shards)
+	for i := range e.shards {
+		sh := &shard{id: i, jobs: make(chan job, e.opts.QueueDepth)}
+		sh.pool.New = func() any { s := make([]vm.Event, 0, vm.DefaultBatchCap); return &s }
+		e.shards[i] = sh
+		go e.worker(sh)
+	}
+	return e
+}
+
+// route picks the shard for a new stream: FNV-1a of the client-supplied
+// key when present, round-robin over engine-assigned ids otherwise.
+func (e *Engine) route(key string, id uint64) *shard {
+	if key != "" {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		return e.shards[h.Sum64()%uint64(len(e.shards))]
+	}
+	return e.shards[id%uint64(len(e.shards))]
+}
+
+// Stream is one open event stream: the handle a session (or an
+// in-process producer like the ingest benchmark) feeds batches through.
+type Stream struct {
+	eng *Engine
+	sh  *shard
+	id  uint64
+
+	// Resolved stream identity, fixed at open.
+	w       *workloads.Workload
+	seed    uint64
+	witness bool
+
+	// Worker-owned detector state, created by the open job; only the
+	// owning shard worker touches these after OpenStream returns.
+	sd  *svd.Detector
+	fd  *frd.Detector
+	rec *obs.Recorder
+
+	shed    atomic.Uint64 // batches dropped under PolicyShed
+	aborted bool          // set before the close job when the producer died
+
+	done   chan struct{}
+	sample *report.Sample // set before done closes
+	err    error          // terminal stream error (overload, abort)
+}
+
+// resolve maps a Hello to a runnable workload: a registry entry when it
+// names one (ground truth included), else a synthetic workload wrapping
+// the embedded program (no ground truth; every report classifies as a
+// false positive, which is the honest reading of "no bug annotations").
+func (e *Engine) resolve(h wire.Hello) (*workloads.Workload, error) {
+	if h.Workload != "" {
+		scale := h.Scale
+		if scale <= 0 {
+			scale = e.opts.Scale
+		}
+		w, err := workloads.ByName(h.Workload, scale, h.Seed)
+		if err == nil {
+			if w.NumThreads != h.Threads {
+				return nil, fmt.Errorf("server: workload %q has %d threads, hello declares %d",
+					h.Workload, w.NumThreads, h.Threads)
+			}
+			return w, nil
+		}
+		if h.Program == nil {
+			return nil, err
+		}
+	}
+	if h.Program == nil {
+		return nil, fmt.Errorf("server: hello carries neither a known workload nor a program")
+	}
+	name := h.Program.Name
+	if name == "" {
+		name = "remote"
+	}
+	return &workloads.Workload{Name: name, Prog: h.Program, NumThreads: h.Threads}, nil
+}
+
+// OpenStream admits a new stream described by its handshake. key feeds
+// the shard router; empty means round-robin. The returned Stream is not
+// safe for concurrent use by multiple producers.
+func (e *Engine) OpenStream(h wire.Hello, key string) (*Stream, error) {
+	if e.draining.Load() {
+		return nil, fmt.Errorf("server: draining, not accepting streams")
+	}
+	w, err := e.resolve(h)
+	if err != nil {
+		return nil, err
+	}
+	id := e.nextStream.Add(1) - 1
+	st := &Stream{
+		eng:     e,
+		sh:      e.route(key, id),
+		id:      id,
+		w:       w,
+		seed:    h.Seed,
+		witness: h.Witness,
+		done:    make(chan struct{}),
+	}
+	e.streams.Add(1)
+	e.counters.streamsOpened.Add(1)
+	// The open job cannot shed: losing it would orphan the stream.
+	st.sh.jobs <- job{st: st, open: true}
+	return st, nil
+}
+
+// Ingest feeds one event batch. The slice is copied before enqueueing
+// (callers may reuse it immediately, matching the vm.BatchObserver
+// contract). Under PolicyBlock a full shard queue blocks; under
+// PolicyShed the batch is dropped and the stream poisoned.
+func (s *Stream) Ingest(evs []vm.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	bufp := s.sh.pool.Get().(*[]vm.Event)
+	buf := append((*bufp)[:0], evs...)
+	*bufp = buf
+	j := job{st: s, evs: buf}
+	if s.eng.opts.Policy == PolicyShed {
+		select {
+		case s.sh.jobs <- j:
+		default:
+			*bufp = buf[:0]
+			s.sh.pool.Put(bufp)
+			if s.shed.Add(1) == 1 {
+				s.eng.counters.streamsShed.Add(1)
+			}
+			s.eng.counters.batchesShed.Add(1)
+			return
+		}
+	} else {
+		s.sh.jobs <- j
+	}
+	s.eng.counters.batches.Add(1)
+	s.eng.counters.events.Add(uint64(len(evs)))
+}
+
+// Close finalizes the stream and returns its report. The close job
+// never sheds — a queue full of this stream's own batches must drain
+// first, which is exactly the ordering that makes the report complete.
+func (s *Stream) Close() (*report.Sample, error) {
+	s.sh.jobs <- job{st: s, close: true}
+	<-s.done
+	return s.sample, s.err
+}
+
+// Abort tears the stream down without publishing a report — the path
+// for a producer that died mid-stream. Idempotent with respect to
+// Close is NOT provided: call exactly one of Close or Abort.
+func (s *Stream) Abort() {
+	s.aborted = true
+	s.sh.jobs <- job{st: s, close: true}
+	<-s.done
+}
+
+// worker is one shard's detector loop: it owns every detector that was
+// routed to it, processing open/batch/close jobs strictly in order per
+// stream.
+func (e *Engine) worker(sh *shard) {
+	for j := range sh.jobs {
+		st := j.st
+		switch {
+		case j.open:
+			svdOpts := e.opts.SVD
+			frdOpts := e.opts.FRD
+			if st.witness {
+				svdOpts.Witness = true
+				frdOpts.Witness = true
+			}
+			if e.opts.Obs != nil {
+				st.rec = e.opts.Obs.NewRecorder(fmt.Sprintf("%s seed %d stream %d", st.w.Name, st.seed, st.id))
+				svdOpts.Recorder = st.rec
+				frdOpts.Recorder = st.rec
+			}
+			st.sd = svd.New(st.w.Prog, st.w.NumThreads, svdOpts)
+			st.fd = frd.New(st.w.Prog, st.w.NumThreads, frdOpts)
+		case j.close:
+			st.sd.FlushObs()
+			st.fd.FlushObs()
+			sample := report.Classify(st.w, st.seed, st.sd, st.fd)
+			if st.rec != nil {
+				st.rec.Flush()
+			}
+			switch {
+			case st.aborted:
+				st.err = fmt.Errorf("server: stream %d aborted by its producer", st.id)
+			case st.shed.Load() > 0:
+				st.err = fmt.Errorf("server: overloaded: shed %d batches of stream %d (results incomplete)", st.shed.Load(), st.id)
+			default:
+				st.sample = sample
+				e.mu.Lock()
+				e.samples = append(e.samples, sample)
+				e.mu.Unlock()
+			}
+			// Free detector state before signaling: the stream handle
+			// may outlive the shard's interest in it.
+			st.sd, st.fd, st.rec = nil, nil, nil
+			e.counters.streamsClosed.Add(1)
+			e.streams.Done()
+			close(st.done)
+		default:
+			st.sd.StepBatch(j.evs)
+			st.fd.StepBatch(j.evs)
+			buf := j.evs[:0]
+			sh.pool.Put(&buf)
+		}
+	}
+}
+
+// Counters snapshots the ingest odometer.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		StreamsOpened: e.counters.streamsOpened.Load(),
+		StreamsClosed: e.counters.streamsClosed.Load(),
+		Batches:       e.counters.batches.Load(),
+		Events:        e.counters.events.Load(),
+		BatchesShed:   e.counters.batchesShed.Load(),
+		StreamsShed:   e.counters.streamsShed.Load(),
+	}
+}
+
+// Samples returns the completed stream reports accumulated so far, in
+// completion order. The slice is a copy; the samples are immutable
+// after publication.
+func (e *Engine) Samples() []*report.Sample {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*report.Sample(nil), e.samples...)
+}
+
+// Report is the query surface's answer: the run-level digest over every
+// completed stream plus the ingest odometer. Witnesses inside Merged
+// are deep copies (report.MergeSamples clones), so callers can hold the
+// Report while shards keep draining.
+type Report struct {
+	Shards   int                `json:"shards"`
+	Policy   string             `json:"policy"`
+	Counters Counters           `json:"counters"`
+	Merged   report.MergedStats `json:"merged"`
+}
+
+// Report builds the current query answer.
+func (e *Engine) Report() Report {
+	return Report{
+		Shards:   len(e.shards),
+		Policy:   e.opts.Policy.String(),
+		Counters: e.Counters(),
+		Merged:   report.MergeSamples(e.Samples()),
+	}
+}
+
+// ReportHandler serves the query surface as JSON — mounted on the
+// daemon's metrics mux next to /metrics and /debug/pprof.
+func (e *Engine) ReportHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e.Report())
+	})
+}
+
+// Shutdown drains the engine: new streams are refused immediately, open
+// streams may finish until ctx expires, then the shard workers stop.
+// It returns ctx.Err() when the deadline cut the drain short (worker
+// goroutines stay alive to avoid corrupting in-flight detector state;
+// the process is expected to exit shortly after).
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.draining.Store(true)
+	drained := make(chan struct{})
+	go func() {
+		e.streams.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	e.stopOnce.Do(func() {
+		for _, sh := range e.shards {
+			close(sh.jobs)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Session layer: the glue between the wire protocol and the engine. A
+// session owns one connection and runs entirely in the caller's
+// goroutine; all detector work happens on the shard workers, so a slow
+// connection never holds a detector hostage and a slow shard stalls
+// exactly the connections routed to it (PolicyBlock) and nobody else.
+
+// Serve accepts connections until the listener closes (Shutdown's drain
+// closes it via the caller) and runs one session per connection. It
+// returns once the accept loop ends and every session has finished.
+func (e *Engine) Serve(ln net.Listener) error {
+	var sessions sync.WaitGroup
+	defer sessions.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		sessions.Add(1)
+		go func() {
+			defer sessions.Done()
+			e.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs one session: a loop of streams, each a Hello, any
+// number of Events frames, and a Goodbye answered with a Result. The
+// connection closes on return. Protocol errors are answered with an
+// Error frame when the connection still works; either way the session
+// ends, because a desynchronized peer cannot be re-synchronized inside
+// a stream.
+func (e *Engine) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	log := e.opts.Logger.With("remote", conn.RemoteAddr().String())
+	d := wire.NewDeframer(conn)
+	f := wire.NewFramer(conn, 1)
+
+	for streamSeq := 0; ; streamSeq++ {
+		err := e.serveStream(d, f, streamSeq)
+		switch {
+		case err == nil:
+			continue // next Hello on the same connection
+		case errors.Is(err, io.EOF):
+			return // clean end between streams
+		default:
+			log.Warn("session ended", "stream", streamSeq, "err", err)
+			// Best effort: tell the peer why before hanging up.
+			_ = f.WriteError(err.Error())
+			return
+		}
+	}
+}
+
+// serveStream runs one stream to completion: handshake, ingest, result.
+func (e *Engine) serveStream(d *wire.Deframer, f *wire.Framer, seq int) error {
+	fr, err := d.ReadFrame()
+	if err != nil {
+		return err // io.EOF here is the clean between-streams end
+	}
+	if fr.Type != wire.FrameHello {
+		return fmt.Errorf("%w: stream must open with hello, got %s", wire.ErrBadFrame, fr.Type)
+	}
+	st, err := e.OpenStream(fr.Hello, "")
+	if err != nil {
+		return err
+	}
+	d.SetProgram(st.w.Prog, st.w.NumThreads)
+
+	closed := false
+	defer func() {
+		if !closed {
+			st.Abort()
+		}
+	}()
+	for {
+		fr, err := d.ReadFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("%w: connection closed mid-stream", wire.ErrTruncated)
+			}
+			return err
+		}
+		switch fr.Type {
+		case wire.FrameEvents:
+			st.Ingest(fr.Events)
+		case wire.FrameGoodbye:
+			closed = true
+			sample, serr := st.Close()
+			res := wire.Result{}
+			if serr != nil {
+				res.Err = serr.Error()
+			} else {
+				data, err := json.Marshal(sample)
+				if err != nil {
+					return fmt.Errorf("server: encode result: %w", err)
+				}
+				res.Sample = data
+			}
+			return f.WriteResult(res)
+		default:
+			return fmt.Errorf("%w: unexpected %s frame inside a stream", wire.ErrBadFrame, fr.Type)
+		}
+	}
+}

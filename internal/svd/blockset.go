@@ -3,23 +3,31 @@ package svd
 // blockSetInline is the number of footprint blocks a computational unit
 // can hold without heap allocation. Most CUs are short — a handful of
 // loads feeding one store (§4.3 reports CUs of a few instructions) — so
-// eight inline slots absorb the common case; larger units spill to a map.
+// eight inline slots absorb the common case; larger units spill to an
+// indexed set.
 const blockSetInline = 8
 
 // blockSet is a small-set of block numbers: the rs/ws footprint of a
 // computational unit. Up to blockSetInline members live in an inline
 // array (no allocation, insertion-ordered, linear membership tests);
-// beyond that the set spills into a map. The zero value is an empty set.
+// beyond that the set spills into a map-indexed slice. The slice keeps a
+// deterministic order (insertion order, perturbed only by swap-deletes),
+// which matters: violation checks stop at the first conflicting block,
+// so iteration order decides which block a report names, and a detector
+// fed the same event stream twice must produce bit-identical reports —
+// the contract the wire service's differential tests pin down. Go map
+// order would break that. The zero value is an empty set.
 type blockSet struct {
 	n      int32
 	inline [blockSetInline]int64
-	spill  map[int64]struct{}
+	spill  map[int64]int32 // member -> index into order
+	order  []int64
 }
 
 // len returns the member count.
 func (s *blockSet) len() int {
 	if s.spill != nil {
-		return len(s.spill)
+		return len(s.order)
 	}
 	return int(s.n)
 }
@@ -41,7 +49,10 @@ func (s *blockSet) has(b int64) bool {
 // add inserts b (idempotent).
 func (s *blockSet) add(b int64) {
 	if s.spill != nil {
-		s.spill[b] = struct{}{}
+		if _, ok := s.spill[b]; !ok {
+			s.spill[b] = int32(len(s.order))
+			s.order = append(s.order, b)
+		}
 		return
 	}
 	for i := int32(0); i < s.n; i++ {
@@ -54,18 +65,32 @@ func (s *blockSet) add(b int64) {
 		s.n++
 		return
 	}
-	s.spill = make(map[int64]struct{}, 2*blockSetInline)
+	s.spill = make(map[int64]int32, 2*blockSetInline)
+	s.order = make([]int64, 0, 2*blockSetInline)
 	for _, v := range s.inline {
-		s.spill[v] = struct{}{}
+		s.spill[v] = int32(len(s.order))
+		s.order = append(s.order, v)
 	}
-	s.spill[b] = struct{}{}
+	s.spill[b] = int32(len(s.order))
+	s.order = append(s.order, b)
 	s.n = 0
 }
 
-// remove deletes b if present.
+// remove deletes b if present (swap-delete, same as the inline case).
 func (s *blockSet) remove(b int64) {
 	if s.spill != nil {
+		i, ok := s.spill[b]
+		if !ok {
+			return
+		}
 		delete(s.spill, b)
+		last := int32(len(s.order) - 1)
+		if i != last {
+			moved := s.order[last]
+			s.order[i] = moved
+			s.spill[moved] = i
+		}
+		s.order = s.order[:last]
 		return
 	}
 	for i := int32(0); i < s.n; i++ {
@@ -77,11 +102,11 @@ func (s *blockSet) remove(b int64) {
 	}
 }
 
-// forEach visits members until f returns false. Inline members are
-// visited in insertion order; spilled members in map order.
+// forEach visits members until f returns false, in the set's
+// deterministic order. f must not mutate the set it is iterating.
 func (s *blockSet) forEach(f func(b int64) bool) {
 	if s.spill != nil {
-		for b := range s.spill {
+		for _, b := range s.order {
 			if !f(b) {
 				return
 			}
@@ -95,8 +120,9 @@ func (s *blockSet) forEach(f func(b int64) bool) {
 	}
 }
 
-// reset empties the set, dropping any spill map.
+// reset empties the set, dropping any spill storage.
 func (s *blockSet) reset() {
 	s.n = 0
 	s.spill = nil
+	s.order = nil
 }

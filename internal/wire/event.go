@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Event batch encoding. A raw vm.Event is ~80 bytes; the dynamic
+// instruction stream is massively redundant — sequence numbers are
+// consecutive, each thread's PC walks short distances, each thread's
+// accesses cluster in address space — so the wire form is delta-encoded
+// against per-stream codec state:
+//
+//	count  uvarint                 events in the batch
+//	per event:
+//	  dseq   uvarint               Seq delta from the previous event
+//	                               (first event: from 0)
+//	  cpu    uvarint               executing thread
+//	  dpc    varint (zigzag)       PC delta from this thread's last PC
+//	  flags  byte                  bit0 load, bit1 store, bit2 taken
+//	  daddr  varint (zigzag)       Addr delta from this thread's last
+//	                               accessed address (loads/stores only)
+//	  loaded varint (zigzag)       value read (loads only)
+//	  stored varint (zigzag)       value written (stores only)
+//
+// Instr does not travel: the receiver holds the program (from the
+// handshake) and rebinds Instr = prog.Code[PC] during decode, after
+// validating PC. On the Table 2 workloads this averages out to ~4 bytes
+// per dynamic instruction (see BenchmarkWireEncode), a ~20x densification
+// that is what makes shipping every instruction of a server's execution
+// over a socket plausible at all.
+//
+// Encoder and decoder keep identical per-thread state (last PC, last
+// address) plus the last global sequence number; both reset at each
+// Hello, so a stream is self-contained.
+
+// codecState is the shared delta context. The encoder owns one, the
+// decoder mirrors it; after each batch both sides agree by construction.
+type codecState struct {
+	lastSeq  uint64
+	lastPC   []int64 // per thread
+	lastAddr []int64 // per thread
+}
+
+func newCodecState(threads int) codecState {
+	if threads <= 0 {
+		threads = 1
+	}
+	return codecState{lastPC: make([]int64, threads), lastAddr: make([]int64, threads)}
+}
+
+type eventEncoder struct{ st codecState }
+
+func newEventEncoder(threads int) eventEncoder { return eventEncoder{st: newCodecState(threads)} }
+
+// WriteEvents emits one event batch frame. Events must be in execution
+// order (monotonic Seq) and CPU must be within the handshake's thread
+// count — both hold for batches delivered by vm.BatchObserver.
+func (f *Framer) WriteEvents(evs []vm.Event) error {
+	f.buf = f.buf[:0]
+	b := bytes.NewBuffer(f.buf)
+	putUvarint(b, uint64(len(evs)))
+	st := &f.enc.st
+	for i := range evs {
+		ev := &evs[i]
+		if ev.CPU < 0 || ev.CPU >= len(st.lastPC) {
+			return fmt.Errorf("wire: event cpu %d outside the handshake's %d threads", ev.CPU, len(st.lastPC))
+		}
+		putUvarint(b, ev.Seq-st.lastSeq)
+		st.lastSeq = ev.Seq
+		putUvarint(b, uint64(ev.CPU))
+		putVarint(b, ev.PC-st.lastPC[ev.CPU])
+		st.lastPC[ev.CPU] = ev.PC
+		var flags byte
+		if ev.IsLoad {
+			flags |= 1
+		}
+		if ev.IsStore {
+			flags |= 2
+		}
+		if ev.Taken {
+			flags |= 4
+		}
+		b.WriteByte(flags)
+		if ev.IsLoad || ev.IsStore {
+			putVarint(b, ev.Addr-st.lastAddr[ev.CPU])
+			st.lastAddr[ev.CPU] = ev.Addr
+		}
+		if ev.IsLoad {
+			putVarint(b, ev.Loaded)
+		}
+		if ev.IsStore {
+			putVarint(b, ev.Stored)
+		}
+	}
+	f.buf = b.Bytes()
+	return f.writeFrame(FrameEvents, f.buf)
+}
+
+type eventDecoder struct {
+	st  codecState
+	evs []vm.Event // reused batch buffer
+}
+
+func newEventDecoder(threads int) eventDecoder { return eventDecoder{st: newCodecState(threads)} }
+
+// decode parses one event batch payload, reconstructing Instr from prog.
+// The returned slice is the decoder's reused buffer. The count is
+// untrusted: capacity grows only as events actually decode, so a hostile
+// count cannot force an allocation beyond the frame's own size.
+func (d *eventDecoder) decode(payload []byte, prog *isa.Program) ([]vm.Event, error) {
+	p := payloadReader{b: payload}
+	count := p.uvarint()
+	if p.err != nil {
+		return nil, p.err
+	}
+	// Each event takes at least 4 payload bytes (dseq, cpu, dpc, flags).
+	if count > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: %d events in a %d-byte payload", ErrBadFrame, count, len(payload))
+	}
+	d.evs = d.evs[:0]
+	st := &d.st
+	for i := uint64(0); i < count; i++ {
+		var ev vm.Event
+		ev.Seq = st.lastSeq + p.uvarint()
+		cpu := p.uvarint()
+		if p.err == nil && cpu >= uint64(len(st.lastPC)) {
+			return nil, fmt.Errorf("%w: event cpu %d outside the handshake's %d threads", ErrBadFrame, cpu, len(st.lastPC))
+		}
+		ev.CPU = int(cpu)
+		dpc := p.varint()
+		flags := p.byte()
+		if p.err != nil {
+			return nil, p.err
+		}
+		st.lastSeq = ev.Seq
+		ev.PC = st.lastPC[ev.CPU] + dpc
+		st.lastPC[ev.CPU] = ev.PC
+		if ev.PC < 0 || ev.PC >= int64(len(prog.Code)) {
+			return nil, fmt.Errorf("%w: event pc %d outside program code [0,%d)", ErrBadFrame, ev.PC, len(prog.Code))
+		}
+		ev.Instr = prog.Code[ev.PC]
+		ev.IsLoad = flags&1 != 0
+		ev.IsStore = flags&2 != 0
+		ev.Taken = flags&4 != 0
+		if ev.IsLoad || ev.IsStore {
+			ev.Addr = st.lastAddr[ev.CPU] + p.varint()
+			st.lastAddr[ev.CPU] = ev.Addr
+		}
+		if ev.IsLoad {
+			ev.Loaded = p.varint()
+		}
+		if ev.IsStore {
+			ev.Stored = p.varint()
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+		d.evs = append(d.evs, ev)
+	}
+	if p.rest() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d events", ErrBadFrame, p.rest(), count)
+	}
+	return d.evs, nil
+}

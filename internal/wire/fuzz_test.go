@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// FuzzDeframe throws arbitrary bytes at the frame decoder and requires
+// that it never panics, never loops, and never allocates beyond the
+// input's own size class — the properties a network-facing decoder must
+// hold against hostile peers. The seed corpus covers the error taxonomy
+// explicitly: truncated frames, corrupted magic, version skew, and
+// max-length abuse (huge declared payloads and counts over tiny actual
+// payloads).
+func FuzzDeframe(f *testing.F) {
+	w, err := workloads.ByName("queue-fixed", 1, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// A well-formed stream: hello (registry form), two event batches,
+	// goodbye, result, error.
+	var good bytes.Buffer
+	fr := NewFramer(&good, w.NumThreads)
+	if err := fr.WriteHello(Hello{Version: Version, Threads: w.NumThreads, Workload: w.Name, Scale: 1, Seed: 9}); err != nil {
+		f.Fatal(err)
+	}
+	m, err := w.NewVM(9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m.AttachBatch(batchFunc(func(evs []vm.Event) {
+		_ = fr.WriteEvents(evs)
+	}))
+	if _, err := m.Run(4096); err != nil {
+		f.Fatal(err)
+	}
+	m.FlushBatch()
+	_ = fr.WriteGoodbye()
+	_ = fr.WriteResult(Result{Sample: []byte(`{}`), Err: ""})
+	_ = fr.WriteError("terminal")
+	f.Add(good.Bytes())
+
+	// Hello with an embedded program image.
+	var withProg bytes.Buffer
+	fp := NewFramer(&withProg, w.NumThreads)
+	if err := fp.WriteHello(Hello{Version: Version, Threads: w.NumThreads, Program: w.Prog}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(withProg.Bytes())
+
+	// Truncations at every interesting boundary.
+	g := good.Bytes()
+	for _, cut := range []int{1, 3, 8, 9, 12, len(g) / 2, len(g) - 1} {
+		if cut < len(g) {
+			f.Add(g[:cut])
+		}
+	}
+	// Corrupted magic.
+	bad := append([]byte(nil), g...)
+	bad[0] = 'x'
+	f.Add(bad)
+	// Version skew.
+	var skew bytes.Buffer
+	fs := NewFramer(&skew, 2)
+	_ = fs.WriteHello(Hello{Version: Version + 7, Threads: 2})
+	f.Add(skew.Bytes())
+	// Max-length abuse: tiny frame declaring a huge payload, and a
+	// legal-length frame declaring an absurd event count.
+	abuse := append([]byte(nil), Magic[:]...)
+	abuse = append(abuse, byte(FrameEvents))
+	abuse = binary.LittleEndian.AppendUint32(abuse, MaxFramePayload)
+	f.Add(abuse)
+	count := append([]byte(nil), Magic[:]...)
+	count = append(count, byte(FrameEvents))
+	count = binary.LittleEndian.AppendUint32(count, 10)
+	count = binary.AppendUvarint(count, 1<<40) // count far beyond payload
+	count = append(count, make([]byte, 9)...)
+	f.Add(count)
+
+	prog := w.Prog
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDeframer(bytes.NewReader(data))
+		d.SetProgram(prog, w.NumThreads)
+		// A decoder over finite input must terminate: every iteration
+		// either consumes at least a header or errors out.
+		for i := 0; i <= len(data); i++ {
+			frame, err := d.ReadFrame()
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, ErrBadMagic) ||
+					errors.Is(err, ErrTruncated) || errors.Is(err, ErrVersionSkew) ||
+					errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrBadFrame) {
+					return
+				}
+				t.Fatalf("error outside the taxonomy: %v", err)
+			}
+			// Decoded events must be internally consistent: CPU within
+			// the handshake bound, PC within the program.
+			for _, ev := range frame.Events {
+				if ev.CPU < 0 || ev.CPU >= w.NumThreads {
+					t.Fatalf("decoded event with cpu %d", ev.CPU)
+				}
+				if ev.PC < 0 || ev.PC >= int64(len(prog.Code)) {
+					t.Fatalf("decoded event with pc %d", ev.PC)
+				}
+			}
+		}
+		t.Fatalf("deframer did not terminate on %d bytes", len(data))
+	})
+}
+
+// TestDeframeBoundedAllocation feeds a frame whose header declares the
+// maximum payload over a stream that never delivers it, and a payload
+// whose event count dwarfs its bytes: in both cases the decoder must
+// fail without materializing the declared size.
+func TestDeframeBoundedAllocation(t *testing.T) {
+	w, err := workloads.ByName("queue-fixed", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := append([]byte(nil), Magic[:]...)
+	hdr = append(hdr, byte(FrameEvents))
+	hdr = binary.LittleEndian.AppendUint32(hdr, MaxFramePayload)
+	d := NewDeframer(bytes.NewReader(hdr))
+	d.SetProgram(w.Prog, 2)
+	if _, err := d.ReadFrame(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("declared-but-absent payload: got %v, want ErrTruncated", err)
+	}
+
+	payload := binary.AppendUvarint(nil, 1<<50)
+	frame := append([]byte(nil), Magic[:]...)
+	frame = append(frame, byte(FrameEvents))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	d = NewDeframer(bytes.NewReader(frame))
+	d.SetProgram(w.Prog, 2)
+	if _, err := d.ReadFrame(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("absurd event count: got %v, want ErrBadFrame", err)
+	}
+}

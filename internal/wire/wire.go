@@ -1,0 +1,534 @@
+// Package wire is the detection service's binary protocol: a compact,
+// versioned codec for vm.Event batches over any io.ReadWriter.
+//
+// The paper frames SVD as an always-on monitor for server programs (§1);
+// splitting event *production* (the instrumented program, here the VM)
+// from *detection* (a long-running daemon) requires a stable wire format
+// the way RegionTrack treats trace ingestion as a first-class pipeline.
+// This package defines that format and nothing else — no sockets, no
+// sharding; internal/server builds the service on top of it.
+//
+// A stream is a sequence of length-prefixed frames, each opening with a
+// four-byte magic so a desynchronized peer fails fast instead of
+// misparsing garbage:
+//
+//	[4] magic "SVDW"
+//	[1] frame type
+//	[4] payload length (little-endian, <= MaxFramePayload)
+//	[n] payload
+//
+// The first frame must be a Hello carrying the protocol version, the
+// thread count, workload metadata (name, scale, seed — enough for a
+// server holding the workload registry to rebuild the program and its
+// ground truth), and optionally an embedded isa program image for
+// streams the server has no registry entry for. Event frames then carry
+// batches of dynamic instructions, delta-encoded (see event.go); a
+// Goodbye frame ends the stream and asks for a Result frame carrying the
+// detection report as JSON. Both directions share the same framing.
+//
+// The error taxonomy is explicit so callers can distinguish a client
+// speaking a future protocol (ErrVersionSkew) from line noise
+// (ErrBadMagic) from a connection cut mid-frame (ErrTruncated) from a
+// resource-abuse attempt (ErrFrameTooLarge): the first deserves a
+// logged negotiation failure, the last a dropped connection.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Version is the protocol version this package speaks. A Deframer
+// rejects Hello frames with a different major version via ErrVersionSkew.
+const Version = 1
+
+// Magic opens every frame.
+var Magic = [4]byte{'S', 'V', 'D', 'W'}
+
+// FrameType discriminates frame payloads.
+type FrameType byte
+
+const (
+	// FrameHello opens a stream: version, thread count, workload
+	// metadata, optional embedded program.
+	FrameHello FrameType = iota + 1
+
+	// FrameEvents carries one delta-encoded batch of vm.Events.
+	FrameEvents
+
+	// FrameGoodbye ends a stream; the server finalizes the detectors and
+	// answers with a FrameResult.
+	FrameGoodbye
+
+	// FrameResult carries the stream's detection report as JSON (the
+	// report.Sample shape), server to client.
+	FrameResult
+
+	// FrameError carries a terminal error message, server to client.
+	FrameError
+)
+
+// String names the frame type for errors and logs.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameEvents:
+		return "events"
+	case FrameGoodbye:
+		return "goodbye"
+	case FrameResult:
+		return "result"
+	case FrameError:
+		return "error"
+	default:
+		return fmt.Sprintf("frame(%d)", byte(t))
+	}
+}
+
+// MaxFramePayload bounds a single frame's payload. Event batches are a
+// few KB (the VM's 512-event ring delta-encodes to well under one byte
+// per field); the only legitimately large ingest-direction frame is a
+// Hello embedding a program image. 4 MiB leaves headroom for both while
+// keeping the damage of a hostile length prefix bounded.
+const MaxFramePayload = 4 << 20
+
+// MaxResultPayload bounds a Result frame. Results carry a full report
+// sample as JSON, and with the flight recorder on, a violation-heavy
+// stream's witnesses legitimately run to tens of MB — far past the
+// ingest cap. The larger limit applies only to the result direction, so
+// a hostile producer gains nothing from it.
+const MaxResultPayload = 64 << 20
+
+// maxPayload is the per-type payload cap on the write side. Readers
+// apply the large result cap only after opting in (ExpectResults), so
+// an ingest-side deframer never allocates past MaxFramePayload no
+// matter what a hostile peer's length prefix declares.
+func maxPayload(t FrameType) int {
+	if t == FrameResult {
+		return MaxResultPayload
+	}
+	return MaxFramePayload
+}
+
+// Protocol errors. Deframer methods wrap these (errors.Is matches); the
+// taxonomy separates "peer is broken" from "peer is newer" from
+// "connection died" so the server can log and count them differently.
+var (
+	// ErrBadMagic: the next four bytes were not the frame magic — the
+	// peer is not speaking this protocol or the stream desynchronized.
+	ErrBadMagic = errors.New("wire: bad frame magic")
+
+	// ErrTruncated: the stream ended inside a frame header or payload.
+	ErrTruncated = errors.New("wire: truncated frame")
+
+	// ErrVersionSkew: the Hello's protocol version is not ours.
+	ErrVersionSkew = errors.New("wire: protocol version skew")
+
+	// ErrFrameTooLarge: the length prefix exceeds the frame type's
+	// payload cap (MaxFramePayload, or MaxResultPayload for results).
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum payload")
+
+	// ErrBadFrame: the payload is malformed (bad counts, out-of-range
+	// PCs, trailing garbage).
+	ErrBadFrame = errors.New("wire: malformed frame payload")
+)
+
+// Hello is the stream handshake.
+type Hello struct {
+	// Version is the sender's protocol version (Version).
+	Version int
+
+	// Threads is the event stream's thread (simulated CPU) count; the
+	// receiver sizes per-thread decoder state and detectors from it.
+	Threads int
+
+	// Workload, Scale, Seed identify a registry workload so the server
+	// can rebuild the program and its ground truth (bug PCs) locally.
+	// Workload may be empty when Program is embedded instead.
+	Workload string
+	Scale    int
+	Seed     uint64
+
+	// Witness asks the server to run its detectors with the violation
+	// flight recorder on, so the Result carries witnesses.
+	Witness bool
+
+	// Program optionally embeds the program image for streams the
+	// server cannot rebuild from its registry. Nil when Workload names
+	// a registry entry.
+	Program *isa.Program
+}
+
+// Result is the stream's detection report frame: the report JSON plus a
+// terminal error string (empty on success). Err is transport-level
+// ("overloaded: shed 12 batches"), not a detection outcome.
+type Result struct {
+	Sample []byte // report.Sample JSON
+	Err    string
+}
+
+// Framer writes frames to one stream. Not safe for concurrent use; its
+// internal buffer is reused across frames so steady-state writes do not
+// allocate.
+type Framer struct {
+	w   io.Writer
+	buf []byte
+	enc eventEncoder
+}
+
+// NewFramer builds a Framer over w. threads sizes the event encoder's
+// per-thread delta state (use the Hello's Threads).
+func NewFramer(w io.Writer, threads int) *Framer {
+	return &Framer{w: w, enc: newEventEncoder(threads)}
+}
+
+// Reset rebinds the framer to a new stream, clearing delta state.
+func (f *Framer) Reset(threads int) {
+	f.enc = newEventEncoder(threads)
+}
+
+// writeFrame emits one frame with the given payload.
+func (f *Framer) writeFrame(t FrameType, payload []byte) error {
+	if len(payload) > maxPayload(t) {
+		return fmt.Errorf("%w: %d bytes of %s", ErrFrameTooLarge, len(payload), t)
+	}
+	hdr := make([]byte, 0, 9)
+	hdr = append(hdr, Magic[:]...)
+	hdr = append(hdr, byte(t))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+	if _, err := f.w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := f.w.Write(payload)
+	return err
+}
+
+// WriteHello emits the handshake frame and resets event delta state for
+// the stream it opens.
+func (f *Framer) WriteHello(h Hello) error {
+	f.buf = f.buf[:0]
+	b := bytes.NewBuffer(f.buf)
+	putUvarint(b, uint64(h.Version))
+	putUvarint(b, uint64(h.Threads))
+	putString(b, h.Workload)
+	putUvarint(b, uint64(h.Scale))
+	putUvarint(b, h.Seed)
+	flags := byte(0)
+	if h.Witness {
+		flags |= 1
+	}
+	if h.Program != nil {
+		flags |= 2
+	}
+	b.WriteByte(flags)
+	if h.Program != nil {
+		var img bytes.Buffer
+		if err := isa.WriteProgram(&img, h.Program); err != nil {
+			return fmt.Errorf("wire: encode program: %w", err)
+		}
+		putUvarint(b, uint64(img.Len()))
+		b.Write(img.Bytes())
+	}
+	f.buf = b.Bytes()
+	f.Reset(h.Threads)
+	return f.writeFrame(FrameHello, f.buf)
+}
+
+// WriteGoodbye emits the end-of-stream frame.
+func (f *Framer) WriteGoodbye() error { return f.writeFrame(FrameGoodbye, nil) }
+
+// WriteResult emits a result frame.
+func (f *Framer) WriteResult(r Result) error {
+	f.buf = f.buf[:0]
+	b := bytes.NewBuffer(f.buf)
+	putString(b, r.Err)
+	putUvarint(b, uint64(len(r.Sample)))
+	b.Write(r.Sample)
+	f.buf = b.Bytes()
+	return f.writeFrame(FrameResult, f.buf)
+}
+
+// WriteError emits a terminal error frame.
+func (f *Framer) WriteError(msg string) error {
+	f.buf = f.buf[:0]
+	b := bytes.NewBuffer(f.buf)
+	putString(b, msg)
+	f.buf = b.Bytes()
+	return f.writeFrame(FrameError, f.buf)
+}
+
+// Frame is one decoded frame. Exactly one payload field is meaningful,
+// selected by Type.
+type Frame struct {
+	Type   FrameType
+	Hello  Hello      // FrameHello
+	Events []vm.Event // FrameEvents
+	Result Result     // FrameResult
+	Errmsg string     // FrameError
+}
+
+// Deframer reads frames from one stream. Not safe for concurrent use.
+// Its event slice is reused across ReadFrame calls: consumers must
+// process (or copy) a frame's Events before the next call, mirroring the
+// vm.BatchObserver contract.
+type Deframer struct {
+	r       *bufio.Reader
+	hdr     [9]byte
+	payload []byte
+	dec     eventDecoder
+
+	// prog supplies instruction reconstruction for event frames:
+	// events travel as (pc, memory effects) and the decoder rebinds
+	// Instr = prog.Code[pc]. Set by SetProgram once the handshake
+	// resolves; event frames before that fail with ErrBadFrame.
+	prog *isa.Program
+
+	// largeResults raises the Result-frame cap to MaxResultPayload.
+	// Only the client side (which asked for a report) opts in; ingest
+	// deframers keep every frame under MaxFramePayload.
+	largeResults bool
+}
+
+// ExpectResults permits Result frames up to MaxResultPayload. Call it
+// on the consumer side of the protocol before reading a report.
+func (d *Deframer) ExpectResults() { d.largeResults = true }
+
+// NewDeframer builds a Deframer over r.
+func NewDeframer(r io.Reader) *Deframer {
+	return &Deframer{r: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// SetProgram installs the program used to reconstruct event Instrs and
+// sizes per-thread decoder state. The server calls this after resolving
+// the Hello (registry lookup or embedded image).
+func (d *Deframer) SetProgram(p *isa.Program, threads int) {
+	d.prog = p
+	d.dec = newEventDecoder(threads)
+}
+
+// ReadFrame reads and decodes the next frame. The returned Frame's
+// Events slice is owned by the Deframer and valid only until the next
+// call. io.EOF is returned untouched at a clean frame boundary.
+func (d *Deframer) ReadFrame() (Frame, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if [4]byte(d.hdr[:4]) != Magic {
+		return Frame{}, fmt.Errorf("%w: got % x", ErrBadMagic, d.hdr[:4])
+	}
+	t := FrameType(d.hdr[4])
+	n := binary.LittleEndian.Uint32(d.hdr[5:])
+	limit := MaxFramePayload
+	if d.largeResults && t == FrameResult {
+		limit = MaxResultPayload
+	}
+	if int64(n) > int64(limit) {
+		return Frame{}, fmt.Errorf("%w: %s frame declares %d bytes", ErrFrameTooLarge, t, n)
+	}
+	if cap(d.payload) < int(n) {
+		d.payload = make([]byte, n)
+	}
+	d.payload = d.payload[:n]
+	if _, err := io.ReadFull(d.r, d.payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: %s payload: %v", ErrTruncated, t, err)
+	}
+	switch t {
+	case FrameHello:
+		h, err := decodeHello(d.payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameHello, Hello: h}, nil
+	case FrameEvents:
+		if d.prog == nil {
+			return Frame{}, fmt.Errorf("%w: events before handshake", ErrBadFrame)
+		}
+		evs, err := d.dec.decode(d.payload, d.prog)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameEvents, Events: evs}, nil
+	case FrameGoodbye:
+		if len(d.payload) != 0 {
+			return Frame{}, fmt.Errorf("%w: goodbye with %d payload bytes", ErrBadFrame, len(d.payload))
+		}
+		return Frame{Type: FrameGoodbye}, nil
+	case FrameResult:
+		r, err := decodeResult(d.payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameResult, Result: r}, nil
+	case FrameError:
+		p := payloadReader{b: d.payload}
+		msg := p.str()
+		if p.err != nil {
+			return Frame{}, p.err
+		}
+		return Frame{Type: FrameError, Errmsg: msg}, nil
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, byte(t))
+	}
+}
+
+// decodeHello parses a Hello payload.
+func decodeHello(payload []byte) (Hello, error) {
+	p := payloadReader{b: payload}
+	var h Hello
+	h.Version = int(p.uvarint())
+	h.Threads = int(p.uvarint())
+	h.Workload = p.str()
+	h.Scale = int(p.uvarint())
+	h.Seed = p.uvarint()
+	flags := p.byte()
+	if p.err != nil {
+		return Hello{}, p.err
+	}
+	if h.Version != Version {
+		return Hello{}, fmt.Errorf("%w: peer speaks version %d, this build speaks %d", ErrVersionSkew, h.Version, Version)
+	}
+	// A hostile thread count would size decoder state and detectors;
+	// cap it at the 64-thread ceiling the detectors' bitsets assume.
+	if h.Threads <= 0 || h.Threads > 64 {
+		return Hello{}, fmt.Errorf("%w: thread count %d outside [1,64]", ErrBadFrame, h.Threads)
+	}
+	h.Witness = flags&1 != 0
+	if flags&2 != 0 {
+		imgLen := p.uvarint()
+		img := p.bytes(int(imgLen))
+		if p.err != nil {
+			return Hello{}, p.err
+		}
+		prog, err := isa.ReadProgram(bytes.NewReader(img))
+		if err != nil {
+			return Hello{}, fmt.Errorf("%w: embedded program: %v", ErrBadFrame, err)
+		}
+		h.Program = prog
+	}
+	if p.rest() != 0 {
+		return Hello{}, fmt.Errorf("%w: %d trailing bytes after hello", ErrBadFrame, p.rest())
+	}
+	return h, nil
+}
+
+// decodeResult parses a Result payload.
+func decodeResult(payload []byte) (Result, error) {
+	p := payloadReader{b: payload}
+	var r Result
+	r.Err = p.str()
+	n := p.uvarint()
+	sample := p.bytes(int(n))
+	if p.err != nil {
+		return Result{}, p.err
+	}
+	if p.rest() != 0 {
+		return Result{}, fmt.Errorf("%w: %d trailing bytes after result", ErrBadFrame, p.rest())
+	}
+	// The sample aliases the deframer's payload buffer; copy so the
+	// caller can hold it across frames.
+	r.Sample = append([]byte(nil), sample...)
+	return r, nil
+}
+
+// payloadReader cursors over one frame payload with latched errors, so
+// decode paths read unconditionally and check once.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *payloadReader) fail() {
+	if p.err == nil {
+		p.err = fmt.Errorf("%w: truncated at payload offset %d", ErrBadFrame, p.off)
+	}
+}
+
+func (p *payloadReader) byte() byte {
+	if p.err != nil || p.off >= len(p.b) {
+		p.fail()
+		return 0
+	}
+	v := p.b[p.off]
+	p.off++
+	return v
+}
+
+func (p *payloadReader) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		p.fail()
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+func (p *payloadReader) varint() int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		p.fail()
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+// bytes returns the next n payload bytes without copying. Counts are
+// validated against the remaining payload, so a hostile length cannot
+// force an allocation beyond the frame itself.
+func (p *payloadReader) bytes(n int) []byte {
+	if p.err != nil || n < 0 || p.off+n > len(p.b) || p.off+n < 0 {
+		p.fail()
+		return nil
+	}
+	out := p.b[p.off : p.off+n]
+	p.off += n
+	return out
+}
+
+func (p *payloadReader) str() string {
+	n := p.uvarint()
+	if p.err == nil && n > uint64(p.rest()) {
+		p.fail()
+		return ""
+	}
+	return string(p.bytes(int(n)))
+}
+
+func (p *payloadReader) rest() int { return len(p.b) - p.off }
+
+func putUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func putVarint(b *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutVarint(tmp[:], v)])
+}
+
+func putString(b *bytes.Buffer, s string) {
+	putUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}

@@ -1,0 +1,181 @@
+// Benchmarks for the detection service (internal/wire, internal/server):
+// codec cost per event and ingestion throughput versus shard count. Run
+// with:
+//
+//	go test -run NONE -bench 'BenchmarkWire|BenchmarkServerIngest' .
+//
+// BenchmarkServerIngest's events/sec metric is the service's headline
+// number: how fast a daemon chews a fixed eight-stream load as workers
+// are added. The bench-guard baseline records all three so CI notices a
+// codec or router regression.
+package repro
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/vm"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// recordBatches replays a workload and keeps its event batches at the
+// VM's own ring boundaries — the exact frames a client would send.
+func recordBatches(b *testing.B, name string, seed uint64) (*workloads.Workload, [][]vm.Event, int) {
+	b.Helper()
+	w, err := workloads.ByName(name, 1, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := w.NewVM(seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batches [][]vm.Event
+	events := 0
+	m.AttachBatch(batchCollector(func(evs []vm.Event) {
+		batches = append(batches, append([]vm.Event(nil), evs...))
+		events += len(evs)
+	}))
+	if _, err := m.Run(1 << 24); err != nil {
+		b.Fatal(err)
+	}
+	return w, batches, events
+}
+
+// batchCollector adapts a function to vm.BatchObserver.
+type batchCollector func(evs []vm.Event)
+
+func (f batchCollector) StepBatch(evs []vm.Event) { f(evs) }
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
+
+// BenchmarkWireEncode measures the delta codec's cost to frame one full
+// execution (hello + every event batch).
+func BenchmarkWireEncode(b *testing.B) {
+	w, batches, events := recordBatches(b, "queue-buggy", 1)
+	h := wire.Hello{Version: wire.Version, Threads: w.NumThreads, Workload: w.Name, Scale: 1, Seed: 1}
+	var cw countWriter
+	f := wire.NewFramer(&cw, w.NumThreads)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.WriteHello(h); err != nil {
+			b.Fatal(err)
+		}
+		for _, bt := range batches {
+			if err := f.WriteEvents(bt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cw.n)/float64(int64(events)*int64(b.N)), "bytes/event")
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// BenchmarkWireDecode measures deframing the same execution back into
+// event batches, instruction rebinding included.
+func BenchmarkWireDecode(b *testing.B) {
+	w, batches, events := recordBatches(b, "queue-buggy", 1)
+	var buf bytes.Buffer
+	f := wire.NewFramer(&buf, w.NumThreads)
+	h := wire.Hello{Version: wire.Version, Threads: w.NumThreads, Workload: w.Name, Scale: 1, Seed: 1}
+	if err := f.WriteHello(h); err != nil {
+		b.Fatal(err)
+	}
+	for _, bt := range batches {
+		if err := f.WriteEvents(bt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.WriteGoodbye(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := wire.NewDeframer(bytes.NewReader(raw))
+		decoded := 0
+		for {
+			fr, err := d.ReadFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch fr.Type {
+			case wire.FrameHello:
+				d.SetProgram(w.Prog, w.NumThreads)
+			case wire.FrameEvents:
+				decoded += len(fr.Events)
+			}
+		}
+		if decoded != events {
+			b.Fatalf("decoded %d events, want %d", decoded, events)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// BenchmarkServerIngest measures the sharded engine end to end: eight
+// concurrent streams of a fixed workload replay, ingested through the
+// direct stream API (the session layer's decode cost is BenchmarkWireDecode),
+// each stream running both detectors on its owning shard. The fixed
+// stream count keeps work per op constant across shard counts, so ns/op
+// directly exposes the scaling: 4 shards must beat 1 shard by at least
+// 2x (the acceptance floor recorded in BENCH_BASELINE.json).
+func BenchmarkServerIngest(b *testing.B) {
+	const streams = 8
+	w, batches, events := recordBatches(b, "queue-buggy", 1)
+	h := wire.Hello{Version: wire.Version, Threads: w.NumThreads, Workload: w.Name, Scale: 1, Seed: 1}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := server.New(server.Options{Shards: shards, QueueDepth: 256})
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := e.Shutdown(ctx); err != nil {
+					b.Error(err)
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < streams; s++ {
+					st, err := e.OpenStream(h, "")
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for _, bt := range batches {
+							st.Ingest(bt)
+						}
+						if _, err := st.Close(); err != nil {
+							b.Error(err)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			total := float64(events) * streams * float64(b.N)
+			if el := b.Elapsed().Seconds(); el > 0 {
+				b.ReportMetric(total/el, "events/sec")
+			}
+		})
+	}
+}
