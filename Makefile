@@ -10,7 +10,7 @@ GO ?= go
 COVER_MIN ?= 70
 FUZZ_TIME ?= 30s
 
-.PHONY: all build test race vet check cover bench-smoke bench bench-guard bench-baseline hotpath fuzz-smoke
+.PHONY: all build test race vet check cover bench-smoke bench-smoke-mp bench bench-guard bench-baseline hotpath fuzz-smoke
 
 all: check
 
@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestBatchChopping|TestWitness|TestExamineDeterministic|TestRunDeterministic|TestMergeSamplesClones|TestLoopback|TestEngineMatchesInProcess|TestShedPolicy|TestShutdownDrains' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/ ./internal/server/
+	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestColumnarDifferential|TestBatchChopping|TestWitness|TestExamineDeterministic|TestRunDeterministic|TestMergeSamplesClones|TestLoopback|TestEngineMatchesInProcess|TestShedPolicy|TestShutdownDrains' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/ ./internal/server/
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,15 @@ cover:
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkHotPath' -benchtime 1x .
 
+# Multi-core smoke: the shard sweep and the columnar ingest hop under
+# GOMAXPROCS=4, one iteration each. CI machines are the only multi-core
+# hardware this repo reliably sees, so this is where cross-shard
+# interleavings (ring handoff, pool recycling under real parallelism)
+# get exercised at all — it is a compile-and-run sanity check, not a
+# measurement.
+bench-smoke-mp:
+	GOMAXPROCS=4 $(GO) test -run NONE -bench 'BenchmarkServerIngest|BenchmarkWireDecodeColumns' -benchtime 1x -benchmem .
+
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkHotPath|BenchmarkOverhead|BenchmarkDetectorStep' -benchmem .
 
@@ -49,18 +58,23 @@ bench:
 # entries (the multi-thread sweeps, the service benchmarks) carrying
 # their own per-entry tolerance in the baseline file. Refresh with
 # `make bench-baseline` after a deliberate perf change — it preserves
-# per-entry tolerances. The service benchmarks run as separate
-# invocations because their op is a whole execution replay, not a
-# single detector step, so they need their own -benchtime.
-BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step(Threads|Witness)?$$' -benchtime 2000000x -count 3 .
-BENCH_GUARD_WIRE = $(GO) test -run NONE -bench 'BenchmarkWire(Encode|Decode)$$' -benchtime 200x -count 3 .
-BENCH_GUARD_INGEST = $(GO) test -run NONE -bench 'BenchmarkServerIngest$$' -benchtime 5x -count 3 .
+# per-entry tolerances and allocation ceilings. The service benchmarks
+# run as separate invocations because their op is a whole execution
+# replay, not a single detector step, so they need their own -benchtime.
+# Every invocation passes -benchmem: several baseline entries carry an
+# allocs/op ceiling (zero for the steady-state ingest hop and the
+# detector step benchmarks), and benchguard fails a ceiling it cannot
+# check.
+BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step(Threads|Witness)?$$' -benchtime 2000000x -count 3 -benchmem .
+BENCH_GUARD_WIRE = $(GO) test -run NONE -bench 'BenchmarkWire(Encode|Decode|DecodeColumns)$$' -benchtime 200x -count 3 -benchmem .
+BENCH_GUARD_INGEST = $(GO) test -run NONE -bench 'BenchmarkServerIngest$$' -benchtime 5x -count 3 -benchmem .
+BENCH_GUARD_STEADY = $(GO) test -run NONE -bench 'BenchmarkServerIngestSteady$$' -benchtime 50x -count 3 -benchmem .
 
 bench-guard:
-	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); } | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
+	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); $(BENCH_GUARD_STEADY); } | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
 
 bench-baseline:
-	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); } | $(GO) run ./cmd/benchguard -record -baseline BENCH_BASELINE.json
+	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); $(BENCH_GUARD_STEADY); } | $(GO) run ./cmd/benchguard -record -baseline BENCH_BASELINE.json
 
 # Machine-readable hot-path snapshot (ns/instr, allocs, Minstr/s).
 hotpath:
@@ -68,6 +82,9 @@ hotpath:
 
 # Short-budget fuzz of the wire decoder: untrusted bytes must map to the
 # protocol's error taxonomy, never a panic. The committed corpus seeds
-# truncations, bad magic, version skew, and length abuse.
+# truncations, bad magic, version skew, and length abuse. go test fuzzes
+# one target per invocation, so the row and columnar decoders each run
+# with their own $(FUZZ_TIME) budget.
 fuzz-smoke:
-	$(GO) test -run NONE -fuzz FuzzDeframe -fuzztime $(FUZZ_TIME) ./internal/wire/
+	$(GO) test -run NONE -fuzz 'FuzzDeframe$$' -fuzztime $(FUZZ_TIME) ./internal/wire/
+	$(GO) test -run NONE -fuzz 'FuzzDeframeColumns$$' -fuzztime $(FUZZ_TIME) ./internal/wire/

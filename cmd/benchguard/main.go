@@ -17,11 +17,20 @@
 // — the least-noisy stand-in for the true cost on a shared machine.
 //
 // The baseline maps benchmark names to either a plain ns/op number or an
-// object {"ns": N, "tolerance": T} carrying a per-entry tolerance. The
-// -tolerance flag is the default for plain entries; per-entry values win,
-// which lets one file hold tight bounds for stable microbenchmarks next
-// to loose bounds for noisier multi-thread sweeps. -record preserves the
-// per-entry tolerances already in the file.
+// object {"ns": N, "tolerance": T, "allocs": A} carrying a per-entry
+// tolerance and an optional allocation ceiling. The -tolerance flag is
+// the default for plain entries; per-entry values win, which lets one
+// file hold tight bounds for stable microbenchmarks next to loose bounds
+// for noisier multi-thread sweeps. -record preserves the per-entry
+// tolerances and ceilings already in the file.
+//
+// An "allocs" ceiling is an absolute allocs/op bound (no tolerance —
+// allocation counts are deterministic), checked against the MAXIMUM
+// across -count repeats: a steady-state-zero benchmark that allocates on
+// any repeat is a pooling regression, and the noisiest repeat is the one
+// that shows it. Benchmarks carrying a ceiling must be run with
+// -benchmem; the guard fails if the ceiling has nothing to check
+// against, because a silently unchecked bound is worse than none.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -40,7 +50,7 @@ import (
 
 // benchLine matches one benchmark result, e.g.
 //
-//	BenchmarkHotPathSVDStep-8   19741086   60.93 ns/op   0 B/op ...
+//	BenchmarkHotPathSVDStep-8   19741086   60.93 ns/op   0 B/op   0 allocs/op
 //
 // The -8 GOMAXPROCS suffix is stripped so baselines survive machine moves.
 // go test omits the suffix on single-CPU machines, so sub-benchmarks must
@@ -48,12 +58,17 @@ import (
 // otherwise stripping would be ambiguous.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// allocsField matches the -benchmem allocation column, wherever custom
+// metrics (events/sec and friends) landed it on the line.
+var allocsField = regexp.MustCompile(`\s([0-9]+) allocs/op`)
+
 // entry is one baseline record. Tolerance zero means "use the -tolerance
 // flag"; it round-trips as a plain JSON number to keep the common case
-// readable.
+// readable. Allocs, when present, is an absolute allocs/op ceiling.
 type entry struct {
-	NS        float64 `json:"ns"`
-	Tolerance float64 `json:"tolerance,omitempty"`
+	NS        float64  `json:"ns"`
+	Tolerance float64  `json:"tolerance,omitempty"`
+	Allocs    *float64 `json:"allocs,omitempty"`
 }
 
 func (e *entry) UnmarshalJSON(data []byte) error {
@@ -66,7 +81,7 @@ func (e *entry) UnmarshalJSON(data []byte) error {
 }
 
 func (e entry) MarshalJSON() ([]byte, error) {
-	if e.Tolerance == 0 {
+	if e.Tolerance == 0 && e.Allocs == nil {
 		return json.Marshal(e.NS)
 	}
 	type plain entry
@@ -109,24 +124,38 @@ func main() {
 	}
 	failed := false
 	for _, name := range sortedKeys(measured) {
+		got := measured[name]
 		base, ok := baseline[name]
 		if !ok {
-			fmt.Printf("benchguard: %-48s %10.2f ns/op  (no baseline, skipped)\n", name, measured[name])
+			fmt.Printf("benchguard: %-48s %10.2f ns/op  (no baseline, skipped)\n", name, got.NS)
 			continue
 		}
 		tol := *tolerance
 		if base.Tolerance > 0 {
 			tol = base.Tolerance
 		}
-		got := measured[name]
-		ratio := got/base.NS - 1
+		ratio := got.NS/base.NS - 1
 		status := "ok"
 		if ratio > tol {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("benchguard: %-48s %10.2f ns/op vs %10.2f baseline  %+6.1f%% (tol %2.0f%%)  %s\n",
-			name, got, base.NS, ratio*100, tol*100, status)
+		allocNote := ""
+		if base.Allocs != nil {
+			switch {
+			case !got.HasAllocs:
+				allocNote = "  allocs UNCHECKED (run with -benchmem)"
+				failed = true
+			case got.Allocs > *base.Allocs:
+				allocNote = fmt.Sprintf("  %.0f allocs/op over ceiling %.0f", got.Allocs, *base.Allocs)
+				status = "REGRESSION"
+				failed = true
+			default:
+				allocNote = fmt.Sprintf("  %.0f allocs/op (ceiling %.0f)", got.Allocs, *base.Allocs)
+			}
+		}
+		fmt.Printf("benchguard: %-48s %10.2f ns/op vs %10.2f baseline  %+6.1f%% (tol %2.0f%%)  %s%s\n",
+			name, got.NS, base.NS, ratio*100, tol*100, status, allocNote)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchguard: hot path regressed beyond tolerance over %s\n", *baselinePath)
@@ -134,26 +163,47 @@ func main() {
 	}
 }
 
-// parseBench extracts the minimum ns/op per benchmark name from go test
-// -bench output; repeats from -count collapse to their fastest run.
-func parseBench(f *os.File) (map[string]float64, error) {
-	min := map[string]float64{}
+// measurement is one benchmark's digest across -count repeats: the
+// minimum ns/op (least scheduling noise) and, under -benchmem, the
+// maximum allocs/op (an allocation on any repeat is real).
+type measurement struct {
+	NS        float64
+	Allocs    float64
+	HasAllocs bool
+}
+
+// parseBench folds go test -bench output into per-name measurements.
+func parseBench(f io.Reader) (map[string]measurement, error) {
+	out := map[string]measurement{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
 		}
-		if prev, ok := min[m[1]]; !ok || ns < prev {
-			min[m[1]] = ns
+		cur, seen := out[m[1]]
+		if !seen || ns < cur.NS {
+			cur.NS = ns
 		}
+		if a := allocsField.FindStringSubmatch(line); a != nil {
+			allocs, err := strconv.ParseFloat(a[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+			if !cur.HasAllocs || allocs > cur.Allocs {
+				cur.Allocs = allocs
+			}
+			cur.HasAllocs = true
+		}
+		out[m[1]] = cur
 	}
-	return min, sc.Err()
+	return out, sc.Err()
 }
 
 func readBaseline(path string) (map[string]entry, error) {
@@ -169,16 +219,18 @@ func readBaseline(path string) (map[string]entry, error) {
 }
 
 // recordBaseline writes the measured minima, carrying forward any
-// per-entry tolerances (and entries for benchmarks not in this run) from
-// an existing baseline file.
-func recordBaseline(path string, measured map[string]float64) (int, error) {
+// per-entry tolerances and allocation ceilings (and entries for
+// benchmarks not in this run) from an existing baseline file. Ceilings
+// are policy, not measurements, so -record never invents or tightens
+// one — it only preserves what a human wrote.
+func recordBaseline(path string, measured map[string]measurement) (int, error) {
 	merged := map[string]entry{}
 	if prev, err := readBaseline(path); err == nil {
 		merged = prev
 	}
-	for name, ns := range measured {
-		e := merged[name] // keeps the prior tolerance, zero for new entries
-		e.NS = ns
+	for name, m := range measured {
+		e := merged[name] // keeps the prior tolerance/ceiling, zero for new entries
+		e.NS = m.NS
 		merged[name] = e
 	}
 	data, err := marshalSorted(merged)
@@ -213,7 +265,7 @@ func marshalSorted(m map[string]entry) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func sortedKeys(m map[string]float64) []string {
+func sortedKeys(m map[string]measurement) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

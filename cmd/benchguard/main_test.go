@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestParseBench: minima for ns/op, maxima for allocs/op, GOMAXPROCS
+// suffix stripped, custom metrics between ns/op and the -benchmem
+// columns tolerated.
+func TestParseBench(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkHotPathSVDStep-8   	19741086	        60.93 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotPathSVDStep-8   	20000000	        58.10 ns/op	       8 B/op	       1 allocs/op
+BenchmarkServerIngest/shards=2-8	     100	  13300000 ns/op	   8470000 events/sec	    1024 B/op	       3 allocs/op
+BenchmarkWireEncode 	    2000	    449634 ns/op
+PASS
+`
+	got, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svd := got["BenchmarkHotPathSVDStep"]
+	if svd.NS != 58.10 {
+		t.Errorf("ns minimum: got %v, want 58.10", svd.NS)
+	}
+	if !svd.HasAllocs || svd.Allocs != 1 {
+		t.Errorf("allocs maximum: got %+v, want 1 (the noisier repeat)", svd)
+	}
+	ingest := got["BenchmarkServerIngest/shards=2"]
+	if ingest.NS != 13300000 || !ingest.HasAllocs || ingest.Allocs != 3 {
+		t.Errorf("custom-metric line misparsed: %+v", ingest)
+	}
+	enc := got["BenchmarkWireEncode"]
+	if enc.HasAllocs {
+		t.Errorf("line without -benchmem claimed allocs: %+v", enc)
+	}
+}
+
+// TestEntryRoundTrip: plain-number entries stay plain, object entries
+// keep tolerance and ceiling through a marshal/unmarshal cycle.
+func TestEntryRoundTrip(t *testing.T) {
+	ceiling := 0.0
+	in := map[string]entry{
+		"plain":  {NS: 42},
+		"tuned":  {NS: 31.09, Tolerance: 0.2},
+		"capped": {NS: 100, Tolerance: 0.3, Allocs: &ceiling},
+	}
+	data, err := marshalSorted(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"plain": 42`) {
+		t.Errorf("plain entry did not stay a bare number:\n%s", data)
+	}
+	var out map[string]entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["tuned"].Tolerance != 0.2 {
+		t.Errorf("tolerance lost: %+v", out["tuned"])
+	}
+	c := out["capped"]
+	if c.Allocs == nil || *c.Allocs != 0 || c.Tolerance != 0.3 {
+		t.Errorf("ceiling lost: %+v", c)
+	}
+}

@@ -1,7 +1,11 @@
 // Command svdd is the detection daemon: a long-running service that
 // accepts wire-format event streams (internal/wire), spreads them over
 // sharded detector workers (internal/server), and answers each stream
-// with the same report an in-process run would produce.
+// with the same report an in-process run would produce. Ingest is
+// zero-copy columnar: each session decodes frames straight into pooled
+// column batches that the shard worker consumes and recycles, so the
+// socket-to-detector hop allocates nothing in steady state (DESIGN.md
+// §11).
 //
 // Usage:
 //

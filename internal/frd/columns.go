@@ -1,0 +1,43 @@
+package frd
+
+import "repro/internal/vm"
+
+// StepColumns processes one columnar batch (vm.ColumnObserver),
+// bit-identical to StepBatch on the equivalent rows. The happens-before
+// detector only looks at memory operations, and the columnar form makes
+// the skip cheap: non-memory rows are rejected on the rebound opcode
+// alone, without materializing an Event. The test is on the opcode, not
+// the flags byte — a hostile wire stream can carry a CAS row with
+// neither flag set, and step() still applies its sync annotation to
+// such an event, so filtering on flags would diverge from the row path.
+func (d *Detector) StepColumns(eb *vm.EventBatch) {
+	n := eb.Len()
+	// Bulk-advance like StepBatch: recorder timestamps within a batch
+	// already see the post-batch count on the row path, so the columnar
+	// path matches it, not per-event Step.
+	d.stats.Instructions += uint64(n)
+	code := d.prog.Code
+	// Materialized in place per memory row; hoisted for the same reason
+	// as svd.StepColumns — overwriting one stack slot beats building a
+	// fresh ~72-byte struct through a temporary on every row.
+	var ev vm.Event
+	for k := 0; k < n; k++ {
+		pc := eb.PC[k]
+		in := code[pc]
+		if !in.Op.IsMem() {
+			continue
+		}
+		flags := eb.Flags[k]
+		ev.Seq = eb.Seq[k]
+		ev.CPU = int(eb.CPU[k])
+		ev.PC = pc
+		ev.Instr = in
+		ev.Addr = eb.Addr[k]
+		ev.IsLoad = flags&vm.FlagLoad != 0
+		ev.IsStore = flags&vm.FlagStore != 0
+		ev.Loaded = eb.Loaded[k]
+		ev.Stored = eb.Stored[k]
+		ev.Taken = flags&vm.FlagTaken != 0
+		d.step(&ev)
+	}
+}

@@ -207,9 +207,9 @@ func New(prog *isa.Program, numCPUs int, opts Options) *Detector {
 		rec:      opts.Recorder,
 		numCPUs:  numCPUs,
 		useIndex: !opts.NoInterestIndex,
-		vc:      make([]vclock, numCPUs),
-		blocks:  blockstore.New[blockInfo](blockstore.Options{Sparse: opts.SparseBlockTable}),
-		sites:   make(map[SiteKey]*Site),
+		vc:       make([]vclock, numCPUs),
+		blocks:   blockstore.New[blockInfo](blockstore.Options{Sparse: opts.SparseBlockTable}),
+		sites:    make(map[SiteKey]*Site),
 	}
 	for i := range d.vc {
 		d.vc[i] = newVClock(numCPUs)

@@ -104,9 +104,14 @@ type Options struct {
 	Obs *obs.Sink
 
 	// Unbatched attaches the detectors as per-instruction vm.Observers
-	// instead of batch consumers. Debug and differential-testing knob; the
-	// batched pipeline is output-identical.
+	// instead of columnar batch consumers. Debug and differential-testing
+	// knob; the batched pipeline is output-identical.
 	Unbatched bool
+
+	// RowBatched attaches the detectors as row-form vm.BatchObservers
+	// (StepBatch over []vm.Event) instead of the default columnar ring.
+	// Differential-testing knob, mutually exclusive with Unbatched.
+	RowBatched bool
 
 	// Witness enables both detectors' flight recorders and carries their
 	// witnesses into each Sample.
@@ -138,12 +143,19 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 	}
 	sd := svd.New(w.Prog, w.NumThreads, opts.SVD)
 	fd := frd.New(w.Prog, w.NumThreads, opts.FRD)
-	if opts.Unbatched {
+	switch {
+	case opts.Unbatched:
 		m.Attach(sd)
 		m.Attach(fd)
-	} else {
+	case opts.RowBatched:
 		m.AttachBatch(sd)
 		m.AttachBatch(fd)
+	default:
+		// Columnar by default: in-process runs exercise exactly the
+		// ingest path the detection service runs (StepColumns), so the
+		// loopback -verify comparison covers one code path, not two.
+		m.AttachColumns(sd)
+		m.AttachColumns(fd)
 	}
 	endSim := rec.Span("simulate")
 	_, err = m.Run(opts.MaxSteps)

@@ -62,6 +62,13 @@ type ReplayOptions struct {
 	// EmbedProgram ships the program image in the handshake, for
 	// servers that do not hold this workload in their registry.
 	EmbedProgram bool
+
+	// RowEncode replays through the legacy row-form observer path
+	// (vm.AttachBatch + Framer.WriteEvents) instead of the default
+	// columnar one. The bytes on the wire are identical either way;
+	// the flag exists so the loopback differential can exercise both
+	// producer paths.
+	RowEncode bool
 }
 
 // ReplayStats reports the achieved throughput of one stream.
@@ -113,10 +120,7 @@ func (c *Client) RunSample(w *workloads.Workload, seed uint64, opts ReplayOption
 	var stats ReplayStats
 	var sendErr error
 	start := time.Now()
-	m.AttachBatch(batchFunc(func(evs []vm.Event) {
-		if sendErr != nil {
-			return
-		}
+	pace := func() {
 		if opts.Rate > 0 {
 			// Pace against the stream's own clock: the batch is due
 			// when events-so-far/rate seconds have elapsed.
@@ -125,10 +129,31 @@ func (c *Client) RunSample(w *workloads.Workload, seed uint64, opts ReplayOption
 				time.Sleep(d)
 			}
 		}
-		sendErr = c.f.WriteEvents(evs)
-		stats.Events += uint64(len(evs))
-		stats.Batches++
-	}))
+	}
+	if opts.RowEncode {
+		m.AttachBatch(batchFunc(func(evs []vm.Event) {
+			if sendErr != nil {
+				return
+			}
+			pace()
+			sendErr = c.f.WriteEvents(evs)
+			stats.Events += uint64(len(evs))
+			stats.Batches++
+		}))
+	} else {
+		// Default producer path: the VM's columnar ring feeds the
+		// columnar encoder, so no []vm.Event is built on this side
+		// either — the replay is zero-copy end to end.
+		m.AttachColumns(vm.ColumnFunc(func(eb *vm.EventBatch) {
+			if sendErr != nil {
+				return
+			}
+			pace()
+			sendErr = c.f.WriteColumns(eb)
+			stats.Events += uint64(eb.Len())
+			stats.Batches++
+		}))
+	}
 	_, runErr := m.Run(maxSteps)
 	stats.Elapsed = time.Since(start)
 	if sendErr != nil {

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"repro/internal/vm"
+)
+
+// ringSize is the per-stream recycle ring capacity. Must be a power of
+// two. 32 slots at the default batch cap bounds ring-held memory per
+// stream to ~half a megabyte while comfortably covering the number of
+// batches a worker can finish between two session reads.
+const ringSize = 32
+
+// batchRing is a single-producer single-consumer ring of recycled
+// batch buffers: the shard worker (producer) pushes batches it has
+// finished stepping, the stream's session (consumer) pops them for the
+// next ReadFrameInto. It is the return half of the zero-copy ingest
+// path — the forward half is the shard's job queue — and exists so a
+// stream in steady state circulates a fixed set of buffers between
+// session and worker without touching the shard-wide sync.Pool (and
+// its per-P locking) on every batch.
+//
+// The SPSC discipline is load-bearing: only the owning shard worker
+// may push, only the stream's session goroutine may pop. head and tail
+// are monotonic; atomic loads/stores give the usual release/acquire
+// pairing (the consumer observing tail=t+1 sees the slot write that
+// preceded it). The sole exception to the discipline is the close job:
+// by the time the worker processes it the session is parked in
+// Close/Abort waiting on st.done — the job channel send gives the
+// happens-before — so the worker may drain the ring back to the pool.
+type batchRing struct {
+	slots [ringSize]*vm.EventBatch
+	head  atomic.Uint64 // next pop (consumer-owned)
+	tail  atomic.Uint64 // next push (producer-owned)
+}
+
+// push hands a buffer to the consumer side; false means the ring is
+// full and the caller should fall back to the shard pool.
+func (r *batchRing) push(eb *vm.EventBatch) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == ringSize {
+		return false
+	}
+	r.slots[t&(ringSize-1)] = eb
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop takes a recycled buffer; nil means the ring is empty.
+func (r *batchRing) pop() *vm.EventBatch {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil
+	}
+	i := h & (ringSize - 1)
+	eb := r.slots[i]
+	r.slots[i] = nil
+	r.head.Store(h + 1)
+	return eb
+}

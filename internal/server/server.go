@@ -13,11 +13,41 @@
 //     events are always processed by one goroutine in order while
 //     distinct streams run in parallel;
 //   - shard workers own all detector state. Each worker pulls jobs off
-//     a bounded queue and runs the existing vm.BatchObserver path —
-//     svd.Detector and frd.Detector StepBatch, exactly the code an
-//     in-process report.Run drives — then classifies the finished
-//     detectors with report.Classify, so a served result is
-//     bit-identical to a local one.
+//     a bounded queue and runs the columnar detector path —
+//     svd.Detector and frd.Detector StepColumns, bit-identical to the
+//     per-event code an in-process report.Run drives — then classifies
+//     the finished detectors with report.Classify, so a served result
+//     is bit-identical to a local one.
+//
+// # Batch ownership
+//
+// The ingest hot path is zero-copy: the wire decoder fills a columnar
+// vm.EventBatch in place (Deframer.ReadFrameInto) and that same buffer
+// travels to the shard worker. No []vm.Event is materialized and no
+// copy-on-enqueue happens. That works only because buffer ownership is
+// explicit and linear:
+//
+//  1. The session borrows an empty batch with Stream.GetBatch — from
+//     the stream's recycle ring when the worker has returned one, from
+//     the shard's sync.Pool otherwise.
+//  2. Stream.IngestBatch(eb) transfers ownership to the engine. The
+//     session must not touch eb afterwards — not even its length. If
+//     the batch is not handed off (empty batch, shed, non-event frame
+//     decoded into it), the session keeps ownership and parks the
+//     buffer in Stream.spare for the next GetBatch.
+//  3. The shard worker, after StepColumns, recycles the buffer: onto
+//     the stream's single-producer/single-consumer ring (ring.go) when
+//     there is room, back to the shard pool when not. In steady state
+//     a stream circulates a small fixed set of buffers and the pool is
+//     never touched.
+//  4. The close job drains the stream's ring back to the pool; the
+//     session is provably parked in Close/Abort by then, which is what
+//     licenses the worker to touch the consumer end.
+//
+// The legacy Stream.Ingest([]vm.Event) survives as a convenience that
+// copies rows into a borrowed batch — the vm.BatchObserver contract
+// (caller may reuse the slice immediately) makes the copy mandatory
+// there, which is precisely why the columnar entry points exist.
 //
 // The per-shard queues are bounded; Options.Policy picks what happens
 // when a queue fills. PolicyBlock stalls the producing session, which
@@ -163,18 +193,18 @@ type Engine struct {
 	samples []*report.Sample // completed stream reports, open-order
 }
 
-// job is one unit of shard work. Exactly one of open/close/evs is set.
+// job is one unit of shard work. Exactly one of open/close/eb is set.
 type job struct {
 	st    *Stream
 	open  bool
 	close bool
-	evs   []vm.Event // pooled; worker returns it after processing
+	eb    *vm.EventBatch // owned by the worker once enqueued; recycled after StepColumns
 }
 
 type shard struct {
 	id   int
 	jobs chan job
-	pool sync.Pool // *[]vm.Event batch buffers
+	pool sync.Pool // *vm.EventBatch buffers (overflow beyond the per-stream rings)
 }
 
 // New builds and starts the engine's shard workers.
@@ -183,7 +213,7 @@ func New(opts Options) *Engine {
 	e.shards = make([]*shard, e.opts.Shards)
 	for i := range e.shards {
 		sh := &shard{id: i, jobs: make(chan job, e.opts.QueueDepth)}
-		sh.pool.New = func() any { s := make([]vm.Event, 0, vm.DefaultBatchCap); return &s }
+		sh.pool.New = func() any { return vm.NewEventBatch(vm.DefaultBatchCap) }
 		e.shards[i] = sh
 		go e.worker(sh)
 	}
@@ -218,6 +248,12 @@ type Stream struct {
 	sd  *svd.Detector
 	fd  *frd.Detector
 	rec *obs.Recorder
+
+	// ring carries processed batch buffers back from the shard worker
+	// to the session; spare holds a borrowed-but-unsent buffer on the
+	// session side. See the package comment's ownership rules.
+	ring  batchRing
+	spare *vm.EventBatch
 
 	shed    atomic.Uint64 // batches dropped under PolicyShed
 	aborted bool          // set before the close job when the producer died
@@ -287,24 +323,53 @@ func (e *Engine) OpenStream(h wire.Hello, key string) (*Stream, error) {
 	return st, nil
 }
 
-// Ingest feeds one event batch. The slice is copied before enqueueing
-// (callers may reuse it immediately, matching the vm.BatchObserver
-// contract). Under PolicyBlock a full shard queue blocks; under
-// PolicyShed the batch is dropped and the stream poisoned.
-func (s *Stream) Ingest(evs []vm.Event) {
-	if len(evs) == 0 {
+// GetBatch borrows an empty batch buffer for the producer to fill —
+// typically as the target of wire.Deframer.ReadFrameInto. Ownership
+// rests with the caller until IngestBatch transfers it; a buffer that
+// ends up not being ingested is returned with PutBatch.
+func (s *Stream) GetBatch() *vm.EventBatch {
+	if eb := s.spare; eb != nil {
+		s.spare = nil
+		eb.Reset()
+		return eb
+	}
+	if eb := s.ring.pop(); eb != nil {
+		eb.Reset()
+		return eb
+	}
+	return s.sh.pool.Get().(*vm.EventBatch)
+}
+
+// PutBatch returns a borrowed buffer that was never ingested (the
+// frame decoded into it turned out to be a Goodbye, or the stream is
+// being torn down). It must not be called for a buffer already passed
+// to IngestBatch.
+func (s *Stream) PutBatch(eb *vm.EventBatch) {
+	if s.spare == nil {
+		s.spare = eb
 		return
 	}
-	bufp := s.sh.pool.Get().(*[]vm.Event)
-	buf := append((*bufp)[:0], evs...)
-	*bufp = buf
-	j := job{st: s, evs: buf}
+	eb.Reset()
+	s.sh.pool.Put(eb)
+}
+
+// IngestBatch feeds one columnar event batch, transferring ownership
+// of eb to the engine — the caller must not touch it afterwards. Under
+// PolicyBlock a full shard queue blocks; under PolicyShed the batch is
+// dropped (its buffer reclaimed) and the stream poisoned. An empty
+// batch is a no-op whose buffer is reclaimed immediately.
+func (s *Stream) IngestBatch(eb *vm.EventBatch) {
+	n := eb.Len()
+	if n == 0 {
+		s.PutBatch(eb)
+		return
+	}
+	j := job{st: s, eb: eb}
 	if s.eng.opts.Policy == PolicyShed {
 		select {
 		case s.sh.jobs <- j:
 		default:
-			*bufp = buf[:0]
-			s.sh.pool.Put(bufp)
+			s.PutBatch(eb)
 			if s.shed.Add(1) == 1 {
 				s.eng.counters.streamsShed.Add(1)
 			}
@@ -315,7 +380,22 @@ func (s *Stream) Ingest(evs []vm.Event) {
 		s.sh.jobs <- j
 	}
 	s.eng.counters.batches.Add(1)
-	s.eng.counters.events.Add(uint64(len(evs)))
+	s.eng.counters.events.Add(uint64(n))
+}
+
+// Ingest feeds one row-form event batch. The slice is copied into a
+// borrowed columnar buffer before enqueueing (callers may reuse it
+// immediately, matching the vm.BatchObserver contract); producers that
+// can avoid the copy should use GetBatch/IngestBatch directly.
+func (s *Stream) Ingest(evs []vm.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	eb := s.GetBatch()
+	for i := range evs {
+		eb.Append(&evs[i])
+	}
+	s.IngestBatch(eb)
 }
 
 // Close finalizes the stream and returns its report. The close job
@@ -358,6 +438,13 @@ func (e *Engine) worker(sh *shard) {
 			st.sd = svd.New(st.w.Prog, st.w.NumThreads, svdOpts)
 			st.fd = frd.New(st.w.Prog, st.w.NumThreads, frdOpts)
 		case j.close:
+			// Reclaim the stream's recycle ring. The session is parked
+			// in Close/Abort (the close job's channel send happened
+			// after its last ring access), so popping the consumer end
+			// here is race-free.
+			for eb := st.ring.pop(); eb != nil; eb = st.ring.pop() {
+				sh.pool.Put(eb)
+			}
 			st.sd.FlushObs()
 			st.fd.FlushObs()
 			sample := report.Classify(st.w, st.seed, st.sd, st.fd)
@@ -382,10 +469,12 @@ func (e *Engine) worker(sh *shard) {
 			e.streams.Done()
 			close(st.done)
 		default:
-			st.sd.StepBatch(j.evs)
-			st.fd.StepBatch(j.evs)
-			buf := j.evs[:0]
-			sh.pool.Put(&buf)
+			st.sd.StepColumns(j.eb)
+			st.fd.StepColumns(j.eb)
+			j.eb.Reset()
+			if !st.ring.push(j.eb) {
+				sh.pool.Put(j.eb)
+			}
 		}
 	}
 }

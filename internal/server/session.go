@@ -89,8 +89,14 @@ func (e *Engine) serveStream(d *wire.Deframer, f *wire.Framer, seq int) error {
 		}
 	}()
 	for {
-		fr, err := d.ReadFrame()
+		// Zero-copy ingest: borrow a batch buffer from the stream and
+		// let the deframer decode the next events frame straight into
+		// its columns. Only a FrameEvents result transfers ownership to
+		// IngestBatch; every other outcome returns the buffer.
+		eb := st.GetBatch()
+		fr, err := d.ReadFrameInto(eb)
 		if err != nil {
+			st.PutBatch(eb)
 			if errors.Is(err, io.EOF) {
 				return fmt.Errorf("%w: connection closed mid-stream", wire.ErrTruncated)
 			}
@@ -98,8 +104,9 @@ func (e *Engine) serveStream(d *wire.Deframer, f *wire.Framer, seq int) error {
 		}
 		switch fr.Type {
 		case wire.FrameEvents:
-			st.Ingest(fr.Events)
+			st.IngestBatch(eb)
 		case wire.FrameGoodbye:
+			st.PutBatch(eb)
 			closed = true
 			sample, serr := st.Close()
 			res := wire.Result{}
@@ -114,6 +121,7 @@ func (e *Engine) serveStream(d *wire.Deframer, f *wire.Framer, seq int) error {
 			}
 			return f.WriteResult(res)
 		default:
+			st.PutBatch(eb)
 			return fmt.Errorf("%w: unexpected %s frame inside a stream", wire.ErrBadFrame, fr.Type)
 		}
 	}

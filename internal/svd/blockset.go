@@ -102,6 +102,18 @@ func (s *blockSet) remove(b int64) {
 	}
 }
 
+// at returns the i-th member in the set's deterministic order,
+// 0 <= i < len(). Paired with len it gives closure-free iteration for
+// the violation-check hot path: a forEach callback capturing locals is
+// a heap allocation per call, which at one check per store dominated
+// the detector's steady-state allocation profile.
+func (s *blockSet) at(i int) int64 {
+	if s.spill != nil {
+		return s.order[i]
+	}
+	return s.inline[i]
+}
+
 // forEach visits members until f returns false, in the set's
 // deterministic order. f must not mutate the set it is iterating.
 func (s *blockSet) forEach(f func(b int64) bool) {

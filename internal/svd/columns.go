@@ -1,0 +1,59 @@
+package svd
+
+import "repro/internal/vm"
+
+// Columnar fast path. StepColumns consumes the struct-of-arrays batch
+// form (vm.EventBatch) that the wire decoder and the VM's columnar ring
+// produce, so the served ingest path never materializes []vm.Event.
+// Output is bit-identical to feeding the rows through Step one at a
+// time: the differential test in internal/report chops batches at
+// pathological boundaries and compares violations, witnesses, the
+// a-posteriori log and stats against the per-event path.
+
+// StepColumns processes one columnar batch (vm.ColumnObserver). The
+// batch is segmented into runs of same-thread events so the thread
+// instance lookup happens once per run rather than once per row; within
+// a run each row is materialized as a stack Event (Instr rebound from
+// the program) and fed through the same local/fanout pair as Step.
+func (d *Detector) StepColumns(eb *vm.EventBatch) {
+	code := d.prog.Code
+	shift := d.opts.BlockShift
+	n := eb.Len()
+	// One event materialized in place per row. The variable lives outside
+	// the loops so each iteration overwrites fields in the same stack slot
+	// instead of building a fresh struct through a temporary — at ~72
+	// bytes per Event the construct-and-copy showed up as a double-digit
+	// ns/event tax on the served ingest path.
+	var ev vm.Event
+	for i := 0; i < n; {
+		cpu := eb.CPU[i]
+		t := d.threads[cpu]
+		ev.CPU = int(cpu)
+		j := i + 1
+		for j < n && eb.CPU[j] == cpu {
+			j++
+		}
+		for k := i; k < j; k++ {
+			// Instructions advances per event, not per batch: observer
+			// timestamps (recorder events, CU birth times) are derived
+			// from it and must match the per-event path exactly.
+			d.stats.Instructions++
+			flags := eb.Flags[k]
+			pc := eb.PC[k]
+			ev.Seq = eb.Seq[k]
+			ev.PC = pc
+			ev.Instr = code[pc]
+			ev.Addr = eb.Addr[k]
+			ev.IsLoad = flags&vm.FlagLoad != 0
+			ev.IsStore = flags&vm.FlagStore != 0
+			ev.Loaded = eb.Loaded[k]
+			ev.Stored = eb.Stored[k]
+			ev.Taken = flags&vm.FlagTaken != 0
+			t.local(&ev)
+			if flags&(vm.FlagLoad|vm.FlagStore) != 0 {
+				d.fanout(&ev, ev.Addr>>shift)
+			}
+		}
+		i = j
+	}
+}

@@ -1,0 +1,150 @@
+package vm
+
+import "repro/internal/isa"
+
+// Columnar event batches. The array-of-structs []Event form costs ~80
+// bytes per dynamic instruction, most of it the embedded Instr that the
+// receiver can rebind from the program anyway. The struct-of-arrays
+// EventBatch carries the same information in parallel columns (~29
+// bytes/event), lets the wire decoder fill a reusable buffer without
+// materializing each Event, and lets the detectors walk runs of
+// same-thread events without re-deriving per-thread state per row.
+// DESIGN.md §11 describes the ownership and pooling model built on it.
+
+// Event flag bits, shared with the wire codec's per-event flags byte.
+const (
+	FlagLoad  uint8 = 1 << 0
+	FlagStore uint8 = 1 << 1
+	FlagTaken uint8 = 1 << 2
+)
+
+// EventBatch is one batch of dynamic instructions in columnar form. All
+// columns have equal length; row i of the batch is the i-th event in
+// execution order. Instr does not travel with the batch — consumers
+// rebind it from the program via PC, exactly like the wire decoder.
+type EventBatch struct {
+	Seq    []uint64
+	CPU    []int32
+	PC     []int64
+	Flags  []uint8 // FlagLoad | FlagStore | FlagTaken
+	Addr   []int64 // meaningful when FlagLoad or FlagStore
+	Loaded []int64 // meaningful when FlagLoad
+	Stored []int64 // meaningful when FlagStore
+}
+
+// NewEventBatch returns an empty batch with capacity for n events.
+func NewEventBatch(n int) *EventBatch {
+	b := &EventBatch{}
+	b.grow(n)
+	return b
+}
+
+func (b *EventBatch) grow(n int) {
+	if cap(b.Seq) >= n {
+		return
+	}
+	b.Seq = append(make([]uint64, 0, n), b.Seq...)
+	b.CPU = append(make([]int32, 0, n), b.CPU...)
+	b.PC = append(make([]int64, 0, n), b.PC...)
+	b.Flags = append(make([]uint8, 0, n), b.Flags...)
+	b.Addr = append(make([]int64, 0, n), b.Addr...)
+	b.Loaded = append(make([]int64, 0, n), b.Loaded...)
+	b.Stored = append(make([]int64, 0, n), b.Stored...)
+}
+
+// Len returns the number of events in the batch.
+func (b *EventBatch) Len() int { return len(b.Seq) }
+
+// Reset empties the batch, keeping the columns' backing arrays.
+func (b *EventBatch) Reset() {
+	b.Seq = b.Seq[:0]
+	b.CPU = b.CPU[:0]
+	b.PC = b.PC[:0]
+	b.Flags = b.Flags[:0]
+	b.Addr = b.Addr[:0]
+	b.Loaded = b.Loaded[:0]
+	b.Stored = b.Stored[:0]
+}
+
+// Append adds one event as a new row.
+func (b *EventBatch) Append(ev *Event) {
+	var flags uint8
+	if ev.IsLoad {
+		flags |= FlagLoad
+	}
+	if ev.IsStore {
+		flags |= FlagStore
+	}
+	if ev.Taken {
+		flags |= FlagTaken
+	}
+	b.AppendRaw(ev.Seq, int32(ev.CPU), ev.PC, flags, ev.Addr, ev.Loaded, ev.Stored)
+}
+
+// AppendRaw adds one row from already-columnar fields (the wire
+// decoder's fast path).
+func (b *EventBatch) AppendRaw(seq uint64, cpu int32, pc int64, flags uint8, addr, loaded, stored int64) {
+	b.Seq = append(b.Seq, seq)
+	b.CPU = append(b.CPU, cpu)
+	b.PC = append(b.PC, pc)
+	b.Flags = append(b.Flags, flags)
+	b.Addr = append(b.Addr, addr)
+	b.Loaded = append(b.Loaded, loaded)
+	b.Stored = append(b.Stored, stored)
+}
+
+// AppendEvents appends each batch row (rebinding Instr from code) and
+// appends it to dst, returning the extended slice.
+func (b *EventBatch) AppendEvents(dst []Event, code []isa.Instr) []Event {
+	for i := range b.Seq {
+		dst = append(dst, b.Row(i, code))
+	}
+	return dst
+}
+
+// Row materializes row i as an Event with Instr rebound from code. The
+// PC must be within code — batches decoded from the wire or produced by
+// a VM running the same program always are.
+func (b *EventBatch) Row(i int, code []isa.Instr) Event {
+	flags := b.Flags[i]
+	return Event{
+		Seq:     b.Seq[i],
+		CPU:     int(b.CPU[i]),
+		PC:      b.PC[i],
+		Instr:   code[b.PC[i]],
+		Addr:    b.Addr[i],
+		IsLoad:  flags&FlagLoad != 0,
+		IsStore: flags&FlagStore != 0,
+		Loaded:  b.Loaded[i],
+		Stored:  b.Stored[i],
+		Taken:   flags&FlagTaken != 0,
+	}
+}
+
+// CopyFrom replaces the batch's contents with src's, reusing the
+// receiver's backing arrays when capacity allows.
+func (b *EventBatch) CopyFrom(src *EventBatch) {
+	b.Seq = append(b.Seq[:0], src.Seq...)
+	b.CPU = append(b.CPU[:0], src.CPU...)
+	b.PC = append(b.PC[:0], src.PC...)
+	b.Flags = append(b.Flags[:0], src.Flags...)
+	b.Addr = append(b.Addr[:0], src.Addr...)
+	b.Loaded = append(b.Loaded[:0], src.Loaded...)
+	b.Stored = append(b.Stored[:0], src.Stored...)
+}
+
+// ColumnObserver receives the dynamic instruction stream as columnar
+// batches: the same events, in the same order and at the same flush
+// boundaries, as a BatchObserver sees — minus the pre-bound Instr,
+// which columnar consumers rebind from the program. The batch is the
+// machine's reused buffer; implementations must not retain it or its
+// columns across calls.
+type ColumnObserver interface {
+	StepColumns(eb *EventBatch)
+}
+
+// ColumnFunc adapts a function to ColumnObserver.
+type ColumnFunc func(eb *EventBatch)
+
+// StepColumns calls f(eb).
+func (f ColumnFunc) StepColumns(eb *EventBatch) { f(eb) }

@@ -210,6 +210,8 @@ type VM struct {
 	observers []Observer
 	batchObs  []BatchObserver
 	ring      []Event // pending events for batched observers
+	colObs    []ColumnObserver
+	cols      *EventBatch // pending events for columnar observers
 
 	ev Event // reused event buffer
 }
@@ -273,16 +275,34 @@ func (m *VM) AttachBatch(obs BatchObserver) {
 	m.batchObs = append(m.batchObs, obs)
 }
 
-// FlushBatch delivers any buffered events to the batched observers and
-// empties the ring.
+// AttachColumns registers a columnar observer: events accumulate in the
+// machine's columnar ring (the same capacity and flush boundaries as
+// AttachBatch's ring) and deliver as StepColumns calls. This is the
+// event form the wire decoder hands the detection service, so attaching
+// detectors this way makes an in-process run exercise the identical
+// consumer code.
+func (m *VM) AttachColumns(obs ColumnObserver) {
+	if m.cols == nil {
+		m.cols = NewEventBatch(m.cfg.BatchCap)
+	}
+	m.colObs = append(m.colObs, obs)
+}
+
+// FlushBatch delivers any buffered events to the batched and columnar
+// observers and empties the rings.
 func (m *VM) FlushBatch() {
-	if len(m.ring) == 0 {
-		return
+	if len(m.ring) > 0 {
+		for _, o := range m.batchObs {
+			o.StepBatch(m.ring)
+		}
+		m.ring = m.ring[:0]
 	}
-	for _, o := range m.batchObs {
-		o.StepBatch(m.ring)
+	if m.cols != nil && m.cols.Len() > 0 {
+		for _, o := range m.colObs {
+			o.StepColumns(m.cols)
+		}
+		m.cols.Reset()
 	}
-	m.ring = m.ring[:0]
 }
 
 // DetachAll removes all observers, delivering any buffered events first.
@@ -290,6 +310,7 @@ func (m *VM) DetachAll() {
 	m.FlushBatch()
 	m.observers = nil
 	m.batchObs = nil
+	m.colObs = nil
 }
 
 // Program returns the loaded program.
@@ -567,6 +588,12 @@ func (m *VM) Step() (bool, error) {
 	if m.batchObs != nil {
 		m.ring = append(m.ring, *ev)
 		if len(m.ring) == cap(m.ring) {
+			m.FlushBatch()
+		}
+	}
+	if m.colObs != nil {
+		m.cols.Append(ev)
+		if m.cols.Len() == m.cfg.BatchCap {
 			m.FlushBatch()
 		}
 	}

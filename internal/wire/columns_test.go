@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// mkJumpyBatch builds one adversarial synthetic batch: PC and address
+// deltas in both directions, negative values, CAS-shaped load+store
+// rows — the same shape TestEventsRandomRoundTrip uses.
+func mkJumpyBatch(rng *rand.Rand, codeLen int, threads, n int, seq *uint64) []vm.Event {
+	evs := make([]vm.Event, n)
+	for i := range evs {
+		*seq += uint64(rng.Intn(3) + 1)
+		evs[i] = vm.Event{
+			Seq:   *seq,
+			CPU:   rng.Intn(threads),
+			PC:    int64(rng.Intn(codeLen)),
+			Taken: rng.Intn(2) == 0,
+		}
+		switch rng.Intn(4) {
+		case 0:
+			evs[i].IsLoad = true
+			evs[i].Addr = rng.Int63n(1 << 40)
+			evs[i].Loaded = rng.Int63() - rng.Int63()
+		case 1:
+			evs[i].IsStore = true
+			evs[i].Addr = rng.Int63n(1 << 40)
+			evs[i].Stored = rng.Int63() - rng.Int63()
+		case 2:
+			evs[i].IsLoad, evs[i].IsStore = true, true
+			evs[i].Addr = rng.Int63n(1 << 40)
+			evs[i].Loaded = rng.Int63()
+			evs[i].Stored = -rng.Int63()
+		}
+	}
+	return evs
+}
+
+// TestWriteColumnsMatchesWriteEvents: the columnar encoder must produce
+// the exact bytes of the row encoder on equivalent input — the server
+// cannot tell which producer path a client used, so the formats must
+// never diverge.
+func TestWriteColumnsMatchesWriteEvents(t *testing.T) {
+	w, err := workloads.ByName("queue-fixed", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const threads = 8
+	var seq uint64
+
+	var rows, cols bytes.Buffer
+	fr := NewFramer(&rows, threads)
+	fc := NewFramer(&cols, threads)
+	eb := vm.NewEventBatch(0)
+	for i := 0; i < 40; i++ {
+		batch := mkJumpyBatch(rng, len(w.Prog.Code), threads, rng.Intn(100)+1, &seq)
+		if err := fr.WriteEvents(batch); err != nil {
+			t.Fatal(err)
+		}
+		eb.Reset()
+		for j := range batch {
+			eb.Append(&batch[j])
+		}
+		if err := fc.WriteColumns(eb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(rows.Bytes(), cols.Bytes()) {
+		t.Fatalf("columnar encoding differs from row encoding: %d vs %d bytes", rows.Len(), cols.Len())
+	}
+}
+
+// TestReadFrameIntoRoundTrip: decoding into a caller-supplied batch
+// must recover the same rows ReadFrame does, including across control
+// frames interleaved with events, and must leave the batch empty for
+// non-event frames.
+func TestReadFrameIntoRoundTrip(t *testing.T) {
+	w, err := workloads.ByName("queue-buggy", 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var seq uint64
+	var buf bytes.Buffer
+	f := NewFramer(&buf, w.NumThreads)
+	if err := f.WriteHello(Hello{Version: Version, Threads: w.NumThreads, Workload: w.Name}); err != nil {
+		t.Fatal(err)
+	}
+	var sent [][]vm.Event
+	for i := 0; i < 30; i++ {
+		b := mkJumpyBatch(rng, len(w.Prog.Code), w.NumThreads, rng.Intn(64)+1, &seq)
+		sent = append(sent, b)
+		if err := f.WriteEvents(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WriteGoodbye(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDeframer(&buf)
+	eb := vm.NewEventBatch(0)
+	fr, err := d.ReadFrameInto(eb)
+	if err != nil || fr.Type != FrameHello {
+		t.Fatalf("hello: %v type %v", err, fr.Type)
+	}
+	if eb.Len() != 0 {
+		t.Fatalf("batch not empty after control frame: %d rows", eb.Len())
+	}
+	d.SetProgram(w.Prog, fr.Hello.Threads)
+	var evs []vm.Event
+	for i, want := range sent {
+		fr, err := d.ReadFrameInto(eb)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if fr.Type != FrameEvents {
+			t.Fatalf("batch %d: type %v", i, fr.Type)
+		}
+		got := eb.AppendEvents(evs[:0], w.Prog.Code)
+		// The encoder did not carry Instr; rebind on the reference too.
+		for j := range want {
+			want[j].Instr = w.Prog.Code[want[j].PC]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch %d differs after columnar round trip", i)
+		}
+	}
+	fr, err = d.ReadFrameInto(eb)
+	if err != nil || fr.Type != FrameGoodbye || eb.Len() != 0 {
+		t.Fatalf("goodbye: %v type %v rows %d", err, fr.Type, eb.Len())
+	}
+	if _, err := d.ReadFrameInto(eb); err != io.EOF {
+		t.Fatalf("after goodbye: got %v, want io.EOF", err)
+	}
+}

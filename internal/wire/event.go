@@ -100,69 +100,126 @@ func (f *Framer) WriteEvents(evs []vm.Event) error {
 	return f.writeFrame(FrameEvents, f.buf)
 }
 
+// WriteColumns emits one event batch frame from columnar form,
+// producing bytes identical to WriteEvents on the equivalent rows. It
+// is the producer-side pair of the decoder's columnar fast path: a VM
+// emitting columnar batches (vm.AttachColumns) feeds them here without
+// ever materializing []vm.Event.
+func (f *Framer) WriteColumns(eb *vm.EventBatch) error {
+	f.buf = f.buf[:0]
+	b := bytes.NewBuffer(f.buf)
+	n := eb.Len()
+	putUvarint(b, uint64(n))
+	st := &f.enc.st
+	for i := 0; i < n; i++ {
+		cpu := int(eb.CPU[i])
+		if cpu < 0 || cpu >= len(st.lastPC) {
+			return fmt.Errorf("wire: event cpu %d outside the handshake's %d threads", cpu, len(st.lastPC))
+		}
+		seq := eb.Seq[i]
+		putUvarint(b, seq-st.lastSeq)
+		st.lastSeq = seq
+		putUvarint(b, uint64(cpu))
+		pc := eb.PC[i]
+		putVarint(b, pc-st.lastPC[cpu])
+		st.lastPC[cpu] = pc
+		flags := eb.Flags[i]
+		b.WriteByte(flags)
+		if flags&(vm.FlagLoad|vm.FlagStore) != 0 {
+			addr := eb.Addr[i]
+			putVarint(b, addr-st.lastAddr[cpu])
+			st.lastAddr[cpu] = addr
+		}
+		if flags&vm.FlagLoad != 0 {
+			putVarint(b, eb.Loaded[i])
+		}
+		if flags&vm.FlagStore != 0 {
+			putVarint(b, eb.Stored[i])
+		}
+	}
+	f.buf = b.Bytes()
+	return f.writeFrame(FrameEvents, f.buf)
+}
+
 type eventDecoder struct {
-	st  codecState
-	evs []vm.Event // reused batch buffer
+	st   codecState
+	evs  []vm.Event    // reused batch buffer (row-form ReadFrame)
+	cols vm.EventBatch // reused columnar buffer backing d.evs
 }
 
 func newEventDecoder(threads int) eventDecoder { return eventDecoder{st: newCodecState(threads)} }
 
-// decode parses one event batch payload, reconstructing Instr from prog.
-// The returned slice is the decoder's reused buffer. The count is
-// untrusted: capacity grows only as events actually decode, so a hostile
-// count cannot force an allocation beyond the frame's own size.
-func (d *eventDecoder) decode(payload []byte, prog *isa.Program) ([]vm.Event, error) {
+// decodeColumns parses one event batch payload directly into eb's
+// columns — the decode hot path, shared by ReadFrame and ReadFrameInto.
+// No per-event vm.Event is materialized and Instr is never copied; the
+// consumer rebinds it from the program (every decoded PC is validated
+// against prog.Code here). The count is untrusted: capacity grows only
+// as events actually decode, so a hostile count cannot force an
+// allocation beyond the frame's own size. On error eb's contents are
+// unspecified and the stream is no longer decodable (delta state has
+// advanced); sessions tear the stream down, which is the only sane
+// response to a malformed frame anyway.
+func (d *eventDecoder) decodeColumns(payload []byte, prog *isa.Program, eb *vm.EventBatch) error {
 	p := payloadReader{b: payload}
 	count := p.uvarint()
 	if p.err != nil {
-		return nil, p.err
+		return p.err
 	}
 	// Each event takes at least 4 payload bytes (dseq, cpu, dpc, flags).
 	if count > uint64(len(payload)) {
-		return nil, fmt.Errorf("%w: %d events in a %d-byte payload", ErrBadFrame, count, len(payload))
+		return fmt.Errorf("%w: %d events in a %d-byte payload", ErrBadFrame, count, len(payload))
 	}
-	d.evs = d.evs[:0]
+	eb.Reset()
 	st := &d.st
+	codeLen := int64(len(prog.Code))
 	for i := uint64(0); i < count; i++ {
-		var ev vm.Event
-		ev.Seq = st.lastSeq + p.uvarint()
+		seq := st.lastSeq + p.uvarint()
 		cpu := p.uvarint()
 		if p.err == nil && cpu >= uint64(len(st.lastPC)) {
-			return nil, fmt.Errorf("%w: event cpu %d outside the handshake's %d threads", ErrBadFrame, cpu, len(st.lastPC))
+			return fmt.Errorf("%w: event cpu %d outside the handshake's %d threads", ErrBadFrame, cpu, len(st.lastPC))
 		}
-		ev.CPU = int(cpu)
 		dpc := p.varint()
 		flags := p.byte()
 		if p.err != nil {
-			return nil, p.err
+			return p.err
 		}
-		st.lastSeq = ev.Seq
-		ev.PC = st.lastPC[ev.CPU] + dpc
-		st.lastPC[ev.CPU] = ev.PC
-		if ev.PC < 0 || ev.PC >= int64(len(prog.Code)) {
-			return nil, fmt.Errorf("%w: event pc %d outside program code [0,%d)", ErrBadFrame, ev.PC, len(prog.Code))
+		st.lastSeq = seq
+		pc := st.lastPC[cpu] + dpc
+		st.lastPC[cpu] = pc
+		if pc < 0 || pc >= codeLen {
+			return fmt.Errorf("%w: event pc %d outside program code [0,%d)", ErrBadFrame, pc, codeLen)
 		}
-		ev.Instr = prog.Code[ev.PC]
-		ev.IsLoad = flags&1 != 0
-		ev.IsStore = flags&2 != 0
-		ev.Taken = flags&4 != 0
-		if ev.IsLoad || ev.IsStore {
-			ev.Addr = st.lastAddr[ev.CPU] + p.varint()
-			st.lastAddr[ev.CPU] = ev.Addr
+		var addr, loaded, stored int64
+		if flags&(vm.FlagLoad|vm.FlagStore) != 0 {
+			addr = st.lastAddr[cpu] + p.varint()
+			st.lastAddr[cpu] = addr
 		}
-		if ev.IsLoad {
-			ev.Loaded = p.varint()
+		if flags&vm.FlagLoad != 0 {
+			loaded = p.varint()
 		}
-		if ev.IsStore {
-			ev.Stored = p.varint()
+		if flags&vm.FlagStore != 0 {
+			stored = p.varint()
 		}
 		if p.err != nil {
-			return nil, p.err
+			return p.err
 		}
-		d.evs = append(d.evs, ev)
+		eb.AppendRaw(seq, int32(cpu), pc, flags, addr, loaded, stored)
 	}
 	if p.rest() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes after %d events", ErrBadFrame, p.rest(), count)
+		return fmt.Errorf("%w: %d trailing bytes after %d events", ErrBadFrame, p.rest(), count)
 	}
+	return nil
+}
+
+// decode parses one event batch payload into row form, reconstructing
+// Instr from prog. The returned slice is the decoder's reused buffer.
+// It is the compatibility wrapper over decodeColumns for consumers of
+// Frame.Events; the served ingest path uses ReadFrameInto instead and
+// never materializes rows.
+func (d *eventDecoder) decode(payload []byte, prog *isa.Program) ([]vm.Event, error) {
+	if err := d.decodeColumns(payload, prog, &d.cols); err != nil {
+		return nil, err
+	}
+	d.evs = d.cols.AppendEvents(d.evs[:0], prog.Code)
 	return d.evs, nil
 }

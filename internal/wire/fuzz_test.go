@@ -55,6 +55,28 @@ func FuzzDeframe(f *testing.F) {
 	}
 	f.Add(withProg.Bytes())
 
+	// The same stream produced by the columnar encoder (byte-identical
+	// to the row encoder by construction — the seed is here so corpus
+	// mutation starts from frames that took the WriteColumns path too).
+	var goodCols bytes.Buffer
+	fc := NewFramer(&goodCols, w.NumThreads)
+	if err := fc.WriteHello(Hello{Version: Version, Threads: w.NumThreads, Workload: w.Name, Scale: 1, Seed: 9}); err != nil {
+		f.Fatal(err)
+	}
+	mc, err := w.NewVM(9)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mc.AttachColumns(vm.ColumnFunc(func(eb *vm.EventBatch) {
+		_ = fc.WriteColumns(eb)
+	}))
+	if _, err := mc.Run(4096); err != nil {
+		f.Fatal(err)
+	}
+	mc.FlushBatch()
+	_ = fc.WriteGoodbye()
+	f.Add(goodCols.Bytes())
+
 	// Truncations at every interesting boundary.
 	g := good.Bytes()
 	for _, cut := range []int{1, 3, 8, 9, 12, len(g) / 2, len(g) - 1} {
@@ -108,6 +130,90 @@ func FuzzDeframe(f *testing.F) {
 				}
 				if ev.PC < 0 || ev.PC >= int64(len(prog.Code)) {
 					t.Fatalf("decoded event with pc %d", ev.PC)
+				}
+			}
+		}
+		t.Fatalf("deframer did not terminate on %d bytes", len(data))
+	})
+}
+
+// FuzzDeframeColumns drives the columnar decode path (ReadFrameInto)
+// with arbitrary bytes. Beyond FuzzDeframe's properties — termination,
+// taxonomy-only errors, CPU/PC bounds — it checks the batch's structural
+// invariant: all columns the same length, whatever the input did. Seeds
+// add columnar-specific malformations: frames truncated inside an
+// event's column data, and a count claiming more events than decode.
+func FuzzDeframeColumns(f *testing.F) {
+	w, err := workloads.ByName("queue-fixed", 1, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	fr := NewFramer(&good, w.NumThreads)
+	if err := fr.WriteHello(Hello{Version: Version, Threads: w.NumThreads, Workload: w.Name, Scale: 1, Seed: 3}); err != nil {
+		f.Fatal(err)
+	}
+	m, err := w.NewVM(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m.AttachColumns(vm.ColumnFunc(func(eb *vm.EventBatch) {
+		_ = fr.WriteColumns(eb)
+	}))
+	if _, err := m.Run(4096); err != nil {
+		f.Fatal(err)
+	}
+	m.FlushBatch()
+	_ = fr.WriteGoodbye()
+	g := good.Bytes()
+	f.Add(g)
+	// Truncations inside event payloads: cut mid-column so flags promise
+	// varints the payload no longer carries.
+	for _, cut := range []int{len(g) / 4, len(g) / 2, len(g) - 2} {
+		if cut > 0 && cut < len(g) {
+			f.Add(g[:cut])
+		}
+	}
+	// Count inconsistent with the payload: claims 100 events, carries
+	// roughly two events' worth of bytes.
+	short := binary.AppendUvarint(nil, 100)
+	short = append(short, 1, 0, 2, 0, 1, 1, 2, 0) // a few plausible varints
+	frame := append([]byte(nil), Magic[:]...)
+	frame = append(frame, byte(FrameEvents))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(short)))
+	frame = append(frame, short...)
+	f.Add(frame)
+
+	prog := w.Prog
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDeframer(bytes.NewReader(data))
+		d.SetProgram(prog, w.NumThreads)
+		eb := vm.NewEventBatch(0)
+		for i := 0; i <= len(data); i++ {
+			frame, err := d.ReadFrameInto(eb)
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, ErrBadMagic) ||
+					errors.Is(err, ErrTruncated) || errors.Is(err, ErrVersionSkew) ||
+					errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrBadFrame) {
+					return
+				}
+				t.Fatalf("error outside the taxonomy: %v", err)
+			}
+			n := eb.Len()
+			if len(eb.CPU) != n || len(eb.PC) != n || len(eb.Flags) != n ||
+				len(eb.Addr) != n || len(eb.Loaded) != n || len(eb.Stored) != n {
+				t.Fatalf("ragged columns: seq %d cpu %d pc %d flags %d addr %d loaded %d stored %d",
+					n, len(eb.CPU), len(eb.PC), len(eb.Flags), len(eb.Addr), len(eb.Loaded), len(eb.Stored))
+			}
+			if frame.Type != FrameEvents && n != 0 {
+				t.Fatalf("control frame %v left %d rows in the batch", frame.Type, n)
+			}
+			for i := 0; i < n; i++ {
+				if eb.CPU[i] < 0 || int(eb.CPU[i]) >= w.NumThreads {
+					t.Fatalf("decoded row with cpu %d", eb.CPU[i])
+				}
+				if eb.PC[i] < 0 || eb.PC[i] >= int64(len(prog.Code)) {
+					t.Fatalf("decoded row with pc %d", eb.PC[i])
 				}
 			}
 		}

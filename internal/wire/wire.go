@@ -317,18 +317,16 @@ func (d *Deframer) SetProgram(p *isa.Program, threads int) {
 	d.dec = newEventDecoder(threads)
 }
 
-// ReadFrame reads and decodes the next frame. The returned Frame's
-// Events slice is owned by the Deframer and valid only until the next
-// call. io.EOF is returned untouched at a clean frame boundary.
-func (d *Deframer) ReadFrame() (Frame, error) {
+// readPayload reads the next frame header and payload into d.payload.
+func (d *Deframer) readPayload() (FrameType, error) {
 	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
 		if err == io.EOF {
-			return Frame{}, io.EOF
+			return 0, io.EOF
 		}
-		return Frame{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+		return 0, fmt.Errorf("%w: header: %v", ErrTruncated, err)
 	}
 	if [4]byte(d.hdr[:4]) != Magic {
-		return Frame{}, fmt.Errorf("%w: got % x", ErrBadMagic, d.hdr[:4])
+		return 0, fmt.Errorf("%w: got % x", ErrBadMagic, d.hdr[:4])
 	}
 	t := FrameType(d.hdr[4])
 	n := binary.LittleEndian.Uint32(d.hdr[5:])
@@ -337,23 +335,27 @@ func (d *Deframer) ReadFrame() (Frame, error) {
 		limit = MaxResultPayload
 	}
 	if int64(n) > int64(limit) {
-		return Frame{}, fmt.Errorf("%w: %s frame declares %d bytes", ErrFrameTooLarge, t, n)
+		return 0, fmt.Errorf("%w: %s frame declares %d bytes", ErrFrameTooLarge, t, n)
 	}
 	if cap(d.payload) < int(n) {
 		d.payload = make([]byte, n)
 	}
 	d.payload = d.payload[:n]
 	if _, err := io.ReadFull(d.r, d.payload); err != nil {
-		return Frame{}, fmt.Errorf("%w: %s payload: %v", ErrTruncated, t, err)
+		return 0, fmt.Errorf("%w: %s payload: %v", ErrTruncated, t, err)
 	}
-	switch t {
-	case FrameHello:
-		h, err := decodeHello(d.payload)
-		if err != nil {
-			return Frame{}, err
-		}
-		return Frame{Type: FrameHello, Hello: h}, nil
-	case FrameEvents:
+	return t, nil
+}
+
+// ReadFrame reads and decodes the next frame. The returned Frame's
+// Events slice is owned by the Deframer and valid only until the next
+// call. io.EOF is returned untouched at a clean frame boundary.
+func (d *Deframer) ReadFrame() (Frame, error) {
+	t, err := d.readPayload()
+	if err != nil {
+		return Frame{}, err
+	}
+	if t == FrameEvents {
 		if d.prog == nil {
 			return Frame{}, fmt.Errorf("%w: events before handshake", ErrBadFrame)
 		}
@@ -362,6 +364,43 @@ func (d *Deframer) ReadFrame() (Frame, error) {
 			return Frame{}, err
 		}
 		return Frame{Type: FrameEvents, Events: evs}, nil
+	}
+	return d.decodeControl(t)
+}
+
+// ReadFrameInto reads the next frame, decoding an Events frame's
+// payload directly into eb's columns — the served ingest path's form,
+// which never materializes per-event vm.Events. eb is reset first; on
+// an Events frame the returned Frame carries only the type and eb holds
+// the batch. Other frame types decode exactly as ReadFrame (eb stays
+// empty). On error eb's contents are unspecified.
+func (d *Deframer) ReadFrameInto(eb *vm.EventBatch) (Frame, error) {
+	eb.Reset()
+	t, err := d.readPayload()
+	if err != nil {
+		return Frame{}, err
+	}
+	if t == FrameEvents {
+		if d.prog == nil {
+			return Frame{}, fmt.Errorf("%w: events before handshake", ErrBadFrame)
+		}
+		if err := d.dec.decodeColumns(d.payload, d.prog, eb); err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameEvents}, nil
+	}
+	return d.decodeControl(t)
+}
+
+// decodeControl decodes the non-Events frame in d.payload.
+func (d *Deframer) decodeControl(t FrameType) (Frame, error) {
+	switch t {
+	case FrameHello:
+		h, err := decodeHello(d.payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameHello, Hello: h}, nil
 	case FrameGoodbye:
 		if len(d.payload) != 0 {
 			return Frame{}, fmt.Errorf("%w: goodbye with %d payload bytes", ErrBadFrame, len(d.payload))
