@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestColumnarDifferential|TestBatchChopping|TestWitness|TestExamineDeterministic|TestRunDeterministic|TestMergeSamplesClones|TestLoopback|TestEngineMatchesInProcess|TestShedPolicy|TestShutdownDrains' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/ ./internal/server/
+	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestColumnarDifferential|TestBatchChopping|TestWitness|TestExamineDeterministic|TestRunDeterministic|TestMergeSamplesClones|TestLoopback|TestEngineMatchesInProcess|TestShedPolicy|TestShutdownDrains|TestSnapshotDuringIngest|TestShedVisibleInSnapshot' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/ ./internal/server/
 
 vet:
 	$(GO) vet ./...
@@ -68,7 +68,7 @@ bench:
 BENCH_GUARD = $(GO) test -run NONE -bench 'BenchmarkHotPath(SVD|FRD)Step(Threads|Witness)?$$' -benchtime 2000000x -count 3 -benchmem .
 BENCH_GUARD_WIRE = $(GO) test -run NONE -bench 'BenchmarkWire(Encode|Decode|DecodeColumns)$$' -benchtime 200x -count 3 -benchmem .
 BENCH_GUARD_INGEST = $(GO) test -run NONE -bench 'BenchmarkServerIngest$$' -benchtime 5x -count 3 -benchmem .
-BENCH_GUARD_STEADY = $(GO) test -run NONE -bench 'BenchmarkServerIngestSteady$$' -benchtime 50x -count 3 -benchmem .
+BENCH_GUARD_STEADY = $(GO) test -run NONE -bench 'BenchmarkServerIngest(Steady|Telemetry)$$' -benchtime 50x -count 3 -benchmem .
 
 bench-guard:
 	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); $(BENCH_GUARD_STEADY); } | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json

@@ -31,6 +31,15 @@
 // that shows it. Benchmarks carrying a ceiling must be run with
 // -benchmem; the guard fails if the ceiling has nothing to check
 // against, because a silently unchecked bound is worse than none.
+//
+// An entry may also carry {"over": "BenchmarkOther", "ratio": R}: a
+// relative bound requiring this benchmark's ns/op to stay within R of
+// the named benchmark's measured ns/op in the SAME run (got <= other ×
+// (1+R)). Relative bounds express overhead budgets — "telemetry costs
+// at most 3% over the untelemetered path" — that absolute baselines
+// cannot, because both sides drift with the machine. The reference must
+// be measured in the same guard invocation; a missing reference fails,
+// same as an uncheckable ceiling.
 package main
 
 import (
@@ -69,6 +78,11 @@ type entry struct {
 	NS        float64  `json:"ns"`
 	Tolerance float64  `json:"tolerance,omitempty"`
 	Allocs    *float64 `json:"allocs,omitempty"`
+
+	// Over names another benchmark measured in the same run; Ratio is
+	// the allowed fractional overhead above it. Both travel together.
+	Over  string  `json:"over,omitempty"`
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
 func (e *entry) UnmarshalJSON(data []byte) error {
@@ -81,7 +95,7 @@ func (e *entry) UnmarshalJSON(data []byte) error {
 }
 
 func (e entry) MarshalJSON() ([]byte, error) {
-	if e.Tolerance == 0 && e.Allocs == nil {
+	if e.Tolerance == 0 && e.Allocs == nil && e.Over == "" {
 		return json.Marshal(e.NS)
 	}
 	type plain entry
@@ -154,12 +168,40 @@ func main() {
 				allocNote = fmt.Sprintf("  %.0f allocs/op (ceiling %.0f)", got.Allocs, *base.Allocs)
 			}
 		}
-		fmt.Printf("benchguard: %-48s %10.2f ns/op vs %10.2f baseline  %+6.1f%% (tol %2.0f%%)  %s%s\n",
-			name, got.NS, base.NS, ratio*100, tol*100, status, allocNote)
+		overNote, overOK, overRegressed := checkRelative(got, base, measured)
+		if !overOK {
+			failed = true
+		}
+		if overRegressed {
+			status = "REGRESSION"
+		}
+		fmt.Printf("benchguard: %-48s %10.2f ns/op vs %10.2f baseline  %+6.1f%% (tol %2.0f%%)  %s%s%s\n",
+			name, got.NS, base.NS, ratio*100, tol*100, status, allocNote, overNote)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchguard: hot path regressed beyond tolerance over %s\n", *baselinePath)
 		os.Exit(1)
+	}
+}
+
+// checkRelative applies an entry's over/ratio bound against the run's
+// own measurements. ok is false when the bound failed or could not be
+// checked; regressed marks the former (a real overshoot, not a missing
+// reference).
+func checkRelative(got measurement, base entry, measured map[string]measurement) (note string, ok, regressed bool) {
+	if base.Over == "" {
+		return "", true, false
+	}
+	ref, refOK := measured[base.Over]
+	switch {
+	case !refOK:
+		return fmt.Sprintf("  relative bound UNCHECKED (%s not in this run)", base.Over), false, false
+	case got.NS > ref.NS*(1+base.Ratio):
+		return fmt.Sprintf("  %+.1f%% over %s exceeds the %.0f%% budget",
+			(got.NS/ref.NS-1)*100, base.Over, base.Ratio*100), false, true
+	default:
+		return fmt.Sprintf("  %+.1f%% over %s (budget %.0f%%)",
+			(got.NS/ref.NS-1)*100, base.Over, base.Ratio*100), true, false
 	}
 }
 

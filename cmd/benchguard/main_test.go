@@ -67,3 +67,51 @@ func TestEntryRoundTrip(t *testing.T) {
 		t.Errorf("ceiling lost: %+v", c)
 	}
 }
+
+// TestEntryRelativeBound: over/ratio survive the round trip, and an
+// entry with only a relative bound still marshals as an object.
+func TestEntryRelativeBound(t *testing.T) {
+	ceiling := 0.0
+	in := map[string]entry{
+		"rel": {NS: 200, Allocs: &ceiling, Over: "BenchmarkBase", Ratio: 0.03},
+	}
+	data, err := marshalSorted(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	r := out["rel"]
+	if r.Over != "BenchmarkBase" || r.Ratio != 0.03 || r.Allocs == nil {
+		t.Errorf("relative bound lost in round trip: %+v", r)
+	}
+}
+
+// TestCheckRelative exercises the got-vs-reference bound the guard
+// applies: within budget passes, over budget regresses, and a missing
+// reference is a failure, not a silent skip.
+func TestCheckRelative(t *testing.T) {
+	base := entry{Over: "BenchmarkBase", Ratio: 0.03}
+	cases := []struct {
+		name          string
+		measured      map[string]measurement
+		wantOK        bool
+		wantRegressed bool
+	}{
+		{"within", map[string]measurement{"BenchmarkBase": {NS: 100}, "BenchmarkRel": {NS: 102}}, true, false},
+		{"exceeds", map[string]measurement{"BenchmarkBase": {NS: 100}, "BenchmarkRel": {NS: 104}}, false, true},
+		{"missing-ref", map[string]measurement{"BenchmarkRel": {NS: 102}}, false, false},
+	}
+	for _, tc := range cases {
+		note, ok, regressed := checkRelative(tc.measured["BenchmarkRel"], base, tc.measured)
+		if ok != tc.wantOK || regressed != tc.wantRegressed {
+			t.Errorf("%s: ok=%v regressed=%v (%s), want ok=%v regressed=%v",
+				tc.name, ok, regressed, note, tc.wantOK, tc.wantRegressed)
+		}
+	}
+	if note, ok, _ := checkRelative(measurement{NS: 5}, entry{}, nil); !ok || note != "" {
+		t.Errorf("entry without a bound must pass silently, got ok=%v note=%q", ok, note)
+	}
+}

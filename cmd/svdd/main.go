@@ -10,8 +10,9 @@
 // Usage:
 //
 //	svdd -listen :7077 -shards 4
-//	svdd -listen :7077 -http :7078          # /metrics, /report, /debug/pprof
+//	svdd -listen :7077 -http :7078          # /metrics, /statusz, /report, /debug/pprof
 //	svdd -listen :7077 -policy shed         # drop batches under overload
+//	svdd -listen :7077 -status-interval 10s # periodic status log line
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener closes, open
 // streams may finish until -drain-timeout expires, then the process
@@ -42,8 +43,10 @@ func main() {
 		shards       = flag.Int("shards", runtime.GOMAXPROCS(0), "detector worker count")
 		queue        = flag.Int("queue", 64, "per-shard pending-batch queue depth")
 		policyName   = flag.String("policy", "block", "overload policy: block (backpressure) or shed (drop and report)")
-		httpAddr     = flag.String("http", "", "address for the observability endpoint (empty = off): /metrics, /report, /debug/pprof")
+		httpAddr     = flag.String("http", "", "address for the observability endpoint (empty = off): /metrics, /statusz, /report, /debug/pprof")
 		scale        = flag.Int("scale", 1, "workload scale for streams that name a registry workload without one")
+		telemetry    = flag.Bool("telemetry", true, "per-batch ingest telemetry: shard latency histograms, busy fraction")
+		statusEvery  = flag.Duration("status-interval", 0, "log a status summary at this interval (0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for open streams")
 		logLevel     = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
 		logJSON      = flag.Bool("log-json", false, "log as JSON instead of text")
@@ -67,6 +70,7 @@ func main() {
 		Policy:     policy,
 		Scale:      *scale,
 		Obs:        sink,
+		Telemetry:  *telemetry,
 		Logger:     log,
 	})
 
@@ -79,8 +83,14 @@ func main() {
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
-		mux := obs.NewServeMux(sink, "svdd")
+		// Publish before the mux serves /debug/vars; an unpublished sink
+		// leaves the endpoint showing only the runtime's defaults.
+		sink.PublishExpvar("svdd")
+		// One /metrics page: the sink's detector families plus the
+		// engine's shard/stream service telemetry, single # EOF.
+		mux := obs.NewServeMux(sink, "svdd", eng.MetricsWriter())
 		mux.Handle("/report", eng.ReportHandler())
+		mux.Handle("/statusz", eng.StatuszHandler())
 		httpLn, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatal(log, "http listen", err)
@@ -92,6 +102,16 @@ func main() {
 			}
 		}()
 		log.Info("observability endpoint", "addr", httpLn.Addr().String())
+	}
+
+	if *statusEvery > 0 {
+		ticker := time.NewTicker(*statusEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				log.Info("status", eng.StatusSummary()...)
+			}
+		}()
 	}
 
 	// SIGINT/SIGTERM closes the listener; Serve returns once every

@@ -8,10 +8,17 @@
 //	svdload -addr localhost:7077 -workload queue-buggy -samples 8
 //	svdload -addr localhost:7077 -workload apache-buggy -rate 500000
 //	svdload -addr localhost:7077 -workload queue-buggy -verify
+//	svdload -addr localhost:7077 -workload queue-buggy -latency
 //
 // -verify re-runs every sample in-process and fails unless the served
 // report matches bit for bit — the live form of the loopback
 // differential test.
+//
+// -latency negotiates send stamps on every stream and prints the
+// client-observed wire-to-verdict distribution (p50/p90/p99 from the
+// server's per-stream histograms, merged across samples). Both flags
+// compose: a -verify -latency run proves the stamps change nothing in
+// the detection results while measuring them.
 package main
 
 import (
@@ -39,6 +46,7 @@ func main() {
 		witness     = flag.Bool("witness", false, "ask the server for violation witnesses")
 		embed       = flag.Bool("embed-program", false, "ship the program image in the handshake instead of naming the workload")
 		verify      = flag.Bool("verify", false, "re-run each sample in-process and require bit-identical reports")
+		latency     = flag.Bool("latency", false, "negotiate send stamps and report wire-to-verdict latency percentiles")
 		jsonOut     = flag.Bool("json", false, "print per-sample results as JSON")
 		logLevel    = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
 		showVersion = flag.Bool("version", false, "print version and exit")
@@ -53,6 +61,10 @@ func main() {
 	var totalEvents uint64
 	var totalElapsed time.Duration
 	violations, races := uint64(0), uint64(0)
+	// Latency histograms merge exactly (power-of-two buckets), so the
+	// aggregate percentiles are computed over every stamped batch of the
+	// whole run, not averaged per sample.
+	var latAgg obs.Histogram
 	start := time.Now()
 	for i := 0; i < *samples; i++ {
 		s := *seed + uint64(i)
@@ -73,6 +85,7 @@ func main() {
 			Rate:         *rate,
 			Scale:        *scale,
 			EmbedProgram: *embed,
+			Timestamps:   *latency,
 		})
 		conn.Close()
 		if err != nil {
@@ -83,6 +96,13 @@ func main() {
 		totalElapsed += stats.Elapsed
 		violations += got.SVDStats.Violations
 		races += got.FRDStats.Races
+		if *latency {
+			if stats.Latency == nil {
+				log.Error("server returned no latency report (svdd too old for timestamps?)", "seed", s)
+				os.Exit(1)
+			}
+			latAgg.Merge(&stats.Latency.WireToVerdictNs)
+		}
 
 		if *verify {
 			wLocal, err := workloads.ByName(*workload, *scale, s)
@@ -107,17 +127,32 @@ func main() {
 			js, _ := json.Marshal(got)
 			fmt.Println(string(js))
 		} else {
-			log.Info("sample",
+			kv := []any{
 				"workload", *workload, "seed", s,
 				"events", stats.Events,
 				"events_per_sec", fmt.Sprintf("%.0f", stats.EventsPerSec()),
 				"violations", got.SVDStats.Violations,
 				"races", got.FRDStats.Races,
-				"erroneous", got.Erroneous)
+				"erroneous", got.Erroneous,
+			}
+			if stats.Latency != nil {
+				sum := stats.Latency.Summary()
+				kv = append(kv,
+					"lat_batches", sum.Count,
+					"lat_p50", time.Duration(sum.P50).String(),
+					"lat_p99", time.Duration(sum.P99).String())
+			}
+			log.Info("sample", kv...)
 		}
 	}
 	wall := time.Since(start)
 	fmt.Printf("svdload: %d samples, %d events in %v wall (%.0f events/sec aggregate), %d violations, %d races\n",
 		*samples, totalEvents, wall.Round(time.Millisecond),
 		float64(totalEvents)/wall.Seconds(), violations, races)
+	if *latency {
+		sum := latAgg.Summarize()
+		fmt.Printf("svdload: wire-to-verdict latency over %d batches: p50 %v, p90 %v, p99 %v, max %v\n",
+			sum.Count, time.Duration(sum.P50), time.Duration(sum.P90),
+			time.Duration(sum.P99), time.Duration(sum.Max))
+	}
 }

@@ -56,13 +56,25 @@ type Server struct {
 
 // NewServeMux builds the endpoint's handler: /metrics serving the sink's
 // OpenMetrics exposition under ns, plus /debug/vars and /debug/pprof.
-// A nil sink serves 404 at /metrics and keeps the debug routes.
-func NewServeMux(sink *Sink, ns string) *http.ServeMux {
+// A nil sink (with no extra writers) serves 404 at /metrics and keeps
+// the debug routes.
+//
+// extra writers append additional metric families to the same /metrics
+// page — the ingestion engine's shard and stream telemetry rides here —
+// before the single # EOF terminator.
+func NewServeMux(sink *Sink, ns string, extra ...func(*OpenMetricsWriter)) *http.ServeMux {
 	mux := http.NewServeMux()
-	if sink != nil {
+	if sink != nil || len(extra) > 0 {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", OpenMetricsContentType)
-			_ = sink.WriteOpenMetrics(w, ns)
+			o := NewOpenMetricsWriter(w, ns)
+			if sink != nil {
+				sink.WriteFamilies(o)
+			}
+			for _, f := range extra {
+				f(o)
+			}
+			_ = o.EOF()
 		})
 	}
 	mux.Handle("/debug/vars", expvar.Handler())

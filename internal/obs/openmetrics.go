@@ -18,18 +18,114 @@ import (
 // negotiable down to the classic Prometheus text format by any scraper.
 const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
+// OpenMetricsWriter builds one exposition page incrementally: metric
+// families in any order, then exactly one EOF. It exists so packages
+// outside obs (the ingestion engine's shard and stream telemetry) can
+// append their own labeled families to the same scrape the sink's
+// detector metrics land on, without duplicating format rules — one
+// HELP/TYPE header per family, label-distinguished series under it,
+// cumulative le-buckets for histograms.
+type OpenMetricsWriter struct {
+	ew *errWriter
+	ns string
+}
+
+// NewOpenMetricsWriter starts an exposition under the namespace prefix
+// (every family is named ns_<name>). Call EOF exactly once at the end.
+func NewOpenMetricsWriter(w io.Writer, ns string) *OpenMetricsWriter {
+	return &OpenMetricsWriter{ew: &errWriter{w: w}, ns: ns}
+}
+
+// LabeledValue is one series of a labeled counter or gauge family.
+type LabeledValue struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// LabeledHistogram is one series of a labeled histogram family.
+type LabeledHistogram struct {
+	Labels map[string]string
+	Hist   *Histogram
+}
+
+// Counter emits a single-series counter family.
+func (o *OpenMetricsWriter) Counter(name, help string, v uint64) {
+	fmt.Fprintf(o.ew, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s_total %d\n",
+		o.ns, name, help, o.ns, name, o.ns, name, v)
+}
+
+// Gauge emits a single-series gauge family.
+func (o *OpenMetricsWriter) Gauge(name, help string, v float64) {
+	fmt.Fprintf(o.ew, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %g\n",
+		o.ns, name, help, o.ns, name, o.ns, name, v)
+}
+
+// CounterSeries emits one counter family with a label-distinguished
+// series per element, in the order given (callers sort for determinism).
+func (o *OpenMetricsWriter) CounterSeries(name, help string, series []LabeledValue) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(o.ew, "# HELP %s_%s %s\n# TYPE %s_%s counter\n", o.ns, name, help, o.ns, name)
+	for _, s := range series {
+		fmt.Fprintf(o.ew, "%s_%s_total%s %g\n", o.ns, name, bareLabels(s.Labels), s.Value)
+	}
+}
+
+// GaugeSeries emits one gauge family with a label-distinguished series
+// per element, in the order given.
+func (o *OpenMetricsWriter) GaugeSeries(name, help string, series []LabeledValue) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(o.ew, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n", o.ns, name, help, o.ns, name)
+	for _, s := range series {
+		fmt.Fprintf(o.ew, "%s_%s%s %g\n", o.ns, name, bareLabels(s.Labels), s.Value)
+	}
+}
+
+// Histogram emits a single-series histogram family.
+func (o *OpenMetricsWriter) Histogram(name, help string, h *Histogram) {
+	writeHistogram(o.ew, o.ns, name, help, h, nil)
+}
+
+// HistogramSeries emits one histogram family with a label-distinguished
+// series per element, in the order given — one shared HELP/TYPE header,
+// as the OpenMetrics spec requires.
+func (o *OpenMetricsWriter) HistogramSeries(name, help string, series []LabeledHistogram) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(o.ew, "# HELP %s_%s %s\n# TYPE %s_%s histogram\n", o.ns, name, help, o.ns, name)
+	for _, s := range series {
+		writeHistogramSeries(o.ew, o.ns, name, s.Hist, s.Labels)
+	}
+}
+
+// EOF terminates the exposition and reports the first write error.
+func (o *OpenMetricsWriter) EOF() error {
+	fmt.Fprint(o.ew, "# EOF\n")
+	return o.ew.err
+}
+
+// Err reports the first write error without terminating the exposition.
+func (o *OpenMetricsWriter) Err() error { return o.ew.err }
+
 // WriteOpenMetrics writes the metrics in OpenMetrics text format under the
 // given namespace prefix (e.g. "svd"). Series order is deterministic.
 func (m *Metrics) WriteOpenMetrics(w io.Writer, ns string) error {
-	ew := &errWriter{w: w}
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(ew, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s_total %d\n",
-			ns, name, help, ns, name, ns, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(ew, "# HELP %s_%s %s\n# TYPE %s_%s gauge\n%s_%s %g\n",
-			ns, name, help, ns, name, ns, name, v)
-	}
+	o := NewOpenMetricsWriter(w, ns)
+	m.WriteFamilies(o)
+	return o.EOF()
+}
+
+// WriteFamilies emits the metrics' families onto an in-progress
+// exposition, leaving the EOF to the caller — the hook that lets a
+// daemon's /metrics page interleave sink metrics with service telemetry.
+func (m *Metrics) WriteFamilies(o *OpenMetricsWriter) {
+	ew, ns := o.ew, o.ns
+	counter := o.Counter
+	gauge := o.Gauge
 
 	gauge("samples", "sample runs folded into this sink", float64(m.Samples))
 	counter("cu_creates", "computational units allocated", m.CUCreates)
@@ -66,9 +162,6 @@ func (m *Metrics) WriteOpenMetrics(w io.Writer, ns string) error {
 			writeHistogramSeries(ew, ns, "phase_ns", m.Phase[name], map[string]string{"phase": name})
 		}
 	}
-
-	fmt.Fprint(ew, "# EOF\n")
-	return ew.err
 }
 
 // writeHistogram emits one histogram as cumulative power-of-two buckets.
@@ -152,4 +245,11 @@ func (e *errWriter) Write(p []byte) (int, error) {
 func (s *Sink) WriteOpenMetrics(w io.Writer, ns string) error {
 	m := s.Metrics()
 	return m.WriteOpenMetrics(w, ns)
+}
+
+// WriteFamilies emits the sink's aggregated families onto an
+// in-progress exposition, leaving the EOF to the caller.
+func (s *Sink) WriteFamilies(o *OpenMetricsWriter) {
+	m := s.Metrics()
+	m.WriteFamilies(o)
 }

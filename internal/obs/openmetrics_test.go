@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -153,5 +154,118 @@ func TestServerServesOpenMetrics(t *testing.T) {
 	}
 	if !strings.HasSuffix(resp.body, "# EOF\n") {
 		t.Error("/metrics body must end with # EOF")
+	}
+}
+
+// TestOpenMetricsWriterLabeledFamilies pins the conformance rules for
+// the exported writer the engine's service telemetry rides on: one
+// HELP/TYPE header per family regardless of series count, counter
+// series named _total, cumulative le-buckets per labeled histogram
+// series, deterministic label order, and a single # EOF.
+func TestOpenMetricsWriterLabeledFamilies(t *testing.T) {
+	var b strings.Builder
+	o := NewOpenMetricsWriter(&b, "svdd")
+
+	o.CounterSeries("shard_events", "events per shard", []LabeledValue{
+		{Labels: map[string]string{"shard": "0"}, Value: 10},
+		{Labels: map[string]string{"shard": "1"}, Value: 20},
+	})
+	o.GaugeSeries("shard_busy", "busy fraction", []LabeledValue{
+		{Labels: map[string]string{"shard": "0"}, Value: 0.25},
+		{Labels: map[string]string{"shard": "1"}, Value: 0.5},
+	})
+	var h0, h1 Histogram
+	for _, v := range []uint64{1, 2, 3, 8} {
+		h0.Observe(v)
+	}
+	h1.Observe(100)
+	o.HistogramSeries("step_ns", "step latency", []LabeledHistogram{
+		{Labels: map[string]string{"shard": "0"}, Hist: &h0},
+		{Labels: map[string]string{"shard": "1"}, Hist: &h1},
+	})
+	// Multi-label series must render keys sorted, values quoted.
+	o.CounterSeries("stream_events", "events per stream", []LabeledValue{
+		{Labels: map[string]string{"workload": `q"x`, "stream": "3", "shard": "1"}, Value: 7},
+	})
+	// Empty series emit nothing — no headerless families, no orphan headers.
+	o.CounterSeries("never", "empty", nil)
+	o.GaugeSeries("never_g", "empty", nil)
+	o.HistogramSeries("never_h", "empty", nil)
+	if err := o.EOF(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP svdd_shard_events events per shard\n# TYPE svdd_shard_events counter\n",
+		`svdd_shard_events_total{shard="0"} 10`,
+		`svdd_shard_events_total{shard="1"} 20`,
+		`svdd_shard_busy{shard="0"} 0.25`,
+		`svdd_shard_busy{shard="1"} 0.5`,
+		"# TYPE svdd_step_ns histogram",
+		`svdd_step_ns_bucket{shard="0",le="1"} 1`,
+		`svdd_step_ns_bucket{shard="0",le="3"} 3`,
+		`svdd_step_ns_bucket{shard="0",le="15"} 4`,
+		`svdd_step_ns_bucket{shard="0",le="+Inf"} 4`,
+		`svdd_step_ns_sum{shard="0"} 14`,
+		`svdd_step_ns_count{shard="0"} 4`,
+		`svdd_step_ns_bucket{shard="1",le="+Inf"} 1`,
+		`svdd_stream_events_total{shard="1",stream="3",workload="q\"x"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	for _, family := range []string{
+		"# TYPE svdd_shard_events counter",
+		"# TYPE svdd_shard_busy gauge",
+		"# TYPE svdd_step_ns histogram",
+	} {
+		if got := strings.Count(out, family); got != 1 {
+			t.Errorf("family %q declared %d times, want 1", family, got)
+		}
+	}
+	if strings.Contains(out, "never") {
+		t.Errorf("empty series leaked a family header:\n%s", out)
+	}
+	if got := strings.Count(out, "# EOF"); got != 1 || !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition must end with exactly one # EOF (got %d)", got)
+	}
+}
+
+// TestServeMuxExtraWriters: extra families land on the same /metrics
+// page as the sink's, before the shared # EOF; and extras alone (nil
+// sink) still serve instead of 404ing.
+func TestServeMuxExtraWriters(t *testing.T) {
+	sink := NewSink(SinkOptions{})
+	r := sink.NewRecorder("s")
+	r.Violation(1, 0, 1, 2, 3)
+	r.Flush()
+
+	extra := func(o *OpenMetricsWriter) {
+		o.CounterSeries("shard_events", "events per shard", []LabeledValue{
+			{Labels: map[string]string{"shard": "0"}, Value: 5},
+		})
+	}
+
+	rr := httptest.NewRecorder()
+	NewServeMux(sink, "svd", extra).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	out := rr.Body.String()
+	sinkAt := strings.Index(out, "svd_violations_total 1")
+	extraAt := strings.Index(out, `svd_shard_events_total{shard="0"} 5`)
+	if sinkAt < 0 || extraAt < 0 {
+		t.Fatalf("/metrics page missing sink or extra families:\n%s", out)
+	}
+	if extraAt < sinkAt {
+		t.Errorf("extra families precede the sink's")
+	}
+	if got := strings.Count(out, "# EOF"); got != 1 || !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("combined page must end with exactly one # EOF (got %d)", got)
+	}
+
+	rr = httptest.NewRecorder()
+	NewServeMux(nil, "svd", extra).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "svd_shard_events_total") {
+		t.Errorf("extras without a sink: code %d body:\n%s", rr.Code, rr.Body.String())
 	}
 }

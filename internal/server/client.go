@@ -69,6 +69,12 @@ type ReplayOptions struct {
 	// the flag exists so the loopback differential can exercise both
 	// producer paths.
 	RowEncode bool
+
+	// Timestamps negotiates wire-to-verdict latency tracing: every
+	// Events frame carries a send stamp, and the Result comes back with
+	// the server's latency digest in ReplayStats.Latency. Needs a
+	// wire.Version >= 2 server.
+	Timestamps bool
 }
 
 // ReplayStats reports the achieved throughput of one stream.
@@ -76,6 +82,12 @@ type ReplayStats struct {
 	Events  uint64
 	Batches uint64
 	Elapsed time.Duration
+
+	// Latency is the server's wire-to-verdict digest for this stream,
+	// non-nil only when ReplayOptions.Timestamps was negotiated. The
+	// send stamps are this process's wall clock and the verdict stamps
+	// the server's, so cross-host numbers include clock skew.
+	Latency *LatencyReport
 }
 
 // EventsPerSec is the achieved replay rate.
@@ -103,12 +115,13 @@ func (c *Client) RunSample(w *workloads.Workload, seed uint64, opts ReplayOption
 		return nil, ReplayStats{}, err
 	}
 	h := wire.Hello{
-		Version:  wire.Version,
-		Threads:  w.NumThreads,
-		Workload: w.Name,
-		Scale:    opts.Scale,
-		Seed:     seed,
-		Witness:  opts.Witness,
+		Version:    wire.Version,
+		Threads:    w.NumThreads,
+		Workload:   w.Name,
+		Scale:      opts.Scale,
+		Seed:       seed,
+		Witness:    opts.Witness,
+		Timestamps: opts.Timestamps,
 	}
 	if opts.EmbedProgram {
 		h.Program = w.Prog
@@ -175,6 +188,13 @@ func (c *Client) RunSample(w *workloads.Workload, seed uint64, opts ReplayOption
 	}
 	switch fr.Type {
 	case wire.FrameResult:
+		if len(fr.Result.Latency) > 0 {
+			var lr LatencyReport
+			if err := json.Unmarshal(fr.Result.Latency, &lr); err != nil {
+				return nil, stats, fmt.Errorf("server/client: decode latency report: %w", err)
+			}
+			stats.Latency = &lr
+		}
 		if fr.Result.Err != "" {
 			return nil, stats, fmt.Errorf("server/client: server: %s", fr.Result.Err)
 		}

@@ -72,6 +72,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/frd"
 	"repro/internal/obs"
@@ -140,6 +141,14 @@ type Options struct {
 	// Obs collects detector telemetry across streams; nil disables it.
 	Obs *obs.Sink
 
+	// Telemetry enables the ingest path's own instrumentation: per-batch
+	// queue-wait/step clocks folded into per-shard histograms and the
+	// busy-fraction EWMA (telemetry.go). Off, the hot path takes no
+	// clock readings and shard stats stay zero; stream odometers and
+	// wire-to-verdict latency (driven by the peer's Timestamps
+	// negotiation, not this flag) still work.
+	Telemetry bool
+
 	// Logger receives operational events; nil means slog.Default().
 	Logger *slog.Logger
 }
@@ -171,8 +180,9 @@ type Counters struct {
 // OpenStream (or ServeConn / Serve for wire transport), stop with
 // Shutdown.
 type Engine struct {
-	opts   Options
-	shards []*shard
+	opts    Options
+	shards  []*shard
+	started time.Time
 
 	nextStream atomic.Uint64
 	streams    sync.WaitGroup // open streams
@@ -190,7 +200,8 @@ type Engine struct {
 	}
 
 	mu      sync.Mutex
-	samples []*report.Sample // completed stream reports, open-order
+	samples []*report.Sample   // completed stream reports, open-order
+	open    map[uint64]*Stream // registry behind Snapshot's stream table
 }
 
 // job is one unit of shard work. Exactly one of open/close/eb is set.
@@ -199,17 +210,28 @@ type job struct {
 	open  bool
 	close bool
 	eb    *vm.EventBatch // owned by the worker once enqueued; recycled after StepColumns
+
+	// sendNanos is the producer's wall-clock send stamp (0 when the
+	// stream did not negotiate timestamps); enq is the local enqueue
+	// time, taken only under Options.Telemetry.
+	sendNanos uint64
+	enq       time.Time
 }
 
 type shard struct {
-	id   int
-	jobs chan job
-	pool sync.Pool // *vm.EventBatch buffers (overflow beyond the per-stream rings)
+	id    int
+	jobs  chan job
+	pool  sync.Pool // *vm.EventBatch buffers (overflow beyond the per-stream rings)
+	stats shardStats
 }
 
 // New builds and starts the engine's shard workers.
 func New(opts Options) *Engine {
-	e := &Engine{opts: opts.withDefaults()}
+	e := &Engine{
+		opts:    opts.withDefaults(),
+		started: time.Now(),
+		open:    make(map[uint64]*Stream),
+	}
 	e.shards = make([]*shard, e.opts.Shards)
 	for i := range e.shards {
 		sh := &shard{id: i, jobs: make(chan job, e.opts.QueueDepth)}
@@ -257,6 +279,22 @@ type Stream struct {
 
 	shed    atomic.Uint64 // batches dropped under PolicyShed
 	aborted bool          // set before the close job when the producer died
+
+	// Telemetry odometers: written by the producing session, read by
+	// Engine.Snapshot through the atomics while the stream is live.
+	timestamps bool // the Hello negotiated send stamps
+	opened     time.Time
+	frames     atomic.Uint64
+	events     atomic.Uint64
+	wireBytes  atomic.Uint64
+	lastActive atomic.Int64 // wall clock of the last ingested batch
+
+	// lat is the stream's wire-to-verdict histogram. Only the owning
+	// shard worker touches it until the close job publishes it as
+	// latReport; the st.done close is the happens-before edge that lets
+	// Latency() read it afterwards.
+	lat       obs.Histogram
+	latReport *LatencyReport
 
 	done   chan struct{}
 	sample *report.Sample // set before done closes
@@ -308,16 +346,21 @@ func (e *Engine) OpenStream(h wire.Hello, key string) (*Stream, error) {
 	}
 	id := e.nextStream.Add(1) - 1
 	st := &Stream{
-		eng:     e,
-		sh:      e.route(key, id),
-		id:      id,
-		w:       w,
-		seed:    h.Seed,
-		witness: h.Witness,
-		done:    make(chan struct{}),
+		eng:        e,
+		sh:         e.route(key, id),
+		id:         id,
+		w:          w,
+		seed:       h.Seed,
+		witness:    h.Witness,
+		timestamps: h.Timestamps,
+		opened:     time.Now(),
+		done:       make(chan struct{}),
 	}
 	e.streams.Add(1)
 	e.counters.streamsOpened.Add(1)
+	e.mu.Lock()
+	e.open[id] = st
+	e.mu.Unlock()
 	// The open job cannot shed: losing it would orphan the stream.
 	st.sh.jobs <- job{st: st, open: true}
 	return st, nil
@@ -359,12 +402,24 @@ func (s *Stream) PutBatch(eb *vm.EventBatch) {
 // dropped (its buffer reclaimed) and the stream poisoned. An empty
 // batch is a no-op whose buffer is reclaimed immediately.
 func (s *Stream) IngestBatch(eb *vm.EventBatch) {
+	s.IngestBatchAt(eb, 0)
+}
+
+// IngestBatchAt is IngestBatch carrying the producer's wall-clock send
+// stamp (UnixNano; 0 for none). Sessions pass the stamp decoded from the
+// Events frame; the shard worker turns it into the stream's
+// wire-to-verdict latency observation.
+func (s *Stream) IngestBatchAt(eb *vm.EventBatch, sendNanos uint64) {
 	n := eb.Len()
 	if n == 0 {
 		s.PutBatch(eb)
 		return
 	}
-	j := job{st: s, eb: eb}
+	j := job{st: s, eb: eb, sendNanos: sendNanos}
+	if s.eng.opts.Telemetry {
+		j.enq = time.Now()
+		s.lastActive.Store(j.enq.UnixNano())
+	}
 	if s.eng.opts.Policy == PolicyShed {
 		select {
 		case s.sh.jobs <- j:
@@ -381,7 +436,21 @@ func (s *Stream) IngestBatch(eb *vm.EventBatch) {
 	}
 	s.eng.counters.batches.Add(1)
 	s.eng.counters.events.Add(uint64(n))
+	s.frames.Add(1)
+	s.events.Add(uint64(n))
 }
+
+// NoteWireBytes adds n to the stream's wire-byte odometer. Sessions call
+// it with the deframer's frame size after each decoded Events frame;
+// in-process producers have no wire bytes and never call it.
+func (s *Stream) NoteWireBytes(n int) {
+	s.wireBytes.Add(uint64(n))
+}
+
+// Latency returns the stream's wire-to-verdict latency report. It is
+// populated by the close job, so it must not be called before Close (or
+// Abort) returns; nil when the stream never carried a send stamp.
+func (s *Stream) Latency() *LatencyReport { return s.latReport }
 
 // Ingest feeds one row-form event batch. The slice is copied into a
 // borrowed columnar buffer before enqueueing (callers may reuse it
@@ -458,10 +527,16 @@ func (e *Engine) worker(sh *shard) {
 				st.err = fmt.Errorf("server: overloaded: shed %d batches of stream %d (results incomplete)", st.shed.Load(), st.id)
 			default:
 				st.sample = sample
-				e.mu.Lock()
-				e.samples = append(e.samples, sample)
-				e.mu.Unlock()
 			}
+			if st.lat.Count > 0 {
+				st.latReport = &LatencyReport{Batches: st.lat.Count, WireToVerdictNs: st.lat}
+			}
+			e.mu.Lock()
+			delete(e.open, st.id)
+			if st.sample != nil {
+				e.samples = append(e.samples, sample)
+			}
+			e.mu.Unlock()
 			// Free detector state before signaling: the stream handle
 			// may outlive the shard's interest in it.
 			st.sd, st.fd, st.rec = nil, nil, nil
@@ -469,11 +544,34 @@ func (e *Engine) worker(sh *shard) {
 			e.streams.Done()
 			close(st.done)
 		default:
+			// Telemetry clocks: Options.Telemetry feeds the shard stats,
+			// a send stamp feeds the stream's wire-to-verdict histogram;
+			// with neither, the steady-state path reads no clocks at all.
+			track := e.opts.Telemetry
+			stamped := j.sendNanos != 0
+			var t0 time.Time
+			if track || stamped {
+				t0 = time.Now()
+			}
 			st.sd.StepColumns(j.eb)
 			st.fd.StepColumns(j.eb)
+			n := j.eb.Len()
 			j.eb.Reset()
 			if !st.ring.push(j.eb) {
 				sh.pool.Put(j.eb)
+			}
+			if track || stamped {
+				t1 := time.Now()
+				var wire uint64
+				if stamped {
+					if d := t1.UnixNano() - int64(j.sendNanos); d > 0 {
+						wire = uint64(d)
+					}
+					st.lat.Observe(wire)
+				}
+				if track {
+					sh.stats.observe(j.enq, t0, t1, len(sh.jobs)+1, n, stamped, wire)
+				}
 			}
 		}
 	}
@@ -509,16 +607,34 @@ type Report struct {
 	Policy   string             `json:"policy"`
 	Counters Counters           `json:"counters"`
 	Merged   report.MergedStats `json:"merged"`
+
+	// Obs is the sink's aggregated detector telemetry — histogram
+	// summaries included — merged across streams from every shard. An
+	// earlier Report dropped it entirely, so /report showed counters
+	// while the unit-lifetime and footprint distributions the sink had
+	// collected were unreachable. Nil when the engine runs without a
+	// sink.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+
+	// Ingest is the live service snapshot: shard table, open-stream
+	// odometers, uptime.
+	Ingest Snapshot `json:"ingest"`
 }
 
 // Report builds the current query answer.
 func (e *Engine) Report() Report {
-	return Report{
+	r := Report{
 		Shards:   len(e.shards),
 		Policy:   e.opts.Policy.String(),
 		Counters: e.Counters(),
 		Merged:   report.MergeSamples(e.Samples()),
+		Ingest:   e.Snapshot(),
 	}
+	if e.opts.Obs != nil {
+		sn := e.opts.Obs.Snapshot()
+		r.Obs = &sn
+	}
+	return r
 }
 
 // ReportHandler serves the query surface as JSON — mounted on the

@@ -104,7 +104,8 @@ func (e *Engine) serveStream(d *wire.Deframer, f *wire.Framer, seq int) error {
 		}
 		switch fr.Type {
 		case wire.FrameEvents:
-			st.IngestBatch(eb)
+			st.NoteWireBytes(d.LastFrameBytes())
+			st.IngestBatchAt(eb, fr.SendNanos)
 		case wire.FrameGoodbye:
 			st.PutBatch(eb)
 			closed = true
@@ -118,6 +119,14 @@ func (e *Engine) serveStream(d *wire.Deframer, f *wire.Framer, seq int) error {
 					return fmt.Errorf("server: encode result: %w", err)
 				}
 				res.Sample = data
+			}
+			// A stream that negotiated timestamps gets its latency digest
+			// back alongside the sample, even when the sample is replaced
+			// by an error — latency of a shed stream is still meaningful.
+			if lr := st.Latency(); lr != nil {
+				if data, err := json.Marshal(lr); err == nil {
+					res.Latency = data
+				}
 			}
 			return f.WriteResult(res)
 		default:

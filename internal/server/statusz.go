@@ -1,0 +1,227 @@
+package server
+
+// /statusz: the human-facing half of the observability surface. /metrics
+// speaks OpenMetrics to scrapers and /report speaks JSON to tools; this
+// page answers the operator question "what is the daemon doing right
+// now" in one glance — shard table, hottest streams, latency
+// percentiles, overload — without anything to parse. ?format=text
+// serves the same snapshot as plain text for curl and the CI scrape.
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// statusTopK bounds the hottest-streams table; a daemon fed by a load
+// generator can have hundreds of open streams and the page is a glance,
+// not a dump (the full set is on /metrics).
+const statusTopK = 20
+
+// statuszData is the template's view of one snapshot.
+type statuszData struct {
+	Snapshot
+	Version   string
+	GoVersion string
+	Uptime    time.Duration
+	Shown     int // streams rendered (min(len(Streams), statusTopK))
+	Truncated int // open streams beyond the table
+}
+
+// fmtNs renders a nanosecond quantity human-first (µs/ms/s).
+func fmtNs(ns uint64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// fmtAge renders "how long ago" from a unix-nano stamp relative to the
+// snapshot time ("never" for zero — telemetry off or nothing ingested).
+func fmtAge(takenNs, ns int64) string {
+	if ns == 0 {
+		return "never"
+	}
+	d := time.Duration(takenNs - ns)
+	if d < 0 {
+		d = 0
+	}
+	return d.Round(time.Millisecond).String() + " ago"
+}
+
+var statuszTmpl = template.Must(template.New("statusz").Funcs(template.FuncMap{
+	"ns":  fmtNs,
+	"age": fmtAge,
+	"pct": func(f float64) string { return fmt.Sprintf("%.1f%%", f*100) },
+}).Parse(`<!DOCTYPE html>
+<html><head><title>svdd statusz</title>
+<style>
+body { font-family: monospace; margin: 1.5em; }
+table { border-collapse: collapse; margin: 0.5em 0 1.5em; }
+th, td { border: 1px solid #999; padding: 2px 8px; text-align: right; }
+th { background: #eee; }
+td.l, th.l { text-align: left; }
+.warn { color: #b00; font-weight: bold; }
+h2 { margin-bottom: 0.2em; }
+</style></head><body>
+<h1>svdd</h1>
+<p>version {{.Version}} · {{.GoVersion}} · up {{.Uptime}} · policy {{.Policy}} ·
+telemetry {{if .Telemetry}}on{{else}}off{{end}} ·
+{{len .Streams}} open stream(s)</p>
+
+<h2>Engine</h2>
+<table>
+<tr><th class="l">counter</th><th>value</th></tr>
+<tr><td class="l">streams opened</td><td>{{.Counters.StreamsOpened}}</td></tr>
+<tr><td class="l">streams closed</td><td>{{.Counters.StreamsClosed}}</td></tr>
+<tr><td class="l">batches</td><td>{{.Counters.Batches}}</td></tr>
+<tr><td class="l">events</td><td>{{.Counters.Events}}</td></tr>
+{{if .Counters.BatchesShed}}<tr class="warn"><td class="l">batches shed</td><td>{{.Counters.BatchesShed}}</td></tr>{{end}}
+{{if .Counters.StreamsShed}}<tr class="warn"><td class="l">streams shed</td><td>{{.Counters.StreamsShed}}</td></tr>{{end}}
+</table>
+
+<h2>Shards</h2>
+<table>
+<tr><th>shard</th><th>queue</th><th>hwm</th><th>busy</th><th>batches</th><th>events</th>
+<th>q-wait p50</th><th>q-wait p99</th><th>step p50</th><th>step p99</th>
+<th>wire p50</th><th>wire p99</th></tr>
+{{range .Shards}}
+<tr><td>{{.ID}}</td><td>{{.QueueLen}}/{{.QueueCap}}</td><td>{{.QueueHWM}}</td>
+<td>{{pct .Busy}}</td><td>{{.Batches}}</td><td>{{.Events}}</td>
+<td>{{ns .QueueWaitNs.P50}}</td><td>{{ns .QueueWaitNs.P99}}</td>
+<td>{{ns .StepNs.P50}}</td><td>{{ns .StepNs.P99}}</td>
+<td>{{ns .WireNs.P50}}</td><td>{{ns .WireNs.P99}}</td></tr>
+{{end}}
+</table>
+
+<h2>Hottest streams</h2>
+{{if .Streams}}
+<table>
+<tr><th>id</th><th class="l">workload</th><th>seed</th><th>shard</th>
+<th>frames</th><th>events</th><th>wire bytes</th><th>shed</th><th class="l">state</th><th class="l">last active</th></tr>
+{{$taken := .TakenUnixNano}}
+{{range $i, $s := .Streams}}{{if lt $i $.Shown}}
+<tr><td>{{$s.ID}}</td><td class="l">{{$s.Workload}}</td><td>{{$s.Seed}}</td><td>{{$s.Shard}}</td>
+<td>{{$s.Frames}}</td><td>{{$s.Events}}</td><td>{{$s.WireBytes}}</td>
+<td>{{$s.Shed}}</td>
+<td class="l">{{if $s.Poisoned}}<span class="warn">poisoned</span>{{else}}ok{{end}}</td>
+<td class="l">{{age $taken $s.LastActiveUnixNano}}</td></tr>
+{{end}}{{end}}
+</table>
+{{if .Truncated}}<p>… and {{.Truncated}} more open stream(s); see /metrics for all.</p>{{end}}
+{{else}}<p>no open streams</p>{{end}}
+
+<p><a href="/metrics">/metrics</a> · <a href="/report">/report</a> ·
+<a href="/statusz?format=text">text</a> · <a href="/debug/pprof/">pprof</a> ·
+<a href="/debug/vars">expvar</a></p>
+</body></html>
+`))
+
+// buildVersion reports the module version baked into the binary, "devel"
+// when built from a working tree.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// statusz builds the template view from a fresh snapshot.
+func (e *Engine) statusz() statuszData {
+	d := statuszData{
+		Snapshot:  e.Snapshot(),
+		Version:   buildVersion(),
+		GoVersion: runtime.Version(),
+	}
+	d.Uptime = time.Duration(d.UptimeSeconds * float64(time.Second)).Round(time.Second)
+	d.Shown = len(d.Streams)
+	if d.Shown > statusTopK {
+		d.Truncated = d.Shown - statusTopK
+		d.Shown = statusTopK
+	}
+	return d
+}
+
+// WriteStatusText renders the snapshot as plain text — the ?format=text
+// body, also reused by svdd's periodic status log when it wants a full
+// dump. One line per shard and stream, stable key=value tokens, so a
+// grep in CI can assert on it without an HTML parser.
+func (e *Engine) WriteStatusText(w io.Writer) {
+	d := e.statusz()
+	fmt.Fprintf(w, "svdd version=%s go=%s uptime=%s policy=%s telemetry=%v open_streams=%d\n",
+		d.Version, d.GoVersion, d.Uptime, d.Policy, d.Telemetry, len(d.Streams))
+	c := d.Counters
+	fmt.Fprintf(w, "counters opened=%d closed=%d batches=%d events=%d batches_shed=%d streams_shed=%d\n",
+		c.StreamsOpened, c.StreamsClosed, c.Batches, c.Events, c.BatchesShed, c.StreamsShed)
+	for _, s := range d.Shards {
+		fmt.Fprintf(w, "shard id=%d queue=%d/%d hwm=%d busy=%.3f batches=%d events=%d qwait_p50=%s qwait_p99=%s step_p50=%s step_p99=%s wire_p50=%s wire_p99=%s\n",
+			s.ID, s.QueueLen, s.QueueCap, s.QueueHWM, s.Busy, s.Batches, s.Events,
+			fmtNs(s.QueueWaitNs.P50), fmtNs(s.QueueWaitNs.P99),
+			fmtNs(s.StepNs.P50), fmtNs(s.StepNs.P99),
+			fmtNs(s.WireNs.P50), fmtNs(s.WireNs.P99))
+	}
+	for i, s := range d.Streams {
+		if i == d.Shown {
+			fmt.Fprintf(w, "streams_truncated count=%d\n", d.Truncated)
+			break
+		}
+		state := "ok"
+		if s.Poisoned {
+			state = "poisoned"
+		}
+		fmt.Fprintf(w, "stream id=%d workload=%q seed=%d shard=%d frames=%d events=%d wire_bytes=%d shed=%d state=%s last_active=%q\n",
+			s.ID, s.Workload, s.Seed, s.Shard, s.Frames, s.Events, s.WireBytes, s.Shed,
+			state, fmtAge(d.TakenUnixNano, s.LastActiveUnixNano))
+	}
+}
+
+// StatuszHandler serves the live status page. Workload names come off
+// the wire from untrusted peers, so the HTML path goes through
+// html/template's contextual escaping rather than string pasting.
+func (e *Engine) StatuszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			e.WriteStatusText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = statuszTmpl.Execute(w, e.statusz())
+	})
+}
+
+// StatusSummary is one compact status line for the periodic slog ticker:
+// engine counters plus queue/latency highlights, cheap enough to log
+// every few seconds.
+func (e *Engine) StatusSummary() []any {
+	sn := e.Snapshot()
+	var depth, hwm int
+	var busy float64
+	var wire obs.Summary
+	for i, s := range sn.Shards {
+		depth += s.QueueLen
+		if s.QueueHWM > hwm {
+			hwm = s.QueueHWM
+		}
+		if s.Busy > busy {
+			busy = s.Busy
+		}
+		if i == 0 || s.WireNs.P99 > wire.P99 {
+			wire = s.WireNs
+		}
+	}
+	return []any{
+		"open", len(sn.Streams),
+		"opened", sn.Counters.StreamsOpened,
+		"closed", sn.Counters.StreamsClosed,
+		"events", sn.Counters.Events,
+		"shed", sn.Counters.BatchesShed,
+		"queue", depth,
+		"queue_hwm", hwm,
+		"busy", fmt.Sprintf("%.2f", busy),
+		"wire_p99", fmtNs(wire.P99),
+	}
+}

@@ -58,10 +58,16 @@ func newEventEncoder(threads int) eventEncoder { return eventEncoder{st: newCode
 
 // WriteEvents emits one event batch frame. Events must be in execution
 // order (monotonic Seq) and CPU must be within the handshake's thread
-// count — both hold for batches delivered by vm.BatchObserver.
+// count — both hold for batches delivered by vm.BatchObserver. On a
+// stream whose Hello negotiated Timestamps the payload opens with the
+// send stamp (wall-clock nanos), the first half of the wire-to-verdict
+// latency measurement.
 func (f *Framer) WriteEvents(evs []vm.Event) error {
 	f.buf = f.buf[:0]
 	b := bytes.NewBuffer(f.buf)
+	if f.timestamps {
+		putUvarint(b, uint64(f.now()))
+	}
 	putUvarint(b, uint64(len(evs)))
 	st := &f.enc.st
 	for i := range evs {
@@ -108,6 +114,9 @@ func (f *Framer) WriteEvents(evs []vm.Event) error {
 func (f *Framer) WriteColumns(eb *vm.EventBatch) error {
 	f.buf = f.buf[:0]
 	b := bytes.NewBuffer(f.buf)
+	if f.timestamps {
+		putUvarint(b, uint64(f.now()))
+	}
 	n := eb.Len()
 	putUvarint(b, uint64(n))
 	st := &f.enc.st

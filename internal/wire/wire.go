@@ -40,14 +40,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/isa"
 	"repro/internal/vm"
 )
 
 // Version is the protocol version this package speaks. A Deframer
-// rejects Hello frames with a different major version via ErrVersionSkew.
-const Version = 1
+// accepts Hello frames from MinVersion through Version and rejects
+// anything else via ErrVersionSkew.
+//
+// Version 2 adds the ingest-latency handshake: a Hello may set the
+// Timestamps flag, after which every Events frame opens with the
+// sender's wall-clock send time. Version-1 peers never set the flag and
+// never see the field, so they interoperate unchanged.
+const Version = 2
+
+// MinVersion is the oldest protocol version this build still accepts.
+const MinVersion = 1
 
 // Magic opens every frame.
 var Magic = [4]byte{'S', 'V', 'D', 'W'}
@@ -161,6 +171,13 @@ type Hello struct {
 	// flight recorder on, so the Result carries witnesses.
 	Witness bool
 
+	// Timestamps declares that every Events frame of this stream opens
+	// with the sender's send time (wall-clock nanoseconds), letting the
+	// receiver measure wire-to-verdict latency and echo a latency digest
+	// in the Result. Requires Version >= 2; version-1 peers never set it
+	// and are unaffected.
+	Timestamps bool
+
 	// Program optionally embeds the program image for streams the
 	// server cannot rebuild from its registry. Nil when Workload names
 	// a registry entry.
@@ -170,9 +187,15 @@ type Hello struct {
 // Result is the stream's detection report frame: the report JSON plus a
 // terminal error string (empty on success). Err is transport-level
 // ("overloaded: shed 12 batches"), not a detection outcome.
+//
+// Latency is an optional JSON digest of the stream's ingest latency
+// (the server.LatencyReport shape), present only when the stream's
+// Hello negotiated Timestamps — so a version-1 peer never sees the
+// trailing field and decodes the frame exactly as before.
 type Result struct {
-	Sample []byte // report.Sample JSON
-	Err    string
+	Sample  []byte // report.Sample JSON
+	Err     string
+	Latency []byte // server.LatencyReport JSON, nil without Timestamps
 }
 
 // Framer writes frames to one stream. Not safe for concurrent use; its
@@ -182,13 +205,20 @@ type Framer struct {
 	w   io.Writer
 	buf []byte
 	enc eventEncoder
+
+	// timestamps mirrors the last WriteHello's Timestamps flag: when
+	// set, every Events frame opens with now()'s send stamp.
+	timestamps bool
+	now        func() int64 // wall-clock nanos; swappable for tests
 }
 
 // NewFramer builds a Framer over w. threads sizes the event encoder's
 // per-thread delta state (use the Hello's Threads).
 func NewFramer(w io.Writer, threads int) *Framer {
-	return &Framer{w: w, enc: newEventEncoder(threads)}
+	return &Framer{w: w, enc: newEventEncoder(threads), now: unixNanoNow}
 }
+
+func unixNanoNow() int64 { return time.Now().UnixNano() }
 
 // Reset rebinds the framer to a new stream, clearing delta state.
 func (f *Framer) Reset(threads int) {
@@ -231,6 +261,9 @@ func (f *Framer) WriteHello(h Hello) error {
 	if h.Program != nil {
 		flags |= 2
 	}
+	if h.Timestamps {
+		flags |= 4
+	}
 	b.WriteByte(flags)
 	if h.Program != nil {
 		var img bytes.Buffer
@@ -242,19 +275,27 @@ func (f *Framer) WriteHello(h Hello) error {
 	}
 	f.buf = b.Bytes()
 	f.Reset(h.Threads)
+	f.timestamps = h.Timestamps
 	return f.writeFrame(FrameHello, f.buf)
 }
 
 // WriteGoodbye emits the end-of-stream frame.
 func (f *Framer) WriteGoodbye() error { return f.writeFrame(FrameGoodbye, nil) }
 
-// WriteResult emits a result frame.
+// WriteResult emits a result frame. The latency digest rides as a
+// trailing optional section: emitted only when present, which keeps the
+// payload byte-identical to the version-1 form for streams that never
+// negotiated timestamps.
 func (f *Framer) WriteResult(r Result) error {
 	f.buf = f.buf[:0]
 	b := bytes.NewBuffer(f.buf)
 	putString(b, r.Err)
 	putUvarint(b, uint64(len(r.Sample)))
 	b.Write(r.Sample)
+	if len(r.Latency) > 0 {
+		putUvarint(b, uint64(len(r.Latency)))
+		b.Write(r.Latency)
+	}
 	f.buf = b.Bytes()
 	return f.writeFrame(FrameResult, f.buf)
 }
@@ -276,6 +317,11 @@ type Frame struct {
 	Events []vm.Event // FrameEvents
 	Result Result     // FrameResult
 	Errmsg string     // FrameError
+
+	// SendNanos is the producer's send stamp (wall-clock nanoseconds)
+	// carried by an Events frame on a stream whose Hello negotiated
+	// Timestamps; zero otherwise.
+	SendNanos uint64
 }
 
 // Deframer reads frames from one stream. Not safe for concurrent use.
@@ -298,7 +344,20 @@ type Deframer struct {
 	// Only the client side (which asked for a report) opts in; ingest
 	// deframers keep every frame under MaxFramePayload.
 	largeResults bool
+
+	// timestamps mirrors the last decoded Hello's Timestamps flag: when
+	// set, Events frames open with a send stamp.
+	timestamps bool
+
+	// lastFrameBytes is the wire size (header + payload) of the last
+	// frame readPayload consumed, for per-stream byte accounting.
+	lastFrameBytes int
 }
+
+// LastFrameBytes reports the wire size (9-byte header plus payload) of
+// the most recently read frame — the session layer's per-stream byte
+// odometer.
+func (d *Deframer) LastFrameBytes() int { return d.lastFrameBytes }
 
 // ExpectResults permits Result frames up to MaxResultPayload. Call it
 // on the consumer side of the protocol before reading a report.
@@ -344,7 +403,22 @@ func (d *Deframer) readPayload() (FrameType, error) {
 	if _, err := io.ReadFull(d.r, d.payload); err != nil {
 		return 0, fmt.Errorf("%w: %s payload: %v", ErrTruncated, t, err)
 	}
+	d.lastFrameBytes = len(d.hdr) + int(n)
 	return t, nil
+}
+
+// eventsPayload strips the optional send stamp off an Events payload,
+// returning the delta-coded remainder. The stamp is present exactly
+// when the stream's Hello negotiated Timestamps.
+func (d *Deframer) eventsPayload() (rest []byte, sendNanos uint64, err error) {
+	if !d.timestamps {
+		return d.payload, 0, nil
+	}
+	v, n := binary.Uvarint(d.payload)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: truncated send stamp on events frame", ErrBadFrame)
+	}
+	return d.payload[n:], v, nil
 }
 
 // ReadFrame reads and decodes the next frame. The returned Frame's
@@ -359,11 +433,15 @@ func (d *Deframer) ReadFrame() (Frame, error) {
 		if d.prog == nil {
 			return Frame{}, fmt.Errorf("%w: events before handshake", ErrBadFrame)
 		}
-		evs, err := d.dec.decode(d.payload, d.prog)
+		payload, sendNanos, err := d.eventsPayload()
 		if err != nil {
 			return Frame{}, err
 		}
-		return Frame{Type: FrameEvents, Events: evs}, nil
+		evs, err := d.dec.decode(payload, d.prog)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameEvents, Events: evs, SendNanos: sendNanos}, nil
 	}
 	return d.decodeControl(t)
 }
@@ -384,10 +462,14 @@ func (d *Deframer) ReadFrameInto(eb *vm.EventBatch) (Frame, error) {
 		if d.prog == nil {
 			return Frame{}, fmt.Errorf("%w: events before handshake", ErrBadFrame)
 		}
-		if err := d.dec.decodeColumns(d.payload, d.prog, eb); err != nil {
+		payload, sendNanos, err := d.eventsPayload()
+		if err != nil {
 			return Frame{}, err
 		}
-		return Frame{Type: FrameEvents}, nil
+		if err := d.dec.decodeColumns(payload, d.prog, eb); err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameEvents, SendNanos: sendNanos}, nil
 	}
 	return d.decodeControl(t)
 }
@@ -400,6 +482,9 @@ func (d *Deframer) decodeControl(t FrameType) (Frame, error) {
 		if err != nil {
 			return Frame{}, err
 		}
+		// The handshake governs this stream's Events framing: remember
+		// whether send stamps are coming.
+		d.timestamps = h.Timestamps
 		return Frame{Type: FrameHello, Hello: h}, nil
 	case FrameGoodbye:
 		if len(d.payload) != 0 {
@@ -437,8 +522,8 @@ func decodeHello(payload []byte) (Hello, error) {
 	if p.err != nil {
 		return Hello{}, p.err
 	}
-	if h.Version != Version {
-		return Hello{}, fmt.Errorf("%w: peer speaks version %d, this build speaks %d", ErrVersionSkew, h.Version, Version)
+	if h.Version < MinVersion || h.Version > Version {
+		return Hello{}, fmt.Errorf("%w: peer speaks version %d, this build speaks %d..%d", ErrVersionSkew, h.Version, MinVersion, Version)
 	}
 	// A hostile thread count would size decoder state and detectors;
 	// cap it at the 64-thread ceiling the detectors' bitsets assume.
@@ -446,6 +531,10 @@ func decodeHello(payload []byte) (Hello, error) {
 		return Hello{}, fmt.Errorf("%w: thread count %d outside [1,64]", ErrBadFrame, h.Threads)
 	}
 	h.Witness = flags&1 != 0
+	h.Timestamps = flags&4 != 0
+	if h.Timestamps && h.Version < 2 {
+		return Hello{}, fmt.Errorf("%w: timestamps flag set on a version-%d hello (needs version 2)", ErrBadFrame, h.Version)
+	}
 	if flags&2 != 0 {
 		imgLen := p.uvarint()
 		img := p.bytes(int(imgLen))
@@ -464,7 +553,9 @@ func decodeHello(payload []byte) (Hello, error) {
 	return h, nil
 }
 
-// decodeResult parses a Result payload.
+// decodeResult parses a Result payload. The latency digest is an
+// optional trailing section (present only on timestamp-negotiated
+// streams), so version-1 payloads decode exactly as before.
 func decodeResult(payload []byte) (Result, error) {
 	p := payloadReader{b: payload}
 	var r Result
@@ -474,12 +565,23 @@ func decodeResult(payload []byte) (Result, error) {
 	if p.err != nil {
 		return Result{}, p.err
 	}
+	var lat []byte
 	if p.rest() != 0 {
-		return Result{}, fmt.Errorf("%w: %d trailing bytes after result", ErrBadFrame, p.rest())
+		ln := p.uvarint()
+		lat = p.bytes(int(ln))
+		if p.err != nil {
+			return Result{}, p.err
+		}
+		if p.rest() != 0 {
+			return Result{}, fmt.Errorf("%w: %d trailing bytes after result", ErrBadFrame, p.rest())
+		}
 	}
 	// The sample aliases the deframer's payload buffer; copy so the
 	// caller can hold it across frames.
 	r.Sample = append([]byte(nil), sample...)
+	if lat != nil {
+		r.Latency = append([]byte(nil), lat...)
+	}
 	return r, nil
 }
 

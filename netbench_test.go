@@ -331,3 +331,59 @@ func BenchmarkServerIngestSteady(b *testing.B) {
 		b.ReportMetric(total/el, "events/sec")
 	}
 }
+
+// BenchmarkServerIngestTelemetry is BenchmarkServerIngestSteady with the
+// full observability cost switched on: Options.Telemetry (per-batch
+// clocks, shard histogram fold) plus a send stamp on every batch (the
+// wire-to-verdict observation a timestamps-negotiated stream incurs).
+// The bench-guard baseline bounds it relative to the steady benchmark —
+// telemetry must stay within a few percent of the untelemetered path —
+// and pins the same zero allocs/op ceiling, so the instrumentation can
+// never buy observability with allocation.
+func BenchmarkServerIngestTelemetry(b *testing.B) {
+	w, batches, events := recordColumns(b, "queue-fixed", 1)
+	h := wire.Hello{Version: wire.Version, Threads: w.NumThreads, Workload: w.Name, Scale: 1, Seed: 1}
+	e := server.New(server.Options{
+		Shards: 1, QueueDepth: 24,
+		Telemetry: true,
+		SVD:       svd.Options{MaxViolations: 256},
+		FRD:       frd.Options{MaxRaces: 256},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	st, err := e.OpenStream(h, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay := func() {
+		for _, src := range batches {
+			eb := st.GetBatch()
+			eb.CopyFrom(src)
+			st.IngestBatchAt(eb, uint64(time.Now().UnixNano()))
+		}
+	}
+	replay() // warm detector state, ring, pool, and histograms
+	if drain, err := e.OpenStream(h, ""); err != nil {
+		b.Fatal(err)
+	} else if _, err := drain.Close(); err != nil {
+		b.Error(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay()
+	}
+	b.StopTimer()
+	if _, err := st.Close(); err != nil {
+		b.Error(err)
+	}
+	total := float64(events) * float64(b.N)
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(total/el, "events/sec")
+	}
+}
