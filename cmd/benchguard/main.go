@@ -32,6 +32,16 @@
 // -benchmem; the guard fails if the ceiling has nothing to check
 // against, because a silently unchecked bound is worse than none.
 //
+// An entry may also carry {"max_ns": M}: an absolute ns/op ceiling,
+// independent of the recorded baseline. Where "ns" + tolerance guards
+// against drift ("no slower than last time"), max_ns pins a target the
+// benchmark must keep meeting in absolute terms — the paper-facing
+// budget ("SVD stepping stays under 25 ns/instr") that would otherwise
+// erode one in-tolerance regression at a time. Like "allocs" it is
+// policy, not measurement: -record re-measures "ns" but never writes or
+// loosens a max_ns, and the check compares against the same per-run
+// minimum the drift check uses.
+//
 // An entry may also carry {"over": "BenchmarkOther", "ratio": R}: a
 // relative bound requiring this benchmark's ns/op to stay within R of
 // the named benchmark's measured ns/op in the SAME run (got <= other ×
@@ -79,6 +89,10 @@ type entry struct {
 	Tolerance float64  `json:"tolerance,omitempty"`
 	Allocs    *float64 `json:"allocs,omitempty"`
 
+	// MaxNS, when positive, is an absolute ns/op ceiling checked against
+	// the run's minimum — a pinned budget on top of the drift bound.
+	MaxNS float64 `json:"max_ns,omitempty"`
+
 	// Over names another benchmark measured in the same run; Ratio is
 	// the allowed fractional overhead above it. Both travel together.
 	Over  string  `json:"over,omitempty"`
@@ -95,7 +109,7 @@ func (e *entry) UnmarshalJSON(data []byte) error {
 }
 
 func (e entry) MarshalJSON() ([]byte, error) {
-	if e.Tolerance == 0 && e.Allocs == nil && e.Over == "" {
+	if e.Tolerance == 0 && e.Allocs == nil && e.MaxNS == 0 && e.Over == "" {
 		return json.Marshal(e.NS)
 	}
 	type plain entry
@@ -168,6 +182,11 @@ func main() {
 				allocNote = fmt.Sprintf("  %.0f allocs/op (ceiling %.0f)", got.Allocs, *base.Allocs)
 			}
 		}
+		maxNote, maxRegressed := checkMaxNS(got, base)
+		if maxRegressed {
+			status = "REGRESSION"
+			failed = true
+		}
 		overNote, overOK, overRegressed := checkRelative(got, base, measured)
 		if !overOK {
 			failed = true
@@ -175,12 +194,26 @@ func main() {
 		if overRegressed {
 			status = "REGRESSION"
 		}
-		fmt.Printf("benchguard: %-48s %10.2f ns/op vs %10.2f baseline  %+6.1f%% (tol %2.0f%%)  %s%s%s\n",
-			name, got.NS, base.NS, ratio*100, tol*100, status, allocNote, overNote)
+		fmt.Printf("benchguard: %-48s %10.2f ns/op vs %10.2f baseline  %+6.1f%% (tol %2.0f%%)  %s%s%s%s\n",
+			name, got.NS, base.NS, ratio*100, tol*100, status, allocNote, maxNote, overNote)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchguard: hot path regressed beyond tolerance over %s\n", *baselinePath)
 		os.Exit(1)
+	}
+}
+
+// checkMaxNS applies an entry's absolute ns/op ceiling. Unlike the
+// drift bound it has no tolerance: the ceiling is the budget, and any
+// headroom belongs in the number a human recorded, not in a multiplier.
+func checkMaxNS(got measurement, base entry) (note string, regressed bool) {
+	switch {
+	case base.MaxNS <= 0:
+		return "", false
+	case got.NS > base.MaxNS:
+		return fmt.Sprintf("  %.2f ns/op over the absolute %.2f ceiling", got.NS, base.MaxNS), true
+	default:
+		return fmt.Sprintf("  within the absolute %.2f ceiling", base.MaxNS), false
 	}
 }
 

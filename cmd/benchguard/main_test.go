@@ -68,6 +68,62 @@ func TestEntryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEntryMaxNSRoundTrip: a max_ns ceiling marshals as an object (even
+// alone), survives the round trip, and -record's merge preserves it
+// while re-measuring ns.
+func TestEntryMaxNSRoundTrip(t *testing.T) {
+	in := map[string]entry{
+		"pinned": {NS: 23.9, MaxNS: 25},
+	}
+	data, err := marshalSorted(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"max_ns":25`) {
+		t.Errorf("max_ns missing from marshaled entry:\n%s", data)
+	}
+	var out map[string]entry
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if p := out["pinned"]; p.MaxNS != 25 || p.NS != 23.9 {
+		t.Errorf("ceiling lost in round trip: %+v", p)
+	}
+
+	// The -record merge path: measured ns replaces the baseline, the
+	// ceiling is policy and must ride along untouched.
+	e := out["pinned"]
+	e.NS = 24.4
+	if e.MaxNS != 25 {
+		t.Errorf("merge dropped the ceiling: %+v", e)
+	}
+}
+
+// TestCheckMaxNS: under the ceiling passes, over it regresses, entries
+// without one pass silently. No tolerance applies.
+func TestCheckMaxNS(t *testing.T) {
+	cases := []struct {
+		name          string
+		got           float64
+		base          entry
+		wantRegressed bool
+	}{
+		{"under", 23.9, entry{NS: 23, MaxNS: 25}, false},
+		{"exact", 25, entry{NS: 23, MaxNS: 25}, false},
+		{"over", 25.01, entry{NS: 23, MaxNS: 25}, true},
+		{"no-ceiling", 1e9, entry{NS: 23}, false},
+	}
+	for _, tc := range cases {
+		note, regressed := checkMaxNS(measurement{NS: tc.got}, tc.base)
+		if regressed != tc.wantRegressed {
+			t.Errorf("%s: regressed=%v (%s), want %v", tc.name, regressed, note, tc.wantRegressed)
+		}
+		if tc.base.MaxNS == 0 && note != "" {
+			t.Errorf("%s: entry without a ceiling must pass silently, got %q", tc.name, note)
+		}
+	}
+}
+
 // TestEntryRelativeBound: over/ratio survive the round trip, and an
 // entry with only a relative bound still marshals as an object.
 func TestEntryRelativeBound(t *testing.T) {

@@ -115,6 +115,12 @@ func (s ThreadSet) ForEach(exclude, numThreads int, f func(tid int)) {
 // state).
 type Interest struct {
 	store *Store[ThreadSet]
+
+	// gen counts membership mutations. Consumers caching a (block →
+	// ThreadSet) pair compare generations instead of re-probing the store:
+	// a matching generation proves no Add/Remove ran since the set was
+	// read, so the cached copy is still the set the store would return.
+	gen uint64
 }
 
 // NewInterest builds an empty index.
@@ -123,14 +129,23 @@ func NewInterest(opts Options) *Interest {
 }
 
 // Add records tid's interest in block b.
-func (ix *Interest) Add(b int64, tid int) { ix.store.Ensure(b).Add(tid) }
+func (ix *Interest) Add(b int64, tid int) {
+	ix.gen++
+	ix.store.Ensure(b).Add(tid)
+}
 
 // Remove drops tid's interest in block b.
 func (ix *Interest) Remove(b int64, tid int) {
+	ix.gen++
 	if s := ix.store.Lookup(b); s != nil {
 		s.Remove(tid)
 	}
 }
+
+// Gen returns the mutation generation. Any Add or Remove changes it, so
+// equal generations bracket an interval over which every cached Get
+// result is still exact.
+func (ix *Interest) Gen() uint64 { return ix.gen }
 
 // Get returns block b's interest set by value (the empty set for blocks
 // never recorded).

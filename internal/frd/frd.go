@@ -197,6 +197,19 @@ type Detector struct {
 	witnesses []obs.Witness
 	sites     map[SiteKey]*Site
 	stats     Stats
+
+	// MRU cache over blockInfo: the last two blocks' resolved slots, so
+	// the block-local access runs the detectors' workloads exhibit skip
+	// the page (or map) lookup and the lazy reads check. No invalidation
+	// is needed — FRD never deletes block slots, and Reset rebuilds the
+	// whole detector. Scalar fields (not a [2]-array) keep the hit path
+	// within the inliner's budget, as in svd.threadState.
+	cb0, cb1   int64
+	cbp0, cbp1 *blockInfo
+
+	// batchErr, once set, poisons the columnar path: StepColumns drops
+	// every later batch. See StepColumns.
+	batchErr error
 }
 
 // New builds a detector for prog across numCPUs processors.
@@ -242,6 +255,11 @@ func (d *Detector) Witnesses() []obs.Witness { return d.witnesses }
 // Stats returns aggregate counters.
 func (d *Detector) Stats() Stats { return d.stats }
 
+// BatchErr returns the sticky columnar-path error: non-nil once a batch
+// failed StepColumns's preflight, after which every batch is dropped.
+// The per-event path is unaffected.
+func (d *Detector) BatchErr() error { return d.batchErr }
+
 // Sites returns race sites sorted by descending dynamic count.
 func (d *Detector) Sites() []Site {
 	out := make([]Site, 0, len(d.sites))
@@ -270,6 +288,33 @@ func (d *Detector) blockInfo(b int64) *blockInfo {
 	return bi
 }
 
+// blockInfoCached resolves a block through the MRU cache; the repeat-
+// access hit is one compare and inlines into the access path.
+func (d *Detector) blockInfoCached(b int64) *blockInfo {
+	bi := d.cbp0
+	if bi == nil || d.cb0 != b {
+		bi = d.blockInfoCachedSlow(b)
+	}
+	return bi
+}
+
+func (d *Detector) blockInfoCachedSlow(b int64) *blockInfo {
+	if bi := d.cbp1; bi != nil && d.cb1 == b {
+		// Promote to MRU so a two-block ping-pong hits on every access.
+		d.cb1 = d.cb0
+		d.cb0 = b
+		d.cbp1 = d.cbp0
+		d.cbp0 = bi
+		return bi
+	}
+	bi := d.blockInfo(b)
+	d.cb1 = d.cb0
+	d.cb0 = b
+	d.cbp1 = d.cbp0
+	d.cbp0 = bi
+	return bi
+}
+
 // Step processes one dynamic instruction (vm.Observer).
 func (d *Detector) Step(ev *vm.Event) {
 	d.stats.Instructions++
@@ -291,11 +336,17 @@ func (d *Detector) step(ev *vm.Event) {
 	if !in.Op.IsMem() {
 		return
 	}
-	b := ev.Addr >> d.opts.BlockShift
-	bi := d.blockInfo(b)
+	d.stepMem(ev, ev.Addr>>d.opts.BlockShift)
+}
+
+// stepMem processes one memory access whose block id the caller already
+// holds — computed here on the per-event path, read from the batch's
+// Blocks column on the columnar one.
+func (d *Detector) stepMem(ev *vm.Event, b int64) {
+	bi := d.blockInfoCached(b)
 
 	// Automatic annotation: a block touched by CAS is a lock word.
-	if in.Op == isa.OpCas && !bi.isSync {
+	if ev.Instr.Op == isa.OpCas && !bi.isSync {
 		bi.isSync = true
 	}
 	if bi.isSync {

@@ -63,8 +63,21 @@ func Frontier(accs []Access) []Race {
 				continue
 			}
 			runningMin := int(^uint(0) >> 1) // +inf
+			// Access traces are block-local, so memoize the last block's
+			// firsts lookup: repeat blocks skip the map hash entirely. A
+			// nil result is memoized too — absent partners repeat just as
+			// hard.
+			var lastB int64
+			var lastF *firsts
+			haveLast := false
 			for _, b := range list2 {
-				f := first[firstKey{cpu1, b.Block}]
+				var f *firsts
+				if haveLast && lastB == b.Block {
+					f = lastF
+				} else {
+					f = first[firstKey{cpu1, b.Block}]
+					haveLast, lastB, lastF = true, b.Block, f
+				}
 				if f == nil {
 					continue
 				}

@@ -154,6 +154,9 @@ func Run(w *workloads.Workload, seed uint64, opts Options) (*Sample, error) {
 		// Columnar by default: in-process runs exercise exactly the
 		// ingest path the detection service runs (StepColumns), so the
 		// loopback -verify comparison covers one code path, not two.
+		// The ring carries block ids at SVD's shift, computed once at
+		// append time; FRD shares them whenever its shift agrees.
+		m.SetColumnBlockShift(opts.SVD.BlockShift)
 		m.AttachColumns(sd)
 		m.AttachColumns(fd)
 	}

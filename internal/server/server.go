@@ -235,7 +235,14 @@ func New(opts Options) *Engine {
 	e.shards = make([]*shard, e.opts.Shards)
 	for i := range e.shards {
 		sh := &shard{id: i, jobs: make(chan job, e.opts.QueueDepth)}
-		sh.pool.New = func() any { return vm.NewEventBatch(vm.DefaultBatchCap) }
+		sh.pool.New = func() any {
+			eb := vm.NewEventBatch(vm.DefaultBatchCap)
+			// The wire decoder fills the Blocks column during varint
+			// decode; at the engine's SVD shift both detectors (FRD too,
+			// when its shift agrees) skip the per-row block computation.
+			eb.EnableBlocks(e.opts.SVD.BlockShift)
+			return eb
+		}
 		e.shards[i] = sh
 		go e.worker(sh)
 	}
@@ -523,6 +530,10 @@ func (e *Engine) worker(sh *shard) {
 			switch {
 			case st.aborted:
 				st.err = fmt.Errorf("server: stream %d aborted by its producer", st.id)
+			case st.sd.BatchErr() != nil:
+				st.err = fmt.Errorf("server: stream %d: %w", st.id, st.sd.BatchErr())
+			case st.fd.BatchErr() != nil:
+				st.err = fmt.Errorf("server: stream %d: %w", st.id, st.fd.BatchErr())
 			case st.shed.Load() > 0:
 				st.err = fmt.Errorf("server: overloaded: shed %d batches of stream %d (results incomplete)", st.shed.Load(), st.id)
 			default:

@@ -103,8 +103,16 @@ func (d *Detector) reclaim(c *cu) {
 }
 
 // find resolves union-find forwarding with path compression, keeping
-// reference counts consistent as parent slots are rewritten.
+// reference counts consistent as parent slots are rewritten. A root —
+// the common case once chains compress — inlines to one nil test.
 func (d *Detector) find(c *cu) *cu {
+	if c.parent == nil {
+		return c
+	}
+	return d.findSlow(c)
+}
+
+func (d *Detector) findSlow(c *cu) *cu {
 	for c.parent != nil {
 		p := c.parent
 		if pp := p.parent; pp != nil {

@@ -143,6 +143,39 @@ var fsmNames = [...]string{
 
 func (s fsmState) String() string { return fsmNames[s] }
 
+// Access kinds indexing the dense FSM transition table.
+const (
+	kindLoad = iota
+	kindStore
+	kindRemote
+)
+
+// fsmNext is Figure 8 as a dense (accessKind, state) table: the plain
+// transitions of load, store, and remote collapse to one indexed fetch
+// instead of a state switch per access. Rows are sized to the uint8
+// state's full range so the fetch compiles without a bounds check;
+// states outside the enum map to themselves (unreachable, but harmless).
+// Transitions with side effects stay as explicit branches at the call
+// sites: load's Stored_Shared cut runs before its table transition, and
+// remote's True_Dep case (log + cut) bypasses the table entirely.
+var fsmNext = func() [3][256]fsmState {
+	var t [3][256]fsmState
+	for k := range t {
+		for s := range t[k] {
+			t[k][s] = fsmState(s)
+		}
+	}
+	t[kindLoad][stIdle] = stLoaded
+	t[kindLoad][stStored] = stTrueDep
+	t[kindLoad][stStoredShared] = stLoaded // after the cut reset
+	t[kindStore][stIdle] = stStored
+	t[kindStore][stLoaded] = stStored
+	t[kindStore][stLoadedShared] = stStoredShared
+	t[kindRemote][stLoaded] = stLoadedShared
+	t[kindRemote][stStored] = stStoredShared
+	return t
+}()
+
 // locallyWritten reports whether the state implies this thread has written
 // the block since the state was last reset.
 func (s fsmState) locallyWritten() bool {
@@ -293,8 +326,35 @@ type threadState struct {
 	ctrl    []ctrlEntry
 	depth   int // call depth (JAL/JR balance)
 
-	checkBuf []*cu // scratch for the per-store dependence set
 	unionBuf []*cu // scratch for register-set unions
+
+	// Two-entry MRU cache over blocks: cb<i> is the block id, cbp<i> the
+	// store slot for it (nil marks the entry invalid — block ids have no
+	// spare sentinel, negatives are legal). Consecutive accesses to one
+	// block, and alternating accesses to two — the dominant patterns in
+	// the Table 2 workloads — resolve to a pointer compare instead of a
+	// paged-store probe. Safe because the store never moves a
+	// materialized slot (pages are stable, overflow entries are boxed);
+	// the one operation that invalidates a slot's contents, Delete, is
+	// reached only through evictBlock, which clears matching entries.
+	// Cached entries are always touched. Clone and Reset build fresh
+	// threadStates, so caches never survive either.
+	cb0, cb1   int64
+	cbp0, cbp1 *blockState
+
+	// Last (block → interest mask) pairs served by fanout for this
+	// thread's accesses, valid while fanGen matches ix.Gen(): tight
+	// sharing loops pay one directory probe per run instead of per
+	// access. Per-thread rather than detector-global because the VM
+	// interleaves threads round-robin — each thread's stream has block
+	// locality, the merged stream does not. Two MRU entries so a thread
+	// alternating between two blocks still hits. fanOK false marks an
+	// entry empty; any generation change invalidates both.
+	fanB     [2]int64
+	fanSet   [2]blockstore.ThreadSet
+	fanOK    [2]bool
+	fanQuiet [2]bool // entry's set minus this thread was empty when cached
+	fanGen   uint64
 
 	// ring is the flight-recorder buffer of this thread's recent accesses;
 	// nil unless Options.Witness.
@@ -312,6 +372,11 @@ type Detector struct {
 	// state per block, so remote propagation visits only them. Nil with
 	// Options.NoInterestIndex (full fan-out fallback).
 	ix *blockstore.Interest
+
+	// batchErr poisons the columnar path: a batch failed preflight
+	// validation (a PC outside the program), no row of it was applied,
+	// and every later batch is dropped. See StepColumns.
+	batchErr error
 
 	// CU arena storage (see arena.go).
 	free []*cu
@@ -391,6 +456,12 @@ func (d *Detector) Log() []LogEntry {
 // Stats returns aggregate counters.
 func (d *Detector) Stats() Stats { return d.stats }
 
+// BatchErr reports whether the columnar path poisoned the detector: a
+// batch handed to StepColumns failed preflight validation. The error is
+// sticky; no row of the offending batch or any later batch was applied.
+// The per-event path never sets it.
+func (d *Detector) BatchErr() error { return d.batchErr }
+
 // Add accumulates o into s field-wise. report.MergeSamples uses it to
 // fold detector counters across parallel sample runs.
 func (s *Stats) Add(o Stats) {
@@ -435,12 +506,7 @@ func (d *Detector) block(addr int64) int64 { return addr >> d.opts.BlockShift }
 // Step processes one dynamic instruction (vm.Observer).
 func (d *Detector) Step(ev *vm.Event) {
 	d.stats.Instructions++
-	d.threads[ev.CPU].local(ev)
-	// Every memory op sets IsLoad or IsStore (a CAS always loads), so the
-	// flags substitute for Op.IsMem without touching the opcode.
-	if ev.IsLoad || ev.IsStore {
-		d.fanout(ev, d.block(ev.Addr))
-	}
+	d.threads[ev.CPU].step(ev)
 }
 
 // StepBatch processes a run of consecutive dynamic instructions
@@ -451,10 +517,7 @@ func (d *Detector) StepBatch(evs []vm.Event) {
 	for i := range evs {
 		ev := &evs[i]
 		d.stats.Instructions++
-		d.threads[ev.CPU].local(ev)
-		if ev.IsLoad || ev.IsStore {
-			d.fanout(ev, d.block(ev.Addr))
-		}
+		d.threads[ev.CPU].step(ev)
 	}
 }
 
@@ -464,7 +527,15 @@ func (d *Detector) StepBatch(evs []vm.Event) {
 // the subset that reacts) of the full fan-out, so reports and log entries
 // land identically. A block solely owned by the accessor broadcasts to no
 // one.
-func (d *Detector) fanout(ev *vm.Event, b int64) {
+//
+// The return value reports that the access was quiet: nothing was
+// delivered, and an identical access to the same block would again
+// deliver nothing and adjust stats identically (RemoteSkipped by the
+// peer count). StepColumns uses it to skip fanout for the rest of a
+// same-thread same-block run — sound because between two accesses of one
+// run only the accessor itself can gain interest in the block, and the
+// accessor is excluded from its own fan-out.
+func (d *Detector) fanout(ev *vm.Event, b int64) (quiet bool) {
 	peers := len(d.threads) - 1
 	if d.ix == nil {
 		for _, t := range d.threads {
@@ -473,9 +544,32 @@ func (d *Detector) fanout(ev *vm.Event, b int64) {
 			}
 		}
 		d.stats.RemoteSent += uint64(peers)
-		return
+		return peers == 0
 	}
-	set := d.ix.Get(b)
+	src := d.threads[ev.CPU]
+	if gen := d.ix.Gen(); gen != src.fanGen {
+		src.fanGen = gen
+		src.fanOK[0], src.fanOK[1] = false, false
+		// The quiet bits must die with their entries: the shuffles below
+		// move them between slots without re-checking the generation, and
+		// quietHit trusts any true bit under a matching fanGen.
+		src.fanQuiet[0], src.fanQuiet[1] = false, false
+	}
+	set := src.fanSet[0]
+	switch {
+	case src.fanOK[0] && src.fanB[0] == b:
+	case src.fanOK[1] && src.fanB[1] == b:
+		set = src.fanSet[1]
+		// Promote to MRU so a two-block ping-pong hits on every access.
+		src.fanB[1], src.fanSet[1], src.fanOK[1], src.fanQuiet[1] =
+			src.fanB[0], src.fanSet[0], src.fanOK[0], src.fanQuiet[0]
+		src.fanB[0], src.fanSet[0], src.fanOK[0] = b, set, true
+	default:
+		set = d.ix.Get(b)
+		src.fanB[1], src.fanSet[1], src.fanOK[1], src.fanQuiet[1] =
+			src.fanB[0], src.fanSet[0], src.fanOK[0], src.fanQuiet[0]
+		src.fanB[0], src.fanSet[0], src.fanOK[0] = b, set, true
+	}
 	mask := set.Bits()
 	if ev.CPU < 64 {
 		mask &^= 1 << uint(ev.CPU)
@@ -495,13 +589,58 @@ func (d *Detector) fanout(ev *vm.Event, b int64) {
 	}
 	d.stats.RemoteSent += uint64(sent)
 	d.stats.RemoteSkipped += uint64(peers - sent)
+	// High-folded members always deliver (and count as sent), so sent==0
+	// alone proves the set minus the accessor was empty. Slot 0 holds b
+	// on every path out of the switch above, so the quiet bit lands on
+	// the right entry; step's fan fast path reads it to skip this whole
+	// call for repeat accesses to a private block.
+	src.fanQuiet[0] = sent == 0
+	return sent == 0
+}
+
+// quietHit reports that the per-thread cache proves block b quiet for
+// this thread right now: MRU entry matches, generation current, and the
+// entry's effective set was empty. The caller can then account
+// RemoteSkipped for all peers and skip the fanout call entirely —
+// remote() and cut() never change interest membership, so a quiet block
+// stays quiet for this thread until some thread materializes or evicts
+// state (both bump the generation). fanOK[0] needs no check: fanQuiet[0]
+// is set only at the end of a fanout call, which always leaves slot 0
+// valid for the block it ran on at the generation now in fanGen, so a
+// true quiet bit under a matching generation can only describe a live
+// entry. Inlinable; step uses it to keep the dominant private-block case
+// free of the (non-inlinable) fanout call.
+func (t *threadState) quietHit(b int64) bool {
+	ix := t.d.ix
+	if ix == nil || t.fanGen != ix.Gen() {
+		return false
+	}
+	return (t.fanQuiet[0] && t.fanB[0] == b) || (t.fanQuiet[1] && t.fanB[1] == b)
 }
 
 // ----- per-thread instance -----
 
 // ensureBlock materializes (and marks touched) the thread's state for a
-// locally accessed block.
+// locally accessed block. The MRU cache entry resolves repeat accesses
+// with one compare; everything else goes through ensureBlockSlow, which
+// keeps this wrapper small enough to inline into load and store.
 func (t *threadState) ensureBlock(b int64) *blockState {
+	bs := t.cbp0
+	if bs == nil || t.cb0 != b {
+		bs = t.ensureBlockSlow(b)
+	}
+	return bs
+}
+
+func (t *threadState) ensureBlockSlow(b int64) *blockState {
+	if bs := t.cbp1; bs != nil && t.cb1 == b {
+		// Promote to MRU so a two-block ping-pong hits on every access.
+		t.cb1 = t.cb0
+		t.cb0 = b
+		t.cbp1 = t.cbp0
+		t.cbp0 = bs
+		return bs
+	}
 	bs := t.blocks.Ensure(b)
 	if !bs.touched {
 		bs.touched = true
@@ -510,25 +649,46 @@ func (t *threadState) ensureBlock(b int64) *blockState {
 			ix.Add(b, t.id)
 		}
 	}
+	t.cb1 = t.cb0
+	t.cb0 = b
+	t.cbp1 = t.cbp0
+	t.cbp0 = bs
 	return bs
 }
 
 // lookupBlock returns the thread's state for a block, or nil when no local
 // access has materialized one — flat-store neighbors of touched blocks
-// report nil exactly like absent map entries did.
+// report nil exactly like absent map entries did. Hits and successful
+// lookups maintain the same MRU cache as ensureBlock (cached entries are
+// touched by construction, so a cache hit needs no touched check).
 func (t *threadState) lookupBlock(b int64) *blockState {
+	if bs := t.cbp0; bs != nil && t.cb0 == b {
+		return bs
+	}
+	if bs := t.cbp1; bs != nil && t.cb1 == b {
+		t.cb1 = t.cb0
+		t.cb0 = b
+		t.cbp1 = t.cbp0
+		t.cbp0 = bs
+		return bs
+	}
 	bs := t.blocks.Lookup(b)
 	if bs == nil || !bs.touched {
 		return nil
 	}
+	t.cb1 = t.cb0
+	t.cb0 = b
+	t.cbp1 = t.cbp0
+	t.cbp0 = bs
 	return bs
 }
 
 // evictBlock drops the thread's state for a block entirely (hardware-mode
-// cache eviction).
+// cache eviction). Delete zeroes (dense) or unboxes (sparse) the slot, so
+// any cache entry naming the block must die with it.
 func (t *threadState) evictBlock(b int64) {
-	bs := t.blocks.Lookup(b)
-	if bs == nil || !bs.touched {
+	bs := t.lookupBlock(b)
+	if bs == nil {
 		return
 	}
 	if bs.cu != nil {
@@ -537,16 +697,29 @@ func (t *threadState) evictBlock(b int64) {
 	}
 	t.blocks.Delete(b)
 	t.nblocks--
+	if t.cb0 == b {
+		t.cbp0 = nil
+	}
+	if t.cb1 == b {
+		t.cbp1 = nil
+	}
 	if ix := t.d.ix; ix != nil {
 		ix.Remove(b, t.id)
 	}
 }
 
-// currentCU resolves a block's CU, dropping dead units.
+// currentCU resolves a block's CU, dropping dead units. The dominant
+// case — no unit, or a live root — inlines to two field tests; forwarded
+// or dead units take the slow path.
 func (t *threadState) currentCU(bs *blockState) *cu {
-	if bs.cu == nil {
-		return nil
+	c := bs.cu
+	if c == nil || (c.parent == nil && c.active) {
+		return c
 	}
+	return t.currentCUSlow(bs)
+}
+
+func (t *threadState) currentCUSlow(bs *blockState) *cu {
 	c := t.d.find(bs.cu)
 	if !c.active {
 		t.d.release(bs.cu)
@@ -562,8 +735,18 @@ func (t *threadState) currentCU(bs *blockState) *cu {
 }
 
 // setBlockCU points a block at a unit, adjusting references. Acquiring
-// before releasing makes self-assignment safe.
+// before releasing makes self-assignment safe; the self-assignment case
+// itself (a store extending the unit the block already carries) is a
+// pure no-op — the acquire/release pair cancels without the count ever
+// dipping — so it returns before any refcount traffic.
 func (t *threadState) setBlockCU(bs *blockState, c *cu) {
+	if bs.cu == c {
+		return
+	}
+	t.setBlockCUSlow(bs, c)
+}
+
+func (t *threadState) setBlockCUSlow(bs *blockState, c *cu) {
 	t.d.acquire(c)
 	if old := bs.cu; old != nil {
 		t.d.release(old)
@@ -571,11 +754,94 @@ func (t *threadState) setBlockCU(bs *blockState, c *cu) {
 	bs.cu = c
 }
 
-// local processes an instruction executed by this thread. The dispatch
-// is a dense switch over the opcode (one indirect jump) rather than a
-// predicate ladder: the ALU opcodes that dominate the dynamic stream
-// used to fall through half a dozen comparisons before reaching
-// IsALU(), which was measurable at the events/sec this path now runs.
+// step processes an instruction executed by this thread including the
+// remote fan-out of memory accesses — the software detector's whole
+// per-event pipeline in one frame. It is local with the fan-out fused
+// into the memory arms: the block id is computed once and shared between
+// the FSM update and the fan-out, and the per-event path pays one call
+// instead of two. The opcode dispatch is a dense switch (one jump-table
+// indirection); the per-block sharing FSM it feeds is the dense fsmNext
+// transition table. An opcode→effect-class indirection was measured
+// here and rejected: the extra dependent byte load cost ~2 ns/instr on
+// the CI host against a switch the compiler already compiles densely.
+//
+// A CAS fans out once, after both its load and (on success) store halves
+// ran locally — the same order Step's trailing fanout call used to
+// produce.
+func (t *threadState) step(ev *vm.Event) {
+	if len(t.ctrl) != 0 {
+		t.popCtrl(ev.PC)
+	}
+
+	in := &ev.Instr
+	switch in.Op {
+	case isa.OpLoad:
+		t.d.stats.Loads++
+		b := t.d.block(ev.Addr)
+		t.load(ev, b, in.Rd)
+		if t.quietHit(b) {
+			t.d.stats.RemoteSkipped += uint64(len(t.d.threads) - 1)
+		} else {
+			t.d.fanout(ev, b)
+		}
+
+	case isa.OpStore:
+		t.d.stats.Stores++
+		b := t.d.block(ev.Addr)
+		t.store(ev, b, in.Rs2, in.Rs1)
+		if t.quietHit(b) {
+			t.d.stats.RemoteSkipped += uint64(len(t.d.threads) - 1)
+		} else {
+			t.d.fanout(ev, b)
+		}
+
+	case isa.OpCas:
+		b := t.d.block(ev.Addr)
+		t.d.stats.Loads++
+		t.load(ev, b, in.Rd)
+		if ev.IsStore {
+			t.d.stats.Stores++
+			t.store(ev, b, in.Rs3, in.Rs1)
+		}
+		if t.quietHit(b) {
+			t.d.stats.RemoteSkipped += uint64(len(t.d.threads) - 1)
+		} else {
+			t.d.fanout(ev, b)
+		}
+
+	case isa.OpLI:
+		t.clearReg(in.Rd)
+
+	case isa.OpMov, isa.OpAddi:
+		// RegZero's set is permanently empty, so it doubles as "no second
+		// source" here.
+		t.setRegFrom(in.Rd, in.Rs1, isa.RegZero)
+
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod, isa.OpAnd,
+		isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpSle,
+		isa.OpSeq, isa.OpSne:
+		t.setRegFrom(in.Rd, in.Rs1, in.Rs2)
+
+	case isa.OpBeqz, isa.OpBnez:
+		t.pushCtrl(ev)
+
+	case isa.OpJal:
+		t.clearReg(in.Rd)
+		t.depth++
+
+	case isa.OpJr:
+		t.depth--
+		for len(t.ctrl) > 0 && t.ctrl[len(t.ctrl)-1].depth > t.depth {
+			t.dropCtrlTop()
+		}
+	}
+}
+
+// local processes an instruction executed by this thread WITHOUT the
+// remote fan-out — the hardware mode's entry point, where coherence
+// traffic replaces the software broadcast. It must stay
+// case-for-case identical to step minus the fanout calls; the
+// differential tests in internal/report hold the two paths together.
 func (t *threadState) local(ev *vm.Event) {
 	// Reaching a reconvergence point retires control dependences before
 	// the instruction at that point executes. The stack is empty for the
@@ -585,7 +851,7 @@ func (t *threadState) local(ev *vm.Event) {
 		t.popCtrl(ev.PC)
 	}
 
-	in := ev.Instr
+	in := &ev.Instr
 	switch in.Op {
 	case isa.OpLoad:
 		t.d.stats.Loads++
@@ -610,12 +876,14 @@ func (t *threadState) local(ev *vm.Event) {
 		t.clearReg(in.Rd)
 
 	case isa.OpMov, isa.OpAddi:
-		t.setRegUnion(in.Rd, t.regs[in.Rs1], nil)
+		// RegZero's set is permanently empty, so it doubles as "no second
+		// source" here.
+		t.setRegFrom(in.Rd, in.Rs1, isa.RegZero)
 
 	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpMod, isa.OpAnd,
 		isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpSle,
 		isa.OpSeq, isa.OpSne:
-		t.setRegUnion(in.Rd, t.regs[in.Rs1], t.regs[in.Rs2])
+		t.setRegFrom(in.Rd, in.Rs1, in.Rs2)
 
 	case isa.OpBeqz, isa.OpBnez:
 		t.pushCtrl(ev)
@@ -631,6 +899,60 @@ func (t *threadState) local(ev *vm.Event) {
 			t.dropCtrlTop()
 		}
 	}
+}
+
+// setRegFrom points rd at the concatenation of the source registers'
+// sets, exploiting the aliasing the register indices expose — something
+// setRegUnion, handed bare slices, cannot see. The result (rd's multiset
+// content, every unit's final reference count, and the arena free list)
+// is identical to the staging path for every case; only redundant
+// release/acquire pairs and copies are skipped:
+//
+//   - rd == rs1 with an empty rs2 (mov/addi accumulators): rd's set IS
+//     the result. No reference moves at all.
+//   - rd == rs1 with rs2 distinct: the result is rd's own set with rs2's
+//     appended. rd's references stay put; only rs2's elements are
+//     acquired. (rs2 == rd also lands here: reads index the captured
+//     slice header, appends write past its length.)
+//   - rd not a source: the union is built directly in rd's backing array
+//     — one copy instead of stage-then-copy. Releasing rd's old
+//     references first cannot reclaim a unit still to be copied, because
+//     every element of a source set holds its own counted reference.
+//   - rd == rs2 only: the result interleaves rs1's elements before rd's
+//     current ones, so the staging path's ordering is actually needed.
+func (t *threadState) setRegFrom(rd, rs1, rs2 isa.Reg) {
+	if rd == isa.RegZero {
+		return
+	}
+	if rd == rs1 {
+		s2 := t.regs[rs2]
+		if len(s2) == 0 {
+			return
+		}
+		dst := t.regs[rd]
+		for _, c := range s2 {
+			dst = append(dst, t.d.acquire(c))
+		}
+		t.regs[rd] = dst
+		return
+	}
+	if rd == rs2 {
+		t.setRegUnion(rd, t.regs[rs1], t.regs[rs2])
+		return
+	}
+	old := t.regs[rd]
+	for i, c := range old {
+		t.d.release(c)
+		old[i] = nil
+	}
+	dst := old[:0]
+	for _, c := range t.regs[rs1] {
+		dst = append(dst, t.d.acquire(c))
+	}
+	for _, c := range t.regs[rs2] {
+		dst = append(dst, t.d.acquire(c))
+	}
+	t.regs[rd] = dst
 }
 
 // setRegUnion points rd at the concatenation of the source sets (register
@@ -661,8 +983,18 @@ func (t *threadState) setRegUnion(rd isa.Reg, s1, s2 []*cu) {
 
 // setRegSingle points rd at exactly one unit, reusing the register's
 // backing array. The caller must guarantee c is pinned elsewhere (a block
-// reference) so releasing the old set cannot reclaim it.
+// reference) so releasing the old set cannot reclaim it. A register that
+// already holds exactly [c] — a loop re-loading into its accumulator —
+// is a no-op: the acquire/release pair would cancel without the count
+// ever dipping, so the fast path inlines to a compare.
 func (t *threadState) setRegSingle(rd isa.Reg, c *cu) {
+	s := t.regs[rd]
+	if len(s) != 1 || s[0] != c {
+		t.setRegSingleSlow(rd, c)
+	}
+}
+
+func (t *threadState) setRegSingleSlow(rd isa.Reg, c *cu) {
 	if rd == isa.RegZero {
 		return
 	}
@@ -675,8 +1007,16 @@ func (t *threadState) setRegSingle(rd isa.Reg, c *cu) {
 	t.regs[rd] = append(old[:0], c)
 }
 
-// clearReg empties rd, keeping its backing array for reuse.
+// clearReg empties rd, keeping its backing array for reuse. An already
+// empty register inlines to a length test.
 func (t *threadState) clearReg(rd isa.Reg) {
+	if len(t.regs[rd]) == 0 {
+		return
+	}
+	t.clearRegSlow(rd)
+}
+
+func (t *threadState) clearRegSlow(rd isa.Reg) {
 	if rd == isa.RegZero {
 		return
 	}
@@ -727,7 +1067,12 @@ func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
 		})
 	}
 
-	c := t.currentCU(bs)
+	// currentCU's fast path, by hand: load is the hottest consumer and
+	// the wrapper is just past the inlining budget.
+	c := bs.cu
+	if c != nil && (c.parent != nil || !c.active) {
+		c = t.currentCUSlow(bs)
+	}
 	if c == nil {
 		c = t.d.newCU()
 		t.d.acquire(c)
@@ -745,15 +1090,7 @@ func (t *threadState) load(ev *vm.Event, b int64, rd isa.Reg) {
 		c.rs.add(b)
 	}
 
-	switch bs.state {
-	case stIdle:
-		bs.state = stLoaded
-	case stStored:
-		bs.state = stTrueDep
-	case stStoredShared:
-		// Cut above reset the state.
-		bs.state = stLoaded
-	}
+	bs.state = fsmNext[kindLoad][bs.state]
 
 	bs.hasLocalLoad = true
 	bs.localLoadPC = ev.PC
@@ -771,21 +1108,30 @@ func (t *threadState) store(ev *vm.Event, b int64, valReg, addrReg isa.Reg) {
 	dataSet := t.d.resolve(t.regs[valReg])
 	t.regs[valReg] = dataSet
 
-	checkSet := append(t.checkBuf[:0], dataSet...)
+	// The dependence sets are checked in sequence — data, address, control
+	// stack bottom-up — instead of concatenated into a scratch buffer: the
+	// CUs are visited in exactly the concatenation order and the first
+	// conflict still wins, so reports are identical, but the common
+	// violation-free store skips a buffer copy per event. Resolution is
+	// unconditional (path compression must happen whether or not an
+	// earlier set already reported).
+	hit := t.checkViolations(ev, dataSet)
 	if !t.d.opts.NoAddressDeps {
 		addrSet := t.d.resolve(t.regs[addrReg])
 		t.regs[addrReg] = addrSet
-		checkSet = append(checkSet, addrSet...)
+		if !hit {
+			hit = t.checkViolations(ev, addrSet)
+		}
 	}
 	if !t.d.opts.NoControlDeps {
 		for i := range t.ctrl {
 			e := &t.ctrl[i]
 			e.cuSet = t.d.resolve(e.cuSet)
-			checkSet = append(checkSet, e.cuSet...)
+			if !hit {
+				hit = t.checkViolations(ev, e.cuSet)
+			}
 		}
 	}
-	t.checkViolations(ev, checkSet)
-	t.checkBuf = checkSet[:0]
 
 	c := t.mergeAndUpdate(dataSet)
 	bs := t.ensureBlock(b)
@@ -795,14 +1141,10 @@ func (t *threadState) store(ev *vm.Event, b int64, valReg, addrReg isa.Reg) {
 	}
 	c.ws.add(b)
 
-	switch bs.state {
-	case stIdle, stLoaded:
-		bs.state = stStored
-	case stLoadedShared:
-		bs.state = stStoredShared
-		// stStored, stStoredShared, stTrueDep keep their state: the
-		// write-after-write and write-read histories they encode remain true.
-	}
+	// stStored, stStoredShared, stTrueDep keep their state in the table:
+	// the write-after-write and write-read histories they encode remain
+	// true.
+	bs.state = fsmNext[kindStore][bs.state]
 
 	bs.hasLocalWrite = true
 	bs.localWritePC = ev.PC
@@ -814,16 +1156,19 @@ func (t *threadState) store(ev *vm.Event, b int64, valReg, addrReg isa.Reg) {
 
 // checkViolations is Figure 7's check_violations: report a strict-2PL
 // violation if a conflicting remote access has hit a checked block of any
-// CU the store depends on. At most one violation is reported per store.
-func (t *threadState) checkViolations(ev *vm.Event, set []*cu) {
+// CU the store depends on. At most one violation is reported per store;
+// the return value tells the caller to suppress checks on its remaining
+// dependence sets.
+func (t *threadState) checkViolations(ev *vm.Event, set []*cu) bool {
 	for _, c := range set {
 		if t.reportIfConflict(ev, c, &c.rs) {
-			return
+			return true
 		}
 		if t.d.opts.CheckAllBlocks && t.reportIfConflict(ev, c, &c.ws) {
-			return
+			return true
 		}
 	}
+	return false
 }
 
 func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks *blockSet) bool {
@@ -836,8 +1181,13 @@ func (t *threadState) reportIfConflict(ev *vm.Event, c *cu, blocks *blockSet) bo
 			continue
 		}
 		// The conflict must belong to the unit being checked: a stale
-		// block whose CU pointer moved on is skipped.
-		if cur := t.currentCU(bs); cur != c {
+		// block whose CU pointer moved on is skipped. (currentCU's fast
+		// path by hand — this runs per footprint block per store.)
+		cur := bs.cu
+		if cur != nil && (cur.parent != nil || !cur.active) {
+			cur = t.currentCUSlow(bs)
+		}
+		if cur != c {
 			continue
 		}
 		t.d.stats.Violations++
@@ -974,12 +1324,9 @@ func (t *threadState) remote(ev *vm.Event, b int64) {
 		}
 	}
 
-	switch bs.state {
-	case stLoaded:
-		bs.state = stLoadedShared
-	case stStored:
-		bs.state = stStoredShared
-	case stTrueDep:
+	if bs.state != stTrueDep {
+		bs.state = fsmNext[kindRemote][bs.state]
+	} else {
 		// Shared dependence: this thread wrote then read the block inside
 		// the unit, and the block just proved to be shared (Figure 8
 		// transition II; Figure 7 lines 30-31).

@@ -1,6 +1,17 @@
 package vm
 
-import "repro/internal/isa"
+import (
+	"errors"
+
+	"repro/internal/isa"
+)
+
+// ErrBadBatch: a columnar batch handed to a detector carries a row the
+// program cannot have produced (PC outside the code). Detectors poison
+// the stream — the first bad batch sticks and later batches are
+// rejected — mirroring the wire layer's terminal ErrBadFrame taxonomy;
+// errors.Is matches.
+var ErrBadBatch = errors.New("vm: malformed event batch")
 
 // Columnar event batches. The array-of-structs []Event form costs ~80
 // bytes per dynamic instruction, most of it the embedded Instr that the
@@ -30,14 +41,42 @@ type EventBatch struct {
 	Addr   []int64 // meaningful when FlagLoad or FlagStore
 	Loaded []int64 // meaningful when FlagLoad
 	Stored []int64 // meaningful when FlagStore
+
+	// Blocks, when enabled, carries Addr>>shift per row, filled at append
+	// time — by the wire decoder as it walks the varint frame, or by the
+	// VM's columnar ring — so every consumer sharing the producer's shift
+	// skips the per-row recompute. Rows whose Flags carry neither load nor
+	// store hold an unspecified value (the shifted Addr operand, whatever
+	// it was). Zero-value batches leave it disabled; NewEventBatch enables
+	// it at shift 0, the detectors' default block size.
+	Blocks []int64
+
+	blockShift uint
+	blocksOn   bool
 }
 
-// NewEventBatch returns an empty batch with capacity for n events.
+// NewEventBatch returns an empty batch with capacity for n events. The
+// Blocks column is enabled at shift 0; call EnableBlocks to change it.
 func NewEventBatch(n int) *EventBatch {
-	b := &EventBatch{}
+	b := &EventBatch{blocksOn: true}
 	b.grow(n)
 	return b
 }
+
+// EnableBlocks turns the Blocks column on at the given shift. The batch
+// must be empty: rows appended earlier would be missing their entries.
+func (b *EventBatch) EnableBlocks(shift uint) {
+	if len(b.Seq) != 0 {
+		panic("vm: EnableBlocks on a non-empty EventBatch")
+	}
+	b.blockShift = shift
+	b.blocksOn = true
+}
+
+// BlockShift reports the Blocks column's shift and whether the column is
+// enabled. Consumers must check the shift against their own block size
+// before trusting the column.
+func (b *EventBatch) BlockShift() (uint, bool) { return b.blockShift, b.blocksOn }
 
 func (b *EventBatch) grow(n int) {
 	if cap(b.Seq) >= n {
@@ -50,6 +89,9 @@ func (b *EventBatch) grow(n int) {
 	b.Addr = append(make([]int64, 0, n), b.Addr...)
 	b.Loaded = append(make([]int64, 0, n), b.Loaded...)
 	b.Stored = append(make([]int64, 0, n), b.Stored...)
+	if b.blocksOn {
+		b.Blocks = append(make([]int64, 0, n), b.Blocks...)
+	}
 }
 
 // Len returns the number of events in the batch.
@@ -64,6 +106,7 @@ func (b *EventBatch) Reset() {
 	b.Addr = b.Addr[:0]
 	b.Loaded = b.Loaded[:0]
 	b.Stored = b.Stored[:0]
+	b.Blocks = b.Blocks[:0]
 }
 
 // Append adds one event as a new row.
@@ -91,6 +134,9 @@ func (b *EventBatch) AppendRaw(seq uint64, cpu int32, pc int64, flags uint8, add
 	b.Addr = append(b.Addr, addr)
 	b.Loaded = append(b.Loaded, loaded)
 	b.Stored = append(b.Stored, stored)
+	if b.blocksOn {
+		b.Blocks = append(b.Blocks, addr>>b.blockShift)
+	}
 }
 
 // AppendEvents appends each batch row (rebinding Instr from code) and
@@ -122,7 +168,8 @@ func (b *EventBatch) Row(i int, code []isa.Instr) Event {
 }
 
 // CopyFrom replaces the batch's contents with src's, reusing the
-// receiver's backing arrays when capacity allows.
+// receiver's backing arrays when capacity allows. The Blocks column and
+// its configuration follow the source.
 func (b *EventBatch) CopyFrom(src *EventBatch) {
 	b.Seq = append(b.Seq[:0], src.Seq...)
 	b.CPU = append(b.CPU[:0], src.CPU...)
@@ -131,6 +178,8 @@ func (b *EventBatch) CopyFrom(src *EventBatch) {
 	b.Addr = append(b.Addr[:0], src.Addr...)
 	b.Loaded = append(b.Loaded[:0], src.Loaded...)
 	b.Stored = append(b.Stored[:0], src.Stored...)
+	b.Blocks = append(b.Blocks[:0], src.Blocks...)
+	b.blockShift, b.blocksOn = src.blockShift, src.blocksOn
 }
 
 // ColumnObserver receives the dynamic instruction stream as columnar

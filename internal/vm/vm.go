@@ -201,17 +201,19 @@ type VM struct {
 	mem  []int64
 	cpus []CPUState
 
-	rng       rngState
-	seq       uint64
-	running   int      // count of non-halted CPUs
-	cur       int      // CPU owning the current quantum
-	quantum   int      // instructions left in the current quantum
-	cycles    []uint64 // per-CPU virtual time (TimingFirst mode)
-	observers []Observer
-	batchObs  []BatchObserver
-	ring      []Event // pending events for batched observers
-	colObs    []ColumnObserver
-	cols      *EventBatch // pending events for columnar observers
+	rng         rngState
+	seq         uint64
+	running     int      // count of non-halted CPUs
+	cur         int      // CPU owning the current quantum
+	quantum     int      // instructions left in the current quantum
+	cycles      []uint64 // per-CPU virtual time (TimingFirst mode)
+	observers   []Observer
+	batchObs    []BatchObserver
+	ring        []Event // pending events for batched observers
+	colObs      []ColumnObserver
+	cols        *EventBatch // pending events for columnar observers
+	colShift    uint        // Blocks-column shift for cols (SetColumnBlockShift)
+	colShiftSet bool
 
 	ev Event // reused event buffer
 }
@@ -284,8 +286,22 @@ func (m *VM) AttachBatch(obs BatchObserver) {
 func (m *VM) AttachColumns(obs ColumnObserver) {
 	if m.cols == nil {
 		m.cols = NewEventBatch(m.cfg.BatchCap)
+		if m.colShiftSet {
+			m.cols.EnableBlocks(m.colShift)
+		}
 	}
 	m.colObs = append(m.colObs, obs)
+}
+
+// SetColumnBlockShift sets the shift of the columnar ring's Blocks
+// column (NewEventBatch's default is 0), so the block ids the VM
+// computes once per event match the attached detectors' block size.
+// Call before the first event is emitted.
+func (m *VM) SetColumnBlockShift(shift uint) {
+	m.colShift, m.colShiftSet = shift, true
+	if m.cols != nil {
+		m.cols.EnableBlocks(shift)
+	}
 }
 
 // FlushBatch delivers any buffered events to the batched and columnar

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/isa"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -14,17 +15,38 @@ import (
 // mkJumpyBatch builds one adversarial synthetic batch: PC and address
 // deltas in both directions, negative values, CAS-shaped load+store
 // rows — the same shape TestEventsRandomRoundTrip uses.
-func mkJumpyBatch(rng *rand.Rand, codeLen int, threads, n int, seq *uint64) []vm.Event {
+func mkJumpyBatch(rng *rand.Rand, prog *isa.Program, threads, n int, seq *uint64) []vm.Event {
+	// The deframer validates flag/opcode consistency per PC: draw each
+	// row's PC from the opcode class matching the shape it fakes, as a
+	// real VM stream would.
+	var byClass [4][]int64
+	for pc, in := range prog.Code {
+		switch in.Op {
+		case isa.OpLoad:
+			byClass[0] = append(byClass[0], int64(pc))
+		case isa.OpStore:
+			byClass[1] = append(byClass[1], int64(pc))
+		case isa.OpCas:
+			byClass[2] = append(byClass[2], int64(pc))
+		default:
+			byClass[3] = append(byClass[3], int64(pc))
+		}
+	}
 	evs := make([]vm.Event, n)
 	for i := range evs {
 		*seq += uint64(rng.Intn(3) + 1)
 		evs[i] = vm.Event{
 			Seq:   *seq,
 			CPU:   rng.Intn(threads),
-			PC:    int64(rng.Intn(codeLen)),
 			Taken: rng.Intn(2) == 0,
 		}
-		switch rng.Intn(4) {
+		shape := rng.Intn(4)
+		for len(byClass[shape]) == 0 { // e.g. a program with no CAS
+			shape = rng.Intn(4)
+		}
+		pcs := byClass[shape]
+		evs[i].PC = pcs[rng.Intn(len(pcs))]
+		switch shape {
 		case 0:
 			evs[i].IsLoad = true
 			evs[i].Addr = rng.Int63n(1 << 40)
@@ -61,7 +83,7 @@ func TestWriteColumnsMatchesWriteEvents(t *testing.T) {
 	fc := NewFramer(&cols, threads)
 	eb := vm.NewEventBatch(0)
 	for i := 0; i < 40; i++ {
-		batch := mkJumpyBatch(rng, len(w.Prog.Code), threads, rng.Intn(100)+1, &seq)
+		batch := mkJumpyBatch(rng, w.Prog, threads, rng.Intn(100)+1, &seq)
 		if err := fr.WriteEvents(batch); err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +118,7 @@ func TestReadFrameIntoRoundTrip(t *testing.T) {
 	}
 	var sent [][]vm.Event
 	for i := 0; i < 30; i++ {
-		b := mkJumpyBatch(rng, len(w.Prog.Code), w.NumThreads, rng.Intn(64)+1, &seq)
+		b := mkJumpyBatch(rng, w.Prog, w.NumThreads, rng.Intn(64)+1, &seq)
 		sent = append(sent, b)
 		if err := f.WriteEvents(b); err != nil {
 			t.Fatal(err)

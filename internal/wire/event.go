@@ -154,9 +154,59 @@ type eventDecoder struct {
 	st   codecState
 	evs  []vm.Event    // reused batch buffer (row-form ReadFrame)
 	cols vm.EventBatch // reused columnar buffer backing d.evs
+
+	// memClass holds one flag-class byte per program PC; decodeColumns
+	// rejects rows whose load/store flag bits disagree with the opcode
+	// at their PC. See buildMemClass.
+	memClass []uint8
 }
 
 func newEventDecoder(threads int) eventDecoder { return eventDecoder{st: newCodecState(threads)} }
+
+// Flag classes: what the load/store flag bits may look like for a given
+// opcode. The VM only ever emits consistent rows; enforcing the same
+// invariant at the trust boundary means every consumer behind the
+// deframer (the detectors' columnar paths in particular, which dispatch
+// on flags and opcode interchangeably) can rely on it without
+// re-deriving the opcode per row.
+const (
+	classNone  uint8 = iota // non-memory opcode: both bits clear
+	classLoad               // load: exactly FlagLoad
+	classStore              // store: exactly FlagStore
+	classCas                // CAS: FlagLoad always, FlagStore iff it succeeded
+)
+
+// buildMemClass computes the per-PC flag class table for a program.
+func buildMemClass(p *isa.Program) []uint8 {
+	mc := make([]uint8, len(p.Code))
+	for pc := range p.Code {
+		switch p.Code[pc].Op {
+		case isa.OpLoad:
+			mc[pc] = classLoad
+		case isa.OpStore:
+			mc[pc] = classStore
+		case isa.OpCas:
+			mc[pc] = classCas
+		}
+	}
+	return mc
+}
+
+// checkFlags validates a row's load/store flag bits against the flag
+// class of the opcode at its PC.
+func checkFlags(class uint8, flags byte) bool {
+	mf := flags & (vm.FlagLoad | vm.FlagStore)
+	switch class {
+	case classNone:
+		return mf == 0
+	case classLoad:
+		return mf == vm.FlagLoad
+	case classStore:
+		return mf == vm.FlagStore
+	default: // classCas
+		return mf&vm.FlagLoad != 0
+	}
+}
 
 // decodeColumns parses one event batch payload directly into eb's
 // columns — the decode hot path, shared by ReadFrame and ReadFrameInto.
@@ -197,6 +247,9 @@ func (d *eventDecoder) decodeColumns(payload []byte, prog *isa.Program, eb *vm.E
 		st.lastPC[cpu] = pc
 		if pc < 0 || pc >= codeLen {
 			return fmt.Errorf("%w: event pc %d outside program code [0,%d)", ErrBadFrame, pc, codeLen)
+		}
+		if !checkFlags(d.memClass[pc], flags) {
+			return fmt.Errorf("%w: event flags %#x inconsistent with %v at pc %d", ErrBadFrame, flags, prog.Code[pc].Op, pc)
 		}
 		var addr, loaded, stored int64
 		if flags&(vm.FlagLoad|vm.FlagStore) != 0 {

@@ -374,6 +374,7 @@ func NewDeframer(r io.Reader) *Deframer {
 func (d *Deframer) SetProgram(p *isa.Program, threads int) {
 	d.prog = p
 	d.dec = newEventDecoder(threads)
+	d.dec.memClass = buildMemClass(p)
 }
 
 // readPayload reads the next frame header and payload into d.payload.

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/isa"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -255,6 +256,50 @@ func TestErrorTaxonomy(t *testing.T) {
 			t.Fatalf("got %v, want ErrBadFrame", err)
 		}
 	})
+	t.Run("flags inconsistent with opcode", func(t *testing.T) {
+		w, err := workloads.ByName("queue-fixed", 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One hostile row per flag class: a store-flagged load PC, a
+		// load-flagged store PC, a flagless CAS PC (which would silently
+		// skip the sync annotation in a flags-filtering consumer), and a
+		// load-flagged ALU PC. Each must die at the trust boundary.
+		var pcLoad, pcStore, pcCas, pcALU int64 = -1, -1, -1, -1
+		for pc, in := range w.Prog.Code {
+			switch {
+			case in.Op == isa.OpLoad && pcLoad < 0:
+				pcLoad = int64(pc)
+			case in.Op == isa.OpStore && pcStore < 0:
+				pcStore = int64(pc)
+			case in.Op == isa.OpCas && pcCas < 0:
+				pcCas = int64(pc)
+			case !in.Op.IsMem() && pcALU < 0:
+				pcALU = int64(pc)
+			}
+		}
+		hostile := []vm.Event{
+			{Seq: 1, PC: pcLoad, IsStore: true, Addr: 8, Stored: 1},
+			{Seq: 2, PC: pcStore, IsLoad: true, Addr: 8, Loaded: 1},
+			{Seq: 3, PC: pcCas},
+			{Seq: 4, PC: pcALU, IsLoad: true, Addr: 8, Loaded: 1},
+		}
+		for i, ev := range hostile {
+			if ev.PC < 0 {
+				continue // workload lacks this opcode
+			}
+			var buf bytes.Buffer
+			f := NewFramer(&buf, 2)
+			if err := f.WriteEvents([]vm.Event{ev}); err != nil {
+				t.Fatal(err)
+			}
+			d := NewDeframer(&buf)
+			d.SetProgram(w.Prog, 2)
+			if _, err := d.ReadFrame(); !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("hostile row %d: got %v, want ErrBadFrame", i, err)
+			}
+		}
+	})
 	t.Run("goodbye with payload", func(t *testing.T) {
 		var buf bytes.Buffer
 		buf.Write(Magic[:])
@@ -317,34 +362,59 @@ func TestEventsRandomRoundTrip(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(42))
 	const threads = 8
+	// The deframer validates flag/opcode consistency per PC, so the
+	// synthetic rows must draw their PC from the opcode class matching
+	// the shape they fake — exactly what a real VM stream guarantees.
+	var pcNone, pcLoad, pcStore, pcCas []int64
+	for pc, in := range w.Prog.Code {
+		switch in.Op {
+		case isa.OpLoad:
+			pcLoad = append(pcLoad, int64(pc))
+		case isa.OpStore:
+			pcStore = append(pcStore, int64(pc))
+		case isa.OpCas:
+			pcCas = append(pcCas, int64(pc))
+		default:
+			pcNone = append(pcNone, int64(pc))
+		}
+	}
+	pick := func(pcs []int64) int64 { return pcs[rng.Intn(len(pcs))] }
 	var seq uint64
 	mkBatch := func(n int) []vm.Event {
 		evs := make([]vm.Event, n)
 		for i := range evs {
 			seq += uint64(rng.Intn(3) + 1) // gaps: a filtered stream stays decodable
-			pc := int64(rng.Intn(len(w.Prog.Code)))
 			evs[i] = vm.Event{
 				Seq:   seq,
 				CPU:   rng.Intn(threads),
-				PC:    pc,
-				Instr: w.Prog.Code[pc],
 				Taken: rng.Intn(2) == 0,
 			}
-			switch rng.Intn(4) {
+			shape := rng.Intn(4)
+			classes := [4][]int64{pcLoad, pcStore, pcCas, pcNone}
+			for len(classes[shape]) == 0 { // e.g. a program with no CAS
+				shape = rng.Intn(4)
+			}
+			switch shape {
 			case 0:
+				evs[i].PC = pick(pcLoad)
 				evs[i].IsLoad = true
 				evs[i].Addr = rng.Int63n(1 << 40)
 				evs[i].Loaded = rng.Int63() - rng.Int63()
 			case 1:
+				evs[i].PC = pick(pcStore)
 				evs[i].IsStore = true
 				evs[i].Addr = rng.Int63n(1 << 40)
 				evs[i].Stored = rng.Int63() - rng.Int63()
 			case 2: // CAS shape
+				evs[i].PC = pick(pcCas)
 				evs[i].IsLoad, evs[i].IsStore = true, true
 				evs[i].Addr = rng.Int63n(1 << 40)
 				evs[i].Loaded = rng.Int63()
 				evs[i].Stored = -rng.Int63()
+			default:
+				evs[i].PC = pick(pcNone)
 			}
+			evs[i].Instr = w.Prog.Code[evs[i].PC]
 		}
 		return evs
 	}

@@ -332,6 +332,80 @@ func BenchmarkServerIngestSteady(b *testing.B) {
 	}
 }
 
+// BenchmarkServerIngestLocality is the steady-state ingest hop under
+// the synthetic Zipf stream (see zipfEvents): long same-thread runs on
+// skew-hot blocks, served as columnar batches whose Blocks column
+// matches the engine's shift. This is the configuration the locality
+// work targets end to end — the decoder-filled block ids suppress the
+// per-row shift in both detectors, sub-run coalescing retires most
+// fan-outs, and the batch buffers circulate allocation-free on the
+// stream's recycle ring (same zero allocs/op ceiling as Steady).
+func BenchmarkServerIngestLocality(b *testing.B) {
+	const threads = 8
+	prog := zipfProgram()
+	evs := zipfEvents(threads, 1<<17, 1)
+	// Pre-chop at the VM ring granularity. NewEventBatch carries the
+	// Blocks column at shift 0 — the engine default — so CopyFrom into
+	// the pooled buffers preserves decoder-equivalent batches.
+	var batches []*vm.EventBatch
+	for lo := 0; lo < len(evs); lo += vm.DefaultBatchCap {
+		hi := lo + vm.DefaultBatchCap
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		eb := vm.NewEventBatch(hi - lo)
+		for i := lo; i < hi; i++ {
+			eb.Append(&evs[i])
+		}
+		batches = append(batches, eb)
+	}
+	h := wire.Hello{Version: wire.Version, Threads: threads, Program: prog}
+	// Same retention caps and queue sizing as BenchmarkServerIngestSteady,
+	// and for the same reasons.
+	e := server.New(server.Options{
+		Shards: 1, QueueDepth: 24,
+		SVD: svd.Options{MaxViolations: 256},
+		FRD: frd.Options{MaxRaces: 256},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	st, err := e.OpenStream(h, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay := func() {
+		for _, src := range batches {
+			eb := st.GetBatch()
+			eb.CopyFrom(src)
+			st.IngestBatch(eb)
+		}
+	}
+	replay() // warm detector state, ring, and pool
+	if drain, err := e.OpenStream(h, ""); err != nil {
+		b.Fatal(err)
+	} else if _, err := drain.Close(); err != nil {
+		b.Error(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay()
+	}
+	b.StopTimer()
+	if _, err := st.Close(); err != nil {
+		b.Error(err)
+	}
+	total := float64(len(evs)) * float64(b.N)
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(total/el, "events/sec")
+	}
+}
+
 // BenchmarkServerIngestTelemetry is BenchmarkServerIngestSteady with the
 // full observability cost switched on: Options.Telemetry (per-batch
 // clocks, shard histogram fold) plus a send stamp on every batch (the
