@@ -13,6 +13,14 @@
 //	svdd -listen :7077 -http :7078          # /metrics, /statusz, /report, /debug/pprof
 //	svdd -listen :7077 -policy shed         # drop batches under overload
 //	svdd -listen :7077 -status-interval 10s # periodic status log line
+//	svdd -listen :7077 -journal /var/svdd   # durable journal of ingested streams
+//
+// With -journal, every ingested wire frame is persisted to a segmented
+// append-only store before its batch reaches a detector, violations are
+// anchored to their journal records, and cmd/svdreplay can later replay
+// the capture with byte-exact verification (-journal-* flags tune
+// rotation, retention, and fsync cadence). Restarting over the same
+// directory recovers torn tails and keeps stream ids unique.
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener closes, open
 // streams may finish until -drain-timeout expires, then the process
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -48,6 +57,12 @@ func main() {
 		telemetry    = flag.Bool("telemetry", true, "per-batch ingest telemetry: shard latency histograms, busy fraction")
 		statusEvery  = flag.Duration("status-interval", 0, "log a status summary at this interval (0 = off)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for open streams")
+		journalDir   = flag.String("journal", "", "directory for the durable event journal (empty = off)")
+		journalSeg   = flag.Int64("journal-segment-bytes", journal.DefaultSegmentBytes, "journal segment rotation size")
+		journalAge   = flag.Duration("journal-segment-age", 0, "rotate journal segments at this age even if not full (0 = size only)")
+		journalKeep  = flag.Int("journal-retain-segments", 0, "sealed journal segments to retain (0 = all)")
+		journalBytes = flag.Int64("journal-retain-bytes", 0, "total sealed journal bytes to retain (0 = all)")
+		journalSync  = flag.Duration("journal-fsync-interval", journal.DefaultFsyncInterval, "upper bound on the journal's unsynced window (<0 = every append)")
 		logLevel     = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
 		logJSON      = flag.Bool("log-json", false, "log as JSON instead of text")
 		showVersion  = flag.Bool("version", false, "print version and exit")
@@ -63,6 +78,30 @@ func main() {
 	if err != nil {
 		fatal(log, "bad -policy", err)
 	}
+	var jw *journal.Writer
+	var streamBase uint64
+	if *journalDir != "" {
+		prov, err := journal.OpenDir(*journalDir)
+		if err != nil {
+			fatal(log, "journal open", err)
+		}
+		jw, err = journal.OpenWriter(prov, journal.Options{
+			SegmentBytes:   *journalSeg,
+			SegmentAge:     *journalAge,
+			RetainSegments: *journalKeep,
+			RetainBytes:    *journalBytes,
+			FsyncInterval:  *journalSync,
+		})
+		if err != nil {
+			fatal(log, "journal recover", err)
+		}
+		streamBase = jw.StreamBase()
+		rec := jw.Recovery()
+		log.Info("journal open", "dir", *journalDir, "segments", rec.Segments,
+			"repaired", rec.Repaired, "truncated_bytes", rec.TruncatedBytes,
+			"stream_base", streamBase)
+	}
+
 	sink := obs.NewSink(obs.SinkOptions{})
 	eng := server.New(server.Options{
 		Shards:     *shards,
@@ -71,6 +110,8 @@ func main() {
 		Scale:      *scale,
 		Obs:        sink,
 		Telemetry:  *telemetry,
+		Journal:    jw,
+		StreamBase: streamBase,
 		Logger:     log,
 	})
 
@@ -136,6 +177,11 @@ func main() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutCtx)
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			log.Warn("journal close", "err", err)
+		}
 	}
 	c := eng.Counters()
 	log.Info("svdd stopped", "streams", c.StreamsClosed, "events", c.Events, "batches_shed", c.BatchesShed)

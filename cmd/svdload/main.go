@@ -46,6 +46,7 @@ func main() {
 		witness     = flag.Bool("witness", false, "ask the server for violation witnesses")
 		embed       = flag.Bool("embed-program", false, "ship the program image in the handshake instead of naming the workload")
 		verify      = flag.Bool("verify", false, "re-run each sample in-process and require bit-identical reports")
+		tolerate    = flag.Bool("tolerate-disconnect", false, "treat a dropped connection as the end of the run, not a failure (crash-drill mode)")
 		latency     = flag.Bool("latency", false, "negotiate send stamps and report wire-to-verdict latency percentiles")
 		jsonOut     = flag.Bool("json", false, "print per-sample results as JSON")
 		logLevel    = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
@@ -77,6 +78,10 @@ func main() {
 		// round-robins them across shards.
 		cli, conn, err := server.Dial(*addr)
 		if err != nil {
+			if *tolerate {
+				log.Warn("daemon unreachable, ending run", "addr", *addr, "err", err)
+				break
+			}
 			log.Error("dial", "addr", *addr, "err", err)
 			os.Exit(1)
 		}
@@ -89,6 +94,14 @@ func main() {
 		})
 		conn.Close()
 		if err != nil {
+			// Under -tolerate-disconnect a mid-stream hangup is the
+			// expected outcome of a crash drill: the daemon was killed
+			// while this sample streamed. Stop cleanly; the journal on
+			// the daemon side holds whatever made it to disk.
+			if *tolerate {
+				log.Warn("connection lost mid-sample, ending run", "workload", *workload, "seed", s, "err", err)
+				break
+			}
 			log.Error("replay", "workload", *workload, "seed", s, "err", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,79 @@
+// Append-path microbenchmarks: the per-record cost a journaled ingest
+// hop pays on the producer thread. BenchmarkWriterAppend is the number
+// to read against BenchmarkServerIngestJournaled — one ingest op appends
+// ~70 wire frames of ~10 KiB, so (ns/op here) × 70 is the journal's
+// share of that benchmark's gap over ServerIngestSteady.
+package journal
+
+import (
+	"os"
+	"testing"
+)
+
+func benchDir(b *testing.B) string {
+	// tmpfs when available, for the same reason the ingest benchmark
+	// uses it: measure the code, not the disk.
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		d, err := os.MkdirTemp("/dev/shm", "svdjournal-bench-")
+		if err == nil {
+			b.Cleanup(func() { os.RemoveAll(d) })
+			return d
+		}
+	}
+	return b.TempDir()
+}
+
+func benchAppend(b *testing.B, payloadBytes int, opts Options) {
+	prov, err := OpenDir(benchDir(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := OpenWriter(prov, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	hdr := make([]byte, 9)
+	payload := make([]byte, payloadBytes-9)
+	m := Meta{Kind: KindEvents, Stream: 1, FirstSeq: 1, LastSeq: 512}
+	// When the config can recycle, warm the rotation cycle first so the
+	// timed region writes into page-warm reused files, not fresh ones.
+	if opts.RetainSegments > 0 && opts.RecycleSegments >= 0 {
+		for i := 0; w.Stats().RecycledSegments < 2 && i < 1<<20; i++ {
+			if _, err := w.Append(m, hdr, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(payloadBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(m, hdr, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriterAppend is the production configuration: async flush
+// pipeline and background fsync ticker, one oversized segment so
+// rotation stays out of the loop.
+func BenchmarkWriterAppend(b *testing.B) {
+	benchAppend(b, 10<<10, Options{SegmentBytes: 1 << 40})
+}
+
+// BenchmarkWriterAppendRotating includes rotation and retention at the
+// default 64 MiB segment size — the cost profile of a long-running
+// daemon, amortized.
+func BenchmarkWriterAppendRotating(b *testing.B) {
+	benchAppend(b, 10<<10, Options{RetainSegments: 4})
+}
+
+// BenchmarkWriterAppendRecycled is the steady state of a long-running
+// daemon under retention: every rotation reuses a parked segment file,
+// so appends overwrite already-allocated pages instead of paying
+// first-touch page allocation — the configuration the journaled ingest
+// guard measures.
+func BenchmarkWriterAppendRecycled(b *testing.B) {
+	benchAppend(b, 10<<10, Options{SegmentBytes: 8 << 20, RetainSegments: 1})
+}

@@ -1,0 +1,242 @@
+//go:build linux
+
+package journal
+
+// Memory-mapped segment writes. The flusher's 256 KiB write syscalls
+// are the journal's dominant steady-state cost on this path's profile:
+// each one is a kernel copy into the page cache at roughly 0.25 ns/B,
+// against 0.09 ns/B for a user-space memcpy of the same bytes. Mapping
+// the segment file MAP_SHARED turns the flush into that memcpy.
+//
+// Two details make it fast and safe:
+//
+//   - Backing space is reserved with fallocate before the mapping is
+//     extended, so running out of disk surfaces as an append error from
+//     Write, never as a SIGBUS on a page fault. If fallocate is not
+//     supported (or fails), the file degrades to plain pwrite-style
+//     writes at the current offset — correct, just slower.
+//
+//   - A closed segment file is parked in the provider's pool still
+//     open and still mapped. When rotation recycles it, the next
+//     incarnation inherits the live mapping: no page faults, no
+//     remapping, no first-touch allocation — the pages are the same
+//     hot pages the previous incarnation wrote.
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+func (p *fileProvider) Create(name string) (WriteFile, error) {
+	if _, ok := parseSegName(name); !ok {
+		// Index sidecars and other small blobs: plain writes, no
+		// reservation or pooling worth their bookkeeping.
+		return os.OpenFile(filepath.Join(p.dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	}
+	f, err := os.OpenFile(filepath.Join(p.dir, name), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapFile{f: f, p: p, name: name}, nil
+}
+
+func (p *fileProvider) Recycle(name string) (WriteFile, error) {
+	p.poolMu.Lock()
+	if mf := p.pool[name]; mf != nil {
+		delete(p.pool, name)
+		p.poolMu.Unlock()
+		mf.off = 0
+		mf.plain = false
+		return mf, nil
+	}
+	p.poolMu.Unlock()
+
+	f, err := os.OpenFile(filepath.Join(p.dir, name), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	mf := &mmapFile{f: f, p: p, name: name}
+	// Map the previous incarnation's extent up front: its pages are
+	// already allocated, and MAP_POPULATE faults them in with one pass
+	// instead of one fault per written page.
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		if m, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()),
+			syscall.PROT_READ|syscall.PROT_WRITE,
+			syscall.MAP_SHARED|syscall.MAP_POPULATE); err == nil {
+			mf.m = m
+			mf.backed = fi.Size()
+		}
+	}
+	return mf, nil
+}
+
+// evict closes and unmaps a pooled file before an operation (remove,
+// truncate) that would invalidate its mapping.
+func (p *fileProvider) evict(name string) {
+	p.poolMu.Lock()
+	mf := p.pool[name]
+	delete(p.pool, name)
+	p.poolMu.Unlock()
+	if mf != nil {
+		mf.release(false)
+	}
+}
+
+// renamePooled keeps the pool keyed by the file's current name as
+// rotation parks and reissues segment files.
+func (p *fileProvider) renamePooled(old, new string) {
+	p.poolMu.Lock()
+	if mf := p.pool[old]; mf != nil {
+		delete(p.pool, old)
+		p.pool[new] = mf
+		mf.name = new
+	}
+	p.poolMu.Unlock()
+}
+
+// adopt parks a closed segment file in the pool, keeping it open and
+// mapped for Recycle. Reports whether the pool took it.
+func (p *fileProvider) adopt(mf *mmapFile) bool {
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	if p.pool == nil {
+		p.pool = make(map[string]*mmapFile, poolCap)
+	}
+	if len(p.pool) >= poolCap || p.pool[mf.name] != nil {
+		return false
+	}
+	p.pool[mf.name] = mf
+	return true
+}
+
+// mmapFile is an open segment backed by a shared mapping. Write is the
+// only method called concurrently with anything (the flusher owns it);
+// Sync touches only the descriptor, and Close runs after the flusher
+// has drained.
+type mmapFile struct {
+	f    *os.File
+	p    *fileProvider
+	name string
+	m    []byte // MAP_SHARED view; len(m) is the mapped capacity
+	off  int64  // logical write offset
+	// backed is how far the file's storage actually extends. Close
+	// trims the file to the bytes written, which can leave the mapping
+	// longer than the backing — touching that gap would SIGBUS, so
+	// Write re-reserves with fallocate before crossing it.
+	backed int64
+	// plain degrades to direct file writes when fallocate or mmap is
+	// unavailable; the mapped prefix (if any) and file writes are
+	// coherent through the unified page cache.
+	plain bool
+}
+
+// mmapMinCap is the initial reservation; capacity doubles as the
+// segment grows, so a SegmentBytes-sized file maps O(log) times.
+const mmapMinCap = 64 << 10
+
+func (mf *mmapFile) Write(d []byte) (int, error) {
+	if mf.plain {
+		n, err := mf.f.WriteAt(d, mf.off)
+		mf.off += int64(n)
+		return n, err
+	}
+	need := mf.off + int64(len(d))
+	if need > mf.backed {
+		if err := mf.reserve(need); err != nil {
+			// Degrade rather than fail: reservation or mapping is not
+			// available here, so pay the syscall per flush instead.
+			mf.plain = true
+			n, werr := mf.f.WriteAt(d, mf.off)
+			mf.off += int64(n)
+			return n, werr
+		}
+	}
+	copy(mf.m[mf.off:], d)
+	mf.off = need
+	return len(d), nil
+}
+
+// reserve extends the file's backing (and, when needed, the mapping)
+// to cover at least need bytes. Reserving before touching is what
+// keeps out-of-space an error instead of a SIGBUS.
+func (mf *mmapFile) reserve(need int64) error {
+	if need <= int64(len(mf.m)) {
+		// Mapping already covers it; restore the backing the last
+		// trim released.
+		if err := syscall.Fallocate(int(mf.f.Fd()), 0, 0, int64(len(mf.m))); err != nil {
+			return err
+		}
+		mf.backed = int64(len(mf.m))
+		return nil
+	}
+	return mf.grow(need)
+}
+
+// grow reserves backing space to at least need bytes and remaps.
+func (mf *mmapFile) grow(need int64) error {
+	newCap := int64(len(mf.m))
+	if newCap < mmapMinCap {
+		newCap = mmapMinCap
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	if err := syscall.Fallocate(int(mf.f.Fd()), 0, 0, newCap); err != nil {
+		return err
+	}
+	mf.backed = newCap
+	if mf.m != nil {
+		if err := syscall.Munmap(mf.m); err != nil {
+			return err
+		}
+		mf.m = nil
+	}
+	m, err := syscall.Mmap(int(mf.f.Fd()), 0, int(newCap),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return err
+	}
+	mf.m = m
+	return nil
+}
+
+func (mf *mmapFile) Sync() error { return mf.f.Sync() }
+
+// DirectWrite reports whether writes are still memcpys into the
+// mapping. Queried once per segment, after the header write — by which
+// point a filesystem without fallocate has already degraded to plain.
+func (mf *mmapFile) DirectWrite() bool { return !mf.plain }
+
+// Close trims the fallocated tail to the bytes actually written, then
+// parks the file in the provider's pool when there is room — still
+// open and still mapped, so the next incarnation inherits hot pages —
+// and otherwise unmaps and closes it.
+func (mf *mmapFile) Close() error {
+	if mf.p != nil && !mf.plain {
+		if err := mf.f.Truncate(mf.off); err == nil {
+			mf.backed = mf.off
+			if mf.p.adopt(mf) {
+				return nil
+			}
+		}
+	}
+	return mf.release(true)
+}
+
+func (mf *mmapFile) release(trim bool) error {
+	var err error
+	if mf.m != nil {
+		err = syscall.Munmap(mf.m)
+		mf.m = nil
+	}
+	if trim {
+		if e := mf.f.Truncate(mf.off); err == nil {
+			err = e
+		}
+	}
+	if e := mf.f.Close(); err == nil {
+		err = e
+	}
+	return err
+}

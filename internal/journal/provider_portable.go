@@ -1,0 +1,30 @@
+//go:build !linux
+
+package journal
+
+// Portable segment writes: plain buffered files. The mmap fast path in
+// provider_linux.go needs fallocate and MAP_SHARED semantics this
+// build cannot assume.
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// mmapFile exists on every platform so fileProvider's pool field
+// typechecks; it is never instantiated here.
+type mmapFile struct{}
+
+func (mf *mmapFile) release(bool) error { return nil }
+
+func (p *fileProvider) Create(name string) (WriteFile, error) {
+	return os.OpenFile(filepath.Join(p.dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (p *fileProvider) Recycle(name string) (WriteFile, error) {
+	return os.OpenFile(filepath.Join(p.dir, name), os.O_WRONLY, 0o644)
+}
+
+func (p *fileProvider) evict(string) {}
+
+func (p *fileProvider) renamePooled(string, string) {}

@@ -1,0 +1,165 @@
+package offline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/frd"
+	"repro/internal/isa"
+	"repro/internal/svd"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Differential re-detection: the paper's offline methodology running
+// over a captured execution. The offline three-pass algorithm is the
+// reference (§4.1: exact dependences, shared-variable oracle); each
+// online configuration — SVD and FRD across their option axes — replays
+// the same events and is scored against it on static sites and on
+// wall-clock cost. cmd/svdreplay drives this over journaled production
+// traffic, which is exactly the Table 2 accuracy/overhead comparison
+// with real captures in place of benchmark reruns.
+
+// Config names one online detector configuration in the sweep.
+type Config struct {
+	Name     string `json:"name"`
+	Detector string `json:"detector"` // "svd" or "frd"
+
+	// Witness turns on flight-recorder witness assembly — the accuracy
+	// is unchanged by construction, so the interesting column is cost.
+	Witness bool `json:"witness,omitempty"`
+
+	// NoInterestIndex disables the reader-interest index (the remote
+	// propagation filter): same verdicts, different overhead.
+	NoInterestIndex bool `json:"no_interest_index,omitempty"`
+}
+
+// DefaultConfigs is the standard sweep: both detectors, with and
+// without witnesses and the interest index.
+func DefaultConfigs() []Config {
+	return []Config{
+		{Name: "svd", Detector: "svd"},
+		{Name: "svd+witness", Detector: "svd", Witness: true},
+		{Name: "svd-noindex", Detector: "svd", NoInterestIndex: true},
+		{Name: "frd", Detector: "frd"},
+		{Name: "frd-noindex", Detector: "frd", NoInterestIndex: true},
+	}
+}
+
+// DiffRow is one configuration's outcome.
+type DiffRow struct {
+	Config     Config `json:"config"`
+	Violations uint64 `json:"violations"` // dynamic reports, pre-cap
+	Sites      int    `json:"sites"`      // distinct static PC pairs
+	ElapsedNs  int64  `json:"elapsed_ns"`
+
+	// Site agreement against the offline reference, on unordered PC
+	// pairs: Shared appear in both, OnlineOnly only here (online
+	// approximation error or FRD's different defect class), OfflineOnly
+	// only in the reference (missed by this configuration).
+	SharedSites  int     `json:"shared_sites"`
+	OnlineOnly   int     `json:"online_only_sites"`
+	OfflineOnly  int     `json:"offline_only_sites"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// DiffReport is the full differential table for one captured stream.
+type DiffReport struct {
+	Events            int       `json:"events"`
+	Threads           int       `json:"threads"`
+	OfflineViolations int       `json:"offline_violations"`
+	OfflineSites      int       `json:"offline_sites"`
+	OfflineElapsedNs  int64     `json:"offline_elapsed_ns"`
+	TraceDropped      uint64    `json:"trace_dropped,omitempty"`
+	Rows              []DiffRow `json:"rows"`
+}
+
+// pcPair is a canonical unordered static site.
+type pcPair struct{ lo, hi int64 }
+
+func canonPair(a, b int64) pcPair {
+	if a > b {
+		a, b = b, a
+	}
+	return pcPair{lo: a, hi: b}
+}
+
+// Differential records evs, runs the offline reference, then replays
+// the same events through every config and scores it. configs nil means
+// DefaultConfigs. maxStmts bounds the recorded trace (0 means the
+// recorder default); events past the bound are dropped from the offline
+// reference but still reach every online config, mirroring how the
+// online detectors never buffer the execution.
+func Differential(prog *isa.Program, threads int, evs []vm.Event, configs []Config, maxStmts int) (*DiffReport, error) {
+	if len(configs) == 0 {
+		configs = DefaultConfigs()
+	}
+	rec, err := trace.NewRecorder(prog, threads, maxStmts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range evs {
+		rec.Step(&evs[i])
+	}
+	tr := rec.Trace()
+	t0 := time.Now()
+	ref := Run(tr, 0)
+	offElapsed := time.Since(t0)
+
+	refSites := make(map[pcPair]bool)
+	for _, s := range ref.Sites() {
+		refSites[canonPair(s[0], s[1])] = true
+	}
+	rep := &DiffReport{
+		Events:            len(evs),
+		Threads:           threads,
+		OfflineViolations: len(ref.Violations),
+		OfflineSites:      len(refSites),
+		OfflineElapsedNs:  offElapsed.Nanoseconds(),
+		TraceDropped:      tr.Dropped,
+	}
+
+	for _, cfg := range configs {
+		row := DiffRow{Config: cfg}
+		sites := make(map[pcPair]bool)
+		t0 := time.Now()
+		switch cfg.Detector {
+		case "svd":
+			d := svd.New(prog, threads, svd.Options{Witness: cfg.Witness, NoInterestIndex: cfg.NoInterestIndex})
+			for i := range evs {
+				d.Step(&evs[i])
+			}
+			row.ElapsedNs = time.Since(t0).Nanoseconds()
+			row.Violations = d.Stats().Violations
+			for _, v := range d.Violations() {
+				sites[canonPair(v.StorePC, v.ConflictPC)] = true
+			}
+		case "frd":
+			d := frd.New(prog, threads, frd.Options{Witness: cfg.Witness, NoInterestIndex: cfg.NoInterestIndex})
+			for i := range evs {
+				d.Step(&evs[i])
+			}
+			row.ElapsedNs = time.Since(t0).Nanoseconds()
+			row.Violations = d.Stats().Races
+			for _, s := range d.Sites() {
+				sites[canonPair(s.PCLow, s.PCHigh)] = true
+			}
+		default:
+			return nil, fmt.Errorf("offline: unknown detector %q in config %q", cfg.Detector, cfg.Name)
+		}
+		row.Sites = len(sites)
+		for p := range sites {
+			if refSites[p] {
+				row.SharedSites++
+			} else {
+				row.OnlineOnly++
+			}
+		}
+		row.OfflineOnly = len(refSites) - row.SharedSites
+		if row.ElapsedNs > 0 {
+			row.EventsPerSec = float64(len(evs)) / (float64(row.ElapsedNs) / 1e9)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// Violation anchors: the joint between live detection and the durable
+// journal. When a shard worker steps a journaled batch and the detector
+// count moves, the worker records the journal location of exactly that
+// batch's record. A violation report therefore carries its replay
+// coordinates end-to-end — seek the journal to (segment, offset), read
+// one CRC-checked record, and the raw wire frame whose events produced
+// the verdict is in hand.
+
+// Anchor ties one detected violation to the journal record that
+// produced it.
+type Anchor struct {
+	// Detector is "svd" (strict-2PL serializability violation) or "frd"
+	// (flag race).
+	Detector string `json:"detector"`
+
+	// Index is the violation's ordinal in the detector's pre-cap count;
+	// when below the retention cap it indexes the detector's retained
+	// violation and witness slices.
+	Index int `json:"index"`
+
+	// Loc addresses the journaled Events record whose batch moved the
+	// detector: journal.Reader.ReadAt(Loc) returns the raw wire frame.
+	Loc journal.Loc `json:"loc"`
+
+	// FirstSeq and LastSeq bound the batch's event sequence numbers —
+	// the range an offline pass narrows to.
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+
+	// Witness is the flight-recorder witness paired with this violation
+	// when the stream ran with witnesses on and the index is within the
+	// retention cap.
+	Witness *obs.Witness `json:"witness,omitempty"`
+}
+
+// StreamAnchors is one completed stream's violation anchors.
+type StreamAnchors struct {
+	Stream   uint64   `json:"stream"`
+	Workload string   `json:"workload"`
+	Seed     uint64   `json:"seed"`
+	Anchors  []Anchor `json:"anchors"`
+}
+
+// JournalReport is the /report journal section: store health plus every
+// completed stream's anchors.
+type JournalReport struct {
+	Stats   journal.Stats   `json:"stats"`
+	Streams []StreamAnchors `json:"streams,omitempty"`
+}
+
+// attachWitnesses pairs a close-time sample's retained witnesses with
+// the stream's anchors, index-for-index per detector. Witness retention
+// and violation retention share a cap and an order (both append in
+// detection order), so Index addresses both slices.
+func attachWitnesses(anchors []Anchor, sample *report.Sample) {
+	if sample == nil {
+		return
+	}
+	for i := range anchors {
+		a := &anchors[i]
+		var ws []obs.Witness
+		switch a.Detector {
+		case "svd":
+			ws = sample.SVDWitnesses
+		case "frd":
+			ws = sample.FRDWitnesses
+		}
+		if a.Index < len(ws) {
+			a.Witness = &ws[a.Index]
+		}
+	}
+}
+
+// journalReport assembles the Report's journal section. Caller must not
+// hold e.mu.
+func (e *Engine) journalReport() *JournalReport {
+	if e.opts.Journal == nil {
+		return nil
+	}
+	jr := &JournalReport{Stats: e.opts.Journal.Stats()}
+	e.mu.Lock()
+	jr.Streams = append(jr.Streams, e.anchors...)
+	e.mu.Unlock()
+	return jr
+}

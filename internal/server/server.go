@@ -75,6 +75,7 @@ import (
 	"time"
 
 	"repro/internal/frd"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/svd"
@@ -141,6 +142,18 @@ type Options struct {
 	// Obs collects detector telemetry across streams; nil disables it.
 	Obs *obs.Sink
 
+	// Journal, when set, is the durable store sessions append ingested
+	// wire frames to; shard workers then anchor every detected violation
+	// to the journal record whose batch produced it. In-process
+	// producers that bypass the wire (Stream.Ingest/IngestBatch) are not
+	// journaled — the journal records what arrived on the wire, exactly.
+	Journal *journal.Writer
+
+	// StreamBase offsets engine-assigned stream ids. A daemon reopening
+	// a journal passes the writer's StreamBase() so ids stay unique
+	// across restarts sharing one journal directory.
+	StreamBase uint64
+
 	// Telemetry enables the ingest path's own instrumentation: per-batch
 	// queue-wait/step clocks folded into per-shard histograms and the
 	// busy-fraction EWMA (telemetry.go). Off, the hot path takes no
@@ -202,6 +215,7 @@ type Engine struct {
 	mu      sync.Mutex
 	samples []*report.Sample   // completed stream reports, open-order
 	open    map[uint64]*Stream // registry behind Snapshot's stream table
+	anchors []StreamAnchors    // journaled streams' violation anchors, close-order
 }
 
 // job is one unit of shard work. Exactly one of open/close/eb is set.
@@ -216,6 +230,12 @@ type job struct {
 	// time, taken only under Options.Telemetry.
 	sendNanos uint64
 	enq       time.Time
+
+	// loc is the journal record this batch was persisted as, valid when
+	// journaled is set; the worker anchors any violations the batch
+	// produces to it.
+	loc       journal.Loc
+	journaled bool
 }
 
 type shard struct {
@@ -303,6 +323,16 @@ type Stream struct {
 	lat       obs.Histogram
 	latReport *LatencyReport
 
+	// anchors collects the stream's violation anchors; worker-owned
+	// until the close job publishes them into the engine. anchorCapSVD
+	// and anchorCapFRD bound it to the detectors' retention caps: a
+	// violation past the cap has no retained record or witness to point
+	// at, so anchoring it would grow the slice without bound on
+	// pathological streams.
+	anchors      []Anchor
+	anchorCapSVD uint64
+	anchorCapFRD uint64
+
 	done   chan struct{}
 	sample *report.Sample // set before done closes
 	err    error          // terminal stream error (overload, abort)
@@ -351,7 +381,7 @@ func (e *Engine) OpenStream(h wire.Hello, key string) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	id := e.nextStream.Add(1) - 1
+	id := e.opts.StreamBase + e.nextStream.Add(1) - 1
 	st := &Stream{
 		eng:        e,
 		sh:         e.route(key, id),
@@ -372,6 +402,10 @@ func (e *Engine) OpenStream(h wire.Hello, key string) (*Stream, error) {
 	st.sh.jobs <- job{st: st, open: true}
 	return st, nil
 }
+
+// ID reports the stream's engine-assigned id — the identity journal
+// records carry, offset by Options.StreamBase across daemon restarts.
+func (s *Stream) ID() uint64 { return s.id }
 
 // GetBatch borrows an empty batch buffer for the producer to fill —
 // typically as the target of wire.Deframer.ReadFrameInto. Ownership
@@ -417,12 +451,24 @@ func (s *Stream) IngestBatch(eb *vm.EventBatch) {
 // Events frame; the shard worker turns it into the stream's
 // wire-to-verdict latency observation.
 func (s *Stream) IngestBatchAt(eb *vm.EventBatch, sendNanos uint64) {
+	s.ingest(job{st: s, eb: eb, sendNanos: sendNanos})
+}
+
+// IngestBatchJournaled is IngestBatchAt for a batch whose wire frame
+// was appended to the journal as the record at loc: the shard worker
+// anchors any violations the batch produces to that record.
+func (s *Stream) IngestBatchJournaled(eb *vm.EventBatch, sendNanos uint64, loc journal.Loc) {
+	s.ingest(job{st: s, eb: eb, sendNanos: sendNanos, loc: loc, journaled: true})
+}
+
+// ingest enqueues one batch job, applying the overload policy.
+func (s *Stream) ingest(j job) {
+	eb := j.eb
 	n := eb.Len()
 	if n == 0 {
 		s.PutBatch(eb)
 		return
 	}
-	j := job{st: s, eb: eb, sendNanos: sendNanos}
 	if s.eng.opts.Telemetry {
 		j.enq = time.Now()
 		s.lastActive.Store(j.enq.UnixNano())
@@ -513,6 +559,16 @@ func (e *Engine) worker(sh *shard) {
 			}
 			st.sd = svd.New(st.w.Prog, st.w.NumThreads, svdOpts)
 			st.fd = frd.New(st.w.Prog, st.w.NumThreads, frdOpts)
+			// Mirror the detectors' retention defaulting (<=0 means 1<<16)
+			// so the anchor bound always matches what they retain.
+			st.anchorCapSVD = 1 << 16
+			if svdOpts.MaxViolations > 0 {
+				st.anchorCapSVD = uint64(svdOpts.MaxViolations)
+			}
+			st.anchorCapFRD = 1 << 16
+			if frdOpts.MaxRaces > 0 {
+				st.anchorCapFRD = uint64(frdOpts.MaxRaces)
+			}
 		case j.close:
 			// Reclaim the stream's recycle ring. The session is parked
 			// in Close/Abort (the close job's channel send happened
@@ -542,10 +598,16 @@ func (e *Engine) worker(sh *shard) {
 			if st.lat.Count > 0 {
 				st.latReport = &LatencyReport{Batches: st.lat.Count, WireToVerdictNs: st.lat}
 			}
+			attachWitnesses(st.anchors, st.sample)
 			e.mu.Lock()
 			delete(e.open, st.id)
 			if st.sample != nil {
 				e.samples = append(e.samples, sample)
+			}
+			if len(st.anchors) > 0 {
+				e.anchors = append(e.anchors, StreamAnchors{
+					Stream: st.id, Workload: st.w.Name, Seed: st.seed, Anchors: st.anchors,
+				})
 			}
 			e.mu.Unlock()
 			// Free detector state before signaling: the stream handle
@@ -564,9 +626,42 @@ func (e *Engine) worker(sh *shard) {
 			if track || stamped {
 				t0 = time.Now()
 			}
+			// Journaled batches bracket the step with detector counts so a
+			// violation lands an anchor on exactly the record that holds
+			// its batch. Stats() is a struct copy — no clock, no alloc.
+			var v0, r0 uint64
+			if j.journaled {
+				v0 = st.sd.Stats().Violations
+				r0 = st.fd.Stats().Races
+			}
 			st.sd.StepColumns(j.eb)
 			st.fd.StepColumns(j.eb)
 			n := j.eb.Len()
+			if j.journaled {
+				firstSeq, lastSeq := j.eb.Seq[0], j.eb.Seq[n-1]
+				if v1 := st.sd.Stats().Violations; v1 > v0 {
+					if v1 > st.anchorCapSVD {
+						v1 = st.anchorCapSVD
+					}
+					for i := v0; i < v1; i++ {
+						st.anchors = append(st.anchors, Anchor{
+							Detector: "svd", Index: int(i), Loc: j.loc,
+							FirstSeq: firstSeq, LastSeq: lastSeq,
+						})
+					}
+				}
+				if r1 := st.fd.Stats().Races; r1 > r0 {
+					if r1 > st.anchorCapFRD {
+						r1 = st.anchorCapFRD
+					}
+					for i := r0; i < r1; i++ {
+						st.anchors = append(st.anchors, Anchor{
+							Detector: "frd", Index: int(i), Loc: j.loc,
+							FirstSeq: firstSeq, LastSeq: lastSeq,
+						})
+					}
+				}
+			}
 			j.eb.Reset()
 			if !st.ring.push(j.eb) {
 				sh.pool.Put(j.eb)
@@ -630,6 +725,11 @@ type Report struct {
 	// Ingest is the live service snapshot: shard table, open-stream
 	// odometers, uptime.
 	Ingest Snapshot `json:"ingest"`
+
+	// Journal is the durable-store section: writer health plus every
+	// completed stream's violation anchors with their witnesses. Nil
+	// when the engine runs without a journal.
+	Journal *JournalReport `json:"journal,omitempty"`
 }
 
 // Report builds the current query answer.
@@ -645,6 +745,7 @@ func (e *Engine) Report() Report {
 		sn := e.opts.Obs.Snapshot()
 		r.Obs = &sn
 	}
+	r.Journal = e.journalReport()
 	return r
 }
 

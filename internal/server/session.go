@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/journal"
 	"repro/internal/wire"
 )
 
@@ -82,6 +83,20 @@ func (e *Engine) serveStream(d *wire.Deframer, f *wire.Framer, seq int) error {
 	}
 	d.SetProgram(st.w.Prog, st.w.NumThreads)
 
+	// Journaling persists each frame's raw wire bytes before its batch
+	// reaches a shard, so a violation anchor always points at a record
+	// already on disk. A journal write error downgrades the stream to
+	// unjournaled rather than killing it: detection availability wins,
+	// and the writer's sticky error keeps later appends cheap.
+	jw := e.opts.Journal
+	if jw != nil {
+		hdr, payload := d.RawFrame()
+		if _, jerr := jw.Append(journal.Meta{Kind: journal.KindHello, Stream: st.id}, hdr, payload); jerr != nil {
+			e.opts.Logger.Warn("journal append failed; stream unjournaled", "stream", st.id, "err", jerr)
+			jw = nil
+		}
+	}
+
 	closed := false
 	defer func() {
 		if !closed {
@@ -105,20 +120,48 @@ func (e *Engine) serveStream(d *wire.Deframer, f *wire.Framer, seq int) error {
 		switch fr.Type {
 		case wire.FrameEvents:
 			st.NoteWireBytes(d.LastFrameBytes())
+			if jw != nil {
+				var first, last uint64
+				if n := eb.Len(); n > 0 {
+					first, last = eb.Seq[0], eb.Seq[n-1]
+				}
+				hdr, payload := d.RawFrame()
+				loc, jerr := jw.Append(journal.Meta{
+					Kind: journal.KindEvents, Stream: st.id, FirstSeq: first, LastSeq: last,
+				}, hdr, payload)
+				if jerr == nil {
+					st.IngestBatchJournaled(eb, fr.SendNanos, loc)
+					continue
+				}
+				e.opts.Logger.Warn("journal append failed; stream unjournaled", "stream", st.id, "err", jerr)
+				jw = nil
+			}
 			st.IngestBatchAt(eb, fr.SendNanos)
 		case wire.FrameGoodbye:
 			st.PutBatch(eb)
+			if jw != nil {
+				hdr, payload := d.RawFrame()
+				if _, jerr := jw.Append(journal.Meta{Kind: journal.KindGoodbye, Stream: st.id}, hdr, payload); jerr != nil {
+					jw = nil
+				}
+			}
 			closed = true
 			sample, serr := st.Close()
 			res := wire.Result{}
 			if serr != nil {
 				res.Err = serr.Error()
+				if jw != nil {
+					_, _ = jw.Append(journal.Meta{Kind: journal.KindError, Stream: st.id}, nil, []byte(res.Err))
+				}
 			} else {
 				data, err := json.Marshal(sample)
 				if err != nil {
 					return fmt.Errorf("server: encode result: %w", err)
 				}
 				res.Sample = data
+				if jw != nil {
+					_, _ = jw.Append(journal.Meta{Kind: journal.KindResult, Stream: st.id}, nil, data)
+				}
 			}
 			// A stream that negotiated timestamps gets its latency digest
 			// back alongside the sample, even when the sample is replaced

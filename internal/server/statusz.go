@@ -32,6 +32,11 @@ type statuszData struct {
 	Uptime    time.Duration
 	Shown     int // streams rendered (min(len(Streams), statusTopK))
 	Truncated int // open streams beyond the table
+
+	// JournalFsync is the journal's fsync summary, flattened here because
+	// Summarize has a pointer receiver the template cannot call through
+	// the embedded snapshot's value field.
+	JournalFsync obs.Summary
 }
 
 // fmtNs renders a nanosecond quantity human-first (µs/ms/s).
@@ -82,6 +87,27 @@ telemetry {{if .Telemetry}}on{{else}}off{{end}} ·
 {{if .Counters.BatchesShed}}<tr class="warn"><td class="l">batches shed</td><td>{{.Counters.BatchesShed}}</td></tr>{{end}}
 {{if .Counters.StreamsShed}}<tr class="warn"><td class="l">streams shed</td><td>{{.Counters.StreamsShed}}</td></tr>{{end}}
 </table>
+
+{{with .Journal}}
+<h2>Journal</h2>
+<table>
+<tr><th class="l">field</th><th>value</th></tr>
+<tr><td class="l">directory</td><td class="l">{{.Dir}}</td></tr>
+<tr><td class="l">segments</td><td>{{.Segments}}</td></tr>
+<tr><td class="l">active segment</td><td>{{printf "%016x" .ActiveSegment}}</td></tr>
+<tr><td class="l">active / total bytes</td><td>{{.ActiveBytes}} / {{.TotalBytes}}</td></tr>
+<tr><td class="l">appended records / bytes</td><td>{{.AppendedRecords}} / {{.AppendedBytes}}</td></tr>
+<tr><td class="l">rotations / recycled</td><td>{{.Rotations}} / {{.RecycledSegments}}</td></tr>
+{{if .AppendErrors}}<tr class="warn"><td class="l">append errors</td><td>{{.AppendErrors}}</td></tr>{{end}}
+<tr><td class="l">oldest segment</td><td class="l">{{age $.TakenUnixNano .OldestUnixNano}}</td></tr>
+<tr><td class="l">newest append</td><td class="l">{{age $.TakenUnixNano .NewestUnixNano}}</td></tr>
+<tr><td class="l">fsync p50 / p99</td><td>{{ns $.JournalFsync.P50}} / {{ns $.JournalFsync.P99}}</td></tr>
+{{if .LastCompaction.UnixNano}}<tr{{if .LastCompaction.Err}} class="warn"{{end}}><td class="l">last compaction</td>
+<td class="l">{{age $.TakenUnixNano .LastCompaction.UnixNano}}: removed {{.LastCompaction.Removed}}{{with .LastCompaction.Err}}, err {{.}}{{end}}</td></tr>{{end}}
+{{if .Recovery.Repaired}}<tr><td class="l">recovery</td>
+<td class="l">repaired {{.Recovery.Repaired}} segment(s), truncated {{.Recovery.TruncatedBytes}} bytes</td></tr>{{end}}
+</table>
+{{end}}
 
 <h2>Shards</h2>
 <table>
@@ -137,6 +163,9 @@ func (e *Engine) statusz() statuszData {
 		GoVersion: runtime.Version(),
 	}
 	d.Uptime = time.Duration(d.UptimeSeconds * float64(time.Second)).Round(time.Second)
+	if d.Journal != nil {
+		d.JournalFsync = d.Journal.FsyncNs.Summarize()
+	}
 	d.Shown = len(d.Streams)
 	if d.Shown > statusTopK {
 		d.Truncated = d.Shown - statusTopK
@@ -156,6 +185,14 @@ func (e *Engine) WriteStatusText(w io.Writer) {
 	c := d.Counters
 	fmt.Fprintf(w, "counters opened=%d closed=%d batches=%d events=%d batches_shed=%d streams_shed=%d\n",
 		c.StreamsOpened, c.StreamsClosed, c.Batches, c.Events, c.BatchesShed, c.StreamsShed)
+	if j := d.Journal; j != nil {
+		fmt.Fprintf(w, "journal dir=%q segments=%d active_bytes=%d total_bytes=%d records=%d bytes=%d rotations=%d append_errors=%d oldest=%q newest=%q fsync_p50=%s fsync_p99=%s compaction_removed=%d\n",
+			j.Dir, j.Segments, j.ActiveBytes, j.TotalBytes,
+			j.AppendedRecords, j.AppendedBytes, j.Rotations, j.AppendErrors,
+			fmtAge(d.TakenUnixNano, j.OldestUnixNano), fmtAge(d.TakenUnixNano, j.NewestUnixNano),
+			fmtNs(d.JournalFsync.P50), fmtNs(d.JournalFsync.P99),
+			j.LastCompaction.Removed)
+	}
 	for _, s := range d.Shards {
 		fmt.Fprintf(w, "shard id=%d queue=%d/%d hwm=%d busy=%.3f batches=%d events=%d qwait_p50=%s qwait_p99=%s step_p50=%s step_p99=%s wire_p50=%s wire_p99=%s\n",
 			s.ID, s.QueueLen, s.QueueCap, s.QueueHWM, s.Busy, s.Batches, s.Events,

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/obs"
 )
 
@@ -169,6 +170,10 @@ type Snapshot struct {
 	Shards   []ShardSnapshot  `json:"shards"`
 	Streams  []StreamSnapshot `json:"streams"` // open streams, hottest (most events) first
 	Counters Counters         `json:"counters"`
+
+	// Journal is the durable journal's state when one is attached
+	// (svdd -journal); nil otherwise.
+	Journal *journal.Stats `json:"journal,omitempty"`
 }
 
 // Snapshot captures the engine's operational state. Safe to call at any
@@ -184,6 +189,10 @@ func (e *Engine) Snapshot() Snapshot {
 		Telemetry:     e.opts.Telemetry,
 		Shards:        make([]ShardSnapshot, len(e.shards)),
 		Counters:      e.Counters(),
+	}
+	if jw := e.opts.Journal; jw != nil {
+		js := jw.Stats()
+		sn.Journal = &js
 	}
 	for i, sh := range e.shards {
 		s := &sn.Shards[i]
@@ -255,6 +264,18 @@ func (e *Engine) WriteMetrics(o *obs.OpenMetricsWriter) {
 	o.Counter("batches_shed", "batches dropped under PolicyShed", c.BatchesShed)
 	o.Counter("streams_shed", "streams poisoned by shedding", c.StreamsShed)
 	o.Gauge("streams_open", "streams currently open", float64(len(sn.Streams)))
+
+	if j := sn.Journal; j != nil {
+		o.Gauge("journal_segments", "journal segments on disk, sealed plus active", float64(j.Segments))
+		o.Gauge("journal_active_bytes", "bytes in the journal's active segment", float64(j.ActiveBytes))
+		o.Gauge("journal_total_bytes", "bytes across all retained journal segments", float64(j.TotalBytes))
+		o.Counter("journal_appended_records", "wire frames and verdict records appended to the journal", j.AppendedRecords)
+		o.Counter("journal_appended_bytes", "payload bytes appended to the journal", j.AppendedBytes)
+		o.Counter("journal_rotations", "journal segment rotations", j.Rotations)
+		o.Counter("journal_recycled_segments", "rotations that reused a retired segment file in place", j.RecycledSegments)
+		o.Counter("journal_append_errors", "journal appends that failed and downgraded their stream", j.AppendErrors)
+		o.Histogram("journal_fsync_ns", "journal fsync latency", &j.FsyncNs)
+	}
 
 	shardLabel := func(id int) map[string]string {
 		return map[string]string{"shard": fmt.Sprintf("%d", id)}

@@ -359,6 +359,19 @@ type Deframer struct {
 // odometer.
 func (d *Deframer) LastFrameBytes() int { return d.lastFrameBytes }
 
+// RawFrame returns views of the most recently read frame's 9-byte
+// header and payload, exactly as they arrived on the wire. The journal
+// uses this to persist ingested frames without re-encoding: header and
+// payload concatenated are the frame, and concatenated frames are a
+// valid stream. Both views are owned by the Deframer and valid only
+// until the next read.
+func (d *Deframer) RawFrame() (hdr, payload []byte) {
+	if d.lastFrameBytes == 0 {
+		return nil, nil
+	}
+	return d.hdr[:], d.payload[:d.lastFrameBytes-len(d.hdr)]
+}
+
 // ExpectResults permits Result frames up to MaxResultPayload. Call it
 // on the consumer side of the protocol before reading a report.
 func (d *Deframer) ExpectResults() { d.largeResults = true }
