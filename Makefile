@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestColumnarDifferential|TestBatchChopping|TestWitness|TestExamineDeterministic|TestRunDeterministic|TestMergeSamplesClones|TestLoopback|TestEngineMatchesInProcess|TestShedPolicy|TestShutdownDrains|TestSnapshotDuringIngest|TestShedVisibleInSnapshot' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/ ./internal/server/
+	$(GO) test -race -run 'TestRunMany|TestArenaDifferential|TestInterestDifferential|TestReaderIndexDifferential|TestRunBatchedMatchesUnbatched|TestColumnarDifferential|TestBatchChopping|TestWitness|TestExamineDeterministic|TestRunDeterministic|TestMergeSamplesClones|TestMergeSamplesOrderInsensitive|TestLoopback|TestEngineMatchesInProcess|TestShedPolicy|TestShutdownDrains|TestSnapshotDuringIngest|TestShedVisibleInSnapshot|TestCluster' ./internal/report/ ./internal/svd/ ./internal/frd/ ./internal/obs/ ./internal/server/ ./internal/cluster/
 
 vet:
 	$(GO) vet ./...
@@ -83,8 +83,19 @@ BENCH_GUARD_INGEST = $(GO) test -run NONE -bench 'BenchmarkServerIngest$$' -benc
 # pairs each benchmark's quietest window against the others'.
 BENCH_GUARD_STEADY = $(GO) test -run NONE -bench 'BenchmarkServerIngest(Steady|Telemetry|Locality|Journaled)$$' -benchtime 50x -count 3 -benchmem .
 
+# Up to three attempts: benchguard's calibration probe absorbs
+# SUSTAINED host slowness (a slow runner scales the absolute and
+# relative budgets), but a transient co-tenant burst that lands inside
+# one bench window and is gone by probe time is indistinguishable from
+# a real regression within a single attempt. A genuine regression fails
+# all three attempts; a burst passes on a quieter retry.
 bench-guard:
-	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); $(BENCH_GUARD_STEADY); $(BENCH_GUARD_STEADY); } | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json
+	@for i in 1 2 3; do \
+		if { $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); $(BENCH_GUARD_STEADY); $(BENCH_GUARD_STEADY); } | $(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json; then \
+			exit 0; \
+		fi; \
+		echo "bench-guard: attempt $$i failed"; \
+	done; echo "bench-guard: regression persisted across 3 attempts"; exit 1
 
 bench-baseline:
 	{ $(BENCH_GUARD); $(BENCH_GUARD_WIRE); $(BENCH_GUARD_INGEST); $(BENCH_GUARD_STEADY); $(BENCH_GUARD_STEADY); } | $(GO) run ./cmd/benchguard -record -baseline BENCH_BASELINE.json

@@ -14,6 +14,15 @@
 //	svdd -listen :7077 -policy shed         # drop batches under overload
 //	svdd -listen :7077 -status-interval 10s # periodic status log line
 //	svdd -listen :7077 -journal /var/svdd   # durable journal of ingested streams
+//	svdd -cluster -node-id a -peers a=:7077+:7078,b=:7177+:7178
+//
+// With -cluster, svdd joins a static multi-node detection cluster
+// (DESIGN.md §15): keyed streams are routed by consistent hash, a
+// misrouted stream is forwarded to its owner, and when a probe demotes
+// a member the survivors re-shard and drain affected streams to their
+// new owners with a replay handoff. The HTTP plane's /report becomes a
+// scatter-gather merge across the whole cluster; the local node's own
+// report moves to /report/local and its raw samples to /samples.
 //
 // With -journal, every ingested wire frame is persisted to a segmented
 // append-only store before its batch reaches a detector, violations are
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -63,6 +73,10 @@ func main() {
 		journalKeep  = flag.Int("journal-retain-segments", 0, "sealed journal segments to retain (0 = all)")
 		journalBytes = flag.Int64("journal-retain-bytes", 0, "total sealed journal bytes to retain (0 = all)")
 		journalSync  = flag.Duration("journal-fsync-interval", journal.DefaultFsyncInterval, "upper bound on the journal's unsynced window (<0 = every append)")
+		clustered    = flag.Bool("cluster", false, "join a multi-node detection cluster (requires -node-id and -peers)")
+		nodeID       = flag.String("node-id", "", "this node's id in -peers")
+		peersSpec    = flag.String("peers", "", "cluster members: id=wireaddr[+httpaddr],... (must include -node-id)")
+		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "peer liveness/anti-entropy probe interval (0 = off)")
 		logLevel     = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
 		logJSON      = flag.Bool("log-json", false, "log as JSON instead of text")
 		showVersion  = flag.Bool("version", false, "print version and exit")
@@ -112,8 +126,27 @@ func main() {
 		Telemetry:  *telemetry,
 		Journal:    jw,
 		StreamBase: streamBase,
+		NodeID:     *nodeID,
 		Logger:     log,
 	})
+
+	var cs *server.ClusterServer
+	if *clustered {
+		if *nodeID == "" || *peersSpec == "" {
+			fatal(log, "cluster config", fmt.Errorf("-cluster requires -node-id and -peers"))
+		}
+		members, err := cluster.ParsePeers(*peersSpec)
+		if err != nil {
+			fatal(log, "bad -peers", err)
+		}
+		view := cluster.NewView(1, members)
+		if _, ok := view.Member(*nodeID); !ok {
+			fatal(log, "cluster config", fmt.Errorf("-node-id %q is not in -peers", *nodeID))
+		}
+		rt := cluster.NewRouter(*nodeID, view)
+		cs = server.NewClusterServer(eng, rt, server.ClusterOptions{})
+		log.Info("cluster mode", "node", *nodeID, "members", len(members), "epoch", view.Epoch)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -130,7 +163,15 @@ func main() {
 		// One /metrics page: the sink's detector families plus the
 		// engine's shard/stream service telemetry, single # EOF.
 		mux := obs.NewServeMux(sink, "svdd", eng.MetricsWriter())
-		mux.Handle("/report", eng.ReportHandler())
+		if cs != nil {
+			// Clustered /report is the scatter-gather merge; the node's
+			// own view stays reachable for debugging.
+			mux.Handle("/report", cs.GatherHandler())
+			mux.Handle("/report/local", eng.ReportHandler())
+			mux.Handle("/samples", eng.SamplesHandler())
+		} else {
+			mux.Handle("/report", eng.ReportHandler())
+		}
 		mux.Handle("/statusz", eng.StatuszHandler())
 		httpLn, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -143,6 +184,19 @@ func main() {
 			}
 		}()
 		log.Info("observability endpoint", "addr", httpLn.Addr().String())
+	}
+
+	if cs != nil && *probeEvery > 0 {
+		// The probe doubles as failure detector and view anti-entropy:
+		// each round exchanges Assign frames with every peer and demotes
+		// unreachable members so routing converges without the peer.
+		probeTicker := time.NewTicker(*probeEvery)
+		defer probeTicker.Stop()
+		go func() {
+			for range probeTicker.C {
+				cs.ProbePeers()
+			}
+		}()
 	}
 
 	if *statusEvery > 0 {
@@ -165,7 +219,11 @@ func main() {
 		ln.Close()
 	}()
 
-	if err := eng.Serve(ln); err != nil {
+	serve := eng.Serve
+	if cs != nil {
+		serve = cs.Serve
+	}
+	if err := serve(ln); err != nil {
 		log.Error("serve", "err", err)
 	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

@@ -9,10 +9,21 @@
 //	svdload -addr localhost:7077 -workload apache-buggy -rate 500000
 //	svdload -addr localhost:7077 -workload queue-buggy -verify
 //	svdload -addr localhost:7077 -workload queue-buggy -latency
+//	svdload -nodes :7077,:7177,:7277 -report localhost:7078 -verify
 //
 // -verify re-runs every sample in-process and fails unless the served
 // report matches bit for bit — the live form of the loopback
 // differential test.
+//
+// -nodes sprays the streams round-robin across a cluster of svdd
+// nodes instead of a single -addr, stamping each stream with its
+// routing key (workload/seed) so misrouted streams exercise the
+// cluster's forwarding path. -report then fetches the scatter-gather
+// merged report from one node's HTTP plane after the run and fails
+// unless it is byte-identical to an in-process merge of the same
+// samples — the cluster-wide form of -verify. With
+// -tolerate-disconnect, a node that dies mid-run is dropped from the
+// spray and the run continues on the survivors (crash-drill mode).
 //
 // -latency negotiates send stamps on every stream and prints the
 // client-observed wire-to-verdict distribution (p50/p90/p99 from the
@@ -25,7 +36,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -38,6 +51,8 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:7077", "svdd address")
+		nodes       = flag.String("nodes", "", "comma-separated svdd wire addresses to spray streams across (cluster mode; overrides -addr)")
+		reportAddr  = flag.String("report", "", "cluster HTTP address; after the run, require the merged /report byte-identical to an in-process merge")
 		workload    = flag.String("workload", "queue-buggy", "registered workload to replay (see svd -list)")
 		samples     = flag.Int("samples", 4, "number of executions to stream, seeds seed..seed+samples-1")
 		seed        = flag.Uint64("seed", 1, "first scheduler seed")
@@ -59,6 +74,21 @@ func main() {
 	}
 	log := obs.InitSlog(*logLevel, false)
 
+	addrs := []string{*addr}
+	if *nodes != "" {
+		addrs = addrs[:0]
+		for _, a := range strings.Split(*nodes, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			log.Error("bad -nodes", "err", "no addresses")
+			os.Exit(1)
+		}
+	}
+
+	var wants []*report.Sample
 	var totalEvents uint64
 	var totalElapsed time.Duration
 	violations, races := uint64(0), uint64(0)
@@ -75,15 +105,28 @@ func main() {
 			os.Exit(1)
 		}
 		// One connection per sample keeps streams independent; svdd
-		// round-robins them across shards.
-		cli, conn, err := server.Dial(*addr)
+		// round-robins them across shards. With -nodes, samples also
+		// round-robin across the cluster, and each stream carries its
+		// routing key so the receiving node can forward a misroute.
+		target := addrs[i%len(addrs)]
+		cli, conn, err := server.Dial(target)
 		if err != nil {
+			if *tolerate && len(addrs) > 1 {
+				log.Warn("node unreachable, dropping from spray", "addr", target, "err", err)
+				addrs = dropAddr(addrs, target)
+				i--
+				continue
+			}
 			if *tolerate {
-				log.Warn("daemon unreachable, ending run", "addr", *addr, "err", err)
+				log.Warn("daemon unreachable, ending run", "addr", target, "err", err)
 				break
 			}
-			log.Error("dial", "addr", *addr, "err", err)
+			log.Error("dial", "addr", target, "err", err)
 			os.Exit(1)
+		}
+		var key string
+		if *nodes != "" {
+			key = fmt.Sprintf("%s/%d", *workload, s)
 		}
 		got, stats, err := cli.RunSample(w, s, server.ReplayOptions{
 			Witness:      *witness,
@@ -91,13 +134,22 @@ func main() {
 			Scale:        *scale,
 			EmbedProgram: *embed,
 			Timestamps:   *latency,
+			Key:          key,
 		})
 		conn.Close()
 		if err != nil {
 			// Under -tolerate-disconnect a mid-stream hangup is the
 			// expected outcome of a crash drill: the daemon was killed
-			// while this sample streamed. Stop cleanly; the journal on
-			// the daemon side holds whatever made it to disk.
+			// while this sample streamed. With other nodes left, drop
+			// the dead one and keep the run going on the survivors;
+			// the interrupted sample never produced a report and is
+			// simply lost. Single-node runs stop cleanly as before.
+			if *tolerate && len(addrs) > 1 {
+				log.Warn("connection lost mid-sample, dropping node from spray",
+					"addr", target, "workload", *workload, "seed", s, "err", err)
+				addrs = dropAddr(addrs, target)
+				continue
+			}
 			if *tolerate {
 				log.Warn("connection lost mid-sample, ending run", "workload", *workload, "seed", s, "err", err)
 				break
@@ -117,7 +169,7 @@ func main() {
 			latAgg.Merge(&stats.Latency.WireToVerdictNs)
 		}
 
-		if *verify {
+		if *verify || *reportAddr != "" {
 			wLocal, err := workloads.ByName(*workload, *scale, s)
 			if err != nil {
 				log.Error("workload", "err", err)
@@ -128,13 +180,18 @@ func main() {
 				log.Error("in-process run", "seed", s, "err", err)
 				os.Exit(1)
 			}
-			gotJS, _ := json.Marshal(got)
-			wantJS, _ := json.Marshal(want)
-			if string(gotJS) != string(wantJS) {
-				log.Error("served report differs from in-process run", "workload", *workload, "seed", s)
-				os.Exit(1)
+			if *reportAddr != "" {
+				wants = append(wants, want)
 			}
-			log.Info("verified", "workload", *workload, "seed", s)
+			if *verify {
+				gotJS, _ := json.Marshal(got)
+				wantJS, _ := json.Marshal(want)
+				if string(gotJS) != string(wantJS) {
+					log.Error("served report differs from in-process run", "workload", *workload, "seed", s)
+					os.Exit(1)
+				}
+				log.Info("verified", "workload", *workload, "seed", s)
+			}
 		}
 		if *jsonOut {
 			js, _ := json.Marshal(got)
@@ -168,4 +225,49 @@ func main() {
 			sum.Count, time.Duration(sum.P50), time.Duration(sum.P90),
 			time.Duration(sum.P99), time.Duration(sum.Max))
 	}
+
+	if *reportAddr != "" {
+		// The cluster-wide differential: the scatter-gather /report must
+		// merge to exactly what an in-process run over the same samples
+		// merges to, regardless of which node each stream landed on or
+		// whether it was forwarded or handed off along the way.
+		resp, err := http.Get("http://" + *reportAddr + "/report")
+		if err != nil {
+			log.Error("cluster report fetch", "addr", *reportAddr, "err", err)
+			os.Exit(1)
+		}
+		var cr server.ClusterReport
+		err = json.NewDecoder(resp.Body).Decode(&cr)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			log.Error("cluster report decode", "addr", *reportAddr, "status", resp.StatusCode, "err", err)
+			os.Exit(1)
+		}
+		report.SortSamples(wants)
+		local := report.MergeSamples(wants)
+		gotJS, _ := json.Marshal(cr.Merged)
+		wantJS, _ := json.Marshal(local)
+		if string(gotJS) != string(wantJS) {
+			log.Error("merged cluster report differs from in-process merge",
+				"cluster", string(gotJS), "local", string(wantJS))
+			os.Exit(1)
+		}
+		served := 0
+		for _, n := range cr.Nodes {
+			served += n.Samples
+		}
+		fmt.Printf("svdload: merged cluster report verified: %d samples across %d nodes (epoch %d) == in-process merge of %d samples\n",
+			served, len(cr.Nodes), cr.Epoch, len(wants))
+	}
+}
+
+// dropAddr removes addr from the spray set, preserving order.
+func dropAddr(addrs []string, addr string) []string {
+	out := addrs[:0]
+	for _, a := range addrs {
+		if a != addr {
+			out = append(out, a)
+		}
+	}
+	return out
 }

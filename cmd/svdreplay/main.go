@@ -9,6 +9,8 @@
 //	svdreplay -journal /var/svdd -verify        # replay, compare verdicts
 //	svdreplay -journal /var/svdd -offline       # differential re-detection
 //	svdreplay -journal /var/svdd -offline -stream 3
+//	svdreplay -journal /var/svdd -anchors       # re-derive witness evidence
+//	svdreplay -journal /var/svdd -anchors -anchor-site 66
 //
 // -verify replays every journaled stream through the identical decode
 // and detector path the daemon used and byte-compares each fresh
@@ -21,6 +23,15 @@
 // on/off, SVD vs FRD) against the offline three-pass reference — the
 // paper's accuracy/overhead table computed from production traffic
 // instead of benchmark reruns.
+//
+// -anchors re-detects every journaled stream with the flight recorder
+// forced on and prints each violation's anchor: the journal coordinates
+// of the batch that produced it plus the re-derived witness, even when
+// the original producer never asked for witnesses. -anchor-site narrows
+// the listing to violations reported at one store PC. The forced
+// witnesses run on a dedicated engine so they can never leak into
+// -verify's byte comparison — a witness-forced replay of a witnessless
+// capture would legitimately diverge.
 package main
 
 import (
@@ -44,6 +55,8 @@ func main() {
 		dir         = flag.String("journal", "", "journal directory to read (required)")
 		verify      = flag.Bool("verify", false, "replay every stream and byte-compare verdicts with the journaled ones")
 		offlineRun  = flag.Bool("offline", false, "run the offline differential over recorded streams")
+		anchorsRun  = flag.Bool("anchors", false, "re-detect with forced witnesses and list every violation's journal anchor")
+		anchorSite  = flag.Int64("anchor-site", -1, "restrict -anchors to violations reported at this store PC (-1 = all)")
 		stream      = flag.Int64("stream", -1, "restrict -offline to one stream id (-1 = all complete streams)")
 		shards      = flag.Int("shards", 1, "replay engine worker count")
 		scale       = flag.Int("scale", 1, "workload scale for streams that name a registry workload without one")
@@ -75,7 +88,7 @@ func main() {
 	}
 	defer r.Close()
 
-	if !*verify && !*offlineRun {
+	if !*verify && !*offlineRun && !*anchorsRun {
 		listJournal(r, *jsonOut)
 		return
 	}
@@ -100,9 +113,88 @@ func main() {
 			exit = 1
 		}
 	}
+	if *anchorsRun {
+		// A dedicated engine keeps the forced witnesses out of -verify's
+		// byte comparison: the verify engine above must mirror the live
+		// daemon's options exactly, and ForceWitness is not one of them.
+		aeng := server.New(server.Options{Shards: *shards, Scale: *scale, ForceWitness: true, Logger: log})
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = aeng.Shutdown(ctx)
+		}()
+		if !runAnchors(log, aeng, r, *anchorSite, *jsonOut) {
+			exit = 1
+		}
+	}
 	if exit != 0 {
 		os.Exit(exit)
 	}
+}
+
+// runAnchors re-detects the capture with forced witnesses and prints
+// each stream's violation anchors, optionally narrowed to one site.
+func runAnchors(log interface {
+	Info(string, ...any)
+	Error(string, ...any)
+}, eng *server.Engine, r *journal.Reader, site int64, jsonOut bool) bool {
+	streams, err := eng.ReplayJournalAnchored(r)
+	if err != nil {
+		log.Error("anchored replay", "err", err)
+		return false
+	}
+	ok := true
+	if site >= 0 {
+		for i := range streams {
+			kept := streams[i].Anchors[:0]
+			for _, a := range streams[i].Anchors {
+				if a.Witness != nil && a.Witness.PC == site {
+					kept = append(kept, a)
+				}
+			}
+			streams[i].Anchors = kept
+		}
+	}
+	if jsonOut {
+		js, _ := json.MarshalIndent(streams, "", "  ")
+		fmt.Println(string(js))
+	}
+	total, withWitness := 0, 0
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if !jsonOut {
+		fmt.Fprintln(tw, "STREAM\tWORKLOAD\tSEED\tDETECTOR\tINDEX\tSITE-PC\tSEQ-RANGE\tSEGMENT\tOFFSET")
+	}
+	for _, as := range streams {
+		if as.Err != "" {
+			log.Error("stream failed anchored replay", "stream", as.Stream, "err", as.Err)
+			ok = false
+			continue
+		}
+		for _, a := range as.Anchors {
+			total++
+			pc := int64(-1)
+			if a.Witness != nil {
+				withWitness++
+				pc = a.Witness.PC
+			}
+			if !jsonOut {
+				fmt.Fprintf(tw, "%d\t%s\t%d\t%s\t%d\t%d\t%d..%d\t%016x\t%d\n",
+					as.Stream, as.Workload, as.Seed, a.Detector, a.Index,
+					pc, a.FirstSeq, a.LastSeq, a.Loc.Segment, a.Loc.Offset)
+			}
+		}
+	}
+	if !jsonOut {
+		tw.Flush()
+		if site >= 0 {
+			fmt.Printf("svdreplay: %d anchored violations at site %d (%d with witnesses) across %d streams\n",
+				total, site, withWitness, len(streams))
+		} else {
+			fmt.Printf("svdreplay: %d anchored violations (%d with witnesses) across %d streams\n",
+				total, withWitness, len(streams))
+		}
+	}
+	return ok
 }
 
 // listJournal prints the capture's shape: segments with their sizes and

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d", i)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("workload-%d/seed-%d", i%7, i)
+	}
+	return out
+}
+
+// TestRingDeterministic: the ring is a pure function of the member id
+// set — order and duplicates don't matter, and two independently built
+// rings agree on every route. This is the property that lets nodes
+// route without consulting each other.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(1, []string{"n1", "n2", "n3"})
+	b := NewRing(1, []string{"n3", "n1", "n2", "n1"})
+	for _, k := range keys(500) {
+		oa, ok := a.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q", k)
+		}
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("rings disagree on %q: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+// TestRingDistribution: with vnodes, no node's share of 10k keys is
+// wildly off uniform. Loose bound (half to double the fair share) —
+// the point is no starvation, not perfection.
+func TestRingDistribution(t *testing.T) {
+	members := ids(4)
+	r := NewRing(1, members)
+	counts := make(map[string]int)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		o, _ := r.Owner(fmt.Sprintf("stream/%d", i))
+		counts[o]++
+	}
+	fair := n / len(members)
+	for _, id := range members {
+		if counts[id] < fair/2 || counts[id] > fair*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair %d): distribution broken", id, counts[id], n, fair)
+		}
+	}
+}
+
+// TestRingConsistency: removing one node moves only that node's keys.
+// This is the property consistent hashing exists for — a member loss
+// must not reshuffle streams between survivors, or every death would
+// trigger cluster-wide handoffs.
+func TestRingConsistency(t *testing.T) {
+	r := NewRing(1, ids(4))
+	dead := "node-2"
+	r2 := r.Without(dead)
+	if r2.Version() != r.Version()+1 {
+		t.Fatalf("Without did not bump version: %d -> %d", r.Version(), r2.Version())
+	}
+	if r2.Has(dead) {
+		t.Fatal("removed node still on ring")
+	}
+	moved, total := 0, 0
+	for _, k := range keys(2000) {
+		before, _ := r.Owner(k)
+		after, _ := r2.Owner(k)
+		total++
+		if before != after {
+			moved++
+			if before != dead {
+				t.Fatalf("key %q moved %q -> %q though %q died", k, before, after, dead)
+			}
+			if after == dead {
+				t.Fatalf("key %q assigned to the dead node", k)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("suspicious: dead node owned zero of 2000 keys")
+	}
+	// Removing a non-member is a no-op, version included.
+	if r3 := r.Without("ghost"); r3.Version() != r.Version() {
+		t.Fatal("removing a non-member churned the version")
+	}
+}
+
+// TestRingEmpty: the empty ring owns nothing instead of panicking.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0, nil)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+}
+
+// TestParsePeers covers the flag grammar.
+func TestParsePeers(t *testing.T) {
+	ms, err := ParsePeers("n1=127.0.0.1:7071+127.0.0.1:7171, n2=127.0.0.1:7072")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d members", len(ms))
+	}
+	if ms[0].ID != "n1" || ms[0].Addr != "127.0.0.1:7071" || ms[0].HTTPAddr != "127.0.0.1:7171" {
+		t.Fatalf("n1 parsed wrong: %+v", ms[0])
+	}
+	if ms[1].ID != "n2" || ms[1].Addr != "127.0.0.1:7072" || ms[1].HTTPAddr != "" {
+		t.Fatalf("n2 parsed wrong: %+v", ms[1])
+	}
+	for _, bad := range []string{"", "n1", "=addr", "n1=", "n1=a:1,n1=b:2"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestViewAssignmentRoundTrip: view -> wire.Assignment -> view
+// preserves epoch, ring version, and every route.
+func TestViewAssignmentRoundTrip(t *testing.T) {
+	v := NewView(5, []Member{
+		{ID: "n1", Addr: "a:1", HTTPAddr: "a:2"},
+		{ID: "n2", Addr: "b:1"},
+		{ID: "n3", Addr: "c:1", HTTPAddr: "c:2"},
+	})
+	a := v.Assignment("n1")
+	if a.Epoch != 5 || a.Origin != "n1" || len(a.Nodes) != 3 {
+		t.Fatalf("assignment malformed: %+v", a)
+	}
+	v2 := ViewFromAssignment(a)
+	if v2.Epoch != v.Epoch || v2.Ring().Version() != v.Ring().Version() {
+		t.Fatalf("round trip lost versions: %d/%d vs %d/%d", v2.Epoch, v2.Ring().Version(), v.Epoch, v.Ring().Version())
+	}
+	for _, k := range keys(200) {
+		o1, _ := v.Owner(k)
+		o2, _ := v2.Owner(k)
+		if o1 != o2 {
+			t.Fatalf("round trip changed route for %q: %+v vs %+v", k, o1, o2)
+		}
+	}
+}
+
+// TestRouterEpochProtocol: a router adopts strictly newer views only —
+// higher epoch, or same epoch with newer ring — and replays of the
+// current view are no-ops. Stale assignments must lose, or a slow
+// node's old view would resurrect a dead member.
+func TestRouterEpochProtocol(t *testing.T) {
+	members := []Member{{ID: "n1", Addr: "a:1"}, {ID: "n2", Addr: "b:1"}, {ID: "n3", Addr: "c:1"}}
+	r := NewRouter("n1", NewView(1, members))
+
+	// Stale epoch: rejected.
+	if _, changed := r.ApplyAssignment(wire.Assignment{Epoch: 0, RingVersion: 99, Origin: "n2"}); changed {
+		t.Fatal("adopted a stale epoch")
+	}
+	// Same epoch, same ring: no-op replay.
+	if _, changed := r.ApplyAssignment(r.View().Assignment("n2")); changed {
+		t.Fatal("replay of current view counted as a change")
+	}
+	// Newer epoch: adopted.
+	newer := NewView(2, members[:2]).Assignment("n2")
+	if v, changed := r.ApplyAssignment(newer); !changed || v.Epoch != 2 || len(v.Members) != 2 {
+		t.Fatalf("did not adopt newer view: changed=%v %+v", changed, v)
+	}
+	// Same epoch, newer ring version: adopted (the member-loss tiebreak).
+	bumped := newer
+	bumped.RingVersion++
+	bumped.Nodes = bumped.Nodes[:1]
+	if v, changed := r.ApplyAssignment(bumped); !changed || len(v.Members) != 1 {
+		t.Fatalf("did not adopt same-epoch newer-ring view: changed=%v %+v", changed, v)
+	}
+}
+
+// TestRouterMarkDown: declaring a member dead advances the epoch,
+// removes it from the ring, reroutes its keys to survivors, and is
+// idempotent. A node cannot mark itself down.
+func TestRouterMarkDown(t *testing.T) {
+	members := []Member{{ID: "n1", Addr: "a:1"}, {ID: "n2", Addr: "b:1"}, {ID: "n3", Addr: "c:1"}}
+	r := NewRouter("n1", NewView(1, members))
+	before := r.View()
+
+	v, changed := r.MarkDown("n2")
+	if !changed || v.Epoch != before.Epoch+1 {
+		t.Fatalf("MarkDown: changed=%v epoch %d -> %d", changed, before.Epoch, v.Epoch)
+	}
+	if _, ok := v.Member("n2"); ok {
+		t.Fatal("dead member still in view")
+	}
+	for _, k := range keys(300) {
+		if o, ok := v.Owner(k); !ok || o.ID == "n2" {
+			t.Fatalf("key %q routed to dead node (ok=%v)", k, ok)
+		}
+	}
+	if _, changed := r.MarkDown("n2"); changed {
+		t.Fatal("second MarkDown of the same node changed the view")
+	}
+	if _, changed := r.MarkDown("n1"); changed {
+		t.Fatal("node marked itself down")
+	}
+	if s := r.Snapshot(); s.MembersDown != 1 {
+		t.Fatalf("downs counter %d, want 1", s.MembersDown)
+	}
+}
+
+// TestHistoryCap: the history buffer records until the cap, then goes
+// sticky and stays sticky, releasing its memory.
+func TestHistoryCap(t *testing.T) {
+	h := NewHistory(32)
+	hdr := []byte("123456789")
+	h.Append(hdr, []byte("0123456789"))
+	if h.Sticky() || h.Len() != 19 {
+		t.Fatalf("after first append: sticky=%v len=%d", h.Sticky(), h.Len())
+	}
+	h.Append(hdr, []byte("0123456789"))
+	if !h.Sticky() {
+		t.Fatal("cap crossed but not sticky")
+	}
+	if h.Bytes() != nil {
+		t.Fatal("sticky history kept its buffer")
+	}
+	h.Append(hdr, nil)
+	if !h.Sticky() {
+		t.Fatal("sticky history un-stuck")
+	}
+}

@@ -1,0 +1,44 @@
+package cluster
+
+// History accumulates one stream's raw wire frames (hello + events,
+// exactly as received) so the stream can be handed to a new owner:
+// replaying the bytes through fresh detectors rebuilds the detection
+// state exactly, because the detectors are deterministic. The buffer is
+// capped — a stream that outgrows it becomes sticky (it finishes on the
+// node that holds its state) rather than unbounded memory.
+type History struct {
+	buf      []byte
+	limit    int
+	overflow bool
+}
+
+// NewHistory builds a history buffer with the given byte cap.
+func NewHistory(limit int) *History {
+	return &History{limit: limit}
+}
+
+// Append records one raw frame (header then payload). Once the cap is
+// crossed the buffer is released and the stream is marked sticky; a
+// sticky history never un-sticks.
+func (h *History) Append(hdr, payload []byte) {
+	if h.overflow {
+		return
+	}
+	if len(h.buf)+len(hdr)+len(payload) > h.limit {
+		h.overflow = true
+		h.buf = nil
+		return
+	}
+	h.buf = append(h.buf, hdr...)
+	h.buf = append(h.buf, payload...)
+}
+
+// Sticky reports whether the stream outgrew the buffer and must finish
+// where it is.
+func (h *History) Sticky() bool { return h.overflow }
+
+// Bytes is the recorded frame history: a valid wire byte stream.
+func (h *History) Bytes() []byte { return h.buf }
+
+// Len is the recorded byte count.
+func (h *History) Len() int { return len(h.buf) }

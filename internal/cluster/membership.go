@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Member is one cluster node's identity and addresses.
+type Member struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`                // wire (TCP) listen address
+	HTTPAddr string `json:"http_addr,omitempty"` // HTTP plane, may be empty
+}
+
+// ParsePeers parses the -peers flag form: a comma-separated list of
+// id=wireaddr or id=wireaddr+httpaddr entries, e.g.
+//
+//	n1=127.0.0.1:7071+127.0.0.1:7171,n2=127.0.0.1:7072
+//
+// '+' separates the two addresses because ':' is taken by host:port.
+func ParsePeers(s string) ([]Member, error) {
+	var out []Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addrs, ok := strings.Cut(part, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=host:port[+httphost:port]", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		wireAddr, httpAddr, _ := strings.Cut(addrs, "+")
+		if wireAddr == "" {
+			return nil, fmt.Errorf("cluster: peer %q: empty wire address", part)
+		}
+		out = append(out, Member{ID: id, Addr: wireAddr, HTTPAddr: httpAddr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", s)
+	}
+	return out, nil
+}
+
+// View is one membership assignment: an epoch (total order on views —
+// higher epoch wins everywhere), the member list, and the ring derived
+// from it. Views are immutable; the Router swaps whole views.
+type View struct {
+	Epoch   uint64
+	Members []Member
+	ring    *Ring
+}
+
+// NewView builds a view over the given members at the given epoch. The
+// ring version starts equal to the epoch so a fresh static config is
+// self-consistent; reassignment paths bump both.
+func NewView(epoch uint64, members []Member) *View {
+	ms := append([]Member(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	ids := make([]string, len(ms))
+	for i, m := range ms {
+		ids[i] = m.ID
+	}
+	return &View{Epoch: epoch, Members: ms, ring: NewRing(epoch, ids)}
+}
+
+// Ring exposes the view's ring.
+func (v *View) Ring() *Ring { return v.ring }
+
+// Owner routes a stream key under this view.
+func (v *View) Owner(key string) (Member, bool) {
+	id, ok := v.ring.Owner(key)
+	if !ok {
+		return Member{}, false
+	}
+	m, ok := v.Member(id)
+	return m, ok
+}
+
+// Member looks up a member by id.
+func (v *View) Member(id string) (Member, bool) {
+	i := sort.Search(len(v.Members), func(i int) bool { return v.Members[i].ID >= id })
+	if i < len(v.Members) && v.Members[i].ID == id {
+		return v.Members[i], true
+	}
+	return Member{}, false
+}
+
+// Without derives the view that follows losing one member: epoch
+// advances past both inputs' so the new view wins the gossip race, and
+// the ring rebuilds without the node. Removing a non-member returns the
+// receiver.
+func (v *View) Without(id string) *View {
+	if _, ok := v.Member(id); !ok {
+		return v
+	}
+	var rest []Member
+	for _, m := range v.Members {
+		if m.ID != id {
+			rest = append(rest, m)
+		}
+	}
+	nv := NewView(v.Epoch+1, rest)
+	nv.ring = NewRing(v.ring.Version()+1, nv.ring.Nodes())
+	return nv
+}
+
+// Assignment renders the view as the wire frame payload, stamped with
+// the sending node.
+func (v *View) Assignment(origin string) wire.Assignment {
+	a := wire.Assignment{Epoch: v.Epoch, RingVersion: v.ring.Version(), Origin: origin}
+	for _, m := range v.Members {
+		a.Nodes = append(a.Nodes, wire.NodeInfo{ID: m.ID, Addr: m.Addr, HTTPAddr: m.HTTPAddr})
+	}
+	return a
+}
+
+// ViewFromAssignment rebuilds a view from the wire frame. The ring
+// version is taken from the frame, not recomputed, so two nodes that
+// exchanged the same assignment agree on it exactly.
+func ViewFromAssignment(a wire.Assignment) *View {
+	ms := make([]Member, len(a.Nodes))
+	for i, n := range a.Nodes {
+		ms[i] = Member{ID: n.ID, Addr: n.Addr, HTTPAddr: n.HTTPAddr}
+	}
+	v := NewView(a.Epoch, ms)
+	v.ring = NewRing(a.RingVersion, v.ring.Nodes())
+	return v
+}

@@ -1,0 +1,146 @@
+// Package cluster is the detection service's membership and routing
+// layer: a consistent-hash ring over a set of svdd nodes, a versioned
+// membership view exchanged via wire.Assignment frames, and the small
+// bookkeeping a node needs to route streams, forward misrouted ones,
+// and hand off in-flight streams when ownership moves.
+//
+// The paper's detector is a single shared-memory process; this layer is
+// what makes N of them act as one service. The invariant it preserves
+// is the detectors': every stream key maps to exactly one owner under
+// any given view, so each node still sees complete streams and the
+// per-stream detection semantics are unchanged. The package depends
+// only on internal/wire (for the Assignment frame shape) — the engine
+// integration lives in internal/server.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerNode is how many points each node contributes to the ring.
+// Share variance shrinks as 1/sqrt(vnodes); 256 holds every node's
+// share within ~±2x even for unlucky id sets while the ring stays tiny
+// (a 16-node cluster is 4096 points, one binary search per route).
+const vnodesPerNode = 256
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring over a node set. Version
+// increments whenever the membership changes, so two nodes can compare
+// rings without exchanging the full point list. Build rings through
+// NewRing/Without; the zero Ring owns nothing.
+type Ring struct {
+	version uint64
+	nodes   []string
+	points  []ringPoint
+}
+
+// NewRing builds a ring over the given node ids at the given version.
+// Duplicate ids collapse; order does not matter (the point set is a
+// pure function of the id set, which is what makes two nodes that agree
+// on membership agree on every route).
+func NewRing(version uint64, ids []string) *Ring {
+	seen := make(map[string]bool, len(ids))
+	var uniq []string
+	for _, id := range ids {
+		if id != "" && !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{version: version, nodes: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodesPerNode)
+	for ni, id := range uniq {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(id, v), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// pointHash is FNV-64a over id + '#' + vnode (two LE bytes), finalized
+// by mix64 — stable across processes and Go versions, which the
+// cross-node agreement property requires.
+func pointHash(id string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{'#', byte(vnode), byte(vnode >> 8)})
+	return mix64(h.Sum64())
+}
+
+// keyHash hashes a stream key onto the circle.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-64a alone has weak avalanche
+// into the high bits for short, similar inputs (sequential seeds in a
+// key, a vnode counter), and ring placement orders by the full 64-bit
+// value — unmixed, points and keys clump and the share distribution
+// skews several-fold. The finalizer is a fixed bijection, so agreement
+// across nodes is unaffected.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Version reports the ring's membership version.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Nodes lists the member ids in sorted order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len is the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner maps a stream key to its owning node: the first ring point at
+// or after the key's hash, wrapping at the top. Empty ring owns
+// nothing (ok=false). The empty key is a valid input — callers that
+// want round-robin for keyless streams should not route through the
+// ring at all.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].node], true
+}
+
+// Has reports whether id is a member.
+func (r *Ring) Has(id string) bool {
+	i := sort.SearchStrings(r.nodes, id)
+	return i < len(r.nodes) && r.nodes[i] == id
+}
+
+// Without returns a new ring with id removed and the version bumped.
+// Returns the receiver unchanged when id is not a member — no version
+// churn for a no-op.
+func (r *Ring) Without(id string) *Ring {
+	if !r.Has(id) {
+		return r
+	}
+	var rest []string
+	for _, n := range r.nodes {
+		if n != id {
+			rest = append(rest, n)
+		}
+	}
+	return NewRing(r.version+1, rest)
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Router is one node's routing state: its identity, the current
+// membership view, and the cluster counters the metrics and /statusz
+// planes export. Safe for concurrent use — sessions route on every
+// stream open and between frames.
+type Router struct {
+	self string
+
+	mu   sync.RWMutex
+	view *View
+
+	// Counters. Misroutes counts streams that arrived at a non-owner
+	// (each then forwarded or adopted); forwarded counts frames relayed
+	// to the owner; handoffs count drained-stream transfers by
+	// direction; downs counts members this node declared dead.
+	misroutes   atomic.Uint64
+	forwarded   atomic.Uint64
+	handoffsOut atomic.Uint64
+	handoffsIn  atomic.Uint64
+	inflight    atomic.Int64 // handoffs currently being replayed or sent
+	downs       atomic.Uint64
+}
+
+// NewRouter builds a router for node self over the initial view. self
+// must be a member of the view.
+func NewRouter(self string, v *View) *Router {
+	return &Router{self: self, view: v}
+}
+
+// Self reports this node's id.
+func (r *Router) Self() string { return r.self }
+
+// View returns the current membership view.
+func (r *Router) View() *View {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.view
+}
+
+// Owner routes a key under the current view.
+func (r *Router) Owner(key string) (Member, bool) {
+	return r.View().Owner(key)
+}
+
+// Owns reports whether this node owns the key right now.
+func (r *Router) Owns(key string) bool {
+	m, ok := r.Owner(key)
+	return ok && m.ID == r.self
+}
+
+// ApplyAssignment adopts a peer's view when it is strictly newer
+// (higher epoch, or same epoch with a higher ring version — the
+// tiebreak a same-epoch member loss produces). Returns the view in
+// force afterwards and whether it changed. Idempotent on replays of
+// the current view.
+func (r *Router) ApplyAssignment(a wire.Assignment) (*View, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.view
+	if a.Epoch < cur.Epoch || (a.Epoch == cur.Epoch && a.RingVersion <= cur.Ring().Version()) {
+		return cur, false
+	}
+	r.view = ViewFromAssignment(a)
+	return r.view, true
+}
+
+// MarkDown removes a member this node has decided is dead: the view
+// advances one epoch without it, so the next Assign exchange spreads
+// the removal. Returns the new view and whether anything changed (a
+// second MarkDown of the same node is a no-op; a node never marks
+// itself down).
+func (r *Router) MarkDown(id string) (*View, bool) {
+	if id == r.self {
+		return r.View(), false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.view.Member(id); !ok {
+		return r.view, false
+	}
+	r.view = r.view.Without(id)
+	r.downs.Add(1)
+	return r.view, true
+}
+
+// Counter bumps, called from session paths.
+
+func (r *Router) NoteMisroute() { r.misroutes.Add(1) }
+
+func (r *Router) NoteForwarded(frames uint64) { r.forwarded.Add(frames) }
+
+func (r *Router) NoteHandoffOut() { r.handoffsOut.Add(1) }
+
+func (r *Router) NoteHandoffIn() { r.handoffsIn.Add(1) }
+
+// HandoffStarted/HandoffDone bracket an in-flight transfer for the
+// /statusz "handoffs in flight" gauge.
+func (r *Router) HandoffStarted() { r.inflight.Add(1) }
+
+func (r *Router) HandoffDone() { r.inflight.Add(-1) }
+
+// Stats is a point-in-time snapshot of the router for /statusz and
+// OpenMetrics.
+type Stats struct {
+	Self             string
+	Epoch            uint64
+	RingVersion      uint64
+	Members          []Member
+	Misroutes        uint64
+	ForwardedFrames  uint64
+	HandoffsOut      uint64
+	HandoffsIn       uint64
+	HandoffsInFlight int64
+	MembersDown      uint64
+}
+
+// Snapshot captures the router's current state.
+func (r *Router) Snapshot() Stats {
+	v := r.View()
+	return Stats{
+		Self:             r.self,
+		Epoch:            v.Epoch,
+		RingVersion:      v.Ring().Version(),
+		Members:          append([]Member(nil), v.Members...),
+		Misroutes:        r.misroutes.Load(),
+		ForwardedFrames:  r.forwarded.Load(),
+		HandoffsOut:      r.handoffsOut.Load(),
+		HandoffsIn:       r.handoffsIn.Load(),
+		HandoffsInFlight: r.inflight.Load(),
+		MembersDown:      r.downs.Load(),
+	}
+}

@@ -285,6 +285,24 @@ func (r *Reader) Result(stream uint64) (sample []byte, errMsg string, ok bool) {
 	return nil, "", false
 }
 
+// StreamEventLocs returns the location of every Events record of one
+// stream, in journal order. The k-th Loc addresses the record whose
+// payload a replaying deframer decodes as the stream's k-th Events
+// frame, which is what lets an anchored replay (svdreplay -anchors)
+// stamp fresh violations with the same coordinates the live daemon
+// would have.
+func (r *Reader) StreamEventLocs(stream uint64) []Loc {
+	var locs []Loc
+	for i := range r.segs {
+		for _, e := range r.segs[i].entries {
+			if e.Stream == stream && e.Kind == KindEvents {
+				locs = append(locs, Loc{Segment: r.segs[i].info.ID, Offset: e.Offset})
+			}
+		}
+	}
+	return locs
+}
+
 // StreamReader returns an io.Reader over the concatenated raw wire
 // frames (hello, events, goodbye) of one stream, in journal order.
 // Because records hold the exact bytes the deframer validated, the

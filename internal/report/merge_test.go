@@ -1,9 +1,12 @@
 package report
 
 import (
+	"encoding/json"
+	"math/rand"
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/workloads"
 )
 
 // TestMergeSamplesClonesWitnesses pins the deep copy in MergeSamples: the
@@ -57,5 +60,130 @@ func TestMergeSamplesCap(t *testing.T) {
 	m := MergeSamples([]*Sample{s, s})
 	if len(m.Witnesses) != MaxMergedWitnesses {
 		t.Errorf("digest holds %d witnesses, want cap %d", len(m.Witnesses), MaxMergedWitnesses)
+	}
+}
+
+// mergeTestSamples runs a small violating workload over several seeds
+// with witnesses on, so the merged digest's order-sensitive witness fold
+// is actually exercised by the property tests below.
+func mergeTestSamples(t *testing.T) []*Sample {
+	t.Helper()
+	wl := workloads.ApacheLog(workloads.ApacheConfig{
+		Threads: 4, Requests: 32, Buggy: true, Seed: 3,
+	})
+	samples, err := RunMany(wl, Seeds(1, 6), Options{Witness: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var witnesses int
+	for _, s := range samples {
+		witnesses += len(s.SVDWitnesses) + len(s.FRDWitnesses)
+	}
+	if witnesses == 0 {
+		t.Fatal("no witnesses; the property tests need a violating workload")
+	}
+	return samples
+}
+
+func mergedJSON(t *testing.T, samples []*Sample) string {
+	t.Helper()
+	js, err := json.Marshal(MergeSamples(samples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(js)
+}
+
+// TestMergeSamplesOrderInsensitiveAfterSort is the cluster contract:
+// nodes hand the gatherer their samples in arbitrary arrival order, and
+// SortSamples + MergeSamples must still produce a byte-identical digest.
+// Without the sort the capped witness fold is order-sensitive, so this
+// property is exactly what makes a scatter-gather /report comparable
+// against a single-process run.
+func TestMergeSamplesOrderInsensitiveAfterSort(t *testing.T) {
+	samples := mergeTestSamples(t)
+	SortSamples(samples)
+	want := mergedJSON(t, samples)
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		shuffled := append([]*Sample(nil), samples...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		SortSamples(shuffled)
+		if got := mergedJSON(t, shuffled); got != want {
+			t.Fatalf("trial %d: shuffled+sorted merge differs from sorted merge", trial)
+		}
+	}
+}
+
+// TestMergeSamplesPartitionInvariant: splitting the sample set into
+// per-node partials, concatenating the partials, and sorting before the
+// merge yields the same digest as merging the whole set directly — the
+// gatherer never needs to know how streams were sharded.
+func TestMergeSamplesPartitionInvariant(t *testing.T) {
+	samples := mergeTestSamples(t)
+	SortSamples(samples)
+	want := mergedJSON(t, samples)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		nodes := 1 + rng.Intn(4)
+		parts := make([][]*Sample, nodes)
+		for _, s := range samples {
+			n := rng.Intn(nodes)
+			parts[n] = append(parts[n], s)
+		}
+		var gathered []*Sample
+		for _, p := range parts {
+			gathered = append(gathered, p...)
+		}
+		SortSamples(gathered)
+		if got := mergedJSON(t, gathered); got != want {
+			t.Fatalf("trial %d: %d-way partition merge differs from direct merge", trial, nodes)
+		}
+	}
+}
+
+// TestSortSamplesOrdering pins the sort key — (Workload, Seed), nils
+// first — and that sorting is a no-op on already-sorted input.
+func TestSortSamplesOrdering(t *testing.T) {
+	mk := func(w string, seed uint64) *Sample { return &Sample{Workload: w, Seed: seed} }
+	samples := []*Sample{mk("b", 2), nil, mk("a", 9), mk("b", 1), nil, mk("a", 3)}
+	SortSamples(samples)
+	wantOrder := []*Sample{nil, nil, mk("a", 3), mk("a", 9), mk("b", 1), mk("b", 2)}
+	for i, s := range samples {
+		w := wantOrder[i]
+		if (s == nil) != (w == nil) {
+			t.Fatalf("pos %d: nil placement wrong", i)
+		}
+		if s != nil && (s.Workload != w.Workload || s.Seed != w.Seed) {
+			t.Errorf("pos %d: got %s/%d want %s/%d", i, s.Workload, s.Seed, w.Workload, w.Seed)
+		}
+	}
+	before := append([]*Sample(nil), samples...)
+	SortSamples(samples)
+	for i := range samples {
+		if samples[i] != before[i] {
+			t.Errorf("re-sorting a sorted slice moved element %d", i)
+		}
+	}
+}
+
+// TestMergeSamplesEmpty: empty and all-nil inputs are no-ops — the
+// digest of nothing is the zero value, and nil entries never count.
+func TestMergeSamplesEmpty(t *testing.T) {
+	for _, in := range [][]*Sample{nil, {}, {nil, nil}} {
+		m := MergeSamples(in)
+		if m.Samples != 0 || len(m.Witnesses) != 0 {
+			t.Errorf("merge of %v counted %d samples, %d witnesses", in, m.Samples, len(m.Witnesses))
+		}
+	}
+	SortSamples(nil) // must not panic
+	one := &Sample{Workload: "w", Seed: 1}
+	m := MergeSamples([]*Sample{nil, one, nil})
+	if m.Samples != 1 {
+		t.Errorf("nil entries counted: %d samples, want 1", m.Samples)
 	}
 }

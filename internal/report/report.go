@@ -15,6 +15,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/frd"
 	"repro/internal/obs"
@@ -229,6 +230,25 @@ type MergedStats struct {
 // MaxMergedWitnesses caps the witnesses MergedStats retains across a run
 // set; full per-violation witness lists stay on the individual samples.
 const MaxMergedWitnesses = 256
+
+// SortSamples orders samples by (Workload, Seed), nils first. The
+// merged digest's witness section is a capped, order-sensitive fold, so
+// two nodes that merge the same sample set in different arrival orders
+// would disagree byte-for-byte; sorting both sides before MergeSamples
+// is what makes a cluster's scatter-gather /report reproducible and
+// comparable against a single-process run.
+func SortSamples(samples []*Sample) {
+	sort.SliceStable(samples, func(i, j int) bool {
+		a, b := samples[i], samples[j]
+		if a == nil || b == nil {
+			return a == nil && b != nil
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Seed < b.Seed
+	})
+}
 
 // MergeSamples folds every sample's detector counters together. Nil
 // samples (skipped runs) are ignored. Witnesses enter the capped digest

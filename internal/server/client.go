@@ -75,6 +75,12 @@ type ReplayOptions struct {
 	// the server's latency digest in ReplayStats.Latency. Needs a
 	// wire.Version >= 2 server.
 	Timestamps bool
+
+	// Key is the cluster routing key carried in the handshake. A
+	// cluster node that is not the key's owner forwards the stream to
+	// the node that is; empty opts out of routing (the receiving node
+	// serves the stream itself). Needs a wire.Version >= 3 server.
+	Key string
 }
 
 // ReplayStats reports the achieved throughput of one stream.
@@ -122,6 +128,7 @@ func (c *Client) RunSample(w *workloads.Workload, seed uint64, opts ReplayOption
 		Seed:       seed,
 		Witness:    opts.Witness,
 		Timestamps: opts.Timestamps,
+		Key:        opts.Key,
 	}
 	if opts.EmbedProgram {
 		h.Program = w.Prog

@@ -1,0 +1,585 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/vm"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// Cluster differential tests: a stream that crosses nodes — forwarded
+// at its Hello or handed off mid-flight — must produce a sample byte
+// for byte identical to the in-process run, because the new owner
+// replays exactly the client's bytes through deterministic detectors.
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// collectEvents replays the workload locally and returns the full event
+// stream plus the finished VM (for the erroneous check, which needs the
+// final memory image — the same split Client.RunSample makes).
+func collectEvents(t *testing.T, w *workloads.Workload, seed uint64) ([]vm.Event, *vm.VM) {
+	t.Helper()
+	m, err := w.NewVM(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []vm.Event
+	m.AttachBatch(batchFunc(func(b []vm.Event) {
+		evs = append(evs, b...)
+	}))
+	if _, err := m.Run(1 << 24); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Done() {
+		t.Fatal("vm did not finish")
+	}
+	return evs, m
+}
+
+// startClusterNode builds an engine+router+server listening on TCP.
+func startClusterNode(t *testing.T, id string, view *cluster.View, copts ClusterOptions) (*ClusterServer, net.Listener) {
+	t.Helper()
+	e := New(Options{Shards: 2, NodeID: id})
+	cs := NewClusterServer(e, cluster.NewRouter(id, view), copts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go cs.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		shutdown(t, e)
+	})
+	return cs, ln
+}
+
+// TestClusterHandoffDifferential moves a live stream from node A to
+// node B after exactly cut events — one event, a prime mid-batch
+// count, and a full batch — and requires the sample B publishes (and
+// relays back through A) to be byte-identical to the in-process run.
+// The net.Pipe rendezvous plus the engine's event odometer make the
+// boundary deterministic: frame 1 is fully ingested under the old view
+// before the new view lands, so the transferred history holds exactly
+// cut events.
+func TestClusterHandoffDifferential(t *testing.T) {
+	const name = "queue-buggy"
+	const seed = uint64(9)
+	w, err := workloads.ByName(name, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, m := collectEvents(t, w, seed)
+	if len(evs) <= vm.DefaultBatchCap {
+		t.Fatalf("workload too small to cut at the batch cap: %d events", len(evs))
+	}
+	want := inProcess(t, name, seed)
+
+	for _, cut := range []int{1, 7, vm.DefaultBatchCap} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			// Node B: the stream's eventual owner.
+			csB, lnB := startClusterNode(t, "nB",
+				cluster.NewView(1, []cluster.Member{{ID: "nB", Addr: "unused"}}), ClusterOptions{})
+			eB := csB.Engine()
+
+			// Node A serves the client over a pipe; initially sole owner.
+			eA := New(Options{Shards: 2, NodeID: "nA"})
+			defer shutdown(t, eA)
+			rtA := cluster.NewRouter("nA", cluster.NewView(1, []cluster.Member{{ID: "nA", Addr: "unused"}}))
+			csA := NewClusterServer(eA, rtA, ClusterOptions{})
+			cli, srv := net.Pipe()
+			sessionDone := make(chan struct{})
+			go func() { csA.ServeConn(srv); close(sessionDone) }()
+
+			const key = "queue-buggy/9"
+			f := wire.NewFramer(cli, w.NumThreads)
+			d := wire.NewDeframer(cli)
+			d.ExpectResults()
+			if err := f.WriteHello(wire.Hello{
+				Version: wire.Version, Threads: w.NumThreads, Workload: name,
+				Scale: 1, Seed: seed, Witness: true, Key: key,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.WriteEvents(evs[:cut]); err != nil {
+				t.Fatal(err)
+			}
+			// Frame 1 ingested locally under the old view, then move the
+			// key to B: the next frame crosses the ownership boundary.
+			waitFor(t, "frame 1 ingest", func() bool { return eA.Counters().Events >= uint64(cut) })
+			rtA.ApplyAssignment(cluster.NewView(2,
+				[]cluster.Member{{ID: "nB", Addr: lnB.Addr().String()}}).Assignment("test"))
+
+			for i := cut; i < len(evs); i += vm.DefaultBatchCap {
+				j := min(i+vm.DefaultBatchCap, len(evs))
+				if err := f.WriteEvents(evs[i:j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := f.WriteGoodbye(); err != nil {
+				t.Fatal(err)
+			}
+			fr, err := d.ReadFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Type != wire.FrameResult {
+				t.Fatalf("expected result, got %s", fr.Type)
+			}
+			if fr.Result.Err != "" {
+				t.Fatalf("server error: %s", fr.Result.Err)
+			}
+			var got report.Sample
+			if err := json.Unmarshal(fr.Result.Sample, &got); err != nil {
+				t.Fatal(err)
+			}
+			got.Erroneous, got.ErrorDetail = w.Check(m)
+			diffSamples(t, fmt.Sprintf("handoff cut=%d", cut), &got, want)
+
+			cli.Close()
+			<-sessionDone
+			if s := rtA.Snapshot(); s.HandoffsOut != 1 || s.HandoffsInFlight != 0 || s.Misroutes != 0 {
+				t.Errorf("origin router: %+v", s)
+			}
+			if s := csB.Router().Snapshot(); s.HandoffsIn != 1 || s.HandoffsInFlight != 0 {
+				t.Errorf("owner router: %+v", s)
+			}
+			if c := eA.Counters(); c.StreamsHandedOff != 1 {
+				t.Errorf("origin handed off %d streams, want 1", c.StreamsHandedOff)
+			}
+			if n := len(eA.Samples()); n != 0 {
+				t.Errorf("origin published %d samples, want 0", n)
+			}
+			if n := len(eB.Samples()); n != 1 {
+				t.Errorf("owner published %d samples, want 1", n)
+			}
+		})
+	}
+}
+
+// TestClusterStickyStream: when the history buffer overflows before
+// ownership moves, the stream must finish where its state is — no
+// handoff, locally published sample, still byte-identical.
+func TestClusterStickyStream(t *testing.T) {
+	const name = "queue-buggy"
+	const seed = uint64(9)
+	w, err := workloads.ByName(name, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, m := collectEvents(t, w, seed)
+	want := inProcess(t, name, seed)
+
+	_, lnB := startClusterNode(t, "nB",
+		cluster.NewView(1, []cluster.Member{{ID: "nB", Addr: "unused"}}), ClusterOptions{})
+
+	eA := New(Options{Shards: 1, NodeID: "nA"})
+	defer shutdown(t, eA)
+	rtA := cluster.NewRouter("nA", cluster.NewView(1, []cluster.Member{{ID: "nA", Addr: "unused"}}))
+	// A history cap smaller than any frame: the stream is sticky from
+	// its first events frame on.
+	csA := NewClusterServer(eA, rtA, ClusterOptions{HistoryLimit: 16})
+	cli, srv := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() { csA.ServeConn(srv); close(sessionDone) }()
+
+	f := wire.NewFramer(cli, w.NumThreads)
+	d := wire.NewDeframer(cli)
+	d.ExpectResults()
+	if err := f.WriteHello(wire.Hello{
+		Version: wire.Version, Threads: w.NumThreads, Workload: name,
+		Scale: 1, Seed: seed, Witness: true, Key: "sticky/1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteEvents(evs[:7]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "frame 1 ingest", func() bool { return eA.Counters().Events >= 7 })
+	rtA.ApplyAssignment(cluster.NewView(2,
+		[]cluster.Member{{ID: "nB", Addr: lnB.Addr().String()}}).Assignment("test"))
+	for i := 7; i < len(evs); i += vm.DefaultBatchCap {
+		j := min(i+vm.DefaultBatchCap, len(evs))
+		if err := f.WriteEvents(evs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WriteGoodbye(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := d.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != wire.FrameResult || fr.Result.Err != "" {
+		t.Fatalf("bad result: type=%s err=%q", fr.Type, fr.Result.Err)
+	}
+	var got report.Sample
+	if err := json.Unmarshal(fr.Result.Sample, &got); err != nil {
+		t.Fatal(err)
+	}
+	got.Erroneous, got.ErrorDetail = w.Check(m)
+	diffSamples(t, "sticky stream", &got, want)
+	cli.Close()
+	<-sessionDone
+	if s := rtA.Snapshot(); s.HandoffsOut != 0 {
+		t.Errorf("sticky stream handed off: %+v", s)
+	}
+	if n := len(eA.Samples()); n != 1 {
+		t.Errorf("sticky stream published %d samples locally, want 1", n)
+	}
+}
+
+// keyOwnedBy searches for a stream key the view routes to the wanted
+// node — how tests pin a deterministic route without fixing the hash.
+func keyOwnedBy(t *testing.T, v *cluster.View, id string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("probe/%d", i)
+		if m, ok := v.Owner(key); ok && m.ID == id {
+			return key
+		}
+	}
+	t.Fatalf("no key routed to %s in 10000 probes", id)
+	return ""
+}
+
+// TestClusterForwardDifferential connects a client to the wrong node: a
+// two-member view where the stream's key belongs to the peer. The
+// session must relay the raw bytes to the owner and the relayed-back
+// sample must be byte-identical to the in-process run.
+func TestClusterForwardDifferential(t *testing.T) {
+	const name = "apache-buggy"
+	const seed = uint64(4)
+	w, err := workloads.ByName(name, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inProcess(t, name, seed)
+
+	// B listens first so the shared view can carry its real address.
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []cluster.Member{
+		{ID: "nA", Addr: "unused"},
+		{ID: "nB", Addr: lnB.Addr().String()},
+	}
+	view := cluster.NewView(1, members)
+
+	eB := New(Options{Shards: 2, NodeID: "nB"})
+	defer shutdown(t, eB)
+	csB := NewClusterServer(eB, cluster.NewRouter("nB", view), ClusterOptions{})
+	go csB.Serve(lnB)
+	defer lnB.Close()
+
+	eA := New(Options{Shards: 2, NodeID: "nA"})
+	defer shutdown(t, eA)
+	rtA := cluster.NewRouter("nA", view)
+	csA := NewClusterServer(eA, rtA, ClusterOptions{})
+	cli, srv := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() { csA.ServeConn(srv); close(sessionDone) }()
+
+	key := keyOwnedBy(t, view, "nB")
+	c := NewClient(cli)
+	got, stats, err := c.RunSample(w, seed, ReplayOptions{Witness: true, Scale: 1, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 {
+		t.Fatal("replay sent no events")
+	}
+	diffSamples(t, "forwarded stream", got, want)
+	cli.Close()
+	<-sessionDone
+
+	if s := rtA.Snapshot(); s.Misroutes != 1 || s.ForwardedFrames == 0 || s.HandoffsOut != 0 {
+		t.Errorf("relay router: %+v", s)
+	}
+	if n := len(eA.Samples()); n != 0 {
+		t.Errorf("relay node published %d samples, want 0", n)
+	}
+	if n := len(eB.Samples()); n != 1 {
+		t.Errorf("owner published %d samples, want 1", n)
+	}
+}
+
+// TestClusterFailoverServesLocally: the key's owner is unreachable, so
+// the session marks it down and serves the stream itself — availability
+// over placement, and the view epoch advances so the removal spreads.
+func TestClusterFailoverServesLocally(t *testing.T) {
+	const name = "queue-fixed"
+	const seed = uint64(6)
+	w, err := workloads.ByName(name, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inProcess(t, name, seed)
+
+	// A dead address: listen, learn the port, close.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	view := cluster.NewView(1, []cluster.Member{
+		{ID: "nA", Addr: "unused"},
+		{ID: "nB", Addr: deadAddr},
+	})
+	eA := New(Options{Shards: 2, NodeID: "nA"})
+	defer shutdown(t, eA)
+	rtA := cluster.NewRouter("nA", view)
+	csA := NewClusterServer(eA, rtA, ClusterOptions{})
+	cli, srv := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() { csA.ServeConn(srv); close(sessionDone) }()
+
+	key := keyOwnedBy(t, view, "nB")
+	c := NewClient(cli)
+	got, _, err := c.RunSample(w, seed, ReplayOptions{Witness: true, Scale: 1, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSamples(t, "failover stream", got, want)
+	cli.Close()
+	<-sessionDone
+
+	s := rtA.Snapshot()
+	if s.MembersDown != 1 || s.Misroutes != 1 {
+		t.Errorf("router after failover: %+v", s)
+	}
+	if s.Epoch != view.Epoch+1 {
+		t.Errorf("epoch %d after mark-down, want %d", s.Epoch, view.Epoch+1)
+	}
+	if n := len(eA.Samples()); n != 1 {
+		t.Errorf("survivor published %d samples, want 1", n)
+	}
+}
+
+// TestClusterAssignExchange drives the wire-level membership exchange:
+// a newer view is adopted and echoed back; a stale one is answered with
+// the newer view unchanged.
+func TestClusterAssignExchange(t *testing.T) {
+	members := []cluster.Member{{ID: "nA", Addr: "a:1"}, {ID: "nB", Addr: "b:1"}}
+	eA := New(Options{Shards: 1, NodeID: "nA"})
+	defer shutdown(t, eA)
+	rtA := cluster.NewRouter("nA", cluster.NewView(1, members))
+	csA := NewClusterServer(eA, rtA, ClusterOptions{})
+	cli, srv := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() { csA.ServeConn(srv); close(sessionDone) }()
+
+	f := wire.NewFramer(cli, 1)
+	d := wire.NewDeframer(cli)
+	d.ExpectHandoffs()
+
+	newer := cluster.NewView(7, members[:1]).Assignment("nB")
+	if err := f.WriteAssign(newer); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := d.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != wire.FrameAssign || fr.Assign.Epoch != 7 || fr.Assign.Origin != "nA" {
+		t.Fatalf("assign reply: %+v", fr.Assign)
+	}
+	if v := rtA.View(); v.Epoch != 7 || len(v.Members) != 1 {
+		t.Fatalf("router did not adopt the newer view: %+v", v)
+	}
+
+	stale := cluster.NewView(2, members).Assignment("nB")
+	if err := f.WriteAssign(stale); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = d.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Assign.Epoch != 7 {
+		t.Fatalf("stale assign changed the view: reply epoch %d", fr.Assign.Epoch)
+	}
+	cli.Close()
+	<-sessionDone
+}
+
+// TestClusterGatherReport: two nodes each detect their own streams; the
+// gathered cluster report's merged digest must be byte-identical to a
+// single-process merge over the union of the in-process samples.
+func TestClusterGatherReport(t *testing.T) {
+	cases := []struct {
+		name string
+		seed uint64
+	}{
+		{"queue-buggy", 31},
+		{"apache-buggy", 32},
+		{"queue-fixed", 33},
+	}
+
+	var engines []*Engine
+	var members []cluster.Member
+	for i := 0; i < 2; i++ {
+		e := New(Options{Shards: 2, NodeID: fmt.Sprintf("n%d", i)})
+		defer shutdown(t, e)
+		engines = append(engines, e)
+		mux := http.NewServeMux()
+		mux.Handle("/samples", e.SamplesHandler())
+		hs := httptest.NewServer(mux)
+		defer hs.Close()
+		members = append(members, cluster.Member{
+			ID:       fmt.Sprintf("n%d", i),
+			Addr:     "unused",
+			HTTPAddr: strings.TrimPrefix(hs.URL, "http://"),
+		})
+	}
+
+	// Spray the streams: case i runs on node i%2, keyless (local serve).
+	var want []*report.Sample
+	for i, tc := range cases {
+		e := engines[i%2]
+		cli, srv := net.Pipe()
+		done := make(chan struct{})
+		go func() { e.ServeConn(srv); close(done) }()
+		w, err := workloads.ByName(tc.name, 1, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewClient(cli)
+		if _, _, err := c.RunSample(w, tc.seed, ReplayOptions{Witness: true, Scale: 1}); err != nil {
+			t.Fatal(err)
+		}
+		cli.Close()
+		<-done
+		want = append(want, inProcess(t, tc.name, tc.seed))
+	}
+
+	cs := NewClusterServer(engines[0], cluster.NewRouter("n0", cluster.NewView(1, members)), ClusterOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cr := cs.GatherReport(ctx)
+	if len(cr.Nodes) != 2 {
+		t.Fatalf("gathered %d nodes", len(cr.Nodes))
+	}
+	for _, n := range cr.Nodes {
+		if n.Err != "" {
+			t.Fatalf("node %s: %s", n.ID, n.Err)
+		}
+	}
+	if cr.Merged.Samples != len(cases) {
+		t.Fatalf("merged %d samples, want %d", cr.Merged.Samples, len(cases))
+	}
+
+	report.SortSamples(want)
+	wantJS, err := json.Marshal(report.MergeSamples(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJS, err := json.Marshal(cr.Merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJS) != string(wantJS) {
+		t.Errorf("gathered merge differs from single-process merge:\n got: %s\nwant: %s", gotJS, wantJS)
+	}
+}
+
+// TestClusterObservability pins the cluster families on /metrics and
+// the cluster panel on /statusz — and that a standalone engine emits
+// neither.
+func TestClusterObservability(t *testing.T) {
+	members := []cluster.Member{{ID: "nA", Addr: "a:1"}, {ID: "nB", Addr: "b:1"}}
+	e := New(Options{Shards: 1, NodeID: "nA"})
+	defer shutdown(t, e)
+	rt := cluster.NewRouter("nA", cluster.NewView(3, members))
+	NewClusterServer(e, rt, ClusterOptions{})
+	rt.NoteMisroute()
+	rt.NoteForwarded(5)
+	rt.NoteHandoffOut()
+	rt.NoteHandoffIn()
+
+	var sb strings.Builder
+	o := obs.NewOpenMetricsWriter(&sb, "svdd")
+	e.WriteMetrics(o)
+	if err := o.EOF(); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, fam := range []string{
+		"cluster_misroutes", "cluster_forwarded", "cluster_handoffs",
+		"cluster_handoffs_in_flight", "cluster_members_down",
+		"cluster_epoch", "cluster_ring_version", "cluster_members",
+	} {
+		if !strings.Contains(body, "svdd_"+fam) {
+			t.Errorf("metrics missing family %s", fam)
+		}
+	}
+	for _, series := range []string{
+		`svdd_cluster_misroutes_total 1`,
+		`svdd_cluster_forwarded_total 5`,
+		`svdd_cluster_handoffs_total{direction="in"} 1`,
+		`svdd_cluster_handoffs_total{direction="out"} 1`,
+		`svdd_cluster_epoch 3`,
+		`svdd_cluster_members 2`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics missing series %q:\n%s", series, body)
+		}
+	}
+
+	rr := httptest.NewRecorder()
+	e.StatuszHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/statusz", nil))
+	if !strings.Contains(rr.Body.String(), "<h2>Cluster</h2>") {
+		t.Error("statusz html has no cluster panel")
+	}
+	rr = httptest.NewRecorder()
+	e.StatuszHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/statusz?format=text", nil))
+	txt := rr.Body.String()
+	if !strings.Contains(txt, "cluster node=nA epoch=3 ring_version=3 members=2") {
+		t.Errorf("statusz text has no cluster line:\n%s", txt)
+	}
+	if !strings.Contains(txt, "cluster_member id=nB") {
+		t.Errorf("statusz text has no member lines:\n%s", txt)
+	}
+
+	// Standalone engines stay silent on both surfaces.
+	e2 := New(Options{Shards: 1})
+	defer shutdown(t, e2)
+	sb.Reset()
+	o = obs.NewOpenMetricsWriter(&sb, "svdd")
+	e2.WriteMetrics(o)
+	if err := o.EOF(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "cluster_") {
+		t.Error("standalone engine emits cluster families")
+	}
+	rr = httptest.NewRecorder()
+	e2.StatuszHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/statusz", nil))
+	if strings.Contains(rr.Body.String(), "<h2>Cluster</h2>") {
+		t.Error("standalone statusz shows a cluster panel")
+	}
+}

@@ -35,6 +35,11 @@ type Anchor struct {
 	FirstSeq uint64 `json:"first_seq"`
 	LastSeq  uint64 `json:"last_seq"`
 
+	// Node names the cluster node whose journal holds Loc. Empty outside
+	// cluster mode — a single daemon's anchors all live in its own
+	// journal, so the field would only be noise there.
+	Node string `json:"node,omitempty"`
+
 	// Witness is the flight-recorder witness paired with this violation
 	// when the stream ran with witnesses on and the index is within the
 	// retention cap.

@@ -438,3 +438,90 @@ func TestDecodeAndDifferential(t *testing.T) {
 	}
 }
 
+
+// TestReplayJournalAnchored: a capture served WITHOUT witnesses still
+// anchors its violations; the anchored replay re-detects it on a
+// ForceWitness engine and re-derives a witness for every anchor, at the
+// same journal coordinates the live daemon recorded. This is svdreplay
+// -anchors in miniature — and the reason it runs on its own engine,
+// since forcing witnesses changes the sample encoding -verify compares.
+func TestReplayJournalAnchored(t *testing.T) {
+	p := journal.InMemory()
+	jw, err := journal.OpenWriter(p, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Shards: 2, Journal: jw, StreamBase: jw.StreamBase()})
+	defer shutdown(t, e)
+	cli, srv := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() {
+		e.ServeConn(srv)
+		close(sessionDone)
+	}()
+	c := NewClient(cli)
+	w, err := workloads.ByName("queue-buggy", 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.RunSample(w, 9, ReplayOptions{Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	<-sessionDone
+
+	live := e.Report().Journal.Streams
+	if len(live) != 1 || len(live[0].Anchors) == 0 {
+		t.Fatalf("live engine recorded no anchors: %+v", live)
+	}
+	for _, a := range live[0].Anchors {
+		if a.Witness != nil {
+			t.Fatal("witnessless serve attached a witness")
+		}
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := journal.OpenReader(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ae := New(Options{Shards: 1, ForceWitness: true})
+	defer shutdown(t, ae)
+	streams, err := ae.ReplayJournalAnchored(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 1 {
+		t.Fatalf("anchored replay covered %d streams, want 1", len(streams))
+	}
+	as := streams[0]
+	if as.Err != "" || as.Incomplete {
+		t.Fatalf("anchored replay not clean: %+v", as)
+	}
+	if len(as.Anchors) != len(live[0].Anchors) {
+		t.Fatalf("replay anchored %d violations, live anchored %d", len(as.Anchors), len(live[0].Anchors))
+	}
+	for i, a := range as.Anchors {
+		la := live[0].Anchors[i]
+		if a.Detector != la.Detector || a.Index != la.Index || a.Loc != la.Loc ||
+			a.FirstSeq != la.FirstSeq || a.LastSeq != la.LastSeq {
+			t.Fatalf("anchor %d diverges from live: replay %+v live %+v", i, a, la)
+		}
+		if a.Witness == nil {
+			t.Fatalf("anchor %d has no re-derived witness", i)
+		}
+		if a.Witness.Detector != a.Detector {
+			t.Fatalf("anchor %d: witness detector %q != %q", i, a.Witness.Detector, a.Detector)
+		}
+		m, _, err := r.ReadAt(a.Loc)
+		if err != nil {
+			t.Fatalf("anchor %d does not resolve: %v", i, err)
+		}
+		if m.Kind != journal.KindEvents || m.FirstSeq != a.FirstSeq || m.LastSeq != a.LastSeq {
+			t.Fatalf("anchor %d resolves to wrong record: %+v vs %+v", i, m, a)
+		}
+	}
+}

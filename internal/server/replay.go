@@ -240,3 +240,122 @@ func (e *Engine) DecodeStreamEvents(r *journal.Reader, stream uint64) (*workload
 		}
 	}
 }
+
+// Anchored replay: re-detect a capture with violation anchoring (and,
+// when the engine runs with Options.ForceWitness, flight-recorder
+// witnesses) regardless of what the original producer asked for. This
+// is the forensic half of the journal: a daemon that served a stream
+// without -witness still anchored its violations, and an anchored
+// replay re-derives the witness evidence for each of them after the
+// fact. It deliberately does NOT byte-compare against the journaled
+// verdict — forcing witnesses on a witnessless capture legitimately
+// changes the sample encoding, which is why svdreplay runs -verify and
+// -anchors on separate engines.
+
+// AnchoredStream is one journaled stream's re-detection outcome: its
+// violation anchors, each carrying the journal coordinates of the batch
+// that produced it and (with ForceWitness) its re-derived witness.
+type AnchoredStream struct {
+	Stream   uint64   `json:"stream"`
+	Workload string   `json:"workload,omitempty"`
+	Seed     uint64   `json:"seed"`
+	Events   uint64   `json:"events"`
+	Anchors  []Anchor `json:"anchors,omitempty"`
+
+	// Incomplete marks a cut capture: anchors up to the cut are still
+	// produced, but witnesses cannot attach (no close-time sample).
+	Incomplete bool   `json:"incomplete,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+// ReplayJournalAnchored re-detects every journaled stream with each
+// Events batch anchored to its original journal record, returning the
+// per-stream anchors. Streams replay sequentially, in stream-id order.
+func (e *Engine) ReplayJournalAnchored(r *journal.Reader) ([]AnchoredStream, error) {
+	var out []AnchoredStream
+	for _, si := range r.Streams() {
+		out = append(out, e.replayStreamAnchored(r, si))
+	}
+	return out, nil
+}
+
+func (e *Engine) replayStreamAnchored(r *journal.Reader, si journal.StreamInfo) AnchoredStream {
+	as := AnchoredStream{Stream: si.Stream}
+	if !si.HasHello {
+		as.Err = "journal holds no hello for this stream"
+		return as
+	}
+	locs := r.StreamEventLocs(si.Stream)
+	d := wire.NewDeframer(r.StreamReader(si.Stream))
+	fr, err := d.ReadFrame()
+	if err != nil || fr.Type != wire.FrameHello {
+		as.Err = fmt.Sprintf("replay hello: %v (type %v)", err, fr.Type)
+		return as
+	}
+	st, err := e.OpenStream(fr.Hello, "")
+	if err != nil {
+		as.Err = err.Error()
+		return as
+	}
+	as.Workload, as.Seed = st.w.Name, st.seed
+	d.SetProgram(st.w.Prog, st.w.NumThreads)
+
+	// The close path appends this stream's StreamAnchors to e.anchors;
+	// replay is sequential, so the entries past this mark are ours.
+	e.mu.Lock()
+	mark := len(e.anchors)
+	e.mu.Unlock()
+
+	closed := false
+	defer func() {
+		if !closed {
+			st.Abort()
+		}
+	}()
+	k := 0
+	for {
+		eb := st.GetBatch()
+		fr, err := d.ReadFrameInto(eb)
+		if err != nil {
+			st.PutBatch(eb)
+			if !errors.Is(err, io.EOF) {
+				as.Err = err.Error()
+				return as
+			}
+			// Cut capture: close out what was stepped so the anchors
+			// publish; without a sample no witnesses attach.
+			closed = true
+			st.Abort()
+			as.Incomplete = true
+			break
+		}
+		switch fr.Type {
+		case wire.FrameEvents:
+			as.Events += uint64(eb.Len())
+			if k >= len(locs) {
+				st.PutBatch(eb)
+				as.Err = "more events frames than journaled event records"
+				return as
+			}
+			st.IngestBatchJournaled(eb, 0, locs[k])
+			k++
+		case wire.FrameGoodbye:
+			st.PutBatch(eb)
+			closed = true
+			_, _ = st.Close()
+		default:
+			st.PutBatch(eb)
+			as.Err = fmt.Sprintf("unexpected %s frame in journaled stream", fr.Type)
+			return as
+		}
+		if closed {
+			break
+		}
+	}
+	e.mu.Lock()
+	for _, sa := range e.anchors[mark:] {
+		as.Anchors = append(as.Anchors, sa.Anchors...)
+	}
+	e.mu.Unlock()
+	return as
+}

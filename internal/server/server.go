@@ -74,6 +74,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/frd"
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -154,6 +155,17 @@ type Options struct {
 	// across restarts sharing one journal directory.
 	StreamBase uint64
 
+	// NodeID names this engine's node in a detection cluster. Violation
+	// anchors carry it, so a merged cross-node report says which node's
+	// journal holds each anchor's record. Empty outside cluster mode.
+	NodeID string
+
+	// ForceWitness runs every stream's detectors with the flight
+	// recorder on, regardless of what its Hello asked for. Replay tools
+	// use it to re-detect anchored violations with witnesses; a serving
+	// daemon leaves it off so the client's Witness flag stays in charge.
+	ForceWitness bool
+
 	// Telemetry enables the ingest path's own instrumentation: per-batch
 	// queue-wait/step clocks folded into per-shard histograms and the
 	// busy-fraction EWMA (telemetry.go). Off, the hot path takes no
@@ -187,6 +199,11 @@ type Counters struct {
 	Events        uint64 `json:"events"`
 	BatchesShed   uint64 `json:"batches_shed"`
 	StreamsShed   uint64 `json:"streams_shed"` // streams poisoned by shedding
+
+	// StreamsHandedOff counts streams drained here and transferred to
+	// another cluster node; their results are published by the new
+	// owner, not this engine.
+	StreamsHandedOff uint64 `json:"streams_handed_off,omitempty"`
 }
 
 // Engine is the sharded ingestion engine. Create with New, feed with
@@ -204,13 +221,19 @@ type Engine struct {
 	stopOnce sync.Once // closes the shard queues exactly once
 
 	counters struct {
-		streamsOpened atomic.Uint64
-		streamsClosed atomic.Uint64
-		batches       atomic.Uint64
-		events        atomic.Uint64
-		batchesShed   atomic.Uint64
-		streamsShed   atomic.Uint64
+		streamsOpened    atomic.Uint64
+		streamsClosed    atomic.Uint64
+		batches          atomic.Uint64
+		events           atomic.Uint64
+		batchesShed      atomic.Uint64
+		streamsShed      atomic.Uint64
+		streamsHandedOff atomic.Uint64
 	}
+
+	// clusterRt is the cluster router when this engine runs as a
+	// cluster node (set by NewClusterServer before any serving starts);
+	// nil for a standalone daemon. /statusz and /metrics read it.
+	clusterRt *cluster.Router
 
 	mu      sync.Mutex
 	samples []*report.Sample   // completed stream reports, open-order
@@ -291,6 +314,7 @@ type Stream struct {
 	w       *workloads.Workload
 	seed    uint64
 	witness bool
+	key     string // cluster routing key; empty outside cluster mode
 
 	// Worker-owned detector state, created by the open job; only the
 	// owning shard worker touches these after OpenStream returns.
@@ -304,8 +328,9 @@ type Stream struct {
 	ring  batchRing
 	spare *vm.EventBatch
 
-	shed    atomic.Uint64 // batches dropped under PolicyShed
-	aborted bool          // set before the close job when the producer died
+	shed     atomic.Uint64 // batches dropped under PolicyShed
+	aborted  bool          // set before the close job when the producer died
+	released bool          // set before the close job when the stream is handed off
 
 	// Telemetry odometers: written by the producing session, read by
 	// Engine.Snapshot through the atomics while the stream is live.
@@ -388,7 +413,8 @@ func (e *Engine) OpenStream(h wire.Hello, key string) (*Stream, error) {
 		id:         id,
 		w:          w,
 		seed:       h.Seed,
-		witness:    h.Witness,
+		witness:    h.Witness || e.opts.ForceWitness,
+		key:        key,
 		timestamps: h.Timestamps,
 		opened:     time.Now(),
 		done:       make(chan struct{}),
@@ -538,6 +564,21 @@ func (s *Stream) Abort() {
 	<-s.done
 }
 
+// Release is the handoff drain: it tears the stream down like Abort but
+// records the teardown as a transfer, not a failure — no sample, no
+// anchors, and the handed-off counter moves instead of looking like a
+// dead producer. The caller has already captured the stream's frame
+// history; the new owner's replay rebuilds the detector state exactly,
+// which is why discarding the local detectors loses nothing. Returns
+// once every batch enqueued before the release has been stepped and the
+// shard has let go of the stream. Call exactly one of Close, Abort, or
+// Release.
+func (s *Stream) Release() {
+	s.released = true
+	s.sh.jobs <- job{st: s, close: true}
+	<-s.done
+}
+
 // worker is one shard's detector loop: it owns every detector that was
 // routed to it, processing open/batch/close jobs strictly in order per
 // stream.
@@ -584,6 +625,8 @@ func (e *Engine) worker(sh *shard) {
 				st.rec.Flush()
 			}
 			switch {
+			case st.released:
+				st.err = fmt.Errorf("server: stream %d released for handoff", st.id)
 			case st.aborted:
 				st.err = fmt.Errorf("server: stream %d aborted by its producer", st.id)
 			case st.sd.BatchErr() != nil:
@@ -604,12 +647,17 @@ func (e *Engine) worker(sh *shard) {
 			if st.sample != nil {
 				e.samples = append(e.samples, sample)
 			}
-			if len(st.anchors) > 0 {
+			// A released stream publishes no anchors — the new owner
+			// replays its history and owns its sample and anchors.
+			if len(st.anchors) > 0 && !st.released {
 				e.anchors = append(e.anchors, StreamAnchors{
 					Stream: st.id, Workload: st.w.Name, Seed: st.seed, Anchors: st.anchors,
 				})
 			}
 			e.mu.Unlock()
+			if st.released {
+				e.counters.streamsHandedOff.Add(1)
+			}
 			// Free detector state before signaling: the stream handle
 			// may outlive the shard's interest in it.
 			st.sd, st.fd, st.rec = nil, nil, nil
@@ -647,6 +695,7 @@ func (e *Engine) worker(sh *shard) {
 						st.anchors = append(st.anchors, Anchor{
 							Detector: "svd", Index: int(i), Loc: j.loc,
 							FirstSeq: firstSeq, LastSeq: lastSeq,
+							Node: e.opts.NodeID,
 						})
 					}
 				}
@@ -658,6 +707,7 @@ func (e *Engine) worker(sh *shard) {
 						st.anchors = append(st.anchors, Anchor{
 							Detector: "frd", Index: int(i), Loc: j.loc,
 							FirstSeq: firstSeq, LastSeq: lastSeq,
+							Node: e.opts.NodeID,
 						})
 					}
 				}
@@ -692,6 +742,8 @@ func (e *Engine) Counters() Counters {
 		Events:        e.counters.events.Load(),
 		BatchesShed:   e.counters.batchesShed.Load(),
 		StreamsShed:   e.counters.streamsShed.Load(),
+
+		StreamsHandedOff: e.counters.streamsHandedOff.Load(),
 	}
 }
 
@@ -757,6 +809,22 @@ func (e *Engine) ReportHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(e.Report())
+	})
+}
+
+// SamplesHandler serves the engine's raw completed samples as a JSON
+// array — the scatter half of a cluster's scatter-gather /report: peers
+// fetch each node's samples and merge them with report.MergeSamples
+// after a deterministic sort, so the merged digest is independent of
+// which node answered first.
+func (e *Engine) SamplesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		samples := e.Samples()
+		report.SortSamples(samples)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(samples)
 	})
 }
 

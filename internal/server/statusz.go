@@ -16,6 +16,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -37,6 +38,25 @@ type statuszData struct {
 	// Summarize has a pointer receiver the template cannot call through
 	// the embedded snapshot's value field.
 	JournalFsync obs.Summary
+
+	// Cluster is the router panel, present only in cluster mode.
+	Cluster *clusterPanel
+}
+
+// clusterPanel is the /statusz view of the cluster router: the stats
+// snapshot plus how many of this node's open streams route to each
+// member under the current view (streams here owned elsewhere are
+// sticky or about to hand off).
+type clusterPanel struct {
+	cluster.Stats
+	Nodes []clusterNodeRow
+}
+
+type clusterNodeRow struct {
+	ID      string
+	Addr    string
+	Self    bool
+	Streams int
 }
 
 // fmtNs renders a nanosecond quantity human-first (µs/ms/s).
@@ -86,7 +106,27 @@ telemetry {{if .Telemetry}}on{{else}}off{{end}} ·
 <tr><td class="l">events</td><td>{{.Counters.Events}}</td></tr>
 {{if .Counters.BatchesShed}}<tr class="warn"><td class="l">batches shed</td><td>{{.Counters.BatchesShed}}</td></tr>{{end}}
 {{if .Counters.StreamsShed}}<tr class="warn"><td class="l">streams shed</td><td>{{.Counters.StreamsShed}}</td></tr>{{end}}
+{{if .Counters.StreamsHandedOff}}<tr><td class="l">streams handed off</td><td>{{.Counters.StreamsHandedOff}}</td></tr>{{end}}
 </table>
+
+{{with .Cluster}}
+<h2>Cluster</h2>
+<p>node {{.Self}} · epoch {{.Epoch}} · ring v{{.RingVersion}} ·
+handoffs in flight {{.HandoffsInFlight}}</p>
+<table>
+<tr><th class="l">counter</th><th>value</th></tr>
+<tr><td class="l">misroutes</td><td>{{.Misroutes}}</td></tr>
+<tr><td class="l">forwarded frames</td><td>{{.ForwardedFrames}}</td></tr>
+<tr><td class="l">handoffs out / in</td><td>{{.HandoffsOut}} / {{.HandoffsIn}}</td></tr>
+{{if .MembersDown}}<tr class="warn"><td class="l">members down</td><td>{{.MembersDown}}</td></tr>{{end}}
+</table>
+<table>
+<tr><th class="l">member</th><th class="l">addr</th><th>streams here</th></tr>
+{{range .Nodes}}
+<tr><td class="l">{{.ID}}{{if .Self}} (self){{end}}</td><td class="l">{{.Addr}}</td><td>{{.Streams}}</td></tr>
+{{end}}
+</table>
+{{end}}
 
 {{with .Journal}}
 <h2>Journal</h2>
@@ -171,6 +211,30 @@ func (e *Engine) statusz() statuszData {
 		d.Truncated = d.Shown - statusTopK
 		d.Shown = statusTopK
 	}
+	if rt := e.clusterRt; rt != nil {
+		s := rt.Snapshot()
+		counts := make(map[string]int)
+		e.mu.Lock()
+		for _, st := range e.open {
+			if st.key == "" {
+				counts[s.Self]++
+				continue
+			}
+			if m, ok := rt.Owner(st.key); ok {
+				counts[m.ID]++
+			} else {
+				counts[s.Self]++
+			}
+		}
+		e.mu.Unlock()
+		p := &clusterPanel{Stats: s}
+		for _, m := range s.Members {
+			p.Nodes = append(p.Nodes, clusterNodeRow{
+				ID: m.ID, Addr: m.Addr, Self: m.ID == s.Self, Streams: counts[m.ID],
+			})
+		}
+		d.Cluster = p
+	}
 	return d
 }
 
@@ -183,8 +247,16 @@ func (e *Engine) WriteStatusText(w io.Writer) {
 	fmt.Fprintf(w, "svdd version=%s go=%s uptime=%s policy=%s telemetry=%v open_streams=%d\n",
 		d.Version, d.GoVersion, d.Uptime, d.Policy, d.Telemetry, len(d.Streams))
 	c := d.Counters
-	fmt.Fprintf(w, "counters opened=%d closed=%d batches=%d events=%d batches_shed=%d streams_shed=%d\n",
-		c.StreamsOpened, c.StreamsClosed, c.Batches, c.Events, c.BatchesShed, c.StreamsShed)
+	fmt.Fprintf(w, "counters opened=%d closed=%d batches=%d events=%d batches_shed=%d streams_shed=%d streams_handed_off=%d\n",
+		c.StreamsOpened, c.StreamsClosed, c.Batches, c.Events, c.BatchesShed, c.StreamsShed, c.StreamsHandedOff)
+	if cl := d.Cluster; cl != nil {
+		fmt.Fprintf(w, "cluster node=%s epoch=%d ring_version=%d members=%d handoffs_in_flight=%d misroutes=%d forwarded_frames=%d handoffs_out=%d handoffs_in=%d members_down=%d\n",
+			cl.Self, cl.Epoch, cl.RingVersion, len(cl.Members), cl.HandoffsInFlight,
+			cl.Misroutes, cl.ForwardedFrames, cl.HandoffsOut, cl.HandoffsIn, cl.MembersDown)
+		for _, n := range cl.Nodes {
+			fmt.Fprintf(w, "cluster_member id=%s addr=%q self=%v streams=%d\n", n.ID, n.Addr, n.Self, n.Streams)
+		}
+	}
 	if j := d.Journal; j != nil {
 		fmt.Fprintf(w, "journal dir=%q segments=%d active_bytes=%d total_bytes=%d records=%d bytes=%d rotations=%d append_errors=%d oldest=%q newest=%q fsync_p50=%s fsync_p99=%s compaction_removed=%d\n",
 			j.Dir, j.Segments, j.ActiveBytes, j.TotalBytes,

@@ -345,6 +345,21 @@ func (e *Engine) WriteMetrics(o *obs.OpenMetricsWriter) {
 		}))
 	o.GaugeSeries("stream_last_active_unix_nano", "wall clock of the stream's last ingested batch",
 		streamSeries(func(s StreamSnapshot) float64 { return float64(s.LastActiveUnixNano) }))
+
+	if rt := e.clusterRt; rt != nil {
+		cs := rt.Snapshot()
+		o.Counter("cluster_misroutes", "streams that arrived at a non-owner node", cs.Misroutes)
+		o.Counter("cluster_forwarded", "frames relayed toward a stream's owning node", cs.ForwardedFrames)
+		o.CounterSeries("cluster_handoffs", "drained-stream transfers by direction", []obs.LabeledValue{
+			{Labels: map[string]string{"direction": "in"}, Value: float64(cs.HandoffsIn)},
+			{Labels: map[string]string{"direction": "out"}, Value: float64(cs.HandoffsOut)},
+		})
+		o.Gauge("cluster_handoffs_in_flight", "stream transfers currently replaying or relaying", float64(cs.HandoffsInFlight))
+		o.Counter("cluster_members_down", "members this node declared dead", cs.MembersDown)
+		o.Gauge("cluster_epoch", "membership view epoch in force", float64(cs.Epoch))
+		o.Gauge("cluster_ring_version", "consistent-hash ring version in force", float64(cs.RingVersion))
+		o.Gauge("cluster_members", "members in the current view", float64(len(cs.Members)))
+	}
 }
 
 // MetricsWriter adapts WriteMetrics to the obs.NewServeMux extra-writer

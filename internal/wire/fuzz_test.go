@@ -105,6 +105,33 @@ func FuzzDeframe(f *testing.F) {
 	count = binary.AppendUvarint(count, 1<<40) // count far beyond payload
 	count = append(count, make([]byte, 9)...)
 	f.Add(count)
+	// Cluster frames (v3): a keyed hello, an assign view, and a handoff
+	// wrapping the good stream as history. The fuzz deframer never opts
+	// into handoffs, so these also pin the reject-by-default path.
+	var clu bytes.Buffer
+	fcl := NewFramer(&clu, 2)
+	_ = fcl.WriteHello(Hello{Version: Version, Threads: 2, Workload: "queue-buggy", Key: "queue-buggy/9"})
+	_ = fcl.WriteAssign(Assignment{Epoch: 3, RingVersion: 2, Origin: "n1", Nodes: []NodeInfo{
+		{ID: "n1", Addr: "127.0.0.1:7071", HTTPAddr: "127.0.0.1:7171"},
+		{ID: "n2", Addr: "127.0.0.1:7072"},
+	}})
+	_ = fcl.WriteHandoff(Handoff{Key: "queue-buggy/9", Origin: "n1", Epoch: 3, History: g})
+	f.Add(clu.Bytes())
+	// Key flag on a pre-v3 hello: must decode as ErrBadFrame, never as a
+	// keyed stream.
+	oldKey := append([]byte(nil), Magic[:]...)
+	oldKey = append(oldKey, byte(FrameHello))
+	kp := binary.AppendUvarint(nil, 2) // version 2
+	kp = binary.AppendUvarint(kp, 2)   // threads
+	kp = binary.AppendUvarint(kp, 0)   // workload ""
+	kp = binary.AppendUvarint(kp, 0)   // scale
+	kp = binary.AppendUvarint(kp, 0)   // seed
+	kp = append(kp, 8)                 // key flag without the version for it
+	kp = binary.AppendUvarint(kp, 1)
+	kp = append(kp, 'k')
+	oldKey = binary.LittleEndian.AppendUint32(oldKey, uint32(len(kp)))
+	oldKey = append(oldKey, kp...)
+	f.Add(oldKey)
 
 	prog := w.Prog
 	f.Fuzz(func(t *testing.T, data []byte) {

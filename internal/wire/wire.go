@@ -54,7 +54,13 @@ import (
 // Timestamps flag, after which every Events frame opens with the
 // sender's wall-clock send time. Version-1 peers never set the flag and
 // never see the field, so they interoperate unchanged.
-const Version = 2
+//
+// Version 3 adds cluster mode: a Hello may carry a routing Key (the
+// consistent-hash stream key, flag 8), and two node-to-node frame kinds
+// exist — Assign (membership view exchange) and Handoff (drained stream
+// transfer). Version-1/2 peers never set the key flag and never send
+// the new frames, so both prior byte layouts are untouched.
+const Version = 3
 
 // MinVersion is the oldest protocol version this build still accepts.
 const MinVersion = 1
@@ -83,6 +89,20 @@ const (
 
 	// FrameError carries a terminal error message, server to client.
 	FrameError
+
+	// FrameAssign carries a cluster membership view (assignment epoch,
+	// ring version, node list), node to node. A node receiving an Assign
+	// replies with its own current view, so the frame doubles as the
+	// liveness probe and the anti-entropy push. Requires version 3.
+	FrameAssign
+
+	// FrameHandoff transfers one drained stream to its new owner: the
+	// routing key plus the stream's raw frame history (hello + events,
+	// exactly as they arrived), which the receiver replays through fresh
+	// detectors — determinism makes the rebuilt state exact. After the
+	// handoff the same connection carries the stream's remaining frames.
+	// Requires version 3.
+	FrameHandoff
 )
 
 // String names the frame type for errors and logs.
@@ -98,6 +118,10 @@ func (t FrameType) String() string {
 		return "result"
 	case FrameError:
 		return "error"
+	case FrameAssign:
+		return "assign"
+	case FrameHandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("frame(%d)", byte(t))
 	}
@@ -117,13 +141,25 @@ const MaxFramePayload = 4 << 20
 // a hostile producer gains nothing from it.
 const MaxResultPayload = 64 << 20
 
+// MaxHandoffPayload bounds a Handoff frame. A handoff ships a stream's
+// whole raw frame history, which for a long-lived stream legitimately
+// runs far past the 4 MiB ingest cap. Only the node-to-node receive
+// path opts in (ExpectHandoffs); client-facing deframers keep every
+// frame under MaxFramePayload, so the larger cap is never reachable
+// from outside the cluster.
+const MaxHandoffPayload = 64 << 20
+
 // maxPayload is the per-type payload cap on the write side. Readers
-// apply the large result cap only after opting in (ExpectResults), so
-// an ingest-side deframer never allocates past MaxFramePayload no
-// matter what a hostile peer's length prefix declares.
+// apply the large result and handoff caps only after opting in
+// (ExpectResults, ExpectHandoffs), so an ingest-side deframer never
+// allocates past MaxFramePayload no matter what a hostile peer's
+// length prefix declares.
 func maxPayload(t FrameType) int {
-	if t == FrameResult {
+	switch t {
+	case FrameResult:
 		return MaxResultPayload
+	case FrameHandoff:
+		return MaxHandoffPayload
 	}
 	return MaxFramePayload
 }
@@ -178,6 +214,13 @@ type Hello struct {
 	// and are unaffected.
 	Timestamps bool
 
+	// Key is the stream's cluster routing key: the consistent-hash ring
+	// maps it to an owning node, and every frame of the stream follows
+	// it there. Empty outside cluster mode. Requires Version >= 3;
+	// version-1/2 peers never set it and their hellos are byte-identical
+	// to before.
+	Key string
+
 	// Program optionally embeds the program image for streams the
 	// server cannot rebuild from its registry. Nil when Workload names
 	// a registry entry.
@@ -196,6 +239,38 @@ type Result struct {
 	Sample  []byte // report.Sample JSON
 	Err     string
 	Latency []byte // server.LatencyReport JSON, nil without Timestamps
+}
+
+// NodeInfo is one cluster member as carried by an Assign frame.
+type NodeInfo struct {
+	ID       string // stable node id, the ring's hash input
+	Addr     string // wire (TCP) listen address
+	HTTPAddr string // HTTP plane address, may be empty
+}
+
+// Assignment is a cluster membership view: the assignment epoch (total
+// order on views — higher wins), the ring version derived from the
+// member set, the sending node, and the full node list. Nodes exchange
+// Assignments to converge on one view; the receiver of an Assign frame
+// replies with its own current view on the same connection.
+type Assignment struct {
+	Epoch       uint64
+	RingVersion uint64
+	Origin      string
+	Nodes       []NodeInfo
+}
+
+// Handoff transfers one in-flight stream to its new owner. History is
+// the stream's raw wire frames (hello, then events) exactly as the old
+// owner received them; replaying them through fresh detectors rebuilds
+// the detection state exactly, because the detectors are deterministic.
+// Epoch names the assignment view that triggered the move, so a stale
+// handoff is detectable.
+type Handoff struct {
+	Key     string
+	Origin  string
+	Epoch   uint64
+	History []byte
 }
 
 // Framer writes frames to one stream. Not safe for concurrent use; its
@@ -264,7 +339,13 @@ func (f *Framer) WriteHello(h Hello) error {
 	if h.Timestamps {
 		flags |= 4
 	}
+	if h.Key != "" {
+		flags |= 8
+	}
 	b.WriteByte(flags)
+	if h.Key != "" {
+		putString(b, h.Key)
+	}
 	if h.Program != nil {
 		var img bytes.Buffer
 		if err := isa.WriteProgram(&img, h.Program); err != nil {
@@ -309,14 +390,46 @@ func (f *Framer) WriteError(msg string) error {
 	return f.writeFrame(FrameError, f.buf)
 }
 
+// WriteAssign emits a cluster membership view, node to node.
+func (f *Framer) WriteAssign(a Assignment) error {
+	f.buf = f.buf[:0]
+	b := bytes.NewBuffer(f.buf)
+	putUvarint(b, a.Epoch)
+	putUvarint(b, a.RingVersion)
+	putString(b, a.Origin)
+	putUvarint(b, uint64(len(a.Nodes)))
+	for _, n := range a.Nodes {
+		putString(b, n.ID)
+		putString(b, n.Addr)
+		putString(b, n.HTTPAddr)
+	}
+	f.buf = b.Bytes()
+	return f.writeFrame(FrameAssign, f.buf)
+}
+
+// WriteHandoff emits a drained-stream transfer, node to node.
+func (f *Framer) WriteHandoff(h Handoff) error {
+	f.buf = f.buf[:0]
+	b := bytes.NewBuffer(f.buf)
+	putString(b, h.Key)
+	putString(b, h.Origin)
+	putUvarint(b, h.Epoch)
+	putUvarint(b, uint64(len(h.History)))
+	b.Write(h.History)
+	f.buf = b.Bytes()
+	return f.writeFrame(FrameHandoff, f.buf)
+}
+
 // Frame is one decoded frame. Exactly one payload field is meaningful,
 // selected by Type.
 type Frame struct {
-	Type   FrameType
-	Hello  Hello      // FrameHello
-	Events []vm.Event // FrameEvents
-	Result Result     // FrameResult
-	Errmsg string     // FrameError
+	Type    FrameType
+	Hello   Hello      // FrameHello
+	Events  []vm.Event // FrameEvents
+	Result  Result     // FrameResult
+	Errmsg  string     // FrameError
+	Assign  Assignment // FrameAssign
+	Handoff Handoff    // FrameHandoff
 
 	// SendNanos is the producer's send stamp (wall-clock nanoseconds)
 	// carried by an Events frame on a stream whose Hello negotiated
@@ -344,6 +457,12 @@ type Deframer struct {
 	// Only the client side (which asked for a report) opts in; ingest
 	// deframers keep every frame under MaxFramePayload.
 	largeResults bool
+
+	// handoffs raises the Handoff-frame cap to MaxHandoffPayload and
+	// permits decoding the cluster frames at all. Only the node-to-node
+	// receive path opts in; a client-facing deframer rejects Assign and
+	// Handoff as malformed.
+	handoffs bool
 
 	// timestamps mirrors the last decoded Hello's Timestamps flag: when
 	// set, Events frames open with a send stamp.
@@ -376,6 +495,12 @@ func (d *Deframer) RawFrame() (hdr, payload []byte) {
 // on the consumer side of the protocol before reading a report.
 func (d *Deframer) ExpectResults() { d.largeResults = true }
 
+// ExpectHandoffs permits the cluster frames (Assign, Handoff) and
+// raises the Handoff cap to MaxHandoffPayload. Only a cluster node's
+// peer-facing deframer calls this; without it both frame kinds decode
+// as ErrBadFrame, so the client-facing protocol surface is unchanged.
+func (d *Deframer) ExpectHandoffs() { d.handoffs = true }
+
 // NewDeframer builds a Deframer over r.
 func NewDeframer(r io.Reader) *Deframer {
 	return &Deframer{r: bufio.NewReaderSize(r, 32<<10)}
@@ -388,6 +513,19 @@ func (d *Deframer) SetProgram(p *isa.Program, threads int) {
 	d.prog = p
 	d.dec = newEventDecoder(threads)
 	d.dec.memClass = buildMemClass(p)
+}
+
+// AdoptCodec copies src's event-decoder state — the delta-codec context
+// left by src's last decoded frame — so d can continue decoding a
+// stream whose earlier frames were decoded through src. The cluster
+// handoff replay needs it: the transferred history decodes on a side
+// deframer, then the connection's deframer resumes the live tail, whose
+// first frame's deltas reference the last history frame. src must not
+// be used again (the codec context's per-thread arrays are shared, not
+// copied).
+func (d *Deframer) AdoptCodec(src *Deframer) {
+	d.prog = src.prog
+	d.dec = src.dec
 }
 
 // readPayload reads the next frame header and payload into d.payload.
@@ -406,6 +544,9 @@ func (d *Deframer) readPayload() (FrameType, error) {
 	limit := MaxFramePayload
 	if d.largeResults && t == FrameResult {
 		limit = MaxResultPayload
+	}
+	if d.handoffs && t == FrameHandoff {
+		limit = MaxHandoffPayload
 	}
 	if int64(n) > int64(limit) {
 		return 0, fmt.Errorf("%w: %s frame declares %d bytes", ErrFrameTooLarge, t, n)
@@ -488,6 +629,20 @@ func (d *Deframer) ReadFrameInto(eb *vm.EventBatch) (Frame, error) {
 	return d.decodeControl(t)
 }
 
+// ReadRawFrame reads the next frame without decoding its payload: the
+// relay path's primitive. A node forwarding a misrouted stream does not
+// hold the program and never needs the events — it validates framing
+// (magic, caps) and copies bytes to the owner. The returned views obey
+// the RawFrame contract: owned by the Deframer, valid until the next
+// read; header and payload concatenated are the frame as it arrived.
+func (d *Deframer) ReadRawFrame() (FrameType, []byte, []byte, error) {
+	t, err := d.readPayload()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return t, d.hdr[:], d.payload, nil
+}
+
 // decodeControl decodes the non-Events frame in d.payload.
 func (d *Deframer) decodeControl(t FrameType) (Frame, error) {
 	switch t {
@@ -518,6 +673,24 @@ func (d *Deframer) decodeControl(t FrameType) (Frame, error) {
 			return Frame{}, p.err
 		}
 		return Frame{Type: FrameError, Errmsg: msg}, nil
+	case FrameAssign:
+		if !d.handoffs {
+			return Frame{}, fmt.Errorf("%w: assign frame on a non-cluster connection", ErrBadFrame)
+		}
+		a, err := decodeAssign(d.payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameAssign, Assign: a}, nil
+	case FrameHandoff:
+		if !d.handoffs {
+			return Frame{}, fmt.Errorf("%w: handoff frame on a non-cluster connection", ErrBadFrame)
+		}
+		h, err := decodeHandoff(d.payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: FrameHandoff, Handoff: h}, nil
 	default:
 		return Frame{}, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, byte(t))
 	}
@@ -548,6 +721,15 @@ func decodeHello(payload []byte) (Hello, error) {
 	h.Timestamps = flags&4 != 0
 	if h.Timestamps && h.Version < 2 {
 		return Hello{}, fmt.Errorf("%w: timestamps flag set on a version-%d hello (needs version 2)", ErrBadFrame, h.Version)
+	}
+	if flags&8 != 0 {
+		if h.Version < 3 {
+			return Hello{}, fmt.Errorf("%w: routing key flag set on a version-%d hello (needs version 3)", ErrBadFrame, h.Version)
+		}
+		h.Key = p.str()
+		if p.err != nil {
+			return Hello{}, p.err
+		}
 	}
 	if flags&2 != 0 {
 		imgLen := p.uvarint()
@@ -597,6 +779,58 @@ func decodeResult(payload []byte) (Result, error) {
 		r.Latency = append([]byte(nil), lat...)
 	}
 	return r, nil
+}
+
+// decodeAssign parses an Assign payload.
+func decodeAssign(payload []byte) (Assignment, error) {
+	p := payloadReader{b: payload}
+	var a Assignment
+	a.Epoch = p.uvarint()
+	a.RingVersion = p.uvarint()
+	a.Origin = p.str()
+	n := p.uvarint()
+	if p.err != nil {
+		return Assignment{}, p.err
+	}
+	// Three strings per node is at least 3 bytes; a hostile count cannot
+	// force an allocation past the frame itself.
+	if n > uint64(p.rest()) {
+		return Assignment{}, fmt.Errorf("%w: assign declares %d nodes in %d bytes", ErrBadFrame, n, p.rest())
+	}
+	a.Nodes = make([]NodeInfo, n)
+	for i := range a.Nodes {
+		a.Nodes[i].ID = p.str()
+		a.Nodes[i].Addr = p.str()
+		a.Nodes[i].HTTPAddr = p.str()
+	}
+	if p.err != nil {
+		return Assignment{}, p.err
+	}
+	if p.rest() != 0 {
+		return Assignment{}, fmt.Errorf("%w: %d trailing bytes after assign", ErrBadFrame, p.rest())
+	}
+	return a, nil
+}
+
+// decodeHandoff parses a Handoff payload. History is copied out of the
+// deframer's buffer: the receiver replays it asynchronously, past the
+// next frame read.
+func decodeHandoff(payload []byte) (Handoff, error) {
+	p := payloadReader{b: payload}
+	var h Handoff
+	h.Key = p.str()
+	h.Origin = p.str()
+	h.Epoch = p.uvarint()
+	n := p.uvarint()
+	hist := p.bytes(int(n))
+	if p.err != nil {
+		return Handoff{}, p.err
+	}
+	if p.rest() != 0 {
+		return Handoff{}, fmt.Errorf("%w: %d trailing bytes after handoff", ErrBadFrame, p.rest())
+	}
+	h.History = append([]byte(nil), hist...)
+	return h, nil
 }
 
 // payloadReader cursors over one frame payload with latched errors, so
