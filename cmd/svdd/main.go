@@ -76,6 +76,7 @@ func main() {
 		clustered    = flag.Bool("cluster", false, "join a multi-node detection cluster (requires -node-id and -peers)")
 		nodeID       = flag.String("node-id", "", "this node's id in -peers")
 		peersSpec    = flag.String("peers", "", "cluster members: id=wireaddr[+httpaddr],... (must include -node-id)")
+		peerToken    = flag.String("cluster-token", "", "shared secret authenticating the node-to-node plane; empty derives one from -peers (set explicitly when the wire port is reachable by untrusted clients)")
 		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "peer liveness/anti-entropy probe interval (0 = off)")
 		logLevel     = flag.String("log-level", "info", "operational log level: debug, info, warn, error")
 		logJSON      = flag.Bool("log-json", false, "log as JSON instead of text")
@@ -144,7 +145,17 @@ func main() {
 			fatal(log, "cluster config", fmt.Errorf("-node-id %q is not in -peers", *nodeID))
 		}
 		rt := cluster.NewRouter(*nodeID, view)
-		cs = server.NewClusterServer(eng, rt, server.ClusterOptions{})
+		token := *peerToken
+		if token == "" {
+			// Every node of one cluster runs with the same -peers, so a
+			// token derived from the member list agrees fleet-wide with
+			// no extra distribution. It keeps ordinary clients from
+			// injecting Assign/Handoff frames, but anyone who knows the
+			// topology can compute it — set -cluster-token explicitly
+			// (or firewall the wire port) in adversarial settings.
+			token = cluster.DeriveToken(members)
+		}
+		cs = server.NewClusterServer(eng, rt, server.ClusterOptions{PeerToken: token})
 		log.Info("cluster mode", "node", *nodeID, "members", len(members), "epoch", view.Epoch)
 	}
 

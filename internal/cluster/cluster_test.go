@@ -185,6 +185,50 @@ func TestRouterEpochProtocol(t *testing.T) {
 	}
 }
 
+// TestRouterConcurrentMarkDownConverges: two nodes that concurrently
+// mark *different* members down produce views with the same epoch and
+// ring version but different member sets. The view order must still be
+// total — after exchanging assignments in both directions the routers
+// agree on one view, or the cluster would route the same key to two
+// owners until an unrelated epoch bump.
+func TestRouterConcurrentMarkDownConverges(t *testing.T) {
+	members := []Member{
+		{ID: "n1", Addr: "a:1"}, {ID: "n2", Addr: "b:1"},
+		{ID: "n3", Addr: "c:1"}, {ID: "n4", Addr: "d:1"},
+	}
+	r1 := NewRouter("n1", NewView(1, members))
+	r2 := NewRouter("n2", NewView(1, members))
+	v1, _ := r1.MarkDown("n3")
+	v2, _ := r2.MarkDown("n4")
+	if v1.Epoch != v2.Epoch || v1.Ring().Version() != v2.Ring().Version() {
+		t.Fatalf("concurrent markdowns should tie on versions: %d/%d vs %d/%d",
+			v1.Epoch, v1.Ring().Version(), v2.Epoch, v2.Ring().Version())
+	}
+	if v1.Fingerprint() == v2.Fingerprint() {
+		t.Fatal("test needs diverged member sets")
+	}
+	// Anti-entropy both ways: exactly one side must adopt.
+	_, c1 := r1.ApplyAssignment(r2.View().Assignment("n2"))
+	_, c2 := r2.ApplyAssignment(r1.View().Assignment("n1"))
+	if c1 == c2 {
+		t.Fatalf("tiebreak not deterministic: changed=%v/%v", c1, c2)
+	}
+	if got1, got2 := r1.View().Fingerprint(), r2.View().Fingerprint(); got1 != got2 {
+		t.Fatalf("routers did not converge: %q vs %q", got1, got2)
+	}
+	for _, k := range keys(300) {
+		o1, ok1 := r1.Owner(k)
+		o2, ok2 := r2.Owner(k)
+		if ok1 != ok2 || o1.ID != o2.ID {
+			t.Fatalf("converged views route %q differently: %v/%v", k, o1, o2)
+		}
+	}
+	// A replay of the now-shared view changes nothing on either side.
+	if _, changed := r1.ApplyAssignment(r2.View().Assignment("n2")); changed {
+		t.Fatal("replay after convergence changed the view")
+	}
+}
+
 // TestRouterMarkDown: declaring a member dead advances the epoch,
 // removes it from the ring, reroutes its keys to survivors, and is
 // idempotent. A node cannot mark itself down.

@@ -37,6 +37,16 @@ func (h *History) Append(hdr, payload []byte) {
 // where it is.
 func (h *History) Sticky() bool { return h.overflow }
 
+// MarkSticky pins the stream where it is, releasing the buffer, exactly
+// as if the cap had been crossed. The handoff path uses it when a
+// transfer fails for a reason retrying cannot fix — the encoded handoff
+// exceeded the frame cap — so the stream stops re-attempting a doomed
+// move on every frame.
+func (h *History) MarkSticky() {
+	h.overflow = true
+	h.buf = nil
+}
+
 // Bytes is the recorded frame history: a valid wire byte stream.
 func (h *History) Bytes() []byte { return h.buf }
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -49,6 +50,22 @@ func ParsePeers(s string) ([]Member, error) {
 	return out, nil
 }
 
+// DeriveToken computes the default peer-plane token from a member
+// list: FNV-64a over every id and address, hex-rendered. Nodes started
+// with identical -peers derive identical tokens with no side-channel
+// distribution, which keeps ordinary wire clients from forging cluster
+// frames; it is not a secret against anyone who knows the topology, so
+// adversarial deployments must set an explicit token instead.
+func DeriveToken(members []Member) string {
+	ms := append([]Member(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	h := fnv.New64a()
+	for _, m := range ms {
+		fmt.Fprintf(h, "%s=%s+%s,", m.ID, m.Addr, m.HTTPAddr)
+	}
+	return fmt.Sprintf("peers-%016x", h.Sum64())
+}
+
 // View is one membership assignment: an epoch (total order on views —
 // higher epoch wins everywhere), the member list, and the ring derived
 // from it. Views are immutable; the Router swaps whole views.
@@ -73,6 +90,31 @@ func NewView(epoch uint64, members []Member) *View {
 
 // Ring exposes the view's ring.
 func (v *View) Ring() *Ring { return v.ring }
+
+// Fingerprint canonically renders the view's member-id set: ids sorted
+// and comma-joined. Identity is the id set only — address fields do not
+// participate, because two nodes that agree on membership must agree on
+// the fingerprint even if one learned an address differently.
+func (v *View) Fingerprint() string {
+	ids := make([]string, len(v.Members))
+	for i, m := range v.Members {
+		ids[i] = m.ID
+	}
+	// Members is sorted by construction (NewView).
+	return strings.Join(ids, ",")
+}
+
+// AssignmentFingerprint is Fingerprint over a wire view that has not
+// been rebuilt into a View yet: same canonical form, so the two compare
+// directly.
+func AssignmentFingerprint(a wire.Assignment) string {
+	ids := make([]string, len(a.Nodes))
+	for i, n := range a.Nodes {
+		ids[i] = n.ID
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
+}
 
 // Owner routes a stream key under this view.
 func (v *View) Owner(key string) (Member, bool) {

@@ -56,17 +56,32 @@ func (r *Router) Owns(key string) bool {
 	return ok && m.ID == r.self
 }
 
-// ApplyAssignment adopts a peer's view when it is strictly newer
-// (higher epoch, or same epoch with a higher ring version — the
-// tiebreak a same-epoch member loss produces). Returns the view in
-// force afterwards and whether it changed. Idempotent on replays of
-// the current view.
+// ApplyAssignment adopts a peer's view when it orders after the current
+// one. The order must be total or diverged nodes never reconverge, so
+// it has three tiers: epoch, then ring version (the tiebreak a
+// same-epoch member loss produces), then — when both are equal but the
+// member sets still differ, which two nodes concurrently marking
+// *different* members down produces — the canonical member-set
+// fingerprint, smaller winning. The fingerprint tier is arbitrary but
+// deterministic: both sides pick the same winner, the anti-entropy
+// exchange spreads it, and the markdown the losing view carried is
+// re-detected by the next failed probe or dial, one epoch later.
+// Returns the view in force afterwards and whether it changed.
+// Idempotent on replays of the current view.
 func (r *Router) ApplyAssignment(a wire.Assignment) (*View, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cur := r.view
-	if a.Epoch < cur.Epoch || (a.Epoch == cur.Epoch && a.RingVersion <= cur.Ring().Version()) {
+	curRV := cur.Ring().Version()
+	switch {
+	case a.Epoch < cur.Epoch:
 		return cur, false
+	case a.Epoch == cur.Epoch && a.RingVersion < curRV:
+		return cur, false
+	case a.Epoch == cur.Epoch && a.RingVersion == curRV:
+		if AssignmentFingerprint(a) >= cur.Fingerprint() {
+			return cur, false
+		}
 	}
 	r.view = ViewFromAssignment(a)
 	return r.view, true

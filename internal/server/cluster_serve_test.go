@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -174,6 +175,277 @@ func TestClusterHandoffDifferential(t *testing.T) {
 				t.Errorf("owner published %d samples, want 1", n)
 			}
 		})
+	}
+}
+
+// TestClusterHandoffTimestamps hands off a stream that negotiated send
+// stamps: after the splice the live tail's Events frames still open
+// with a stamp, which the new owner's connection deframer must keep
+// stripping (AdoptCodec carries the flag) — otherwise every post-
+// handoff frame decodes the stamp as event data. The sample must stay
+// byte-identical and the result must still carry a latency digest.
+func TestClusterHandoffTimestamps(t *testing.T) {
+	const name = "queue-buggy"
+	const seed = uint64(9)
+	w, err := workloads.ByName(name, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, m := collectEvents(t, w, seed)
+	want := inProcess(t, name, seed)
+
+	csB, lnB := startClusterNode(t, "nB",
+		cluster.NewView(1, []cluster.Member{{ID: "nB", Addr: "unused"}}), ClusterOptions{})
+
+	eA := New(Options{Shards: 2, NodeID: "nA"})
+	defer shutdown(t, eA)
+	rtA := cluster.NewRouter("nA", cluster.NewView(1, []cluster.Member{{ID: "nA", Addr: "unused"}}))
+	csA := NewClusterServer(eA, rtA, ClusterOptions{})
+	cli, srv := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() { csA.ServeConn(srv); close(sessionDone) }()
+
+	const cut = 7
+	f := wire.NewFramer(cli, w.NumThreads)
+	d := wire.NewDeframer(cli)
+	d.ExpectResults()
+	if err := f.WriteHello(wire.Hello{
+		Version: wire.Version, Threads: w.NumThreads, Workload: name,
+		Scale: 1, Seed: seed, Witness: true, Timestamps: true, Key: "queue-buggy/ts/9",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteEvents(evs[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "frame 1 ingest", func() bool { return eA.Counters().Events >= cut })
+	rtA.ApplyAssignment(cluster.NewView(2,
+		[]cluster.Member{{ID: "nB", Addr: lnB.Addr().String()}}).Assignment("test"))
+
+	for i := cut; i < len(evs); i += vm.DefaultBatchCap {
+		j := min(i+vm.DefaultBatchCap, len(evs))
+		if err := f.WriteEvents(evs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WriteGoodbye(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := d.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != wire.FrameResult || fr.Result.Err != "" {
+		t.Fatalf("bad result: type=%s err=%q", fr.Type, fr.Result.Err)
+	}
+	if len(fr.Result.Latency) == 0 {
+		t.Error("timestamps stream lost its latency digest across the handoff")
+	}
+	var got report.Sample
+	if err := json.Unmarshal(fr.Result.Sample, &got); err != nil {
+		t.Fatal(err)
+	}
+	got.Erroneous, got.ErrorDetail = w.Check(m)
+	diffSamples(t, "timestamps handoff", &got, want)
+	cli.Close()
+	<-sessionDone
+	if s := csB.Router().Snapshot(); s.HandoffsIn != 1 {
+		t.Errorf("owner router: %+v", s)
+	}
+	if n := len(csB.Engine().Samples()); n != 1 {
+		t.Errorf("owner published %d samples, want 1", n)
+	}
+}
+
+// TestClusterPeerAuth: the node-to-node plane is gated on the shared
+// token. A connection that has not presented it cannot hand off a
+// stream at all, and a forged Assign (any epoch) is rejected without
+// touching the view — so a client that can reach the wire port cannot
+// hijack routing. A token-valid Assign promotes the connection and the
+// full handoff path works.
+func TestClusterPeerAuth(t *testing.T) {
+	const token = "s3cret"
+	members := []cluster.Member{{ID: "nA", Addr: "a:1"}, {ID: "nB", Addr: "b:1"}}
+	e := New(Options{Shards: 1, NodeID: "nA"})
+	defer shutdown(t, e)
+	rt := cluster.NewRouter("nA", cluster.NewView(1, members))
+	cs := NewClusterServer(e, rt, ClusterOptions{PeerToken: token})
+
+	dialSession := func() (net.Conn, chan struct{}) {
+		cli, srv := net.Pipe()
+		done := make(chan struct{})
+		go func() { cs.ServeConn(srv); close(done) }()
+		return cli, done
+	}
+
+	t.Run("forged assign rejected", func(t *testing.T) {
+		cli, done := dialSession()
+		f := wire.NewFramer(cli, 1)
+		forged := cluster.NewView(99, members[:1]).Assignment("evil")
+		forged.Token = "wrong"
+		if err := f.WriteAssign(forged); err != nil {
+			t.Fatal(err)
+		}
+		d := wire.NewDeframer(cli)
+		fr, err := d.ReadFrame()
+		if err != nil || fr.Type != wire.FrameError {
+			t.Fatalf("want error frame, got %v type %v", err, fr.Type)
+		}
+		cli.Close()
+		<-done
+		if v := rt.View(); v.Epoch != 1 {
+			t.Fatalf("forged assign moved the view to epoch %d", v.Epoch)
+		}
+	})
+
+	t.Run("handoff before auth rejected", func(t *testing.T) {
+		cli, done := dialSession()
+		f := wire.NewFramer(cli, 1)
+		if err := f.WriteHandoff(wire.Handoff{Key: "k", Origin: "evil", History: []byte("junk")}); err != nil {
+			t.Fatal(err)
+		}
+		d := wire.NewDeframer(cli)
+		fr, err := d.ReadFrame()
+		if err != nil || fr.Type != wire.FrameError {
+			t.Fatalf("want error frame, got %v type %v", err, fr.Type)
+		}
+		cli.Close()
+		<-done
+		if s := rt.Snapshot(); s.HandoffsIn != 0 {
+			t.Fatalf("unauthenticated handoff counted: %+v", s)
+		}
+	})
+
+	t.Run("token unlocks handoff", func(t *testing.T) {
+		cli, done := dialSession()
+		f := wire.NewFramer(cli, 1)
+		d := wire.NewDeframer(cli)
+		d.ExpectHandoffs()
+		d.ExpectResults()
+		a := cluster.NewView(1, members).Assignment("nB")
+		a.Token = token
+		if err := f.WriteAssign(a); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := d.ReadFrame()
+		if err != nil || fr.Type != wire.FrameAssign {
+			t.Fatalf("assign reply: %v type %v", err, fr.Type)
+		}
+		if fr.Assign.Token != token {
+			t.Fatalf("reply not authenticated: %+v", fr.Assign)
+		}
+
+		// A minimal but valid handoff: hello + goodbye history. The
+		// promoted connection must adopt it and answer with the result.
+		w, err := workloads.ByName("queue-buggy", 1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hist bytes.Buffer
+		hf := wire.NewFramer(&hist, w.NumThreads)
+		if err := hf.WriteHello(wire.Hello{
+			Version: wire.Version, Threads: w.NumThreads, Workload: w.Name,
+			Scale: 1, Seed: 9, Key: "auth/1",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := hf.WriteGoodbye(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteHandoff(wire.Handoff{Key: "auth/1", Origin: "nB", Epoch: 1, History: hist.Bytes()}); err != nil {
+			t.Fatal(err)
+		}
+		fr, err = d.ReadFrame()
+		if err != nil || fr.Type != wire.FrameResult || fr.Result.Err != "" {
+			t.Fatalf("handoff result: %v type %v err %q", err, fr.Type, fr.Result.Err)
+		}
+		cli.Close()
+		<-done
+		if s := rt.Snapshot(); s.HandoffsIn != 1 {
+			t.Fatalf("authenticated handoff not counted: %+v", s)
+		}
+	})
+}
+
+// TestClusterHopLimitBreaksPingPong wires two nodes whose views
+// disagree about a key's owner — the divergence window REVIEW found. A
+// still runs the shared base view and routes the key to B; B has
+// adopted a newer view in which B itself was marked down, so it routes
+// every key to A. Each relay bumps the Hello's hop counter, so instead
+// of bouncing connections between the two at network speed forever, the
+// chain terminates at maxStreamHops and the stream is served where it
+// landed, with the sample still byte-identical.
+func TestClusterHopLimitBreaksPingPong(t *testing.T) {
+	const name = "queue-fixed"
+	const seed = uint64(6)
+	w, err := workloads.ByName(name, 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inProcess(t, name, seed)
+
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewA := cluster.NewView(1, []cluster.Member{
+		{ID: "nA", Addr: "unused"}, {ID: "nB", Addr: lnB.Addr().String()},
+	})
+	viewB := cluster.NewView(2, []cluster.Member{
+		{ID: "nA", Addr: lnA.Addr().String()},
+	})
+	key := keyOwnedBy(t, viewA, "nB")
+
+	eA := New(Options{Shards: 2, NodeID: "nA"})
+	defer shutdown(t, eA)
+	csA := NewClusterServer(eA, cluster.NewRouter("nA", viewA), ClusterOptions{})
+	go csA.Serve(lnA)
+	defer lnA.Close()
+
+	eB := New(Options{Shards: 2, NodeID: "nB"})
+	defer shutdown(t, eB)
+	csB := NewClusterServer(eB, cluster.NewRouter("nB", viewB), ClusterOptions{})
+	go csB.Serve(lnB)
+	defer lnB.Close()
+
+	cli, srv := net.Pipe()
+	sessionDone := make(chan struct{})
+	go func() { csA.ServeConn(srv); close(sessionDone) }()
+
+	c := NewClient(cli)
+	got, _, err := c.RunSample(w, seed, ReplayOptions{Witness: true, Scale: 1, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSamples(t, "hop-limited stream", got, want)
+	cli.Close()
+	<-sessionDone
+
+	// hops 0 (client at A) -> 1 (B) -> 2 (A) -> 3: B hits the hop
+	// limit and stops relaying. Its between-frame ownership check then
+	// hands the stream to nA; the handoff's Assign exchange teaches A
+	// the epoch-2 view, so A sees itself as owner and publishes. The
+	// hop guard broke the relay loop, and the handoff anti-entropy
+	// converged the views.
+	if n := len(eA.Samples()); n != 1 {
+		t.Errorf("nA published %d samples, want 1", n)
+	}
+	if n := len(eB.Samples()); n != 0 {
+		t.Errorf("nB published %d samples, want 0", n)
+	}
+	sA, sB := csA.Router().Snapshot(), csB.Router().Snapshot()
+	if sA.Misroutes != 2 || sB.Misroutes != 2 {
+		t.Errorf("misroutes A=%d B=%d, want 2/2", sA.Misroutes, sB.Misroutes)
+	}
+	if sA.Epoch != 2 {
+		t.Errorf("nA converged to epoch %d, want 2", sA.Epoch)
+	}
+	if sB.HandoffsOut != 1 || sA.HandoffsIn != 1 {
+		t.Errorf("handoffs out(B)=%d in(A)=%d, want 1/1", sB.HandoffsOut, sA.HandoffsIn)
 	}
 }
 

@@ -29,6 +29,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,12 +52,28 @@ import (
 // for a handoff that may never come.
 const DefaultHistoryLimit = 8 << 20
 
+// maxStreamHops bounds how many times a Hello may be relayed between
+// nodes. While views diverge (the anti-entropy window after a failure)
+// node A can believe B owns a key while B believes A does; without a
+// bound each relayed Hello looks like a fresh client stream and the
+// pair plays ping-pong at network speed. At the limit the stream is
+// served wherever it happens to be — availability over placement, the
+// same policy the unreachable-owner path uses.
+const maxStreamHops = 3
+
 // ClusterOptions tune a ClusterServer.
 type ClusterOptions struct {
 	// HistoryLimit caps per-stream history buffers; <= 0 means
-	// DefaultHistoryLimit. Clamped below wire.MaxHandoffPayload so a
-	// recorded history always fits in one Handoff frame.
+	// DefaultHistoryLimit. Clamped so key plus history always fit in
+	// one Handoff frame under wire.MaxHandoffPayload.
 	HistoryLimit int
+
+	// PeerToken authenticates the node-to-node plane: a connection must
+	// present it in an Assign frame before the node honors membership
+	// changes or stream handoffs from it. Every node of one cluster
+	// must share the same token. Empty disables the check — acceptable
+	// only when the wire port is unreachable by untrusted clients.
+	PeerToken string
 
 	// Dial opens a wire connection to a peer; nil means TCP with a
 	// 5-second timeout. Tests inject pipes here.
@@ -70,6 +87,7 @@ type ClusterServer struct {
 	eng          *Engine
 	rt           *cluster.Router
 	historyLimit int
+	token        string
 	dial         func(addr string) (net.Conn, error)
 }
 
@@ -79,7 +97,10 @@ func NewClusterServer(e *Engine, rt *cluster.Router, opts ClusterOptions) *Clust
 	if limit <= 0 {
 		limit = DefaultHistoryLimit
 	}
-	if max := wire.MaxHandoffPayload - 4096; limit > max {
+	// The Handoff payload carries the key (<= wire.MaxKeyLen, enforced
+	// at Hello decode) and a few short fields besides the history; the
+	// headroom keeps their sum under the frame cap for any legal key.
+	if max := wire.MaxHandoffPayload - wire.MaxKeyLen - 4096; limit > max {
 		limit = max
 	}
 	dial := opts.Dial
@@ -89,7 +110,20 @@ func NewClusterServer(e *Engine, rt *cluster.Router, opts ClusterOptions) *Clust
 		}
 	}
 	e.clusterRt = rt
-	return &ClusterServer{eng: e, rt: rt, historyLimit: limit, dial: dial}
+	return &ClusterServer{eng: e, rt: rt, historyLimit: limit, token: opts.PeerToken, dial: dial}
+}
+
+// tokenOK compares a presented peer token in constant time.
+func (cs *ClusterServer) tokenOK(token string) bool {
+	return subtle.ConstantTimeCompare([]byte(token), []byte(cs.token)) == 1
+}
+
+// assignment renders this node's current view as an authenticated
+// Assign payload.
+func (cs *ClusterServer) assignment() wire.Assignment {
+	a := cs.rt.View().Assignment(cs.rt.Self())
+	a.Token = cs.token
+	return a
 }
 
 // Router exposes the node's routing state.
@@ -122,11 +156,19 @@ func (cs *ClusterServer) Serve(ln net.Listener) error {
 // ServeConn runs one cluster session: a loop of top-level frames, each
 // either a client stream (Hello), a membership exchange (Assign), or an
 // incoming stream transfer (Handoff).
+//
+// The cluster frames are gated: a fresh connection may decode Assign
+// (to present the peer token) but not Handoff, and an Assign whose
+// token does not match is rejected without being applied — so a client
+// that can reach the wire port cannot hijack routing with a forged
+// high-epoch view or make the node adopt (or even allocate) a handoff.
+// A token-valid Assign promotes the connection to the peer plane for
+// its remaining lifetime.
 func (cs *ClusterServer) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	log := cs.eng.opts.Logger.With("remote", conn.RemoteAddr().String())
 	d := wire.NewDeframer(conn)
-	d.ExpectHandoffs()
+	d.ExpectAssigns()
 	f := wire.NewFramer(conn, 1)
 
 	for {
@@ -150,10 +192,18 @@ func (cs *ClusterServer) ServeConn(conn net.Conn) {
 		case wire.FrameAssign:
 			// The Assign exchange doubles as probe and anti-entropy:
 			// adopt the peer's view when newer, answer with our own so
-			// the peer can do the same.
+			// the peer can do the same — but only for a peer that holds
+			// the cluster token.
+			if !cs.tokenOK(fr.Assign.Token) {
+				err = fmt.Errorf("cluster: peer token mismatch on assign from %q", fr.Assign.Origin)
+				break
+			}
+			d.ExpectHandoffs()
 			cs.rt.ApplyAssignment(fr.Assign)
-			err = f.WriteAssign(cs.rt.View().Assignment(cs.rt.Self()))
+			err = f.WriteAssign(cs.assignment())
 		case wire.FrameHandoff:
+			// Only reachable on a promoted connection: the deframer
+			// rejects Handoff until a token-valid Assign has arrived.
 			err = cs.receiveHandoff(conn, d, f, fr.Handoff)
 		default:
 			err = fmt.Errorf("%w: unexpected %s frame between streams", wire.ErrBadFrame, fr.Type)
@@ -315,10 +365,46 @@ func (cs *ClusterServer) tryHandoff(cw io.Writer, live *wire.Deframer, st *Strea
 		return false, nil
 	}
 	pf := wire.NewFramer(peer, 1)
+	// Authenticate before shipping anything: the owner unlocks Handoff
+	// only after a token-valid Assign, and its reply doubles as
+	// anti-entropy — if it knows a newer view, adopt it and re-check
+	// that this peer still owns the key before committing the transfer.
+	pd := wire.NewDeframer(peer)
+	pd.ExpectAssigns()
+	if err := pf.WriteAssign(cs.assignment()); err != nil {
+		peer.Close()
+		cs.rt.MarkDown(owner.ID)
+		return false, nil
+	}
+	fr, err := pd.ReadFrame()
+	if err != nil || fr.Type != wire.FrameAssign {
+		peer.Close()
+		cs.rt.MarkDown(owner.ID)
+		return false, nil
+	}
+	if !cs.tokenOK(fr.Assign.Token) {
+		// Reachable but foreign — a config error, not a death. Keep the
+		// stream local and leave the member up.
+		peer.Close()
+		return false, nil
+	}
+	if _, changed := cs.rt.ApplyAssignment(fr.Assign); changed {
+		if now, ok := cs.rt.Owner(st.key); !ok || now.ID != owner.ID {
+			peer.Close()
+			return false, nil // next frame re-checks under the new view
+		}
+	}
 	v := cs.rt.View()
 	h := wire.Handoff{Key: st.key, Origin: cs.rt.Self(), Epoch: v.Epoch, History: hist.Bytes()}
 	if err := pf.WriteHandoff(h); err != nil {
 		peer.Close()
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			// An encode-side size failure says nothing about the peer's
+			// health: do not mark it down. Retrying cannot shrink the
+			// history, so pin the stream here.
+			hist.MarkSticky()
+			return false, nil
+		}
 		cs.rt.MarkDown(owner.ID)
 		return false, nil
 	}
@@ -335,15 +421,23 @@ func (cs *ClusterServer) tryHandoff(cw io.Writer, live *wire.Deframer, st *Strea
 		return true, fmt.Errorf("cluster: relay to %s: %w", owner.ID, err)
 	}
 	cs.rt.NoteForwarded(1)
-	return true, cs.relayFrames(live, cw, peer)
+	return true, cs.relayFrames(live, cw, peer, pd)
 }
 
 // forward relays a misrouted stream to its owner from the Hello on.
 // When every remote owner is unreachable (each gets marked down) the
 // ring eventually routes the key back here and the stream is served
-// locally — availability over placement.
+// locally — availability over placement. The same policy bounds relay
+// chains: the Hello is re-emitted with its hop count bumped, and a
+// Hello that has already crossed maxStreamHops relays is served where
+// it is, so nodes with diverged views cannot bounce a stream between
+// each other indefinitely.
 func (cs *ClusterServer) forward(cw io.Writer, d *wire.Deframer, f *wire.Framer, hello wire.Hello) error {
-	hdr, payload := d.RawFrame()
+	if hello.Hops >= maxStreamHops {
+		return cs.serveLocal(cw, d, f, hello)
+	}
+	relayed := hello
+	relayed.Hops++
 	for {
 		owner, ok := cs.rt.Owner(hello.Key)
 		if !ok || owner.ID == cs.rt.Self() {
@@ -356,21 +450,24 @@ func (cs *ClusterServer) forward(cw io.Writer, d *wire.Deframer, f *wire.Framer,
 		}
 		err = func() error {
 			defer peer.Close()
-			if err := writeRaw(peer, hdr, payload); err != nil {
+			pf := wire.NewFramer(peer, relayed.Threads)
+			if err := pf.WriteHello(relayed); err != nil {
 				return fmt.Errorf("cluster: relay to %s: %w", owner.ID, err)
 			}
 			cs.rt.NoteForwarded(1)
-			return cs.relayFrames(d, cw, peer)
+			return cs.relayFrames(d, cw, peer, wire.NewDeframer(peer))
 		}()
 		return err
 	}
 }
 
 // relayFrames is the relay core: client frames go to the peer raw until
-// the Goodbye, then the peer's reply comes back raw until a Result
+// the Goodbye, then the peer's reply — read through pd, which must be
+// the deframer already wrapping the peer connection (it may hold
+// buffered bytes from a handshake read) — comes back raw until a Result
 // (success) or Error (the peer already said why; io.EOF tells ServeConn
 // to hang up without writing a second error).
-func (cs *ClusterServer) relayFrames(d *wire.Deframer, cw io.Writer, peer net.Conn) error {
+func (cs *ClusterServer) relayFrames(d *wire.Deframer, cw io.Writer, peer net.Conn, pd *wire.Deframer) error {
 	for {
 		t, hdr, payload, err := d.ReadRawFrame()
 		if err != nil {
@@ -387,7 +484,6 @@ func (cs *ClusterServer) relayFrames(d *wire.Deframer, cw io.Writer, peer net.Co
 			break
 		}
 	}
-	pd := wire.NewDeframer(peer)
 	pd.ExpectResults()
 	for {
 		t, hdr, payload, err := pd.ReadRawFrame()
@@ -479,8 +575,8 @@ func (cs *ClusterServer) ProbePeer(m cluster.Member) error {
 	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
 	f := wire.NewFramer(conn, 1)
 	d := wire.NewDeframer(conn)
-	d.ExpectHandoffs()
-	if err := f.WriteAssign(cs.rt.View().Assignment(cs.rt.Self())); err != nil {
+	d.ExpectAssigns()
+	if err := f.WriteAssign(cs.assignment()); err != nil {
 		cs.rt.MarkDown(m.ID)
 		return err
 	}
@@ -492,6 +588,12 @@ func (cs *ClusterServer) ProbePeer(m cluster.Member) error {
 	if fr.Type != wire.FrameAssign {
 		cs.rt.MarkDown(m.ID)
 		return fmt.Errorf("%w: probe expected assign, got %s", wire.ErrBadFrame, fr.Type)
+	}
+	if !cs.tokenOK(fr.Assign.Token) {
+		// Something answered, but not a member of this cluster: adopt
+		// nothing. Leave the member up — demotion is for unreachable
+		// nodes, and a token mismatch is a config error to surface.
+		return fmt.Errorf("cluster: peer token mismatch from %q at %s", fr.Assign.Origin, m.Addr)
 	}
 	cs.rt.ApplyAssignment(fr.Assign)
 	return nil

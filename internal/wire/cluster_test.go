@@ -5,14 +5,19 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"reflect"
+	"strings"
 	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
 )
 
 // TestAssignRoundTrip: an Assignment survives the wire intact,
 // including empty HTTP addresses and an empty node list.
 func TestAssignRoundTrip(t *testing.T) {
 	views := []Assignment{
-		{Epoch: 7, RingVersion: 3, Origin: "n2", Nodes: []NodeInfo{
+		{Epoch: 7, RingVersion: 3, Origin: "n2", Token: "peers-00ff", Nodes: []NodeInfo{
 			{ID: "n1", Addr: "10.0.0.1:7071", HTTPAddr: "10.0.0.1:7171"},
 			{ID: "n2", Addr: "10.0.0.2:7071"},
 			{ID: "n3", Addr: "10.0.0.3:7071", HTTPAddr: "10.0.0.3:7171"},
@@ -35,7 +40,7 @@ func TestAssignRoundTrip(t *testing.T) {
 			t.Fatalf("got frame %v, want assign", fr.Type)
 		}
 		got := fr.Assign
-		if got.Epoch != want.Epoch || got.RingVersion != want.RingVersion || got.Origin != want.Origin {
+		if got.Epoch != want.Epoch || got.RingVersion != want.RingVersion || got.Origin != want.Origin || got.Token != want.Token {
 			t.Fatalf("header mismatch: got %+v want %+v", got, want)
 		}
 		if len(got.Nodes) != len(want.Nodes) {
@@ -180,6 +185,161 @@ func TestHelloKeyNeedsV3(t *testing.T) {
 	d := NewDeframer(bytes.NewReader(frame))
 	if _, err := d.ReadFrame(); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("keyed v2 hello: got %v, want ErrBadFrame", err)
+	}
+}
+
+// TestAdoptCodecTimestamps is the handoff-splice decode property on a
+// Timestamps stream: a prefix of the stream decodes through one
+// deframer (the handoff replay), the tail through another that adopts
+// the first's codec — and the tail's events frames must still have
+// their send stamps stripped and surfaced, not fed to the delta decoder
+// as event data.
+func TestAdoptCodecTimestamps(t *testing.T) {
+	w, err := workloads.ByName("queue-buggy", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.NewVM(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	f := NewFramer(&buf, w.NumThreads)
+	var tick int64
+	f.now = func() int64 { tick++; return tick }
+	if err := f.WriteHello(Hello{Version: Version, Threads: w.NumThreads, Workload: w.Name, Seed: 3, Timestamps: true, Key: "q/3"}); err != nil {
+		t.Fatal(err)
+	}
+	var sent []vm.Event
+	frames := 0
+	split := 0 // byte offset after hello + first events frame
+	m.AttachBatch(batchFunc(func(evs []vm.Event) {
+		sent = append(sent, evs...)
+		if err := f.WriteEvents(evs); err != nil {
+			t.Fatal(err)
+		}
+		if frames++; frames == 1 {
+			split = buf.Len()
+		}
+	}))
+	if _, err := m.Run(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	if frames < 2 {
+		t.Fatalf("need at least 2 events frames to splice, got %d", frames)
+	}
+	stream := buf.Bytes()
+
+	// "History" deframer: hello + first events frame.
+	hd := NewDeframer(bytes.NewReader(stream[:split]))
+	fr, err := hd.ReadFrame()
+	if err != nil || fr.Type != FrameHello || !fr.Hello.Timestamps {
+		t.Fatalf("hello: %v %+v", err, fr.Hello)
+	}
+	hd.SetProgram(w.Prog, w.NumThreads)
+	var got []vm.Event
+	fr, err = hd.ReadFrame()
+	if err != nil || fr.Type != FrameEvents || fr.SendNanos != 1 {
+		t.Fatalf("replayed frame: %v type=%v stamp=%d", err, fr.Type, fr.SendNanos)
+	}
+	got = append(got, fr.Events...)
+
+	// "Live" deframer takes over the tail mid-stream.
+	live := NewDeframer(bytes.NewReader(stream[split:]))
+	live.AdoptCodec(hd)
+	stamp := uint64(1)
+	for {
+		fr, err = live.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("live frame after splice: %v", err)
+		}
+		if fr.Type == FrameEvents {
+			stamp++
+			if fr.SendNanos != stamp {
+				t.Fatalf("live frame stamp %d, want %d (timestamps flag lost in AdoptCodec?)", fr.SendNanos, stamp)
+			}
+			got = append(got, fr.Events...)
+		}
+	}
+	if !reflect.DeepEqual(got, sent) {
+		t.Fatalf("spliced decode diverged: %d events vs %d sent", len(got), len(sent))
+	}
+}
+
+// TestHelloHopsRoundTrip: the relay hop counter survives the wire, and
+// an unrelayed hello leaves the flag clear.
+func TestHelloHopsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFramer(&buf, 2)
+	if err := f.WriteHello(Hello{Version: Version, Threads: 2, Workload: "queue-buggy", Key: "q/1", Hops: 2}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeframer(&buf)
+	fr, err := d.ReadFrame()
+	if err != nil || fr.Hello.Hops != 2 || fr.Hello.Key != "q/1" {
+		t.Fatalf("hop round trip: %v %+v", err, fr.Hello)
+	}
+
+	buf.Reset()
+	if err := f.WriteHello(Hello{Version: Version, Threads: 2, Workload: "queue-buggy"}); err != nil {
+		t.Fatal(err)
+	}
+	d = NewDeframer(&buf)
+	if fr, err = d.ReadFrame(); err != nil || fr.Hello.Hops != 0 {
+		t.Fatalf("unrelayed hello: %v hops=%d", err, fr.Hello.Hops)
+	}
+}
+
+// TestHelloHopsNeedsV3: the hop flag on a version-2 hello is malformed,
+// like the key flag.
+func TestHelloHopsNeedsV3(t *testing.T) {
+	p := binary.AppendUvarint(nil, 2) // version 2
+	p = binary.AppendUvarint(p, 2)    // threads
+	p = binary.AppendUvarint(p, 0)    // workload ""
+	p = binary.AppendUvarint(p, 0)    // scale
+	p = binary.AppendUvarint(p, 0)    // seed
+	p = append(p, 16)                 // hop flag
+	p = binary.AppendUvarint(p, 1)
+	frame := append([]byte(nil), Magic[:]...)
+	frame = append(frame, byte(FrameHello))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(p)))
+	frame = append(frame, p...)
+	d := NewDeframer(bytes.NewReader(frame))
+	if _, err := d.ReadFrame(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("hop'd v2 hello: got %v, want ErrBadFrame", err)
+	}
+}
+
+// TestHelloKeyTooLong: both sides refuse a routing key past MaxKeyLen —
+// the writer before framing, the decoder on a hand-crafted frame — so
+// the handoff payload arithmetic (key + capped history < frame cap)
+// holds against hostile clients too.
+func TestHelloKeyTooLong(t *testing.T) {
+	long := strings.Repeat("k", MaxKeyLen+1)
+	var buf bytes.Buffer
+	f := NewFramer(&buf, 2)
+	if err := f.WriteHello(Hello{Version: Version, Threads: 2, Key: long, Workload: "w"}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("write side accepted an oversized key: %v", err)
+	}
+
+	p := binary.AppendUvarint(nil, Version) // version 3
+	p = binary.AppendUvarint(p, 2)          // threads
+	p = binary.AppendUvarint(p, 0)          // workload ""
+	p = binary.AppendUvarint(p, 0)          // scale
+	p = binary.AppendUvarint(p, 0)          // seed
+	p = append(p, 8)                        // key flag
+	p = binary.AppendUvarint(p, uint64(len(long)))
+	p = append(p, long...)
+	frame := append([]byte(nil), Magic[:]...)
+	frame = append(frame, byte(FrameHello))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(p)))
+	frame = append(frame, p...)
+	d := NewDeframer(bytes.NewReader(frame))
+	if _, err := d.ReadFrame(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("decode side accepted an oversized key: %v", err)
 	}
 }
 

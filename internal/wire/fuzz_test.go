@@ -117,6 +117,13 @@ func FuzzDeframe(f *testing.F) {
 	}})
 	_ = fcl.WriteHandoff(Handoff{Key: "queue-buggy/9", Origin: "n1", Epoch: 3, History: g})
 	f.Add(clu.Bytes())
+	// A relayed hello (hop flag) and a token-carrying assign.
+	var relay bytes.Buffer
+	frl := NewFramer(&relay, 2)
+	_ = frl.WriteHello(Hello{Version: Version, Threads: 2, Workload: "queue-buggy", Key: "queue-buggy/9", Hops: 2})
+	_ = frl.WriteAssign(Assignment{Epoch: 4, RingVersion: 4, Origin: "n2", Token: "peers-0011223344556677",
+		Nodes: []NodeInfo{{ID: "n2", Addr: "127.0.0.1:7072"}}})
+	f.Add(relay.Bytes())
 	// Key flag on a pre-v3 hello: must decode as ErrBadFrame, never as a
 	// keyed stream.
 	oldKey := append([]byte(nil), Magic[:]...)

@@ -127,6 +127,13 @@ func (t FrameType) String() string {
 	}
 }
 
+// MaxKeyLen bounds a Hello's routing key. Keys are workload/seed-style
+// identifiers, a few dozen bytes in practice; the cap keeps the
+// handoff-payload arithmetic simple (key + history always fit under
+// MaxHandoffPayload) and denies a hostile client a multi-MiB key that
+// every relay and handoff would have to carry.
+const MaxKeyLen = 1 << 10
+
 // MaxFramePayload bounds a single frame's payload. Event batches are a
 // few KB (the VM's 512-event ring delta-encodes to well under one byte
 // per field); the only legitimately large ingest-direction frame is a
@@ -216,10 +223,18 @@ type Hello struct {
 
 	// Key is the stream's cluster routing key: the consistent-hash ring
 	// maps it to an owning node, and every frame of the stream follows
-	// it there. Empty outside cluster mode. Requires Version >= 3;
-	// version-1/2 peers never set it and their hellos are byte-identical
-	// to before.
+	// it there. Empty outside cluster mode, at most MaxKeyLen bytes.
+	// Requires Version >= 3; version-1/2 peers never set it and their
+	// hellos are byte-identical to before.
 	Key string
+
+	// Hops counts cluster relays this Hello has already crossed. A node
+	// that forwards a misrouted stream re-emits the Hello with Hops+1;
+	// past a small limit the receiver serves the stream locally instead
+	// of relaying again, so two nodes with diverged views cannot
+	// ping-pong a stream between them forever. Zero on every
+	// client-originated Hello. Requires Version >= 3.
+	Hops int
 
 	// Program optionally embeds the program image for streams the
 	// server cannot rebuild from its registry. Nil when Workload names
@@ -258,6 +273,14 @@ type Assignment struct {
 	RingVersion uint64
 	Origin      string
 	Nodes       []NodeInfo
+
+	// Token authenticates the sender as a cluster member: every node of
+	// one cluster shares the same token, and a receiver honors an Assign
+	// (and promotes the connection to the peer plane, unlocking Handoff)
+	// only when the token matches its own. It rides inside the frame
+	// rather than a separate handshake so the probe exchange stays one
+	// round trip.
+	Token string
 }
 
 // Handoff transfers one in-flight stream to its new owner. History is
@@ -322,6 +345,9 @@ func (f *Framer) writeFrame(t FrameType, payload []byte) error {
 // WriteHello emits the handshake frame and resets event delta state for
 // the stream it opens.
 func (f *Framer) WriteHello(h Hello) error {
+	if len(h.Key) > MaxKeyLen {
+		return fmt.Errorf("%w: routing key is %d bytes (max %d)", ErrBadFrame, len(h.Key), MaxKeyLen)
+	}
 	f.buf = f.buf[:0]
 	b := bytes.NewBuffer(f.buf)
 	putUvarint(b, uint64(h.Version))
@@ -342,9 +368,15 @@ func (f *Framer) WriteHello(h Hello) error {
 	if h.Key != "" {
 		flags |= 8
 	}
+	if h.Hops > 0 {
+		flags |= 16
+	}
 	b.WriteByte(flags)
 	if h.Key != "" {
 		putString(b, h.Key)
+	}
+	if h.Hops > 0 {
+		putUvarint(b, uint64(h.Hops))
 	}
 	if h.Program != nil {
 		var img bytes.Buffer
@@ -397,6 +429,7 @@ func (f *Framer) WriteAssign(a Assignment) error {
 	putUvarint(b, a.Epoch)
 	putUvarint(b, a.RingVersion)
 	putString(b, a.Origin)
+	putString(b, a.Token)
 	putUvarint(b, uint64(len(a.Nodes)))
 	for _, n := range a.Nodes {
 		putString(b, n.ID)
@@ -458,10 +491,16 @@ type Deframer struct {
 	// deframers keep every frame under MaxFramePayload.
 	largeResults bool
 
+	// assigns permits decoding Assign frames (only — Handoff stays
+	// rejected and its cap stays down). A cluster node's accept path
+	// opts in so peers can open the token handshake, then promotes the
+	// connection with ExpectHandoffs once the token checks out.
+	assigns bool
+
 	// handoffs raises the Handoff-frame cap to MaxHandoffPayload and
-	// permits decoding the cluster frames at all. Only the node-to-node
-	// receive path opts in; a client-facing deframer rejects Assign and
-	// Handoff as malformed.
+	// permits decoding both cluster frames. Only an authenticated
+	// node-to-node connection opts in; a client-facing deframer rejects
+	// Assign and Handoff as malformed.
 	handoffs bool
 
 	// timestamps mirrors the last decoded Hello's Timestamps flag: when
@@ -495,10 +534,18 @@ func (d *Deframer) RawFrame() (hdr, payload []byte) {
 // on the consumer side of the protocol before reading a report.
 func (d *Deframer) ExpectResults() { d.largeResults = true }
 
+// ExpectAssigns permits Assign frames only: the pre-authentication
+// surface of a cluster node's accept path. Handoff frames stay rejected
+// (and capped at MaxFramePayload on the length prefix), so an
+// unauthenticated peer can open the token handshake but cannot make the
+// node allocate a 64 MiB handoff or adopt a stream.
+func (d *Deframer) ExpectAssigns() { d.assigns = true }
+
 // ExpectHandoffs permits the cluster frames (Assign, Handoff) and
-// raises the Handoff cap to MaxHandoffPayload. Only a cluster node's
-// peer-facing deframer calls this; without it both frame kinds decode
-// as ErrBadFrame, so the client-facing protocol surface is unchanged.
+// raises the Handoff cap to MaxHandoffPayload. Only an authenticated
+// node-to-node connection calls this (see ExpectAssigns for the
+// handshake step); without it both frame kinds decode as ErrBadFrame,
+// so the client-facing protocol surface is unchanged.
 func (d *Deframer) ExpectHandoffs() { d.handoffs = true }
 
 // NewDeframer builds a Deframer over r.
@@ -520,12 +567,16 @@ func (d *Deframer) SetProgram(p *isa.Program, threads int) {
 // stream whose earlier frames were decoded through src. The cluster
 // handoff replay needs it: the transferred history decodes on a side
 // deframer, then the connection's deframer resumes the live tail, whose
-// first frame's deltas reference the last history frame. src must not
-// be used again (the codec context's per-thread arrays are shared, not
-// copied).
+// first frame's deltas reference the last history frame. The timestamps
+// flag travels too: the stream's Hello was decoded by src, and on a
+// Timestamps stream every live Events frame still opens with a send
+// stamp — without the flag the stamp would be fed to the delta decoder
+// as event data. src must not be used again (the codec context's
+// per-thread arrays are shared, not copied).
 func (d *Deframer) AdoptCodec(src *Deframer) {
 	d.prog = src.prog
 	d.dec = src.dec
+	d.timestamps = src.timestamps
 }
 
 // readPayload reads the next frame header and payload into d.payload.
@@ -674,7 +725,7 @@ func (d *Deframer) decodeControl(t FrameType) (Frame, error) {
 		}
 		return Frame{Type: FrameError, Errmsg: msg}, nil
 	case FrameAssign:
-		if !d.handoffs {
+		if !d.handoffs && !d.assigns {
 			return Frame{}, fmt.Errorf("%w: assign frame on a non-cluster connection", ErrBadFrame)
 		}
 		a, err := decodeAssign(d.payload)
@@ -730,6 +781,25 @@ func decodeHello(payload []byte) (Hello, error) {
 		if p.err != nil {
 			return Hello{}, p.err
 		}
+		if len(h.Key) > MaxKeyLen {
+			return Hello{}, fmt.Errorf("%w: routing key is %d bytes (max %d)", ErrBadFrame, len(h.Key), MaxKeyLen)
+		}
+	}
+	if flags&16 != 0 {
+		if h.Version < 3 {
+			return Hello{}, fmt.Errorf("%w: hop flag set on a version-%d hello (needs version 3)", ErrBadFrame, h.Version)
+		}
+		hops := p.uvarint()
+		if p.err != nil {
+			return Hello{}, p.err
+		}
+		// Any hop count a well-behaved relay chain can produce is tiny;
+		// 255 bounds a hostile value without caring about the exact
+		// relay limit (which lives in the server layer).
+		if hops == 0 || hops > 255 {
+			return Hello{}, fmt.Errorf("%w: hop count %d outside [1,255]", ErrBadFrame, hops)
+		}
+		h.Hops = int(hops)
 	}
 	if flags&2 != 0 {
 		imgLen := p.uvarint()
@@ -788,6 +858,7 @@ func decodeAssign(payload []byte) (Assignment, error) {
 	a.Epoch = p.uvarint()
 	a.RingVersion = p.uvarint()
 	a.Origin = p.str()
+	a.Token = p.str()
 	n := p.uvarint()
 	if p.err != nil {
 		return Assignment{}, p.err
